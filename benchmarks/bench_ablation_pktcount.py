@@ -1,0 +1,37 @@
+"""Ablation — packet-count threshold n and timeout δ (§3.3.1, fn 9).
+
+The switch truncates FL features at n packets (or δ idle seconds), so n
+trades early decisions against feature reliability.  The sweep shows the
+per-packet detection of the deployed pipeline as n varies.
+"""
+
+import pytest
+
+from benchmarks.common import BENCH_SEED, bench_testbed_config, single_round
+from repro.datasets.splits import make_trace_split
+from repro.eval.harness import run_testbed_experiment
+
+NS = (4, 8, 16)
+
+
+def n_sweep():
+    rows = {}
+    for n in NS:
+        config = bench_testbed_config()
+        config.pkt_count_threshold = n
+        r = run_testbed_experiment("Mirai", "iguard", config=config, seed=BENCH_SEED)
+        rows[n] = r
+    return rows
+
+
+def test_ablation_pktcount(benchmark):
+    rows = single_round(benchmark, n_sweep)
+    print()
+    print("Ablation — packet-count threshold n (testbed, Mirai)")
+    print(f"{'n':>4s} {'macroF1':>9s} {'blue-path':>10s} {'brown-path':>11s}")
+    for n, r in rows.items():
+        paths = r.replay.path_counts()
+        print(f"{n:>4d} {r.metrics.macro_f1:>9.3f} {paths.get('blue', 0):>10d} "
+              f"{paths.get('brown', 0):>11d}")
+    # Larger n means more early (brown-path) packets before classification.
+    assert rows[NS[-1]].replay.path_counts().get("brown", 0) >= rows[NS[0]].replay.path_counts().get("brown", 0)

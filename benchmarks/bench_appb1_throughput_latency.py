@@ -1,0 +1,54 @@
+"""Appendix B.1 — throughput and latency under the line-rate service
+model: iGuard (all detection in the data plane) vs a HorusEye-style
+design whose classification-time packets detour to the control plane.
+
+Expected shape: iGuard ≈ line rate on a 40 Gbps link (paper: 39.6 Gbps,
+a 66.47% improvement over HorusEye) at a fixed ~533 ns pipeline latency.
+"""
+
+import numpy as np
+import pytest
+
+from benchmarks.common import BENCH_SEED, bench_testbed_config, single_round
+from repro.datasets.attacks import HEADLINE_ATTACKS
+from repro.datasets.splits import make_trace_split
+from repro.eval.harness import build_pipeline
+from repro.switch.runner import replay_trace, throughput_latency_model
+
+
+def throughput_rows():
+    config = bench_testbed_config()
+    inline_tputs, detour_tputs, latencies = [], [], []
+    for i, attack in enumerate(HEADLINE_ATTACKS[:3]):
+        split = make_trace_split(
+            attack, n_benign_flows=config.n_benign_flows, seed=BENCH_SEED + i
+        )
+        pipeline, _controller, _model = build_pipeline(
+            "iguard", split, config=config, seed=BENCH_SEED + i
+        )
+        result = replay_trace(split.test_trace, pipeline)
+        inline = throughput_latency_model(result, offered_gbps=40.0)
+        detour = throughput_latency_model(
+            result, offered_gbps=40.0, control_plane_detection=True
+        )
+        inline_tputs.append(inline.achieved_gbps)
+        detour_tputs.append(detour.achieved_gbps)
+        latencies.append(inline.mean_latency_ns)
+    return (
+        float(np.mean(inline_tputs)),
+        float(np.mean(detour_tputs)),
+        float(np.mean(latencies)),
+    )
+
+
+def test_appb1_throughput_latency(benchmark):
+    inline, detour, latency = single_round(benchmark, throughput_rows)
+    improvement = 100.0 * (inline - detour) / detour
+    print()
+    print("App B.1 — throughput & latency (40 Gbps offered)")
+    print(f"  iGuard (in-data-plane):      {inline:6.2f} Gbps @ {latency:.1f} ns/pkt")
+    print(f"  control-plane detection:     {detour:6.2f} Gbps")
+    print(f"  improvement: {improvement:+.1f}%  (paper: +66.47%, 39.6 Gbps, 532.8 ns)")
+    assert inline > 38.0
+    assert inline > detour
+    assert latency == pytest.approx(532.8)

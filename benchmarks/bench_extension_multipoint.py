@@ -1,0 +1,81 @@
+"""Extension bench — multi-checkpoint classification (paper fn 9).
+
+The paper's future-work proposal: classify at 2-3 packet-count points
+and block a flow judged malicious at *any* point, to catch attacks that
+manifest after the single threshold n.  We compare the single-threshold
+pipeline (n=8) against checkpoints {8, 24} on the evasion adversary —
+the workload where single-point classification at a short horizon is
+weakest (EXPERIMENTS.md, Table 3).
+"""
+
+import pytest
+
+from benchmarks.common import BENCH_SEED, bench_testbed_config, single_round
+from repro.datasets.adversarial import evasion_flows
+from repro.datasets.splits import TraceSplit, make_trace_split
+from repro.datasets.trace import flows_to_trace
+from repro.eval.harness import run_testbed_experiment
+from repro.eval.metrics import detection_metrics
+from repro.switch.controller import Controller
+from repro.switch.multipoint import MultiCheckpointPipeline, build_checkpoint_rules
+from repro.switch.pipeline import PipelineConfig
+from repro.switch.runner import replay_trace
+
+CHECKPOINTS = (8, 24)
+
+
+def _evasion_split(attack: str, seed: int) -> TraceSplit:
+    config = bench_testbed_config()
+    split = make_trace_split(attack, n_benign_flows=config.n_benign_flows, seed=seed)
+    flows = list(split.test_trace.flows().values())
+    benign = [f for f in flows if not any(p.malicious for p in f)]
+    malicious = evasion_flows(
+        [f for f in flows if any(p.malicious for p in f)], 0.5, seed=seed + 1
+    )
+    return TraceSplit(
+        train_flows=split.train_flows,
+        val_flows=split.val_flows,
+        val_labels=split.val_labels,
+        test_trace=flows_to_trace(benign + malicious),
+        attack_name=split.attack_name,
+    )
+
+
+def multipoint_vs_single():
+    config = bench_testbed_config()
+    split = _evasion_split("TCP DDoS", BENCH_SEED)
+
+    single = run_testbed_experiment(
+        "TCP DDoS", "iguard", config=config, split=split, seed=BENCH_SEED
+    )
+
+    checkpoints = build_checkpoint_rules(
+        split.train_flows,
+        CHECKPOINTS,
+        timeout=config.timeout,
+        iguard_params=config.iguard_params,
+        rule_cells=config.rule_cells,
+        seed=BENCH_SEED,
+    )
+    pipeline = MultiCheckpointPipeline(
+        checkpoints,
+        config=PipelineConfig(timeout=config.timeout, n_slots=config.n_slots),
+    )
+    Controller(pipeline)
+    replay = replay_trace(split.test_trace, pipeline)
+    multi = detection_metrics(replay.y_true, replay.y_pred, replay.y_pred.astype(float))
+    return single.metrics, multi, pipeline.checkpoint_flags
+
+
+def test_extension_multipoint(benchmark):
+    single, multi, flags = single_round(benchmark, multipoint_vs_single)
+    print()
+    print("Extension (fn 9) — multi-checkpoint vs single-threshold, evasion TCP DDoS")
+    print(f"  single n=8:          F1={single.macro_f1:.3f} ROC={single.roc_auc:.3f} "
+          f"PR={single.pr_auc:.3f}")
+    print(f"  checkpoints {CHECKPOINTS}: F1={multi.macro_f1:.3f} ROC={multi.roc_auc:.3f} "
+          f"PR={multi.pr_auc:.3f}")
+    print(f"  malicious verdicts per checkpoint: {flags}")
+    # Any-point blocking can only add detections; it must not end up
+    # meaningfully below the single-threshold design.
+    assert multi.macro_f1 >= single.macro_f1 - 0.05

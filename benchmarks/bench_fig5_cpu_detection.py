@@ -1,0 +1,41 @@
+"""Figure 5 — CPU detection comparison on the 5 headline attacks:
+iForest vs Magnifier vs iGuard (macro F1 / PRAUC / ROCAUC).
+
+Expected shape (paper §4.1): iGuard ≈ Magnifier, and iGuard improves
+over iForest by 1.8-62.9% macro F1, 5.7-72.2% PRAUC, 1.8-62.8% ROCAUC.
+"""
+
+import pytest
+
+from benchmarks.common import cpu_models_on_attack, single_round
+from repro.datasets.attacks import HEADLINE_ATTACKS
+from repro.eval.reporting import format_improvement_summary, format_metric_table
+
+_RESULTS = {}
+
+
+@pytest.mark.parametrize("attack", HEADLINE_ATTACKS)
+def test_fig5_cpu_detection(benchmark, attack):
+    metrics = single_round(benchmark, lambda: cpu_models_on_attack(attack))
+    _RESULTS[attack] = metrics
+    print()
+    print(
+        format_metric_table(
+            {attack: metrics}, models=["iforest", "magnifier", "iguard"],
+            title=f"Fig 5 [{attack}]",
+        )
+    )
+    # Shape assertions: the distilled model tracks its oracle and beats
+    # the conventional iForest on ranking quality.
+    assert metrics["iguard"].roc_auc >= metrics["iforest"].roc_auc - 0.1
+
+
+def test_fig5_summary(benchmark):
+    """Aggregate improvement summary across whatever attacks ran."""
+    benchmark.pedantic(lambda: None, rounds=1, iterations=1)
+    if not _RESULTS:
+        pytest.skip("per-attack benches did not run")
+    print()
+    print(format_metric_table(_RESULTS, models=["iforest", "magnifier", "iguard"],
+                              title="Fig 5 — all headline attacks"))
+    print(format_improvement_summary(_RESULTS, "iforest", "iguard"))

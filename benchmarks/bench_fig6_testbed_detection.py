@@ -1,0 +1,58 @@
+"""Figure 6 — testbed (switch) detection on the 5 headline attacks:
+iGuard vs the HorusEye-style iForest deployment, per-packet metrics
+through the simulated data plane.
+
+Expected shape (paper §4.2.1): iGuard improves macro F1 by 5-48%,
+ROCAUC by 2-55.7%, PRAUC by 26-70%; both models score below their CPU
+figures (only 13 FL features are extractable in the data plane).
+"""
+
+import pytest
+
+from benchmarks.common import BENCH_SEED, bench_testbed_config, single_round
+from repro.datasets.attacks import HEADLINE_ATTACKS
+from repro.datasets.splits import make_trace_split
+from repro.eval.harness import run_testbed_experiment
+from repro.eval.reporting import format_improvement_summary, format_metric_table
+
+_RESULTS = {}
+
+
+def testbed_pair(attack: str):
+    config = bench_testbed_config()
+    split = make_trace_split(attack, n_benign_flows=config.n_benign_flows, seed=BENCH_SEED)
+    out = {}
+    for model in ("iforest", "iguard"):
+        out[model] = run_testbed_experiment(
+            attack, model, config=config, split=split, seed=BENCH_SEED + 1
+        )
+    return out
+
+
+@pytest.mark.parametrize("attack", HEADLINE_ATTACKS)
+def test_fig6_testbed_detection(benchmark, attack):
+    results = single_round(benchmark, lambda: testbed_pair(attack))
+    metrics = {m: r.metrics for m, r in results.items()}
+    _RESULTS[attack] = metrics
+    print()
+    print(format_metric_table({attack: metrics}, models=["iforest", "iguard"],
+                              title=f"Fig 6 [{attack}]"))
+    for model, r in results.items():
+        print(f"  {model}: rules={r.n_rules} tcam={r.resources.tcam_pct:.2f}% "
+              f"reward={r.reward:.3f} paths={r.replay.path_counts()}")
+    # Per-attack outcomes vary with scale/seed; the ordering claim is
+    # asserted on the average in the summary.
+    assert 0.0 <= metrics["iguard"].macro_f1 <= 1.0
+
+
+def test_fig6_summary(benchmark):
+    benchmark.pedantic(lambda: None, rounds=1, iterations=1)
+    if not _RESULTS:
+        pytest.skip("per-attack benches did not run")
+    print()
+    print(format_metric_table(_RESULTS, models=["iforest", "iguard"],
+                              title="Fig 6 — all headline attacks (testbed)"))
+    print(format_improvement_summary(_RESULTS, "iforest", "iguard"))
+    mean_ig = sum(m["iguard"].macro_f1 for m in _RESULTS.values()) / len(_RESULTS)
+    mean_if = sum(m["iforest"].macro_f1 for m in _RESULTS.values()) / len(_RESULTS)
+    assert mean_ig > mean_if

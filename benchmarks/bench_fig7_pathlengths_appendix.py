@@ -1,0 +1,19 @@
+"""Figure 7 (appendix) — expected-path-length overlap for the remaining
+10 attacks, same construction as Figure 2."""
+
+import pytest
+
+from benchmarks.bench_fig2_pathlengths import path_length_overlap
+from benchmarks.common import single_round
+from repro.datasets.attacks import APPENDIX_ATTACKS
+from repro.eval.reporting import format_distribution_summary
+
+
+@pytest.mark.parametrize("attack", APPENDIX_ATTACKS)
+def test_fig7_pathlength_overlap(benchmark, attack):
+    benign, malicious, overlap = single_round(
+        benchmark, lambda: path_length_overlap(attack)
+    )
+    print()
+    print(format_distribution_summary(f"Fig 7 [{attack}]", benign, malicious))
+    assert overlap > 0.05

@@ -1,0 +1,34 @@
+"""Figure 8 (appendix) — CPU detection on the remaining 10 attacks,
+same protocol and expected shape as Figure 5."""
+
+import pytest
+
+from benchmarks.common import cpu_models_on_attack, single_round
+from repro.datasets.attacks import APPENDIX_ATTACKS
+from repro.eval.reporting import format_improvement_summary, format_metric_table
+
+_RESULTS = {}
+
+
+@pytest.mark.parametrize("attack", APPENDIX_ATTACKS)
+def test_fig8_cpu_detection(benchmark, attack):
+    metrics = single_round(benchmark, lambda: cpu_models_on_attack(attack))
+    _RESULTS[attack] = metrics
+    print()
+    print(
+        format_metric_table(
+            {attack: metrics}, models=["iforest", "magnifier", "iguard"],
+            title=f"Fig 8 [{attack}]",
+        )
+    )
+    assert metrics["iguard"].roc_auc >= metrics["iforest"].roc_auc - 0.1
+
+
+def test_fig8_summary(benchmark):
+    benchmark.pedantic(lambda: None, rounds=1, iterations=1)
+    if not _RESULTS:
+        pytest.skip("per-attack benches did not run")
+    print()
+    print(format_metric_table(_RESULTS, models=["iforest", "magnifier", "iguard"],
+                              title="Fig 8 — all appendix attacks"))
+    print(format_improvement_summary(_RESULTS, "iforest", "iguard"))

@@ -1,0 +1,38 @@
+"""Figure 9 (appendix) — testbed detection on the remaining 10 attacks,
+same protocol and expected shape as Figure 6 (improvements of 5-48.3%
+macro F1, 26-70% PRAUC, 2-55.7% ROCAUC)."""
+
+import pytest
+
+from benchmarks.bench_fig6_testbed_detection import testbed_pair
+from benchmarks.common import single_round
+from repro.datasets.attacks import APPENDIX_ATTACKS
+from repro.eval.reporting import format_improvement_summary, format_metric_table
+
+_RESULTS = {}
+
+
+@pytest.mark.parametrize("attack", APPENDIX_ATTACKS)
+def test_fig9_testbed_detection(benchmark, attack):
+    results = single_round(benchmark, lambda: testbed_pair(attack))
+    metrics = {m: r.metrics for m, r in results.items()}
+    _RESULTS[attack] = metrics
+    print()
+    print(format_metric_table({attack: metrics}, models=["iforest", "iguard"],
+                              title=f"Fig 9 [{attack}]"))
+    # Per-attack outcomes vary with scale/seed (see EXPERIMENTS.md); the
+    # paper's ordering claim is asserted on the average in the summary.
+    assert 0.0 <= metrics["iguard"].macro_f1 <= 1.0
+
+
+def test_fig9_summary(benchmark):
+    benchmark.pedantic(lambda: None, rounds=1, iterations=1)
+    if not _RESULTS:
+        pytest.skip("per-attack benches did not run")
+    print()
+    print(format_metric_table(_RESULTS, models=["iforest", "iguard"],
+                              title="Fig 9 — all appendix attacks (testbed)"))
+    print(format_improvement_summary(_RESULTS, "iforest", "iguard"))
+    mean_ig = sum(m["iguard"].macro_f1 for m in _RESULTS.values()) / len(_RESULTS)
+    mean_if = sum(m["iforest"].macro_f1 for m in _RESULTS.values()) / len(_RESULTS)
+    assert mean_ig > mean_if

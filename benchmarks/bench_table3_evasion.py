@@ -1,0 +1,69 @@
+"""Table 3 — black-box evasion attacks: malicious flows padded with
+benign-mimicking packets at 1:2 and 1:4 benign:malicious ratios
+(UDP/TCP DDoS).
+
+Paper's shape: iGuard retains high detection (72-100% F1) while the
+conventional iForest collapses (33-42%).
+
+Reproduction status (see EXPERIMENTS.md): PARTIAL.  On our synthetic
+traffic the padded flows land, at the 8-packet truncation horizon,
+in a pocket adjacent to the benign manifold that the autoencoder
+ensemble only flags at thresholds tight enough to destroy the clean
+operating point, so the fixed-configuration iGuard passes them while
+the baseline's volume-based rules happen to catch the inflated size
+dispersion.  The bench therefore reports both models without asserting
+the paper's ordering; the low-rate and poisoning rows of Table 2
+reproduce the paper's shape."""
+
+import pytest
+
+from benchmarks.common import BENCH_SEED, bench_testbed_config, single_round
+from repro.eval.harness import run_adversarial_experiment
+
+CASES = [
+    ("Evasion (UDPDDoS 1:2)", "UDP DDoS", "evasion_1to2"),
+    ("Evasion (TCPDDoS 1:2)", "TCP DDoS", "evasion_1to2"),
+    ("Evasion (UDPDDoS 1:4)", "UDP DDoS", "evasion_1to4"),
+    ("Evasion (TCPDDoS 1:4)", "TCP DDoS", "evasion_1to4"),
+]
+
+_ROWS = {}
+
+
+@pytest.mark.parametrize("label,attack,variant", CASES)
+def test_table3_evasion(benchmark, label, attack, variant):
+    config = bench_testbed_config()
+
+    def run():
+        out = {}
+        for model in ("iforest", "iguard"):
+            r = run_adversarial_experiment(
+                attack, model, variant, config=config, seed=BENCH_SEED
+            )
+            out[model] = r.metrics
+        return out
+
+    metrics = single_round(benchmark, run)
+    _ROWS[label] = metrics
+    print()
+    print(f"Table 3 [{label}] (macro F1 / ROCAUC / PRAUC)")
+    for model, m in metrics.items():
+        name = "iForest [15]" if model == "iforest" else "iGuard"
+        print(f"  {name:<12s} {100*m.macro_f1:5.1f}% / {100*m.roc_auc:5.1f}% / {100*m.pr_auc:5.1f}%")
+    # No ordering assertion: see the module docstring / EXPERIMENTS.md.
+    assert 0.0 <= metrics["iguard"].macro_f1 <= 1.0
+    assert 0.0 <= metrics["iforest"].macro_f1 <= 1.0
+
+
+def test_table3_summary(benchmark):
+    benchmark.pedantic(lambda: None, rounds=1, iterations=1)
+    if not _ROWS:
+        pytest.skip("per-case benches did not run")
+    print()
+    print("Table 3 — adversarial evasion (F1/ROC/PR, %)")
+    for label, metrics in _ROWS.items():
+        cells = "  ".join(
+            f"{m}:{100*v.macro_f1:.0f}/{100*v.roc_auc:.0f}/{100*v.pr_auc:.0f}"
+            for m, v in metrics.items()
+        )
+        print(f"  {label:<28s} {cells}")

@@ -1,0 +1,68 @@
+#!/usr/bin/env python3
+"""Candidate comparison: which unsupervised model should guide iForest?
+
+Reproduces the paper's App. A study (Fig 10) on a few attacks: kNN, PCA,
+X-means, a conventional iForest, a VAE, and the Magnifier-style
+asymmetric autoencoder are each fine-tuned on the validation set and
+compared by test macro F1.  Magnifier's win on average is why it is
+iGuard's knowledge-distillation oracle.
+
+Run:  python examples/candidate_comparison.py
+"""
+
+import numpy as np
+
+from repro.baselines import KNNDetector, PCADetector, XMeansDetector
+from repro.datasets import make_attack_split
+from repro.eval import macro_f1
+from repro.eval.gridsearch import tune_detector_threshold
+from repro.forest import IsolationForest
+from repro.nn import MagnifierAutoencoder, VariationalAutoencoder
+
+SEED = 17
+ATTACKS = ("Mirai", "UDP DDoS", "Keylogging")
+
+
+def tuned_f1(detector, split) -> float:
+    """Fit on benign, tune the threshold on validation, score on test."""
+    detector.fit(split.x_train)
+    threshold = tune_detector_threshold(
+        detector.anomaly_scores(split.x_val),
+        split.y_val,
+        scores_train=detector.anomaly_scores(split.x_train),
+    )
+    pred = (detector.anomaly_scores(split.x_test) > threshold).astype(int)
+    return macro_f1(split.y_test, pred)
+
+
+def main() -> None:
+    print("== guiding-candidate comparison (paper App. A / Fig 10) ==")
+    candidates = {
+        "kNN": lambda: KNNDetector(k=5),
+        "PCA": lambda: PCADetector(),
+        "X-means": lambda: XMeansDetector(seed=SEED),
+        "VAE": lambda: VariationalAutoencoder(epochs=120, seed=SEED),
+        "Magnifier": lambda: MagnifierAutoencoder(epochs=150, seed=SEED),
+    }
+    table = {name: [] for name in list(candidates) + ["iForest"]}
+    for attack in ATTACKS:
+        split = make_attack_split(attack, n_benign_flows=320, seed=SEED)
+        forest = IsolationForest(
+            n_trees=100, subsample_size=128, contamination=0.15, seed=SEED
+        ).fit(split.x_train)
+        table["iForest"].append(macro_f1(split.y_test, forest.predict(split.x_test)))
+        for name, factory in candidates.items():
+            table[name].append(tuned_f1(factory(), split))
+
+    header = f"{'model':<12s}" + "".join(f"{a:>14s}" for a in ATTACKS) + f"{'average':>10s}"
+    print(header)
+    print("-" * len(header))
+    for name, scores in table.items():
+        row = f"{name:<12s}" + "".join(f"{s:>14.3f}" for s in scores)
+        print(row + f"{np.mean(scores):>10.3f}")
+    print("\nMagnifier's average win is why the paper distils *its* knowledge "
+          "into iGuard's leaves.")
+
+
+if __name__ == "__main__":
+    main()

@@ -1,0 +1,60 @@
+#!/usr/bin/env python3
+"""Quickstart: train iGuard on benign IoT traffic and detect an attack.
+
+Walks the paper's §3.2 pipeline end to end on a synthetic Mirai
+workload:
+
+1. generate benign traffic and extract flow features;
+2. train the autoencoder ensemble and the guided isolation forest,
+   distilling the ensemble's knowledge into leaf labels;
+3. evaluate on held-out traffic (benign + 20% Mirai);
+4. compile the model into switch whitelist rules and check consistency.
+
+Run:  python examples/quickstart.py
+"""
+
+from repro.core import IGuard
+from repro.datasets import make_attack_split
+from repro.eval import detection_metrics
+
+SEED = 7
+
+
+def main() -> None:
+    print("== iGuard quickstart ==")
+    print("generating benign IoT traffic + Mirai test traffic ...")
+    split = make_attack_split("Mirai", n_benign_flows=400, seed=SEED)
+    print(f"  train: {split.x_train.shape[0]} benign flows, "
+          f"{split.n_features} features")
+    print(f"  test:  {len(split.y_test)} flows "
+          f"({int(split.y_test.sum())} malicious)")
+
+    print("training iGuard (autoencoder ensemble → guided forest → distillation) ...")
+    model = IGuard(n_trees=11, subsample_size=96, k_aug=96, tau_split=0.0,
+                   seed=SEED).fit(split.x_train)
+
+    metrics = detection_metrics(
+        split.y_test, model.predict(split.x_test), model.vote_fraction(split.x_test)
+    )
+    print(f"  macro F1 = {metrics.macro_f1:.3f}")
+    print(f"  ROC AUC  = {metrics.roc_auc:.3f}")
+    print(f"  PR AUC   = {metrics.pr_auc:.3f}")
+
+    print("compiling whitelist rules for the switch ...")
+    rules = model.to_rules(max_cells=2048, seed=SEED)
+    consistency = model.consistency(rules, split.x_test)
+    print(f"  {len(rules)} whitelist rules "
+          f"(benign-region boxes; unmatched traffic is dropped)")
+    print(f"  rule/model consistency C = {consistency:.3f}  (paper: 0.992-0.996)")
+
+    example = rules.rules[0]
+    print("  first rule's ranges (feature: [low, high)):")
+    for name, lo, hi in list(
+        zip(split.feature_names, example.box.lows, example.box.highs)
+    )[:5]:
+        print(f"    {name:<12s} [{lo:.3g}, {hi:.3g})")
+    print("done.")
+
+
+if __name__ == "__main__":
+    main()

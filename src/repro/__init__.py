@@ -1,0 +1,56 @@
+"""iGuard reproduction: autoencoder-distilled isolation forests compiled
+to switch whitelist rules, with a behavioural Tofino data-plane simulator
+and the full CoNEXT 2024 evaluation harness.
+
+Quickstart
+----------
+>>> from repro import IGuard, make_attack_split
+>>> split = make_attack_split("Mirai", n_benign_flows=400, seed=7)
+>>> model = IGuard(seed=7).fit(split.x_train)
+>>> verdicts = model.predict(split.x_test)          # 0 benign / 1 malicious
+>>> rules = model.to_rules()                        # switch whitelist rules
+
+See the examples/ directory for full scenarios including switch
+deployment and adversarial robustness.
+"""
+
+from repro.core import IGuard, RuleSet, WhitelistRule
+from repro.datasets import (
+    attack_names,
+    generate_attack_flows,
+    generate_benign_flows,
+    make_attack_split,
+    make_trace_split,
+)
+from repro.eval import (
+    detection_metrics,
+    run_adversarial_experiment,
+    run_cpu_experiment,
+    run_testbed_experiment,
+)
+from repro.forest import IsolationForest
+from repro.nn import AutoencoderEnsemble, MagnifierAutoencoder
+from repro.switch import SwitchPipeline, replay_trace
+
+__version__ = "1.0.0"
+
+__all__ = [
+    "AutoencoderEnsemble",
+    "IGuard",
+    "IsolationForest",
+    "MagnifierAutoencoder",
+    "RuleSet",
+    "SwitchPipeline",
+    "WhitelistRule",
+    "__version__",
+    "attack_names",
+    "detection_metrics",
+    "generate_attack_flows",
+    "generate_benign_flows",
+    "make_attack_split",
+    "make_trace_split",
+    "replay_trace",
+    "run_adversarial_experiment",
+    "run_cpu_experiment",
+    "run_testbed_experiment",
+]

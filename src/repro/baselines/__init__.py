@@ -1,0 +1,8 @@
+"""Classic unsupervised baselines for the candidate comparison (paper
+App. A / Fig 10): kNN distance, PCA residual, X-means clustering."""
+
+from repro.baselines.knn import KNNDetector
+from repro.baselines.pca import PCADetector
+from repro.baselines.xmeans import XMeansDetector
+
+__all__ = ["KNNDetector", "PCADetector", "XMeansDetector"]

@@ -1,0 +1,84 @@
+"""PCA residual anomaly detector (Fig 10 candidate).
+
+Projects onto the top principal components of the benign data and scores
+by the reconstruction residual — the linear ancestor of the autoencoder
+approach, included exactly because the paper's App. A compares it.
+"""
+
+from __future__ import annotations
+
+from typing import Optional
+
+import numpy as np
+
+from repro.utils.validation import check_2d, check_fitted, check_probability
+
+
+class PCADetector:
+    """Reconstruction-residual detector on the top-q principal components.
+
+    Parameters
+    ----------
+    n_components:
+        Number of retained components; ``None`` keeps enough for 95% of
+        the training variance.
+    contamination:
+        Threshold placement quantile on training scores.
+    log_scale:
+        Signed log1p preprocessing (shared with the other detectors).
+    """
+
+    def __init__(
+        self,
+        n_components: Optional[int] = None,
+        contamination: float = 0.02,
+        log_scale: bool = True,
+        variance_target: float = 0.95,
+    ):
+        if n_components is not None and n_components < 1:
+            raise ValueError(f"n_components must be >= 1, got {n_components}")
+        check_probability(contamination, "contamination")
+        check_probability(variance_target, "variance_target")
+        self.n_components = n_components
+        self.contamination = contamination
+        self.log_scale = log_scale
+        self.variance_target = variance_target
+        self.mean_: Optional[np.ndarray] = None
+        self.std_: Optional[np.ndarray] = None
+        self.components_: Optional[np.ndarray] = None
+        self.threshold_: Optional[float] = None
+
+    def _prepare(self, x: np.ndarray) -> np.ndarray:
+        x = check_2d(x, "X")
+        if self.log_scale:
+            x = np.sign(x) * np.log1p(np.abs(x))
+        return x
+
+    def fit(self, x: np.ndarray) -> "PCADetector":
+        x = self._prepare(x)
+        self.mean_ = x.mean(axis=0)
+        self.std_ = np.where(x.std(axis=0) > 0, x.std(axis=0), 1.0)
+        xs = (x - self.mean_) / self.std_
+        _u, s, vt = np.linalg.svd(xs, full_matrices=False)
+        if self.n_components is not None:
+            q = min(self.n_components, vt.shape[0])
+        else:
+            explained = np.cumsum(s**2) / np.sum(s**2)
+            q = int(np.searchsorted(explained, self.variance_target) + 1)
+        self.components_ = vt[:q]
+        train_scores = self.anomaly_scores_standardised(xs)
+        self.threshold_ = float(np.quantile(train_scores, 1.0 - self.contamination))
+        return self
+
+    def anomaly_scores_standardised(self, xs: np.ndarray) -> np.ndarray:
+        projected = xs @ self.components_.T @ self.components_
+        return np.sqrt(np.mean((xs - projected) ** 2, axis=1))
+
+    def anomaly_scores(self, x: np.ndarray) -> np.ndarray:
+        check_fitted(self, "components_")
+        xs = (self._prepare(x) - self.mean_) / self.std_
+        return self.anomaly_scores_standardised(xs)
+
+    def predict(self, x: np.ndarray) -> np.ndarray:
+        check_fitted(self, "threshold_")
+        return (self.anomaly_scores(x) > self.threshold_).astype(int)

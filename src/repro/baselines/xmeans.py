@@ -1,0 +1,167 @@
+"""X-means anomaly detector (Fig 10 candidate, cf. Feng et al. [16]).
+
+X-means (Pelleg & Moore 2000) is k-means with BIC-driven cluster
+splitting: starting from a small k, each cluster is tentatively split in
+two and the split is kept when it improves the Bayesian Information
+Criterion.  Anomaly score = distance to the nearest benign centroid.
+"""
+
+from __future__ import annotations
+
+from typing import List, Optional, Tuple
+
+import numpy as np
+
+from repro.utils.rng import SeedLike, as_rng
+from repro.utils.validation import check_2d, check_fitted, check_probability
+
+
+def _kmeans(
+    x: np.ndarray, k: int, rng: np.random.Generator, n_iter: int = 50
+) -> Tuple[np.ndarray, np.ndarray]:
+    """Lloyd's algorithm with k-means++ seeding; returns (centroids, labels)."""
+    n = x.shape[0]
+    k = min(k, n)
+    # k-means++ initialisation.
+    centroids = [x[int(rng.integers(n))]]
+    for _ in range(1, k):
+        d2 = np.min(
+            [np.sum((x - c) ** 2, axis=1) for c in centroids], axis=0
+        )
+        total = d2.sum()
+        if total <= 0:
+            centroids.append(x[int(rng.integers(n))])
+            continue
+        probs = d2 / total
+        centroids.append(x[int(rng.choice(n, p=probs))])
+    centers = np.array(centroids)
+
+    labels = np.zeros(n, dtype=int)
+    for _ in range(n_iter):
+        dists = np.linalg.norm(x[:, None, :] - centers[None, :, :], axis=2)
+        new_labels = dists.argmin(axis=1)
+        if np.array_equal(new_labels, labels) and _ > 0:
+            break
+        labels = new_labels
+        for j in range(centers.shape[0]):
+            members = x[labels == j]
+            if len(members):
+                centers[j] = members.mean(axis=0)
+    return centers, labels
+
+
+def _bic(x: np.ndarray, centers: np.ndarray, labels: np.ndarray) -> float:
+    """Spherical-Gaussian BIC of a k-means clustering (Pelleg & Moore)."""
+    n, m = x.shape
+    k = centers.shape[0]
+    rss = 0.0
+    for j in range(k):
+        members = x[labels == j]
+        if len(members):
+            rss += float(np.sum((members - centers[j]) ** 2))
+    variance = rss / max(n - k, 1) / m
+    variance = max(variance, 1e-12)
+    log_likelihood = 0.0
+    for j in range(k):
+        nj = int(np.sum(labels == j))
+        if nj <= 0:
+            continue
+        log_likelihood += (
+            nj * np.log(nj / n)
+            - nj * m / 2.0 * np.log(2.0 * np.pi * variance)
+            - (nj - 1) * m / 2.0
+        )
+    n_params = k * (m + 1)
+    return log_likelihood - n_params / 2.0 * np.log(n)
+
+
+class XMeansDetector:
+    """BIC-splitting k-means with nearest-centroid anomaly scoring.
+
+    Parameters
+    ----------
+    k_init / k_max:
+        Starting and maximum cluster counts for the splitting loop.
+    contamination:
+        Threshold placement quantile on training scores.
+    """
+
+    def __init__(
+        self,
+        k_init: int = 2,
+        k_max: int = 16,
+        contamination: float = 0.02,
+        log_scale: bool = True,
+        seed: SeedLike = None,
+    ):
+        if k_init < 1 or k_max < k_init:
+            raise ValueError(f"need 1 <= k_init <= k_max, got {k_init}, {k_max}")
+        check_probability(contamination, "contamination")
+        self.k_init = k_init
+        self.k_max = k_max
+        self.contamination = contamination
+        self.log_scale = log_scale
+        self.seed = seed
+        self.centers_: Optional[np.ndarray] = None
+        self.mean_: Optional[np.ndarray] = None
+        self.std_: Optional[np.ndarray] = None
+        self.threshold_: Optional[float] = None
+
+    def _prepare(self, x: np.ndarray) -> np.ndarray:
+        x = check_2d(x, "X")
+        if self.log_scale:
+            x = np.sign(x) * np.log1p(np.abs(x))
+        return x
+
+    def fit(self, x: np.ndarray) -> "XMeansDetector":
+        x = self._prepare(x)
+        rng = as_rng(self.seed)
+        self.mean_ = x.mean(axis=0)
+        self.std_ = np.where(x.std(axis=0) > 0, x.std(axis=0), 1.0)
+        xs = (x - self.mean_) / self.std_
+
+        centers, labels = _kmeans(xs, self.k_init, rng)
+        improved = True
+        while improved and centers.shape[0] < self.k_max:
+            improved = False
+            new_centers: List[np.ndarray] = []
+            for j in range(centers.shape[0]):
+                members = xs[labels == j]
+                if len(members) < 4:
+                    new_centers.append(centers[j])
+                    continue
+                # Tentative 2-split of this cluster; keep if BIC improves.
+                sub_centers, sub_labels = _kmeans(members, 2, rng)
+                parent = _bic(members, centers[j : j + 1], np.zeros(len(members), int))
+                child = _bic(members, sub_centers, sub_labels)
+                if child > parent and sub_centers.shape[0] == 2:
+                    new_centers.extend([sub_centers[0], sub_centers[1]])
+                    improved = True
+                else:
+                    new_centers.append(centers[j])
+            centers = np.array(new_centers)[: self.k_max]
+            dists = np.linalg.norm(xs[:, None, :] - centers[None, :, :], axis=2)
+            labels = dists.argmin(axis=1)
+
+        self.centers_ = centers
+        train_scores = self._nearest_distance(xs)
+        self.threshold_ = float(np.quantile(train_scores, 1.0 - self.contamination))
+        return self
+
+    def _nearest_distance(self, xs: np.ndarray) -> np.ndarray:
+        dists = np.linalg.norm(xs[:, None, :] - self.centers_[None, :, :], axis=2)
+        return dists.min(axis=1)
+
+    @property
+    def n_clusters_(self) -> int:
+        check_fitted(self, "centers_")
+        return int(self.centers_.shape[0])
+
+    def anomaly_scores(self, x: np.ndarray) -> np.ndarray:
+        check_fitted(self, "centers_")
+        xs = (self._prepare(x) - self.mean_) / self.std_
+        return self._nearest_distance(xs)
+
+    def predict(self, x: np.ndarray) -> np.ndarray:
+        check_fitted(self, "threshold_")
+        return (self.anomaly_scores(x) > self.threshold_).astype(int)

@@ -1,0 +1,151 @@
+"""Command-line interface: ``python -m repro <command>``.
+
+Subcommands cover the adoption path end to end:
+
+* ``train``   — fit iGuard on a benign capture (synthetic or pcap) and
+  report the compiled whitelist.
+* ``evaluate``— run one attack workload through the CPU protocol and
+  print the paper's metric triple for iForest / Magnifier / iGuard.
+* ``deploy``  — run the full testbed protocol (switch simulator) for one
+  attack and print per-packet metrics, paths, and resources.
+* ``export``  — write the P4-16 program and table entries for a trained
+  model.
+* ``attacks`` — list the 15 attack workload names.
+"""
+
+from __future__ import annotations
+
+import argparse
+import sys
+from typing import List, Optional
+
+
+def _build_parser() -> argparse.ArgumentParser:
+    parser = argparse.ArgumentParser(
+        prog="repro",
+        description="iGuard (CoNEXT 2024) reproduction toolkit",
+    )
+    sub = parser.add_subparsers(dest="command", required=True)
+
+    p_train = sub.add_parser("train", help="fit iGuard on benign traffic")
+    p_train.add_argument("--pcap", help="benign capture to train on (else synthetic)")
+    p_train.add_argument("--flows", type=int, default=320, help="synthetic benign flows")
+    p_train.add_argument("--trees", type=int, default=11)
+    p_train.add_argument("--seed", type=int, default=7)
+
+    p_eval = sub.add_parser("evaluate", help="CPU-protocol metrics for one attack")
+    p_eval.add_argument("attack", help='workload name, e.g. "Mirai" (see: attacks)')
+    p_eval.add_argument("--flows", type=int, default=320)
+    p_eval.add_argument("--seed", type=int, default=7)
+
+    p_deploy = sub.add_parser("deploy", help="testbed protocol for one attack")
+    p_deploy.add_argument("attack")
+    p_deploy.add_argument("--model", choices=("iforest", "iguard"), default="iguard")
+    p_deploy.add_argument("--flows", type=int, default=320)
+    p_deploy.add_argument("--seed", type=int, default=7)
+
+    p_export = sub.add_parser("export", help="write P4 artifacts for a trained model")
+    p_export.add_argument("--p4", default="iguard_whitelist.p4")
+    p_export.add_argument("--entries", default="iguard_entries.json")
+    p_export.add_argument("--flows", type=int, default=320)
+    p_export.add_argument("--seed", type=int, default=7)
+
+    sub.add_parser("attacks", help="list attack workload names")
+    return parser
+
+
+def _cmd_attacks(_args) -> int:
+    from repro.datasets import attack_names
+
+    for name in attack_names():
+        print(name)
+    return 0
+
+
+def _train_model(flows: int, trees: int, seed: int, pcap: Optional[str]):
+    from repro.core import IGuard
+    from repro.datasets import generate_benign_flows
+    from repro.features import FlowFeatureExtractor
+
+    extractor = FlowFeatureExtractor(
+        feature_set="switch", pkt_count_threshold=8, timeout=5.0
+    )
+    if pcap:
+        from repro.datasets.pcap import read_pcap
+
+        trace = read_pcap(pcap)
+        flow_list = list(trace.flows().values())
+        print(f"loaded {len(trace)} packets / {len(flow_list)} flows from {pcap}")
+    else:
+        flow_list = generate_benign_flows(flows, seed=seed)
+        print(f"generated {len(flow_list)} synthetic benign flows")
+    x_train, _ = extractor.extract_flows(flow_list)
+    model = IGuard(n_trees=trees, subsample_size=96, k_aug=96, tau_split=0.0,
+                   seed=seed).fit(x_train)
+    return model, x_train
+
+
+def _cmd_train(args) -> int:
+    model, x_train = _train_model(args.flows, args.trees, args.seed, args.pcap)
+    rules = model.to_rules(max_cells=1024, seed=args.seed)
+    print(f"trained iGuard: {model.forest_.n_leaves()} leaves across "
+          f"{args.trees} trees")
+    print(f"compiled {len(rules)} whitelist rules "
+          f"(consistency on train: {model.consistency(rules, x_train):.3f})")
+    return 0
+
+
+def _cmd_evaluate(args) -> int:
+    from repro.eval.harness import run_cpu_experiment
+
+    result = run_cpu_experiment(args.attack, n_benign_flows=args.flows, seed=args.seed)
+    print(f"{args.attack}: (macro F1 / ROC AUC / PR AUC)")
+    for model, m in result.metrics.items():
+        print(f"  {model:<10s} {m.macro_f1:.3f} / {m.roc_auc:.3f} / {m.pr_auc:.3f}")
+    return 0
+
+
+def _cmd_deploy(args) -> int:
+    from repro.eval.harness import TestbedConfig, run_testbed_experiment
+
+    config = TestbedConfig(n_benign_flows=args.flows)
+    result = run_testbed_experiment(args.attack, args.model, config=config,
+                                    seed=args.seed)
+    m = result.metrics
+    print(f"{args.attack} via {args.model}: per-packet macro F1 {m.macro_f1:.3f}  "
+          f"ROC {m.roc_auc:.3f}  PR {m.pr_auc:.3f}")
+    print(f"rules={result.n_rules}  reward={result.reward:.3f}")
+    print(result.resources.row(args.model))
+    print("paths:", result.replay.path_counts())
+    return 0
+
+
+def _cmd_export(args) -> int:
+    from repro.features import IntegerQuantizer, SWITCH_FEATURES
+    from repro.switch import write_artifacts
+
+    model, x_train = _train_model(args.flows, 11, args.seed, None)
+    ruleset = model.to_rules(max_cells=1024, seed=args.seed)
+    quantizer = IntegerQuantizer(bits=16, space="log").fit(x_train)
+    write_artifacts(ruleset.quantize(quantizer), args.p4, args.entries, SWITCH_FEATURES)
+    print(f"wrote {args.p4} and {args.entries} ({len(ruleset)} rules)")
+    return 0
+
+
+_COMMANDS = {
+    "attacks": _cmd_attacks,
+    "train": _cmd_train,
+    "evaluate": _cmd_evaluate,
+    "deploy": _cmd_deploy,
+    "export": _cmd_export,
+}
+
+
+def main(argv: Optional[List[str]] = None) -> int:
+    """Parse arguments and dispatch to the subcommand; returns exit code."""
+    args = _build_parser().parse_args(argv)
+    return _COMMANDS[args.command](args)
+
+
+if __name__ == "__main__":
+    sys.exit(main())

@@ -1,0 +1,54 @@
+"""iGuard core: autoencoder-guided iForest training, knowledge
+distillation, hypercube → whitelist-rule compilation, consistency
+checking, and the early-packet PL model."""
+
+from repro.core.consistency import consistency, quantized_consistency
+from repro.core.distillation import DistilledForest
+from repro.core.early import EarlyPacketModel
+from repro.core.guided_forest import GuidedIsolationForest
+from repro.core.guided_tree import (
+    GuidedIsolationTree,
+    GuidedTreeNode,
+    augment_from_box,
+    best_split,
+    binary_entropy,
+)
+from repro.core.hypercube import (
+    compile_ruleset,
+    enumerate_hypercubes,
+    merge_labeled_cells,
+    refine_hypercubes,
+)
+from repro.core.iguard import IGuard
+from repro.core.rules import (
+    BENIGN,
+    MALICIOUS,
+    QuantizedRule,
+    QuantizedRuleSet,
+    RuleSet,
+    WhitelistRule,
+)
+
+__all__ = [
+    "BENIGN",
+    "MALICIOUS",
+    "DistilledForest",
+    "EarlyPacketModel",
+    "GuidedIsolationForest",
+    "GuidedIsolationTree",
+    "GuidedTreeNode",
+    "IGuard",
+    "QuantizedRule",
+    "QuantizedRuleSet",
+    "RuleSet",
+    "WhitelistRule",
+    "augment_from_box",
+    "best_split",
+    "binary_entropy",
+    "compile_ruleset",
+    "consistency",
+    "enumerate_hypercubes",
+    "merge_labeled_cells",
+    "quantized_consistency",
+    "refine_hypercubes",
+]

@@ -1,0 +1,125 @@
+"""Knowledge distillation from the autoencoder ensemble into iForest
+leaves (paper §3.2.2).
+
+For every tree, every training sample is routed to its leaf; each leaf
+additionally receives k points sampled from its own feature ranges
+(X_aug ~ features_range(leaf)).  The ensemble's expected reconstruction
+error over the leaf's sample pool (Eq 5) is thresholded per member and
+combined with the ensemble weights into a 0/1 leaf label (Eq 6).
+
+Inference then ignores path lengths entirely: a test sample is routed to
+one leaf per tree and the majority vote of leaf labels is the verdict.
+"""
+
+from __future__ import annotations
+
+from typing import Dict, List, Optional, Tuple
+
+import numpy as np
+
+from repro.core.guided_forest import GuidedIsolationForest
+from repro.core.guided_tree import GuidedTreeNode, augment_from_box
+from repro.utils.box import Box
+from repro.utils.rng import SeedLike, as_rng
+from repro.utils.validation import check_2d, check_fitted
+
+
+class DistilledForest:
+    """A guided forest whose leaves carry distilled 0/1 labels.
+
+    Exposes the labelled-forest protocol shared with
+    :class:`~repro.forest.rules.ScoreLabeledForest` (``predict`` /
+    ``vote_fraction`` / ``labeled_leaves`` / ``split_boundaries``), so
+    the rule compiler and the switch harness treat iGuard and the
+    baseline identically.
+    """
+
+    def __init__(self, forest: GuidedIsolationForest) -> None:
+        check_fitted(forest, "trees_")
+        self.forest = forest
+        self.n_features_ = forest.n_features_
+        self.distilled_ = False
+
+    @property
+    def trees_(self):
+        return self.forest.trees_
+
+    @property
+    def feature_box_(self) -> Box:
+        return self.forest.feature_box_
+
+    def distil(
+        self,
+        x_train: np.ndarray,
+        oracle,
+        k_aug: Optional[int] = None,
+        seed: SeedLike = None,
+    ) -> "DistilledForest":
+        """Label every leaf by expected reconstruction error (Eqs 5-6)."""
+        x = check_2d(x_train, "x_train")
+        rng = as_rng(seed)
+        k = self.forest.k_aug if k_aug is None else k_aug
+
+        for tree in self.trees_:
+            # Route all training samples to leaves in one pass.
+            assignments: Dict[int, List[int]] = {}
+            leaf_by_id: Dict[int, GuidedTreeNode] = {}
+            for i, row in enumerate(x):
+                leaf = tree.leaf_for(row)
+                assignments.setdefault(id(leaf), []).append(i)
+                leaf_by_id[id(leaf)] = leaf
+            for leaf, box in tree.leaves():
+                rows = assignments.get(id(leaf), [])
+                x_aug = augment_from_box(
+                    box.clip(self.feature_box_),
+                    k,
+                    rng,
+                    mode=getattr(tree, "augment_mode", "normal"),
+                    x_local=x[rows] if rows else None,
+                )
+                pool = [x[rows]] if rows else []
+                if len(x_aug):
+                    pool.append(x_aug)
+                if not pool:
+                    # k = 0 and no training samples reached this leaf:
+                    # fall back to the purity estimate from training.
+                    leaf.label = int((leaf.malicious_fraction or 0.0) > 0.5)
+                    continue
+                x_leaf = np.vstack(pool)
+                expected = oracle.expected_errors(x_leaf)  # RE_leaf_u, Eq 5
+                leaf.label = oracle.label_from_expected_errors(expected)  # Eq 6
+        self.distilled_ = True
+        return self
+
+    def _require_distilled(self) -> None:
+        if not self.distilled_:
+            raise RuntimeError("call distil() before inference")
+
+    def vote_fraction(self, x: np.ndarray) -> np.ndarray:
+        """Fraction of trees whose leaf label is malicious, per sample."""
+        self._require_distilled()
+        x = check_2d(x, "X")
+        votes = np.zeros(x.shape[0], dtype=float)
+        for tree in self.trees_:
+            votes += tree.leaf_labels(x)
+        return votes / len(self.trees_)
+
+    def predict(self, x: np.ndarray) -> np.ndarray:
+        """Majority vote across trees (paper's iForest inference)."""
+        return (self.vote_fraction(x) > 0.5).astype(int)
+
+    def labeled_leaves(self) -> List[List[Tuple[Box, int]]]:
+        """Per tree, every (box, label) pair."""
+        self._require_distilled()
+        return [
+            [(box, leaf.label) for leaf, box in tree.leaves()] for tree in self.trees_
+        ]
+
+    def split_boundaries(self) -> List[List[float]]:
+        return self.forest.split_boundaries()
+
+    def max_depth(self) -> int:
+        return self.forest.max_depth_fitted()
+
+    def n_leaves(self) -> int:
+        return self.forest.n_leaves()

@@ -1,0 +1,78 @@
+"""Early-packet model (paper §3.3.1, "Early packets are ignored").
+
+Before a flow reaches the packet-count threshold n (or times out), its
+FL features are unreliable, so the switch scores early packets with a
+conventional iForest trained on packet-level (PL) features only — dst
+port, protocol, length, TTL — compiled to its own whitelist rules and
+installed alongside the FL rules.  The data plane consults the PL rules
+on the brown/orange paths and the FL rules at classification time.
+"""
+
+from __future__ import annotations
+
+from typing import Optional, Sequence
+
+import numpy as np
+
+from repro.core.hypercube import compile_ruleset
+from repro.core.rules import RuleSet
+from repro.datasets.packet import Packet
+from repro.features.packet_features import extract_first_packets, packet_feature_vector
+from repro.forest.iforest import IsolationForest
+from repro.forest.rules import ScoreLabeledForest
+from repro.utils.box import Box
+from repro.utils.rng import SeedLike
+from repro.utils.validation import check_fitted
+
+
+class EarlyPacketModel:
+    """Conventional iForest over PL features, deployable as rules.
+
+    Parameters mirror the baseline iForest; contamination is kept small
+    because early-packet verdicts must not drop benign flow openings.
+    """
+
+    def __init__(
+        self,
+        n_trees: int = 50,
+        subsample_size: int = 128,
+        contamination: float = 0.02,
+        packets_per_flow: int = 3,
+        seed: SeedLike = None,
+    ) -> None:
+        self.packets_per_flow = packets_per_flow
+        self.forest = IsolationForest(
+            n_trees=n_trees,
+            subsample_size=subsample_size,
+            contamination=contamination,
+            seed=seed,
+        )
+        self.labeled_: Optional[ScoreLabeledForest] = None
+        self.feature_box_: Optional[Box] = None
+
+    def fit(self, benign_flows: Sequence[Sequence[Packet]]) -> "EarlyPacketModel":
+        """Train on the first packets of benign flows."""
+        x, _y = extract_first_packets(benign_flows, per_flow=self.packets_per_flow)
+        self.forest.fit(x)
+        self.labeled_ = ScoreLabeledForest(self.forest)
+        self.feature_box_ = Box.from_data(x, pad=0.05)
+        self._x_train = x
+        return self
+
+    def predict_packets(self, packets: Sequence[Packet]) -> np.ndarray:
+        """0/1 verdict per packet via the labelled forest."""
+        check_fitted(self, "labeled_")
+        x = np.vstack([packet_feature_vector(p) for p in packets])
+        return self.labeled_.predict(x)
+
+    def to_rules(self, max_cells: int = 1024, seed: SeedLike = None) -> RuleSet:
+        """Compile the PL forest into whitelist rules (4-feature boxes)."""
+        check_fitted(self, "labeled_")
+        self.labeled_.feature_box_ = self.feature_box_
+        return compile_ruleset(
+            self.labeled_,
+            feature_box=self.feature_box_,
+            max_cells=max_cells,
+            x_ref=self._x_train,
+            seed=seed,
+        )

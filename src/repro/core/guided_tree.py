@@ -1,0 +1,322 @@
+"""Autoencoder-guided isolation tree (paper §3.2.1).
+
+Differences from a conventional iTree, exactly as the paper specifies:
+
+* **Node expansion** — at each node, k extra points are sampled from the
+  node's feature ranges (normal distribution centred on the range
+  midpoint with quartile-range spread, fn 7) and pooled with the node's
+  training samples into X_decision.  The autoencoder ensemble labels
+  X_decision; the split (q*, p*) maximises information gain (Eqs 1-4)
+  over all candidate (feature, value) pairs.
+* **Stopping** — a node becomes a leaf when |X_node| ≤ 1, when the height
+  cap ⌈log2 Ψ⌉ is reached, or when the minority/majority class ratio in
+  X_decision falls below τ_split (the node is already pure enough for
+  distillation to label it reliably, fn 8: τ_split = 1e-2).
+
+Recursion passes only the *training* samples down (augmented points are
+per-node decision aids, as in the paper's X_node.left = X_node[q* < p*]).
+"""
+
+from __future__ import annotations
+
+import math
+from dataclasses import dataclass
+from typing import List, Optional, Tuple
+
+import numpy as np
+
+from repro.forest.itree import TreeNode, average_path_length
+from repro.utils.box import Box
+from repro.utils.rng import SeedLike, as_rng
+from repro.utils.validation import check_2d
+
+
+def binary_entropy(p: float) -> float:
+    """H(p) in bits, with the 0·log0 = 0 convention (Eq 2)."""
+    if p <= 0.0 or p >= 1.0:
+        return 0.0
+    return -p * math.log2(p) - (1.0 - p) * math.log2(1.0 - p)
+
+
+def augment_from_box(
+    box: Box,
+    k: int,
+    rng: np.random.Generator,
+    mode: str = "normal",
+    x_local: Optional[np.ndarray] = None,
+) -> np.ndarray:
+    """Draw k synthetic points from a node's feature ranges (fn 7).
+
+    ``"normal"`` (the paper's choice): per feature, mean = range midpoint
+    and std = quartile range of a uniform over the range (width / 2).
+    Samples are clipped back into the box, which concentrates probe mass
+    on the box faces and corners — exactly the off-manifold regions the
+    autoencoders must veto.  ``"uniform"`` draws uniformly instead.
+
+    ``"mixture"`` splits the budget between box-volume probes (as above)
+    and local jitter around the node's own samples *x_local* (std =
+    width/20 per feature, clipped to the box).  Local probes straddle the
+    manifold boundary, so candidate splits adjacent to the data carry
+    high information gain and trees converge to pure leaves in far fewer
+    levels than with volume probes alone.
+    """
+    if k <= 0:
+        return np.empty((0, box.n_features))
+    lows = np.array(box.lows)
+    highs = np.array(box.highs)
+    if mode == "uniform":
+        return rng.uniform(lows, highs, size=(k, box.n_features))
+    mid = (lows + highs) / 2.0
+    spread = np.maximum((highs - lows) / 2.0, 1e-12)
+    if mode == "normal" or x_local is None or len(x_local) == 0:
+        if mode not in ("normal", "mixture"):
+            raise ValueError(f"mode must be 'normal', 'uniform' or 'mixture', got {mode!r}")
+        samples = rng.normal(mid, spread, size=(k, box.n_features))
+        return np.clip(samples, lows, highs)
+    if mode != "mixture":
+        raise ValueError(f"mode must be 'normal', 'uniform' or 'mixture', got {mode!r}")
+    k_volume = k // 2
+    k_local = k - k_volume
+    volume = rng.normal(mid, spread, size=(k_volume, box.n_features))
+    anchor_idx = rng.integers(len(x_local), size=k_local)
+    jitter = rng.normal(0.0, np.maximum((highs - lows) / 20.0, 1e-12),
+                        size=(k_local, box.n_features))
+    local = np.asarray(x_local)[anchor_idx] + jitter
+    return np.clip(np.vstack([volume, local]), lows, highs)
+
+
+def best_split(
+    x_decision: np.ndarray,
+    labels: np.ndarray,
+    max_candidates_per_feature: int = 32,
+) -> Optional[Tuple[int, float, float]]:
+    """Exhaustive (q, p) search maximising information gain (Eq 4).
+
+    Candidate p values per feature are the midpoints between consecutive
+    sorted unique values (subsampled evenly beyond
+    *max_candidates_per_feature* to bound work).  Returns
+    ``(feature, value, gain)`` or ``None`` when no feature admits a split
+    that actually separates samples.
+    """
+    n = x_decision.shape[0]
+    parent_pr = float(labels.mean())
+    parent_entropy = binary_entropy(parent_pr)
+    best: Optional[Tuple[int, float, float]] = None
+
+    for feature in range(x_decision.shape[1]):
+        values = x_decision[:, feature]
+        order = np.argsort(values, kind="mergesort")
+        sorted_vals = values[order]
+        sorted_labels = labels[order]
+        # Split positions: indices i where value strictly increases —
+        # splitting between i-1 and i separates the samples.
+        change = np.flatnonzero(np.diff(sorted_vals) > 0) + 1
+        if change.size == 0:
+            continue
+        if change.size > max_candidates_per_feature:
+            picks = np.linspace(0, change.size - 1, max_candidates_per_feature)
+            change = change[np.round(picks).astype(int)]
+        # Prefix counts of malicious labels.
+        mal_prefix = np.concatenate([[0], np.cumsum(sorted_labels)])
+        n_left = change.astype(float)
+        mal_left = mal_prefix[change].astype(float)
+        n_right = n - n_left
+        mal_right = mal_prefix[-1] - mal_left
+
+        pr_left = mal_left / n_left
+        pr_right = mal_right / n_right
+        h_left = np.array([binary_entropy(p) for p in pr_left])
+        h_right = np.array([binary_entropy(p) for p in pr_right])
+        children = (n_left / n) * h_left + (n_right / n) * h_right
+        gains = parent_entropy - children
+        idx = int(np.argmax(gains))
+        gain = float(gains[idx])
+        if best is None or gain > best[2]:
+            pos = change[idx]
+            split_value = 0.5 * (sorted_vals[pos - 1] + sorted_vals[pos])
+            # Guard against float midpoints collapsing onto the left value.
+            if split_value <= sorted_vals[pos - 1]:
+                split_value = sorted_vals[pos]
+            best = (feature, float(split_value), gain)
+    return best
+
+
+@dataclass
+class GuidedTreeNode(TreeNode):
+    """iTree node carrying its feature-range box and decision-set purity."""
+
+    box: Optional[Box] = None
+    malicious_fraction: Optional[float] = None  # of X_decision at this node
+
+
+class GuidedIsolationTree:
+    """One autoencoder-guided iTree.
+
+    Parameters
+    ----------
+    oracle:
+        Fitted :class:`~repro.nn.ensemble.AutoencoderEnsemble` (anything
+        with a ``predict(X) -> 0/1`` method works).
+    max_depth:
+        Height cap (forest passes ⌈log2 Ψ⌉).
+    k_aug:
+        Augmented points per node (the k of §3.2.1 / grid search).
+    tau_split:
+        Purity stopping ratio τ_split (fn 8).
+    """
+
+    def __init__(
+        self,
+        oracle,
+        max_depth: int,
+        k_aug: int = 32,
+        tau_split: float = 1e-2,
+        max_candidates_per_feature: int = 32,
+        augment_mode: str = "mixture",
+        seed: SeedLike = None,
+    ) -> None:
+        if max_depth < 1:
+            raise ValueError(f"max_depth must be >= 1, got {max_depth}")
+        if k_aug < 0:
+            raise ValueError(f"k_aug must be >= 0, got {k_aug}")
+        if not 0.0 <= tau_split <= 1.0:
+            raise ValueError(f"tau_split must be in [0, 1], got {tau_split}")
+        self.oracle = oracle
+        self.max_depth = max_depth
+        self.k_aug = k_aug
+        self.tau_split = tau_split
+        self.augment_mode = augment_mode
+        self.max_candidates_per_feature = max_candidates_per_feature
+        self._rng = as_rng(seed)
+        self.root_: Optional[GuidedTreeNode] = None
+        self.n_features_: Optional[int] = None
+        self.feature_box_: Optional[Box] = None
+
+    def fit(self, x: np.ndarray, feature_box: Optional[Box] = None) -> "GuidedIsolationTree":
+        """Grow the tree on *x* within *feature_box* (defaults to its hull)."""
+        x = check_2d(x, "X")
+        self.n_features_ = x.shape[1]
+        self.feature_box_ = feature_box if feature_box is not None else Box.from_data(x)
+        self.root_ = self._build(x, self.feature_box_, depth=0)
+        return self
+
+    def _purity_stop(self, labels: np.ndarray) -> bool:
+        """True when min/max class ratio in X_decision < τ_split."""
+        n_mal = int(labels.sum())
+        n_ben = labels.size - n_mal
+        hi = max(n_mal, n_ben)
+        lo = min(n_mal, n_ben)
+        if hi == 0:
+            return True
+        return lo / hi < self.tau_split
+
+    def _build(self, x_node: np.ndarray, box: Box, depth: int) -> GuidedTreeNode:
+        n = x_node.shape[0]
+        leaf = GuidedTreeNode(size=n, depth=depth, box=box)
+        if n <= 1 or depth >= self.max_depth:
+            if n > 0:
+                x_aug = augment_from_box(
+                    box, self.k_aug, self._rng, mode=self.augment_mode, x_local=x_node
+                )
+                x_decision = np.vstack([x_node, x_aug]) if len(x_aug) else x_node
+                leaf.malicious_fraction = float(self.oracle.predict(x_decision).mean())
+            return leaf
+
+        x_aug = augment_from_box(
+            box, self.k_aug, self._rng, mode=self.augment_mode, x_local=x_node
+        )
+        x_decision = np.vstack([x_node, x_aug]) if len(x_aug) else x_node
+        labels = np.asarray(self.oracle.predict(x_decision), dtype=int)
+        leaf.malicious_fraction = float(labels.mean())
+
+        if self._purity_stop(labels):
+            return leaf
+
+        split = best_split(x_decision, labels, self.max_candidates_per_feature)
+        if split is None:
+            return leaf
+        feature, value, _gain = split
+
+        node = GuidedTreeNode(
+            size=n,
+            depth=depth,
+            feature=feature,
+            threshold=value,
+            box=box,
+            malicious_fraction=leaf.malicious_fraction,
+        )
+        left_box, right_box = box.split(feature, value)
+        mask = x_node[:, feature] < value
+        node.left = self._build(x_node[mask], left_box, depth + 1)
+        node.right = self._build(x_node[~mask], right_box, depth + 1)
+        return node
+
+    # The traversal/inspection API matches IsolationTree so the distilled
+    # forest and the rule compiler treat both tree kinds uniformly.
+
+    def leaf_for(self, x_row: np.ndarray) -> GuidedTreeNode:
+        """Route one sample to its leaf."""
+        if self.root_ is None:
+            raise RuntimeError("GuidedIsolationTree is not fitted")
+        node = self.root_
+        while not node.is_leaf:
+            node = node.left if x_row[node.feature] < node.threshold else node.right
+        return node
+
+    def leaf_labels(self, x: np.ndarray) -> np.ndarray:
+        """Vectorised leaf-label lookup: one 0/1 label per row of *x*.
+
+        Descends with index arrays (one partition per internal node)
+        instead of routing rows one at a time — the hot path of
+        majority-vote inference.
+        """
+        if self.root_ is None:
+            raise RuntimeError("GuidedIsolationTree is not fitted")
+        x = np.asarray(x, dtype=float)
+        out = np.empty(x.shape[0], dtype=int)
+        stack = [(self.root_, np.arange(x.shape[0]))]
+        while stack:
+            node, idx = stack.pop()
+            if idx.size == 0:
+                continue
+            if node.is_leaf:
+                out[idx] = node.label if node.label is not None else 0
+                continue
+            mask = x[idx, node.feature] < node.threshold
+            stack.append((node.left, idx[mask]))
+            stack.append((node.right, idx[~mask]))
+        return out
+
+    def leaves(self) -> List[Tuple[GuidedTreeNode, Box]]:
+        """All (leaf, feature-range box) pairs of the fitted tree."""
+        if self.root_ is None:
+            raise RuntimeError("GuidedIsolationTree is not fitted")
+        out: List[Tuple[GuidedTreeNode, Box]] = []
+        stack = [self.root_]
+        while stack:
+            node = stack.pop()
+            if node.is_leaf:
+                out.append((node, node.box))
+            else:
+                stack.extend([node.left, node.right])
+        return out
+
+    def split_boundaries(self) -> List[List[float]]:
+        """Per-feature sorted threshold lists used by internal nodes."""
+        if self.root_ is None:
+            raise RuntimeError("GuidedIsolationTree is not fitted")
+        bounds: List[set] = [set() for _ in range(self.n_features_)]
+        stack = [self.root_]
+        while stack:
+            node = stack.pop()
+            if node.is_leaf:
+                continue
+            bounds[node.feature].add(node.threshold)
+            stack.extend([node.left, node.right])
+        return [sorted(b) for b in bounds]
+
+    def max_leaf_depth(self) -> int:
+        return max(leaf.depth for leaf, _box in self.leaves())
+
+    def n_leaves(self) -> int:
+        return len(self.leaves())

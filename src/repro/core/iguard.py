@@ -1,0 +1,207 @@
+"""iGuard — the paper's end-to-end model (train → distil → rules).
+
+:class:`IGuard` wires the pieces together:
+
+1. fit (or accept) an autoencoder ensemble on benign features (§3.2.1);
+2. grow the guided isolation forest with the ensemble as oracle;
+3. distil ensemble knowledge into leaf labels (§3.2.2);
+4. compile the labelled forest into whitelist rules (§3.2.3).
+
+Inference goes through the distilled forest's majority vote; rule-based
+inference (what the switch executes) is available via :meth:`to_rules`
+and should agree with the forest to within the consistency C.
+"""
+
+from __future__ import annotations
+
+from typing import Optional
+
+import numpy as np
+
+from repro.core.consistency import consistency as _consistency
+from repro.core.distillation import DistilledForest
+from repro.core.guided_forest import GuidedIsolationForest
+from repro.core.hypercube import compile_ruleset
+from repro.core.rules import RuleSet
+from repro.nn.ensemble import AutoencoderEnsemble
+from repro.utils.box import Box
+from repro.utils.rng import SeedLike, as_rng, spawn_seeds
+from repro.utils.transforms import signed_expm1, signed_log1p
+from repro.utils.validation import check_2d, check_fitted
+
+
+class _LogSpaceOracle:
+    """Adapter exposing a raw-feature oracle to log-space tree code.
+
+    Guided trees grow in signed-log feature space (see
+    :mod:`repro.utils.transforms`); the autoencoder ensemble keeps its
+    raw-feature interface, so tree-side queries are inverse-transformed
+    before reaching it.
+    """
+
+    def __init__(self, oracle, distil_margin: Optional[float] = None) -> None:
+        self._oracle = oracle
+        self._distil_margin = distil_margin
+
+    def predict(self, x_log: np.ndarray) -> np.ndarray:
+        return self._oracle.predict(signed_expm1(x_log))
+
+    def expected_errors(self, x_log: np.ndarray) -> np.ndarray:
+        return self._oracle.expected_errors(signed_expm1(x_log))
+
+    def label_from_expected_errors(self, expected: np.ndarray) -> int:
+        return self._oracle.label_from_expected_errors(
+            expected, margin=self._distil_margin
+        )
+
+
+class IGuard:
+    """Autoencoder-distilled isolation forest for malicious traffic
+    detection, deployable as switch whitelist rules.
+
+    Parameters
+    ----------
+    n_trees / subsample_size:
+        t and Ψ of the forest (grid-search dimensions, §4.1).
+    k_aug:
+        Augmented points per node/leaf (k of the grid search).
+    tau_split:
+        Purity stopping ratio (fn 8; 1e-2 "worked well").
+    threshold_quantile:
+        Benign-error quantile for the ensemble thresholds T_u (the T of
+        the grid search) when the default oracle is constructed.
+    oracle:
+        Optional pre-built (fitted or unfitted)
+        :class:`~repro.nn.ensemble.AutoencoderEnsemble`; pass a fitted
+        one with ``oracle_prefit=True`` to reuse across grid-search
+        points — training the ensemble once per dataset is the dominant
+        cost.
+    """
+
+    def __init__(
+        self,
+        n_trees: int = 25,
+        subsample_size: int = 128,
+        k_aug: int = 32,
+        tau_split: float = 1e-2,
+        threshold_quantile: float = 0.98,
+        threshold_margin: float = 2.0,
+        distil_margin: float = 1.2,
+        oracle: Optional[AutoencoderEnsemble] = None,
+        oracle_prefit: bool = False,
+        max_candidates_per_feature: int = 32,
+        augment_mode: str = "mixture",
+        max_depth: Optional[int] = None,
+        seed: SeedLike = None,
+    ) -> None:
+        self.n_trees = n_trees
+        self.subsample_size = subsample_size
+        self.k_aug = k_aug
+        self.tau_split = tau_split
+        self.threshold_quantile = threshold_quantile
+        self.threshold_margin = threshold_margin
+        self.distil_margin = distil_margin
+        self.oracle = oracle
+        self.oracle_prefit = oracle_prefit
+        self.max_candidates_per_feature = max_candidates_per_feature
+        self.augment_mode = augment_mode
+        self.max_depth = max_depth
+        self.seed = seed
+        self.forest_: Optional[GuidedIsolationForest] = None
+        self.distilled_: Optional[DistilledForest] = None
+        self._x_log_train: Optional[np.ndarray] = None
+
+    def fit(self, x_benign: np.ndarray) -> "IGuard":
+        """Full training pipeline: oracle → guided forest → distillation."""
+        x = check_2d(x_benign, "x_benign")
+        rng = as_rng(self.seed)
+        oracle_seed, forest_seed, distil_seed = spawn_seeds(rng, 3)
+
+        if self.oracle is None:
+            self.oracle = AutoencoderEnsemble(
+                threshold_quantile=self.threshold_quantile,
+                threshold_margin=self.threshold_margin,
+                seed=oracle_seed,
+            )
+        if not self.oracle_prefit:
+            self.oracle.fit(x)
+        log_oracle = _LogSpaceOracle(self.oracle, distil_margin=self.distil_margin)
+
+        # Trees grow in signed-log feature space, where the benign
+        # manifold's proportional bands are axis-alignable; rules compiled
+        # there convert back to raw thresholds exactly (monotone map).
+        x_log = signed_log1p(x)
+        self._x_log_train = x_log
+        self.forest_ = GuidedIsolationForest(
+            n_trees=self.n_trees,
+            subsample_size=self.subsample_size,
+            k_aug=self.k_aug,
+            tau_split=self.tau_split,
+            max_candidates_per_feature=self.max_candidates_per_feature,
+            augment_mode=self.augment_mode,
+            max_depth=self.max_depth,
+            seed=forest_seed,
+        )
+        self.forest_.fit(x_log, oracle=log_oracle)
+
+        self.distilled_ = DistilledForest(self.forest_).distil(
+            x_log, log_oracle, seed=distil_seed
+        )
+        return self
+
+    @property
+    def feature_box_(self) -> Box:
+        check_fitted(self, "forest_")
+        return self.forest_.feature_box_
+
+    def vote_fraction(self, x: np.ndarray) -> np.ndarray:
+        """Fraction of malicious tree votes (continuous score in [0,1])."""
+        check_fitted(self, "distilled_")
+        return self.distilled_.vote_fraction(signed_log1p(check_2d(x, "X")))
+
+    def predict(self, x: np.ndarray) -> np.ndarray:
+        """Majority-vote verdict: 0 = benign, 1 = malicious."""
+        return (self.vote_fraction(x) > 0.5).astype(int)
+
+    def anomaly_scores(self, x: np.ndarray) -> np.ndarray:
+        """Detector-contract alias of :meth:`vote_fraction`."""
+        return self.vote_fraction(x)
+
+    def to_rules(
+        self,
+        method: str = "refine",
+        max_cells: int = 4096,
+        merge: bool = True,
+        whitelist_only: bool = True,
+        raw_space: bool = True,
+        seed: SeedLike = None,
+    ) -> RuleSet:
+        """Compile the distilled forest into whitelist rules (§3.2.3).
+
+        With ``raw_space=True`` (default) rule boundaries are mapped back
+        from log space to raw feature units — the form the switch
+        installs and matches packets against.
+        """
+        check_fitted(self, "distilled_")
+        ruleset = compile_ruleset(
+            self.distilled_,
+            method=method,
+            max_cells=max_cells,
+            merge=merge,
+            whitelist_only=whitelist_only,
+            x_ref=self._x_log_train,
+            seed=seed,
+        )
+        if raw_space:
+            ruleset = ruleset.transform_boundaries(signed_expm1)
+        return ruleset
+
+    def consistency(self, ruleset: RuleSet, x: np.ndarray) -> float:
+        """C of §3.2.3 between the distilled forest and *ruleset*.
+
+        *ruleset* must be in raw feature space (the default of
+        :meth:`to_rules`).
+        """
+        check_fitted(self, "distilled_")
+        x = check_2d(x, "X")
+        return float(np.mean(self.predict(x) == ruleset.predict(x)))

@@ -1,0 +1,209 @@
+"""Whitelist rules and their representation (paper §3.2.3).
+
+A :class:`WhitelistRule` is a labelled axis-aligned box over feature
+space: per-feature [low, high) ranges plus a 0/1 label.  A
+:class:`RuleSet` is an ordered list with first-match semantics and a
+default verdict of *malicious* for unmatched samples — whitelist
+semantics: traffic must match a benign rule to pass (fn 4: since most
+traffic is benign, whitelisting the benign region keeps the rule count
+small).
+
+Rule sets are produced by the compilers in
+:mod:`repro.core.hypercube` and consumed by the switch simulator after
+quantisation (:meth:`RuleSet.quantize`).
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import Iterator, List, Optional, Sequence, Tuple
+
+import numpy as np
+
+from repro.features.scaling import IntegerQuantizer
+from repro.utils.box import Box
+
+BENIGN = 0
+MALICIOUS = 1
+
+
+@dataclass(frozen=True)
+class WhitelistRule:
+    """One labelled box: match when every feature lies in its range."""
+
+    box: Box
+    label: int
+
+    def __post_init__(self) -> None:
+        if self.label not in (BENIGN, MALICIOUS):
+            raise ValueError(f"label must be 0 or 1, got {self.label}")
+
+    @property
+    def n_features(self) -> int:
+        return self.box.n_features
+
+    def matches(self, x: np.ndarray, outer: Optional[Box] = None) -> np.ndarray:
+        """Boolean mask of rows matching the rule."""
+        return self.box.contains(x, outer=outer)
+
+
+class RuleSet:
+    """Ordered rules with first-match semantics.
+
+    Parameters
+    ----------
+    rules:
+        Priority order, first match wins.
+    outer_box:
+        The domain box; matches at a rule's upper bound count when that
+        bound coincides with the domain's (closed-at-the-top semantics).
+    default_label:
+        Verdict for samples matching no rule — MALICIOUS for whitelist
+        deployments.
+    """
+
+    def __init__(
+        self,
+        rules: Sequence[WhitelistRule],
+        outer_box: Optional[Box] = None,
+        default_label: int = MALICIOUS,
+    ) -> None:
+        self.rules: List[WhitelistRule] = list(rules)
+        if self.rules:
+            n = self.rules[0].n_features
+            if any(r.n_features != n for r in self.rules):
+                raise ValueError("all rules must share the same feature count")
+        self.outer_box = outer_box
+        if default_label not in (BENIGN, MALICIOUS):
+            raise ValueError(f"default_label must be 0 or 1, got {default_label}")
+        self.default_label = default_label
+
+    def __len__(self) -> int:
+        return len(self.rules)
+
+    def __iter__(self) -> Iterator[WhitelistRule]:
+        return iter(self.rules)
+
+    @property
+    def n_benign_rules(self) -> int:
+        return sum(1 for r in self.rules if r.label == BENIGN)
+
+    @property
+    def n_malicious_rules(self) -> int:
+        return sum(1 for r in self.rules if r.label == MALICIOUS)
+
+    def whitelist_only(self) -> "RuleSet":
+        """Keep only the benign (label 0) rules — the set the paper
+        installs; anything unmatched defaults to malicious."""
+        return RuleSet(
+            [r for r in self.rules if r.label == BENIGN],
+            outer_box=self.outer_box,
+            default_label=MALICIOUS,
+        )
+
+    def predict(self, x: np.ndarray) -> np.ndarray:
+        """First-match label per row (default label when unmatched)."""
+        x = np.atleast_2d(np.asarray(x, dtype=float))
+        out = np.full(x.shape[0], self.default_label, dtype=int)
+        unmatched = np.ones(x.shape[0], dtype=bool)
+        for rule in self.rules:
+            if not unmatched.any():
+                break
+            hits = rule.matches(x, outer=self.outer_box) & unmatched
+            out[hits] = rule.label
+            unmatched &= ~hits
+        return out
+
+    def match_one(self, x_row: np.ndarray) -> Tuple[int, Optional[int]]:
+        """(label, rule index or None) for a single sample."""
+        x = np.asarray(x_row, dtype=float).reshape(1, -1)
+        for i, rule in enumerate(self.rules):
+            if bool(rule.matches(x, outer=self.outer_box)[0]):
+                return rule.label, i
+        return self.default_label, None
+
+    def transform_boundaries(self, fn) -> "RuleSet":
+        """Map every rule boundary through a strictly increasing *fn*.
+
+        Because range membership is preserved under monotone maps, the
+        transformed rule set classifies ``fn(x)``-space points exactly as
+        this one classifies x-space points.  Used to convert log-space
+        rules back to raw feature units for switch installation.
+        """
+        def _map(values):
+            return tuple(float(v) for v in np.asarray(fn(np.array(values)), dtype=float))
+
+        rules = [
+            WhitelistRule(box=Box(_map(r.box.lows), _map(r.box.highs)), label=r.label)
+            for r in self.rules
+        ]
+        outer = (
+            Box(_map(self.outer_box.lows), _map(self.outer_box.highs))
+            if self.outer_box is not None
+            else None
+        )
+        return RuleSet(rules, outer_box=outer, default_label=self.default_label)
+
+    def quantize(self, quantizer: IntegerQuantizer) -> "QuantizedRuleSet":
+        """Translate rule boundaries into integer match ranges for the
+        switch TCAM (see :mod:`repro.switch.tables`)."""
+        q_rules = []
+        for rule in self.rules:
+            lo = tuple(
+                quantizer.quantize_bound(v, f) for f, v in enumerate(rule.box.lows)
+            )
+            hi = tuple(
+                quantizer.quantize_bound(v, f) for f, v in enumerate(rule.box.highs)
+            )
+            q_rules.append(QuantizedRule(lows=lo, highs=hi, label=rule.label))
+        return QuantizedRuleSet(
+            q_rules, bits=quantizer.bits, default_label=self.default_label
+        )
+
+
+@dataclass(frozen=True)
+class QuantizedRule:
+    """Integer-range rule: match when lows[i] <= q[i] <= highs[i]."""
+
+    lows: Tuple[int, ...]
+    highs: Tuple[int, ...]
+    label: int
+
+
+class QuantizedRuleSet:
+    """First-match rules in integer space — what the switch installs."""
+
+    def __init__(
+        self, rules: Sequence[QuantizedRule], bits: int, default_label: int = MALICIOUS
+    ) -> None:
+        self.rules = list(rules)
+        self.bits = bits
+        self.default_label = default_label
+
+    def __len__(self) -> int:
+        return len(self.rules)
+
+    def __iter__(self) -> Iterator[QuantizedRule]:
+        return iter(self.rules)
+
+    def predict(self, q: np.ndarray) -> np.ndarray:
+        """First-match label per row of integer feature codes."""
+        q = np.atleast_2d(np.asarray(q, dtype=np.int64))
+        out = np.full(q.shape[0], self.default_label, dtype=int)
+        unmatched = np.ones(q.shape[0], dtype=bool)
+        for rule in self.rules:
+            if not unmatched.any():
+                break
+            lo = np.array(rule.lows)
+            hi = np.array(rule.highs)
+            hits = np.all((q >= lo) & (q <= hi), axis=1) & unmatched
+            out[hits] = rule.label
+            unmatched &= ~hits
+        return out
+
+    def match_one(self, q_row: np.ndarray) -> Tuple[int, Optional[int]]:
+        q = np.asarray(q_row, dtype=np.int64)
+        for i, rule in enumerate(self.rules):
+            if all(lo <= v <= hi for lo, v, hi in zip(rule.lows, q, rule.highs)):
+                return rule.label, i
+        return self.default_label, None

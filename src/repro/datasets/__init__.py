@@ -1,0 +1,90 @@
+"""Traffic substrate: packets, traces, benign/attack/adversarial generators,
+and the HorusEye-protocol dataset splits used throughout the evaluation."""
+
+from repro.datasets.adversarial import (
+    evasion_flows,
+    low_rate_flows,
+    poison_training_flows,
+    poison_training_set,
+)
+from repro.datasets.attacks import (
+    ALL_ATTACKS,
+    APPENDIX_ATTACKS,
+    ATTACK_GENERATORS,
+    HEADLINE_ATTACKS,
+    generate_attack_flows,
+    route_flows,
+)
+from repro.datasets.benign import (
+    benign_mixture,
+    device_profiles,
+    generate_benign_flows,
+    generate_benign_trace,
+)
+from repro.datasets.pcap import read_pcap, write_pcap
+from repro.datasets.packet import (
+    PROTO_ICMP,
+    PROTO_TCP,
+    PROTO_UDP,
+    FiveTuple,
+    Packet,
+    format_ip,
+    make_ip,
+)
+from repro.datasets.profiles import FlowProfile, ProfileMixture
+from repro.datasets.registry import (
+    appendix_attack_names,
+    attack_names,
+    headline_attack_names,
+    load_attack,
+    load_benign,
+)
+from repro.datasets.splits import (
+    DatasetSplit,
+    TraceSplit,
+    make_attack_split,
+    make_trace_split,
+    split_benign_indices,
+)
+from repro.datasets.trace import Trace, flows_to_trace, merge_traces
+
+__all__ = [
+    "ALL_ATTACKS",
+    "APPENDIX_ATTACKS",
+    "ATTACK_GENERATORS",
+    "HEADLINE_ATTACKS",
+    "PROTO_ICMP",
+    "PROTO_TCP",
+    "PROTO_UDP",
+    "DatasetSplit",
+    "FiveTuple",
+    "FlowProfile",
+    "Packet",
+    "ProfileMixture",
+    "Trace",
+    "TraceSplit",
+    "appendix_attack_names",
+    "attack_names",
+    "benign_mixture",
+    "device_profiles",
+    "evasion_flows",
+    "flows_to_trace",
+    "format_ip",
+    "generate_attack_flows",
+    "generate_benign_flows",
+    "generate_benign_trace",
+    "headline_attack_names",
+    "load_attack",
+    "load_benign",
+    "low_rate_flows",
+    "make_attack_split",
+    "make_ip",
+    "make_trace_split",
+    "merge_traces",
+    "poison_training_flows",
+    "poison_training_set",
+    "read_pcap",
+    "route_flows",
+    "split_benign_indices",
+    "write_pcap",
+]

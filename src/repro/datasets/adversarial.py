@@ -1,0 +1,155 @@
+"""Black-box adversarial traffic transforms (paper Tables 2 and 3).
+
+Following HorusEye's threat model, the attacker cannot inspect the model
+but can reshape their own traffic (low-rate, evasion padding) or
+contaminate the benign training capture (poisoning).
+
+* **Low rate** (``low_rate_flows``): the attacker slows transmission to a
+  fraction of the original rate (the paper's "UDPDDoS 1/100"), defeating
+  detectors keyed on raw packet rate.
+* **Evasion** (``evasion_flows``): the attacker pads each malicious flow
+  with benign-mimicking packets at a malicious:benign packet ratio (the
+  paper's 1:2 and 1:4), dragging the flow's aggregate features toward the
+  benign region.
+* **Poisoning** (``poison_training_flows`` / ``poison_training_set``):
+  a fraction of attack traffic is slipped into the benign training capture
+  (the paper's "Mirai 2%/10%"), corrupting what the models learn as
+  "normal".
+"""
+
+from __future__ import annotations
+
+from typing import List, Sequence, Tuple
+
+import numpy as np
+
+from repro.datasets.packet import MAX_PACKET_SIZE, MIN_PACKET_SIZE, Packet
+from repro.utils.rng import SeedLike, as_rng
+
+
+def low_rate_flows(flows: List[List[Packet]], factor: float) -> List[List[Packet]]:
+    """Stretch every inter-packet gap by *factor* (rate becomes 1/factor).
+
+    Packet contents are untouched; only timing changes, exactly as an
+    attacker throttling their sender would achieve.
+    """
+    if factor < 1.0:
+        raise ValueError(f"factor must be >= 1 (a slowdown), got {factor}")
+    slowed: List[List[Packet]] = []
+    for flow in flows:
+        if not flow:
+            continue
+        t0 = flow[0].timestamp
+        out = [flow[0]]
+        for prev, pkt in zip(flow, flow[1:]):
+            gap = (pkt.timestamp - prev.timestamp) * factor
+            out.append(pkt.with_timestamp(out[-1].timestamp + gap))
+        slowed.append(out)
+    return slowed
+
+
+def evasion_flows(
+    flows: List[List[Packet]],
+    benign_per_malicious: float,
+    seed: SeedLike = None,
+    pad_size_mean: float = 420.0,
+    pad_size_cov: float = 0.12,
+) -> List[List[Packet]]:
+    """Pad flows with benign-mimicking packets.
+
+    *benign_per_malicious* is the injected-to-original packet ratio: the
+    paper's "1:2" mixes one benign-looking filler per two malicious
+    packets (0.5 here); values ≥ 1 inject that many fillers after every
+    original packet.  Filler sizes imitate a benign device class
+    (on-manifold dispersion) and their timing subdivides the original
+    gaps.  The injected packets still belong to the malicious flow (they
+    share its 5-tuple and carry the ground-truth malicious bit): the
+    attack is that the *flow's aggregate features* drift toward benign.
+    """
+    if benign_per_malicious <= 0:
+        raise ValueError(
+            f"benign_per_malicious must be > 0, got {benign_per_malicious}"
+        )
+    rng = as_rng(seed)
+    per_packet = max(1, int(round(benign_per_malicious)))
+    # Fractional ratios < 1 pad after every (1/ratio)-th original packet.
+    stride = max(1, int(round(1.0 / benign_per_malicious))) if benign_per_malicious < 1 else 1
+    padded: List[List[Packet]] = []
+    for flow in flows:
+        if not flow:
+            continue
+        out: List[Packet] = []
+        for i, pkt in enumerate(flow):
+            out.append(pkt)
+            if i % stride != stride - 1:
+                continue
+            next_t = flow[i + 1].timestamp if i + 1 < len(flow) else pkt.timestamp + 0.05
+            gap = max(next_t - pkt.timestamp, 1e-4)
+            step = gap / (per_packet + 1)
+            for j in range(per_packet):
+                size = int(
+                    np.clip(
+                        rng.normal(pad_size_mean, pad_size_cov * pad_size_mean),
+                        MIN_PACKET_SIZE,
+                        MAX_PACKET_SIZE,
+                    )
+                )
+                out.append(
+                    Packet(
+                        five_tuple=pkt.five_tuple,
+                        timestamp=pkt.timestamp + step * (j + 1),
+                        size=size,
+                        ttl=pkt.ttl,
+                        tcp_flags=pkt.tcp_flags,
+                        malicious=True,
+                    )
+                )
+        out.sort(key=lambda p: p.timestamp)
+        padded.append(out)
+    return padded
+
+
+def poison_training_flows(
+    benign_flows: List[List[Packet]],
+    attack_flows: List[List[Packet]],
+    fraction: float,
+    seed: SeedLike = None,
+) -> List[List[Packet]]:
+    """Contaminate a benign training capture with attack flows.
+
+    *fraction* is the poisoned share of the returned training set, e.g.
+    0.02 for the paper's "Mirai 2%".  Attack flows are sampled with
+    replacement if too few are supplied.
+    """
+    if not 0.0 <= fraction < 1.0:
+        raise ValueError(f"fraction must be in [0, 1), got {fraction}")
+    if fraction == 0.0:
+        return list(benign_flows)
+    rng = as_rng(seed)
+    n_poison = max(1, round(len(benign_flows) * fraction / (1.0 - fraction)))
+    idx = rng.integers(len(attack_flows), size=n_poison)
+    poisoned = list(benign_flows) + [attack_flows[int(i)] for i in idx]
+    rng.shuffle(poisoned)
+    return poisoned
+
+
+def poison_training_set(
+    x_benign: np.ndarray,
+    x_attack: np.ndarray,
+    fraction: float,
+    seed: SeedLike = None,
+) -> np.ndarray:
+    """Feature-level poisoning: return a training matrix in which
+    *fraction* of the rows are attack samples (paper Table 2)."""
+    if not 0.0 <= fraction < 1.0:
+        raise ValueError(f"fraction must be in [0, 1), got {fraction}")
+    x_benign = np.asarray(x_benign, dtype=float)
+    if fraction == 0.0:
+        return x_benign.copy()
+    x_attack = np.asarray(x_attack, dtype=float)
+    rng = as_rng(seed)
+    n_poison = max(1, round(len(x_benign) * fraction / (1.0 - fraction)))
+    idx = rng.integers(len(x_attack), size=n_poison)
+    poisoned = np.vstack([x_benign, x_attack[idx]])
+    rng.shuffle(poisoned, axis=0)
+    return poisoned

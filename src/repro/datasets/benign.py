@@ -1,0 +1,135 @@
+"""Benign IoT traffic model.
+
+Stands in for the Sivanathan et al. smart-environment captures and the
+HorusEye benign sets (DESIGN.md §1).  The mixture covers eight device
+classes whose flow signatures span wide per-feature marginals — packet
+sizes from ~60 B keep-alives to full-MTU firmware downloads, inter-packet
+delays from 4 ms streaming to 2 s NTP polls — while staying on the benign
+manifold: size dispersion proportional to size mean (CoV ≈ 0.06–0.18),
+IPD jitter proportional to IPD mean (CoV ≈ 0.1–0.4), and (size, IPD)
+pairs confined to device-class clusters.
+"""
+
+from __future__ import annotations
+
+from typing import List, Sequence
+
+from repro.datasets.packet import FLAG_ACK, PROTO_TCP, PROTO_UDP, Packet, make_ip
+from repro.datasets.profiles import LAN_BLOCK, WAN_BLOCK, FlowProfile, ProfileMixture
+from repro.datasets.trace import Trace, flows_to_trace
+from repro.utils.rng import SeedLike
+
+# Benign manifold bands (shared by every device profile; attacks violate
+# them — see repro.datasets.attacks).
+BENIGN_SIZE_COV = (0.06, 0.18)
+BENIGN_IPD_COV = (0.10, 0.40)
+
+
+def device_profiles() -> List[FlowProfile]:
+    """The eight benign device classes of the smart-environment model."""
+    return [
+        FlowProfile(
+            name="temp-sensor",
+            protocol=PROTO_UDP,
+            dst_ports=(1883,),
+            size_mean_range=(78.0, 98.0),
+            size_cov_range=BENIGN_SIZE_COV,
+            ipd_mean_range=(0.8, 1.4),
+            ipd_cov_range=BENIGN_IPD_COV,
+            count_range=(6, 30),
+        ),
+        FlowProfile(
+            name="smart-plug",
+            protocol=PROTO_TCP,
+            dst_ports=(8883,),
+            size_mean_range=(105.0, 140.0),
+            size_cov_range=BENIGN_SIZE_COV,
+            ipd_mean_range=(0.35, 0.7),
+            ipd_cov_range=BENIGN_IPD_COV,
+            count_range=(8, 40),
+        ),
+        FlowProfile(
+            name="camera-stream",
+            protocol=PROTO_UDP,
+            dst_ports=(554, 1935),
+            size_mean_range=(950.0, 1150.0),
+            size_cov_range=BENIGN_SIZE_COV,
+            ipd_mean_range=(0.008, 0.018),
+            ipd_cov_range=BENIGN_IPD_COV,
+            count_range=(150, 800),
+        ),
+        FlowProfile(
+            name="voice-assistant",
+            protocol=PROTO_TCP,
+            dst_ports=(443,),
+            size_mean_range=(360.0, 480.0),
+            size_cov_range=BENIGN_SIZE_COV,
+            ipd_mean_range=(0.04, 0.09),
+            ipd_cov_range=BENIGN_IPD_COV,
+            count_range=(40, 200),
+        ),
+        FlowProfile(
+            name="dns-client",
+            protocol=PROTO_UDP,
+            dst_ports=(53,),
+            size_mean_range=(80.0, 110.0),
+            size_cov_range=BENIGN_SIZE_COV,
+            ipd_mean_range=(0.2, 0.5),
+            ipd_cov_range=BENIGN_IPD_COV,
+            count_range=(2, 6),
+        ),
+        FlowProfile(
+            name="ntp-client",
+            protocol=PROTO_UDP,
+            dst_ports=(123,),
+            size_mean_range=(86.0, 94.0),
+            size_cov_range=BENIGN_SIZE_COV,
+            ipd_mean_range=(1.5, 2.5),
+            ipd_cov_range=BENIGN_IPD_COV,
+            count_range=(2, 4),
+        ),
+        FlowProfile(
+            name="firmware-update",
+            protocol=PROTO_TCP,
+            dst_ports=(443, 8443),
+            size_mean_range=(1300.0, 1470.0),
+            size_cov_range=BENIGN_SIZE_COV,
+            ipd_mean_range=(0.003, 0.007),
+            ipd_cov_range=BENIGN_IPD_COV,
+            count_range=(250, 1000),
+        ),
+        FlowProfile(
+            name="hub-telemetry",
+            protocol=PROTO_TCP,
+            dst_ports=(8080, 8443),
+            size_mean_range=(210.0, 300.0),
+            size_cov_range=BENIGN_SIZE_COV,
+            ipd_mean_range=(0.12, 0.3),
+            ipd_cov_range=BENIGN_IPD_COV,
+            count_range=(15, 80),
+        ),
+    ]
+
+
+#: Mixture weights roughly matching IoT capture composition: chatty small
+#: devices dominate flow counts; streams dominate bytes.
+DEVICE_WEIGHTS = (0.18, 0.15, 0.10, 0.12, 0.18, 0.10, 0.05, 0.12)
+
+
+def benign_mixture() -> ProfileMixture:
+    """The benign device mixture used by all experiments."""
+    return ProfileMixture(device_profiles(), DEVICE_WEIGHTS)
+
+
+def generate_benign_flows(
+    n_flows: int, seed: SeedLike = None, flow_arrival_rate: float = 4.0
+) -> List[List[Packet]]:
+    """Generate *n_flows* benign flows (per-flow packet lists)."""
+    return benign_mixture().generate_flows(n_flows, seed=seed, flow_arrival_rate=flow_arrival_rate)
+
+
+def generate_benign_trace(
+    n_flows: int, seed: SeedLike = None, flow_arrival_rate: float = 4.0
+) -> Trace:
+    """Generate a benign trace of *n_flows* flows merged into arrival order."""
+    return flows_to_trace(generate_benign_flows(n_flows, seed, flow_arrival_rate))

@@ -1,0 +1,111 @@
+"""Packet-level primitives.
+
+The simulator and feature extractors operate on light-weight packet
+records rather than raw bytes: for iGuard only the header-derived
+quantities matter (5-tuple, size, timestamp, TTL, TCP flags).  A
+:class:`Packet` therefore carries exactly the fields the paper's feature
+extractors read, plus a ground-truth ``malicious`` bit used only for
+evaluation (never visible to the models).
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field, replace
+from typing import Tuple
+
+# IANA protocol numbers used throughout the traffic generators.
+PROTO_ICMP = 1
+PROTO_TCP = 6
+PROTO_UDP = 17
+
+# TCP flag bits (subset used by the generators).
+FLAG_FIN = 0x01
+FLAG_SYN = 0x02
+FLAG_RST = 0x04
+FLAG_PSH = 0x08
+FLAG_ACK = 0x10
+
+#: Minimum / maximum sizes of an Ethernet frame carrying IPv4, in bytes.
+MIN_PACKET_SIZE = 60
+MAX_PACKET_SIZE = 1514
+
+
+@dataclass(frozen=True, order=True)
+class FiveTuple:
+    """Connection identifier: (src IP, dst IP, src port, dst port, protocol).
+
+    IPs are stored as 32-bit integers; this keeps hashing and the switch
+    simulator's register indexing simple and fast.
+    """
+
+    src_ip: int
+    dst_ip: int
+    src_port: int
+    dst_port: int
+    protocol: int
+
+    def reversed(self) -> "FiveTuple":
+        """Return the 5-tuple of the opposite direction of the same flow."""
+        return FiveTuple(self.dst_ip, self.src_ip, self.dst_port, self.src_port, self.protocol)
+
+    def canonical(self) -> "FiveTuple":
+        """Direction-independent form: the lexicographically smaller of the
+        two directions.  Both directions of a flow map to the same value,
+        which is what the switch's bi-hash indexing needs."""
+        rev = self.reversed()
+        return self if (self.src_ip, self.src_port) <= (rev.src_ip, rev.src_port) else rev
+
+    def as_tuple(self) -> Tuple[int, int, int, int, int]:
+        """Plain-tuple form, handy for hashing and dict keys."""
+        return (self.src_ip, self.dst_ip, self.src_port, self.dst_port, self.protocol)
+
+
+@dataclass(frozen=True)
+class Packet:
+    """A single observed packet.
+
+    Attributes
+    ----------
+    five_tuple:
+        Connection identifier.
+    timestamp:
+        Arrival time in seconds (float, trace-relative).
+    size:
+        Total frame size in bytes, clamped to Ethernet limits by generators.
+    ttl:
+        IP time-to-live as seen at the observation point.
+    tcp_flags:
+        OR-ed TCP flag bits; 0 for non-TCP packets.
+    malicious:
+        Ground-truth label for evaluation.  The data plane and all models
+        never read this field.
+    """
+
+    five_tuple: FiveTuple
+    timestamp: float
+    size: int
+    ttl: int = 64
+    tcp_flags: int = 0
+    malicious: bool = False
+
+    def with_timestamp(self, timestamp: float) -> "Packet":
+        """Copy of this packet at a different time (used by replay tools)."""
+        return replace(self, timestamp=timestamp)
+
+    def with_five_tuple(self, five_tuple: FiveTuple) -> "Packet":
+        """Copy of this packet re-addressed (used by the router/NAT model)."""
+        return replace(self, five_tuple=five_tuple)
+
+
+def make_ip(a: int, b: int, c: int, d: int) -> int:
+    """Pack dotted-quad components into the 32-bit integer format used by
+    :class:`FiveTuple` (e.g. ``make_ip(10, 0, 0, 1)``)."""
+    for octet in (a, b, c, d):
+        if not 0 <= octet <= 255:
+            raise ValueError(f"IP octet out of range: {octet}")
+    return (a << 24) | (b << 16) | (c << 8) | d
+
+
+def format_ip(ip: int) -> str:
+    """Render a 32-bit integer IP as a dotted quad (for logs and repr)."""
+    return f"{(ip >> 24) & 0xFF}.{(ip >> 16) & 0xFF}.{(ip >> 8) & 0xFF}.{ip & 0xFF}"

@@ -1,0 +1,152 @@
+"""Classic PCAP file I/O.
+
+Lets traces round-trip to real ``.pcap`` files so the library can be fed
+actual captures (tcpdump/wireshark) and its synthetic traces can be
+inspected in standard tools.  Implements the classic libpcap format
+(magic 0xa1b2c3d4, microsecond timestamps) with Ethernet/IPv4/TCP|UDP
+framing — exactly the fields iGuard's feature extractors read.  Payload
+bytes are zero-filled on write (only sizes matter to the models) and
+ignored on read.
+"""
+
+from __future__ import annotations
+
+import struct
+from typing import List, Optional
+
+from repro.datasets.packet import (
+    PROTO_TCP,
+    PROTO_UDP,
+    FiveTuple,
+    Packet,
+)
+from repro.datasets.trace import Trace
+
+PCAP_MAGIC = 0xA1B2C3D4
+_GLOBAL_HEADER = struct.Struct("<IHHiIII")
+_RECORD_HEADER = struct.Struct("<IIII")
+_ETH_HEADER = struct.Struct("!6s6sH")
+_IPV4_HEADER = struct.Struct("!BBHHHBBHII")
+_TCP_HEADER = struct.Struct("!HHIIBBHHH")
+_UDP_HEADER = struct.Struct("!HHHH")
+
+ETHERTYPE_IPV4 = 0x0800
+_ETH_LEN = 14
+_IP_LEN = 20
+_TCP_LEN = 20
+_UDP_LEN = 8
+
+
+def write_pcap(path: str, trace: Trace, snaplen: int = 65535) -> int:
+    """Write *trace* as a classic pcap file; returns packets written.
+
+    Non-TCP/UDP packets are skipped (the generators only emit those two).
+    """
+    written = 0
+    with open(path, "wb") as fh:
+        fh.write(_GLOBAL_HEADER.pack(PCAP_MAGIC, 2, 4, 0, 0, snaplen, 1))
+        for pkt in trace:
+            frame = _build_frame(pkt)
+            if frame is None:
+                continue
+            ts_sec = int(pkt.timestamp)
+            ts_usec = int(round((pkt.timestamp - ts_sec) * 1e6))
+            fh.write(_RECORD_HEADER.pack(ts_sec, ts_usec, len(frame), max(pkt.size, len(frame))))
+            fh.write(frame)
+            written += 1
+    return written
+
+
+def _build_frame(pkt: Packet) -> Optional[bytes]:
+    ft = pkt.five_tuple
+    if ft.protocol == PROTO_TCP:
+        l4 = _TCP_HEADER.pack(
+            ft.src_port, ft.dst_port, 0, 0, (5 << 4), pkt.tcp_flags & 0xFF, 0xFFFF, 0, 0
+        )
+    elif ft.protocol == PROTO_UDP:
+        payload_len = max(pkt.size - _ETH_LEN - _IP_LEN - _UDP_LEN, 0)
+        l4 = _UDP_HEADER.pack(ft.src_port, ft.dst_port, _UDP_LEN + payload_len, 0)
+    else:
+        return None
+    total_ip_len = max(pkt.size - _ETH_LEN, _IP_LEN + len(l4))
+    ip = _IPV4_HEADER.pack(
+        (4 << 4) | 5,  # version + IHL
+        0,
+        total_ip_len,
+        0,
+        0,
+        pkt.ttl & 0xFF,
+        ft.protocol,
+        0,
+        ft.src_ip,
+        ft.dst_ip,
+    )
+    eth = _ETH_HEADER.pack(b"\x02" * 6, b"\x04" * 6, ETHERTYPE_IPV4)
+    frame = eth + ip + l4
+    pad = max(pkt.size - len(frame), 0)
+    return frame + b"\x00" * pad
+
+
+def read_pcap(path: str, malicious: bool = False) -> Trace:
+    """Read a classic pcap file into a :class:`Trace`.
+
+    Only Ethernet/IPv4/TCP|UDP packets are kept; *malicious* stamps the
+    ground-truth bit on every packet (captures are usually single-class).
+    Raises ``ValueError`` on a non-pcap or big-endian file.
+    """
+    packets: List[Packet] = []
+    with open(path, "rb") as fh:
+        header = fh.read(_GLOBAL_HEADER.size)
+        if len(header) < _GLOBAL_HEADER.size:
+            raise ValueError(f"{path} is too short to be a pcap file")
+        magic = struct.unpack("<I", header[:4])[0]
+        if magic != PCAP_MAGIC:
+            raise ValueError(
+                f"{path} is not a little-endian classic pcap (magic {magic:#x})"
+            )
+        while True:
+            rec = fh.read(_RECORD_HEADER.size)
+            if len(rec) < _RECORD_HEADER.size:
+                break
+            ts_sec, ts_usec, incl_len, orig_len = _RECORD_HEADER.unpack(rec)
+            frame = fh.read(incl_len)
+            if len(frame) < incl_len:
+                break
+            pkt = _parse_frame(frame, ts_sec + ts_usec / 1e6, orig_len, malicious)
+            if pkt is not None:
+                packets.append(pkt)
+    return Trace(packets)
+
+
+def _parse_frame(
+    frame: bytes, timestamp: float, orig_len: int, malicious: bool
+) -> Optional[Packet]:
+    if len(frame) < _ETH_LEN + _IP_LEN:
+        return None
+    _dst, _src, ethertype = _ETH_HEADER.unpack(frame[:_ETH_LEN])
+    if ethertype != ETHERTYPE_IPV4:
+        return None
+    ip = _IPV4_HEADER.unpack(frame[_ETH_LEN : _ETH_LEN + _IP_LEN])
+    version_ihl, _tos, _total, _ident, _frag, ttl, protocol, _cksum, src_ip, dst_ip = ip
+    if version_ihl >> 4 != 4:
+        return None
+    ihl_bytes = (version_ihl & 0xF) * 4
+    l4_offset = _ETH_LEN + ihl_bytes
+    flags = 0
+    if protocol == PROTO_TCP and len(frame) >= l4_offset + _TCP_LEN:
+        tcp = _TCP_HEADER.unpack(frame[l4_offset : l4_offset + _TCP_LEN])
+        src_port, dst_port = tcp[0], tcp[1]
+        flags = tcp[5]
+    elif protocol == PROTO_UDP and len(frame) >= l4_offset + _UDP_LEN:
+        udp = _UDP_HEADER.unpack(frame[l4_offset : l4_offset + _UDP_LEN])
+        src_port, dst_port = udp[0], udp[1]
+    else:
+        return None
+    return Packet(
+        five_tuple=FiveTuple(src_ip, dst_ip, src_port, dst_port, protocol),
+        timestamp=timestamp,
+        size=orig_len,
+        ttl=ttl,
+        tcp_flags=flags,
+        malicious=malicious,
+    )

@@ -1,0 +1,45 @@
+"""Named dataset registry.
+
+Maps the paper's workload names to generators so harnesses, benchmarks,
+and examples all address datasets the same way the paper's figures do.
+"""
+
+from __future__ import annotations
+
+from typing import List
+
+from repro.datasets.attacks import (
+    ALL_ATTACKS,
+    APPENDIX_ATTACKS,
+    ATTACK_GENERATORS,
+    HEADLINE_ATTACKS,
+    generate_attack_flows,
+)
+from repro.datasets.benign import generate_benign_flows, generate_benign_trace
+from repro.datasets.packet import Packet
+from repro.utils.rng import SeedLike
+
+
+def attack_names() -> List[str]:
+    """All 15 attack workload names in the paper's evaluation order."""
+    return list(ALL_ATTACKS)
+
+
+def headline_attack_names() -> List[str]:
+    """The 5 attacks of the main-body figures (Figs 2, 5, 6)."""
+    return list(HEADLINE_ATTACKS)
+
+
+def appendix_attack_names() -> List[str]:
+    """The 10 attacks of the appendix figures (Figs 7, 8, 9)."""
+    return list(APPENDIX_ATTACKS)
+
+
+def load_attack(name: str, n_flows: int, seed: SeedLike = None):
+    """Flows for the named attack (alias of ``generate_attack_flows``)."""
+    return generate_attack_flows(name, n_flows, seed)
+
+
+def load_benign(n_flows: int, seed: SeedLike = None):
+    """Benign flows (alias of ``generate_benign_flows``)."""
+    return generate_benign_flows(n_flows, seed)

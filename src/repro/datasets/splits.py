@@ -1,0 +1,190 @@
+"""Dataset splitting following the paper's (HorusEye's) protocol.
+
+Benign traffic splits into train/test; the training part splits again
+into train/validation 4:1; and 20% attack traffic is added to the
+validation and test sets, one attack at a time (§3.1, §4).  Models are
+tuned on the validation set and reported on the test set.
+
+Two granularities are provided: feature-level splits
+(:func:`make_attack_split`) for the CPU experiments, and trace-level
+splits (:func:`make_trace_split`) whose test portion is a packet trace
+replayed through the switch simulator for the testbed experiments.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import List, Optional, Sequence, Tuple
+
+import numpy as np
+
+from repro.datasets.attacks import generate_attack_flows
+from repro.datasets.benign import generate_benign_flows
+from repro.datasets.packet import Packet
+from repro.datasets.trace import Trace, flows_to_trace, merge_traces
+from repro.utils.rng import SeedLike, as_rng, spawn_seeds
+
+# NOTE: repro.features imports repro.datasets.packet, so the feature
+# extractor is imported lazily inside make_attack_split to keep package
+# initialisation acyclic.
+
+
+@dataclass(frozen=True)
+class DatasetSplit:
+    """Feature-level experiment split.
+
+    ``x_train`` is benign-only (unsupervised protocol); validation and
+    test carry labels for tuning and reporting.
+    """
+
+    x_train: np.ndarray
+    x_val: np.ndarray
+    y_val: np.ndarray
+    x_test: np.ndarray
+    y_test: np.ndarray
+    feature_names: Tuple[str, ...]
+    attack_name: str
+
+    @property
+    def n_features(self) -> int:
+        return self.x_train.shape[1]
+
+
+@dataclass(frozen=True)
+class TraceSplit:
+    """Trace-level experiment split for the switch simulator.
+
+    ``train_flows`` are benign flows the models fit on; ``test_trace``
+    interleaves benign and attack packets with ground truth on each
+    packet (per-packet metrics, §4.2.1).
+    """
+
+    train_flows: List[List[Packet]]
+    val_flows: List[List[Packet]]
+    val_labels: np.ndarray
+    test_trace: Trace
+    attack_name: str
+
+
+def _attack_count(n_benign: int, attack_fraction: float) -> int:
+    """Number of attack samples so they form *attack_fraction* of the set."""
+    if not 0.0 < attack_fraction < 1.0:
+        raise ValueError(f"attack_fraction must be in (0, 1), got {attack_fraction}")
+    return max(1, round(n_benign * attack_fraction / (1.0 - attack_fraction)))
+
+
+def split_benign_indices(
+    n: int, rng: np.random.Generator, test_fraction: float = 0.25, val_ratio: float = 0.2
+) -> Tuple[np.ndarray, np.ndarray, np.ndarray]:
+    """Shuffled (train, val, test) index arrays.
+
+    ``test_fraction`` of samples go to test; the rest splits train:val
+    = (1−val_ratio):val_ratio, i.e. the paper's 4:1 with the default.
+    """
+    idx = rng.permutation(n)
+    n_test = max(1, round(n * test_fraction))
+    test_idx = idx[:n_test]
+    rest = idx[n_test:]
+    n_val = max(1, round(len(rest) * val_ratio))
+    return rest[n_val:], rest[:n_val], test_idx
+
+
+def make_attack_split(
+    attack_name: str,
+    n_benign_flows: int = 1200,
+    feature_set: str = "magnifier",
+    attack_fraction: float = 0.2,
+    pkt_count_threshold: Optional[int] = None,
+    timeout: Optional[float] = None,
+    seed: SeedLike = None,
+) -> DatasetSplit:
+    """Build the full feature-level split for one attack workload."""
+    from repro.features.flow_features import FlowFeatureExtractor
+
+    rng = as_rng(seed)
+    benign_seed, attack_seed, split_seed = spawn_seeds(rng, 3)
+    extractor = FlowFeatureExtractor(
+        feature_set=feature_set,
+        pkt_count_threshold=pkt_count_threshold,
+        timeout=timeout,
+    )
+
+    benign_flows = generate_benign_flows(n_benign_flows, seed=benign_seed)
+    x_benign, _ = extractor.extract_flows(benign_flows)
+
+    split_rng = as_rng(split_seed)
+    train_idx, val_idx, test_idx = split_benign_indices(len(x_benign), split_rng)
+
+    n_attack = _attack_count(len(val_idx) + len(test_idx), attack_fraction)
+    attack_flows = generate_attack_flows(attack_name, n_attack, seed=attack_seed)
+    x_attack, _ = extractor.extract_flows(attack_flows)
+
+    n_attack_val = _attack_count(len(val_idx), attack_fraction)
+    n_attack_val = min(n_attack_val, len(x_attack) - 1)
+    x_attack_val = x_attack[:n_attack_val]
+    x_attack_test = x_attack[n_attack_val:]
+
+    x_val = np.vstack([x_benign[val_idx], x_attack_val])
+    y_val = np.concatenate([np.zeros(len(val_idx), int), np.ones(len(x_attack_val), int)])
+    x_test = np.vstack([x_benign[test_idx], x_attack_test])
+    y_test = np.concatenate([np.zeros(len(test_idx), int), np.ones(len(x_attack_test), int)])
+
+    return DatasetSplit(
+        x_train=x_benign[train_idx],
+        x_val=x_val,
+        y_val=y_val,
+        x_test=x_test,
+        y_test=y_test,
+        feature_names=extractor.feature_names,
+        attack_name=attack_name,
+    )
+
+
+def make_trace_split(
+    attack_name: str,
+    n_benign_flows: int = 900,
+    attack_fraction: float = 0.2,
+    seed: SeedLike = None,
+) -> TraceSplit:
+    """Build the trace-level split for the testbed (switch) experiments.
+
+    The test trace interleaves the benign test flows and attack flows in
+    a common time window, as tcpreplay does on the paper's testbed.
+    """
+    rng = as_rng(seed)
+    benign_seed, attack_seed, split_seed = spawn_seeds(rng, 3)
+
+    benign_flows = generate_benign_flows(n_benign_flows, seed=benign_seed)
+    split_rng = as_rng(split_seed)
+    train_idx, val_idx, test_idx = split_benign_indices(len(benign_flows), split_rng)
+
+    train_flows = [benign_flows[i] for i in train_idx]
+    benign_val = [benign_flows[i] for i in val_idx]
+    benign_test = [benign_flows[i] for i in test_idx]
+
+    n_attack_total = _attack_count(len(val_idx) + len(test_idx), attack_fraction)
+    attack_flows = generate_attack_flows(attack_name, n_attack_total, seed=attack_seed)
+    n_attack_val = min(_attack_count(len(val_idx), attack_fraction), len(attack_flows) - 1)
+    attack_val = attack_flows[:n_attack_val]
+    attack_test = attack_flows[n_attack_val:]
+
+    val_flows = benign_val + attack_val
+    val_labels = np.concatenate(
+        [np.zeros(len(benign_val), int), np.ones(len(attack_val), int)]
+    )
+
+    benign_trace = flows_to_trace(benign_test)
+    attack_trace = flows_to_trace(attack_test)
+    # Overlay the attack onto the benign window so packets interleave.
+    if len(attack_trace) and len(benign_trace):
+        offset = benign_trace[0].timestamp - attack_trace[0].timestamp
+        attack_trace = attack_trace.shifted(offset)
+    test_trace = merge_traces([benign_trace, attack_trace])
+
+    return TraceSplit(
+        train_flows=train_flows,
+        val_flows=val_flows,
+        val_labels=val_labels,
+        test_trace=test_trace,
+        attack_name=attack_name,
+    )

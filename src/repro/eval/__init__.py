@@ -1,0 +1,74 @@
+"""Evaluation: from-scratch metrics, grid search, the testbed reward,
+experiment harnesses for every figure/table, and reporting helpers."""
+
+from repro.eval.gridsearch import (
+    IFOREST_GRID,
+    IGUARD_GRID,
+    SearchResult,
+    grid_search_iforest,
+    grid_search_iguard,
+    tune_detector_threshold,
+)
+from repro.eval.harness import (
+    ADVERSARIAL_VARIANTS,
+    CPU_MODELS,
+    TESTBED_MODELS,
+    CpuExperimentResult,
+    TestbedConfig,
+    TestbedResult,
+    build_pipeline,
+    run_adversarial_experiment,
+    run_cpu_experiment,
+    run_testbed_experiment,
+)
+from repro.eval.metrics import (
+    ConfusionCounts,
+    DetectionMetrics,
+    confusion_counts,
+    detection_metrics,
+    f1_score,
+    macro_f1,
+    pr_auc,
+    roc_auc,
+    roc_curve,
+)
+from repro.eval.reporting import (
+    format_distribution_summary,
+    format_improvement_summary,
+    format_metric_table,
+    histogram_overlap,
+)
+from repro.eval.reward import testbed_reward
+
+__all__ = [
+    "ADVERSARIAL_VARIANTS",
+    "CPU_MODELS",
+    "IFOREST_GRID",
+    "IGUARD_GRID",
+    "TESTBED_MODELS",
+    "ConfusionCounts",
+    "CpuExperimentResult",
+    "DetectionMetrics",
+    "SearchResult",
+    "TestbedConfig",
+    "TestbedResult",
+    "build_pipeline",
+    "confusion_counts",
+    "detection_metrics",
+    "f1_score",
+    "format_distribution_summary",
+    "format_improvement_summary",
+    "format_metric_table",
+    "grid_search_iforest",
+    "grid_search_iguard",
+    "histogram_overlap",
+    "macro_f1",
+    "pr_auc",
+    "roc_auc",
+    "roc_curve",
+    "run_adversarial_experiment",
+    "run_cpu_experiment",
+    "run_testbed_experiment",
+    "testbed_reward",
+    "tune_detector_threshold",
+]

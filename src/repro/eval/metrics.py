@@ -1,0 +1,185 @@
+"""Evaluation metrics implemented from scratch (no scikit-learn offline).
+
+The paper reports macro F1 score, ROC AUC, and PR AUC (area under the
+precision-recall curve).  Conventions:
+
+* Labels are 0 = benign, 1 = malicious; scores are "higher = more
+  anomalous".
+* ROC AUC uses the rank statistic (Mann-Whitney U) with tie correction —
+  identical to the trapezoidal curve integral and robust to heavily tied
+  scores such as majority votes.
+* PR AUC is average precision (the step-wise integral sklearn uses),
+  again with stable tie handling.
+* Macro F1 averages the per-class F1 of both classes, taking F1 = 0 for
+  a class with no predictions and no positives only when it has support
+  conventions matching sklearn's ``zero_division=0``.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import Tuple
+
+import numpy as np
+
+from repro.utils.validation import check_same_length
+
+
+def _as_binary(y: np.ndarray, name: str) -> np.ndarray:
+    arr = np.asarray(y).astype(int).ravel()
+    if arr.size == 0:
+        raise ValueError(f"{name} must be non-empty")
+    if not np.isin(arr, (0, 1)).all():
+        raise ValueError(f"{name} must contain only 0/1 labels")
+    return arr
+
+
+@dataclass(frozen=True)
+class ConfusionCounts:
+    """Binary confusion-matrix counts (positive class = malicious = 1)."""
+
+    tp: int
+    fp: int
+    tn: int
+    fn: int
+
+    @property
+    def total(self) -> int:
+        return self.tp + self.fp + self.tn + self.fn
+
+    @property
+    def accuracy(self) -> float:
+        return (self.tp + self.tn) / self.total if self.total else 0.0
+
+
+def confusion_counts(y_true: np.ndarray, y_pred: np.ndarray) -> ConfusionCounts:
+    """Compute TP/FP/TN/FN for the malicious class."""
+    t = _as_binary(y_true, "y_true")
+    p = _as_binary(y_pred, "y_pred")
+    check_same_length(t, p, "y_true", "y_pred")
+    tp = int(np.sum((t == 1) & (p == 1)))
+    fp = int(np.sum((t == 0) & (p == 1)))
+    tn = int(np.sum((t == 0) & (p == 0)))
+    fn = int(np.sum((t == 1) & (p == 0)))
+    return ConfusionCounts(tp=tp, fp=fp, tn=tn, fn=fn)
+
+
+def _f1_from_counts(tp: int, fp: int, fn: int) -> float:
+    denom = 2 * tp + fp + fn
+    return 2 * tp / denom if denom else 0.0
+
+
+def f1_score(y_true: np.ndarray, y_pred: np.ndarray, positive: int = 1) -> float:
+    """F1 of one class (default: the malicious class)."""
+    c = confusion_counts(y_true, y_pred)
+    if positive == 1:
+        return _f1_from_counts(c.tp, c.fp, c.fn)
+    # Swap roles for the benign class: its "tp" are true negatives.
+    return _f1_from_counts(c.tn, c.fn, c.fp)
+
+
+def macro_f1(y_true: np.ndarray, y_pred: np.ndarray) -> float:
+    """Unweighted mean of the benign-class and malicious-class F1 scores."""
+    return 0.5 * (f1_score(y_true, y_pred, positive=1) + f1_score(y_true, y_pred, positive=0))
+
+
+def roc_auc(y_true: np.ndarray, scores: np.ndarray) -> float:
+    """ROC AUC via the tie-corrected rank statistic.
+
+    Raises if only one class is present (AUC undefined).
+    """
+    t = _as_binary(y_true, "y_true")
+    s = np.asarray(scores, dtype=float).ravel()
+    check_same_length(t, s, "y_true", "scores")
+    n_pos = int(t.sum())
+    n_neg = t.size - n_pos
+    if n_pos == 0 or n_neg == 0:
+        raise ValueError("roc_auc requires both classes in y_true")
+    order = np.argsort(s, kind="mergesort")
+    ranks = np.empty(t.size, dtype=float)
+    sorted_scores = s[order]
+    # Average ranks over tied groups (1-based midranks).
+    i = 0
+    while i < t.size:
+        j = i
+        while j + 1 < t.size and sorted_scores[j + 1] == sorted_scores[i]:
+            j += 1
+        ranks[order[i : j + 1]] = 0.5 * (i + j) + 1.0
+        i = j + 1
+    rank_sum_pos = ranks[t == 1].sum()
+    u = rank_sum_pos - n_pos * (n_pos + 1) / 2.0
+    return float(u / (n_pos * n_neg))
+
+
+def pr_auc(y_true: np.ndarray, scores: np.ndarray) -> float:
+    """Average precision (area under the precision-recall curve).
+
+    Uses the step-function integral AP = Σ (R_k − R_{k−1}) · P_k over
+    descending unique score thresholds.
+    """
+    t = _as_binary(y_true, "y_true")
+    s = np.asarray(scores, dtype=float).ravel()
+    check_same_length(t, s, "y_true", "scores")
+    n_pos = int(t.sum())
+    if n_pos == 0:
+        raise ValueError("pr_auc requires at least one positive in y_true")
+    order = np.argsort(-s, kind="mergesort")
+    t_sorted = t[order]
+    s_sorted = s[order]
+    tp_cum = np.cumsum(t_sorted)
+    fp_cum = np.cumsum(1 - t_sorted)
+    # Evaluate only at the last index of each tied-score block.
+    threshold_idx = np.flatnonzero(np.diff(s_sorted) != 0)
+    threshold_idx = np.append(threshold_idx, t.size - 1)
+    precision = tp_cum[threshold_idx] / (tp_cum[threshold_idx] + fp_cum[threshold_idx])
+    recall = tp_cum[threshold_idx] / n_pos
+    recall_prev = np.concatenate([[0.0], recall[:-1]])
+    return float(np.sum((recall - recall_prev) * precision))
+
+
+def roc_curve(y_true: np.ndarray, scores: np.ndarray) -> Tuple[np.ndarray, np.ndarray]:
+    """(FPR, TPR) points at descending unique thresholds, including (0,0)."""
+    t = _as_binary(y_true, "y_true")
+    s = np.asarray(scores, dtype=float).ravel()
+    check_same_length(t, s, "y_true", "scores")
+    n_pos = int(t.sum())
+    n_neg = t.size - n_pos
+    if n_pos == 0 or n_neg == 0:
+        raise ValueError("roc_curve requires both classes in y_true")
+    order = np.argsort(-s, kind="mergesort")
+    t_sorted = t[order]
+    s_sorted = s[order]
+    tp_cum = np.cumsum(t_sorted)
+    fp_cum = np.cumsum(1 - t_sorted)
+    threshold_idx = np.flatnonzero(np.diff(s_sorted) != 0)
+    threshold_idx = np.append(threshold_idx, t.size - 1)
+    tpr = np.concatenate([[0.0], tp_cum[threshold_idx] / n_pos])
+    fpr = np.concatenate([[0.0], fp_cum[threshold_idx] / n_neg])
+    return fpr, tpr
+
+
+@dataclass(frozen=True)
+class DetectionMetrics:
+    """The paper's metric triple plus accuracy, bundled for reporting."""
+
+    macro_f1: float
+    roc_auc: float
+    pr_auc: float
+    accuracy: float
+
+    @property
+    def mean_of_three(self) -> float:
+        """Mean of (F1, PRAUC, ROCAUC) — the grid-search objective of §4.1."""
+        return (self.macro_f1 + self.roc_auc + self.pr_auc) / 3.0
+
+
+def detection_metrics(
+    y_true: np.ndarray, y_pred: np.ndarray, scores: np.ndarray
+) -> DetectionMetrics:
+    """Compute the full metric bundle from labels, predictions, scores."""
+    return DetectionMetrics(
+        macro_f1=macro_f1(y_true, y_pred),
+        roc_auc=roc_auc(y_true, scores),
+        pr_auc=pr_auc(y_true, scores),
+        accuracy=confusion_counts(y_true, y_pred).accuracy,
+    )

@@ -1,0 +1,112 @@
+"""Fixed-width reporting helpers.
+
+Every benchmark prints the same rows/series the paper's tables and
+figures report; these helpers keep the formatting consistent so
+EXPERIMENTS.md entries are diffable run to run.
+"""
+
+from __future__ import annotations
+
+from typing import Dict, Iterable, List, Mapping, Optional, Sequence
+
+from repro.eval.metrics import DetectionMetrics
+
+
+def format_metric_table(
+    rows: Mapping[str, Mapping[str, DetectionMetrics]],
+    models: Sequence[str],
+    title: str = "",
+) -> str:
+    """Attack × model grid of (F1, ROCAUC, PRAUC) triples.
+
+    *rows* maps attack name → model name → metrics.
+    """
+    lines: List[str] = []
+    if title:
+        lines.append(title)
+    header = f"{'attack':<22s}" + "".join(
+        f"{m + ' F1':>12s}{m + ' ROC':>12s}{m + ' PR':>12s}" for m in models
+    )
+    lines.append(header)
+    lines.append("-" * len(header))
+    for attack, per_model in rows.items():
+        cells = []
+        for model in models:
+            m = per_model.get(model)
+            if m is None:
+                cells.append(f"{'--':>12s}{'--':>12s}{'--':>12s}")
+            else:
+                cells.append(f"{m.macro_f1:>12.3f}{m.roc_auc:>12.3f}{m.pr_auc:>12.3f}")
+        lines.append(f"{attack:<22s}" + "".join(cells))
+    return "\n".join(lines)
+
+
+def format_improvement_summary(
+    rows: Mapping[str, Mapping[str, DetectionMetrics]],
+    baseline: str,
+    challenger: str,
+) -> str:
+    """Min-max relative improvement of challenger over baseline, the way
+    the paper summarises (e.g. "improves macro F1 by 5-48%")."""
+    deltas = {"macro_f1": [], "roc_auc": [], "pr_auc": []}
+    for per_model in rows.values():
+        base, chal = per_model.get(baseline), per_model.get(challenger)
+        if base is None or chal is None:
+            continue
+        for key in deltas:
+            b = getattr(base, key)
+            c = getattr(chal, key)
+            if b > 0:
+                deltas[key].append(100.0 * (c - b) / b)
+    lines = [f"{challenger} vs {baseline} (relative %):"]
+    for key, values in deltas.items():
+        if values:
+            lines.append(f"  {key:<9s} {min(values):+7.1f}% .. {max(values):+7.1f}%")
+    return "\n".join(lines)
+
+
+def format_distribution_summary(
+    name: str, benign: "np.ndarray", malicious: "np.ndarray", n_bins: int = 10
+) -> str:
+    """Histogram-style summary of two score distributions (Fig 2 style:
+    expected path lengths of benign vs malicious samples) with an overlap
+    coefficient."""
+    import numpy as np
+
+    lo = min(float(benign.min()), float(malicious.min()))
+    hi = max(float(benign.max()), float(malicious.max()))
+    edges = np.linspace(lo, hi, n_bins + 1)
+    h_b, _ = np.histogram(benign, bins=edges, density=False)
+    h_m, _ = np.histogram(malicious, bins=edges, density=False)
+    p_b = h_b / max(h_b.sum(), 1)
+    p_m = h_m / max(h_m.sum(), 1)
+    overlap = float(np.minimum(p_b, p_m).sum())
+    lines = [
+        f"{name}: benign mean={benign.mean():.2f} malicious mean={malicious.mean():.2f} "
+        f"overlap={overlap:.2f}"
+    ]
+    for i in range(n_bins):
+        bar_b = "#" * int(round(30 * p_b[i]))
+        bar_m = "*" * int(round(30 * p_m[i]))
+        lines.append(
+            f"  [{edges[i]:7.2f},{edges[i+1]:7.2f})  benign {bar_b:<30s} malicious {bar_m}"
+        )
+    return "\n".join(lines)
+
+
+def histogram_overlap(benign, malicious, n_bins: int = 20) -> float:
+    """Overlap coefficient of two sample distributions in [0, 1]."""
+    import numpy as np
+
+    benign = np.asarray(benign, dtype=float)
+    malicious = np.asarray(malicious, dtype=float)
+    lo = min(benign.min(), malicious.min())
+    hi = max(benign.max(), malicious.max())
+    if hi <= lo:
+        return 1.0
+    edges = np.linspace(lo, hi, n_bins + 1)
+    p_b, _ = np.histogram(benign, bins=edges, density=False)
+    p_m, _ = np.histogram(malicious, bins=edges, density=False)
+    p_b = p_b / max(p_b.sum(), 1)
+    p_m = p_m / max(p_m.sum(), 1)
+    return float(np.minimum(p_b, p_m).sum())

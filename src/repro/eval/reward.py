@@ -1,0 +1,24 @@
+"""Testbed model-selection reward (§4.2.1).
+
+Best versions on the switch are chosen by maximising
+
+    α/3 · (F1 + PRAUC + ROCAUC) + (1 − α) · (1 − ρ)
+
+where ρ is the memory footprint as a fraction of switch resources and
+α = 0.5 balances detection quality against footprint.
+"""
+
+from __future__ import annotations
+
+from repro.eval.metrics import DetectionMetrics
+from repro.utils.validation import check_probability
+
+
+def testbed_reward(
+    metrics: DetectionMetrics, memory_fraction: float, alpha: float = 0.5
+) -> float:
+    """The paper's reward for one (model, configuration) point."""
+    check_probability(alpha, "alpha")
+    check_probability(memory_fraction, "memory_fraction")
+    quality = (metrics.macro_f1 + metrics.pr_auc + metrics.roc_auc) / 3.0
+    return alpha * quality + (1.0 - alpha) * (1.0 - memory_fraction)

@@ -1,0 +1,34 @@
+"""Feature extraction: flow-level (FL) and packet-level (PL) features,
+streaming accumulators matching the switch registers, and the scaling /
+quantisation transforms bridging models and the data plane."""
+
+from repro.features.flow_features import (
+    FEATURE_SETS,
+    MAGNIFIER_FEATURES,
+    SWITCH_FEATURES,
+    FlowFeatureExtractor,
+    truncate_flow,
+)
+from repro.features.packet_features import (
+    PACKET_FEATURES,
+    extract_first_packets,
+    extract_packet_features,
+    packet_feature_vector,
+)
+from repro.features.scaling import IntegerQuantizer, MinMaxScaler
+from repro.features.streaming import StreamingFlowStats
+
+__all__ = [
+    "FEATURE_SETS",
+    "MAGNIFIER_FEATURES",
+    "PACKET_FEATURES",
+    "SWITCH_FEATURES",
+    "FlowFeatureExtractor",
+    "IntegerQuantizer",
+    "MinMaxScaler",
+    "StreamingFlowStats",
+    "extract_first_packets",
+    "extract_packet_features",
+    "packet_feature_vector",
+    "truncate_flow",
+]

@@ -1,0 +1,53 @@
+"""Packet-level (PL) feature extraction.
+
+The paper handles early packets of a flow — before the packet-count
+threshold or timeout makes FL features reliable — with a conventional
+iForest over four header fields available on packet one: destination
+port, protocol, packet length, and TTL (§3.3.1, §4.2).
+"""
+
+from __future__ import annotations
+
+from typing import Sequence, Tuple
+
+import numpy as np
+
+from repro.datasets.packet import Packet
+
+PACKET_FEATURES: Tuple[str, ...] = ("dst_port", "protocol", "length", "ttl")
+
+
+def packet_feature_vector(pkt: Packet) -> np.ndarray:
+    """The 4-dimensional PL feature vector of one packet."""
+    return np.array(
+        [
+            float(pkt.five_tuple.dst_port),
+            float(pkt.five_tuple.protocol),
+            float(pkt.size),
+            float(pkt.ttl),
+        ],
+        dtype=float,
+    )
+
+
+def extract_packet_features(packets: Sequence[Packet]) -> Tuple[np.ndarray, np.ndarray]:
+    """Feature matrix and ground-truth labels, one row per packet."""
+    if not packets:
+        raise ValueError("cannot extract features from an empty packet list")
+    x = np.vstack([packet_feature_vector(p) for p in packets])
+    y = np.array([int(p.malicious) for p in packets], dtype=int)
+    return x, y
+
+
+def extract_first_packets(
+    flows: Sequence[Sequence[Packet]], per_flow: int = 1
+) -> Tuple[np.ndarray, np.ndarray]:
+    """PL features of each flow's first *per_flow* packets.
+
+    This is the training set for the early-packet iForest: the samples the
+    switch will score on the brown path before FL state matures.
+    """
+    if per_flow < 1:
+        raise ValueError(f"per_flow must be >= 1, got {per_flow}")
+    packets = [p for flow in flows for p in flow[:per_flow]]
+    return extract_packet_features(packets)

@@ -1,0 +1,164 @@
+"""Feature scaling and integer quantisation.
+
+Two transforms bridge the model world and the switch world:
+
+* :class:`MinMaxScaler` — maps training features to [0, 1] for the
+  autoencoders (reconstruction error is only meaningful on a common
+  scale).
+* :class:`IntegerQuantizer` — maps features to unsigned fixed-width
+  integers.  Switch pipelines match on integer register values, so
+  whitelist rules are expressed in quantised units; the quantiser is the
+  single source of truth for that mapping in both the compiler
+  (model → rules) and the simulator (packet → match key).
+"""
+
+from __future__ import annotations
+
+from typing import Optional
+
+import numpy as np
+
+from repro.utils.validation import check_2d, check_fitted
+
+
+class MinMaxScaler:
+    """Per-feature min-max scaling to [0, 1] with clipping at transform.
+
+    Degenerate features (constant in the training data) map to 0.
+    """
+
+    def __init__(self) -> None:
+        self.data_min_: Optional[np.ndarray] = None
+        self.data_max_: Optional[np.ndarray] = None
+
+    def fit(self, x: np.ndarray) -> "MinMaxScaler":
+        x = check_2d(x, "X")
+        self.data_min_ = x.min(axis=0)
+        self.data_max_ = x.max(axis=0)
+        return self
+
+    def transform(self, x: np.ndarray) -> np.ndarray:
+        check_fitted(self, "data_min_")
+        x = check_2d(x, "X")
+        span = np.where(
+            self.data_max_ > self.data_min_, self.data_max_ - self.data_min_, 1.0
+        )
+        scaled = (x - self.data_min_) / span
+        return np.clip(scaled, 0.0, 1.0)
+
+    def fit_transform(self, x: np.ndarray) -> np.ndarray:
+        return self.fit(x).transform(x)
+
+    def inverse_transform(self, x: np.ndarray) -> np.ndarray:
+        check_fitted(self, "data_min_")
+        x = check_2d(x, "X")
+        return x * (self.data_max_ - self.data_min_) + self.data_min_
+
+
+class IntegerQuantizer:
+    """Map real features to unsigned *bits*-wide integers and back.
+
+    The mapping is affine per feature over the fitted range, with
+    saturation outside it — the same behaviour a P4 pipeline gets from
+    shifting/clamping register values.  ``dequantize`` returns bin-centre
+    values, so ``quantize(dequantize(q)) == q`` for all in-range codes
+    (a property test relies on this round trip).
+
+    ``space="log"`` places the codes uniformly in signed-log domain
+    instead: traffic features are heavy-tailed, and a linear codebook
+    spends almost all of its resolution on the outlier tail, collapsing
+    the near-zero region — where dispersion features discriminate attacks
+    — onto a handful of codes.  A log codebook is still a fixed monotone
+    value → code map, so range rules remain range rules; on hardware it
+    is the standard mapping-table/range-lookup trick (IIsy-style), not a
+    per-packet logarithm.
+    """
+
+    def __init__(self, bits: int = 16, space: str = "linear") -> None:
+        if not 1 <= bits <= 32:
+            raise ValueError(f"bits must be in [1, 32], got {bits}")
+        if space not in ("linear", "log"):
+            raise ValueError(f"space must be 'linear' or 'log', got {space!r}")
+        self.bits = bits
+        self.space = space
+        self.levels = (1 << bits) - 1
+        self.data_min_: Optional[np.ndarray] = None
+        self.data_max_: Optional[np.ndarray] = None
+
+    def _warp(self, x: np.ndarray) -> np.ndarray:
+        if self.space == "linear":
+            return np.asarray(x, dtype=float)
+        x = np.asarray(x, dtype=float)
+        return np.sign(x) * np.log1p(np.abs(x))
+
+    def _unwarp(self, x: np.ndarray) -> np.ndarray:
+        if self.space == "linear":
+            return np.asarray(x, dtype=float)
+        x = np.asarray(x, dtype=float)
+        return np.sign(x) * np.expm1(np.abs(x))
+
+    def fit(self, x: np.ndarray) -> "IntegerQuantizer":
+        x = self._warp(check_2d(x, "X"))
+        self.data_min_ = x.min(axis=0)
+        self.data_max_ = x.max(axis=0)
+        return self
+
+    @property
+    def span_(self) -> np.ndarray:
+        check_fitted(self, "data_min_")
+        return np.where(self.data_max_ > self.data_min_, self.data_max_ - self.data_min_, 1.0)
+
+    def quantize(self, x: np.ndarray) -> np.ndarray:
+        """Real features → integer codes.
+
+        In-domain values map to [1, 2^bits − 2]; the two extreme codes
+        are reserved sentinels for out-of-domain values (0 below, 2^bits
+        − 1 above).  Rule boundaries are quantised with
+        :meth:`quantize_bound` into the in-domain band, so traffic
+        outside the fitted domain can never satisfy a rule whose range
+        merely touches the domain edge — it stays "unmatched → malicious"
+        exactly as in real feature space.
+        """
+        check_fitted(self, "data_min_")
+        x = self._warp(check_2d(x, "X"))
+        scaled = (x - self.data_min_) / self.span_
+        codes = 1 + np.round(scaled * (self.levels - 2))
+        codes = np.clip(codes, 1, self.levels - 1)
+        codes = np.where(scaled < 0.0, 0, codes)
+        codes = np.where(scaled > 1.0, self.levels, codes)
+        return codes.astype(np.int64)
+
+    def quantize_value(self, value: float, feature: int) -> int:
+        """Quantise a single scalar with the same sentinel semantics as
+        :meth:`quantize`."""
+        check_fitted(self, "data_min_")
+        value = float(self._warp(np.array([value]))[0])
+        span = self.span_[feature]
+        scaled = (value - self.data_min_[feature]) / span
+        if not np.isfinite(scaled):
+            scaled = 1.0 if scaled > 0 else 0.0
+        if scaled < 0.0:
+            return 0
+        if scaled > 1.0:
+            return self.levels
+        return int(np.clip(1 + round(scaled * (self.levels - 2)), 1, self.levels - 1))
+
+    def quantize_bound(self, value: float, feature: int) -> int:
+        """Quantise a rule boundary.
+
+        Finite boundaries are clipped into the in-domain band so the
+        sentinel codes stay exclusive to out-of-domain traffic; infinite
+        boundaries (unbounded hypercube dimensions) take the sentinel
+        codes themselves, so the rule keeps matching beyond the domain
+        exactly as the forest does.
+        """
+        if np.isinf(value):
+            return self.levels if value > 0 else 0
+        return int(np.clip(self.quantize_value(value, feature), 1, self.levels - 1))
+
+    def dequantize(self, q: np.ndarray) -> np.ndarray:
+        """Integer codes → real feature values (bin centres)."""
+        check_fitted(self, "data_min_")
+        q = np.asarray(q, dtype=float)
+        scaled = (np.clip(q, 1, self.levels - 1) - 1) / (self.levels - 2)
+        return self._unwarp(scaled * self.span_ + self.data_min_)

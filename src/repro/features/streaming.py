@@ -1,0 +1,125 @@
+"""Streaming flow statistics.
+
+The switch cannot buffer a flow's packets: it keeps running accumulators
+in register memory and derives the 13 FL features when the flow's class
+is decided (n-th packet or timeout).  :class:`StreamingFlowStats` is the
+software model of those registers — constant-space updates from which
+the exact same feature vector as the batch extractor falls out.  A
+property test pins the equivalence, which is why variances use Welford's
+algorithm rather than the naive sum-of-squares (the latter cancels
+catastrophically on near-constant streams such as equal-gap floods —
+precisely the traffic this system classifies).
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+from typing import Optional
+
+import numpy as np
+
+from repro.datasets.packet import Packet
+from repro.features.flow_features import SWITCH_FEATURES
+
+
+@dataclass
+class _Welford:
+    """Stable streaming mean/variance (population variance, like np.var)."""
+
+    count: int = 0
+    mean: float = 0.0
+    m2: float = 0.0
+    minimum: float = float("inf")
+    maximum: float = float("-inf")
+    total: float = 0.0
+
+    def update(self, value: float) -> None:
+        self.count += 1
+        self.total += value
+        delta = value - self.mean
+        self.mean += delta / self.count
+        self.m2 += delta * (value - self.mean)
+        self.minimum = min(self.minimum, value)
+        self.maximum = max(self.maximum, value)
+
+    @property
+    def variance(self) -> float:
+        return self.m2 / self.count if self.count else 0.0
+
+    def reset(self) -> None:
+        self.count = 0
+        self.mean = self.m2 = self.total = 0.0
+        self.minimum = float("inf")
+        self.maximum = float("-inf")
+
+
+@dataclass
+class StreamingFlowStats:
+    """Constant-space accumulator producing the 13 switch FL features."""
+
+    sizes: _Welford = field(default_factory=_Welford)
+    ipds: _Welford = field(default_factory=_Welford)
+    first_time: Optional[float] = None
+    last_time: Optional[float] = None
+
+    @property
+    def count(self) -> int:
+        return self.sizes.count
+
+    def update(self, pkt: Packet) -> None:
+        """Fold one packet into the accumulators (switch register update)."""
+        self.update_raw(pkt.timestamp, pkt.size)
+
+    def update_raw(self, timestamp: float, size: float) -> None:
+        """Fold one (timestamp, size) observation in."""
+        if self.last_time is not None:
+            self.ipds.update(timestamp - self.last_time)
+        else:
+            self.first_time = timestamp
+        self.last_time = timestamp
+        self.sizes.update(size)
+
+    @property
+    def idle_since(self) -> Optional[float]:
+        """Timestamp of the last packet (None before any packet)."""
+        return self.last_time
+
+    def features(self) -> np.ndarray:
+        """The 13-feature vector in :data:`SWITCH_FEATURES` order.
+
+        Matches the batch extractor exactly, including its conventions for
+        single-packet flows (all IPD statistics zero, duration zero).
+        """
+        if self.count == 0:
+            raise ValueError("no packets accumulated yet")
+        if self.ipds.count > 0:
+            ipd_mean = self.ipds.mean
+            ipd_var = self.ipds.variance
+            ipd_min, ipd_max = self.ipds.minimum, self.ipds.maximum
+            duration = self.last_time - self.first_time
+        else:
+            ipd_mean = ipd_var = ipd_min = ipd_max = 0.0
+            duration = 0.0
+        size_var = self.sizes.variance
+        values = {
+            "pkt_count": float(self.count),
+            "size_total": self.sizes.total,
+            "size_mean": self.sizes.mean,
+            "size_std": float(np.sqrt(size_var)),
+            "size_var": size_var,
+            "size_min": self.sizes.minimum,
+            "size_max": self.sizes.maximum,
+            "ipd_mean": ipd_mean,
+            "ipd_min": ipd_min,
+            "ipd_var": ipd_var,
+            "ipd_std": float(np.sqrt(ipd_var)),
+            "ipd_max": ipd_max,
+            "duration": duration,
+        }
+        return np.array([values[name] for name in SWITCH_FEATURES], dtype=float)
+
+    def reset(self) -> None:
+        """Clear all accumulators (storage release on the switch)."""
+        self.sizes.reset()
+        self.ipds.reset()
+        self.first_time = self.last_time = None

@@ -1,0 +1,15 @@
+"""Conventional Isolation Forest substrate (Liu et al. 2008) and its
+HorusEye-style deployable (score-labelled) form — the paper's baseline."""
+
+from repro.forest.iforest import IsolationForest
+from repro.forest.itree import IsolationTree, TreeNode, average_path_length, harmonic_number
+from repro.forest.rules import ScoreLabeledForest
+
+__all__ = [
+    "IsolationForest",
+    "IsolationTree",
+    "ScoreLabeledForest",
+    "TreeNode",
+    "average_path_length",
+    "harmonic_number",
+]

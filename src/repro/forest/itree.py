@@ -1,0 +1,224 @@
+"""Isolation tree (iTree) — Liu, Ting & Zhou 2008.
+
+An iTree recursively partitions a sub-sample with uniformly random
+(feature, split) choices until samples are isolated or the height cap
+⌈log2 Ψ⌉ is reached.  Path lengths are adjusted at external nodes by
+c(|X_leaf|), the average unsuccessful-search depth of a BST, so that
+early-terminated leaves contribute their expected remaining depth.
+"""
+
+from __future__ import annotations
+
+import math
+from dataclasses import dataclass, field
+from typing import List, Optional, Tuple
+
+import numpy as np
+
+from repro.utils.box import Box
+from repro.utils.rng import SeedLike, as_rng
+
+_EULER_GAMMA = 0.5772156649015329
+
+
+def harmonic_number(i: float) -> float:
+    """Approximate i-th harmonic number H(i) = ln(i) + γ (i >= 1)."""
+    return math.log(i) + _EULER_GAMMA
+
+
+def average_path_length(n: int) -> float:
+    """c(n): expected path length of an unsuccessful BST search among n
+    samples — the normaliser of the iForest anomaly score."""
+    if n <= 1:
+        return 0.0
+    if n == 2:
+        return 1.0
+    return 2.0 * harmonic_number(n - 1) - 2.0 * (n - 1) / n
+
+
+@dataclass
+class TreeNode:
+    """One iTree node; internal nodes carry a (feature, threshold) split."""
+
+    size: int
+    depth: int
+    feature: Optional[int] = None
+    threshold: Optional[float] = None
+    left: Optional["TreeNode"] = None
+    right: Optional["TreeNode"] = None
+    label: Optional[int] = None  # set by distillation / baseline labelling
+
+    @property
+    def is_leaf(self) -> bool:
+        return self.feature is None
+
+    def path_adjustment(self) -> float:
+        """c(size) term added at this leaf."""
+        return average_path_length(self.size)
+
+
+class IsolationTree:
+    """A single iTree fitted on a sub-sample.
+
+    Parameters
+    ----------
+    max_depth:
+        Height cap; the canonical value is ⌈log2 Ψ⌉ where Ψ is the
+        sub-sample size, supplied by the forest.
+    seed:
+        RNG seed for the random feature/threshold choices.
+    """
+
+    def __init__(self, max_depth: int, seed: SeedLike = None) -> None:
+        if max_depth < 1:
+            raise ValueError(f"max_depth must be >= 1, got {max_depth}")
+        self.max_depth = max_depth
+        self._rng = as_rng(seed)
+        self.root_: Optional[TreeNode] = None
+        self.n_features_: Optional[int] = None
+
+    def fit(self, x: np.ndarray) -> "IsolationTree":
+        """Recursively partition *x* with random (feature, split) choices."""
+        x = np.asarray(x, dtype=float)
+        if x.ndim != 2 or x.shape[0] == 0:
+            raise ValueError("X must be a non-empty 2-D array")
+        self.n_features_ = x.shape[1]
+        self.root_ = self._build(x, depth=0)
+        return self
+
+    def _build(self, x: np.ndarray, depth: int) -> TreeNode:
+        n = x.shape[0]
+        if n <= 1 or depth >= self.max_depth:
+            return TreeNode(size=n, depth=depth)
+        # Random feature among those with spread; terminate if all constant.
+        spreads = x.max(axis=0) - x.min(axis=0)
+        candidates = np.flatnonzero(spreads > 0)
+        if candidates.size == 0:
+            return TreeNode(size=n, depth=depth)
+        feature = int(candidates[self._rng.integers(candidates.size)])
+        lo = float(x[:, feature].min())
+        hi = float(x[:, feature].max())
+        threshold = float(self._rng.uniform(lo, hi))
+        mask = x[:, feature] < threshold
+        if not mask.any() or mask.all():
+            # Degenerate draw (can happen with discrete data); isolate here.
+            return TreeNode(size=n, depth=depth)
+        node = TreeNode(size=n, depth=depth, feature=feature, threshold=threshold)
+        node.left = self._build(x[mask], depth + 1)
+        node.right = self._build(x[~mask], depth + 1)
+        return node
+
+    def path_lengths(self, x: np.ndarray) -> np.ndarray:
+        """h(x) for each row: termination depth plus c(leaf size)."""
+        if self.root_ is None:
+            raise RuntimeError("IsolationTree is not fitted")
+        x = np.asarray(x, dtype=float)
+        out = np.empty(x.shape[0], dtype=float)
+        self._descend(self.root_, x, np.arange(x.shape[0]), out)
+        return out
+
+    def _descend(
+        self, node: TreeNode, x: np.ndarray, idx: np.ndarray, out: np.ndarray
+    ) -> None:
+        if node.is_leaf:
+            out[idx] = node.depth + node.path_adjustment()
+            return
+        mask = x[idx, node.feature] < node.threshold
+        if mask.any():
+            self._descend(node.left, x, idx[mask], out)
+        if (~mask).any():
+            self._descend(node.right, x, idx[~mask], out)
+
+    def leaf_for(self, x_row: np.ndarray) -> TreeNode:
+        """The leaf node a single sample lands in."""
+        if self.root_ is None:
+            raise RuntimeError("IsolationTree is not fitted")
+        node = self.root_
+        while not node.is_leaf:
+            node = node.left if x_row[node.feature] < node.threshold else node.right
+        return node
+
+    def leaves_for(self, x: np.ndarray) -> List[TreeNode]:
+        """Leaf node per row of *x*."""
+        x = np.asarray(x, dtype=float)
+        return [self.leaf_for(row) for row in x]
+
+    def leaf_labels(self, x: np.ndarray) -> np.ndarray:
+        """Vectorised leaf-label lookup (0/1 per row).
+
+        Requires leaves to have been labelled (by distillation or the
+        score-threshold baseline); unlabelled leaves count as benign.
+        Descends with index arrays — the majority-vote inference hot path.
+        """
+        if self.root_ is None:
+            raise RuntimeError("IsolationTree is not fitted")
+        x = np.asarray(x, dtype=float)
+        out = np.empty(x.shape[0], dtype=int)
+        stack = [(self.root_, np.arange(x.shape[0]))]
+        while stack:
+            node, idx = stack.pop()
+            if idx.size == 0:
+                continue
+            if node.is_leaf:
+                out[idx] = node.label if node.label is not None else 0
+                continue
+            mask = x[idx, node.feature] < node.threshold
+            stack.append((node.left, idx[mask]))
+            stack.append((node.right, idx[~mask]))
+        return out
+
+    def leaves(self) -> List[Tuple[TreeNode, Box]]:
+        """All (leaf, box) pairs; boxes use ±inf outside observed splits."""
+        if self.root_ is None:
+            raise RuntimeError("IsolationTree is not fitted")
+        result: List[Tuple[TreeNode, Box]] = []
+        box = Box.full(self.n_features_)
+        self._collect_leaves(self.root_, box, result)
+        return result
+
+    def _collect_leaves(
+        self, node: TreeNode, box: Box, out: List[Tuple[TreeNode, Box]]
+    ) -> None:
+        if node.is_leaf:
+            out.append((node, box))
+            return
+        left_box, right_box = box.split(node.feature, node.threshold)
+        self._collect_leaves(node.left, left_box, out)
+        self._collect_leaves(node.right, right_box, out)
+
+    def split_boundaries(self) -> List[List[float]]:
+        """Per-feature sorted lists of thresholds used by internal nodes."""
+        if self.root_ is None:
+            raise RuntimeError("IsolationTree is not fitted")
+        bounds: List[List[float]] = [[] for _ in range(self.n_features_)]
+        stack = [self.root_]
+        while stack:
+            node = stack.pop()
+            if node.is_leaf:
+                continue
+            bounds[node.feature].append(node.threshold)
+            stack.extend([node.left, node.right])
+        return [sorted(set(b)) for b in bounds]
+
+    def max_leaf_depth(self) -> int:
+        """Deepest leaf (pipeline-stage proxy for the switch model)."""
+        best = 0
+        stack = [self.root_]
+        while stack:
+            node = stack.pop()
+            if node.is_leaf:
+                best = max(best, node.depth)
+            else:
+                stack.extend([node.left, node.right])
+        return best
+
+    def n_leaves(self) -> int:
+        count = 0
+        stack = [self.root_]
+        while stack:
+            node = stack.pop()
+            if node.is_leaf:
+                count += 1
+            else:
+                stack.extend([node.left, node.right])
+        return count

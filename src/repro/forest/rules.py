@@ -1,0 +1,86 @@
+"""Score-labelled iForest — the HorusEye-style deployable baseline.
+
+HorusEye [15] deploys a conventional iForest in the data plane by
+converting its leaves into rules: a leaf is anomalous when the path
+length it implies falls below the score threshold.  This module wraps a
+fitted :class:`~repro.forest.iforest.IsolationForest` into the same
+labelled-forest interface iGuard's distilled forest exposes
+(``predict`` / ``vote_fraction`` / ``split_boundaries`` /
+``labeled_leaves``), so the one rule compiler in :mod:`repro.core.rules`
+serves both models and the Table 1 resource comparison is apples to
+apples.
+"""
+
+from __future__ import annotations
+
+from typing import List, Optional, Tuple
+
+import numpy as np
+
+from repro.forest.iforest import IsolationForest
+from repro.forest.itree import IsolationTree, TreeNode
+from repro.utils.box import Box
+from repro.utils.validation import check_2d, check_fitted
+
+
+class ScoreLabeledForest:
+    """A conventional iForest with leaves labelled by the score threshold.
+
+    Each leaf's implied path length is ``depth + c(size)``.  Leaves whose
+    implied path length is below the forest's path-length threshold are
+    labelled malicious (short path = easily isolated = anomalous); the
+    ensemble predicts by majority vote across trees, which is exactly the
+    semantics of deploying per-leaf rules in a switch.
+    """
+
+    def __init__(self, forest: IsolationForest) -> None:
+        check_fitted(forest, "trees_")
+        check_fitted(forest, "threshold_")
+        self.forest = forest
+        self.n_features_ = forest.n_features_
+        self._label_leaves()
+
+    def _label_leaves(self) -> None:
+        cutoff = self.forest.path_length_threshold()
+        for tree in self.forest.trees_:
+            for leaf, _box in tree.leaves():
+                implied = leaf.depth + leaf.path_adjustment()
+                leaf.label = int(implied < cutoff)
+
+    @property
+    def trees_(self) -> List[IsolationTree]:
+        return self.forest.trees_
+
+    def vote_fraction(self, x: np.ndarray) -> np.ndarray:
+        """Fraction of trees voting malicious per sample (score in [0,1])."""
+        x = check_2d(x, "X")
+        votes = np.zeros(x.shape[0], dtype=float)
+        for tree in self.trees_:
+            votes += tree.leaf_labels(x)
+        return votes / len(self.trees_)
+
+    def predict(self, x: np.ndarray) -> np.ndarray:
+        """Majority vote over per-tree leaf labels (1 = malicious)."""
+        return (self.vote_fraction(x) > 0.5).astype(int)
+
+    def labeled_leaves(self) -> List[List[Tuple[Box, int]]]:
+        """Per tree, every (box, label) pair."""
+        return [
+            [(box, leaf.label) for leaf, box in tree.leaves()] for tree in self.trees_
+        ]
+
+    def split_boundaries(self) -> List[List[float]]:
+        """Per-feature sorted union of split thresholds across all trees."""
+        merged: List[set] = [set() for _ in range(self.n_features_)]
+        for tree in self.trees_:
+            for feature, values in enumerate(tree.split_boundaries()):
+                merged[feature].update(values)
+        return [sorted(values) for values in merged]
+
+    def max_depth(self) -> int:
+        """Deepest leaf across trees (stage-count proxy)."""
+        return max(tree.max_leaf_depth() for tree in self.trees_)
+
+    def n_leaves(self) -> int:
+        """Total leaf count across trees."""
+        return sum(tree.n_leaves() for tree in self.trees_)

@@ -1,0 +1,26 @@
+"""Pure-numpy neural substrate: dense nets, autoencoders (symmetric,
+Magnifier-style asymmetric, variational) and the weighted autoencoder
+ensemble that guides iGuard's training (paper §3.2.1)."""
+
+from repro.nn.autoencoder import Autoencoder, MagnifierAutoencoder
+from repro.nn.ensemble import AutoencoderEnsemble
+from repro.nn.layers import ACTIVATIONS, Dense
+from repro.nn.losses import mse, mse_grad, rmse_per_sample
+from repro.nn.network import MLP
+from repro.nn.optim import SGD, Adam
+from repro.nn.vae import VariationalAutoencoder
+
+__all__ = [
+    "ACTIVATIONS",
+    "Adam",
+    "Autoencoder",
+    "AutoencoderEnsemble",
+    "Dense",
+    "MLP",
+    "MagnifierAutoencoder",
+    "SGD",
+    "VariationalAutoencoder",
+    "mse",
+    "mse_grad",
+    "rmse_per_sample",
+]

@@ -1,0 +1,180 @@
+"""Weighted autoencoder ensemble — the paper's guidance oracle (§3.2.1).
+
+An ensemble of r autoencoders with weights w_u (Σ w_u = 1) and RMSE
+thresholds T_u.  A sample is malicious when the weighted vote exceeds ½:
+
+    predict(x) = 1{ Σ_u w_u · 1{RE_u(x) > T_u} > 0.5 }
+
+Thresholds are calibrated per-autoencoder on benign data (a quantile of
+benign reconstruction errors, controlled by a false-positive budget) or
+can be set directly — the T of the paper's grid search (§4.1 fn 10).
+"""
+
+from __future__ import annotations
+
+from typing import List, Optional, Sequence
+
+import numpy as np
+
+from repro.nn.autoencoder import Autoencoder, MagnifierAutoencoder
+from repro.utils.rng import SeedLike, as_rng, spawn_seeds
+from repro.utils.validation import check_2d, check_fitted, check_probability
+
+
+class AutoencoderEnsemble:
+    """r independently trained autoencoders voting with weights w_u.
+
+    Parameters
+    ----------
+    autoencoders:
+        Pre-constructed (unfitted) detectors following the contract of
+        :class:`~repro.nn.autoencoder.Autoencoder`.  Defaults to three
+        Magnifier-style autoencoders with distinct seeds.
+    weights:
+        w_u ≥ 0; normalised to sum to 1.  Defaults to uniform.
+    threshold_quantile:
+        Benign-error quantile at which each T_u is anchored during fit
+        (e.g. 0.98 → ~2% benign false-positive budget per member).
+    threshold_margin:
+        Multiplier applied on top of the anchored quantile.  T_u defines
+        the radius of the "benign tube" around the manifold: margins > 1
+        widen the tube so that near-manifold synthetic points (iGuard's
+        augmentation probes) stay benign while genuinely anomalous
+        traffic — whose reconstruction errors are typically several times
+        the benign maximum — is still rejected.  This is the paper's
+        grid-searched T (§4.1 fn 10).
+    bootstrap:
+        When True each member trains on a bootstrap resample, increasing
+        ensemble diversity.
+    """
+
+    def __init__(
+        self,
+        autoencoders: Optional[Sequence] = None,
+        weights: Optional[Sequence[float]] = None,
+        threshold_quantile: float = 0.98,
+        threshold_margin: float = 1.0,
+        bootstrap: bool = True,
+        seed: SeedLike = None,
+    ) -> None:
+        check_probability(threshold_quantile, "threshold_quantile")
+        if threshold_margin <= 0:
+            raise ValueError(f"threshold_margin must be > 0, got {threshold_margin}")
+        self.seed = seed
+        rng = as_rng(seed)
+        if autoencoders is None:
+            member_seeds = spawn_seeds(rng, 3)
+            autoencoders = [MagnifierAutoencoder(seed=s) for s in member_seeds]
+        self.autoencoders = list(autoencoders)
+        if not self.autoencoders:
+            raise ValueError("ensemble needs at least one autoencoder")
+        if weights is None:
+            weights = [1.0 / len(self.autoencoders)] * len(self.autoencoders)
+        w = np.asarray(weights, dtype=float)
+        if len(w) != len(self.autoencoders):
+            raise ValueError("weights and autoencoders must have the same length")
+        if np.any(w < 0) or w.sum() <= 0:
+            raise ValueError("weights must be non-negative with positive sum")
+        self.weights = w / w.sum()
+        self.threshold_quantile = threshold_quantile
+        self.threshold_margin = threshold_margin
+        self.bootstrap = bootstrap
+        self._fit_rng = rng
+        self.thresholds_: Optional[np.ndarray] = None
+        self.base_thresholds_: Optional[np.ndarray] = None
+
+    @property
+    def n_members(self) -> int:
+        return len(self.autoencoders)
+
+    def fit(self, x_benign: np.ndarray) -> "AutoencoderEnsemble":
+        """Train each member on (a resample of) the benign set and
+        calibrate its RMSE threshold T_u on the full benign set."""
+        x = check_2d(x_benign, "x_benign")
+        for ae in self.autoencoders:
+            if self.bootstrap and x.shape[0] > 1:
+                idx = self._fit_rng.integers(x.shape[0], size=x.shape[0])
+                ae.fit(x[idx])
+            else:
+                ae.fit(x)
+        self.calibrate(x, self.threshold_quantile)
+        return self
+
+    def calibrate(
+        self,
+        x_benign: np.ndarray,
+        quantile: Optional[float] = None,
+        margin: Optional[float] = None,
+    ) -> None:
+        """(Re)place every T_u at margin × the benign-error quantile."""
+        q = self.threshold_quantile if quantile is None else quantile
+        m = self.threshold_margin if margin is None else margin
+        check_probability(q, "quantile")
+        if m <= 0:
+            raise ValueError(f"margin must be > 0, got {m}")
+        x = check_2d(x_benign, "x_benign")
+        self.base_thresholds_ = np.array(
+            [
+                float(np.quantile(ae.reconstruction_errors(x), q))
+                for ae in self.autoencoders
+            ]
+        )
+        self.thresholds_ = m * self.base_thresholds_
+
+    def set_thresholds(self, thresholds: Sequence[float]) -> None:
+        """Directly set T_u (the grid-search path of §4.1)."""
+        t = np.asarray(thresholds, dtype=float)
+        if len(t) != self.n_members:
+            raise ValueError("one threshold per ensemble member required")
+        self.thresholds_ = t
+        self.base_thresholds_ = t.copy()
+
+    def reconstruction_errors(self, x: np.ndarray) -> np.ndarray:
+        """(n_samples, r) matrix of per-member RE_u(x)."""
+        x = check_2d(x, "X")
+        return np.column_stack([ae.reconstruction_errors(x) for ae in self.autoencoders])
+
+    def vote_scores(self, x: np.ndarray) -> np.ndarray:
+        """Weighted vote Σ w_u·1{RE_u > T_u} in [0, 1]."""
+        check_fitted(self, "thresholds_")
+        errors = self.reconstruction_errors(x)
+        votes = (errors > self.thresholds_).astype(float)
+        return votes @ self.weights
+
+    def predict(self, x: np.ndarray) -> np.ndarray:
+        """The paper's Autoencoders.predict: 1 when weighted vote > ½."""
+        return (self.vote_scores(x) > 0.5).astype(int)
+
+    def anomaly_scores(self, x: np.ndarray) -> np.ndarray:
+        """Continuous score for AUC metrics: weighted mean margin above
+        threshold (monotone in how anomalous the members find x)."""
+        check_fitted(self, "thresholds_")
+        errors = self.reconstruction_errors(x)
+        margins = errors - self.thresholds_
+        return margins @ self.weights
+
+    def expected_errors(self, x: np.ndarray) -> np.ndarray:
+        """Per-member mean reconstruction error over the rows of *x* —
+        the RE_leaf_u of the distillation step (Eq 5)."""
+        return self.reconstruction_errors(x).mean(axis=0)
+
+    def label_from_expected_errors(
+        self, expected: np.ndarray, margin: Optional[float] = None
+    ) -> int:
+        """Leaf label from expected errors (Eq 6).
+
+        *margin* overrides the calibrated threshold margin — iGuard's
+        distillation labels leaves with a strict margin (1.0) even when
+        training-time guidance used a wider benign tube.
+        """
+        check_fitted(self, "thresholds_")
+        expected = np.asarray(expected, dtype=float)
+        thresholds = (
+            self.thresholds_
+            if margin is None
+            else margin * getattr(self, "base_thresholds_", self.thresholds_)
+        )
+        if expected.shape != thresholds.shape:
+            raise ValueError("expected errors must be one value per member")
+        vote = float(((expected > thresholds).astype(float) @ self.weights))
+        return int(vote > 0.5)

@@ -1,0 +1,115 @@
+"""Neural-network layers in pure numpy.
+
+Minimal but complete: dense layers with cached activations for
+backpropagation.  Weight init follows He (relu) / Glorot (others).
+"""
+
+from __future__ import annotations
+
+from typing import Callable, Dict, List, Optional, Tuple
+
+import numpy as np
+
+from repro.utils.rng import SeedLike, as_rng
+
+
+def relu(z: np.ndarray) -> np.ndarray:
+    return np.maximum(z, 0.0)
+
+
+def relu_grad(z: np.ndarray) -> np.ndarray:
+    return (z > 0).astype(z.dtype)
+
+
+def sigmoid(z: np.ndarray) -> np.ndarray:
+    out = np.empty_like(z)
+    pos = z >= 0
+    out[pos] = 1.0 / (1.0 + np.exp(-z[pos]))
+    ez = np.exp(z[~pos])
+    out[~pos] = ez / (1.0 + ez)
+    return out
+
+
+def sigmoid_grad(z: np.ndarray) -> np.ndarray:
+    s = sigmoid(z)
+    return s * (1.0 - s)
+
+
+def tanh(z: np.ndarray) -> np.ndarray:
+    return np.tanh(z)
+
+
+def tanh_grad(z: np.ndarray) -> np.ndarray:
+    t = np.tanh(z)
+    return 1.0 - t * t
+
+
+def identity(z: np.ndarray) -> np.ndarray:
+    return z
+
+
+def identity_grad(z: np.ndarray) -> np.ndarray:
+    return np.ones_like(z)
+
+
+ACTIVATIONS: Dict[str, Tuple[Callable, Callable]] = {
+    "relu": (relu, relu_grad),
+    "sigmoid": (sigmoid, sigmoid_grad),
+    "tanh": (tanh, tanh_grad),
+    "identity": (identity, identity_grad),
+}
+
+
+class Dense:
+    """Fully connected layer: ``a = act(x @ W + b)``.
+
+    ``forward`` caches the input and pre-activation; ``backward`` consumes
+    the upstream gradient and stores ``dW``/``db`` for the optimiser.
+    """
+
+    def __init__(
+        self, n_in: int, n_out: int, activation: str = "relu", seed: SeedLike = None
+    ) -> None:
+        if activation not in ACTIVATIONS:
+            raise ValueError(
+                f"activation must be one of {sorted(ACTIVATIONS)}, got {activation!r}"
+            )
+        if n_in < 1 or n_out < 1:
+            raise ValueError("layer dimensions must be >= 1")
+        rng = as_rng(seed)
+        if activation == "relu":
+            scale = np.sqrt(2.0 / n_in)  # He init
+        else:
+            scale = np.sqrt(1.0 / n_in)  # Glorot-ish
+        self.weights = rng.normal(0.0, scale, size=(n_in, n_out))
+        self.bias = np.zeros(n_out)
+        self.activation = activation
+        self._act, self._act_grad = ACTIVATIONS[activation]
+        self.d_weights = np.zeros_like(self.weights)
+        self.d_bias = np.zeros_like(self.bias)
+        self._x: Optional[np.ndarray] = None
+        self._z: Optional[np.ndarray] = None
+
+    def forward(self, x: np.ndarray, train: bool = True) -> np.ndarray:
+        """Affine transform + activation; caches inputs when train=True."""
+        z = x @ self.weights + self.bias
+        if train:
+            self._x, self._z = x, z
+        return self._act(z)
+
+    def backward(self, grad_out: np.ndarray) -> np.ndarray:
+        """Propagate *grad_out* (dL/da) back; returns dL/dx."""
+        if self._x is None or self._z is None:
+            raise RuntimeError("backward called before forward(train=True)")
+        grad_z = grad_out * self._act_grad(self._z)
+        self.d_weights = self._x.T @ grad_z / self._x.shape[0]
+        self.d_bias = grad_z.mean(axis=0)
+        return grad_z @ self.weights.T
+
+    def parameters(self) -> List[np.ndarray]:
+        """Trainable arrays (weight matrix, bias vector)."""
+        return [self.weights, self.bias]
+
+    def gradients(self) -> List[np.ndarray]:
+        """Gradients from the last backward pass, matching parameters."""
+        return [self.d_weights, self.d_bias]

@@ -1,0 +1,30 @@
+"""Loss functions for the numpy neural substrate."""
+
+from __future__ import annotations
+
+import numpy as np
+
+
+def mse(pred: np.ndarray, target: np.ndarray) -> float:
+    """Mean squared error over all elements."""
+    pred = np.asarray(pred, dtype=float)
+    target = np.asarray(target, dtype=float)
+    if pred.shape != target.shape:
+        raise ValueError(f"shape mismatch: {pred.shape} vs {target.shape}")
+    return float(np.mean((pred - target) ** 2))
+
+
+def mse_grad(pred: np.ndarray, target: np.ndarray) -> np.ndarray:
+    """Gradient of :func:`mse` with respect to *pred* (per-feature mean)."""
+    if pred.shape != target.shape:
+        raise ValueError(f"shape mismatch: {pred.shape} vs {target.shape}")
+    return 2.0 * (pred - target) / pred.shape[-1]
+
+
+def rmse_per_sample(pred: np.ndarray, target: np.ndarray) -> np.ndarray:
+    """Row-wise RMSE — the paper's reconstruction error RE_u(x)."""
+    pred = np.atleast_2d(np.asarray(pred, dtype=float))
+    target = np.atleast_2d(np.asarray(target, dtype=float))
+    if pred.shape != target.shape:
+        raise ValueError(f"shape mismatch: {pred.shape} vs {target.shape}")
+    return np.sqrt(np.mean((pred - target) ** 2, axis=1))

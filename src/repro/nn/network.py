@@ -1,0 +1,112 @@
+"""Sequential MLP with a mini-batch training loop."""
+
+from __future__ import annotations
+
+from typing import List, Optional, Sequence, Tuple
+
+import numpy as np
+
+from repro.nn.layers import Dense
+from repro.nn.optim import Adam
+from repro.utils.rng import SeedLike, as_rng, spawn_seeds
+from repro.utils.validation import check_2d
+
+
+class MLP:
+    """A stack of :class:`Dense` layers trained with Adam on MSE.
+
+    Parameters
+    ----------
+    layer_sizes:
+        Unit counts including input and output, e.g. ``(13, 8, 4, 8, 13)``.
+    activations:
+        Per-layer activation names (len = len(layer_sizes) − 1); default
+        relu everywhere with identity output.
+    """
+
+    def __init__(
+        self,
+        layer_sizes: Sequence[int],
+        activations: Optional[Sequence[str]] = None,
+        seed: SeedLike = None,
+    ) -> None:
+        if len(layer_sizes) < 2:
+            raise ValueError("layer_sizes needs at least input and output sizes")
+        n_layers = len(layer_sizes) - 1
+        if activations is None:
+            activations = ["relu"] * (n_layers - 1) + ["identity"]
+        if len(activations) != n_layers:
+            raise ValueError(
+                f"need {n_layers} activations for {len(layer_sizes)} layer sizes, "
+                f"got {len(activations)}"
+            )
+        rng = as_rng(seed)
+        seeds = spawn_seeds(rng, n_layers)
+        self.layers: List[Dense] = [
+            Dense(layer_sizes[i], layer_sizes[i + 1], activations[i], seed=seeds[i])
+            for i in range(n_layers)
+        ]
+        self._rng = rng
+
+    def forward(self, x: np.ndarray, train: bool = False) -> np.ndarray:
+        """Run x through every layer (train=True caches for backward)."""
+        for layer in self.layers:
+            x = layer.forward(x, train=train)
+        return x
+
+    def backward(self, grad: np.ndarray) -> np.ndarray:
+        """Backpropagate dL/d(output); returns dL/d(input)."""
+        for layer in reversed(self.layers):
+            grad = layer.backward(grad)
+        return grad
+
+    def parameters(self) -> List[np.ndarray]:
+        """All trainable arrays, layer by layer (shared with optimisers)."""
+        return [p for layer in self.layers for p in layer.parameters()]
+
+    def gradients(self) -> List[np.ndarray]:
+        """Current gradients matching :meth:`parameters` order."""
+        return [g for layer in self.layers for g in layer.gradients()]
+
+    def fit_reconstruction(
+        self,
+        x: np.ndarray,
+        targets: Optional[np.ndarray] = None,
+        epochs: int = 200,
+        batch_size: int = 32,
+        lr: float = 1e-3,
+        shuffle: bool = True,
+        verbose: bool = False,
+    ) -> List[float]:
+        """Train with MSE toward *targets* (defaults to *x*: autoencoding).
+
+        Returns the per-epoch mean training loss (useful for convergence
+        tests).
+        """
+        x = check_2d(x, "X")
+        y = x if targets is None else check_2d(targets, "targets")
+        if y.shape[0] != x.shape[0]:
+            raise ValueError("targets must have the same number of rows as X")
+        if epochs < 1:
+            raise ValueError(f"epochs must be >= 1, got {epochs}")
+        if batch_size < 1:
+            raise ValueError(f"batch_size must be >= 1, got {batch_size}")
+        optimizer = Adam(self.parameters(), lr=lr)
+        history: List[float] = []
+        n = x.shape[0]
+        for epoch in range(epochs):
+            order = self._rng.permutation(n) if shuffle else np.arange(n)
+            losses = []
+            for start in range(0, n, batch_size):
+                idx = order[start : start + batch_size]
+                xb, yb = x[idx], y[idx]
+                pred = self.forward(xb, train=True)
+                diff = pred - yb
+                losses.append(float(np.mean(diff**2)))
+                # d/dpred of mean squared error over the batch elements.
+                self.backward(2.0 * diff / diff.shape[1])
+                optimizer.step(self.gradients())
+            history.append(float(np.mean(losses)))
+            if verbose and (epoch % max(1, epochs // 10) == 0):
+                print(f"epoch {epoch:4d}  loss {history[-1]:.6f}")
+        return history

@@ -1,0 +1,67 @@
+"""Optimisers for the numpy neural substrate."""
+
+from __future__ import annotations
+
+from typing import List, Sequence
+
+import numpy as np
+
+
+class SGD:
+    """Stochastic gradient descent with optional momentum."""
+
+    def __init__(self, params: Sequence[np.ndarray], lr: float = 0.01, momentum: float = 0.0):
+        if lr <= 0:
+            raise ValueError(f"lr must be > 0, got {lr}")
+        if not 0.0 <= momentum < 1.0:
+            raise ValueError(f"momentum must be in [0, 1), got {momentum}")
+        self.params = list(params)
+        self.lr = lr
+        self.momentum = momentum
+        self._velocity = [np.zeros_like(p) for p in self.params]
+
+    def step(self, grads: Sequence[np.ndarray]) -> None:
+        """Apply one (momentum-)SGD update in place."""
+        if len(grads) != len(self.params):
+            raise ValueError("gradient list length does not match parameters")
+        for p, g, v in zip(self.params, grads, self._velocity):
+            v *= self.momentum
+            v -= self.lr * g
+            p += v
+
+
+class Adam:
+    """Adam optimiser (Kingma & Ba 2015) with bias correction."""
+
+    def __init__(
+        self,
+        params: Sequence[np.ndarray],
+        lr: float = 1e-3,
+        beta1: float = 0.9,
+        beta2: float = 0.999,
+        eps: float = 1e-8,
+    ):
+        if lr <= 0:
+            raise ValueError(f"lr must be > 0, got {lr}")
+        self.params = list(params)
+        self.lr = lr
+        self.beta1 = beta1
+        self.beta2 = beta2
+        self.eps = eps
+        self._m = [np.zeros_like(p) for p in self.params]
+        self._v = [np.zeros_like(p) for p in self.params]
+        self._t = 0
+
+    def step(self, grads: Sequence[np.ndarray]) -> None:
+        """Apply one bias-corrected Adam update in place."""
+        if len(grads) != len(self.params):
+            raise ValueError("gradient list length does not match parameters")
+        self._t += 1
+        bc1 = 1.0 - self.beta1**self._t
+        bc2 = 1.0 - self.beta2**self._t
+        for p, g, m, v in zip(self.params, grads, self._m, self._v):
+            m *= self.beta1
+            m += (1.0 - self.beta1) * g
+            v *= self.beta2
+            v += (1.0 - self.beta2) * (g * g)
+            p -= self.lr * (m / bc1) / (np.sqrt(v / bc2) + self.eps)

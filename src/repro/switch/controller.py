@@ -1,0 +1,64 @@
+"""Control plane: digest handling and blacklist management (§3.3.2).
+
+When the data plane decides a flow's class it sends a digest (13 B
+5-tuple + 1-bit label).  The controller clears the flow's stateful
+storage and, for malicious flows, installs a blacklist rule; old rules
+age out FIFO or LRU.  The controller also tracks digest byte volume for
+the App. B.2 overhead comparison — HorusEye-style designs must ship
+~52 B of FL features per digest on top, because their detection runs in
+the control plane.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+from typing import List, Optional
+
+from repro.switch.pipeline import Digest, SwitchPipeline
+from repro.switch.storage import LABEL_MALICIOUS
+
+#: Extra per-digest payload for control-plane-detection designs [4, 15].
+FEATURE_DIGEST_EXTRA_BYTES = 52
+
+
+@dataclass
+class ControllerStats:
+    """Counters for the overhead analysis."""
+
+    digests_received: int = 0
+    digest_bytes: int = 0
+    blacklist_installs: int = 0
+    storage_releases: int = 0
+
+    def overhead_kbps(self, window_seconds: float) -> float:
+        """Average control-plane load in KB/s over a window."""
+        if window_seconds <= 0:
+            raise ValueError("window_seconds must be > 0")
+        return self.digest_bytes / 1000.0 / window_seconds
+
+    def horuseye_equivalent_bytes(self) -> int:
+        """Bytes a control-plane-detection design would have shipped for
+        the same digests (each needs FL features attached)."""
+        return self.digest_bytes + self.digests_received * FEATURE_DIGEST_EXTRA_BYTES
+
+
+class Controller:
+    """Digest consumer attached to a :class:`SwitchPipeline`."""
+
+    def __init__(self, pipeline: SwitchPipeline, install_blacklist: bool = True) -> None:
+        self.pipeline = pipeline
+        self.install_blacklist = install_blacklist
+        self.stats = ControllerStats()
+        pipeline.controller = self
+
+    def handle_digest(self, digest: Digest) -> None:
+        """Process one digest: blacklist install + storage cleanup."""
+        self.stats.digests_received += 1
+        self.stats.digest_bytes += Digest.WIRE_BYTES
+        if digest.label == LABEL_MALICIOUS and self.install_blacklist:
+            self.pipeline.blacklist.install(digest.five_tuple)
+            self.stats.blacklist_installs += 1
+            # Malicious flows lose their stateful storage immediately: the
+            # blacklist now covers them and the slot is freed for new flows.
+            if self.pipeline.store.release(digest.five_tuple):
+                self.stats.storage_releases += 1

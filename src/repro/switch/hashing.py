@@ -1,0 +1,129 @@
+"""Bi-directional flow hashing and double hash tables (HorusEye [15]).
+
+The data plane indexes per-flow state by hashing the 5-tuple.  Two
+details from the paper (§3.3.1):
+
+* **bi-hash** — both directions of a flow must map to the same slot, so
+  the hash runs over the direction-canonicalised 5-tuple.
+* **double hash tables** — two independent hash functions over two
+  register arrays; a flow displaced by a collision in the first table
+  gets a second chance in the second, which empirically removes most
+  collisions at IoT-scale flow counts.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import Generic, List, Optional, Tuple, TypeVar
+
+from repro.datasets.packet import FiveTuple
+
+T = TypeVar("T")
+
+_FNV_OFFSET = 0xCBF29CE484222325
+_FNV_PRIME = 0x100000001B3
+
+
+def bi_hash(five_tuple: FiveTuple, salt: int = 0) -> int:
+    """FNV-1a over the canonical 5-tuple — direction independent."""
+    canonical = five_tuple.canonical()
+    h = _FNV_OFFSET ^ (salt * 0x9E3779B97F4A7C15 & 0xFFFFFFFFFFFFFFFF)
+    for field in canonical.as_tuple():
+        for _ in range(4):
+            h ^= field & 0xFF
+            h = (h * _FNV_PRIME) & 0xFFFFFFFFFFFFFFFF
+            field >>= 8
+    return h
+
+
+@dataclass
+class Slot(Generic[T]):
+    """One register slot: the owning flow's ID plus attached state."""
+
+    flow_id: FiveTuple
+    state: T
+
+
+class DoubleHashTable(Generic[T]):
+    """Two hash-indexed register arrays with second-chance insertion.
+
+    ``lookup`` / ``insert`` operate on canonical flow identity (bi-hash),
+    so both directions of a connection share one slot, as on the switch.
+    """
+
+    def __init__(self, size: int, salt_a: int = 1, salt_b: int = 2) -> None:
+        if size < 1:
+            raise ValueError(f"size must be >= 1, got {size}")
+        if salt_a == salt_b:
+            raise ValueError("the two tables need distinct hash salts")
+        self.size = size
+        self.salts = (salt_a, salt_b)
+        self._tables: List[List[Optional[Slot[T]]]] = [
+            [None] * size,
+            [None] * size,
+        ]
+        self.collision_count = 0
+
+    def _positions(self, five_tuple: FiveTuple) -> Tuple[int, int]:
+        return (
+            bi_hash(five_tuple, self.salts[0]) % self.size,
+            bi_hash(five_tuple, self.salts[1]) % self.size,
+        )
+
+    def lookup(self, five_tuple: FiveTuple) -> Optional[Slot[T]]:
+        """The slot owned by this flow, or None."""
+        canonical = five_tuple.canonical()
+        for table, pos in zip(self._tables, self._positions(canonical)):
+            slot = table[pos]
+            if slot is not None and slot.flow_id == canonical:
+                return slot
+        return None
+
+    def insert(self, five_tuple: FiveTuple, state: T) -> Tuple[Optional[Slot[T]], bool]:
+        """Insert (or refresh) the flow's slot.
+
+        Returns ``(slot, collided)``: on success the occupied slot and
+        False; when both candidate positions are held by *other* flows,
+        ``(resident_slot_of_first_table, True)`` — the caller decides
+        whether to evict (the orange path's logic).
+        """
+        canonical = five_tuple.canonical()
+        positions = self._positions(canonical)
+        # Refresh if already present.
+        for table, pos in zip(self._tables, positions):
+            slot = table[pos]
+            if slot is not None and slot.flow_id == canonical:
+                slot.state = state
+                return slot, False
+        # First empty candidate wins.
+        for table, pos in zip(self._tables, positions):
+            if table[pos] is None:
+                slot = Slot(flow_id=canonical, state=state)
+                table[pos] = slot
+                return slot, False
+        self.collision_count += 1
+        return self._tables[0][positions[0]], True
+
+    def evict_and_insert(self, five_tuple: FiveTuple, state: T) -> Slot[T]:
+        """Replace the first-table resident with this flow (orange path)."""
+        canonical = five_tuple.canonical()
+        pos = self._positions(canonical)[0]
+        slot = Slot(flow_id=canonical, state=state)
+        self._tables[0][pos] = slot
+        return slot
+
+    def remove(self, five_tuple: FiveTuple) -> bool:
+        """Release the flow's slot (controller cleanup); True if found."""
+        canonical = five_tuple.canonical()
+        for table, pos in zip(self._tables, self._positions(canonical)):
+            slot = table[pos]
+            if slot is not None and slot.flow_id == canonical:
+                table[pos] = None
+                return True
+        return False
+
+    def occupancy(self) -> int:
+        """Number of occupied slots across both tables."""
+        return sum(
+            1 for table in self._tables for slot in table if slot is not None
+        )

@@ -1,0 +1,167 @@
+"""Multi-checkpoint classification — the paper's fn 9 future-work design.
+
+A single packet-count threshold n is gameable: "some malicious flow
+samples may manifest after the packet count threshold n ... one solution
+could be using 2-3 threshold points instead of a single value.  We would
+prefer to block the flow as malicious if it is judged malicious on at
+least any one of the points."
+
+:class:`MultiCheckpointPipeline` implements exactly that: the flow's
+streaming features are matched against a checkpoint-specific whitelist at
+each n_i ∈ checkpoints.  A malicious verdict at any checkpoint is final
+(blacklist + digest); a benign verdict is provisional until the last
+checkpoint, after which the flow-label register is set benign.  Each
+checkpoint needs rules trained at its own truncation horizon, built by
+:func:`build_checkpoint_rules`.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import List, Optional, Sequence, Tuple
+
+import numpy as np
+
+from repro.core.iguard import IGuard
+from repro.core.rules import QuantizedRuleSet, RuleSet
+from repro.datasets.packet import Packet
+from repro.features.flow_features import FlowFeatureExtractor
+from repro.features.scaling import IntegerQuantizer
+from repro.switch.pipeline import (
+    PATH_BLUE,
+    PacketDecision,
+    PipelineConfig,
+    SwitchPipeline,
+)
+from repro.switch.storage import LABEL_BENIGN, LABEL_MALICIOUS, FlowState
+from repro.utils.rng import SeedLike, as_rng, spawn_seeds
+
+
+@dataclass
+class Checkpoint:
+    """One classification point: rules + quantiser at horizon n."""
+
+    n: int
+    rules: QuantizedRuleSet
+    quantizer: IntegerQuantizer
+
+
+class MultiCheckpointPipeline(SwitchPipeline):
+    """Pipeline classifying at several packet-count horizons.
+
+    The base class's single FL table plays the role of the *last*
+    checkpoint; earlier checkpoints are provisional — only their
+    *malicious* verdicts act (fn 9's any-point blocking).
+    """
+
+    def __init__(
+        self,
+        checkpoints: Sequence[Checkpoint],
+        pl_rules=None,
+        pl_quantizer=None,
+        config: Optional[PipelineConfig] = None,
+    ) -> None:
+        if not checkpoints:
+            raise ValueError("need at least one checkpoint")
+        ordered = sorted(checkpoints, key=lambda c: c.n)
+        if len({c.n for c in ordered}) != len(ordered):
+            raise ValueError("checkpoint horizons must be distinct")
+        last = ordered[-1]
+        config = config or PipelineConfig()
+        config.pkt_count_threshold = last.n
+        super().__init__(
+            fl_rules=last.rules,
+            fl_quantizer=last.quantizer,
+            pl_rules=pl_rules,
+            pl_quantizer=pl_quantizer,
+            config=config,
+        )
+        self.checkpoints = ordered
+        self.checkpoint_flags = [0] * len(ordered)
+
+    def process(self, pkt: Packet) -> PacketDecision:
+        """Base pipeline plus provisional checks at the early horizons.
+
+        The early checkpoints run just before the base class's walk so a
+        malicious hit at n_i finalises the flow label and lets the base
+        logic's purple/red paths take over for subsequent packets.
+        """
+        state = self.store.lookup(pkt.five_tuple)
+        if (
+            state is not None
+            and not state.is_decided()
+            and state.pkt_count > 0
+        ):
+            next_count = state.pkt_count + 1
+            for i, checkpoint in enumerate(self.checkpoints[:-1]):
+                if next_count == checkpoint.n:
+                    # Provisional check on the state including this packet.
+                    features = self._peek_features(state, pkt)
+                    q = checkpoint.quantizer.quantize(features.reshape(1, -1))[0]
+                    label, _idx = checkpoint.rules.match_one(q)
+                    if label == LABEL_MALICIOUS:
+                        state.stats.update(pkt)
+                        state.label = LABEL_MALICIOUS
+                        self.checkpoint_flags[i] += 1
+                        self.path_counts[PATH_BLUE] += 1
+                        digest = self._emit_digest(pkt, LABEL_MALICIOUS)
+                        self._mirror_loopback()
+                        return PacketDecision(
+                            packet=pkt,
+                            path=PATH_BLUE,
+                            action=self._action(LABEL_MALICIOUS),
+                            predicted_malicious=1,
+                            digest=digest,
+                            mirrored=True,
+                        )
+                    break
+        decision = super().process(pkt)
+        if decision.path == PATH_BLUE and decision.digest is not None:
+            if decision.predicted_malicious:
+                self.checkpoint_flags[-1] += 1
+        return decision
+
+    @staticmethod
+    def _peek_features(state: FlowState, pkt: Packet) -> np.ndarray:
+        """Feature vector as if *pkt* were folded in, without mutating the
+        live registers (the ASIC computes this in the same stage as the
+        register update)."""
+        import copy
+
+        stats = copy.deepcopy(state.stats)
+        stats.update(pkt)
+        return stats.features()
+
+
+def build_checkpoint_rules(
+    train_flows,
+    checkpoints: Sequence[int],
+    timeout: float = 5.0,
+    iguard_params: Optional[dict] = None,
+    rule_cells: int = 1024,
+    quantizer_bits: int = 16,
+    seed: SeedLike = None,
+) -> List[Checkpoint]:
+    """Train one iGuard per horizon n_i and compile its quantised rules.
+
+    Each model sees the benign training flows truncated at its own
+    horizon, so its whitelist describes what benign traffic looks like
+    after exactly n_i packets.
+    """
+    from repro.eval.harness import _rule_domain
+
+    rng = as_rng(seed)
+    params = dict(iguard_params or {})
+    out: List[Checkpoint] = []
+    for n, fit_seed in zip(checkpoints, spawn_seeds(rng, len(checkpoints))):
+        extractor = FlowFeatureExtractor(
+            feature_set="switch", pkt_count_threshold=n, timeout=timeout
+        )
+        x_train, _ = extractor.extract_flows(train_flows)
+        model = IGuard(seed=fit_seed, **params).fit(x_train)
+        ruleset = model.to_rules(max_cells=rule_cells, seed=fit_seed)
+        quantizer = IntegerQuantizer(bits=quantizer_bits, space="log").fit(
+            _rule_domain(x_train, ruleset)
+        )
+        out.append(Checkpoint(n=n, rules=ruleset.quantize(quantizer), quantizer=quantizer))
+    return out

@@ -1,0 +1,285 @@
+"""The iGuard data-plane pipeline — Fig 4's six packet execution paths.
+
+Paths (colour names follow the paper):
+
+* **red** — 5-tuple hits the blacklist: drop immediately.
+* **brown** — tracked flow, 1..n−1-th packet, no timeout: update the
+  stateful storage, score only the packet's PL features against the PL
+  whitelist rules.
+* **blue** — n-th packet or idle timeout: update storage, derive FL
+  features from the accumulators, match the FL whitelist rules, set the
+  flow-label register, emit a digest to the controller, mirror to the
+  loopback port.
+* **orange** — hash collision: if the resident flow is already decided,
+  evict it and start tracking the new flow (mirror to loopback to
+  initialise the flow ID); either way the packet itself is scored on PL
+  features.
+* **purple** — tracked flow whose label register is already 0/1: apply
+  the stored verdict with no further work.
+* **green** — loopback (mirrored) packets updating the flow-label / flow
+  ID registers; simulated synchronously but counted for the mirror-load
+  statistics.
+
+The pipeline holds two whitelist tables (PL rules for early packets, FL
+rules for classification time), the blacklist, and the double-hashed
+stateful storage.  Digests go to an attached
+:class:`~repro.switch.controller.Controller`.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+from typing import Dict, List, Optional
+
+import numpy as np
+
+from repro.core.rules import QuantizedRuleSet
+from repro.datasets.packet import FiveTuple, Packet
+from repro.features.packet_features import packet_feature_vector
+from repro.features.scaling import IntegerQuantizer
+from repro.switch.storage import (
+    LABEL_BENIGN,
+    LABEL_MALICIOUS,
+    LABEL_UNDECIDED,
+    FlowState,
+    FlowStateStore,
+)
+from repro.switch.tables import BlacklistTable, WhitelistTable
+
+PATH_RED = "red"
+PATH_BROWN = "brown"
+PATH_BLUE = "blue"
+PATH_ORANGE = "orange"
+PATH_PURPLE = "purple"
+PATH_GREEN = "green"
+
+ACTION_FORWARD = "forward"
+ACTION_DROP = "drop"
+
+
+@dataclass(frozen=True)
+class Digest:
+    """Flow verdict sent to the controller: 13 B 5-tuple + 1-bit label."""
+
+    five_tuple: FiveTuple
+    label: int
+    timestamp: float
+
+    #: Wire size used by the control-plane overhead model (App. B.2).
+    WIRE_BYTES = 14
+
+
+@dataclass
+class PacketDecision:
+    """Per-packet outcome record used by the evaluation harness."""
+
+    packet: Packet
+    path: str
+    action: str
+    predicted_malicious: int
+    digest: Optional[Digest] = None
+    mirrored: bool = False
+
+
+@dataclass
+class PipelineConfig:
+    """Deployment knobs of §3.3.1.
+
+    pkt_count_threshold:
+        n — the packet count at which FL features are deemed reliable.
+    timeout:
+        δ — idle seconds after which a flow's storage is released and the
+        flow is classified with what it has.
+    n_slots:
+        Per-hash-table register array length.
+    blacklist_capacity / blacklist_eviction:
+        Exact-match table sizing and FIFO/LRU policy.
+    drop_on_malicious:
+        Whether malicious verdicts drop the packet (True on the paper's
+        inline deployment) or only mark it (mirror/monitor deployments).
+    """
+
+    pkt_count_threshold: int = 8
+    timeout: float = 5.0
+    n_slots: int = 8192
+    blacklist_capacity: int = 4096
+    blacklist_eviction: str = "fifo"
+    drop_on_malicious: bool = True
+
+
+class SwitchPipeline:
+    """Behavioural model of the iGuard Tofino pipeline.
+
+    Parameters
+    ----------
+    fl_rules / fl_quantizer:
+        Whitelist rules over the 13 FL features, in quantised space, and
+        the quantiser that maps raw features to match keys.
+    pl_rules / pl_quantizer:
+        Early-packet rules over the 4 PL features.
+    config:
+        Deployment knobs (thresholds, table sizes).
+    """
+
+    def __init__(
+        self,
+        fl_rules: QuantizedRuleSet,
+        fl_quantizer: IntegerQuantizer,
+        pl_rules: Optional[QuantizedRuleSet] = None,
+        pl_quantizer: Optional[IntegerQuantizer] = None,
+        config: Optional[PipelineConfig] = None,
+    ) -> None:
+        self.config = config or PipelineConfig()
+        self.fl_table = WhitelistTable(fl_rules)
+        self.fl_quantizer = fl_quantizer
+        self.pl_table = WhitelistTable(pl_rules) if pl_rules is not None else None
+        self.pl_quantizer = pl_quantizer
+        self.blacklist = BlacklistTable(
+            capacity=self.config.blacklist_capacity,
+            eviction=self.config.blacklist_eviction,
+        )
+        self.store = FlowStateStore(n_slots=self.config.n_slots)
+        self.controller = None  # attached via Controller(pipeline)
+        self.path_counts: Dict[str, int] = {
+            p: 0
+            for p in (PATH_RED, PATH_BROWN, PATH_BLUE, PATH_ORANGE, PATH_PURPLE, PATH_GREEN)
+        }
+        self.mirrored_packets = 0
+        self.digests_emitted = 0
+
+    # -- scoring helpers ---------------------------------------------------
+
+    def _match_pl(self, pkt: Packet) -> int:
+        """PL whitelist verdict for one packet (benign when no PL table)."""
+        if self.pl_table is None or self.pl_quantizer is None:
+            return LABEL_BENIGN
+        features = packet_feature_vector(pkt).reshape(1, -1)
+        q = self.pl_quantizer.quantize(features)[0]
+        label, _idx = self.pl_table.lookup(q)
+        return label
+
+    def _match_fl(self, state: FlowState) -> int:
+        """FL whitelist verdict from the flow's streaming accumulators."""
+        features = state.stats.features().reshape(1, -1)
+        q = self.fl_quantizer.quantize(features)[0]
+        label, _idx = self.fl_table.lookup(q)
+        return label
+
+    def _action(self, label: int) -> str:
+        if label == LABEL_MALICIOUS and self.config.drop_on_malicious:
+            return ACTION_DROP
+        return ACTION_FORWARD
+
+    def _emit_digest(self, pkt: Packet, label: int) -> Digest:
+        digest = Digest(
+            five_tuple=pkt.five_tuple.canonical(), label=label, timestamp=pkt.timestamp
+        )
+        self.digests_emitted += 1
+        if self.controller is not None:
+            self.controller.handle_digest(digest)
+        return digest
+
+    def _mirror_loopback(self) -> None:
+        """Green path: register update via the loopback port.  The update
+        itself is applied synchronously by the caller; this accounts for
+        the mirrored packet."""
+        self.mirrored_packets += 1
+        self.path_counts[PATH_GREEN] += 1
+
+    # -- the packet walk ----------------------------------------------------
+
+    def process(self, pkt: Packet) -> PacketDecision:
+        """Run one packet through the six-path pipeline."""
+        cfg = self.config
+
+        # Red: blacklist match.
+        if self.blacklist.matches(pkt.five_tuple):
+            self.path_counts[PATH_RED] += 1
+            return PacketDecision(
+                packet=pkt, path=PATH_RED, action=ACTION_DROP, predicted_malicious=1
+            )
+
+        state, collided, resident = self.store.lookup_or_create(pkt.five_tuple)
+
+        # Orange: both slots held by other flows.
+        if collided:
+            self.path_counts[PATH_ORANGE] += 1
+            if resident is not None and resident.is_decided():
+                # Resident is classified: reclaim its slot for the new flow
+                # and mirror to loopback to initialise the flow ID register.
+                state = self.store.evict_and_track(pkt.five_tuple)
+                state.stats.update(pkt)
+                self._mirror_loopback()
+            label = self._match_pl(pkt)
+            return PacketDecision(
+                packet=pkt,
+                path=PATH_ORANGE,
+                action=self._action(label),
+                predicted_malicious=int(label == LABEL_MALICIOUS),
+            )
+
+        # Purple: flow already classified — early decision.
+        if state.is_decided():
+            self.path_counts[PATH_PURPLE] += 1
+            label = state.label
+            return PacketDecision(
+                packet=pkt,
+                path=PATH_PURPLE,
+                action=self._action(label),
+                predicted_malicious=int(label == LABEL_MALICIOUS),
+            )
+
+        # Timeout check before folding the packet in: an idle gap beyond δ
+        # means the stored flow should be classified with what it has and
+        # the latest packet scored on PL features (green-path semantics).
+        timed_out = (
+            state.pkt_count > 0
+            and state.last_seen is not None
+            and pkt.timestamp - state.last_seen > cfg.timeout
+        )
+        if timed_out:
+            self.path_counts[PATH_BLUE] += 1
+            label = self._match_fl(state)
+            state.label = label
+            digest = self._emit_digest(pkt, label)
+            self._mirror_loopback()
+            # The timed-out packet itself was unaccounted: PL verdict.
+            pl_label = self._match_pl(pkt)
+            state.stats.reset()
+            state.stats.update(pkt)
+            return PacketDecision(
+                packet=pkt,
+                path=PATH_BLUE,
+                action=self._action(pl_label),
+                predicted_malicious=int(pl_label == LABEL_MALICIOUS),
+                digest=digest,
+                mirrored=True,
+            )
+
+        state.stats.update(pkt)
+
+        # Blue: n-th packet — classify on FL features.
+        if state.pkt_count >= cfg.pkt_count_threshold:
+            self.path_counts[PATH_BLUE] += 1
+            label = self._match_fl(state)
+            state.label = label
+            digest = self._emit_digest(pkt, label)
+            self._mirror_loopback()
+            return PacketDecision(
+                packet=pkt,
+                path=PATH_BLUE,
+                action=self._action(label),
+                predicted_malicious=int(label == LABEL_MALICIOUS),
+                digest=digest,
+                mirrored=True,
+            )
+
+        # Brown: early packet — PL verdict only.
+        self.path_counts[PATH_BROWN] += 1
+        label = self._match_pl(pkt)
+        return PacketDecision(
+            packet=pkt,
+            path=PATH_BROWN,
+            action=self._action(label),
+            predicted_malicious=int(label == LABEL_MALICIOUS),
+        )

@@ -1,0 +1,108 @@
+"""Stateful per-flow storage — the register arrays of Fig 4.
+
+Each tracked flow owns one :class:`FlowState`: the flow-label register
+(−1 = undecided, 0 = benign, 1 = malicious), packet count, timeout
+bookkeeping, and the streaming FL feature accumulators.  The
+:class:`FlowStateStore` wraps the double hash tables with the lookup /
+insert / collision semantics the pipeline paths need.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+from typing import Optional, Tuple
+
+from repro.datasets.packet import FiveTuple, Packet
+from repro.features.streaming import StreamingFlowStats
+from repro.switch.hashing import DoubleHashTable, Slot
+
+LABEL_UNDECIDED = -1
+LABEL_BENIGN = 0
+LABEL_MALICIOUS = 1
+
+
+@dataclass
+class FlowState:
+    """Register contents for one tracked flow."""
+
+    label: int = LABEL_UNDECIDED
+    stats: StreamingFlowStats = field(default_factory=StreamingFlowStats)
+
+    @property
+    def pkt_count(self) -> int:
+        return self.stats.count
+
+    @property
+    def last_seen(self) -> Optional[float]:
+        return self.stats.idle_since
+
+    def is_decided(self) -> bool:
+        return self.label in (LABEL_BENIGN, LABEL_MALICIOUS)
+
+
+class FlowStateStore:
+    """Flow-indexed stateful storage with bi-hash double tables.
+
+    Parameters
+    ----------
+    n_slots:
+        Register-array length per hash table (two tables total).
+    """
+
+    def __init__(self, n_slots: int = 4096) -> None:
+        self.table = DoubleHashTable[FlowState](n_slots)
+        self.n_slots = n_slots
+
+    def lookup(self, five_tuple: FiveTuple) -> Optional[FlowState]:
+        slot = self.table.lookup(five_tuple)
+        return slot.state if slot is not None else None
+
+    def lookup_or_create(
+        self, five_tuple: FiveTuple
+    ) -> Tuple[Optional[FlowState], bool, Optional[FlowState]]:
+        """State for this flow, creating a slot when absent.
+
+        Returns ``(state, collided, resident_state)``:
+
+        * ``(state, False, None)`` — flow tracked (existing or fresh slot);
+        * ``(None, True, resident)`` — both candidate slots are held by
+          other flows; *resident* is the first-table occupant whose label
+          decides the orange path's behaviour.
+        """
+        slot = self.table.lookup(five_tuple)
+        if slot is not None:
+            return slot.state, False, None
+        state = FlowState()
+        slot, collided = self.table.insert(five_tuple, state)
+        if collided:
+            return None, True, slot.state
+        return slot.state, False, None
+
+    def evict_and_track(self, five_tuple: FiveTuple) -> FlowState:
+        """Orange path: replace a decided resident with the new flow."""
+        state = FlowState()
+        self.table.evict_and_insert(five_tuple, state)
+        return state
+
+    def release(self, five_tuple: FiveTuple) -> bool:
+        """Controller cleanup: free the flow's slot."""
+        return self.table.remove(five_tuple)
+
+    @property
+    def collision_count(self) -> int:
+        return self.table.collision_count
+
+    def occupancy(self) -> int:
+        return self.table.occupancy()
+
+    def bytes_per_slot(self) -> int:
+        """SRAM cost of one slot in bytes (resource model input).
+
+        13 B flow ID + 1 B label + 4 B packet count + 8 B last-seen
+        timestamp + 8 accumulators × 4 B + first-seen 8 B ≈ 66 B.
+        """
+        return 13 + 1 + 4 + 8 + 8 * 4 + 8
+
+    def sram_bytes(self) -> int:
+        """Total register SRAM across both hash tables."""
+        return 2 * self.n_slots * self.bytes_per_slot()

@@ -1,0 +1,90 @@
+"""Match-action tables: exact-match blacklist and TCAM whitelist.
+
+The blacklist is an exact-match (SRAM) table on the 5-tuple, populated
+by the controller from digests; the whitelist is a TCAM range table
+holding the compiled rules in quantised integer space.
+"""
+
+from __future__ import annotations
+
+from collections import OrderedDict
+from typing import Optional, Tuple
+
+import numpy as np
+
+from repro.core.rules import QuantizedRuleSet
+from repro.datasets.packet import FiveTuple
+from repro.switch.range_encoding import ruleset_tcam_entries
+
+
+class BlacklistTable:
+    """Exact-match table keyed on the canonical 5-tuple.
+
+    Capacity-bounded with FIFO or LRU eviction (§3.3.2: "the controller
+    can also delete old rules from the blacklist table based on FIFO or
+    LRU").
+    """
+
+    def __init__(self, capacity: int = 4096, eviction: str = "fifo") -> None:
+        if capacity < 1:
+            raise ValueError(f"capacity must be >= 1, got {capacity}")
+        if eviction not in ("fifo", "lru"):
+            raise ValueError(f"eviction must be 'fifo' or 'lru', got {eviction!r}")
+        self.capacity = capacity
+        self.eviction = eviction
+        self._entries: "OrderedDict[FiveTuple, bool]" = OrderedDict()
+        self.evictions = 0
+
+    def __len__(self) -> int:
+        return len(self._entries)
+
+    def install(self, five_tuple: FiveTuple) -> None:
+        """Add a blacklist rule, evicting the oldest entry when full."""
+        key = five_tuple.canonical()
+        if key in self._entries:
+            self._entries.move_to_end(key)
+            return
+        if len(self._entries) >= self.capacity:
+            self._entries.popitem(last=False)
+            self.evictions += 1
+        self._entries[key] = True
+
+    def matches(self, five_tuple: FiveTuple) -> bool:
+        """True when the packet's flow is blacklisted (red path)."""
+        key = five_tuple.canonical()
+        hit = key in self._entries
+        if hit and self.eviction == "lru":
+            self._entries.move_to_end(key)
+        return hit
+
+    def remove(self, five_tuple: FiveTuple) -> bool:
+        return self._entries.pop(five_tuple.canonical(), None) is not None
+
+    def sram_bytes(self) -> int:
+        """SRAM cost: 13 B key + 1 B action per installed entry, sized at
+        capacity (the table is pre-allocated on the ASIC)."""
+        return self.capacity * 14
+
+
+class WhitelistTable:
+    """TCAM range table over quantised features with first-match lookup."""
+
+    def __init__(self, ruleset: QuantizedRuleSet) -> None:
+        self.ruleset = ruleset
+        self.lookup_count = 0
+
+    def __len__(self) -> int:
+        return len(self.ruleset)
+
+    def lookup(self, q_features: np.ndarray) -> Tuple[int, Optional[int]]:
+        """(label, matched rule index or None) for one feature vector."""
+        self.lookup_count += 1
+        return self.ruleset.match_one(q_features)
+
+    def predict(self, q_features: np.ndarray) -> np.ndarray:
+        """Vectorised first-match labels (evaluation convenience)."""
+        return self.ruleset.predict(q_features)
+
+    def tcam_entries(self) -> int:
+        """TCAM entries after range-to-prefix expansion."""
+        return ruleset_tcam_entries(self.ruleset)

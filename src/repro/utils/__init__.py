@@ -1,0 +1,30 @@
+"""Shared utilities: deterministic RNG handling, validation, configs.
+
+Every stochastic component in this library accepts an explicit seed or
+:class:`numpy.random.Generator` and threads it through sub-components via
+:func:`spawn_rng`, so that experiments are reproducible end to end.
+"""
+
+from repro.utils.rng import as_rng, spawn_rng, spawn_seeds
+from repro.utils.validation import (
+    NotFittedError,
+    check_2d,
+    check_fitted,
+    check_in_range,
+    check_positive,
+    check_probability,
+    check_same_length,
+)
+
+__all__ = [
+    "as_rng",
+    "spawn_rng",
+    "spawn_seeds",
+    "NotFittedError",
+    "check_2d",
+    "check_fitted",
+    "check_in_range",
+    "check_positive",
+    "check_probability",
+    "check_same_length",
+]

@@ -1,0 +1,181 @@
+"""Axis-aligned boxes (hyperrectangles) over feature space.
+
+Boxes are the common currency between tree models and switch rules: every
+root-to-leaf path of an iTree defines a box, the paper's "iForest
+hypercubes" are boxes, and a whitelist rule is a box with a label.  The
+convention throughout is half-open intervals ``[low, high)`` per feature
+(matching the paper's ``q < p`` / ``q >= p`` split semantics), except
+that a box whose ``high`` equals the global feature upper bound is
+treated as closed there so the full domain is covered.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import Iterable, List, Optional, Sequence, Tuple
+
+import numpy as np
+
+from repro.utils.rng import SeedLike, as_rng
+
+
+@dataclass(frozen=True)
+class Box:
+    """An axis-aligned region ``∏_i [lows[i], highs[i])``."""
+
+    lows: Tuple[float, ...]
+    highs: Tuple[float, ...]
+
+    def __post_init__(self) -> None:
+        if len(self.lows) != len(self.highs):
+            raise ValueError("lows and highs must have the same length")
+        for lo, hi in zip(self.lows, self.highs):
+            if lo > hi:
+                raise ValueError(f"box has inverted interval [{lo}, {hi})")
+
+    @staticmethod
+    def full(n_features: int, low: float = -np.inf, high: float = np.inf) -> "Box":
+        """The unbounded (or uniformly bounded) box over *n_features*."""
+        return Box(tuple([low] * n_features), tuple([high] * n_features))
+
+    @staticmethod
+    def from_data(x: np.ndarray, pad: float = 0.0) -> "Box":
+        """Bounding box of a data matrix, optionally padded by a fraction
+        of each feature's span."""
+        x = np.asarray(x, dtype=float)
+        lows = x.min(axis=0)
+        highs = x.max(axis=0)
+        if pad > 0.0:
+            span = np.where(highs > lows, highs - lows, 1.0)
+            lows = lows - pad * span
+            highs = highs + pad * span
+        # Ensure the box is non-degenerate so the half-open convention
+        # still contains the data points.
+        highs = np.where(highs > lows, highs, lows + 1e-9)
+        return Box(tuple(lows), tuple(highs))
+
+    @property
+    def n_features(self) -> int:
+        return len(self.lows)
+
+    def width(self, feature: int) -> float:
+        return self.highs[feature] - self.lows[feature]
+
+    def contains(self, x: np.ndarray, outer: Optional["Box"] = None) -> np.ndarray:
+        """Boolean mask of rows of *x* inside the box.
+
+        If *outer* is given, intervals touching the outer upper bound are
+        treated as closed above (domain-covering semantics).
+        """
+        x = np.atleast_2d(np.asarray(x, dtype=float))
+        lows = np.array(self.lows)
+        highs = np.array(self.highs)
+        inside = np.all(x >= lows, axis=1)
+        if outer is None:
+            inside &= np.all(x < highs, axis=1)
+        else:
+            outer_highs = np.array(outer.highs)
+            at_top = highs >= outer_highs
+            inside &= np.all((x < highs) | (at_top & (x <= highs)), axis=1)
+        return inside
+
+    def midpoint(self) -> np.ndarray:
+        return (np.array(self.lows) + np.array(self.highs)) / 2.0
+
+    def sample(self, n: int, seed: SeedLike = None) -> np.ndarray:
+        """Uniform samples inside the box (requires finite bounds)."""
+        lows = np.array(self.lows)
+        highs = np.array(self.highs)
+        if not (np.all(np.isfinite(lows)) and np.all(np.isfinite(highs))):
+            raise ValueError("cannot sample from an unbounded box")
+        rng = as_rng(seed)
+        return rng.uniform(lows, highs, size=(n, self.n_features))
+
+    def split(self, feature: int, value: float) -> Tuple["Box", "Box"]:
+        """Split into (left: feature < value, right: feature >= value)."""
+        if not self.lows[feature] <= value <= self.highs[feature]:
+            raise ValueError(
+                f"split value {value} outside interval "
+                f"[{self.lows[feature]}, {self.highs[feature]})"
+            )
+        left_highs = list(self.highs)
+        left_highs[feature] = value
+        right_lows = list(self.lows)
+        right_lows[feature] = value
+        return (
+            Box(self.lows, tuple(left_highs)),
+            Box(tuple(right_lows), self.highs),
+        )
+
+    def clip(self, other: "Box") -> "Box":
+        """Intersection with *other* (errors if empty)."""
+        lows = tuple(max(a, b) for a, b in zip(self.lows, other.lows))
+        highs = tuple(min(a, b) for a, b in zip(self.highs, other.highs))
+        return Box(lows, highs)
+
+    def intersects(self, other: "Box") -> bool:
+        """True when the two boxes overlap with positive measure."""
+        return all(
+            max(a, b) < min(c, d)
+            for a, b, c, d in zip(self.lows, other.lows, self.highs, other.highs)
+        )
+
+    def volume(self) -> float:
+        """Product of interval widths (requires finite bounds)."""
+        widths = np.array(self.highs) - np.array(self.lows)
+        return float(np.prod(widths))
+
+    def adjacent_along(self, other: "Box", feature: int) -> bool:
+        """True when the boxes share a face orthogonal to *feature* —
+        identical in all other dimensions and touching along this one."""
+        for f in range(self.n_features):
+            if f == feature:
+                continue
+            if self.lows[f] != other.lows[f] or self.highs[f] != other.highs[f]:
+                return False
+        return (
+            self.highs[feature] == other.lows[feature]
+            or other.highs[feature] == self.lows[feature]
+        )
+
+    def merge_along(self, other: "Box", feature: int) -> "Box":
+        """Union of two face-adjacent boxes along *feature*."""
+        if not self.adjacent_along(other, feature):
+            raise ValueError("boxes are not face-adjacent along this feature")
+        lows = list(self.lows)
+        highs = list(self.highs)
+        lows[feature] = min(self.lows[feature], other.lows[feature])
+        highs[feature] = max(self.highs[feature], other.highs[feature])
+        return Box(tuple(lows), tuple(highs))
+
+
+def merge_adjacent_boxes(boxes: Sequence[Box]) -> List[Box]:
+    """Greedily merge face-adjacent boxes (all same label assumed).
+
+    Implements the paper's "merge adjacent hypercubes sharing the same
+    label" step (Fig 3c).  Repeats passes over every feature until no
+    merge applies; the result is order-insensitive in coverage (the union
+    of regions is preserved — a property test checks this).
+    """
+    current = list(boxes)
+    merged_any = True
+    while merged_any:
+        merged_any = False
+        for feature in range(current[0].n_features if current else 0):
+            out: List[Box] = []
+            used = [False] * len(current)
+            for i, box in enumerate(current):
+                if used[i]:
+                    continue
+                acc = box
+                for j in range(i + 1, len(current)):
+                    if used[j]:
+                        continue
+                    if acc.adjacent_along(current[j], feature):
+                        acc = acc.merge_along(current[j], feature)
+                        used[j] = True
+                        merged_any = True
+                out.append(acc)
+                used[i] = True
+            current = out
+    return current

@@ -1,0 +1,54 @@
+"""Deterministic random-number handling.
+
+All stochastic classes and functions in this library accept a ``seed``
+argument that may be ``None``, an ``int``, or an already-constructed
+:class:`numpy.random.Generator`.  Internally they normalise it with
+:func:`as_rng` and derive independent child streams with :func:`spawn_rng`
+so that, for instance, each iTree in a forest sees its own stream and the
+result does not depend on evaluation order.
+"""
+
+from __future__ import annotations
+
+from typing import Optional, Union
+
+import numpy as np
+
+SeedLike = Union[None, int, np.random.Generator]
+
+#: Upper bound (exclusive) for integer seeds drawn when spawning streams.
+_SEED_SPACE = 2**31 - 1
+
+
+def as_rng(seed: SeedLike = None) -> np.random.Generator:
+    """Normalise *seed* into a :class:`numpy.random.Generator`.
+
+    Parameters
+    ----------
+    seed:
+        ``None`` (fresh entropy), an integer seed, or an existing generator
+        (returned unchanged so callers can share a stream deliberately).
+    """
+    if isinstance(seed, np.random.Generator):
+        return seed
+    if seed is None or isinstance(seed, (int, np.integer)):
+        return np.random.default_rng(seed)
+    raise TypeError(
+        f"seed must be None, an int, or a numpy Generator, got {type(seed).__name__}"
+    )
+
+
+def spawn_rng(rng: np.random.Generator) -> np.random.Generator:
+    """Derive one independent child generator from *rng*.
+
+    The child is seeded from the parent stream, so repeated calls yield
+    distinct but reproducible streams.
+    """
+    return np.random.default_rng(int(rng.integers(_SEED_SPACE)))
+
+
+def spawn_seeds(rng: np.random.Generator, n: int) -> list:
+    """Draw *n* integer seeds from *rng* for child components."""
+    if n < 0:
+        raise ValueError(f"n must be non-negative, got {n}")
+    return [int(s) for s in rng.integers(_SEED_SPACE, size=n)]

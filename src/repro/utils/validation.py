@@ -1,0 +1,66 @@
+"""Argument validation helpers shared across the library.
+
+These keep error messages uniform and fail fast with actionable context
+instead of letting bad shapes propagate into numpy broadcasting errors
+deep inside a training loop.
+"""
+
+from __future__ import annotations
+
+from typing import Any, Sequence
+
+import numpy as np
+
+
+class NotFittedError(RuntimeError):
+    """Raised when ``predict``/``transform`` is called before ``fit``."""
+
+
+def check_fitted(obj: Any, attribute: str) -> None:
+    """Raise :class:`NotFittedError` unless ``obj.attribute`` is set (non-None)."""
+    if getattr(obj, attribute, None) is None:
+        raise NotFittedError(
+            f"{type(obj).__name__} is not fitted yet; call fit() before using it"
+        )
+
+
+def check_2d(x: np.ndarray, name: str = "X") -> np.ndarray:
+    """Coerce *x* to a 2-D float array, raising on wrong dimensionality."""
+    arr = np.asarray(x, dtype=float)
+    if arr.ndim == 1:
+        arr = arr.reshape(1, -1)
+    if arr.ndim != 2:
+        raise ValueError(f"{name} must be 2-D (n_samples, n_features), got ndim={arr.ndim}")
+    if arr.shape[0] == 0:
+        raise ValueError(f"{name} must contain at least one sample")
+    if not np.all(np.isfinite(arr)):
+        raise ValueError(f"{name} contains NaN or infinite values")
+    return arr
+
+
+def check_positive(value: float, name: str, strict: bool = True) -> None:
+    """Raise unless *value* is positive (strictly, by default)."""
+    if strict and value <= 0:
+        raise ValueError(f"{name} must be > 0, got {value}")
+    if not strict and value < 0:
+        raise ValueError(f"{name} must be >= 0, got {value}")
+
+
+def check_probability(value: float, name: str) -> None:
+    """Raise unless *value* lies in [0, 1]."""
+    if not 0.0 <= value <= 1.0:
+        raise ValueError(f"{name} must be in [0, 1], got {value}")
+
+
+def check_in_range(value: float, lo: float, hi: float, name: str) -> None:
+    """Raise unless ``lo <= value <= hi``."""
+    if not lo <= value <= hi:
+        raise ValueError(f"{name} must be in [{lo}, {hi}], got {value}")
+
+
+def check_same_length(a: Sequence, b: Sequence, name_a: str = "a", name_b: str = "b") -> None:
+    """Raise unless the two sequences have equal length."""
+    if len(a) != len(b):
+        raise ValueError(
+            f"{name_a} and {name_b} must have the same length, got {len(a)} and {len(b)}"
+        )

@@ -1,0 +1,110 @@
+"""Tests for the classic unsupervised baselines (Fig 10 candidates)."""
+
+import numpy as np
+import pytest
+
+from repro.baselines.knn import KNNDetector
+from repro.baselines.pca import PCADetector
+from repro.baselines.xmeans import XMeansDetector, _bic, _kmeans
+from repro.utils.rng import as_rng
+from repro.utils.validation import NotFittedError
+
+
+def _clusters(n=200, seed=0):
+    """Two benign clusters in 4-D."""
+    rng = as_rng(seed)
+    a = rng.normal([0, 0, 0, 0], 0.3, size=(n // 2, 4))
+    b = rng.normal([5, 5, 0, 0], 0.3, size=(n // 2, 4))
+    return np.vstack([a, b])
+
+
+def _outliers(n=20, seed=1):
+    return as_rng(seed).normal([2.5, 2.5, 6, 6], 0.3, size=(n, 4))
+
+
+ALL_DETECTORS = [
+    lambda: KNNDetector(k=3, log_scale=False),
+    lambda: PCADetector(n_components=2, log_scale=False),
+    lambda: XMeansDetector(log_scale=False, seed=0),
+]
+
+
+class TestSharedContract:
+    @pytest.mark.parametrize("factory", ALL_DETECTORS)
+    def test_outliers_score_higher(self, factory):
+        det = factory().fit(_clusters())
+        s_in = det.anomaly_scores(_clusters(seed=2)).mean()
+        s_out = det.anomaly_scores(_outliers()).mean()
+        assert s_out > s_in
+
+    @pytest.mark.parametrize("factory", ALL_DETECTORS)
+    def test_predict_binary(self, factory):
+        det = factory().fit(_clusters())
+        pred = det.predict(_outliers())
+        assert set(np.unique(pred)) <= {0, 1}
+
+    @pytest.mark.parametrize("factory", ALL_DETECTORS)
+    def test_unfitted_raises(self, factory):
+        with pytest.raises(NotFittedError):
+            factory().anomaly_scores(np.ones((1, 4)))
+
+
+class TestKNN:
+    def test_invalid_k(self):
+        with pytest.raises(ValueError):
+            KNNDetector(k=0)
+
+    def test_training_scores_exclude_self(self):
+        """A training point's own distance must not be its score (else all
+        training scores would be 0)."""
+        det = KNNDetector(k=1, log_scale=False).fit(_clusters())
+        assert det.threshold_ > 0.0
+
+    def test_contamination_flag_rate(self):
+        det = KNNDetector(k=3, contamination=0.1, log_scale=False).fit(_clusters())
+        assert det.predict(_clusters()).mean() == pytest.approx(0.1, abs=0.06)
+
+
+class TestPCA:
+    def test_invalid_components(self):
+        with pytest.raises(ValueError):
+            PCADetector(n_components=0)
+
+    def test_auto_component_selection(self):
+        det = PCADetector(log_scale=False).fit(_clusters())
+        assert 1 <= det.components_.shape[0] <= 4
+
+    def test_on_plane_data_zero_residual(self):
+        """Data exactly on a 1-D subspace has ~zero residual with 1 PC."""
+        t = np.linspace(0, 1, 50)
+        x = np.column_stack([t, 2 * t, 3 * t])
+        det = PCADetector(n_components=1, log_scale=False).fit(x)
+        assert det.anomaly_scores(x).max() < 1e-8
+
+
+class TestXMeans:
+    def test_invalid_k(self):
+        with pytest.raises(ValueError):
+            XMeansDetector(k_init=0)
+        with pytest.raises(ValueError):
+            XMeansDetector(k_init=5, k_max=2)
+
+    def test_discovers_both_clusters(self):
+        det = XMeansDetector(k_init=1, k_max=8, log_scale=False, seed=1).fit(_clusters())
+        assert det.n_clusters_ >= 2
+
+    def test_kmeans_labels_partition(self):
+        x = _clusters()
+        centers, labels = _kmeans(x, 2, as_rng(2))
+        assert centers.shape == (2, 4)
+        assert len(labels) == len(x)
+        assert set(labels) <= {0, 1}
+
+    def test_bic_prefers_true_structure(self):
+        """BIC of a 2-cluster fit must beat a 1-cluster fit on 2-cluster data."""
+        x = _clusters()
+        c1 = x.mean(axis=0, keepdims=True)
+        bic1 = _bic(x, c1, np.zeros(len(x), dtype=int))
+        c2, l2 = _kmeans(x, 2, as_rng(3))
+        bic2 = _bic(x, c2, l2)
+        assert bic2 > bic1

@@ -1,0 +1,85 @@
+"""Tests for the early-packet model and consistency metrics."""
+
+import numpy as np
+import pytest
+
+from repro.core.consistency import consistency, quantized_consistency
+from repro.core.early import EarlyPacketModel
+from repro.core.hypercube import compile_ruleset
+from repro.datasets.attacks import generate_attack_flows
+from repro.datasets.benign import generate_benign_flows
+from repro.features.packet_features import extract_first_packets
+from repro.features.scaling import IntegerQuantizer
+from repro.utils.box import Box
+from repro.utils.validation import NotFittedError
+
+
+@pytest.fixture(scope="module")
+def benign_flows():
+    return generate_benign_flows(200, seed=31)
+
+
+@pytest.fixture(scope="module")
+def early(benign_flows):
+    return EarlyPacketModel(n_trees=30, subsample_size=64, seed=32).fit(benign_flows)
+
+
+class TestEarlyPacketModel:
+    def test_unfitted_raises(self):
+        with pytest.raises(NotFittedError):
+            EarlyPacketModel().to_rules()
+
+    def test_predicts_per_packet(self, early, benign_flows):
+        packets = [p for f in benign_flows[:10] for p in f[:2]]
+        pred = early.predict_packets(packets)
+        assert pred.shape == (len(packets),)
+        assert pred.mean() < 0.5  # benign early packets mostly pass
+
+    def test_rules_compile(self, early):
+        rules = early.to_rules(seed=33)
+        assert rules.n_benign_rules >= 1
+        assert rules.rules[0].n_features == 4  # PL feature space
+
+    def test_rules_agree_with_forest(self, early, benign_flows):
+        rules = early.to_rules(seed=34)
+        x, _ = extract_first_packets(benign_flows, per_flow=3)
+        agreement = np.mean(early.labeled_.predict(x) == rules.predict(x))
+        assert agreement > 0.9
+
+
+class _ConstantForest:
+    """Trivial forest_like predicting a fixed label — for metric tests."""
+
+    def __init__(self, label):
+        self.label = label
+
+    def predict(self, x):
+        return np.full(np.atleast_2d(x).shape[0], self.label, dtype=int)
+
+
+class TestConsistencyMetrics:
+    def test_perfect_agreement(self):
+        from repro.core.rules import RuleSet, WhitelistRule
+
+        box = Box((0.0,), (1.0,))
+        rules = RuleSet([WhitelistRule(box=box, label=0)], outer_box=box)
+        x = np.linspace(0.0, 0.9, 10).reshape(-1, 1)
+        assert consistency(_ConstantForest(0), rules, x) == 1.0
+
+    def test_total_disagreement(self):
+        from repro.core.rules import RuleSet, WhitelistRule
+
+        box = Box((0.0,), (1.0,))
+        rules = RuleSet([WhitelistRule(box=box, label=0)], outer_box=box)
+        x = np.linspace(0.0, 0.9, 10).reshape(-1, 1)
+        assert consistency(_ConstantForest(1), rules, x) == 0.0
+
+    def test_quantized_consistency(self):
+        from repro.core.rules import RuleSet, WhitelistRule
+
+        box = Box((0.0,), (100.0,))
+        rules = RuleSet([WhitelistRule(box=box, label=0)], outer_box=box)
+        quantizer = IntegerQuantizer(bits=8).fit(np.array([[0.0], [100.0]]))
+        q_rules = rules.quantize(quantizer)
+        x = np.linspace(1.0, 99.0, 20).reshape(-1, 1)
+        assert quantized_consistency(_ConstantForest(0), q_rules, quantizer, x) == 1.0

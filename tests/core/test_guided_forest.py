@@ -1,0 +1,74 @@
+"""Tests for the guided isolation forest ensemble."""
+
+import math
+
+import numpy as np
+import pytest
+
+from repro.core.guided_forest import GuidedIsolationForest
+from repro.utils.rng import as_rng
+from repro.utils.validation import NotFittedError
+
+
+class ThresholdOracle:
+    """Malicious when feature 0 exceeds 0.5 — trivially axis-separable."""
+
+    def predict(self, x):
+        return (np.atleast_2d(x)[:, 0] > 0.5).astype(int)
+
+
+@pytest.fixture()
+def x_benign():
+    rng = as_rng(0)
+    x = rng.uniform(0.0, 0.5, size=(120, 3))
+    return x
+
+
+class TestGuidedForest:
+    def test_invalid_params(self):
+        with pytest.raises(ValueError):
+            GuidedIsolationForest(n_trees=0)
+        with pytest.raises(ValueError):
+            GuidedIsolationForest(subsample_size=1)
+
+    def test_unfitted_raises(self):
+        with pytest.raises(NotFittedError):
+            GuidedIsolationForest().split_boundaries()
+
+    def test_depth_budget_default(self, x_benign):
+        forest = GuidedIsolationForest(
+            n_trees=3, subsample_size=32, k_aug=16, seed=1
+        ).fit(x_benign, oracle=ThresholdOracle())
+        # Default cap: max(⌈log2 Ψ⌉, 2m + 8) = max(5, 14) = 14 for 3 features.
+        expected_cap = max(math.ceil(math.log2(32)), 2 * 3 + 8)
+        assert forest.max_depth_fitted() <= expected_cap
+
+    def test_explicit_max_depth_respected(self, x_benign):
+        forest = GuidedIsolationForest(
+            n_trees=2, subsample_size=32, k_aug=16, max_depth=3, seed=2
+        ).fit(x_benign, oracle=ThresholdOracle())
+        assert forest.max_depth_fitted() <= 3
+
+    def test_trees_differ_across_seeds(self, x_benign):
+        forest = GuidedIsolationForest(
+            n_trees=4, subsample_size=32, k_aug=16, seed=3
+        ).fit(x_benign, oracle=ThresholdOracle())
+        thresholds = [tuple(map(tuple, t.split_boundaries())) for t in forest.trees_]
+        assert len(set(thresholds)) > 1
+
+    def test_boundaries_near_oracle_threshold(self, x_benign):
+        """The separable oracle boundary (0.5 on feature 0) should appear
+        among the forest's feature-0 split values."""
+        forest = GuidedIsolationForest(
+            n_trees=4, subsample_size=48, k_aug=48, tau_split=0.0, seed=4
+        ).fit(x_benign, oracle=ThresholdOracle())
+        f0 = forest.split_boundaries()[0]
+        assert any(0.35 < v < 0.65 for v in f0)
+
+    def test_feature_box_padded_beyond_data(self, x_benign):
+        forest = GuidedIsolationForest(
+            n_trees=2, subsample_size=32, k_aug=8, seed=5
+        ).fit(x_benign, oracle=ThresholdOracle())
+        box = forest.feature_box_
+        assert box.lows[0] < x_benign[:, 0].min()
+        assert box.highs[0] > x_benign[:, 0].max()

@@ -1,0 +1,166 @@
+"""Tests for the autoencoder-guided isolation tree."""
+
+import numpy as np
+import pytest
+
+from repro.core.guided_tree import (
+    GuidedIsolationTree,
+    augment_from_box,
+    best_split,
+    binary_entropy,
+)
+from repro.utils.box import Box
+from repro.utils.rng import as_rng
+
+
+class BoxOracle:
+    """Deterministic stand-in oracle: malicious outside a benign box."""
+
+    def __init__(self, lows, highs):
+        self.box = Box(tuple(lows), tuple(highs))
+
+    def predict(self, x):
+        return (~self.box.contains(np.atleast_2d(x), outer=self.box)).astype(int)
+
+    def expected_errors(self, x):
+        # Mean "error" = malicious fraction; two pseudo-members.
+        frac = float(self.predict(x).mean())
+        return np.array([frac, frac])
+
+    def label_from_expected_errors(self, expected):
+        return int(expected.mean() > 0.5)
+
+
+class TestEntropy:
+    def test_bounds(self):
+        assert binary_entropy(0.0) == 0.0
+        assert binary_entropy(1.0) == 0.0
+        assert binary_entropy(0.5) == pytest.approx(1.0)
+
+    def test_symmetry(self):
+        assert binary_entropy(0.3) == pytest.approx(binary_entropy(0.7))
+
+    def test_concave_maximum_at_half(self):
+        ps = np.linspace(0.01, 0.99, 50)
+        values = [binary_entropy(p) for p in ps]
+        assert max(values) <= 1.0
+        assert values[np.argmin(np.abs(ps - 0.5))] == max(values)
+
+
+class TestAugmentation:
+    def setup_method(self):
+        self.box = Box((0.0, 10.0), (1.0, 20.0))
+        self.rng = as_rng(0)
+
+    def test_zero_k(self):
+        assert augment_from_box(self.box, 0, self.rng).shape == (0, 2)
+
+    @pytest.mark.parametrize("mode", ["normal", "uniform", "mixture"])
+    def test_samples_inside_box(self, mode):
+        x_local = np.array([[0.5, 15.0]])
+        samples = augment_from_box(self.box, 64, self.rng, mode=mode, x_local=x_local)
+        assert samples.shape == (64, 2)
+        assert (samples[:, 0] >= 0.0).all() and (samples[:, 0] <= 1.0).all()
+        assert (samples[:, 1] >= 10.0).all() and (samples[:, 1] <= 20.0).all()
+
+    def test_invalid_mode(self):
+        with pytest.raises(ValueError):
+            augment_from_box(self.box, 4, self.rng, mode="bogus")
+
+    def test_mixture_concentrates_near_anchors(self):
+        x_local = np.array([[0.1, 11.0]])
+        samples = augment_from_box(self.box, 200, self.rng, mode="mixture", x_local=x_local)
+        near = np.abs(samples[:, 0] - 0.1) < 0.2
+        assert near.mean() > 0.3  # local half of the budget hugs the anchor
+
+
+class TestBestSplit:
+    def test_perfectly_separable(self):
+        x = np.array([[0.0], [1.0], [2.0], [10.0], [11.0], [12.0]])
+        labels = np.array([0, 0, 0, 1, 1, 1])
+        feature, value, gain = best_split(x, labels)
+        assert feature == 0
+        assert 2.0 < value <= 10.0
+        assert gain == pytest.approx(1.0)
+
+    def test_picks_informative_feature(self):
+        rng = as_rng(1)
+        noise = rng.uniform(size=20)
+        signal = np.concatenate([np.zeros(10), np.ones(10)])
+        x = np.column_stack([noise, signal])
+        labels = signal.astype(int)
+        feature, _value, gain = best_split(x, labels)
+        assert feature == 1
+        assert gain == pytest.approx(1.0)
+
+    def test_constant_features_return_none(self):
+        x = np.ones((6, 2))
+        assert best_split(x, np.array([0, 1, 0, 1, 0, 1])) is None
+
+    def test_split_value_strictly_separates(self):
+        x = np.array([[1.0], [1.0], [2.0]])
+        labels = np.array([0, 0, 1])
+        _f, value, _g = best_split(x, labels)
+        assert 1.0 < value <= 2.0
+
+
+class TestGuidedTree:
+    def setup_method(self):
+        rng = as_rng(2)
+        # Benign data inside [0.3, 0.7]^3; oracle flags everything outside.
+        self.x = rng.uniform(0.35, 0.65, size=(100, 3))
+        self.oracle = BoxOracle([0.3, 0.3, 0.3], [0.7, 0.7, 0.7])
+
+    def _fit(self, **kwargs):
+        params = dict(oracle=self.oracle, max_depth=20, k_aug=48, tau_split=0.0, seed=5)
+        params.update(kwargs)
+        tree = GuidedIsolationTree(**params)
+        return tree.fit(self.x, feature_box=Box((0.0,) * 3, (1.0,) * 3))
+
+    def test_invalid_params(self):
+        with pytest.raises(ValueError):
+            GuidedIsolationTree(self.oracle, max_depth=0)
+        with pytest.raises(ValueError):
+            GuidedIsolationTree(self.oracle, max_depth=3, k_aug=-1)
+        with pytest.raises(ValueError):
+            GuidedIsolationTree(self.oracle, max_depth=3, tau_split=2.0)
+
+    def test_leaves_partition_the_feature_box(self):
+        tree = self._fit()
+        probe = as_rng(6).uniform(0.0, 1.0, size=(100, 3))
+        leaves = tree.leaves()
+        box = Box((0.0,) * 3, (1.0,) * 3)
+        for row in probe:
+            hits = sum(
+                bool(leaf_box.contains(row.reshape(1, -1), outer=box)[0])
+                for _leaf, leaf_box in leaves
+            )
+            assert hits == 1
+
+    def test_splits_isolate_oracle_boundary(self):
+        """Split thresholds should cluster near the oracle's box walls."""
+        tree = self._fit()
+        boundaries = [v for values in tree.split_boundaries() for v in values]
+        near_walls = [v for v in boundaries if min(abs(v - 0.3), abs(v - 0.7)) < 0.1]
+        assert len(near_walls) >= len(boundaries) * 0.5
+
+    def test_purity_reached_before_cap(self):
+        # A small τ_split tolerance absorbs boundary-jitter probes, so the
+        # purity criterion (not the depth cap) terminates growth.
+        tree = self._fit(max_depth=40, tau_split=0.02)
+        assert tree.max_leaf_depth() < 40
+
+    def test_leaf_purity(self):
+        tree = self._fit()
+        for leaf, _box in tree.leaves():
+            if leaf.malicious_fraction is not None:
+                assert leaf.malicious_fraction < 0.2 or leaf.malicious_fraction > 0.8
+
+    def test_unfitted_raises(self):
+        tree = GuidedIsolationTree(self.oracle, max_depth=4)
+        with pytest.raises(RuntimeError):
+            tree.leaves()
+
+    def test_max_depth_respected(self):
+        tree = self._fit(max_depth=2)
+        assert tree.max_leaf_depth() <= 2

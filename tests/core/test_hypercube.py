@@ -1,0 +1,134 @@
+"""Tests for hypercube enumeration/refinement and rule compilation."""
+
+import numpy as np
+import pytest
+from hypothesis import given, settings
+from hypothesis import strategies as st
+
+from repro.core.hypercube import (
+    compile_ruleset,
+    enumerate_hypercubes,
+    merge_labeled_cells,
+    refine_hypercubes,
+)
+from repro.core.rules import BENIGN, MALICIOUS
+from repro.utils.box import Box
+from repro.utils.rng import as_rng
+
+
+class GridForest:
+    """Synthetic labelled 'forest': benign inside [2,6)x[2,6), with split
+    boundaries at integers — plays the forest_like role exactly."""
+
+    def __init__(self, n_features=2):
+        self.n_features_ = n_features
+        self.feature_box_ = Box((0.0,) * n_features, (8.0,) * n_features)
+        self.benign = Box((2.0,) * n_features, (6.0,) * n_features)
+
+    def predict(self, x):
+        inside = self.benign.contains(np.atleast_2d(x), outer=self.feature_box_)
+        return (~inside).astype(int)
+
+    def split_boundaries(self):
+        return [[2.0, 4.0, 6.0] for _ in range(self.n_features_)]
+
+
+class TestEnumerate:
+    def test_grid_cell_count(self):
+        cells = enumerate_hypercubes(GridForest())
+        assert len(cells) == 16  # 4 intervals per axis
+
+    def test_labels_exact(self):
+        forest = GridForest()
+        for cell, label in enumerate_hypercubes(forest):
+            assert label == forest.predict(cell.midpoint().reshape(1, -1))[0]
+
+    def test_cell_budget_enforced(self):
+        with pytest.raises(ValueError, match="use refine_hypercubes"):
+            enumerate_hypercubes(GridForest(), max_cells=4)
+
+    def test_cells_cover_box_disjointly(self):
+        forest = GridForest()
+        cells = enumerate_hypercubes(forest)
+        probe = as_rng(0).uniform(0.0, 8.0, size=(200, 2))
+        for row in probe:
+            hits = sum(
+                bool(c.contains(row.reshape(1, -1), outer=forest.feature_box_)[0])
+                for c, _l in cells
+            )
+            assert hits == 1
+
+
+class TestRefine:
+    def test_matches_enumeration_semantics(self):
+        forest = GridForest()
+        cells = refine_hypercubes(forest, max_cells=64, seed=1)
+        probe = as_rng(1).uniform(0.0, 8.0, size=(300, 2))
+        for row in probe:
+            for cell, label in cells:
+                if cell.contains(row.reshape(1, -1), outer=forest.feature_box_)[0]:
+                    assert label == forest.predict(row.reshape(1, -1))[0]
+                    break
+            else:
+                pytest.fail("probe not covered by any cell")
+
+    def test_budget_caps_cell_count(self):
+        cells = refine_hypercubes(GridForest(), max_cells=8, seed=2)
+        assert len(cells) <= 8
+
+    def test_x_ref_forces_benign_cells(self):
+        forest = GridForest()
+        x_ref = as_rng(3).uniform(2.1, 5.9, size=(30, 2))
+        cells = refine_hypercubes(forest, max_cells=64, x_ref=x_ref, seed=3)
+        assert any(label == BENIGN for _c, label in cells)
+
+
+class TestMerge:
+    def test_merges_within_label_only(self):
+        cells = [
+            (Box((0.0,), (1.0,)), BENIGN),
+            (Box((1.0,), (2.0,)), BENIGN),
+            (Box((2.0,), (3.0,)), MALICIOUS),
+        ]
+        merged = merge_labeled_cells(cells)
+        assert len(merged) == 2
+        benign_boxes = [b for b, l in merged if l == BENIGN]
+        assert benign_boxes[0].highs[0] == 2.0
+
+
+class TestCompileRuleset:
+    def test_compiled_rules_reproduce_forest(self):
+        forest = GridForest()
+        ruleset = compile_ruleset(forest, max_cells=64, seed=4)
+        probe = as_rng(4).uniform(0.0, 8.0, size=(400, 2))
+        np.testing.assert_array_equal(ruleset.predict(probe), forest.predict(probe))
+
+    def test_whitelist_only_contains_benign(self):
+        ruleset = compile_ruleset(GridForest(), max_cells=64, seed=5)
+        assert ruleset.n_malicious_rules == 0
+        assert ruleset.n_benign_rules >= 1
+
+    def test_merge_reduces_rule_count(self):
+        with_merge = compile_ruleset(GridForest(), max_cells=64, merge=True, seed=6)
+        without = compile_ruleset(GridForest(), max_cells=64, merge=False, seed=6)
+        assert len(with_merge) <= len(without)
+
+    def test_enumerate_method(self):
+        forest = GridForest()
+        ruleset = compile_ruleset(forest, method="enumerate", seed=7)
+        probe = as_rng(7).uniform(0.0, 8.0, size=(200, 2))
+        np.testing.assert_array_equal(ruleset.predict(probe), forest.predict(probe))
+
+    def test_invalid_method(self):
+        with pytest.raises(ValueError):
+            compile_ruleset(GridForest(), method="magic")
+
+    @settings(max_examples=10, deadline=None)
+    @given(st.integers(min_value=0, max_value=10**6))
+    def test_compilation_consistency_property(self, probe_seed):
+        """For any probe sample the compiled rules agree with the forest
+        (the paper's consistency C = 1 on this exactly-compilable case)."""
+        forest = GridForest()
+        ruleset = compile_ruleset(forest, max_cells=64, seed=8)
+        probe = as_rng(probe_seed).uniform(0.0, 8.0, size=(50, 2))
+        assert (ruleset.predict(probe) == forest.predict(probe)).all()

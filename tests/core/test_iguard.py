@@ -1,0 +1,113 @@
+"""Integration-level tests for the IGuard estimator and distillation."""
+
+import numpy as np
+import pytest
+
+from repro.core.distillation import DistilledForest
+from repro.core.guided_forest import GuidedIsolationForest
+from repro.core.iguard import IGuard, _LogSpaceOracle
+from repro.datasets.splits import make_attack_split
+from repro.eval.metrics import macro_f1, roc_auc
+from repro.utils.transforms import signed_log1p
+from repro.utils.validation import NotFittedError
+
+
+@pytest.fixture(scope="module")
+def split():
+    return make_attack_split("Mirai", n_benign_flows=300, seed=21)
+
+
+@pytest.fixture(scope="module")
+def model(split):
+    return IGuard(n_trees=7, subsample_size=64, k_aug=48, tau_split=0.0, seed=9).fit(
+        split.x_train
+    )
+
+
+class TestFitPredict:
+    def test_unfitted_raises(self):
+        with pytest.raises(NotFittedError):
+            IGuard().predict(np.ones((1, 4)))
+
+    def test_predict_binary(self, model, split):
+        pred = model.predict(split.x_test)
+        assert set(np.unique(pred)) <= {0, 1}
+
+    def test_beats_chance_clearly(self, model, split):
+        scores = model.vote_fraction(split.x_test)
+        assert roc_auc(split.y_test, scores) > 0.8
+
+    def test_vote_fraction_in_unit_interval(self, model, split):
+        vf = model.vote_fraction(split.x_test)
+        assert (vf >= 0).all() and (vf <= 1).all()
+
+    def test_predict_is_majority_vote(self, model, split):
+        vf = model.vote_fraction(split.x_test)
+        np.testing.assert_array_equal(model.predict(split.x_test), (vf > 0.5).astype(int))
+
+    def test_oracle_reused_when_prefit(self, model, split):
+        clone = IGuard(
+            n_trees=3,
+            subsample_size=32,
+            k_aug=16,
+            oracle=model.oracle,
+            oracle_prefit=True,
+            seed=10,
+        ).fit(split.x_train)
+        assert clone.oracle is model.oracle
+
+
+class TestDistillation:
+    def test_every_leaf_labeled(self, model):
+        for per_tree in model.distilled_.labeled_leaves():
+            for _box, label in per_tree:
+                assert label in (0, 1)
+
+    def test_distil_required_before_inference(self, model, split):
+        raw = DistilledForest(model.forest_)
+        with pytest.raises(RuntimeError, match="distil"):
+            raw.predict(signed_log1p(split.x_test))
+
+    def test_benign_training_data_mostly_benign_votes(self, model, split):
+        vf = model.vote_fraction(split.x_train)
+        assert np.median(vf) < 0.5
+
+
+class TestRules:
+    def test_rules_agree_with_forest(self, model, split):
+        ruleset = model.to_rules(max_cells=2048, seed=1)
+        c = model.consistency(ruleset, split.x_test)
+        assert c > 0.8
+
+    def test_rules_detect_attack(self, model, split):
+        ruleset = model.to_rules(max_cells=2048, seed=2)
+        f1 = macro_f1(split.y_test, ruleset.predict(split.x_test))
+        assert f1 > 0.6
+
+    def test_whitelist_rules_are_benign_only(self, model):
+        ruleset = model.to_rules(max_cells=1024, seed=3)
+        assert ruleset.n_malicious_rules == 0
+
+    def test_log_space_rules_option(self, model, split):
+        log_rules = model.to_rules(max_cells=1024, raw_space=False, seed=4)
+        raw_rules = model.to_rules(max_cells=1024, raw_space=True, seed=4)
+        np.testing.assert_array_equal(
+            log_rules.predict(signed_log1p(split.x_test)),
+            raw_rules.predict(split.x_test),
+        )
+
+
+class TestLogSpaceOracle:
+    def test_adapter_round_trips_features(self, model, split):
+        adapter = _LogSpaceOracle(model.oracle)
+        x = split.x_test[:20]
+        np.testing.assert_array_equal(
+            adapter.predict(signed_log1p(x)), model.oracle.predict(x)
+        )
+
+    def test_distil_margin_passthrough(self, model):
+        strict = _LogSpaceOracle(model.oracle, distil_margin=1.0)
+        loose = _LogSpaceOracle(model.oracle, distil_margin=10.0)
+        borderline = model.oracle.base_thresholds_ * 2.0
+        assert strict.label_from_expected_errors(borderline) == 1
+        assert loose.label_from_expected_errors(borderline) == 0

@@ -1,0 +1,74 @@
+"""Property test: quantised rules ≈ raw rules away from bin boundaries.
+
+The switch matches integer codes; classification must agree with the
+real-valued rules except within one quantisation bin of a rule edge.
+"""
+
+import numpy as np
+import pytest
+from hypothesis import given, settings
+from hypothesis import strategies as st
+
+from repro.core.rules import BENIGN, MALICIOUS, RuleSet, WhitelistRule
+from repro.features.scaling import IntegerQuantizer
+from repro.utils.box import Box
+
+DOMAIN_LO, DOMAIN_HI = 0.0, 1000.0
+
+interval = st.tuples(
+    st.floats(min_value=DOMAIN_LO, max_value=DOMAIN_HI, allow_nan=False),
+    st.floats(min_value=DOMAIN_LO, max_value=DOMAIN_HI, allow_nan=False),
+).map(lambda ab: (min(ab), max(ab))).filter(lambda ab: ab[1] - ab[0] > 1.0)
+
+
+@settings(max_examples=60, deadline=None)
+@given(
+    rule_iv=interval,
+    probe=st.floats(min_value=DOMAIN_LO, max_value=DOMAIN_HI, allow_nan=False),
+    space=st.sampled_from(["linear", "log"]),
+)
+def test_quantized_matches_raw_away_from_edges(rule_iv, probe, space):
+    lo, hi = rule_iv
+    outer = Box((DOMAIN_LO,), (DOMAIN_HI,))
+    rules = RuleSet(
+        [WhitelistRule(box=Box((lo,), (hi,)), label=BENIGN)], outer_box=outer
+    )
+    quantizer = IntegerQuantizer(bits=16, space=space).fit(
+        np.array([[DOMAIN_LO], [DOMAIN_HI]])
+    )
+    q_rules = rules.quantize(quantizer)
+
+    x = np.array([[probe]])
+    raw = rules.predict(x)[0]
+    quant = q_rules.predict(quantizer.quantize(x))[0]
+    # Tolerance: within one bin of a rule edge the code may round across.
+    bin_width = (DOMAIN_HI - DOMAIN_LO) / (quantizer.levels - 2)
+    near_edge = min(abs(probe - lo), abs(probe - hi)) < 4 * bin_width or (
+        space == "log" and min(probe, lo, hi) < 5.0
+    )
+    if not near_edge:
+        assert raw == quant
+
+
+def test_out_of_domain_always_malicious():
+    outer = Box((DOMAIN_LO,), (DOMAIN_HI,))
+    rules = RuleSet(
+        [WhitelistRule(box=Box((DOMAIN_LO,), (DOMAIN_HI,)), label=BENIGN)],
+        outer_box=outer,
+    )
+    quantizer = IntegerQuantizer(bits=16).fit(np.array([[DOMAIN_LO], [DOMAIN_HI]]))
+    q_rules = rules.quantize(quantizer)
+    x = np.array([[-1.0], [2000.0]])
+    assert q_rules.predict(quantizer.quantize(x)).tolist() == [MALICIOUS, MALICIOUS]
+
+
+def test_infinite_bounds_capture_out_of_domain():
+    outer = Box.full(1)
+    rules = RuleSet(
+        [WhitelistRule(box=Box((-np.inf,), (np.inf,)), label=BENIGN)],
+        outer_box=outer,
+    )
+    quantizer = IntegerQuantizer(bits=16).fit(np.array([[DOMAIN_LO], [DOMAIN_HI]]))
+    q_rules = rules.quantize(quantizer)
+    x = np.array([[-1.0], [500.0], [2000.0]])
+    assert q_rules.predict(quantizer.quantize(x)).tolist() == [BENIGN] * 3

@@ -1,0 +1,117 @@
+"""Tests for whitelist rules and rule sets."""
+
+import numpy as np
+import pytest
+
+from repro.core.rules import (
+    BENIGN,
+    MALICIOUS,
+    QuantizedRule,
+    QuantizedRuleSet,
+    RuleSet,
+    WhitelistRule,
+)
+from repro.features.scaling import IntegerQuantizer
+from repro.utils.box import Box
+from repro.utils.transforms import signed_expm1
+
+
+def _rule(lows, highs, label=BENIGN):
+    return WhitelistRule(box=Box(tuple(lows), tuple(highs)), label=label)
+
+
+class TestWhitelistRule:
+    def test_invalid_label(self):
+        with pytest.raises(ValueError):
+            _rule([0.0], [1.0], label=7)
+
+    def test_matching(self):
+        rule = _rule([0.0, 0.0], [1.0, 1.0])
+        x = np.array([[0.5, 0.5], [1.5, 0.5]])
+        assert rule.matches(x).tolist() == [True, False]
+
+
+class TestRuleSet:
+    def setup_method(self):
+        self.outer = Box((0.0,), (10.0,))
+        self.rules = RuleSet(
+            [_rule([0.0], [5.0], BENIGN), _rule([5.0], [10.0], MALICIOUS)],
+            outer_box=self.outer,
+        )
+
+    def test_first_match_semantics(self):
+        overlapping = RuleSet(
+            [_rule([0.0], [10.0], MALICIOUS), _rule([0.0], [5.0], BENIGN)],
+            outer_box=self.outer,
+        )
+        assert overlapping.predict(np.array([[1.0]]))[0] == MALICIOUS
+
+    def test_default_label_on_miss(self):
+        rules = RuleSet([_rule([0.0], [1.0], BENIGN)], outer_box=self.outer)
+        assert rules.predict(np.array([[9.0]]))[0] == MALICIOUS
+
+    def test_outer_top_is_closed(self):
+        assert self.rules.predict(np.array([[10.0]]))[0] == MALICIOUS
+
+    def test_whitelist_only_drops_malicious_rules(self):
+        wl = self.rules.whitelist_only()
+        assert len(wl) == 1
+        assert wl.n_malicious_rules == 0
+        # semantics unchanged: unmatched defaults malicious
+        np.testing.assert_array_equal(
+            wl.predict(np.array([[1.0], [7.0]])), [BENIGN, MALICIOUS]
+        )
+
+    def test_match_one_returns_index(self):
+        label, idx = self.rules.match_one(np.array([6.0]))
+        assert (label, idx) == (MALICIOUS, 1)
+        label, idx = self.rules.match_one(np.array([99.0]))
+        assert (label, idx) == (MALICIOUS, None)
+
+    def test_mixed_feature_counts_rejected(self):
+        with pytest.raises(ValueError):
+            RuleSet([_rule([0.0], [1.0]), _rule([0.0, 0.0], [1.0, 1.0])])
+
+    def test_counts(self):
+        assert self.rules.n_benign_rules == 1
+        assert self.rules.n_malicious_rules == 1
+
+
+class TestTransformBoundaries:
+    def test_monotone_transform_preserves_classification(self):
+        outer = Box((0.0, 0.0), (8.0, 8.0))
+        rules = RuleSet(
+            [_rule([1.0, 1.0], [3.0, 3.0], BENIGN)], outer_box=outer
+        )
+        mapped = rules.transform_boundaries(signed_expm1)
+        x_log = np.array([[2.0, 2.0], [4.0, 2.0], [0.5, 0.5]])
+        x_raw = signed_expm1(x_log)
+        np.testing.assert_array_equal(rules.predict(x_log), mapped.predict(x_raw))
+
+
+class TestQuantizedRuleSet:
+    def setup_method(self):
+        # Domain [0, 100]; benign rule [20, 60).
+        domain = np.array([[0.0], [100.0]])
+        self.q = IntegerQuantizer(bits=8).fit(domain)
+        rules = RuleSet(
+            [_rule([20.0], [60.0], BENIGN)], outer_box=Box((0.0,), (100.0,))
+        )
+        self.qr = rules.quantize(self.q)
+
+    def test_classification_matches_raw(self):
+        x = np.array([[10.0], [30.0], [59.0], [70.0]])
+        expected = [MALICIOUS, BENIGN, BENIGN, MALICIOUS]
+        assert self.qr.predict(self.q.quantize(x)).tolist() == expected
+
+    def test_out_of_domain_is_malicious(self):
+        x = np.array([[-50.0], [500.0]])
+        assert self.qr.predict(self.q.quantize(x)).tolist() == [MALICIOUS, MALICIOUS]
+
+    def test_match_one(self):
+        label, idx = self.qr.match_one(self.q.quantize(np.array([[30.0]]))[0])
+        assert (label, idx) == (BENIGN, 0)
+
+    def test_len_and_iter(self):
+        assert len(self.qr) == 1
+        assert all(isinstance(r, QuantizedRule) for r in self.qr)

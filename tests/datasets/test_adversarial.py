@@ -1,0 +1,106 @@
+"""Tests for adversarial traffic transforms (Tables 2-3 substrate)."""
+
+import numpy as np
+import pytest
+
+from repro.datasets.adversarial import (
+    evasion_flows,
+    low_rate_flows,
+    poison_training_flows,
+    poison_training_set,
+)
+from repro.datasets.attacks import generate_attack_flows
+from repro.datasets.benign import generate_benign_flows
+
+
+class TestLowRate:
+    def test_gaps_stretched(self):
+        flows = generate_attack_flows("UDP DDoS", 2, seed=1)
+        slowed = low_rate_flows(flows, 100.0)
+        for orig, slow in zip(flows, slowed):
+            g0 = np.diff([p.timestamp for p in orig])
+            g1 = np.diff([p.timestamp for p in slow])
+            np.testing.assert_allclose(g1, g0 * 100.0, rtol=1e-6)
+
+    def test_contents_untouched(self):
+        flows = generate_attack_flows("UDP DDoS", 2, seed=2)
+        slowed = low_rate_flows(flows, 10.0)
+        assert [p.size for f in flows for p in f] == [p.size for f in slowed for p in f]
+
+    def test_factor_below_one_rejected(self):
+        with pytest.raises(ValueError):
+            low_rate_flows([], 0.5)
+
+    def test_single_packet_flow_unchanged(self):
+        flows = generate_attack_flows("OS scan", 5, seed=3)
+        slowed = low_rate_flows(flows, 100.0)
+        assert len(slowed) == len([f for f in flows if f])
+
+
+class TestEvasion:
+    def test_packet_ratio(self):
+        flows = generate_attack_flows("TCP DDoS", 2, seed=4)
+        padded = evasion_flows(flows, 2, seed=5)
+        for orig, pad in zip(flows, padded):
+            assert len(pad) == 3 * len(orig)  # 1 original : 2 injected
+
+    def test_padding_marked_malicious(self):
+        flows = generate_attack_flows("TCP DDoS", 1, seed=6)
+        padded = evasion_flows(flows, 2, seed=7)
+        assert all(p.malicious for p in padded[0])
+
+    def test_padding_shares_five_tuple(self):
+        flows = generate_attack_flows("TCP DDoS", 1, seed=8)
+        padded = evasion_flows(flows, 2, seed=9)
+        assert len({p.five_tuple for p in padded[0]}) == 1
+
+    def test_features_shift_toward_benign(self):
+        """The padding must raise size dispersion toward the benign band —
+        that is the evasion."""
+        flows = generate_attack_flows("TCP DDoS", 2, seed=10)
+        padded = evasion_flows(flows, 4, seed=11)
+        for orig, pad in zip(flows, padded):
+            cov_orig = np.std([p.size for p in orig]) / np.mean([p.size for p in orig])
+            cov_pad = np.std([p.size for p in pad]) / np.mean([p.size for p in pad])
+            assert cov_pad > cov_orig
+
+    def test_invalid_ratio_rejected(self):
+        with pytest.raises(ValueError):
+            evasion_flows([], 0)
+
+    def test_timestamps_sorted(self):
+        flows = generate_attack_flows("TCP DDoS", 1, seed=12)
+        padded = evasion_flows(flows, 3, seed=13)
+        times = [p.timestamp for p in padded[0]]
+        assert times == sorted(times)
+
+
+class TestPoisoning:
+    def test_flow_level_fraction(self):
+        benign = generate_benign_flows(100, seed=14)
+        attack = generate_attack_flows("Mirai", 10, seed=15)
+        poisoned = poison_training_flows(benign, attack, 0.1, seed=16)
+        n_mal = sum(1 for f in poisoned if any(p.malicious for p in f))
+        assert n_mal / len(poisoned) == pytest.approx(0.1, abs=0.03)
+
+    def test_zero_fraction_identity(self):
+        benign = generate_benign_flows(10, seed=17)
+        assert len(poison_training_flows(benign, [], 0.0)) == 10
+
+    def test_invalid_fraction(self):
+        with pytest.raises(ValueError):
+            poison_training_flows([], [], 1.0)
+
+    def test_feature_level_fraction(self):
+        x_b = np.zeros((90, 3))
+        x_a = np.ones((30, 3))
+        poisoned = poison_training_set(x_b, x_a, 0.10, seed=18)
+        frac = poisoned.sum(axis=1).astype(bool).mean()
+        assert frac == pytest.approx(0.10, abs=0.02)
+
+    def test_feature_level_zero_copy(self):
+        x_b = np.zeros((5, 2))
+        out = poison_training_set(x_b, np.ones((1, 2)), 0.0)
+        assert out.shape == x_b.shape
+        out[0, 0] = 9.0
+        assert x_b[0, 0] == 0.0  # a copy, not a view

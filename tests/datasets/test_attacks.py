@@ -1,0 +1,118 @@
+"""Tests for attack generators and the router model."""
+
+import numpy as np
+import pytest
+
+from repro.datasets.attacks import (
+    ALL_ATTACKS,
+    APPENDIX_ATTACKS,
+    ATTACK_GENERATORS,
+    HEADLINE_ATTACKS,
+    ROUTER_WAN_IP,
+    generate_attack_flows,
+    route_flows,
+)
+from repro.datasets.benign import generate_benign_flows
+
+
+class TestRegistry:
+    def test_fifteen_attacks(self):
+        assert len(ALL_ATTACKS) == 15
+        assert len(HEADLINE_ATTACKS) == 5
+        assert len(APPENDIX_ATTACKS) == 10
+
+    def test_all_names_have_generators(self):
+        for name in ALL_ATTACKS:
+            assert name in ATTACK_GENERATORS
+
+    def test_unknown_attack_raises_with_options(self):
+        with pytest.raises(KeyError, match="Mirai"):
+            generate_attack_flows("definitely-not-an-attack", 1)
+
+    def test_paper_names_present(self):
+        for name in ("Mirai", "Aidra", "Bashlite", "UDP DDoS", "OS scan",
+                     "Mirai router filter", "Port scan router"):
+            assert name in ALL_ATTACKS
+
+
+class TestGenerators:
+    @pytest.mark.parametrize("name", ALL_ATTACKS)
+    def test_flows_are_malicious_and_nonempty(self, name):
+        flows = generate_attack_flows(name, 5, seed=1)
+        assert len(flows) == 5
+        for flow in flows:
+            assert len(flow) >= 1
+            assert all(p.malicious for p in flow)
+
+    def test_deterministic(self):
+        a = generate_attack_flows("Mirai", 4, seed=9)
+        b = generate_attack_flows("Mirai", 4, seed=9)
+        assert [p.timestamp for f in a for p in f] == [p.timestamp for f in b for p in f]
+
+    def test_scan_flows_are_short(self):
+        flows = generate_attack_flows("OS scan", 30, seed=2)
+        assert np.median([len(f) for f in flows]) <= 3
+
+    def test_flood_flows_are_long(self):
+        flows = generate_attack_flows("UDP DDoS", 5, seed=3)
+        assert min(len(f) for f in flows) > 50
+
+    def test_flood_sizes_nearly_constant(self):
+        flows = generate_attack_flows("UDP DDoS", 3, seed=4)
+        for flow in flows:
+            sizes = np.array([p.size for p in flow], dtype=float)
+            assert sizes.std() / sizes.mean() < 0.05  # below the benign CoV band
+
+    def test_keylogging_bursty(self):
+        flows = generate_attack_flows("Keylogging", 5, seed=5)
+        covs = []
+        for flow in flows:
+            gaps = np.diff([p.timestamp for p in flow])
+            if len(gaps) > 3 and gaps.mean() > 0:
+                covs.append(gaps.std() / gaps.mean())
+        assert np.mean(covs) > 0.4  # above the benign jitter band
+
+
+class TestRouterModel:
+    def test_nat_collapses_sources(self):
+        flows = generate_attack_flows("Mirai", 8, seed=6)
+        routed = route_flows(flows, seed=7)
+        srcs = {f[0].five_tuple.src_ip for f in routed}
+        assert srcs == {ROUTER_WAN_IP}
+
+    def test_ttl_decremented(self):
+        flows = generate_attack_flows("Mirai", 3, seed=8)
+        routed = route_flows(flows, seed=9)
+        assert all(r[0].ttl == f[0].ttl - 1 for f, r in zip(flows, routed))
+
+    def test_rate_filter_drops_packets(self):
+        flows = generate_attack_flows("Mirai", 6, seed=10)
+        routed = route_flows(flows, seed=11, rate_filter=0.5)
+        total_in = sum(len(f) for f in flows)
+        total_out = sum(len(f) for f in routed)
+        assert total_out < total_in
+
+    def test_ipd_stretch_slows_flow(self):
+        flows = generate_attack_flows("Mirai", 3, seed=12)
+        routed = route_flows(flows, seed=13, ipd_stretch=3.0)
+        for f, r in zip(flows, routed):
+            dur_in = f[-1].timestamp - f[0].timestamp
+            dur_out = r[-1].timestamp - r[0].timestamp
+            if dur_in > 0:
+                assert dur_out > dur_in * 2.0
+
+    def test_timestamps_still_monotone(self):
+        flows = generate_attack_flows("TCP DDoS", 3, seed=14)
+        for flow in route_flows(flows, seed=15):
+            times = [p.timestamp for p in flow]
+            assert times == sorted(times)
+
+    def test_malicious_bit_preserved(self):
+        flows = generate_attack_flows("OS scan", 5, seed=16)
+        for flow in route_flows(flows, seed=17):
+            assert all(p.malicious for p in flow)
+
+    def test_benign_flows_routable_too(self):
+        flows = generate_benign_flows(4, seed=18)
+        routed = route_flows(flows, seed=19)
+        assert all(not p.malicious for f in routed for p in f)

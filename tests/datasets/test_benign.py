@@ -1,0 +1,67 @@
+"""Tests for the benign IoT traffic model."""
+
+import numpy as np
+
+from repro.datasets.benign import (
+    BENIGN_IPD_COV,
+    BENIGN_SIZE_COV,
+    benign_mixture,
+    device_profiles,
+    generate_benign_flows,
+    generate_benign_trace,
+)
+
+
+class TestDeviceProfiles:
+    def test_eight_device_classes(self):
+        assert len(device_profiles()) == 8
+
+    def test_all_on_the_manifold_bands(self):
+        for profile in device_profiles():
+            assert profile.size_cov_range == BENIGN_SIZE_COV
+            assert profile.ipd_cov_range == BENIGN_IPD_COV
+            assert not profile.malicious
+
+    def test_marginals_span_wide_ranges(self):
+        profiles = device_profiles()
+        size_lo = min(p.size_mean_range[0] for p in profiles)
+        size_hi = max(p.size_mean_range[1] for p in profiles)
+        assert size_hi / size_lo > 10  # tiny keep-alives to full MTU
+        ipd_lo = min(p.ipd_mean_range[0] for p in profiles)
+        ipd_hi = max(p.ipd_mean_range[1] for p in profiles)
+        assert ipd_hi / ipd_lo > 100
+
+
+class TestBenignGeneration:
+    def test_flows_all_benign(self):
+        flows = generate_benign_flows(20, seed=1)
+        assert all(not p.malicious for f in flows for p in f)
+
+    def test_trace_time_ordered(self):
+        trace = generate_benign_trace(20, seed=2)
+        times = [p.timestamp for p in trace]
+        assert times == sorted(times)
+
+    def test_mixture_hits_multiple_device_classes(self):
+        flows = generate_benign_flows(60, seed=3)
+        ports = {f[0].five_tuple.dst_port for f in flows}
+        assert len(ports) >= 4  # several device classes represented
+
+    def test_sizes_respect_cov_band(self):
+        """Per-flow size dispersion should sit in the manifold band —
+        the property attacks violate."""
+        flows = generate_benign_flows(60, seed=4)
+        covs = []
+        for flow in flows:
+            sizes = np.array([p.size for p in flow], dtype=float)
+            if len(sizes) >= 8:
+                covs.append(sizes.std() / sizes.mean())
+        covs = np.array(covs)
+        # Clamping at Ethernet limits adds slack; the bulk must stay in band.
+        assert np.median(covs) > 0.03
+        assert np.median(covs) < 0.25
+
+    def test_deterministic(self):
+        a = generate_benign_flows(5, seed=5)
+        b = generate_benign_flows(5, seed=5)
+        assert [p.size for f in a for p in f] == [p.size for f in b for p in f]

@@ -1,0 +1,77 @@
+"""Tests for packet primitives."""
+
+import pytest
+
+from repro.datasets.packet import (
+    PROTO_TCP,
+    PROTO_UDP,
+    FiveTuple,
+    Packet,
+    format_ip,
+    make_ip,
+)
+
+
+class TestMakeIp:
+    def test_round_trip(self):
+        ip = make_ip(192, 168, 1, 42)
+        assert format_ip(ip) == "192.168.1.42"
+
+    def test_packing(self):
+        assert make_ip(1, 0, 0, 0) == 1 << 24
+        assert make_ip(0, 0, 0, 1) == 1
+
+    def test_octet_out_of_range(self):
+        with pytest.raises(ValueError):
+            make_ip(256, 0, 0, 0)
+
+
+class TestFiveTuple:
+    def setup_method(self):
+        self.ft = FiveTuple(make_ip(10, 0, 0, 1), make_ip(10, 0, 0, 2), 1234, 80, PROTO_TCP)
+
+    def test_reversed_swaps_endpoints(self):
+        rev = self.ft.reversed()
+        assert rev.src_ip == self.ft.dst_ip
+        assert rev.src_port == self.ft.dst_port
+        assert rev.protocol == self.ft.protocol
+
+    def test_double_reverse_is_identity(self):
+        assert self.ft.reversed().reversed() == self.ft
+
+    def test_canonical_direction_independent(self):
+        assert self.ft.canonical() == self.ft.reversed().canonical()
+
+    def test_canonical_is_idempotent(self):
+        assert self.ft.canonical().canonical() == self.ft.canonical()
+
+    def test_as_tuple(self):
+        t = self.ft.as_tuple()
+        assert t == (self.ft.src_ip, self.ft.dst_ip, 1234, 80, PROTO_TCP)
+
+    def test_hashable(self):
+        assert len({self.ft, self.ft.reversed(), self.ft}) == 2
+
+
+class TestPacket:
+    def test_with_timestamp_copies(self):
+        ft = FiveTuple(1, 2, 3, 4, PROTO_UDP)
+        pkt = Packet(ft, timestamp=1.0, size=100)
+        moved = pkt.with_timestamp(5.0)
+        assert moved.timestamp == 5.0
+        assert pkt.timestamp == 1.0
+        assert moved.size == pkt.size
+
+    def test_with_five_tuple_copies(self):
+        ft = FiveTuple(1, 2, 3, 4, PROTO_UDP)
+        ft2 = FiveTuple(9, 2, 3, 4, PROTO_UDP)
+        pkt = Packet(ft, timestamp=1.0, size=100, malicious=True)
+        readdressed = pkt.with_five_tuple(ft2)
+        assert readdressed.five_tuple == ft2
+        assert readdressed.malicious
+
+    def test_defaults(self):
+        pkt = Packet(FiveTuple(1, 2, 3, 4, PROTO_UDP), 0.0, 60)
+        assert pkt.ttl == 64
+        assert pkt.tcp_flags == 0
+        assert not pkt.malicious

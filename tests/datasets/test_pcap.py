@@ -1,0 +1,74 @@
+"""Tests for PCAP round-tripping."""
+
+import struct
+
+import numpy as np
+import pytest
+
+from repro.datasets.attacks import generate_attack_flows
+from repro.datasets.benign import generate_benign_trace
+from repro.datasets.pcap import PCAP_MAGIC, read_pcap, write_pcap
+from repro.datasets.trace import Trace, flows_to_trace
+from repro.features.flow_features import FlowFeatureExtractor
+
+
+class TestRoundTrip:
+    def test_trace_survives_round_trip(self, tmp_path):
+        trace = generate_benign_trace(20, seed=1)
+        path = str(tmp_path / "benign.pcap")
+        n = write_pcap(path, trace)
+        assert n == len(trace)
+        loaded = read_pcap(path)
+        assert len(loaded) == len(trace)
+        for a, b in zip(trace, loaded):
+            assert a.five_tuple == b.five_tuple
+            assert a.size == b.size
+            assert a.ttl == b.ttl
+            assert abs(a.timestamp - b.timestamp) < 2e-6  # µs resolution
+
+    def test_tcp_flags_preserved(self, tmp_path):
+        flows = generate_attack_flows("Mirai", 3, seed=2)  # SYN probes
+        trace = flows_to_trace(flows)
+        path = str(tmp_path / "mirai.pcap")
+        write_pcap(path, trace)
+        loaded = read_pcap(path, malicious=True)
+        assert all(p.tcp_flags == 0x02 for p in loaded)
+        assert all(p.malicious for p in loaded)
+
+    def test_features_identical_after_round_trip(self, tmp_path):
+        """The models must see the same features from a re-read capture."""
+        trace = generate_benign_trace(30, seed=3)
+        path = str(tmp_path / "t.pcap")
+        write_pcap(path, trace)
+        loaded = read_pcap(path)
+        fx = FlowFeatureExtractor(feature_set="switch")
+        x_orig, _ = fx.extract_flows(list(trace.flows().values()))
+        x_load, _ = fx.extract_flows(list(loaded.flows().values()))
+        # Timestamps quantise to µs; tolerate that in IPD stats.
+        np.testing.assert_allclose(
+            np.sort(x_orig, axis=0), np.sort(x_load, axis=0), rtol=1e-3, atol=1e-4
+        )
+
+    def test_global_header_magic(self, tmp_path):
+        path = str(tmp_path / "m.pcap")
+        write_pcap(path, generate_benign_trace(2, seed=4))
+        with open(path, "rb") as fh:
+            magic = struct.unpack("<I", fh.read(4))[0]
+        assert magic == PCAP_MAGIC
+
+    def test_reject_non_pcap(self, tmp_path):
+        path = tmp_path / "bogus.pcap"
+        path.write_bytes(b"definitely not a pcap file, promise")
+        with pytest.raises(ValueError, match="not a little-endian"):
+            read_pcap(str(path))
+
+    def test_reject_truncated(self, tmp_path):
+        path = tmp_path / "short.pcap"
+        path.write_bytes(b"\x12\x34")
+        with pytest.raises(ValueError, match="too short"):
+            read_pcap(str(path))
+
+    def test_empty_trace(self, tmp_path):
+        path = str(tmp_path / "empty.pcap")
+        assert write_pcap(path, Trace([])) == 0
+        assert len(read_pcap(path)) == 0

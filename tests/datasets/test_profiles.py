@@ -1,0 +1,114 @@
+"""Tests for the flow-profile generators."""
+
+import numpy as np
+import pytest
+
+from repro.datasets.packet import MAX_PACKET_SIZE, MIN_PACKET_SIZE, PROTO_TCP
+from repro.datasets.profiles import FlowProfile, ProfileMixture, _log_uniform
+from repro.utils.rng import as_rng
+
+
+def _profile(**overrides):
+    params = dict(
+        name="test",
+        protocol=PROTO_TCP,
+        dst_ports=(80,),
+        size_mean_range=(100.0, 200.0),
+        size_cov_range=(0.05, 0.1),
+        ipd_mean_range=(0.01, 0.1),
+        ipd_cov_range=(0.1, 0.2),
+        count_range=(5, 20),
+    )
+    params.update(overrides)
+    return FlowProfile(**params)
+
+
+class TestLogUniform:
+    def test_within_bounds(self):
+        rng = as_rng(0)
+        draws = [_log_uniform(rng, 2.0, 50.0) for _ in range(200)]
+        assert min(draws) >= 2.0 and max(draws) <= 50.0
+
+    def test_rejects_nonpositive_low(self):
+        with pytest.raises(ValueError):
+            _log_uniform(as_rng(0), 0.0, 1.0)
+
+
+class TestFlowProfile:
+    def test_flow_packet_count_in_range(self):
+        profile = _profile()
+        rng = as_rng(1)
+        for _ in range(20):
+            flow = profile.sample_flow(rng, 0.0)
+            assert 1 <= len(flow) <= 25  # log-uniform rounding slack
+
+    def test_sizes_clamped_to_ethernet(self):
+        profile = _profile(size_mean_range=(10.0, 20.0))  # will clamp at 60
+        flow = profile.sample_flow(as_rng(2), 0.0)
+        assert all(MIN_PACKET_SIZE <= p.size <= MAX_PACKET_SIZE for p in flow)
+
+    def test_timestamps_monotone(self):
+        flow = _profile().sample_flow(as_rng(3), 5.0)
+        times = [p.timestamp for p in flow]
+        assert times == sorted(times)
+        assert times[0] == 5.0
+
+    def test_malicious_bit_propagates(self):
+        flow = _profile(malicious=True).sample_flow(as_rng(4), 0.0)
+        assert all(p.malicious for p in flow)
+
+    def test_five_tuple_constant_within_flow(self):
+        flow = _profile().sample_flow(as_rng(5), 0.0)
+        assert len({p.five_tuple for p in flow}) == 1
+
+    def test_port_sweep_varies_ports(self):
+        profile = _profile(dst_ports=tuple(range(1, 100)), port_sweep=True, count_range=(30, 40))
+        flow = profile.sample_flow(as_rng(6), 0.0)
+        ports = {p.five_tuple.dst_port for p in flow}
+        assert len(ports) > 5
+
+    def test_tcp_flags_set_for_tcp(self):
+        flow = _profile(tcp_flags=0x02).sample_flow(as_rng(7), 0.0)
+        assert all(p.tcp_flags == 0x02 for p in flow)
+
+    def test_zero_ipd_cov_gives_constant_gaps(self):
+        profile = _profile(ipd_cov_range=(0.0, 0.0), count_range=(10, 10))
+        flow = profile.sample_flow(as_rng(8), 0.0)
+        gaps = np.diff([p.timestamp for p in flow])
+        assert np.allclose(gaps, gaps[0])
+
+
+class TestProfileMixture:
+    def test_empty_profiles_rejected(self):
+        with pytest.raises(ValueError):
+            ProfileMixture([])
+
+    def test_weights_normalised(self):
+        mix = ProfileMixture([_profile(), _profile()], weights=[2.0, 2.0])
+        assert mix.weights == pytest.approx([0.5, 0.5])
+
+    def test_weight_length_mismatch(self):
+        with pytest.raises(ValueError):
+            ProfileMixture([_profile()], weights=[0.5, 0.5])
+
+    def test_negative_weight_rejected(self):
+        with pytest.raises(ValueError):
+            ProfileMixture([_profile()], weights=[-1.0])
+
+    def test_generates_requested_flows(self):
+        flows = ProfileMixture([_profile()]).generate_flows(10, seed=1)
+        assert len(flows) == 10
+
+    def test_flow_arrivals_increase(self):
+        flows = ProfileMixture([_profile()]).generate_flows(10, seed=2)
+        starts = [f[0].timestamp for f in flows]
+        assert starts == sorted(starts)
+
+    def test_deterministic_with_seed(self):
+        a = ProfileMixture([_profile()]).generate_flows(5, seed=3)
+        b = ProfileMixture([_profile()]).generate_flows(5, seed=3)
+        assert [p.size for f in a for p in f] == [p.size for f in b for p in f]
+
+    def test_negative_count_rejected(self):
+        with pytest.raises(ValueError):
+            ProfileMixture([_profile()]).generate_flows(-1)

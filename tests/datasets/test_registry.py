@@ -1,0 +1,37 @@
+"""Tests for the named dataset registry."""
+
+import pytest
+
+from repro.datasets.registry import (
+    appendix_attack_names,
+    attack_names,
+    headline_attack_names,
+    load_attack,
+    load_benign,
+)
+
+
+class TestRegistry:
+    def test_partition_of_fifteen(self):
+        headline = headline_attack_names()
+        appendix = appendix_attack_names()
+        assert len(headline) == 5
+        assert len(appendix) == 10
+        assert set(headline).isdisjoint(appendix)
+        assert attack_names() == headline + appendix
+
+    def test_load_attack_roundtrip(self):
+        flows = load_attack("Bashlite", 3, seed=1)
+        assert len(flows) == 3
+        assert all(p.malicious for f in flows for p in f)
+
+    def test_load_benign_roundtrip(self):
+        flows = load_benign(4, seed=2)
+        assert len(flows) == 4
+        assert all(not p.malicious for f in flows for p in f)
+
+    def test_headline_matches_paper_figures(self):
+        # Fig 2/5/6 cover these five workloads.
+        assert set(headline_attack_names()) == {
+            "Aidra", "Mirai", "Bashlite", "UDP DDoS", "OS scan",
+        }

@@ -1,0 +1,84 @@
+"""Tests for the HorusEye-protocol dataset splits."""
+
+import numpy as np
+import pytest
+
+from repro.datasets.splits import (
+    make_attack_split,
+    make_trace_split,
+    split_benign_indices,
+)
+from repro.utils.rng import as_rng
+
+
+class TestSplitIndices:
+    def test_partition_is_complete_and_disjoint(self):
+        train, val, test = split_benign_indices(100, as_rng(1))
+        combined = np.concatenate([train, val, test])
+        assert sorted(combined) == list(range(100))
+
+    def test_ratios(self):
+        train, val, test = split_benign_indices(1000, as_rng(2))
+        assert len(test) == 250
+        # train : val = 4 : 1 of the remainder
+        assert len(val) == pytest.approx(150, abs=2)
+        assert len(train) == pytest.approx(600, abs=2)
+
+
+class TestAttackSplit:
+    def test_shapes_and_labels(self):
+        s = make_attack_split("Mirai", n_benign_flows=150, seed=3)
+        assert s.x_train.shape[1] == len(s.feature_names)
+        assert set(np.unique(s.y_val)) <= {0, 1}
+        assert s.y_test.sum() > 0 and (s.y_test == 0).sum() > 0
+
+    def test_attack_fraction_near_twenty_percent(self):
+        s = make_attack_split("Mirai", n_benign_flows=400, seed=4)
+        assert s.y_test.mean() == pytest.approx(0.2, abs=0.05)
+        assert s.y_val.mean() == pytest.approx(0.2, abs=0.07)
+
+    def test_switch_feature_set(self):
+        s = make_attack_split("Mirai", n_benign_flows=120, feature_set="switch", seed=5)
+        assert s.x_train.shape[1] == 13
+
+    def test_truncation_caps_pkt_count(self):
+        s = make_attack_split(
+            "UDP DDoS", n_benign_flows=120, feature_set="switch",
+            pkt_count_threshold=8, seed=6,
+        )
+        # feature 0 is pkt_count in the switch set
+        assert s.x_train[:, 0].max() <= 8
+        assert s.x_test[:, 0].max() <= 8
+
+    def test_deterministic(self):
+        a = make_attack_split("Aidra", n_benign_flows=100, seed=7)
+        b = make_attack_split("Aidra", n_benign_flows=100, seed=7)
+        np.testing.assert_array_equal(a.x_test, b.x_test)
+
+    def test_invalid_fraction_rejected(self):
+        with pytest.raises(ValueError):
+            make_attack_split("Mirai", n_benign_flows=100, attack_fraction=0.0, seed=8)
+
+
+class TestTraceSplit:
+    def test_train_flows_benign_only(self):
+        s = make_trace_split("Mirai", n_benign_flows=120, seed=9)
+        assert all(not p.malicious for f in s.train_flows for p in f)
+
+    def test_test_trace_mixes_classes(self):
+        s = make_trace_split("Mirai", n_benign_flows=120, seed=10)
+        frac = s.test_trace.malicious_fraction()
+        assert 0.0 < frac < 1.0
+
+    def test_attack_overlaps_benign_window(self):
+        s = make_trace_split("Mirai", n_benign_flows=150, seed=11)
+        mal_times = [p.timestamp for p in s.test_trace if p.malicious]
+        ben_times = [p.timestamp for p in s.test_trace if not p.malicious]
+        assert min(mal_times) < max(ben_times)
+        assert min(ben_times) < max(mal_times)
+
+    def test_val_labels_match_val_flows(self):
+        s = make_trace_split("Mirai", n_benign_flows=120, seed=12)
+        assert len(s.val_labels) == len(s.val_flows)
+        for flow, label in zip(s.val_flows, s.val_labels):
+            assert int(any(p.malicious for p in flow)) == label

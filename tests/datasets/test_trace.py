@@ -1,0 +1,68 @@
+"""Tests for trace containers."""
+
+import numpy as np
+import pytest
+
+from repro.datasets.packet import PROTO_UDP, FiveTuple, Packet
+from repro.datasets.trace import Trace, flows_to_trace, merge_traces
+
+
+def _pkt(t, src=1, dst=2, sport=10, dport=20, size=100, malicious=False):
+    return Packet(
+        FiveTuple(src, dst, sport, dport, PROTO_UDP), t, size, malicious=malicious
+    )
+
+
+class TestTrace:
+    def test_sorts_on_construction(self):
+        tr = Trace([_pkt(2.0), _pkt(1.0), _pkt(3.0)])
+        times = [p.timestamp for p in tr]
+        assert times == sorted(times)
+
+    def test_len_and_getitem(self):
+        tr = Trace([_pkt(1.0), _pkt(2.0)])
+        assert len(tr) == 2
+        assert tr[0].timestamp == 1.0
+
+    def test_duration(self):
+        assert Trace([_pkt(1.0), _pkt(4.0)]).duration == 3.0
+        assert Trace([]).duration == 0.0
+
+    def test_total_bytes(self):
+        tr = Trace([_pkt(1.0, size=100), _pkt(2.0, size=50)])
+        assert tr.total_bytes == 150
+
+    def test_flows_groups_by_direction(self):
+        tr = Trace([_pkt(1.0, src=1, dst=2), _pkt(2.0, src=2, dst=1, sport=20, dport=10)])
+        assert len(tr.flows()) == 2
+        assert len(tr.bidirectional_flows()) == 1
+
+    def test_malicious_fraction(self):
+        tr = Trace([_pkt(1.0, malicious=True), _pkt(2.0), _pkt(3.0), _pkt(4.0)])
+        assert tr.malicious_fraction() == pytest.approx(0.25)
+
+    def test_shifted(self):
+        tr = Trace([_pkt(1.0), _pkt(2.0)]).shifted(10.0)
+        assert tr[0].timestamp == 11.0
+
+    def test_sliced(self):
+        tr = Trace([_pkt(float(i)) for i in range(10)])
+        window = tr.sliced(3.0, 6.0)
+        assert [p.timestamp for p in window] == [3.0, 4.0, 5.0]
+
+
+class TestMergeTraces:
+    def test_interleaves_in_time_order(self):
+        a = Trace([_pkt(1.0), _pkt(3.0)])
+        b = Trace([_pkt(2.0), _pkt(4.0)])
+        merged = merge_traces([a, b])
+        assert [p.timestamp for p in merged] == [1.0, 2.0, 3.0, 4.0]
+
+    def test_empty_traces_skipped(self):
+        merged = merge_traces([Trace([]), Trace([_pkt(1.0)])])
+        assert len(merged) == 1
+
+    def test_flows_to_trace_flattens(self):
+        flows = [[_pkt(1.0), _pkt(3.0)], [_pkt(2.0)]]
+        tr = flows_to_trace(flows)
+        assert [p.timestamp for p in tr] == [1.0, 2.0, 3.0]

@@ -1,0 +1,72 @@
+"""Tests for the grid-search utilities (tiny grids for speed)."""
+
+import numpy as np
+import pytest
+
+from repro.datasets.splits import make_attack_split
+from repro.eval.gridsearch import (
+    grid_search_iforest,
+    grid_search_iguard,
+    tune_detector_threshold,
+)
+from repro.eval.metrics import macro_f1
+from repro.nn.autoencoder import Autoencoder
+from repro.nn.ensemble import AutoencoderEnsemble
+
+
+@pytest.fixture(scope="module")
+def split():
+    return make_attack_split("UDP DDoS", n_benign_flows=200, seed=41)
+
+
+class TestIForestSearch:
+    def test_returns_best_config(self, split):
+        grid = {
+            "n_trees": (20,),
+            "subsample_size": (32, 64),
+            "contamination": (0.05, 0.2),
+        }
+        result = grid_search_iforest(
+            split.x_train, split.x_val, split.y_val, grid=grid, seed=1
+        )
+        assert result.params["subsample_size"] in (32, 64)
+        assert result.params["contamination"] in (0.05, 0.2)
+        assert 0.0 <= result.val_metrics.macro_f1 <= 1.0
+        # Winner model is refitted with the winning contamination.
+        assert result.model.contamination == result.params["contamination"]
+
+    def test_objective_validation(self, split):
+        with pytest.raises(ValueError):
+            grid_search_iforest(
+                split.x_train, split.x_val, split.y_val,
+                grid={"n_trees": (5,), "subsample_size": (16,), "contamination": (0.1,)},
+                objective="nope",
+            )
+
+
+class TestIGuardSearch:
+    def test_shared_oracle_reused(self, split):
+        members = [Autoencoder(hidden=(4,), epochs=40, seed=i) for i in range(2)]
+        oracle = AutoencoderEnsemble(members, seed=2).fit(split.x_train)
+        grid = {
+            "n_trees": (3,),
+            "subsample_size": (48,),
+            "k_aug": (32,),
+            "threshold_margin": (2.0,),
+            "distil_margin": (1.0, 1.2),
+        }
+        result = grid_search_iguard(
+            split.x_train, split.x_val, split.y_val, grid=grid, oracle=oracle, seed=3
+        )
+        assert result.model.oracle is oracle
+        assert result.params["distil_margin"] in (1.0, 1.2)
+        assert result.val_metrics.mean_of_three > 0.3
+
+
+class TestThresholdTuning:
+    def test_picks_separating_threshold(self):
+        scores_val = np.array([0.1, 0.2, 0.3, 5.0, 6.0])
+        y_val = np.array([0, 0, 0, 1, 1])
+        t = tune_detector_threshold(scores_val, y_val, scores_train=np.linspace(0, 1, 100))
+        pred = (scores_val > t).astype(int)
+        assert macro_f1(y_val, pred) == 1.0

@@ -1,0 +1,89 @@
+"""Unit tests for harness plumbing (fast paths only)."""
+
+import numpy as np
+import pytest
+
+from repro.core.rules import BENIGN, RuleSet, WhitelistRule
+from repro.datasets.splits import make_trace_split
+from repro.eval.harness import (
+    ADVERSARIAL_VARIANTS,
+    TestbedConfig,
+    _rule_domain,
+    _train_features,
+    build_pipeline,
+)
+from repro.utils.box import Box
+
+
+class TestRuleDomain:
+    def test_includes_finite_bounds(self):
+        x = np.array([[1.0, 1.0], [2.0, 2.0]])
+        rules = RuleSet(
+            [WhitelistRule(box=Box((0.5, 0.5), (9.0, 9.0)), label=BENIGN)],
+            outer_box=Box((0.0, 0.0), (10.0, 10.0)),
+        )
+        domain = _rule_domain(x, rules)
+        assert domain[:, 0].min() == 0.5
+        assert domain[:, 0].max() == 9.0
+
+    def test_infinite_bounds_filled_from_data(self):
+        x = np.array([[1.0], [2.0]])
+        rules = RuleSet(
+            [WhitelistRule(box=Box((-np.inf,), (np.inf,)), label=BENIGN)],
+            outer_box=Box.full(1),
+        )
+        domain = _rule_domain(x, rules)
+        assert np.all(np.isfinite(domain))
+
+
+class TestTrainFeatures:
+    def test_truncation_applied(self):
+        split = make_trace_split("Mirai", n_benign_flows=60, seed=71)
+        config = TestbedConfig(pkt_count_threshold=4)
+        x, extractor = _train_features(split, config)
+        assert x[:, 0].max() <= 4  # pkt_count capped
+        assert extractor.feature_set == "switch"
+
+
+class TestBuildPipeline:
+    def test_without_pl_model(self):
+        split = make_trace_split("OS scan", n_benign_flows=80, seed=72)
+        config = TestbedConfig(
+            n_benign_flows=80,
+            use_pl_model=False,
+            rule_cells=256,
+            iforest_params={"n_trees": 10, "subsample_size": 32, "contamination": 0.1},
+        )
+        pipeline, controller, model = build_pipeline(
+            "iforest", split, config=config, seed=73
+        )
+        assert pipeline.pl_table is None
+        assert controller.pipeline is pipeline
+        # Early packets are benign by default without a PL model.
+        from repro.datasets.packet import PROTO_UDP, FiveTuple, Packet
+
+        decision = pipeline.process(
+            Packet(FiveTuple(9, 9, 9, 9, PROTO_UDP), 0.0, 100)
+        )
+        assert decision.predicted_malicious == 0
+
+    def test_unknown_model_rejected(self):
+        split = make_trace_split("OS scan", n_benign_flows=60, seed=74)
+        with pytest.raises(ValueError, match="model must be"):
+            build_pipeline("magic", split, seed=75)
+
+
+class TestVariants:
+    def test_expected_variant_names(self):
+        assert set(ADVERSARIAL_VARIANTS) == {
+            "lowrate_100",
+            "evasion_1to2",
+            "evasion_1to4",
+            "poison_2pct",
+            "poison_10pct",
+        }
+
+    def test_poison_fractions(self):
+        assert ADVERSARIAL_VARIANTS["poison_2pct"][1] == 0.02
+        assert ADVERSARIAL_VARIANTS["poison_10pct"][1] == 0.10
+        assert ADVERSARIAL_VARIANTS["lowrate_100"][1] == 0.0

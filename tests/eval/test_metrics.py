@@ -1,0 +1,148 @@
+"""Tests for the from-scratch metrics, incl. brute-force property checks."""
+
+import numpy as np
+import pytest
+from hypothesis import given, settings
+from hypothesis import strategies as st
+
+from repro.eval.metrics import (
+    confusion_counts,
+    detection_metrics,
+    f1_score,
+    macro_f1,
+    pr_auc,
+    roc_auc,
+    roc_curve,
+)
+
+
+def _brute_force_roc_auc(y, s):
+    """P(score_pos > score_neg) + 0.5 P(tie) over all pairs."""
+    pos = s[y == 1]
+    neg = s[y == 0]
+    wins = sum((p > n) + 0.5 * (p == n) for p in pos for n in neg)
+    return wins / (len(pos) * len(neg))
+
+
+class TestConfusion:
+    def test_counts(self):
+        y = np.array([1, 1, 0, 0, 1])
+        p = np.array([1, 0, 0, 1, 1])
+        c = confusion_counts(y, p)
+        assert (c.tp, c.fn, c.tn, c.fp) == (2, 1, 1, 1)
+        assert c.total == 5
+        assert c.accuracy == pytest.approx(0.6)
+
+    def test_label_validation(self):
+        with pytest.raises(ValueError):
+            confusion_counts([0, 2], [0, 1])
+        with pytest.raises(ValueError):
+            confusion_counts([0, 1], [0])
+
+
+class TestF1:
+    def test_perfect(self):
+        y = np.array([0, 1, 0, 1])
+        assert f1_score(y, y) == 1.0
+        assert macro_f1(y, y) == 1.0
+
+    def test_all_wrong(self):
+        y = np.array([0, 1])
+        assert macro_f1(y, 1 - y) == 0.0
+
+    def test_known_value(self):
+        y = np.array([1, 1, 0, 0])
+        p = np.array([1, 0, 0, 0])
+        # malicious: tp=1 fp=0 fn=1 → 2/3; benign: tp=2 fp=1 fn=0 → 4/5
+        assert macro_f1(y, p) == pytest.approx(0.5 * (2 / 3 + 4 / 5))
+
+    def test_degenerate_all_positive_predictions(self):
+        y = np.array([0, 0, 0, 1])
+        p = np.ones(4, dtype=int)
+        assert 0.0 <= macro_f1(y, p) <= 1.0
+
+
+class TestRocAuc:
+    def test_perfect_separation(self):
+        y = np.array([0, 0, 1, 1])
+        s = np.array([0.1, 0.2, 0.8, 0.9])
+        assert roc_auc(y, s) == 1.0
+
+    def test_inverted(self):
+        y = np.array([0, 0, 1, 1])
+        s = np.array([0.9, 0.8, 0.2, 0.1])
+        assert roc_auc(y, s) == 0.0
+
+    def test_all_ties_is_half(self):
+        y = np.array([0, 1, 0, 1])
+        assert roc_auc(y, np.ones(4)) == 0.5
+
+    def test_single_class_raises(self):
+        with pytest.raises(ValueError):
+            roc_auc(np.zeros(4, dtype=int), np.arange(4.0))
+
+    @settings(max_examples=100, deadline=None)
+    @given(
+        st.lists(
+            st.tuples(st.integers(0, 1), st.integers(0, 5)), min_size=4, max_size=30
+        )
+    )
+    def test_matches_brute_force(self, pairs):
+        y = np.array([a for a, _ in pairs])
+        s = np.array([b for _, b in pairs], dtype=float)
+        if y.min() == y.max():
+            return
+        assert roc_auc(y, s) == pytest.approx(_brute_force_roc_auc(y, s))
+
+
+class TestPrAuc:
+    def test_perfect(self):
+        y = np.array([0, 0, 1, 1])
+        s = np.array([0.1, 0.2, 0.8, 0.9])
+        assert pr_auc(y, s) == 1.0
+
+    def test_random_equals_prevalence(self):
+        rng = np.random.default_rng(0)
+        y = rng.integers(0, 2, size=4000)
+        s = rng.uniform(size=4000)
+        assert pr_auc(y, s) == pytest.approx(y.mean(), abs=0.05)
+
+    def test_needs_positives(self):
+        with pytest.raises(ValueError):
+            pr_auc(np.zeros(4, dtype=int), np.arange(4.0))
+
+    def test_monotone_in_separation(self):
+        y = np.array([0] * 50 + [1] * 50)
+        rng = np.random.default_rng(1)
+        weak = np.concatenate([rng.normal(0, 1, 50), rng.normal(0.5, 1, 50)])
+        strong = np.concatenate([rng.normal(0, 1, 50), rng.normal(3, 1, 50)])
+        assert pr_auc(y, strong) > pr_auc(y, weak)
+
+
+class TestRocCurve:
+    def test_starts_at_origin_ends_at_one(self):
+        y = np.array([0, 1, 0, 1, 1])
+        s = np.array([0.1, 0.9, 0.3, 0.6, 0.2])
+        fpr, tpr = roc_curve(y, s)
+        assert fpr[0] == 0.0 and tpr[0] == 0.0
+        assert fpr[-1] == 1.0 and tpr[-1] == 1.0
+        assert (np.diff(fpr) >= 0).all() and (np.diff(tpr) >= 0).all()
+
+    def test_trapezoid_matches_auc(self):
+        rng = np.random.default_rng(2)
+        y = rng.integers(0, 2, size=200)
+        s = rng.normal(size=200) + y
+        fpr, tpr = roc_curve(y, s)
+        assert np.trapezoid(tpr, fpr) == pytest.approx(roc_auc(y, s), abs=1e-9)
+
+
+class TestBundle:
+    def test_detection_metrics_fields(self):
+        y = np.array([0, 1, 0, 1])
+        p = np.array([0, 1, 0, 0])
+        s = np.array([0.1, 0.9, 0.2, 0.4])
+        m = detection_metrics(y, p, s)
+        assert m.macro_f1 == macro_f1(y, p)
+        assert m.roc_auc == roc_auc(y, s)
+        assert m.pr_auc == pr_auc(y, s)
+        assert m.mean_of_three == pytest.approx((m.macro_f1 + m.roc_auc + m.pr_auc) / 3)

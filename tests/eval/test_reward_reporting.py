@@ -1,0 +1,74 @@
+"""Tests for the testbed reward and reporting helpers."""
+
+import numpy as np
+import pytest
+
+from repro.eval.metrics import DetectionMetrics
+from repro.eval.reporting import (
+    format_distribution_summary,
+    format_improvement_summary,
+    format_metric_table,
+    histogram_overlap,
+)
+from repro.eval.reward import testbed_reward as reward_for
+
+
+def _metrics(f1=0.8, roc=0.9, pr=0.7):
+    return DetectionMetrics(macro_f1=f1, roc_auc=roc, pr_auc=pr, accuracy=0.85)
+
+
+class TestReward:
+    def test_alpha_balance(self):
+        m = _metrics()
+        quality = (0.8 + 0.7 + 0.9) / 3
+        assert reward_for(m, memory_fraction=0.2, alpha=0.5) == pytest.approx(
+            0.5 * quality + 0.5 * 0.8
+        )
+
+    def test_memory_penalty_monotone(self):
+        m = _metrics()
+        assert reward_for(m, 0.1) > reward_for(m, 0.5)
+
+    def test_alpha_one_ignores_memory(self):
+        m = _metrics()
+        assert reward_for(m, 0.1, alpha=1.0) == reward_for(m, 0.9, alpha=1.0)
+
+    def test_validation(self):
+        with pytest.raises(ValueError):
+            reward_for(_metrics(), memory_fraction=1.5)
+
+
+class TestReporting:
+    def test_metric_table_contains_all_cells(self):
+        rows = {"Mirai": {"iforest": _metrics(0.4, 0.5, 0.3), "iguard": _metrics()}}
+        text = format_metric_table(rows, models=["iforest", "iguard"], title="Fig 5")
+        assert "Fig 5" in text and "Mirai" in text
+        assert "0.400" in text and "0.800" in text
+
+    def test_metric_table_missing_model(self):
+        rows = {"Mirai": {"iguard": _metrics()}}
+        text = format_metric_table(rows, models=["iforest", "iguard"])
+        assert "--" in text
+
+    def test_improvement_summary_signs(self):
+        rows = {
+            "A": {"base": _metrics(0.5, 0.5, 0.5), "new": _metrics(0.75, 0.6, 0.55)},
+        }
+        text = format_improvement_summary(rows, "base", "new")
+        assert "+50.0%" in text
+
+    def test_histogram_overlap_identical_is_one(self):
+        x = np.random.default_rng(0).normal(size=500)
+        assert histogram_overlap(x, x) == pytest.approx(1.0)
+
+    def test_histogram_overlap_disjoint_is_zero(self):
+        a = np.zeros(100)
+        b = np.ones(100) * 10
+        assert histogram_overlap(a, b) == pytest.approx(0.0, abs=0.02)
+
+    def test_distribution_summary_renders(self):
+        rng = np.random.default_rng(1)
+        text = format_distribution_summary(
+            "Mirai", rng.normal(5, 1, 200), rng.normal(6, 1, 200)
+        )
+        assert "Mirai" in text and "overlap=" in text

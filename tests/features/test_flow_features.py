@@ -1,0 +1,102 @@
+"""Tests for flow-level feature extraction."""
+
+import numpy as np
+import pytest
+
+from repro.datasets.packet import PROTO_TCP, FiveTuple, Packet
+from repro.features.flow_features import (
+    MAGNIFIER_FEATURES,
+    SWITCH_FEATURES,
+    FlowFeatureExtractor,
+    truncate_flow,
+)
+
+FT = FiveTuple(1, 2, 1000, 80, PROTO_TCP)
+
+
+def _flow(times, sizes, ttl=64):
+    return [Packet(FT, t, s, ttl=ttl) for t, s in zip(times, sizes)]
+
+
+class TestFeatureSets:
+    def test_switch_set_is_thirteen(self):
+        assert len(SWITCH_FEATURES) == 13
+
+    def test_magnifier_superset(self):
+        assert set(SWITCH_FEATURES) < set(MAGNIFIER_FEATURES)
+
+    def test_invalid_set_rejected(self):
+        with pytest.raises(ValueError, match="feature_set"):
+            FlowFeatureExtractor(feature_set="bogus")
+
+
+class TestExtraction:
+    def test_known_statistics(self):
+        flow = _flow([0.0, 1.0, 2.0], [100, 200, 300])
+        fx = FlowFeatureExtractor(feature_set="switch")
+        v = dict(zip(fx.feature_names, fx.extract_flow(flow)))
+        assert v["pkt_count"] == 3
+        assert v["size_total"] == 600
+        assert v["size_mean"] == 200
+        assert v["size_min"] == 100
+        assert v["size_max"] == 300
+        assert v["ipd_mean"] == pytest.approx(1.0)
+        assert v["duration"] == pytest.approx(2.0)
+        assert v["size_var"] == pytest.approx(np.var([100, 200, 300]))
+        assert v["size_std"] == pytest.approx(np.std([100, 200, 300]))
+
+    def test_single_packet_flow_conventions(self):
+        fx = FlowFeatureExtractor(feature_set="switch")
+        v = dict(zip(fx.feature_names, fx.extract_flow(_flow([1.0], [80]))))
+        assert v["pkt_count"] == 1
+        assert v["ipd_mean"] == 0.0
+        assert v["duration"] == 0.0
+
+    def test_magnifier_extra_features(self):
+        flow = _flow([0.0, 2.0], [100, 200])
+        fx = FlowFeatureExtractor(feature_set="magnifier")
+        v = dict(zip(fx.feature_names, fx.extract_flow(flow)))
+        assert v["protocol"] == PROTO_TCP
+        assert v["dst_port"] == 80
+        assert v["ttl_mean"] == 64
+        assert v["bytes_per_second"] == pytest.approx(150.0)
+        assert v["pkts_per_second"] == pytest.approx(1.0)
+
+    def test_empty_flow_rejected(self):
+        with pytest.raises(ValueError, match="empty flow"):
+            FlowFeatureExtractor().extract_flow([])
+
+    def test_extract_flows_labels(self):
+        benign = _flow([0.0, 1.0], [100, 100])
+        malicious = [Packet(FT, t, 100, malicious=True) for t in (0.0, 1.0)]
+        x, y = FlowFeatureExtractor(feature_set="switch").extract_flows([benign, malicious])
+        assert x.shape == (2, 13)
+        assert y.tolist() == [0, 1]
+
+
+class TestTruncation:
+    def test_pkt_count_threshold(self):
+        flow = _flow(np.arange(10.0), [100] * 10)
+        assert len(truncate_flow(flow, pkt_count_threshold=4)) == 4
+
+    def test_timeout_cuts_at_idle_gap(self):
+        flow = _flow([0.0, 1.0, 2.0, 50.0, 51.0], [100] * 5)
+        kept = truncate_flow(flow, timeout=5.0)
+        assert len(kept) == 3
+
+    def test_no_truncation_by_default(self):
+        flow = _flow(np.arange(6.0), [100] * 6)
+        assert len(truncate_flow(flow)) == 6
+
+    def test_extractor_applies_truncation(self):
+        flow = _flow(np.arange(10.0), [100] * 10)
+        fx = FlowFeatureExtractor(feature_set="switch", pkt_count_threshold=5)
+        assert fx.extract_flow(flow)[0] == 5  # pkt_count feature
+
+    def test_invalid_threshold(self):
+        with pytest.raises(ValueError):
+            FlowFeatureExtractor(pkt_count_threshold=0)
+
+    def test_invalid_timeout(self):
+        with pytest.raises(ValueError):
+            FlowFeatureExtractor(timeout=-1.0)

@@ -1,0 +1,48 @@
+"""Tests for packet-level feature extraction."""
+
+import numpy as np
+import pytest
+
+from repro.datasets.packet import PROTO_TCP, FiveTuple, Packet
+from repro.features.packet_features import (
+    PACKET_FEATURES,
+    extract_first_packets,
+    extract_packet_features,
+    packet_feature_vector,
+)
+
+
+def _pkt(dport=80, size=100, ttl=64, malicious=False):
+    return Packet(
+        FiveTuple(1, 2, 999, dport, PROTO_TCP), 0.0, size, ttl=ttl, malicious=malicious
+    )
+
+
+class TestPacketFeatures:
+    def test_four_features(self):
+        assert len(PACKET_FEATURES) == 4
+        assert packet_feature_vector(_pkt()).shape == (4,)
+
+    def test_vector_values(self):
+        v = packet_feature_vector(_pkt(dport=443, size=123, ttl=32))
+        assert v.tolist() == [443.0, float(PROTO_TCP), 123.0, 32.0]
+
+    def test_extract_matrix_and_labels(self):
+        x, y = extract_packet_features([_pkt(), _pkt(malicious=True)])
+        assert x.shape == (2, 4)
+        assert y.tolist() == [0, 1]
+
+    def test_empty_rejected(self):
+        with pytest.raises(ValueError):
+            extract_packet_features([])
+
+
+class TestFirstPackets:
+    def test_takes_per_flow_prefix(self):
+        flows = [[_pkt(), _pkt(), _pkt()], [_pkt(dport=22)]]
+        x, _ = extract_first_packets(flows, per_flow=2)
+        assert x.shape[0] == 3  # 2 + 1
+
+    def test_per_flow_validation(self):
+        with pytest.raises(ValueError):
+            extract_first_packets([[_pkt()]], per_flow=0)

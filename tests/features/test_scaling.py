@@ -1,0 +1,105 @@
+"""Tests for scaling and integer quantisation."""
+
+import numpy as np
+import pytest
+from hypothesis import given, settings
+from hypothesis import strategies as st
+
+from repro.features.scaling import IntegerQuantizer, MinMaxScaler
+from repro.utils.validation import NotFittedError
+
+
+class TestMinMaxScaler:
+    def test_unit_range(self):
+        x = np.array([[0.0, 10.0], [5.0, 20.0], [10.0, 30.0]])
+        xs = MinMaxScaler().fit_transform(x)
+        assert xs.min() == 0.0 and xs.max() == 1.0
+
+    def test_clipping_out_of_range(self):
+        scaler = MinMaxScaler().fit(np.array([[0.0], [10.0]]))
+        out = scaler.transform(np.array([[-5.0], [15.0]]))
+        assert out.min() == 0.0 and out.max() == 1.0
+
+    def test_constant_feature_maps_to_zero(self):
+        scaler = MinMaxScaler().fit(np.array([[3.0], [3.0]]))
+        assert scaler.transform(np.array([[3.0]]))[0, 0] == 0.0
+
+    def test_inverse_transform_round_trip(self):
+        x = np.array([[1.0, 5.0], [4.0, 9.0], [2.0, 7.0]])
+        scaler = MinMaxScaler().fit(x)
+        np.testing.assert_allclose(scaler.inverse_transform(scaler.transform(x)), x)
+
+    def test_unfitted_raises(self):
+        with pytest.raises(NotFittedError):
+            MinMaxScaler().transform(np.ones((1, 2)))
+
+
+class TestIntegerQuantizer:
+    def test_invalid_bits(self):
+        with pytest.raises(ValueError):
+            IntegerQuantizer(bits=0)
+        with pytest.raises(ValueError):
+            IntegerQuantizer(bits=33)
+
+    def test_invalid_space(self):
+        with pytest.raises(ValueError):
+            IntegerQuantizer(space="cubic")
+
+    def test_in_domain_band(self):
+        q = IntegerQuantizer(bits=8).fit(np.array([[0.0], [100.0]]))
+        codes = q.quantize(np.array([[0.0], [50.0], [100.0]]))
+        assert codes.min() >= 1
+        assert codes.max() <= q.levels - 1
+
+    def test_out_of_domain_sentinels(self):
+        q = IntegerQuantizer(bits=8).fit(np.array([[10.0], [100.0]]))
+        codes = q.quantize(np.array([[5.0], [200.0]]))
+        assert codes[0, 0] == 0
+        assert codes[1, 0] == q.levels
+
+    def test_bound_quantisation_stays_in_band(self):
+        q = IntegerQuantizer(bits=8).fit(np.array([[10.0], [100.0]]))
+        assert q.quantize_bound(10.0, 0) == 1
+        assert q.quantize_bound(-999.0, 0) == 1
+        assert q.quantize_bound(999.0, 0) == q.levels - 1
+
+    def test_monotone(self):
+        q = IntegerQuantizer(bits=16).fit(np.array([[0.0], [1000.0]]))
+        values = np.linspace(0, 1000, 100).reshape(-1, 1)
+        codes = q.quantize(values)[:, 0]
+        assert (np.diff(codes) >= 0).all()
+
+    def test_log_space_resolves_small_values(self):
+        """A log codebook must distinguish near-zero values that a linear
+        codebook collapses — the property the switch rules rely on."""
+        domain = np.array([[0.0], [1e6]])
+        lin = IntegerQuantizer(bits=16, space="linear").fit(domain)
+        log = IntegerQuantizer(bits=16, space="log").fit(domain)
+        small = np.array([[0.5], [5.0]])
+        lin_codes = lin.quantize(small)[:, 0]
+        log_codes = log.quantize(small)[:, 0]
+        assert lin_codes[0] == lin_codes[1]  # collapsed
+        assert log_codes[0] < log_codes[1]  # resolved
+
+    def test_unfitted_raises(self):
+        with pytest.raises(NotFittedError):
+            IntegerQuantizer().quantize(np.ones((1, 1)))
+
+    @settings(max_examples=50, deadline=None)
+    @given(
+        st.lists(
+            st.floats(min_value=0.0, max_value=1e6, allow_nan=False),
+            min_size=2,
+            max_size=20,
+        ),
+        st.sampled_from(["linear", "log"]),
+    )
+    def test_round_trip_within_one_code(self, values, space):
+        """quantize(dequantize(q)) returns the same in-band code."""
+        x = np.array(values).reshape(-1, 1)
+        if x.max() == x.min():
+            return
+        q = IntegerQuantizer(bits=16, space=space).fit(x)
+        codes = q.quantize(x)
+        back = q.quantize(q.dequantize(codes))
+        assert np.abs(back - codes).max() <= 1

@@ -1,0 +1,70 @@
+"""Property test: streaming accumulators == batch extractor exactly."""
+
+import numpy as np
+import pytest
+from hypothesis import given, settings
+from hypothesis import strategies as st
+
+from repro.datasets.packet import PROTO_UDP, FiveTuple, Packet
+from repro.features.flow_features import FlowFeatureExtractor
+from repro.features.streaming import StreamingFlowStats
+
+FT = FiveTuple(1, 2, 3, 4, PROTO_UDP)
+
+
+def _packets(gaps, sizes):
+    times = np.concatenate([[0.0], np.cumsum(gaps)]) if gaps else [0.0]
+    return [Packet(FT, float(t), int(s)) for t, s in zip(times, sizes)]
+
+
+class TestStreamingBasics:
+    def test_empty_raises(self):
+        with pytest.raises(ValueError, match="no packets"):
+            StreamingFlowStats().features()
+
+    def test_single_packet(self):
+        s = StreamingFlowStats()
+        s.update(Packet(FT, 1.0, 120))
+        fx = FlowFeatureExtractor(feature_set="switch")
+        np.testing.assert_allclose(
+            s.features(), fx.extract_flow([Packet(FT, 1.0, 120)])
+        )
+
+    def test_reset_clears(self):
+        s = StreamingFlowStats()
+        s.update(Packet(FT, 0.0, 100))
+        s.reset()
+        assert s.count == 0
+        with pytest.raises(ValueError):
+            s.features()
+
+    def test_idle_since_tracks_last(self):
+        s = StreamingFlowStats()
+        assert s.idle_since is None
+        s.update(Packet(FT, 3.0, 100))
+        assert s.idle_since == 3.0
+
+
+class TestStreamingMatchesBatch:
+    @settings(max_examples=60, deadline=None)
+    @given(
+        st.lists(
+            st.tuples(
+                st.floats(min_value=1e-4, max_value=100.0, allow_nan=False),
+                st.integers(min_value=60, max_value=1514),
+            ),
+            min_size=1,
+            max_size=40,
+        )
+    )
+    def test_equivalence(self, gap_size_pairs):
+        gaps = [g for g, _ in gap_size_pairs[1:]]
+        sizes = [s for _, s in gap_size_pairs]
+        packets = _packets(gaps, sizes)
+
+        streaming = StreamingFlowStats()
+        for pkt in packets:
+            streaming.update(pkt)
+
+        batch = FlowFeatureExtractor(feature_set="switch").extract_flow(packets)
+        np.testing.assert_allclose(streaming.features(), batch, rtol=1e-7, atol=1e-7)

@@ -1,0 +1,82 @@
+"""Tests for the conventional Isolation Forest baseline."""
+
+import numpy as np
+import pytest
+
+from repro.forest.iforest import IsolationForest
+from repro.utils.rng import as_rng
+from repro.utils.validation import NotFittedError
+
+
+def _benign_cluster(n=300, seed=0):
+    return as_rng(seed).normal(0.0, 1.0, size=(n, 5))
+
+
+def _outliers(n=40, seed=1):
+    return as_rng(seed).normal(8.0, 1.0, size=(n, 5))
+
+
+class TestConstruction:
+    def test_invalid_params(self):
+        with pytest.raises(ValueError):
+            IsolationForest(n_trees=0)
+        with pytest.raises(ValueError):
+            IsolationForest(subsample_size=1)
+        with pytest.raises(ValueError):
+            IsolationForest(contamination=1.5)
+
+    def test_unfitted_raises(self):
+        with pytest.raises(NotFittedError):
+            IsolationForest().decision_function(np.ones((1, 2)))
+
+
+class TestScoring:
+    def setup_method(self):
+        self.x = _benign_cluster()
+        self.forest = IsolationForest(
+            n_trees=50, subsample_size=64, contamination=0.1, seed=7
+        ).fit(self.x)
+
+    def test_scores_in_unit_interval(self):
+        s = self.forest.decision_function(self.x)
+        assert (s > 0).all() and (s < 1).all()
+
+    def test_outliers_score_higher(self):
+        s_in = self.forest.decision_function(self.x).mean()
+        s_out = self.forest.decision_function(_outliers()).mean()
+        assert s_out > s_in
+
+    def test_outliers_have_shorter_paths(self):
+        h_in = self.forest.expected_path_length(self.x).mean()
+        h_out = self.forest.expected_path_length(_outliers()).mean()
+        assert h_out < h_in
+
+    def test_contamination_controls_training_flag_rate(self):
+        flagged = self.forest.predict(self.x).mean()
+        assert flagged == pytest.approx(0.1, abs=0.05)
+
+    def test_predict_binary(self):
+        pred = self.forest.predict(_outliers())
+        assert set(np.unique(pred)) <= {0, 1}
+        assert pred.mean() > 0.8  # far outliers almost all flagged
+
+    def test_path_length_threshold_consistent_with_score(self):
+        """score > τ  ⟺  expected path length < path-length threshold."""
+        x_all = np.vstack([self.x, _outliers()])
+        scores = self.forest.decision_function(x_all)
+        paths = self.forest.expected_path_length(x_all)
+        cutoff = self.forest.path_length_threshold()
+        np.testing.assert_array_equal(
+            scores > self.forest.score_threshold(), paths < cutoff
+        )
+
+    def test_deterministic_with_seed(self):
+        a = IsolationForest(n_trees=10, subsample_size=32, seed=3).fit(self.x)
+        b = IsolationForest(n_trees=10, subsample_size=32, seed=3).fit(self.x)
+        np.testing.assert_allclose(
+            a.decision_function(self.x), b.decision_function(self.x)
+        )
+
+    def test_subsample_capped_at_dataset(self):
+        forest = IsolationForest(n_trees=5, subsample_size=10_000, seed=4).fit(self.x)
+        assert forest.psi_ == len(self.x)

@@ -1,0 +1,94 @@
+"""Tests for the isolation tree substrate."""
+
+import numpy as np
+import pytest
+from hypothesis import given, settings
+from hypothesis import strategies as st
+
+from repro.forest.itree import IsolationTree, average_path_length, harmonic_number
+from repro.utils.rng import as_rng
+
+
+class TestPathLengthMath:
+    def test_c_of_small_n(self):
+        assert average_path_length(0) == 0.0
+        assert average_path_length(1) == 0.0
+        assert average_path_length(2) == 1.0
+
+    def test_c_monotone(self):
+        values = [average_path_length(n) for n in range(2, 200)]
+        assert all(b > a for a, b in zip(values, values[1:]))
+
+    def test_c_matches_formula(self):
+        n = 256
+        expected = 2 * harmonic_number(n - 1) - 2 * (n - 1) / n
+        assert average_path_length(n) == pytest.approx(expected)
+
+
+class TestIsolationTree:
+    def setup_method(self):
+        rng = as_rng(0)
+        self.x = rng.normal(size=(128, 4))
+
+    def test_invalid_depth(self):
+        with pytest.raises(ValueError):
+            IsolationTree(max_depth=0)
+
+    def test_unfitted_raises(self):
+        with pytest.raises(RuntimeError):
+            IsolationTree(max_depth=3).path_lengths(self.x)
+
+    def test_height_cap_respected(self):
+        tree = IsolationTree(max_depth=5, seed=1).fit(self.x)
+        assert tree.max_leaf_depth() <= 5
+
+    def test_path_lengths_bounded(self):
+        tree = IsolationTree(max_depth=7, seed=2).fit(self.x)
+        h = tree.path_lengths(self.x)
+        # depth <= 7, plus c(leaf size) <= c(n)
+        assert h.max() <= 7 + average_path_length(len(self.x))
+        assert h.min() >= 0.0
+
+    def test_constant_data_single_leaf(self):
+        x = np.ones((32, 3))
+        tree = IsolationTree(max_depth=6, seed=3).fit(x)
+        assert tree.n_leaves() == 1
+
+    def test_outlier_has_shorter_path(self):
+        x = np.vstack([self.x, [[50.0, 50.0, 50.0, 50.0]]])
+        tree = IsolationTree(max_depth=8, seed=4).fit(x)
+        h = tree.path_lengths(x)
+        assert h[-1] < np.median(h[:-1])
+
+    def test_leaf_for_matches_path_lengths(self):
+        tree = IsolationTree(max_depth=6, seed=5).fit(self.x)
+        for row in self.x[:10]:
+            leaf = tree.leaf_for(row)
+            h = tree.path_lengths(row.reshape(1, -1))[0]
+            assert h == pytest.approx(leaf.depth + leaf.path_adjustment())
+
+    def test_leaves_partition_sizes(self):
+        tree = IsolationTree(max_depth=6, seed=6).fit(self.x)
+        total = sum(leaf.size for leaf, _box in tree.leaves())
+        assert total == len(self.x)
+
+    def test_leaf_boxes_partition_space(self):
+        """Every sample falls in exactly one leaf box."""
+        tree = IsolationTree(max_depth=5, seed=7).fit(self.x)
+        leaves = tree.leaves()
+        for row in self.x[:20]:
+            hits = sum(bool(box.contains(row.reshape(1, -1))[0]) for _leaf, box in leaves)
+            assert hits == 1
+
+    def test_split_boundaries_sorted_per_feature(self):
+        tree = IsolationTree(max_depth=6, seed=8).fit(self.x)
+        for values in tree.split_boundaries():
+            assert values == sorted(values)
+
+    @settings(max_examples=20, deadline=None)
+    @given(st.integers(min_value=2, max_value=64))
+    def test_isolation_terminates_every_size(self, n):
+        x = as_rng(n).normal(size=(n, 3))
+        tree = IsolationTree(max_depth=8, seed=n).fit(x)
+        assert tree.n_leaves() >= 1
+        assert np.all(tree.path_lengths(x) > 0)

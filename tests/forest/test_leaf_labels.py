@@ -1,0 +1,46 @@
+"""Vectorised leaf-label routing must match per-row routing exactly."""
+
+import numpy as np
+import pytest
+
+from repro.forest.iforest import IsolationForest
+from repro.forest.rules import ScoreLabeledForest
+from repro.utils.rng import as_rng
+
+
+class TestLeafLabels:
+    def setup_method(self):
+        rng = as_rng(0)
+        self.x = rng.normal(size=(150, 4))
+        forest = IsolationForest(
+            n_trees=15, subsample_size=48, contamination=0.1, seed=3
+        ).fit(self.x)
+        self.labeled = ScoreLabeledForest(forest)
+
+    def test_unfitted_raises(self):
+        from repro.forest.itree import IsolationTree
+
+        with pytest.raises(RuntimeError):
+            IsolationTree(max_depth=3).leaf_labels(self.x)
+
+    def test_matches_per_row_routing(self):
+        probe = np.vstack([self.x, as_rng(1).normal(0, 4, size=(60, 4))])
+        for tree in self.labeled.trees_:
+            fast = tree.leaf_labels(probe)
+            slow = np.array([tree.leaf_for(row).label for row in probe])
+            np.testing.assert_array_equal(fast, slow)
+
+    def test_vote_fraction_uses_same_labels(self):
+        probe = as_rng(2).normal(0, 3, size=(40, 4))
+        vf = self.labeled.vote_fraction(probe)
+        manual = np.zeros(len(probe))
+        for tree in self.labeled.trees_:
+            manual += np.array([tree.leaf_for(row).label for row in probe])
+        np.testing.assert_allclose(vf, manual / len(self.labeled.trees_))
+
+    def test_unlabelled_leaves_default_benign(self):
+        from repro.forest.itree import IsolationTree
+
+        tree = IsolationTree(max_depth=4, seed=5).fit(self.x)
+        labels = tree.leaf_labels(self.x)  # no labelling applied
+        assert (labels == 0).all()

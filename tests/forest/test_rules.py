@@ -1,0 +1,64 @@
+"""Tests for the score-labelled (HorusEye-style) baseline forest."""
+
+import numpy as np
+import pytest
+
+from repro.forest.iforest import IsolationForest
+from repro.forest.rules import ScoreLabeledForest
+from repro.utils.rng import as_rng
+from repro.utils.validation import NotFittedError
+
+
+def _data(seed=0):
+    rng = as_rng(seed)
+    return rng.normal(0.0, 1.0, size=(200, 4))
+
+
+class TestScoreLabeledForest:
+    def setup_method(self):
+        self.x = _data()
+        self.forest = IsolationForest(
+            n_trees=40, subsample_size=64, contamination=0.1, seed=5
+        ).fit(self.x)
+        self.labeled = ScoreLabeledForest(self.forest)
+
+    def test_requires_fitted_forest(self):
+        with pytest.raises(NotFittedError):
+            ScoreLabeledForest(IsolationForest())
+
+    def test_every_leaf_labeled(self):
+        for per_tree in self.labeled.labeled_leaves():
+            for _box, label in per_tree:
+                assert label in (0, 1)
+
+    def test_leaf_labels_match_score_threshold(self):
+        """Leaf label 1 ⟺ implied path length below the forest cutoff."""
+        cutoff = self.forest.path_length_threshold()
+        for tree in self.labeled.trees_:
+            for leaf, _box in tree.leaves():
+                implied = leaf.depth + leaf.path_adjustment()
+                assert leaf.label == int(implied < cutoff)
+
+    def test_vote_fraction_in_unit_interval(self):
+        vf = self.labeled.vote_fraction(self.x)
+        assert (vf >= 0).all() and (vf <= 1).all()
+
+    def test_predict_is_majority_of_votes(self):
+        vf = self.labeled.vote_fraction(self.x)
+        np.testing.assert_array_equal(self.labeled.predict(self.x), (vf > 0.5).astype(int))
+
+    def test_far_outliers_predicted_malicious(self):
+        outliers = np.full((10, 4), 9.0)
+        assert self.labeled.predict(outliers).mean() > 0.8
+
+    def test_bulk_data_mostly_benign(self):
+        assert self.labeled.predict(self.x).mean() < 0.4
+
+    def test_split_boundaries_shape(self):
+        bounds = self.labeled.split_boundaries()
+        assert len(bounds) == 4
+        assert any(len(b) > 0 for b in bounds)
+
+    def test_counts(self):
+        assert self.labeled.n_leaves() > 40  # more leaves than trees
+        assert self.labeled.max_depth() >= 1

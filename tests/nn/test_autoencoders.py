@@ -1,0 +1,128 @@
+"""Tests for autoencoders (symmetric, Magnifier, VAE)."""
+
+import numpy as np
+import pytest
+
+from repro.nn.autoencoder import Autoencoder, MagnifierAutoencoder
+from repro.nn.network import MLP
+from repro.nn.vae import VariationalAutoencoder
+from repro.utils.rng import as_rng
+from repro.utils.validation import NotFittedError
+
+
+def _manifold_data(n=300, seed=0):
+    """2-D latent embedded in 5-D with correlations: y = (a, 2a, b, a+b, 3b)."""
+    rng = as_rng(seed)
+    a = rng.uniform(1.0, 2.0, size=n)
+    b = rng.uniform(0.0, 1.0, size=n)
+    return np.column_stack([a, 2 * a, b, a + b, 3 * b])
+
+
+def _off_manifold(n=50, seed=1):
+    """Same marginal ranges, broken correlations."""
+    rng = as_rng(seed)
+    cols = [
+        rng.uniform(1.0, 2.0, n),
+        rng.uniform(2.0, 4.0, n),
+        rng.uniform(0.0, 1.0, n),
+        rng.uniform(0.0, 1.0, n),  # should be col0+col2 but is not
+        rng.uniform(0.0, 3.0, n),
+    ]
+    return np.column_stack(cols)
+
+
+class TestMLP:
+    def test_layer_size_validation(self):
+        with pytest.raises(ValueError):
+            MLP([4])
+
+    def test_activation_count_validation(self):
+        with pytest.raises(ValueError):
+            MLP([4, 3, 4], activations=["relu"])
+
+    def test_training_reduces_loss(self):
+        x = _manifold_data(100)
+        x = (x - x.min(0)) / (x.max(0) - x.min(0))
+        net = MLP([5, 3, 5], activations=["tanh", "sigmoid"], seed=0)
+        history = net.fit_reconstruction(x, epochs=60, lr=5e-3)
+        assert history[-1] < history[0] * 0.7
+
+
+class TestAutoencoder:
+    def test_unfitted_raises(self):
+        with pytest.raises(NotFittedError):
+            Autoencoder().reconstruction_errors(np.ones((1, 3)))
+
+    def test_empty_hidden_rejected(self):
+        with pytest.raises(ValueError):
+            Autoencoder(hidden=())
+
+    def test_off_manifold_scores_higher(self):
+        ae = Autoencoder(hidden=(4, 2), epochs=120, seed=1, log_scale=False)
+        ae.fit(_manifold_data())
+        on = ae.reconstruction_errors(_manifold_data(seed=2)).mean()
+        off = ae.reconstruction_errors(_off_manifold()).mean()
+        assert off > on * 1.5
+
+    def test_anomaly_scores_alias(self):
+        ae = Autoencoder(hidden=(3,), epochs=10, seed=2).fit(_manifold_data(60))
+        x = _manifold_data(10, seed=3)
+        np.testing.assert_array_equal(
+            ae.anomaly_scores(x), ae.reconstruction_errors(x)
+        )
+
+    def test_errors_nonnegative(self):
+        ae = Autoencoder(hidden=(3,), epochs=10, seed=3).fit(_manifold_data(60))
+        assert (ae.reconstruction_errors(_off_manifold()) >= 0).all()
+
+    def test_log_scale_changes_errors(self):
+        x = _manifold_data(80) * 1000.0
+        a = Autoencoder(hidden=(3,), epochs=10, seed=4, log_scale=True).fit(x)
+        b = Autoencoder(hidden=(3,), epochs=10, seed=4, log_scale=False).fit(x)
+        assert not np.allclose(
+            a.reconstruction_errors(x), b.reconstruction_errors(x)
+        )
+
+
+class TestMagnifier:
+    def test_asymmetric_layer_structure(self):
+        mag = MagnifierAutoencoder(encoder_hidden=(16, 8, 3), epochs=5, seed=5)
+        mag.fit(_manifold_data(60))
+        sizes = [layer.weights.shape for layer in mag.net_.layers]
+        # deep encoder 5->16->8->3, single-jump decoder 3->5
+        assert sizes == [(5, 16), (16, 8), (8, 3), (3, 5)]
+
+    def test_detects_off_manifold(self):
+        mag = MagnifierAutoencoder(epochs=150, seed=6, log_scale=False)
+        mag.fit(_manifold_data())
+        on = mag.reconstruction_errors(_manifold_data(seed=7)).mean()
+        off = mag.reconstruction_errors(_off_manifold(seed=8)).mean()
+        assert off > on * 1.5
+
+
+class TestVAE:
+    def test_invalid_params(self):
+        with pytest.raises(ValueError):
+            VariationalAutoencoder(latent_dim=0)
+        with pytest.raises(ValueError):
+            VariationalAutoencoder(beta=-0.1)
+
+    def test_training_reduces_loss(self):
+        vae = VariationalAutoencoder(hidden=(8,), latent_dim=2, epochs=60, seed=9)
+        vae.fit(_manifold_data(150))
+        assert vae.history_[-1] < vae.history_[0]
+
+    def test_scoring_deterministic(self):
+        vae = VariationalAutoencoder(hidden=(8,), latent_dim=2, epochs=20, seed=10)
+        vae.fit(_manifold_data(100))
+        x = _off_manifold(10)
+        np.testing.assert_array_equal(
+            vae.reconstruction_errors(x), vae.reconstruction_errors(x)
+        )
+
+    def test_detects_off_manifold(self):
+        vae = VariationalAutoencoder(epochs=150, seed=11, log_scale=False)
+        vae.fit(_manifold_data())
+        on = vae.reconstruction_errors(_manifold_data(seed=12)).mean()
+        off = vae.reconstruction_errors(_off_manifold(seed=13)).mean()
+        assert off > on

@@ -1,0 +1,129 @@
+"""Tests for the weighted autoencoder ensemble (the guidance oracle)."""
+
+import numpy as np
+import pytest
+
+from repro.nn.autoencoder import Autoencoder
+from repro.nn.ensemble import AutoencoderEnsemble
+from repro.utils.rng import as_rng
+from repro.utils.validation import NotFittedError
+
+
+def _data(n=200, seed=0):
+    rng = as_rng(seed)
+    a = rng.uniform(1.0, 2.0, size=n)
+    return np.column_stack([a, 2 * a, a**0 * rng.uniform(0.0, 0.2, n)])
+
+
+def _anomalies(n=30, seed=1):
+    # In-range marginals but anti-correlated (benign has col1 = 2*col0).
+    rng = as_rng(seed)
+    a = rng.uniform(1.0, 2.0, n)
+    return np.column_stack([a, 6.0 - 2 * a, rng.uniform(0.0, 0.2, n)])
+
+
+def _small_ensemble(seed=0, **kwargs):
+    members = [Autoencoder(hidden=(2,), epochs=150, seed=seed + i) for i in range(3)]
+    return AutoencoderEnsemble(members, seed=seed, **kwargs)
+
+
+class TestConstruction:
+    def test_empty_rejected(self):
+        with pytest.raises(ValueError):
+            AutoencoderEnsemble([])
+
+    def test_weight_validation(self):
+        with pytest.raises(ValueError):
+            _small_ensemble(weights=[1.0])  # wrong length
+        with pytest.raises(ValueError):
+            _small_ensemble(weights=[-1.0, 1.0, 1.0])
+
+    def test_weights_normalised(self):
+        ens = _small_ensemble(weights=[1.0, 1.0, 2.0])
+        assert ens.weights.sum() == pytest.approx(1.0)
+        assert ens.weights[2] == pytest.approx(0.5)
+
+    def test_default_members_are_magnifiers(self):
+        from repro.nn.autoencoder import MagnifierAutoencoder
+
+        ens = AutoencoderEnsemble(seed=1)
+        assert ens.n_members == 3
+        assert all(isinstance(ae, MagnifierAutoencoder) for ae in ens.autoencoders)
+
+    def test_invalid_margin(self):
+        with pytest.raises(ValueError):
+            AutoencoderEnsemble(threshold_margin=0.0)
+
+
+class TestFitAndPredict:
+    def setup_method(self):
+        self.ens = _small_ensemble(seed=3).fit(_data())
+
+    def test_thresholds_calibrated(self):
+        assert self.ens.thresholds_.shape == (3,)
+        assert (self.ens.thresholds_ > 0).all()
+
+    def test_errors_matrix_shape(self):
+        errs = self.ens.reconstruction_errors(_data(10, seed=4))
+        assert errs.shape == (10, 3)
+
+    def test_benign_mostly_pass(self):
+        assert self.ens.predict(_data(seed=5)).mean() < 0.2
+
+    def test_anomalies_mostly_flagged(self):
+        assert self.ens.predict(_anomalies()).mean() >= 0.7
+
+    def test_vote_scores_unit_interval(self):
+        v = self.ens.vote_scores(_anomalies())
+        assert (v >= 0).all() and (v <= 1).all()
+
+    def test_predict_matches_vote_rule(self):
+        x = np.vstack([_data(20, seed=6), _anomalies(20, seed=7)])
+        np.testing.assert_array_equal(
+            self.ens.predict(x), (self.ens.vote_scores(x) > 0.5).astype(int)
+        )
+
+    def test_margin_widens_tube(self):
+        x = _anomalies()
+        self.ens.calibrate(_data(), margin=1.0)
+        flagged_strict = self.ens.predict(x).mean()
+        self.ens.calibrate(_data(), margin=50.0)
+        flagged_loose = self.ens.predict(x).mean()
+        assert flagged_loose <= flagged_strict
+
+    def test_unfitted_raises(self):
+        with pytest.raises(NotFittedError):
+            _small_ensemble().vote_scores(np.ones((1, 3)))
+
+
+class TestDistillationHelpers:
+    def setup_method(self):
+        self.ens = _small_ensemble(seed=8).fit(_data())
+
+    def test_expected_errors_is_columnwise_mean(self):
+        x = _data(25, seed=9)
+        np.testing.assert_allclose(
+            self.ens.expected_errors(x),
+            self.ens.reconstruction_errors(x).mean(axis=0),
+        )
+
+    def test_label_from_expected_errors(self):
+        low = np.zeros(3)
+        high = self.ens.thresholds_ * 10
+        assert self.ens.label_from_expected_errors(low) == 0
+        assert self.ens.label_from_expected_errors(high) == 1
+
+    def test_label_margin_override(self):
+        borderline = self.ens.base_thresholds_ * 1.5
+        assert self.ens.label_from_expected_errors(borderline, margin=1.0) == 1
+        assert self.ens.label_from_expected_errors(borderline, margin=2.0) == 0
+
+    def test_label_shape_validation(self):
+        with pytest.raises(ValueError):
+            self.ens.label_from_expected_errors(np.zeros(5))
+
+    def test_set_thresholds(self):
+        self.ens.set_thresholds([0.1, 0.2, 0.3])
+        np.testing.assert_allclose(self.ens.thresholds_, [0.1, 0.2, 0.3])
+        with pytest.raises(ValueError):
+            self.ens.set_thresholds([0.1])

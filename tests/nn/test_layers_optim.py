@@ -1,0 +1,116 @@
+"""Tests for neural layers, gradients, and optimisers."""
+
+import numpy as np
+import pytest
+
+from repro.nn.layers import ACTIVATIONS, Dense
+from repro.nn.losses import mse, mse_grad, rmse_per_sample
+from repro.nn.optim import SGD, Adam
+from repro.utils.rng import as_rng
+
+
+class TestActivations:
+    @pytest.mark.parametrize("name", sorted(ACTIVATIONS))
+    def test_gradient_matches_finite_difference(self, name):
+        act, grad = ACTIVATIONS[name]
+        z = np.linspace(-2.0, 2.0, 41)
+        z = z[np.abs(z) > 1e-3]  # avoid relu kink
+        eps = 1e-6
+        numeric = (act(z + eps) - act(z - eps)) / (2 * eps)
+        np.testing.assert_allclose(grad(z), numeric, atol=1e-5)
+
+    def test_sigmoid_stable_at_extremes(self):
+        _, _ = ACTIVATIONS["sigmoid"]
+        from repro.nn.layers import sigmoid
+
+        out = sigmoid(np.array([-1000.0, 1000.0]))
+        assert out[0] == pytest.approx(0.0, abs=1e-12)
+        assert out[1] == pytest.approx(1.0, abs=1e-12)
+
+
+class TestDense:
+    def test_invalid_activation(self):
+        with pytest.raises(ValueError):
+            Dense(2, 2, activation="swish")
+
+    def test_invalid_dims(self):
+        with pytest.raises(ValueError):
+            Dense(0, 2)
+
+    def test_forward_shape(self):
+        layer = Dense(3, 5, seed=0)
+        out = layer.forward(np.ones((7, 3)))
+        assert out.shape == (7, 5)
+
+    def test_backward_before_forward_raises(self):
+        layer = Dense(2, 2, seed=0)
+        with pytest.raises(RuntimeError):
+            layer.backward(np.ones((1, 2)))
+
+    def test_weight_gradient_matches_finite_difference(self):
+        rng = as_rng(1)
+        layer = Dense(3, 2, activation="tanh", seed=2)
+        x = rng.normal(size=(4, 3))
+        target = rng.normal(size=(4, 2))
+
+        def loss():
+            return mse(layer.forward(x, train=False), target)
+
+        layer.forward(x, train=True)
+        layer.backward(mse_grad(layer.forward(x, train=False), target))
+        analytic = layer.d_weights.copy()
+
+        eps = 1e-6
+        numeric = np.zeros_like(layer.weights)
+        for i in range(layer.weights.shape[0]):
+            for j in range(layer.weights.shape[1]):
+                layer.weights[i, j] += eps
+                up = loss()
+                layer.weights[i, j] -= 2 * eps
+                down = loss()
+                layer.weights[i, j] += eps
+                numeric[i, j] = (up - down) / (2 * eps)
+        np.testing.assert_allclose(analytic, numeric, atol=1e-5)
+
+
+class TestOptimizers:
+    def _quadratic_descent(self, optimizer_cls, **kwargs):
+        w = np.array([5.0])
+        opt = optimizer_cls([w], **kwargs)
+        for _ in range(300):
+            opt.step([2.0 * w])  # d/dw of w^2
+        return abs(w[0])
+
+    def test_sgd_converges(self):
+        assert self._quadratic_descent(SGD, lr=0.05) < 1e-3
+
+    def test_sgd_momentum_converges(self):
+        assert self._quadratic_descent(SGD, lr=0.02, momentum=0.9) < 1e-3
+
+    def test_adam_converges(self):
+        assert self._quadratic_descent(Adam, lr=0.1) < 1e-3
+
+    def test_bad_lr(self):
+        with pytest.raises(ValueError):
+            SGD([np.zeros(1)], lr=0.0)
+        with pytest.raises(ValueError):
+            Adam([np.zeros(1)], lr=-1.0)
+
+    def test_grad_count_mismatch(self):
+        opt = Adam([np.zeros(1)])
+        with pytest.raises(ValueError):
+            opt.step([np.zeros(1), np.zeros(1)])
+
+
+class TestLosses:
+    def test_mse_known(self):
+        assert mse(np.array([1.0, 2.0]), np.array([0.0, 0.0])) == pytest.approx(2.5)
+
+    def test_mse_shape_mismatch(self):
+        with pytest.raises(ValueError):
+            mse(np.zeros(2), np.zeros(3))
+
+    def test_rmse_per_sample(self):
+        pred = np.array([[1.0, 1.0], [0.0, 0.0]])
+        target = np.zeros((2, 2))
+        np.testing.assert_allclose(rmse_per_sample(pred, target), [1.0, 0.0])

@@ -1,0 +1,135 @@
+"""Tests for bi-hash, double hash tables, and flow state storage."""
+
+import pytest
+
+from repro.datasets.packet import PROTO_TCP, FiveTuple, Packet
+from repro.switch.hashing import DoubleHashTable, bi_hash
+from repro.switch.storage import (
+    LABEL_BENIGN,
+    LABEL_MALICIOUS,
+    LABEL_UNDECIDED,
+    FlowState,
+    FlowStateStore,
+)
+
+
+def _ft(i, j=2):
+    return FiveTuple(i, j, 1000 + i, 80, PROTO_TCP)
+
+
+class TestBiHash:
+    def test_direction_independent(self):
+        ft = _ft(1)
+        assert bi_hash(ft) == bi_hash(ft.reversed())
+
+    def test_salt_changes_hash(self):
+        assert bi_hash(_ft(1), salt=1) != bi_hash(_ft(1), salt=2)
+
+    def test_distinct_flows_differ(self):
+        hashes = {bi_hash(_ft(i)) for i in range(100)}
+        assert len(hashes) > 95  # near-collision-free at this scale
+
+
+class TestDoubleHashTable:
+    def test_validation(self):
+        with pytest.raises(ValueError):
+            DoubleHashTable(0)
+        with pytest.raises(ValueError):
+            DoubleHashTable(4, salt_a=1, salt_b=1)
+
+    def test_insert_lookup_roundtrip(self):
+        table = DoubleHashTable(64)
+        slot, collided = table.insert(_ft(1), "state-1")
+        assert not collided
+        assert table.lookup(_ft(1)).state == "state-1"
+
+    def test_lookup_by_reverse_direction(self):
+        table = DoubleHashTable(64)
+        table.insert(_ft(1), "s")
+        assert table.lookup(_ft(1).reversed()) is not None
+
+    def test_missing_lookup_none(self):
+        assert DoubleHashTable(64).lookup(_ft(9)) is None
+
+    def test_refresh_existing(self):
+        table = DoubleHashTable(64)
+        table.insert(_ft(1), "a")
+        slot, collided = table.insert(_ft(1), "b")
+        assert not collided
+        assert table.lookup(_ft(1)).state == "b"
+        assert table.occupancy() == 1
+
+    def test_second_table_absorbs_collisions(self):
+        """With a size-1 table, the second hash array gives one extra slot
+        before a true collision."""
+        table = DoubleHashTable(1)
+        _s1, c1 = table.insert(_ft(1), "a")
+        _s2, c2 = table.insert(_ft(2), "b")
+        _s3, c3 = table.insert(_ft(3), "c")
+        assert not c1
+        assert not c2  # landed in the second table
+        assert c3  # both arrays full now
+        assert table.collision_count == 1
+
+    def test_evict_and_insert_replaces_resident(self):
+        table = DoubleHashTable(1)
+        table.insert(_ft(1), "a")
+        table.insert(_ft(2), "b")
+        table.evict_and_insert(_ft(3), "c")
+        assert table.lookup(_ft(3)).state == "c"
+
+    def test_remove(self):
+        table = DoubleHashTable(16)
+        table.insert(_ft(1), "a")
+        assert table.remove(_ft(1))
+        assert table.lookup(_ft(1)) is None
+        assert not table.remove(_ft(1))
+
+
+class TestFlowStateStore:
+    def test_lookup_or_create_tracks_new_flow(self):
+        store = FlowStateStore(n_slots=32)
+        state, collided, resident = store.lookup_or_create(_ft(1))
+        assert state is not None and not collided and resident is None
+        assert state.label == LABEL_UNDECIDED
+
+    def test_existing_flow_returns_same_state(self):
+        store = FlowStateStore(n_slots=32)
+        s1, _, _ = store.lookup_or_create(_ft(1))
+        s1.label = LABEL_MALICIOUS
+        s2, _, _ = store.lookup_or_create(_ft(1))
+        assert s2 is s1
+
+    def test_collision_reports_resident(self):
+        store = FlowStateStore(n_slots=1)
+        store.lookup_or_create(_ft(1))
+        store.lookup_or_create(_ft(2))
+        state, collided, resident = store.lookup_or_create(_ft(3))
+        assert collided and state is None and isinstance(resident, FlowState)
+
+    def test_evict_and_track(self):
+        store = FlowStateStore(n_slots=1)
+        store.lookup_or_create(_ft(1))
+        store.lookup_or_create(_ft(2))
+        state = store.evict_and_track(_ft(3))
+        found = store.lookup(_ft(3))
+        assert found is state
+
+    def test_release(self):
+        store = FlowStateStore(n_slots=16)
+        store.lookup_or_create(_ft(1))
+        assert store.release(_ft(1))
+        assert store.lookup(_ft(1)) is None
+
+    def test_state_updates_and_decided(self):
+        state = FlowState()
+        assert not state.is_decided()
+        state.stats.update(Packet(_ft(1), 0.0, 100))
+        assert state.pkt_count == 1
+        assert state.last_seen == 0.0
+        state.label = LABEL_BENIGN
+        assert state.is_decided()
+
+    def test_sram_accounting_positive(self):
+        store = FlowStateStore(n_slots=128)
+        assert store.sram_bytes() == 2 * 128 * store.bytes_per_slot()

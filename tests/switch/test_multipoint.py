@@ -1,0 +1,86 @@
+"""Tests for the multi-checkpoint pipeline (fn 9 future-work design)."""
+
+import numpy as np
+import pytest
+
+from repro.core.rules import BENIGN, RuleSet, WhitelistRule
+from repro.datasets.packet import PROTO_UDP, FiveTuple, Packet
+from repro.features.flow_features import SWITCH_FEATURES
+from repro.features.scaling import IntegerQuantizer
+from repro.switch.multipoint import Checkpoint, MultiCheckpointPipeline
+from repro.switch.pipeline import PipelineConfig
+from repro.utils.box import Box
+
+N = len(SWITCH_FEATURES)
+SIZE_MEAN = SWITCH_FEATURES.index("size_mean")
+FT = FiveTuple(1, 2, 100, 80, PROTO_UDP)
+
+
+def _checkpoint(n, size_cut):
+    """Benign iff size_mean < size_cut at horizon n."""
+    lows = [0.0] * N
+    highs = [1e6] * N
+    b_highs = list(highs)
+    b_highs[SIZE_MEAN] = size_cut
+    outer = Box(tuple(lows), tuple(highs))
+    rules = RuleSet(
+        [WhitelistRule(box=Box(tuple(lows), tuple(b_highs)), label=BENIGN)],
+        outer_box=outer,
+    )
+    domain = np.vstack([np.zeros(N), np.full(N, 1e6)])
+    q = IntegerQuantizer(bits=16).fit(domain)
+    return Checkpoint(n=n, rules=rules.quantize(q), quantizer=q)
+
+
+def _flow(sizes, start=0.0, gap=0.1, malicious=False):
+    return [
+        Packet(FT, start + i * gap, s, malicious=malicious)
+        for i, s in enumerate(sizes)
+    ]
+
+
+class TestConstruction:
+    def test_requires_checkpoints(self):
+        with pytest.raises(ValueError):
+            MultiCheckpointPipeline([])
+
+    def test_rejects_duplicate_horizons(self):
+        with pytest.raises(ValueError):
+            MultiCheckpointPipeline([_checkpoint(4, 500), _checkpoint(4, 500)])
+
+    def test_last_checkpoint_becomes_threshold(self):
+        pipe = MultiCheckpointPipeline([_checkpoint(4, 500), _checkpoint(8, 500)])
+        assert pipe.config.pkt_count_threshold == 8
+
+
+class TestAnyPointBlocking:
+    def test_benign_flow_passes_all_checkpoints(self):
+        pipe = MultiCheckpointPipeline([_checkpoint(4, 500), _checkpoint(8, 500)])
+        decisions = [pipe.process(p) for p in _flow([100] * 10)]
+        assert all(d.predicted_malicious == 0 for d in decisions)
+        assert pipe.checkpoint_flags == [0, 0]
+
+    def test_early_manifestation_caught_at_first_checkpoint(self):
+        """Flow malicious from the start: flagged at n=4, not n=8."""
+        pipe = MultiCheckpointPipeline([_checkpoint(4, 500), _checkpoint(8, 500)])
+        decisions = [pipe.process(p) for p in _flow([900] * 10, malicious=True)]
+        assert decisions[3].predicted_malicious == 1  # 4th packet
+        assert pipe.checkpoint_flags[0] == 1
+        # Subsequent packets take red/purple with the stored verdict.
+        assert all(d.predicted_malicious == 1 for d in decisions[3:])
+
+    def test_late_manifestation_caught_at_second_checkpoint(self):
+        """Flow benign for its first 4 packets, malicious after — the
+        single-threshold (n=4) design would have whitelisted it forever;
+        the second checkpoint catches it (fn 9's motivation)."""
+        sizes = [100] * 4 + [1400] * 6  # mean crosses 500 only later
+        pipe = MultiCheckpointPipeline([_checkpoint(4, 500), _checkpoint(8, 500)])
+        decisions = [pipe.process(p) for p in _flow(sizes, malicious=True)]
+        assert decisions[3].predicted_malicious == 0  # passed n=4
+        assert any(d.predicted_malicious == 1 for d in decisions[4:])
+        assert pipe.checkpoint_flags[-1] == 1
+
+    def test_single_checkpoint_degenerates_to_base(self):
+        pipe = MultiCheckpointPipeline([_checkpoint(4, 500)])
+        decisions = [pipe.process(p) for p in _flow([900] * 6, malicious=True)]
+        assert decisions[3].predicted_malicious == 1

@@ -1,0 +1,69 @@
+"""Tests for the P4-16 artifact generator."""
+
+import json
+
+import pytest
+
+from repro.core.rules import BENIGN, MALICIOUS, QuantizedRule, QuantizedRuleSet
+from repro.switch.p4gen import (
+    generate_p4_program,
+    generate_table_entries,
+    write_artifacts,
+)
+
+NAMES = ("pkt_count", "size_mean", "ipd-mean")
+
+
+def _ruleset():
+    rules = [
+        QuantizedRule(lows=(1, 10, 1), highs=(100, 200, 50), label=BENIGN),
+        QuantizedRule(lows=(1, 1, 1), highs=(65534, 65534, 65534), label=MALICIOUS),
+    ]
+    return QuantizedRuleSet(rules, bits=16)
+
+
+class TestProgram:
+    def test_contains_pipeline_blocks(self):
+        src = generate_p4_program(_ruleset(), NAMES)
+        for token in ("parser IngressParser", "table blacklist", "table whitelist",
+                      "V1Switch", "bit<16>"):
+            assert token in src
+
+    def test_feature_fields_sanitised(self):
+        src = generate_p4_program(_ruleset(), NAMES)
+        assert "feature_t ipd_mean;" in src
+        assert "hdr.features.size_mean : range;" in src
+
+    def test_table_sized_to_rules(self):
+        src = generate_p4_program(_ruleset(), NAMES)
+        assert "size = 2;" in src
+
+    def test_name_count_mismatch_rejected(self):
+        with pytest.raises(ValueError, match="feature names"):
+            generate_p4_program(_ruleset(), ("just-one",))
+
+    def test_deterministic(self):
+        assert generate_p4_program(_ruleset(), NAMES) == generate_p4_program(
+            _ruleset(), NAMES
+        )
+
+
+class TestEntries:
+    def test_one_entry_per_rule_in_priority_order(self):
+        entries = generate_table_entries(_ruleset(), NAMES)
+        assert len(entries) == 2
+        assert [e["priority"] for e in entries] == [0, 1]
+
+    def test_match_ranges_and_actions(self):
+        entries = generate_table_entries(_ruleset(), NAMES)
+        assert entries[0]["match"]["pkt_count"] == {"range": [1, 100]}
+        assert entries[0]["action"] == "set_benign"
+        assert entries[1]["action"] == "set_malicious"
+
+    def test_write_artifacts_round_trip(self, tmp_path):
+        p4 = tmp_path / "iguard.p4"
+        entries = tmp_path / "entries.json"
+        write_artifacts(_ruleset(), str(p4), str(entries), NAMES)
+        assert "table whitelist" in p4.read_text()
+        loaded = json.loads(entries.read_text())
+        assert loaded[0]["table"] == "Ingress.whitelist"

@@ -1,0 +1,162 @@
+"""Tests for the six-path data-plane pipeline (Fig 4)."""
+
+import numpy as np
+import pytest
+
+from repro.core.rules import BENIGN, RuleSet, WhitelistRule
+from repro.datasets.packet import PROTO_UDP, FiveTuple, Packet
+from repro.features.flow_features import SWITCH_FEATURES
+from repro.features.scaling import IntegerQuantizer
+from repro.switch.controller import Controller
+from repro.switch.pipeline import (
+    ACTION_DROP,
+    ACTION_FORWARD,
+    PATH_BLUE,
+    PATH_BROWN,
+    PATH_ORANGE,
+    PATH_PURPLE,
+    PATH_RED,
+    PipelineConfig,
+    SwitchPipeline,
+)
+from repro.utils.box import Box
+
+SIZE_MEAN_IDX = SWITCH_FEATURES.index("size_mean")
+N_FEATURES = len(SWITCH_FEATURES)
+
+
+def _fl_ruleset():
+    """Benign ⟺ size_mean < 500; all other features unconstrained."""
+    lows = [0.0] * N_FEATURES
+    highs = [1e6] * N_FEATURES
+    b_highs = list(highs)
+    b_highs[SIZE_MEAN_IDX] = 500.0
+    outer = Box(tuple(lows), tuple(highs))
+    rule = WhitelistRule(box=Box(tuple(lows), tuple(b_highs)), label=BENIGN)
+    return RuleSet([rule], outer_box=outer)
+
+
+def _quantizer():
+    domain = np.vstack([np.zeros(N_FEATURES), np.full(N_FEATURES, 1e6)])
+    return IntegerQuantizer(bits=16).fit(domain)
+
+
+def _pipeline(n=4, timeout=5.0, n_slots=64, with_controller=True):
+    q = _quantizer()
+    pipe = SwitchPipeline(
+        fl_rules=_fl_ruleset().quantize(q),
+        fl_quantizer=q,
+        config=PipelineConfig(
+            pkt_count_threshold=n, timeout=timeout, n_slots=n_slots
+        ),
+    )
+    controller = Controller(pipe) if with_controller else None
+    return pipe, controller
+
+
+def _flow(ft, n, size, start=0.0, gap=0.1, malicious=False):
+    return [
+        Packet(ft, start + i * gap, size, malicious=malicious) for i in range(n)
+    ]
+
+
+FT_A = FiveTuple(1, 2, 100, 80, PROTO_UDP)
+FT_B = FiveTuple(3, 4, 200, 80, PROTO_UDP)
+
+
+class TestPaths:
+    def test_brown_then_blue_for_benign_flow(self):
+        pipe, _ = _pipeline(n=4)
+        decisions = [pipe.process(p) for p in _flow(FT_A, 4, size=100)]
+        assert [d.path for d in decisions] == [PATH_BROWN] * 3 + [PATH_BLUE]
+        assert decisions[-1].predicted_malicious == 0
+        assert all(d.action == ACTION_FORWARD for d in decisions)
+
+    def test_purple_after_classification(self):
+        pipe, _ = _pipeline(n=4)
+        flow = _flow(FT_A, 6, size=100)
+        decisions = [pipe.process(p) for p in flow]
+        assert decisions[4].path == PATH_PURPLE
+        assert decisions[5].predicted_malicious == 0
+
+    def test_malicious_flow_blacklisted_then_red(self):
+        pipe, controller = _pipeline(n=4)
+        decisions = [pipe.process(p) for p in _flow(FT_A, 6, size=900, malicious=True)]
+        assert decisions[3].path == PATH_BLUE
+        assert decisions[3].predicted_malicious == 1
+        assert decisions[3].action == ACTION_DROP
+        # Controller installed a blacklist rule; later packets take red.
+        assert decisions[4].path == PATH_RED
+        assert decisions[5].action == ACTION_DROP
+        assert controller.stats.blacklist_installs == 1
+
+    def test_digest_emitted_at_classification(self):
+        pipe, controller = _pipeline(n=4)
+        for p in _flow(FT_A, 4, size=100):
+            pipe.process(p)
+        assert pipe.digests_emitted == 1
+        assert controller.stats.digests_received == 1
+
+    def test_timeout_classifies_with_partial_state(self):
+        pipe, _ = _pipeline(n=10, timeout=2.0)
+        flow = _flow(FT_A, 3, size=100, gap=0.1)
+        late = Packet(FT_A, 10.0, 100)  # idle gap >> timeout
+        for p in flow:
+            pipe.process(p)
+        decision = pipe.process(late)
+        assert decision.path == PATH_BLUE
+        assert decision.digest is not None
+
+    def test_orange_collision_with_decided_resident(self):
+        pipe, _ = _pipeline(n=2, n_slots=1)
+        # Classify FT_A (occupies slot, decided).
+        for p in _flow(FT_A, 2, size=100):
+            pipe.process(p)
+        # Fill the second hash table too.
+        pipe.process(Packet(FT_B, 1.0, 100))
+        # A third flow now collides.
+        ft_c = FiveTuple(5, 6, 300, 80, PROTO_UDP)
+        decision = pipe.process(Packet(ft_c, 2.0, 100))
+        assert decision.path == PATH_ORANGE
+
+    def test_path_counters_accumulate(self):
+        pipe, _ = _pipeline(n=4)
+        for p in _flow(FT_A, 6, size=100):
+            pipe.process(p)
+        counts = pipe.path_counts
+        assert counts[PATH_BROWN] == 3
+        assert counts[PATH_BLUE] == 1
+        assert counts[PATH_PURPLE] == 2
+
+    def test_forward_only_mode(self):
+        q = _quantizer()
+        pipe = SwitchPipeline(
+            fl_rules=_fl_ruleset().quantize(q),
+            fl_quantizer=q,
+            config=PipelineConfig(pkt_count_threshold=4, drop_on_malicious=False),
+        )
+        decisions = [pipe.process(p) for p in _flow(FT_A, 4, size=900)]
+        assert decisions[-1].predicted_malicious == 1
+        assert decisions[-1].action == ACTION_FORWARD
+
+
+class TestControllerIntegration:
+    def test_malicious_storage_released(self):
+        pipe, controller = _pipeline(n=4)
+        for p in _flow(FT_A, 4, size=900):
+            pipe.process(p)
+        assert controller.stats.storage_releases == 1
+        assert pipe.store.lookup(FT_A) is None
+
+    def test_benign_flow_not_blacklisted(self):
+        pipe, controller = _pipeline(n=4)
+        for p in _flow(FT_A, 4, size=100):
+            pipe.process(p)
+        assert controller.stats.blacklist_installs == 0
+
+    def test_digest_byte_accounting(self):
+        pipe, controller = _pipeline(n=4)
+        for p in _flow(FT_A, 4, size=100):
+            pipe.process(p)
+        assert controller.stats.digest_bytes == 14
+        assert controller.stats.horuseye_equivalent_bytes() == 14 + 52

@@ -1,0 +1,78 @@
+"""Property-style invariants of the data-plane pipeline.
+
+Replays randomised traffic mixes and checks the structural guarantees
+the evaluation relies on, independent of any specific rule set.
+"""
+
+import numpy as np
+import pytest
+
+from repro.core.rules import BENIGN, RuleSet, WhitelistRule
+from repro.datasets.attacks import generate_attack_flows
+from repro.datasets.benign import generate_benign_flows
+from repro.datasets.trace import flows_to_trace, merge_traces
+from repro.features.flow_features import SWITCH_FEATURES
+from repro.features.scaling import IntegerQuantizer
+from repro.switch.controller import Controller
+from repro.switch.pipeline import PATH_BLUE, PipelineConfig, SwitchPipeline
+from repro.switch.runner import replay_trace
+from repro.utils.box import Box
+
+N = len(SWITCH_FEATURES)
+
+
+def _pipeline(n_slots=256, n=6):
+    domain = np.vstack([np.zeros(N), np.full(N, 1e7)])
+    q = IntegerQuantizer(bits=16).fit(domain)
+    # Benign rule: small-ish mean packet size.
+    lows = [0.0] * N
+    highs = [1e7] * N
+    highs[SWITCH_FEATURES.index("size_mean")] = 400.0
+    rules = RuleSet(
+        [WhitelistRule(box=Box(tuple(lows), tuple(highs)), label=BENIGN)],
+        outer_box=Box(tuple([0.0] * N), tuple([1e7] * N)),
+    ).quantize(q)
+    pipe = SwitchPipeline(
+        fl_rules=rules, fl_quantizer=q,
+        config=PipelineConfig(pkt_count_threshold=n, n_slots=n_slots),
+    )
+    Controller(pipe)
+    return pipe
+
+
+@pytest.mark.parametrize("seed", [0, 17, 4242, 90210])
+class TestReplayInvariants:
+    def _trace(self, seed):
+        benign = flows_to_trace(generate_benign_flows(15, seed=seed))
+        attack = flows_to_trace(generate_attack_flows("UDP DDoS", 3, seed=seed + 1))
+        return merge_traces([benign, attack.shifted(benign[0].timestamp if len(benign) else 0.0)])
+
+    def test_every_packet_gets_one_decision(self, seed):
+        trace = self._trace(seed)
+        pipe = _pipeline()
+        result = replay_trace(trace, pipe)
+        assert result.n_packets == len(trace)
+        assert sum(pipe.path_counts[p] for p in
+                   ("red", "brown", "blue", "orange", "purple")) == len(trace)
+
+    def test_digests_only_on_blue(self, seed):
+        trace = self._trace(seed)
+        pipe = _pipeline()
+        result = replay_trace(trace, pipe)
+        n_digests = sum(1 for d in result.decisions if d.digest is not None)
+        assert n_digests == pipe.digests_emitted
+        assert pipe.digests_emitted <= pipe.path_counts[PATH_BLUE]
+
+    def test_blacklist_installs_bounded_by_malicious_digests(self, seed):
+        trace = self._trace(seed)
+        pipe = _pipeline()
+        replay_trace(trace, pipe)
+        stats = pipe.controller.stats
+        assert stats.blacklist_installs <= stats.digests_received
+        assert len(pipe.blacklist) <= stats.blacklist_installs
+
+    def test_storage_occupancy_bounded(self, seed):
+        trace = self._trace(seed)
+        pipe = _pipeline(n_slots=64)
+        replay_trace(trace, pipe)
+        assert pipe.store.occupancy() <= 2 * 64

@@ -1,0 +1,85 @@
+"""Property tests for TCAM range-to-prefix expansion."""
+
+import numpy as np
+import pytest
+from hypothesis import given, settings
+from hypothesis import strategies as st
+
+from repro.switch.range_encoding import (
+    prefix_count,
+    range_to_prefixes,
+    rule_tcam_entries,
+)
+
+
+def _covered(prefixes, bits):
+    """Set of values matched by a prefix list."""
+    out = set()
+    top = (1 << bits) - 1
+    for value, mask in prefixes:
+        free = top & ~mask
+        # enumerate all combinations of free bits (small bits only)
+        free_positions = [i for i in range(bits) if free >> i & 1]
+        for combo in range(1 << len(free_positions)):
+            v = value
+            for j, pos in enumerate(free_positions):
+                if combo >> j & 1:
+                    v |= 1 << pos
+            out.add(v)
+    return out
+
+
+class TestRangeToPrefixes:
+    def test_full_domain_is_one_wildcard(self):
+        prefixes = range_to_prefixes(0, 255, 8)
+        assert prefixes == [(0, 0)]
+
+    def test_single_value(self):
+        prefixes = range_to_prefixes(5, 5, 8)
+        assert prefixes == [(5, 255)]
+
+    def test_invalid_ranges(self):
+        with pytest.raises(ValueError):
+            range_to_prefixes(5, 3, 8)
+        with pytest.raises(ValueError):
+            range_to_prefixes(0, 300, 8)
+        with pytest.raises(ValueError):
+            range_to_prefixes(0, 1, 0)
+
+    def test_worst_case_bound(self):
+        # [1, 2^w - 2] is the classic worst case: 2w - 2 prefixes.
+        bits = 8
+        assert prefix_count(1, (1 << bits) - 2, bits) == 2 * bits - 2
+
+    @settings(max_examples=200, deadline=None)
+    @given(st.integers(0, 255), st.integers(0, 255))
+    def test_cover_exactly_the_range(self, a, b):
+        lo, hi = min(a, b), max(a, b)
+        prefixes = range_to_prefixes(lo, hi, 8)
+        assert _covered(prefixes, 8) == set(range(lo, hi + 1))
+
+    @settings(max_examples=100, deadline=None)
+    @given(st.integers(0, 255), st.integers(0, 255))
+    def test_prefixes_disjoint(self, a, b):
+        lo, hi = min(a, b), max(a, b)
+        prefixes = range_to_prefixes(lo, hi, 8)
+        total = sum(1 << bin((~m) & 255).count("1") for _v, m in prefixes)
+        assert total == hi - lo + 1
+
+
+class TestRuleEntries:
+    def test_per_field_is_sum(self):
+        n = rule_tcam_entries([1, 0], [6, 255], 8, mode="per_field")
+        assert n == prefix_count(1, 6, 8) + 1
+
+    def test_cross_product_is_product(self):
+        n = rule_tcam_entries([1, 1], [6, 6], 8, mode="cross_product")
+        assert n == prefix_count(1, 6, 8) ** 2
+
+    def test_invalid_mode(self):
+        with pytest.raises(ValueError):
+            rule_tcam_entries([0], [1], 8, mode="nope")
+
+    def test_length_mismatch(self):
+        with pytest.raises(ValueError):
+            rule_tcam_entries([0, 1], [1], 8)

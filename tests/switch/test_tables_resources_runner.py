@@ -1,0 +1,142 @@
+"""Tests for tables, resource accounting, and trace replay."""
+
+import numpy as np
+import pytest
+
+from repro.core.rules import BENIGN, MALICIOUS, QuantizedRule, QuantizedRuleSet
+from repro.datasets.packet import PROTO_UDP, FiveTuple, Packet
+from repro.datasets.trace import Trace
+from repro.features.flow_features import SWITCH_FEATURES
+from repro.switch.pipeline import PipelineConfig, SwitchPipeline
+from repro.switch.resources import (
+    PIPELINE_STAGES,
+    memory_fraction,
+    resource_report,
+)
+from repro.switch.runner import (
+    PIPELINE_LATENCY_NS,
+    replay_trace,
+    throughput_latency_model,
+)
+from repro.switch.tables import BlacklistTable, WhitelistTable
+from repro.features.scaling import IntegerQuantizer
+
+N = len(SWITCH_FEATURES)
+
+
+def _ft(i):
+    return FiveTuple(i, 99, 5000 + i, 80, PROTO_UDP)
+
+
+class TestBlacklistTable:
+    def test_install_and_match_bidirectional(self):
+        table = BlacklistTable(capacity=4)
+        table.install(_ft(1))
+        assert table.matches(_ft(1))
+        assert table.matches(_ft(1).reversed())
+
+    def test_fifo_eviction(self):
+        table = BlacklistTable(capacity=2, eviction="fifo")
+        table.install(_ft(1))
+        table.install(_ft(2))
+        table.install(_ft(3))
+        assert not table.matches(_ft(1))
+        assert table.matches(_ft(3))
+        assert table.evictions == 1
+
+    def test_lru_eviction_keeps_recently_used(self):
+        table = BlacklistTable(capacity=2, eviction="lru")
+        table.install(_ft(1))
+        table.install(_ft(2))
+        table.matches(_ft(1))  # touch 1 → 2 becomes LRU
+        table.install(_ft(3))
+        assert table.matches(_ft(1))
+        assert not table.matches(_ft(2))
+
+    def test_validation(self):
+        with pytest.raises(ValueError):
+            BlacklistTable(capacity=0)
+        with pytest.raises(ValueError):
+            BlacklistTable(eviction="random")
+
+    def test_remove(self):
+        table = BlacklistTable()
+        table.install(_ft(1))
+        assert table.remove(_ft(1))
+        assert not table.matches(_ft(1))
+
+
+class TestWhitelistTable:
+    def test_lookup_counts(self):
+        rules = QuantizedRuleSet(
+            [QuantizedRule(lows=(0,) * N, highs=(100,) * N, label=BENIGN)], bits=16
+        )
+        table = WhitelistTable(rules)
+        label, idx = table.lookup(np.full(N, 50))
+        assert (label, idx) == (BENIGN, 0)
+        assert table.lookup_count == 1
+
+    def test_tcam_entries_positive(self):
+        rules = QuantizedRuleSet(
+            [QuantizedRule(lows=(1,) * N, highs=(200,) * N, label=BENIGN)], bits=16
+        )
+        assert WhitelistTable(rules).tcam_entries() > N  # multiple prefixes/field
+
+
+def _tiny_pipeline():
+    domain = np.vstack([np.zeros(N), np.full(N, 1e6)])
+    q = IntegerQuantizer(bits=16).fit(domain)
+    rules = QuantizedRuleSet(
+        [QuantizedRule(lows=(1,) * N, highs=(q.levels - 1,) * N, label=BENIGN)],
+        bits=16,
+    )
+    return SwitchPipeline(
+        fl_rules=rules, fl_quantizer=q, config=PipelineConfig(pkt_count_threshold=3)
+    )
+
+
+class TestResources:
+    def test_report_fields(self):
+        report = resource_report(_tiny_pipeline())
+        assert report.stages == PIPELINE_STAGES == 12
+        assert 0 < report.sram_pct < 100
+        assert report.tcam_entries >= 1
+        assert 0 < report.salu_pct < 100
+        assert 0 < report.vliw_pct < 100
+
+    def test_memory_fraction_in_unit_interval(self):
+        rho = memory_fraction(resource_report(_tiny_pipeline()))
+        assert 0.0 <= rho <= 1.0
+
+    def test_row_formatting(self):
+        row = resource_report(_tiny_pipeline()).row("iGuard")
+        assert "iGuard" in row and "%" in row
+
+
+class TestReplay:
+    def _trace(self):
+        pkts = [Packet(_ft(1), 0.1 * i, 100, malicious=False) for i in range(5)]
+        pkts += [Packet(_ft(2), 0.05 + 0.1 * i, 200, malicious=True) for i in range(5)]
+        return Trace(pkts)
+
+    def test_replay_collects_ground_truth(self):
+        result = replay_trace(self._trace(), _tiny_pipeline())
+        assert result.n_packets == 10
+        assert result.y_true.sum() == 5
+        assert set(result.path_counts()) <= {"brown", "blue", "purple"}
+
+    def test_throughput_model_dataplane_near_line_rate(self):
+        result = replay_trace(self._trace(), _tiny_pipeline())
+        report = throughput_latency_model(result, offered_gbps=40.0)
+        assert report.achieved_gbps <= 40.0
+        assert report.achieved_gbps > 38.0
+        assert report.mean_latency_ns == PIPELINE_LATENCY_NS
+
+    def test_control_plane_detour_hurts(self):
+        result = replay_trace(self._trace(), _tiny_pipeline())
+        inline = throughput_latency_model(result, control_plane_detection=False)
+        detour = throughput_latency_model(
+            result, control_plane_detection=True, control_plane_fraction=0.2
+        )
+        assert detour.achieved_gbps < inline.achieved_gbps
+        assert detour.mean_latency_ns > inline.mean_latency_ns

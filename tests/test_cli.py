@@ -1,0 +1,52 @@
+"""Tests for the command-line interface."""
+
+import json
+
+import pytest
+
+from repro.cli import main
+
+
+class TestCli:
+    def test_attacks_lists_fifteen(self, capsys):
+        assert main(["attacks"]) == 0
+        out = capsys.readouterr().out.strip().splitlines()
+        assert len(out) == 15
+        assert "Mirai" in out
+
+    def test_requires_command(self):
+        with pytest.raises(SystemExit):
+            main([])
+
+    def test_unknown_command(self):
+        with pytest.raises(SystemExit):
+            main(["frobnicate"])
+
+    def test_train_synthetic(self, capsys):
+        assert main(["train", "--flows", "120", "--trees", "3", "--seed", "1"]) == 0
+        out = capsys.readouterr().out
+        assert "whitelist rules" in out
+
+    def test_train_from_pcap(self, tmp_path, capsys):
+        from repro.datasets.benign import generate_benign_trace
+        from repro.datasets.pcap import write_pcap
+
+        path = str(tmp_path / "benign.pcap")
+        write_pcap(path, generate_benign_trace(120, seed=2))
+        assert main(["train", "--pcap", path, "--trees", "3", "--seed", "2"]) == 0
+        assert "loaded" in capsys.readouterr().out
+
+    def test_export_writes_artifacts(self, tmp_path, capsys):
+        p4 = str(tmp_path / "x.p4")
+        entries = str(tmp_path / "x.json")
+        assert main(
+            ["export", "--p4", p4, "--entries", entries, "--flows", "120", "--seed", "3"]
+        ) == 0
+        assert "table whitelist" in open(p4).read()
+        assert isinstance(json.load(open(entries)), list)
+
+    def test_deploy_runs(self, capsys):
+        assert main(["deploy", "OS scan", "--flows", "150", "--seed", "4"]) == 0
+        out = capsys.readouterr().out
+        assert "per-packet macro F1" in out
+        assert "paths:" in out

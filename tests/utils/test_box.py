@@ -1,0 +1,136 @@
+"""Tests (incl. property-based) for axis-aligned boxes."""
+
+import numpy as np
+import pytest
+from hypothesis import given, settings
+from hypothesis import strategies as st
+
+from repro.utils.box import Box, merge_adjacent_boxes
+
+
+class TestBoxBasics:
+    def test_inverted_interval_rejected(self):
+        with pytest.raises(ValueError, match="inverted"):
+            Box((1.0,), (0.0,))
+
+    def test_mismatched_lengths_rejected(self):
+        with pytest.raises(ValueError, match="same length"):
+            Box((0.0,), (1.0, 2.0))
+
+    def test_full_box_contains_everything(self):
+        box = Box.full(2)
+        pts = np.array([[1e12, -1e12], [0.0, 0.0]])
+        assert box.contains(pts).all()
+
+    def test_from_data_bounds(self):
+        x = np.array([[0.0, 5.0], [2.0, 1.0]])
+        box = Box.from_data(x)
+        assert box.lows == (0.0, 1.0)
+        assert box.highs[0] >= 2.0 and box.highs[1] >= 5.0
+
+    def test_from_data_pad_expands(self):
+        x = np.array([[0.0], [10.0]])
+        box = Box.from_data(x, pad=0.1)
+        assert box.lows[0] == pytest.approx(-1.0)
+        assert box.highs[0] == pytest.approx(11.0)
+
+    def test_contains_half_open(self):
+        box = Box((0.0,), (1.0,))
+        assert box.contains(np.array([[0.0]]))[0]
+        assert not box.contains(np.array([[1.0]]))[0]
+
+    def test_contains_closed_at_outer_top(self):
+        outer = Box((0.0,), (1.0,))
+        assert outer.contains(np.array([[1.0]]), outer=outer)[0]
+
+    def test_midpoint(self):
+        assert Box((0.0, 2.0), (2.0, 4.0)).midpoint().tolist() == [1.0, 3.0]
+
+    def test_sample_inside(self):
+        box = Box((0.0, -1.0), (1.0, 1.0))
+        pts = box.sample(50, seed=0)
+        assert box.contains(pts, outer=box).all()
+
+    def test_sample_unbounded_raises(self):
+        with pytest.raises(ValueError, match="unbounded"):
+            Box.full(1).sample(1, seed=0)
+
+    def test_split(self):
+        left, right = Box((0.0,), (10.0,)).split(0, 4.0)
+        assert left.highs[0] == 4.0
+        assert right.lows[0] == 4.0
+
+    def test_split_outside_raises(self):
+        with pytest.raises(ValueError):
+            Box((0.0,), (1.0,)).split(0, 2.0)
+
+    def test_clip_intersection(self):
+        a = Box((0.0,), (5.0,))
+        b = Box((3.0,), (8.0,))
+        c = a.clip(b)
+        assert (c.lows[0], c.highs[0]) == (3.0, 5.0)
+
+    def test_volume(self):
+        assert Box((0.0, 0.0), (2.0, 3.0)).volume() == pytest.approx(6.0)
+
+    def test_intersects(self):
+        a = Box((0.0,), (1.0,))
+        assert a.intersects(Box((0.5,), (2.0,)))
+        assert not a.intersects(Box((1.0,), (2.0,)))  # touching, zero measure
+
+
+class TestAdjacency:
+    def test_adjacent_and_merge(self):
+        a = Box((0.0, 0.0), (1.0, 1.0))
+        b = Box((1.0, 0.0), (2.0, 1.0))
+        assert a.adjacent_along(b, 0)
+        merged = a.merge_along(b, 0)
+        assert (merged.lows[0], merged.highs[0]) == (0.0, 2.0)
+
+    def test_not_adjacent_different_cross_section(self):
+        a = Box((0.0, 0.0), (1.0, 1.0))
+        b = Box((1.0, 0.0), (2.0, 2.0))
+        assert not a.adjacent_along(b, 0)
+
+    def test_merge_non_adjacent_raises(self):
+        a = Box((0.0,), (1.0,))
+        b = Box((2.0,), (3.0,))
+        with pytest.raises(ValueError):
+            a.merge_along(b, 0)
+
+
+class TestMergeAdjacentBoxes:
+    def test_grid_row_merges_to_one(self):
+        boxes = [Box((float(i),), (float(i + 1),)) for i in range(5)]
+        merged = merge_adjacent_boxes(boxes)
+        assert len(merged) == 1
+        assert merged[0].lows[0] == 0.0 and merged[0].highs[0] == 5.0
+
+    def test_2d_block_merges(self):
+        boxes = [
+            Box((float(i), float(j)), (float(i + 1), float(j + 1)))
+            for i in range(2)
+            for j in range(2)
+        ]
+        merged = merge_adjacent_boxes(boxes)
+        assert len(merged) == 1
+        assert merged[0].volume() == pytest.approx(4.0)
+
+    def test_disjoint_boxes_stay(self):
+        boxes = [Box((0.0,), (1.0,)), Box((2.0,), (3.0,))]
+        assert len(merge_adjacent_boxes(boxes)) == 2
+
+    @settings(max_examples=30, deadline=None)
+    @given(st.lists(st.integers(min_value=0, max_value=7), min_size=1, max_size=8, unique=True))
+    def test_merge_preserves_coverage(self, cells):
+        """Property: merging never changes which points are covered."""
+        boxes = [Box((float(c),), (float(c + 1),)) for c in cells]
+        merged = merge_adjacent_boxes(boxes)
+        probe = np.linspace(-0.5, 8.5, 40).reshape(-1, 1)
+        before = np.zeros(len(probe), dtype=bool)
+        for b in boxes:
+            before |= b.contains(probe)
+        after = np.zeros(len(probe), dtype=bool)
+        for b in merged:
+            after |= b.contains(probe)
+        assert np.array_equal(before, after)

@@ -1,0 +1,43 @@
+"""Property tests for the signed-log transform pair."""
+
+import numpy as np
+from hypothesis import given, settings
+from hypothesis import strategies as st
+
+from repro.utils.transforms import signed_expm1, signed_log1p
+
+finite_floats = st.floats(
+    min_value=-1e12, max_value=1e12, allow_nan=False, allow_infinity=False
+)
+
+
+class TestSignedLog:
+    def test_zero_maps_to_zero(self):
+        assert signed_log1p(np.array([0.0]))[0] == 0.0
+        assert signed_expm1(np.array([0.0]))[0] == 0.0
+
+    def test_known_value(self):
+        assert signed_log1p(np.array([np.e - 1]))[0] == np.log(np.e)
+
+    def test_negative_symmetry(self):
+        x = np.array([3.5])
+        assert signed_log1p(-x)[0] == -signed_log1p(x)[0]
+
+    @settings(max_examples=100, deadline=None)
+    @given(finite_floats)
+    def test_round_trip(self, value):
+        x = np.array([value])
+        back = signed_expm1(signed_log1p(x))[0]
+        assert back == (
+            np.testing.assert_allclose(back, value, rtol=1e-9, atol=1e-9) or back
+        )
+
+    @settings(max_examples=100, deadline=None)
+    @given(finite_floats, finite_floats)
+    def test_strictly_monotone(self, a, b):
+        if a == b:
+            return
+        lo, hi = min(a, b), max(a, b)
+        ya = signed_log1p(np.array([lo]))[0]
+        yb = signed_log1p(np.array([hi]))[0]
+        assert ya < yb

@@ -1,0 +1,97 @@
+"""Tests for validation helpers."""
+
+import numpy as np
+import pytest
+
+from repro.utils.validation import (
+    NotFittedError,
+    check_2d,
+    check_fitted,
+    check_in_range,
+    check_positive,
+    check_probability,
+    check_same_length,
+)
+
+
+class TestCheck2d:
+    def test_passthrough(self):
+        x = np.ones((3, 2))
+        out = check_2d(x)
+        assert out.shape == (3, 2)
+
+    def test_1d_promoted_to_row(self):
+        out = check_2d(np.array([1.0, 2.0, 3.0]))
+        assert out.shape == (1, 3)
+
+    def test_3d_rejected(self):
+        with pytest.raises(ValueError, match="2-D"):
+            check_2d(np.ones((2, 2, 2)))
+
+    def test_empty_rejected(self):
+        with pytest.raises(ValueError, match="at least one sample"):
+            check_2d(np.empty((0, 3)))
+
+    def test_nan_rejected(self):
+        with pytest.raises(ValueError, match="NaN or infinite"):
+            check_2d(np.array([[1.0, np.nan]]))
+
+    def test_inf_rejected(self):
+        with pytest.raises(ValueError, match="NaN or infinite"):
+            check_2d(np.array([[np.inf, 1.0]]))
+
+    def test_lists_coerced(self):
+        out = check_2d([[1, 2], [3, 4]])
+        assert out.dtype == float
+
+
+class TestCheckFitted:
+    def test_unset_raises(self):
+        class Model:
+            attr_ = None
+
+        with pytest.raises(NotFittedError, match="not fitted"):
+            check_fitted(Model(), "attr_")
+
+    def test_set_passes(self):
+        class Model:
+            attr_ = [1]
+
+        check_fitted(Model(), "attr_")
+
+    def test_missing_attribute_raises(self):
+        class Model:
+            pass
+
+        with pytest.raises(NotFittedError):
+            check_fitted(Model(), "whatever_")
+
+
+class TestScalarChecks:
+    def test_positive_strict(self):
+        check_positive(1.0, "x")
+        with pytest.raises(ValueError):
+            check_positive(0.0, "x")
+
+    def test_positive_nonstrict(self):
+        check_positive(0.0, "x", strict=False)
+        with pytest.raises(ValueError):
+            check_positive(-1.0, "x", strict=False)
+
+    def test_probability_bounds(self):
+        check_probability(0.0, "p")
+        check_probability(1.0, "p")
+        with pytest.raises(ValueError):
+            check_probability(1.5, "p")
+        with pytest.raises(ValueError):
+            check_probability(-0.1, "p")
+
+    def test_in_range(self):
+        check_in_range(5, 1, 10, "v")
+        with pytest.raises(ValueError):
+            check_in_range(11, 1, 10, "v")
+
+    def test_same_length(self):
+        check_same_length([1, 2], [3, 4])
+        with pytest.raises(ValueError, match="same length"):
+            check_same_length([1], [2, 3])
