@@ -9,7 +9,7 @@ a 66.47% improvement over HorusEye) at a fixed ~533 ns pipeline latency.
 import numpy as np
 import pytest
 
-from benchmarks.common import BENCH_SEED, bench_testbed_config, single_round
+from benchmarks.common import BENCH_REPLAY, BENCH_SEED, bench_testbed_config, single_round
 from repro.datasets.attacks import HEADLINE_ATTACKS
 from repro.datasets.splits import make_trace_split
 from repro.eval.harness import build_pipeline
@@ -26,7 +26,7 @@ def throughput_rows():
         pipeline, _controller, _model = build_pipeline(
             "iguard", split, config=config, seed=BENCH_SEED + i
         )
-        result = replay_trace(split.test_trace, pipeline)
+        result = replay_trace(split.test_trace, pipeline, mode=BENCH_REPLAY)
         inline = throughput_latency_model(result, offered_gbps=40.0)
         detour = throughput_latency_model(
             result, offered_gbps=40.0, control_plane_detection=True

@@ -9,7 +9,7 @@ and the replay-measured digest rate of the simulated pipeline.
 
 import pytest
 
-from benchmarks.common import BENCH_SEED, bench_testbed_config, single_round
+from benchmarks.common import BENCH_REPLAY, BENCH_SEED, bench_testbed_config, single_round
 from repro.datasets.splits import make_trace_split
 from repro.eval.harness import build_pipeline
 from repro.switch.controller import FEATURE_DIGEST_EXTRA_BYTES
@@ -47,7 +47,7 @@ def test_appb2_replay_measured(benchmark):
                                  seed=BENCH_SEED)
         pipeline, controller, _ = build_pipeline("iguard", split, config=config,
                                                  seed=BENCH_SEED)
-        replay_trace(split.test_trace, pipeline)
+        replay_trace(split.test_trace, pipeline, mode=BENCH_REPLAY)
         window = max(split.test_trace.duration, 1e-9)
         return controller.stats, window
 

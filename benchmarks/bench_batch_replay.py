@@ -1,0 +1,159 @@
+"""Batch vs scalar replay throughput on a ~100k-packet trace.
+
+The workload mirrors the paper's deployment premise: traffic is
+dominated by benign IoT flows, a small attack share gets classified and
+blacklisted, and the whitelist carries a wide benign region compiled
+from benign training features.  The scalar engine pays a per-packet
+numpy round trip for every PL/FL score; the batch engine precomputes
+hashes, quantized features, and whitelist verdicts for the whole trace
+and resolves only the sequential switch state per packet.
+
+Emits ``BENCH_batch_replay.json`` at the repo root with both rates and
+the speedup.  Runs standalone (``PYTHONPATH=src python
+benchmarks/bench_batch_replay.py``) or under pytest-benchmark.
+
+Scale knobs: ``REPRO_BENCH_REPLAY_FLOWS`` (benign flows, default 1150 —
+about 100k packets), ``REPRO_BENCH_SEED``.
+"""
+
+import json
+import os
+import sys
+import time
+from pathlib import Path
+
+import numpy as np
+
+if __package__ in (None, ""):  # standalone: put the repo root on sys.path
+    sys.path.insert(0, str(Path(__file__).resolve().parents[1]))
+
+from benchmarks.common import BENCH_SEED
+from repro.core.rules import BENIGN, MALICIOUS, RuleSet, WhitelistRule
+from repro.datasets.attacks import generate_attack_flows
+from repro.datasets.benign import generate_benign_flows
+from repro.datasets.trace import flows_to_trace
+from repro.features.flow_features import FlowFeatureExtractor
+from repro.features.packet_features import extract_first_packets
+from repro.features.scaling import IntegerQuantizer
+from repro.switch.controller import Controller
+from repro.switch.pipeline import PipelineConfig, SwitchPipeline
+from repro.switch.runner import replay_trace
+from repro.utils.box import Box
+
+REPLAY_FLOWS = int(os.environ.get("REPRO_BENCH_REPLAY_FLOWS", "1150"))
+ATTACK_FLOWS = max(10, REPLAY_FLOWS // 40)
+#: Deployment knob n — within the paper's studied range; larger n keeps
+#: flows on the PL-scored brown path longer (the realistic hot path).
+PKT_COUNT_THRESHOLD = 16
+OUT_PATH = Path(__file__).resolve().parents[1] / "BENCH_batch_replay.json"
+
+
+def _rules(x_benign, x_attack):
+    """Wide benign whitelist from benign training features, shadowed by
+    a narrow malicious band around the attack mass (first-match)."""
+    lo = np.minimum(np.min(x_benign, 0), np.min(x_attack, 0)) - 1.0
+    hi = np.maximum(np.max(x_benign, 0), np.max(x_attack, 0)) + 1.0
+    mal = WhitelistRule(
+        box=Box(
+            tuple(np.percentile(x_attack, 25, axis=0)),
+            tuple(np.percentile(x_attack, 75, axis=0)),
+        ),
+        label=MALICIOUS,
+    )
+    ben = WhitelistRule(
+        box=Box(tuple(np.min(x_benign, 0) - 0.5), tuple(np.max(x_benign, 0) + 0.5)),
+        label=BENIGN,
+    )
+    return RuleSet(
+        [mal, ben], outer_box=Box(tuple(lo), tuple(hi)), default_label=MALICIOUS
+    )
+
+
+def build_workload(seed=None):
+    seed = BENCH_SEED if seed is None else seed
+    benign = generate_benign_flows(REPLAY_FLOWS, seed=seed)
+    attack = generate_attack_flows("Mirai", ATTACK_FLOWS, seed=seed + 1)
+    trace = flows_to_trace(benign + attack)
+
+    n, timeout = PKT_COUNT_THRESHOLD, 5.0
+    fx = FlowFeatureExtractor(
+        feature_set="switch", pkt_count_threshold=n, timeout=timeout
+    )
+    x_fb, _ = fx.extract_flows(benign)
+    x_fm, _ = fx.extract_flows(attack)
+    x_pb, _ = extract_first_packets(benign, per_flow=2)
+    x_pm, _ = extract_first_packets(attack, per_flow=2)
+    fl_q = IntegerQuantizer(bits=12, space="log").fit(np.vstack([x_fb, x_fm]))
+    pl_q = IntegerQuantizer(bits=12, space="log").fit(np.vstack([x_pb, x_pm]))
+    fl_rules = _rules(x_fb, x_fm).quantize(fl_q)
+    pl_rules = _rules(x_pb, x_pm).quantize(pl_q)
+
+    def make_pipeline():
+        pipe = SwitchPipeline(
+            fl_rules=fl_rules,
+            fl_quantizer=fl_q,
+            pl_rules=pl_rules,
+            pl_quantizer=pl_q,
+            config=PipelineConfig(
+                pkt_count_threshold=n, timeout=timeout, n_slots=8192,
+                blacklist_capacity=4096,
+            ),
+        )
+        Controller(pipe)
+        return pipe
+
+    return trace, make_pipeline
+
+
+def measure(trace, make_pipeline, mode, repeats=3):
+    """Best-of-*repeats* packets/sec on a fresh pipeline each round."""
+    best_pps, last = 0.0, None
+    for _ in range(repeats):
+        pipeline = make_pipeline()
+        start = time.perf_counter()
+        result = replay_trace(trace, pipeline, mode=mode)
+        elapsed = time.perf_counter() - start
+        best_pps = max(best_pps, len(trace) / elapsed)
+        last = (pipeline, result)
+    return best_pps, last
+
+
+def run(repeats=3):
+    trace, make_pipeline = build_workload()
+    batch_pps, (p_b, r_b) = measure(trace, make_pipeline, "batch", repeats)
+    scalar_pps, (p_s, r_s) = measure(trace, make_pipeline, "scalar", repeats)
+
+    # The speedup only counts if the engines agree.
+    assert p_b.path_counts == p_s.path_counts, "engines diverged on path counts"
+    assert (r_b.y_pred == r_s.y_pred).all(), "engines diverged on verdicts"
+
+    report = {
+        "n_packets": len(trace),
+        "n_flows": len(trace.bidirectional_flows()),
+        "malicious_fraction": round(trace.malicious_fraction(), 4),
+        "pkt_count_threshold": PKT_COUNT_THRESHOLD,
+        "path_counts": {k: v for k, v in p_s.path_counts.items() if v},
+        "scalar_pps": round(scalar_pps, 1),
+        "batch_pps": round(batch_pps, 1),
+        "speedup": round(batch_pps / scalar_pps, 2),
+    }
+    OUT_PATH.write_text(json.dumps(report, indent=2) + "\n")
+    return report
+
+
+def test_batch_replay_speedup(benchmark):
+    from benchmarks.common import single_round
+
+    report = single_round(benchmark, run)
+    print()
+    print(f"Batch replay — {report['n_packets']} packets, "
+          f"{report['n_flows']} flows, n={report['pkt_count_threshold']}")
+    print(f"  scalar: {report['scalar_pps']:>10.0f} pps")
+    print(f"  batch:  {report['batch_pps']:>10.0f} pps")
+    print(f"  speedup: {report['speedup']:.2f}x  (target ≥ 5x)")
+    assert report["speedup"] >= 5.0
+
+
+if __name__ == "__main__":
+    out = run()
+    print(json.dumps(out, indent=2))

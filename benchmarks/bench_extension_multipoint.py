@@ -10,7 +10,7 @@ weakest (EXPERIMENTS.md, Table 3).
 
 import pytest
 
-from benchmarks.common import BENCH_SEED, bench_testbed_config, single_round
+from benchmarks.common import BENCH_REPLAY, BENCH_SEED, bench_testbed_config, single_round
 from repro.datasets.adversarial import evasion_flows
 from repro.datasets.splits import TraceSplit, make_trace_split
 from repro.datasets.trace import flows_to_trace
@@ -62,7 +62,9 @@ def multipoint_vs_single():
         config=PipelineConfig(timeout=config.timeout, n_slots=config.n_slots),
     )
     Controller(pipeline)
-    replay = replay_trace(split.test_trace, pipeline)
+    # MultiCheckpointPipeline overrides the packet walk; mode="batch"
+    # transparently falls back to the scalar engine its walk defines.
+    replay = replay_trace(split.test_trace, pipeline, mode=BENCH_REPLAY)
     multi = detection_metrics(replay.y_true, replay.y_pred, replay.y_pred.astype(float))
     return single.metrics, multi, pipeline.checkpoint_flags
 

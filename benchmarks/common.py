@@ -12,6 +12,8 @@ Scale knobs (environment variables):
 * ``REPRO_BENCH_SEED``   — experiment seed (default 2024).
 * ``REPRO_BENCH_GRID``   — ``fixed`` (default: pre-searched best
   configurations, fast) or ``full`` (re-run the paper's grid search).
+* ``REPRO_BENCH_REPLAY`` — data-plane replay engine, ``batch``
+  (default, vectorised) or ``scalar`` (the reference walk).
 """
 
 from __future__ import annotations
@@ -27,6 +29,7 @@ from repro.nn.ensemble import AutoencoderEnsemble
 BENCH_FLOWS = int(os.environ.get("REPRO_BENCH_FLOWS", "320"))
 BENCH_SEED = int(os.environ.get("REPRO_BENCH_SEED", "2024"))
 BENCH_GRID = os.environ.get("REPRO_BENCH_GRID", "fixed")
+BENCH_REPLAY = os.environ.get("REPRO_BENCH_REPLAY", "batch")
 
 #: Pre-searched best versions (REPRO_BENCH_GRID=full re-derives them).
 FIXED_IFOREST = {"n_trees": 100, "subsample_size": 128, "contamination": 0.15}
@@ -59,6 +62,7 @@ def bench_testbed_config() -> TestbedConfig:
     return TestbedConfig(
         n_benign_flows=BENCH_FLOWS,
         rule_cells=1024,
+        replay_mode=BENCH_REPLAY,
         iforest_params=dict(FIXED_IFOREST),
         iguard_params=dict(FIXED_IGUARD),
     )

@@ -157,7 +157,10 @@ class RuleSet:
             )
             q_rules.append(QuantizedRule(lows=lo, highs=hi, label=rule.label))
         return QuantizedRuleSet(
-            q_rules, bits=quantizer.bits, default_label=self.default_label
+            q_rules,
+            bits=quantizer.bits,
+            default_label=self.default_label,
+            quantizer_fingerprint=quantizer.fingerprint(),
         )
 
 
@@ -171,14 +174,26 @@ class QuantizedRule:
 
 
 class QuantizedRuleSet:
-    """First-match rules in integer space — what the switch installs."""
+    """First-match rules in integer space — what the switch installs.
+
+    ``quantizer_fingerprint`` records which fitted
+    :class:`~repro.features.scaling.IntegerQuantizer` the rule boundaries
+    were compiled with (set by :meth:`RuleSet.quantize`); the switch
+    pipeline refuses to pair the table with a different quantizer.  Hand
+    built rule sets may leave it ``None``, which skips that check.
+    """
 
     def __init__(
-        self, rules: Sequence[QuantizedRule], bits: int, default_label: int = MALICIOUS
+        self,
+        rules: Sequence[QuantizedRule],
+        bits: int,
+        default_label: int = MALICIOUS,
+        quantizer_fingerprint: Optional[str] = None,
     ) -> None:
         self.rules = list(rules)
         self.bits = bits
         self.default_label = default_label
+        self.quantizer_fingerprint = quantizer_fingerprint
 
     def __len__(self) -> int:
         return len(self.rules)

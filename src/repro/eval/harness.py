@@ -157,6 +157,9 @@ class TestbedConfig:
     rule_cells: int = 1024
     n_slots: int = 8192
     use_pl_model: bool = True
+    #: Replay engine for the data-plane simulator — "batch" (vectorised,
+    #: differentially verified against the scalar walk) or "scalar".
+    replay_mode: str = "batch"
     # Fixed model configurations (the pre-searched best versions; the
     # adversarial and resource benches reuse them so runs stay laptop-fast).
     iforest_params: Dict = field(
@@ -308,7 +311,7 @@ def run_testbed_experiment(
     pipeline, _controller, _model = build_pipeline(
         model_name, split, config=config, seed=build_seed
     )
-    replay = replay_trace(split.test_trace, pipeline)
+    replay = replay_trace(split.test_trace, pipeline, mode=config.replay_mode)
     metrics = detection_metrics(replay.y_true, replay.y_pred, replay.y_pred.astype(float))
     resources = resource_report(pipeline)
     reward = testbed_reward(metrics, memory_fraction(resources))

@@ -14,6 +14,7 @@ Two transforms bridge the model world and the switch world:
 
 from __future__ import annotations
 
+import hashlib
 from typing import Optional
 
 import numpy as np
@@ -107,6 +108,23 @@ class IntegerQuantizer:
     def span_(self) -> np.ndarray:
         check_fitted(self, "data_min_")
         return np.where(self.data_max_ > self.data_min_, self.data_max_ - self.data_min_, 1.0)
+
+    def fingerprint(self) -> str:
+        """Stable identity of the fitted codebook.
+
+        Hashes (bits, space, per-feature domain); two quantizers agree
+        exactly on every value → code mapping iff their fingerprints
+        match.  :meth:`RuleSet.quantize <repro.core.rules.RuleSet.quantize>`
+        stamps this onto the compiled rule set so the switch pipeline can
+        reject a table whose match keys would be produced by a different
+        codebook than its rules were compiled with.
+        """
+        check_fitted(self, "data_min_")
+        h = hashlib.sha256()
+        h.update(f"{self.bits}|{self.space}|".encode())
+        h.update(np.ascontiguousarray(self.data_min_, dtype=np.float64).tobytes())
+        h.update(np.ascontiguousarray(self.data_max_, dtype=np.float64).tobytes())
+        return h.hexdigest()[:16]
 
     def quantize(self, x: np.ndarray) -> np.ndarray:
         """Real features → integer codes.

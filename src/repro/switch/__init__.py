@@ -3,6 +3,14 @@ range rules with prefix expansion, bi-hash double-hashed flow state, the
 six-path packet pipeline of Fig 4, the control plane, and the resource
 accounting model behind Table 1."""
 
+from repro.switch.batch import (
+    BatchReplayOutcome,
+    RangeIntervalMatcher,
+    TraceArrays,
+    bi_hash_batch,
+    replay_arrays,
+    replay_trace_batch,
+)
 from repro.switch.controller import (
     FEATURE_DIGEST_EXTRA_BYTES,
     Controller,
@@ -47,6 +55,7 @@ from repro.switch.resources import (
 )
 from repro.switch.runner import (
     PIPELINE_LATENCY_NS,
+    REPLAY_MODES,
     ReplayResult,
     ThroughputReport,
     replay_trace,
@@ -76,6 +85,8 @@ __all__ = [
     "PATH_RED",
     "PIPELINE_LATENCY_NS",
     "PIPELINE_STAGES",
+    "REPLAY_MODES",
+    "BatchReplayOutcome",
     "BlacklistTable",
     "Checkpoint",
     "Controller",
@@ -87,20 +98,25 @@ __all__ = [
     "MultiCheckpointPipeline",
     "PacketDecision",
     "PipelineConfig",
+    "RangeIntervalMatcher",
     "ReplayResult",
     "ResourceReport",
     "Slot",
     "SwitchPipeline",
     "ThroughputReport",
+    "TraceArrays",
     "WhitelistTable",
     "bi_hash",
+    "bi_hash_batch",
     "build_checkpoint_rules",
     "generate_p4_program",
     "generate_table_entries",
     "memory_fraction",
     "prefix_count",
     "range_to_prefixes",
+    "replay_arrays",
     "replay_trace",
+    "replay_trace_batch",
     "resource_report",
     "rule_tcam_entries",
     "ruleset_tcam_entries",

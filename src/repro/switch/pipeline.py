@@ -57,6 +57,39 @@ ACTION_FORWARD = "forward"
 ACTION_DROP = "drop"
 
 
+def _check_table_quantizer(
+    name: str, rules: QuantizedRuleSet, quantizer: IntegerQuantizer
+) -> None:
+    """Reject (rules, quantizer) pairs that would silently mis-score.
+
+    The whitelist table matches integer codes produced by *quantizer*
+    against boundaries compiled by some quantizer at rule-compile time;
+    if those differ the table still "works" but scores garbage.  Checked
+    here once at installation instead of per packet.
+    """
+    if quantizer.data_min_ is None:
+        raise ValueError(f"{name} quantizer must be fitted before installation")
+    if rules.bits != quantizer.bits:
+        raise ValueError(
+            f"{name} rules were quantized at {rules.bits} bits but the attached "
+            f"quantizer produces {quantizer.bits}-bit codes"
+        )
+    if len(rules.rules) > 0:
+        width = len(rules.rules[0].lows)
+        if width != int(np.asarray(quantizer.data_min_).shape[0]):
+            raise ValueError(
+                f"{name} rules match {width} features but the attached quantizer "
+                f"is fitted for {int(np.asarray(quantizer.data_min_).shape[0])}"
+            )
+    fingerprint = getattr(rules, "quantizer_fingerprint", None)
+    if fingerprint is not None and fingerprint != quantizer.fingerprint():
+        raise ValueError(
+            f"{name} rules were compiled with a different quantizer than the one "
+            "attached to the table (codebook fingerprints differ); re-quantize the "
+            "rule set with the installed quantizer"
+        )
+
+
 @dataclass(frozen=True)
 class Digest:
     """Flow verdict sent to the controller: 13 B 5-tuple + 1-bit label."""
@@ -130,8 +163,16 @@ class SwitchPipeline:
         config: Optional[PipelineConfig] = None,
     ) -> None:
         self.config = config or PipelineConfig()
+        _check_table_quantizer("FL", fl_rules, fl_quantizer)
         self.fl_table = WhitelistTable(fl_rules)
         self.fl_quantizer = fl_quantizer
+        if pl_rules is not None:
+            if pl_quantizer is None:
+                raise ValueError(
+                    "pl_rules were installed without a pl_quantizer; the PL table "
+                    "would silently score every packet as benign"
+                )
+            _check_table_quantizer("PL", pl_rules, pl_quantizer)
         self.pl_table = WhitelistTable(pl_rules) if pl_rules is not None else None
         self.pl_quantizer = pl_quantizer
         self.blacklist = BlacklistTable(

@@ -2,7 +2,12 @@
 
 :func:`replay_trace` drives a packet trace through a
 :class:`~repro.switch.pipeline.SwitchPipeline` and collects per-packet
-ground truth vs verdicts — the paper's per-packet metrics [2].
+ground truth vs verdicts — the paper's per-packet metrics [2].  Two
+engines are available behind ``mode=``: the scalar per-packet walk
+(``"scalar"``, the reference semantics) and the numpy-vectorised batch
+engine (``"batch"``, :mod:`repro.switch.batch`), which produces
+bit-identical results and is locked to the scalar engine by the
+differential suite in ``tests/switch/test_batch_differential.py``.
 
 :func:`throughput_latency_model` is the line-rate service model standing
 in for the 40 Gbps tcpreplay measurement: packets that stay in the data
@@ -53,8 +58,28 @@ class ReplayResult:
         return sum(d.action == ACTION_DROP for d in self.decisions) / len(self.decisions)
 
 
-def replay_trace(trace: Trace, pipeline: SwitchPipeline) -> ReplayResult:
-    """Run every packet of *trace* through *pipeline* in arrival order."""
+#: Replay engine names accepted by :func:`replay_trace`.
+REPLAY_MODES = ("scalar", "batch")
+
+
+def replay_trace(
+    trace: Trace, pipeline: SwitchPipeline, mode: str = "scalar"
+) -> ReplayResult:
+    """Run every packet of *trace* through *pipeline* in arrival order.
+
+    ``mode="scalar"`` walks the six-path pipeline one packet at a time;
+    ``mode="batch"`` precomputes hashes, quantized feature matrices, and
+    whitelist verdicts for the whole trace and resolves only the
+    sequential state in a tight loop — same outputs, much faster.
+    """
+    if mode not in REPLAY_MODES:
+        raise ValueError(f"mode must be one of {REPLAY_MODES}, got {mode!r}")
+    if mode == "batch" and type(pipeline).process is SwitchPipeline.process:
+        from repro.switch.batch import replay_trace_batch
+
+        return replay_trace_batch(trace, pipeline)
+    # Pipeline subclasses with a custom packet walk (e.g. the multipoint
+    # extension) always take the scalar engine the walk defines.
     decisions = [pipeline.process(pkt) for pkt in trace]
     y_true = np.array([int(d.packet.malicious) for d in decisions], dtype=int)
     y_pred = np.array([d.predicted_malicious for d in decisions], dtype=int)

@@ -34,6 +34,9 @@ class BlacklistTable:
         self.eviction = eviction
         self._entries: "OrderedDict[FiveTuple, bool]" = OrderedDict()
         self.evictions = 0
+        #: Bumped whenever membership changes (install/evict/remove), so
+        #: replay engines can cache per-flow membership between changes.
+        self.version = 0
 
     def __len__(self) -> int:
         return len(self._entries)
@@ -48,6 +51,7 @@ class BlacklistTable:
             self._entries.popitem(last=False)
             self.evictions += 1
         self._entries[key] = True
+        self.version += 1
 
     def matches(self, five_tuple: FiveTuple) -> bool:
         """True when the packet's flow is blacklisted (red path)."""
@@ -58,7 +62,10 @@ class BlacklistTable:
         return hit
 
     def remove(self, five_tuple: FiveTuple) -> bool:
-        return self._entries.pop(five_tuple.canonical(), None) is not None
+        hit = self._entries.pop(five_tuple.canonical(), None) is not None
+        if hit:
+            self.version += 1
+        return hit
 
     def sram_bytes(self) -> int:
         """SRAM cost: 13 B key + 1 B action per installed entry, sized at

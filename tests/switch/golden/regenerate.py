@@ -1,0 +1,40 @@
+"""Regenerate the golden-trace fixtures from the scalar engine.
+
+Run only after an intentional pipeline-semantics change, then review the
+fixture diff packet by packet::
+
+    PYTHONPATH=src python tests/switch/golden/regenerate.py
+"""
+
+import json
+import sys
+from pathlib import Path
+
+sys.path.insert(0, str(Path(__file__).resolve().parents[2]))
+
+from switch.test_golden_traces import (  # noqa: E402
+    GOLDEN_DIR,
+    SCENARIOS,
+    observed_outcome,
+    replay_scenario,
+)
+
+
+def main() -> None:
+    GOLDEN_DIR.mkdir(exist_ok=True)
+    for name in sorted(SCENARIOS):
+        config_kwargs, packet_specs = SCENARIOS[name]
+        expected = observed_outcome(*replay_scenario(name, mode="scalar"))
+        payload = {
+            "scenario": name,
+            "config": config_kwargs,
+            "packets": packet_specs,
+            "expected": expected,
+        }
+        path = GOLDEN_DIR / f"{name}.json"
+        path.write_text(json.dumps(payload, indent=2) + "\n")
+        print(f"wrote {path} ({expected['path_counts']})")
+
+
+if __name__ == "__main__":
+    main()

@@ -1,0 +1,352 @@
+"""Differential lock between the scalar and batch replay engines.
+
+The batch engine (:mod:`repro.switch.batch`) must be **bit-identical**
+to the scalar six-path walk on every profile: same per-packet path
+assignment, actions, verdicts, digest streams, and every pipeline /
+storage / controller counter.  Any semantic drift in either engine
+fails here before it can skew an experiment.
+"""
+
+import numpy as np
+import pytest
+
+from repro.core.rules import BENIGN, MALICIOUS, RuleSet, WhitelistRule
+from repro.datasets.attacks import generate_attack_flows
+from repro.datasets.benign import generate_benign_flows
+from repro.datasets.packet import PROTO_TCP, PROTO_UDP, FiveTuple
+from repro.datasets.trace import Trace, flows_to_trace
+from repro.features.flow_features import FlowFeatureExtractor
+from repro.features.packet_features import extract_first_packets
+from repro.features.scaling import IntegerQuantizer
+from repro.switch.batch import (
+    RangeIntervalMatcher,
+    TraceArrays,
+    bi_hash_batch,
+    replay_arrays,
+)
+from repro.switch.controller import Controller
+from repro.switch.hashing import bi_hash
+from repro.switch.pipeline import PipelineConfig, SwitchPipeline
+from repro.switch.runner import replay_trace
+from repro.utils.box import Box
+
+#: Registry profiles the engines are locked over — a pure benign mix
+#: plus scan, flood, and DDoS attack shapes (packet sizes, rates, and
+#: flow counts differ enough to exercise every execution path).
+PROFILES = ("benign", "Mirai", "Bashlite", "UDP DDoS", "TCP DDoS", "HTTP DDoS")
+
+
+def _percentile_rules(x):
+    """Two-rule whitelist over *x*: a narrow MALICIOUS band (p40–p60)
+    shadowing a wide BENIGN band (p5–p95), default MALICIOUS — chosen to
+    produce a mix of verdicts, hence blacklist installs and red paths."""
+    outer = Box(tuple(np.min(x, axis=0) - 1.0), tuple(np.max(x, axis=0) + 1.0))
+    mal = WhitelistRule(
+        box=Box(
+            tuple(np.percentile(x, 40, axis=0)), tuple(np.percentile(x, 60, axis=0))
+        ),
+        label=MALICIOUS,
+    )
+    ben = WhitelistRule(
+        box=Box(
+            tuple(np.percentile(x, 5, axis=0)), tuple(np.percentile(x, 95, axis=0))
+        ),
+        label=BENIGN,
+    )
+    return RuleSet([mal, ben], outer_box=outer, default_label=MALICIOUS)
+
+
+def _make_flows(profile, seed=7, n_benign=60, n_attack=20):
+    flows = generate_benign_flows(n_benign, seed=seed)
+    if profile != "benign":
+        flows = flows + generate_attack_flows(profile, n_attack, seed=seed + 1)
+    return flows
+
+
+def _build_pipeline(train_flows, n=6, timeout=1.0, n_slots=32, blacklist_capacity=16):
+    """Small tables + short timeout force collisions, evictions, and
+    timeouts, so the seeded traces hit all six paths."""
+    fx = FlowFeatureExtractor(
+        feature_set="switch", pkt_count_threshold=n, timeout=timeout
+    )
+    x_fl, _ = fx.extract_flows(train_flows)
+    fl_q = IntegerQuantizer(bits=12, space="log").fit(x_fl)
+    x_pl, _ = extract_first_packets(train_flows, per_flow=2)
+    pl_q = IntegerQuantizer(bits=12, space="log").fit(x_pl)
+    pipe = SwitchPipeline(
+        fl_rules=_percentile_rules(x_fl).quantize(fl_q),
+        fl_quantizer=fl_q,
+        pl_rules=_percentile_rules(x_pl).quantize(pl_q),
+        pl_quantizer=pl_q,
+        config=PipelineConfig(
+            pkt_count_threshold=n,
+            timeout=timeout,
+            n_slots=n_slots,
+            blacklist_capacity=blacklist_capacity,
+        ),
+    )
+    controller = Controller(pipe)
+    return pipe, controller
+
+
+def _assert_identical(trace, make_pipeline):
+    """Replay *trace* through two identically-built pipelines, one per
+    engine, and compare every observable output."""
+    p_s, c_s = make_pipeline()
+    p_b, c_b = make_pipeline()
+    r_s = replay_trace(trace, p_s, mode="scalar")
+    r_b = replay_trace(trace, p_b, mode="batch")
+
+    assert len(r_s.decisions) == len(r_b.decisions) == len(trace)
+    for i, (a, b) in enumerate(zip(r_s.decisions, r_b.decisions)):
+        assert a.path == b.path, f"packet {i}: path {a.path} != {b.path}"
+        assert a.action == b.action, f"packet {i}: action"
+        assert a.predicted_malicious == b.predicted_malicious, f"packet {i}: verdict"
+        assert a.digest == b.digest, f"packet {i}: digest"
+        assert a.mirrored == b.mirrored, f"packet {i}: mirrored"
+        assert a.packet is b.packet  # batch must not copy packets
+
+    np.testing.assert_array_equal(r_s.y_true, r_b.y_true)
+    np.testing.assert_array_equal(r_s.y_pred, r_b.y_pred)
+    assert r_s.path_counts() == r_b.path_counts()
+
+    # Pipeline-side counters.
+    assert p_s.path_counts == p_b.path_counts
+    assert p_s.digests_emitted == p_b.digests_emitted
+    assert p_s.mirrored_packets == p_b.mirrored_packets
+    assert p_s.fl_table.lookup_count == p_b.fl_table.lookup_count
+    assert p_s.pl_table.lookup_count == p_b.pl_table.lookup_count
+
+    # Storage and blacklist state.
+    assert p_s.store.table.collision_count == p_b.store.table.collision_count
+    assert p_s.store.occupancy() == p_b.store.occupancy()
+    assert len(p_s.blacklist) == len(p_b.blacklist)
+    assert list(p_s.blacklist._entries) == list(p_b.blacklist._entries)
+    assert p_s.blacklist.evictions == p_b.blacklist.evictions
+
+    # Controller view.
+    assert c_s.stats == c_b.stats
+    return p_s.path_counts
+
+
+class TestDifferential:
+    @pytest.mark.parametrize("profile", PROFILES)
+    def test_profiles_bit_identical(self, profile):
+        flows = _make_flows(profile)
+        trace = flows_to_trace(flows)
+        counts = _assert_identical(trace, lambda: _build_pipeline(flows))
+        # The small-table configuration must actually exercise the paths
+        # the engines disagree on first when they drift.
+        for path in ("red", "brown", "blue", "purple"):
+            assert counts[path] > 0, f"{profile}: {path} path never taken"
+
+    def test_collision_heavy_configuration(self):
+        """n_slots=2 forces orange paths and decided-resident evictions."""
+        flows = _make_flows("Mirai")
+        trace = flows_to_trace(flows)
+        counts = _assert_identical(
+            trace, lambda: _build_pipeline(flows, n_slots=2, blacklist_capacity=4)
+        )
+        assert counts["orange"] > 0
+        assert counts["green"] > 0
+
+    def test_no_pl_table_configuration(self):
+        """Without a PL table every early packet scores benign."""
+        flows = _make_flows("Bashlite")
+        trace = flows_to_trace(flows)
+
+        def mk():
+            fx = FlowFeatureExtractor(
+                feature_set="switch", pkt_count_threshold=6, timeout=1.0
+            )
+            x_fl, _ = fx.extract_flows(flows)
+            fl_q = IntegerQuantizer(bits=12, space="log").fit(x_fl)
+            pipe = SwitchPipeline(
+                fl_rules=_percentile_rules(x_fl).quantize(fl_q),
+                fl_quantizer=fl_q,
+                config=PipelineConfig(
+                    pkt_count_threshold=6, timeout=1.0, n_slots=32,
+                    blacklist_capacity=16,
+                ),
+            )
+            return pipe, Controller(pipe)
+
+        p_s, c_s = mk()
+        p_b, c_b = mk()
+        r_s = replay_trace(trace, p_s, mode="scalar")
+        r_b = replay_trace(trace, p_b, mode="batch")
+        assert [d.path for d in r_s.decisions] == [d.path for d in r_b.decisions]
+        np.testing.assert_array_equal(r_s.y_pred, r_b.y_pred)
+        assert p_s.path_counts == p_b.path_counts
+        assert c_s.stats == c_b.stats
+
+    def test_lru_blacklist_configuration(self):
+        flows = _make_flows("UDP DDoS")
+        trace = flows_to_trace(flows)
+
+        def mk_lru():
+            fx = FlowFeatureExtractor(
+                feature_set="switch", pkt_count_threshold=6, timeout=1.0
+            )
+            x_fl, _ = fx.extract_flows(flows)
+            fl_q = IntegerQuantizer(bits=12, space="log").fit(x_fl)
+            x_pl, _ = extract_first_packets(flows, per_flow=2)
+            pl_q = IntegerQuantizer(bits=12, space="log").fit(x_pl)
+            pipe = SwitchPipeline(
+                fl_rules=_percentile_rules(x_fl).quantize(fl_q),
+                fl_quantizer=fl_q,
+                pl_rules=_percentile_rules(x_pl).quantize(pl_q),
+                pl_quantizer=pl_q,
+                config=PipelineConfig(
+                    pkt_count_threshold=6, timeout=1.0, n_slots=32,
+                    blacklist_capacity=8, blacklist_eviction="lru",
+                ),
+            )
+            return pipe, Controller(pipe)
+
+        _assert_identical(trace, mk_lru)
+
+    def test_empty_trace(self):
+        flows = _make_flows("benign")
+        pipe, _ = _build_pipeline(flows)
+        result = replay_trace(Trace([]), pipe, mode="batch")
+        assert result.decisions == []
+        assert result.n_packets == 0
+        assert result.path_counts() == {}
+        outcome = replay_arrays(Trace([]), pipe)
+        assert outcome.n_packets == 0
+        assert outcome.path_counts() == {}
+
+    def test_unknown_mode_rejected(self):
+        flows = _make_flows("benign")
+        pipe, _ = _build_pipeline(flows)
+        with pytest.raises(ValueError, match="mode"):
+            replay_trace(Trace([]), pipe, mode="simd")
+
+    def test_custom_walk_subclass_uses_its_own_scalar_walk(self):
+        """Subclasses overriding process (e.g. the multipoint extension)
+        must not be batch-replayed: replay_trace falls back to the walk
+        they define, and replay_arrays refuses outright."""
+        flows = _make_flows("benign", n_benign=10)
+        trace = flows_to_trace(flows)
+
+        marked = []
+
+        class MarkingPipeline(SwitchPipeline):
+            def process(self, pkt):
+                marked.append(pkt)
+                return super().process(pkt)
+
+        fx = FlowFeatureExtractor(
+            feature_set="switch", pkt_count_threshold=6, timeout=1.0
+        )
+        x_fl, _ = fx.extract_flows(flows)
+        fl_q = IntegerQuantizer(bits=12, space="log").fit(x_fl)
+        pipe = MarkingPipeline(
+            fl_rules=_percentile_rules(x_fl).quantize(fl_q),
+            fl_quantizer=fl_q,
+            config=PipelineConfig(pkt_count_threshold=6, timeout=1.0, n_slots=32),
+        )
+        result = replay_trace(trace, pipe, mode="batch")
+        assert len(marked) == len(trace)  # the override actually ran
+        assert result.n_packets == len(trace)
+        with pytest.raises(TypeError, match="overrides the packet walk"):
+            replay_arrays(trace, pipe)
+
+
+class TestBatchPrimitives:
+    def test_bi_hash_batch_matches_scalar(self):
+        rng = np.random.default_rng(42)
+        raw = np.stack(
+            [
+                rng.integers(0, 2**32, size=50),
+                rng.integers(0, 2**32, size=50),
+                rng.integers(0, 2**16, size=50),
+                rng.integers(0, 2**16, size=50),
+                rng.integers(0, 256, size=50),
+            ],
+            axis=1,
+        )
+        # bi_hash_batch expects pre-canonicalised rows (the engine hashes
+        # TraceArrays.flow_fields, which are canonical by construction).
+        tuples = [FiveTuple(*(int(v) for v in row)).canonical() for row in raw]
+        fields = np.array([t.as_tuple() for t in tuples], dtype=np.int64)
+        for salt in (0, 1, 7):
+            batch = bi_hash_batch(fields, salt)
+            for ft, h in zip(tuples, batch):
+                assert int(h) == bi_hash(ft, salt=salt)
+
+    def test_range_interval_matcher_matches_ruleset_predict(self):
+        rng = np.random.default_rng(7)
+        for _ in range(30):
+            n_rules = int(rng.integers(1, 9))
+            n_features = int(rng.integers(1, 5))
+            levels = 64
+            rules = []
+            for _r in range(n_rules):
+                lows = rng.integers(0, levels - 1, size=n_features)
+                highs = lows + rng.integers(0, levels - lows.max(), size=n_features)
+                rules.append((lows, highs, int(rng.integers(0, 2))))
+            outer = Box((0.0,) * n_features, (float(levels),) * n_features)
+            rs = RuleSet(
+                [
+                    WhitelistRule(
+                        box=Box(tuple(map(float, lo)), tuple(map(float, hi))),
+                        label=lab,
+                    )
+                    for lo, hi, lab in rules
+                ],
+                outer_box=outer,
+                default_label=int(rng.integers(0, 2)),
+            )
+            q = IntegerQuantizer(bits=6).fit(
+                np.vstack([np.zeros(n_features), np.full(n_features, levels)])
+            )
+            qrs = rs.quantize(q)
+            matcher = RangeIntervalMatcher(qrs)
+            codes = rng.integers(0, levels, size=(60, n_features))
+            np.testing.assert_array_equal(matcher.predict(codes), qrs.predict(codes))
+
+    def test_range_interval_matcher_empty_ruleset(self):
+        outer = Box((0.0, 0.0), (10.0, 10.0))
+        rs = RuleSet([], outer_box=outer, default_label=MALICIOUS)
+        q = IntegerQuantizer(bits=4).fit(np.array([[0.0, 0.0], [10.0, 10.0]]))
+        matcher = RangeIntervalMatcher(rs.quantize(q))
+        labels, idx = matcher.first_match(np.array([[1, 2], [3, 4]]))
+        assert (labels == MALICIOUS).all()
+        assert (idx == -1).all()
+
+    def test_trace_arrays_canonicalization(self):
+        """Both directions of a flow map to one canonical tuple/index."""
+        fwd = FiveTuple(10, 20, 1000, 80, PROTO_TCP)
+        rev = FiveTuple(20, 10, 80, 1000, PROTO_TCP)
+        from repro.datasets.packet import Packet
+
+        trace = Trace(
+            [Packet(fwd, 0.0, 100), Packet(rev, 0.1, 200), Packet(fwd, 0.2, 300)]
+        )
+        arrays = TraceArrays.from_trace(trace)
+        assert len(arrays.flow_tuples) == 1
+        assert arrays.flow_tuples[0] == fwd.canonical() == rev.canonical()
+        assert list(arrays.flow_idx) == [0, 0, 0]
+        # PL features keep the packet's own direction: dst_port differs.
+        assert arrays.pl_matrix[0][0] == 80.0
+        assert arrays.pl_matrix[1][0] == 1000.0
+
+    def test_trace_arrays_grouping_matches_unique(self):
+        """The packed-key lexsort grouping must agree with np.unique."""
+        flows = _make_flows("Mirai", seed=3, n_benign=20, n_attack=10)
+        trace = flows_to_trace(flows)
+        arrays = TraceArrays.from_trace(trace)
+        keys = np.array(
+            [
+                (lambda c: (c.src_ip, c.dst_ip, c.src_port, c.dst_port, c.protocol))(
+                    p.five_tuple.canonical()
+                )
+                for p in trace
+            ],
+            dtype=np.int64,
+        )
+        expect_fields, expect_idx = np.unique(keys, axis=0, return_inverse=True)
+        np.testing.assert_array_equal(arrays.flow_fields, expect_fields)
+        np.testing.assert_array_equal(arrays.flow_idx, expect_idx.reshape(-1))

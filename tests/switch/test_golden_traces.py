@@ -1,0 +1,182 @@
+"""Golden-trace regression fixtures, one per execution path.
+
+Each scenario is a tiny hand-crafted trace whose expected per-packet
+outcome (path, action, verdict, digests) and end-of-replay counters were
+recorded from the scalar engine and committed under
+``tests/switch/golden/``.  Both replay engines must keep reproducing
+them exactly — a change here is a semantic change to Fig 4, not noise.
+
+Regenerate (after an *intentional* semantics change) with::
+
+    PYTHONPATH=src python tests/switch/golden/regenerate.py
+"""
+
+import json
+from pathlib import Path
+
+import numpy as np
+import pytest
+
+from repro.core.rules import BENIGN, RuleSet, WhitelistRule
+from repro.datasets.packet import PROTO_TCP, PROTO_UDP, FiveTuple, Packet
+from repro.datasets.trace import Trace
+from repro.features.flow_features import SWITCH_FEATURES
+from repro.features.packet_features import PACKET_FEATURES
+from repro.features.scaling import IntegerQuantizer
+from repro.switch.controller import Controller
+from repro.switch.pipeline import PipelineConfig, SwitchPipeline
+from repro.switch.runner import replay_trace
+from repro.utils.box import Box
+
+GOLDEN_DIR = Path(__file__).parent / "golden"
+
+N_FL = len(SWITCH_FEATURES)
+N_PL = len(PACKET_FEATURES)
+LENGTH_IDX = PACKET_FEATURES.index("length")
+SIZE_MEAN_IDX = SWITCH_FEATURES.index("size_mean")
+
+
+def _rules(n_features, benign_max, constrained_idx):
+    """Benign ⟺ feature[constrained_idx] < benign_max, else malicious."""
+    lows = [0.0] * n_features
+    highs = [1e6] * n_features
+    b_highs = list(highs)
+    b_highs[constrained_idx] = benign_max
+    rule = WhitelistRule(box=Box(tuple(lows), tuple(b_highs)), label=BENIGN)
+    return RuleSet([rule], outer_box=Box(tuple(lows), tuple(highs)))
+
+
+def build_pipeline(config_kwargs):
+    """Fixed rules (benign ⟺ size_mean / length < 500), 16-bit linear
+    quantizers over [0, 1e6] — fully deterministic, no training data."""
+    fl_q = IntegerQuantizer(bits=16).fit(
+        np.vstack([np.zeros(N_FL), np.full(N_FL, 1e6)])
+    )
+    pl_q = IntegerQuantizer(bits=16).fit(
+        np.vstack([np.zeros(N_PL), np.full(N_PL, 1e6)])
+    )
+    pipe = SwitchPipeline(
+        fl_rules=_rules(N_FL, 500.0, SIZE_MEAN_IDX).quantize(fl_q),
+        fl_quantizer=fl_q,
+        pl_rules=_rules(N_PL, 500.0, LENGTH_IDX).quantize(pl_q),
+        pl_quantizer=pl_q,
+        config=PipelineConfig(**config_kwargs),
+    )
+    controller = Controller(pipe)
+    return pipe, controller
+
+
+FT_A = dict(src_ip=1, dst_ip=2, src_port=100, dst_port=80, protocol=PROTO_UDP)
+FT_B = dict(src_ip=3, dst_ip=4, src_port=200, dst_port=80, protocol=PROTO_UDP)
+FT_C = dict(src_ip=5, dst_ip=6, src_port=300, dst_port=80, protocol=PROTO_TCP)
+
+
+def _flow(ft, n, size, start=0.0, gap=0.1, malicious=False):
+    return [
+        dict(ft=dict(ft), ts=round(start + i * gap, 6), size=size, malicious=malicious)
+        for i in range(n)
+    ]
+
+
+#: scenario name → (pipeline config kwargs, packet spec list).  Each is
+#: built to make one execution path the star of the fixture.
+SCENARIOS = {
+    # brown, brown, brown, blue(benign) — the normal benign flow shape.
+    "benign_brown_blue": (
+        dict(pkt_count_threshold=4, timeout=5.0, n_slots=64),
+        _flow(FT_A, 4, size=100),
+    ),
+    # After the blue verdict the flow-label register answers: purple.
+    "purple_after_decision": (
+        dict(pkt_count_threshold=4, timeout=5.0, n_slots=64),
+        _flow(FT_A, 7, size=100),
+    ),
+    # Malicious blue verdict → controller installs blacklist → red.
+    "red_blacklist": (
+        dict(pkt_count_threshold=4, timeout=5.0, n_slots=64),
+        _flow(FT_A, 6, size=900, malicious=True),
+    ),
+    # Idle gap beyond δ: timeout-blue classifies the partial flow, the
+    # late packet itself is scored on PL features and re-seeds stats.
+    "blue_timeout": (
+        dict(pkt_count_threshold=10, timeout=2.0, n_slots=64),
+        _flow(FT_A, 3, size=100) + [dict(ft=dict(FT_A), ts=10.0, size=100, malicious=False)],
+    ),
+    # n_slots=1 and two residents: the third flow collides while the
+    # resident is undecided — orange with no eviction.
+    "orange_undecided": (
+        dict(pkt_count_threshold=8, timeout=5.0, n_slots=1),
+        _flow(FT_A, 2, size=100)
+        + [dict(ft=dict(FT_B), ts=1.0, size=100, malicious=False)]
+        + [dict(ft=dict(FT_C), ts=2.0, size=100, malicious=False)],
+    ),
+    # Resident classified first: the colliding flow evicts it and the
+    # mirror (green) initialises the new flow ID register.
+    "orange_evict_green": (
+        dict(pkt_count_threshold=2, timeout=5.0, n_slots=1),
+        _flow(FT_A, 2, size=100)
+        + [dict(ft=dict(FT_B), ts=1.0, size=100, malicious=False)]
+        + [dict(ft=dict(FT_C), ts=2.0, size=100, malicious=False)],
+    ),
+}
+
+
+def build_trace(packet_specs):
+    packets = [
+        Packet(
+            FiveTuple(**spec["ft"]),
+            spec["ts"],
+            spec["size"],
+            malicious=spec["malicious"],
+        )
+        for spec in packet_specs
+    ]
+    return Trace(packets)
+
+
+def replay_scenario(name, mode):
+    config_kwargs, packet_specs = SCENARIOS[name]
+    pipe, controller = build_pipeline(config_kwargs)
+    result = replay_trace(build_trace(packet_specs), pipe, mode=mode)
+    return pipe, controller, result
+
+
+def observed_outcome(pipe, controller, result):
+    """The JSON-serialisable view of one replay, compared to golden."""
+    return {
+        "paths": [d.path for d in result.decisions],
+        "actions": [d.action for d in result.decisions],
+        "preds": [int(d.predicted_malicious) for d in result.decisions],
+        "digests": [
+            {"packet": i, "label": d.digest.label, "timestamp": d.digest.timestamp}
+            for i, d in enumerate(result.decisions)
+            if d.digest is not None
+        ],
+        "mirrored": [i for i, d in enumerate(result.decisions) if d.mirrored],
+        "path_counts": {k: v for k, v in pipe.path_counts.items() if v},
+        "digests_emitted": pipe.digests_emitted,
+        "mirrored_packets": pipe.mirrored_packets,
+        "collision_count": pipe.store.table.collision_count,
+        "occupancy": pipe.store.occupancy(),
+        "blacklist_len": len(pipe.blacklist),
+        "blacklist_installs": controller.stats.blacklist_installs,
+    }
+
+
+@pytest.mark.parametrize("name", sorted(SCENARIOS))
+@pytest.mark.parametrize("mode", ["scalar", "batch"])
+def test_golden_trace(name, mode):
+    golden_path = GOLDEN_DIR / f"{name}.json"
+    golden = json.loads(golden_path.read_text())
+    assert golden["scenario"] == name
+    observed = observed_outcome(*replay_scenario(name, mode))
+    assert observed == golden["expected"], f"{name} drifted under {mode} engine"
+
+
+def test_goldens_cover_every_path():
+    """The fixture set as a whole must pin all six Fig-4 paths."""
+    seen = set()
+    for name in SCENARIOS:
+        golden = json.loads((GOLDEN_DIR / f"{name}.json").read_text())
+        seen.update(golden["expected"]["path_counts"])
+    assert seen == {"red", "brown", "blue", "orange", "purple", "green"}

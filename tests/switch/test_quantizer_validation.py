@@ -1,0 +1,119 @@
+"""Installation-time validation of (rules, quantizer) pairs.
+
+A whitelist table whose rules were compiled against one quantizer but
+which is fed codes from another still "works" — it just scores garbage.
+:class:`SwitchPipeline` must reject such pairs at construction with a
+:class:`ValueError` instead of silently mis-scoring every packet.
+"""
+
+import numpy as np
+import pytest
+
+from repro.core.rules import BENIGN, RuleSet, WhitelistRule
+from repro.features.flow_features import SWITCH_FEATURES
+from repro.features.packet_features import PACKET_FEATURES
+from repro.features.scaling import IntegerQuantizer
+from repro.switch.pipeline import PipelineConfig, SwitchPipeline
+from repro.utils.box import Box
+
+N_FL = len(SWITCH_FEATURES)
+N_PL = len(PACKET_FEATURES)
+
+
+def _ruleset(n_features):
+    lows = (0.0,) * n_features
+    highs = (1e6,) * n_features
+    rule = WhitelistRule(box=Box(lows, highs), label=BENIGN)
+    return RuleSet([rule], outer_box=Box(lows, highs))
+
+
+def _quantizer(n_features, bits=16, lo=0.0, hi=1e6):
+    domain = np.vstack([np.full(n_features, lo), np.full(n_features, hi)])
+    return IntegerQuantizer(bits=bits).fit(domain)
+
+
+def _build(fl_rules, fl_q, pl_rules=None, pl_q=None):
+    return SwitchPipeline(
+        fl_rules=fl_rules,
+        fl_quantizer=fl_q,
+        pl_rules=pl_rules,
+        pl_quantizer=pl_q,
+        config=PipelineConfig(n_slots=8),
+    )
+
+
+class TestQuantizerValidation:
+    def test_matching_pair_accepted(self):
+        q = _quantizer(N_FL)
+        pl_q = _quantizer(N_PL)
+        pipe = _build(
+            _ruleset(N_FL).quantize(q), q, _ruleset(N_PL).quantize(pl_q), pl_q
+        )
+        assert pipe.fl_table is not None and pipe.pl_table is not None
+
+    def test_bits_mismatch_rejected(self):
+        q16 = _quantizer(N_FL, bits=16)
+        q12 = _quantizer(N_FL, bits=12)
+        with pytest.raises(ValueError, match="bits"):
+            _build(_ruleset(N_FL).quantize(q16), q12)
+
+    def test_unfitted_quantizer_rejected(self):
+        q = _quantizer(N_FL)
+        with pytest.raises(ValueError, match="fitted"):
+            _build(_ruleset(N_FL).quantize(q), IntegerQuantizer(bits=16))
+
+    def test_feature_width_mismatch_rejected(self):
+        q_fl = _quantizer(N_FL)
+        q_pl = _quantizer(N_PL)  # fitted for 4 features, rules match 13
+        with pytest.raises(ValueError, match="features"):
+            _build(_ruleset(N_FL).quantize(q_fl), q_pl)
+
+    def test_refit_quantizer_fingerprint_mismatch_rejected(self):
+        """Same bits and width, different codebook: only the fingerprint
+        can catch this — the exact failure mode of re-fitting a quantizer
+        after rule compilation."""
+        q_compile = _quantizer(N_FL, hi=1e6)
+        q_refit = _quantizer(N_FL, hi=2e6)
+        assert q_compile.fingerprint() != q_refit.fingerprint()
+        with pytest.raises(ValueError, match="fingerprint"):
+            _build(_ruleset(N_FL).quantize(q_compile), q_refit)
+
+    def test_pl_pair_validated_too(self):
+        q = _quantizer(N_FL)
+        pl_compile = _quantizer(N_PL, hi=1e6)
+        pl_refit = _quantizer(N_PL, hi=5e5)
+        with pytest.raises(ValueError, match="PL"):
+            _build(
+                _ruleset(N_FL).quantize(q), q,
+                _ruleset(N_PL).quantize(pl_compile), pl_refit,
+            )
+
+    def test_pl_rules_without_quantizer_rejected(self):
+        q = _quantizer(N_FL)
+        pl_q = _quantizer(N_PL)
+        with pytest.raises(ValueError, match="pl_quantizer"):
+            _build(_ruleset(N_FL).quantize(q), q, _ruleset(N_PL).quantize(pl_q), None)
+
+    def test_handbuilt_rules_without_fingerprint_accepted(self):
+        """QuantizedRuleSets built by hand (no recorded fingerprint) skip
+        the codebook check but still face the bits/width checks."""
+        q = _quantizer(N_FL)
+        qrs = _ruleset(N_FL).quantize(q)
+        assert qrs.quantizer_fingerprint is not None
+        qrs.quantizer_fingerprint = None
+        pipe = _build(qrs, _quantizer(N_FL, hi=2e6))  # different codebook
+        assert pipe.fl_table is not None
+
+    def test_fingerprint_stable_and_sensitive(self):
+        a = _quantizer(N_FL)
+        b = _quantizer(N_FL)
+        assert a.fingerprint() == b.fingerprint()
+        assert a.fingerprint() != _quantizer(N_FL, bits=12).fingerprint()
+        log_q = IntegerQuantizer(bits=16, space="log").fit(
+            np.vstack([np.zeros(N_FL), np.full(N_FL, 1e6)])
+        )
+        assert a.fingerprint() != log_q.fingerprint()
+
+    def test_unfitted_fingerprint_raises(self):
+        with pytest.raises(Exception):
+            IntegerQuantizer(bits=16).fingerprint()

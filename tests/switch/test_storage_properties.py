@@ -1,0 +1,176 @@
+"""Property-style invariants of :class:`FlowStateStore`.
+
+Seeded random operation sequences (track / update / decide / release /
+evict) drive the double-hash storage and check the structural guarantees
+both replay engines build on: deterministic slot placement, canonical
+(direction-independent) identity, label persistence, and occupancy
+accounting.
+"""
+
+import numpy as np
+
+from repro.datasets.packet import PROTO_TCP, PROTO_UDP, FiveTuple
+from repro.switch.storage import (
+    LABEL_BENIGN,
+    LABEL_MALICIOUS,
+    LABEL_UNDECIDED,
+    FlowState,
+    FlowStateStore,
+)
+
+N_OPS = 600
+
+
+def _random_tuple(rng):
+    return FiveTuple(
+        src_ip=int(rng.integers(1, 2**32)),
+        dst_ip=int(rng.integers(1, 2**32)),
+        src_port=int(rng.integers(1, 2**16)),
+        dst_port=int(rng.integers(1, 2**16)),
+        protocol=int(rng.choice([PROTO_TCP, PROTO_UDP])),
+    )
+
+
+def _reverse(ft):
+    return FiveTuple(ft.dst_ip, ft.src_ip, ft.dst_port, ft.src_port, ft.protocol)
+
+
+def _drive(store, seed, n_ops=N_OPS, n_slots_hint=16):
+    """One seeded op sequence; returns the op log for cross-checks."""
+    rng = np.random.default_rng(seed)
+    tuples = [_random_tuple(rng) for _ in range(n_slots_hint * 3)]
+    log = []
+    for step in range(n_ops):
+        ft = tuples[int(rng.integers(0, len(tuples)))]
+        op = int(rng.integers(0, 4))
+        if op == 0:
+            state, collided, resident = store.lookup_or_create(ft)
+            log.append(("create", ft, collided))
+            if state is not None and rng.random() < 0.5:
+                state.stats.update_raw(float(step), int(rng.integers(60, 1500)))
+        elif op == 1:
+            state = store.lookup(ft)
+            if state is not None:
+                state.label = int(rng.choice([LABEL_BENIGN, LABEL_MALICIOUS]))
+            log.append(("decide", ft, state is not None))
+        elif op == 2:
+            log.append(("release", ft, store.release(ft)))
+        else:
+            state, collided, resident = store.lookup_or_create(ft)
+            if collided and resident is not None and resident.is_decided():
+                store.evict_and_track(ft)
+                log.append(("evict", ft, True))
+            else:
+                log.append(("evict", ft, False))
+    return log
+
+
+def _layout(store):
+    """(table, position, flow_id, label) for every occupied slot."""
+    out = []
+    for t_idx, table in enumerate(store.table._tables):
+        for pos, slot in enumerate(table):
+            if slot is not None:
+                out.append((t_idx, pos, slot.flow_id, slot.state.label))
+    return out
+
+
+class TestStorageProperties:
+    def test_identical_seeds_identical_state(self):
+        """Two identically seeded op sequences end bit-identical."""
+        for seed in (0, 7, 123):
+            a = FlowStateStore(n_slots=16)
+            b = FlowStateStore(n_slots=16)
+            log_a = _drive(a, seed)
+            log_b = _drive(b, seed)
+            assert log_a == log_b
+            assert _layout(a) == _layout(b)
+            assert a.collision_count == b.collision_count
+            assert a.occupancy() == b.occupancy()
+
+    def test_tracked_flow_keeps_state_until_released(self):
+        """A tracked flow's state object and label survive unrelated ops."""
+        rng = np.random.default_rng(42)
+        store = FlowStateStore(n_slots=64)
+        ft = _random_tuple(rng)
+        state, collided, _ = store.lookup_or_create(ft)
+        assert not collided
+        state.label = LABEL_MALICIOUS
+        # Unrelated flows must never displace a live slot (no silent
+        # eviction outside the explicit orange path).
+        for _ in range(200):
+            store.lookup_or_create(_random_tuple(rng))
+        got = store.lookup(ft)
+        assert got is state
+        assert got.label == LABEL_MALICIOUS
+        assert store.release(ft)
+        assert store.lookup(ft) is None
+        assert not store.release(ft)
+
+    def test_bidirectional_tuples_share_one_slot(self):
+        rng = np.random.default_rng(3)
+        store = FlowStateStore(n_slots=32)
+        shared = 0
+        for _ in range(50):
+            ft = _random_tuple(rng)
+            fwd, collided, _ = store.lookup_or_create(ft)
+            if collided:
+                continue  # full tables: nothing tracked to share
+            rev = store.lookup(_reverse(ft))
+            assert rev is fwd
+            back, collided, _ = store.lookup_or_create(_reverse(ft))
+            assert back is fwd and not collided
+            shared += 1
+        assert shared > 10
+        # Every occupied slot holds a canonical flow id.
+        for _t, _pos, flow_id, _label in _layout(store):
+            assert flow_id == flow_id.canonical()
+
+    def test_occupancy_accounting(self):
+        """occupancy == live slots, bounded by 2 * n_slots, and release
+        decrements by exactly one."""
+        store = FlowStateStore(n_slots=8)
+        rng = np.random.default_rng(11)
+        tracked = []
+        for _ in range(200):
+            ft = _random_tuple(rng)
+            state, collided, _ = store.lookup_or_create(ft)
+            if not collided:
+                tracked.append(ft)
+            assert store.occupancy() == len(_layout(store))
+            assert store.occupancy() <= 2 * store.n_slots
+        before = store.occupancy()
+        victim = tracked[len(tracked) // 2]
+        assert store.release(victim)
+        assert store.occupancy() == before - 1
+
+    def test_collision_returns_first_table_resident(self):
+        """On a full table the reported resident is the t0 occupant at
+        the new flow's first-choice position — the orange path's input."""
+        store = FlowStateStore(n_slots=1)
+        rng = np.random.default_rng(5)
+        a, b, c = (_random_tuple(rng) for _ in range(3))
+        sa, _, _ = store.lookup_or_create(a)  # t0[0]
+        sb, _, _ = store.lookup_or_create(b)  # t1[0]
+        state, collided, resident = store.lookup_or_create(c)
+        assert collided and state is None
+        assert resident is sa
+        assert store.collision_count == 1
+        # Undecided resident: evict_and_track is the only way in.
+        sa.label = LABEL_BENIGN
+        fresh = store.evict_and_track(c)
+        assert store.lookup(c) is fresh
+        assert store.lookup(a) is None  # resident displaced
+        assert store.lookup(b) is sb  # second table untouched
+
+    def test_fresh_state_is_undecided_and_empty(self):
+        store = FlowStateStore(n_slots=4)
+        rng = np.random.default_rng(9)
+        state, _, _ = store.lookup_or_create(_random_tuple(rng))
+        assert state.label == LABEL_UNDECIDED
+        assert not state.is_decided()
+        assert state.pkt_count == 0
+        assert state.last_seen is None
+        state.stats.update_raw(1.0, 100)
+        assert state.pkt_count == 1
+        assert state.last_seen == 1.0
