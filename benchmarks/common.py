@@ -14,22 +14,36 @@ Scale knobs (environment variables):
   configurations, fast) or ``full`` (re-run the paper's grid search).
 * ``REPRO_BENCH_REPLAY`` — data-plane replay engine, ``batch``
   (default, vectorised) or ``scalar`` (the reference walk).
+* ``REPRO_BENCH_TELEMETRY`` — ``on`` (default) records each benchmark
+  under a fresh metric registry and writes
+  ``<REPRO_BENCH_TELEMETRY_DIR>/<bench>.telemetry.json`` next to the
+  printed table; ``off`` runs with the no-op registry.
+* ``REPRO_BENCH_TELEMETRY_DIR`` — report directory (default
+  ``telemetry/`` under the repo root).
 """
 
 from __future__ import annotations
 
 import os
+import sys
 from typing import Dict, Optional
 
 from repro.eval.gridsearch import grid_search_iforest, grid_search_iguard
 from repro.eval.harness import TestbedConfig, run_cpu_experiment
 from repro.eval.metrics import DetectionMetrics, detection_metrics
+from repro.eval.reporting import format_stage_times
 from repro.nn.ensemble import AutoencoderEnsemble
+from repro.telemetry import load_report, run_report
 
 BENCH_FLOWS = int(os.environ.get("REPRO_BENCH_FLOWS", "320"))
 BENCH_SEED = int(os.environ.get("REPRO_BENCH_SEED", "2024"))
 BENCH_GRID = os.environ.get("REPRO_BENCH_GRID", "fixed")
 BENCH_REPLAY = os.environ.get("REPRO_BENCH_REPLAY", "batch")
+BENCH_TELEMETRY = os.environ.get("REPRO_BENCH_TELEMETRY", "on")
+BENCH_TELEMETRY_DIR = os.environ.get(
+    "REPRO_BENCH_TELEMETRY_DIR",
+    os.path.join(os.path.dirname(os.path.dirname(os.path.abspath(__file__))), "telemetry"),
+)
 
 #: Pre-searched best versions (REPRO_BENCH_GRID=full re-derives them).
 FIXED_IFOREST = {"n_trees": 100, "subsample_size": 128, "contamination": 0.15}
@@ -118,6 +132,35 @@ def cpu_models_on_attack(attack: str, seed: Optional[int] = None) -> Dict[str, D
     return metrics
 
 
+def _bench_name(benchmark, fn) -> str:
+    """Report stem: the test name (with parametrisation), filesystem-safe."""
+    name = getattr(benchmark, "name", None) or getattr(fn, "__module__", "bench")
+    return "".join(c if c.isalnum() or c in "._-" else "-" for c in name).strip("-")
+
+
 def single_round(benchmark, fn):
-    """Run *fn* exactly once under pytest-benchmark and return its value."""
-    return benchmark.pedantic(fn, rounds=1, iterations=1)
+    """Run *fn* exactly once under pytest-benchmark and return its value.
+
+    With ``REPRO_BENCH_TELEMETRY=on`` the round executes under a fresh
+    metric registry; the structured report lands in
+    ``REPRO_BENCH_TELEMETRY_DIR`` and a one-line stage-time summary is
+    printed after the run.
+    """
+    if BENCH_TELEMETRY != "on":
+        return benchmark.pedantic(fn, rounds=1, iterations=1)
+
+    name = _bench_name(benchmark, fn)
+    os.makedirs(BENCH_TELEMETRY_DIR, exist_ok=True)
+    path = os.path.join(BENCH_TELEMETRY_DIR, f"{name}.telemetry.json")
+    meta = {
+        "benchmark": name,
+        "flows": BENCH_FLOWS,
+        "seed": BENCH_SEED,
+        "grid": BENCH_GRID,
+        "replay": BENCH_REPLAY,
+    }
+    with run_report(path, meta=meta):
+        value = benchmark.pedantic(fn, rounds=1, iterations=1)
+    print(f"telemetry: {path}", file=sys.stderr)
+    print(format_stage_times(load_report(path)), file=sys.stderr)
+    return value

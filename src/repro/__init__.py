@@ -31,6 +31,7 @@ from repro.eval import (
 from repro.forest import IsolationForest
 from repro.nn import AutoencoderEnsemble, MagnifierAutoencoder
 from repro.switch import SwitchPipeline, replay_trace
+from repro.telemetry import run_report, span, use_registry
 
 __version__ = "1.0.0"
 
@@ -52,5 +53,8 @@ __all__ = [
     "replay_trace",
     "run_adversarial_experiment",
     "run_cpu_experiment",
+    "run_report",
     "run_testbed_experiment",
+    "span",
+    "use_registry",
 ]

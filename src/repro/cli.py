@@ -11,6 +11,11 @@ Subcommands cover the adoption path end to end:
 * ``export``  — write the P4-16 program and table entries for a trained
   model.
 * ``attacks`` — list the 15 attack workload names.
+* ``report``  — pretty-print a saved ``telemetry.json`` run report.
+
+Every experiment command accepts ``--telemetry PATH``: the run then
+executes under a fresh metric registry and writes a structured report
+(counters, span tree, events — see :mod:`repro.telemetry`) to PATH.
 """
 
 from __future__ import annotations
@@ -27,30 +32,53 @@ def _build_parser() -> argparse.ArgumentParser:
     )
     sub = parser.add_subparsers(dest="command", required=True)
 
-    p_train = sub.add_parser("train", help="fit iGuard on benign traffic")
+    telemetry = argparse.ArgumentParser(add_help=False)
+    telemetry.add_argument(
+        "--telemetry",
+        metavar="PATH",
+        help="write a structured telemetry.json run report to PATH",
+    )
+
+    p_train = sub.add_parser(
+        "train", help="fit iGuard on benign traffic", parents=[telemetry]
+    )
     p_train.add_argument("--pcap", help="benign capture to train on (else synthetic)")
     p_train.add_argument("--flows", type=int, default=320, help="synthetic benign flows")
     p_train.add_argument("--trees", type=int, default=11)
     p_train.add_argument("--seed", type=int, default=7)
 
-    p_eval = sub.add_parser("evaluate", help="CPU-protocol metrics for one attack")
+    p_eval = sub.add_parser(
+        "evaluate", help="CPU-protocol metrics for one attack", parents=[telemetry]
+    )
     p_eval.add_argument("attack", help='workload name, e.g. "Mirai" (see: attacks)')
     p_eval.add_argument("--flows", type=int, default=320)
     p_eval.add_argument("--seed", type=int, default=7)
 
-    p_deploy = sub.add_parser("deploy", help="testbed protocol for one attack")
+    p_deploy = sub.add_parser(
+        "deploy", help="testbed protocol for one attack", parents=[telemetry]
+    )
     p_deploy.add_argument("attack")
     p_deploy.add_argument("--model", choices=("iforest", "iguard"), default="iguard")
     p_deploy.add_argument("--flows", type=int, default=320)
     p_deploy.add_argument("--seed", type=int, default=7)
 
-    p_export = sub.add_parser("export", help="write P4 artifacts for a trained model")
+    p_export = sub.add_parser(
+        "export", help="write P4 artifacts for a trained model", parents=[telemetry]
+    )
     p_export.add_argument("--p4", default="iguard_whitelist.p4")
     p_export.add_argument("--entries", default="iguard_entries.json")
     p_export.add_argument("--flows", type=int, default=320)
     p_export.add_argument("--seed", type=int, default=7)
 
     sub.add_parser("attacks", help="list attack workload names")
+
+    p_report = sub.add_parser(
+        "report", help="pretty-print a saved telemetry run report"
+    )
+    p_report.add_argument("path", help="telemetry.json written by --telemetry")
+    p_report.add_argument(
+        "--events", type=int, default=10, help="max events to show (default 10)"
+    )
     return parser
 
 
@@ -132,19 +160,39 @@ def _cmd_export(args) -> int:
     return 0
 
 
+def _cmd_report(args) -> int:
+    from repro.telemetry import format_report, load_report
+
+    print(format_report(load_report(args.path), max_events=args.events))
+    return 0
+
+
 _COMMANDS = {
     "attacks": _cmd_attacks,
     "train": _cmd_train,
     "evaluate": _cmd_evaluate,
     "deploy": _cmd_deploy,
     "export": _cmd_export,
+    "report": _cmd_report,
 }
 
 
 def main(argv: Optional[List[str]] = None) -> int:
     """Parse arguments and dispatch to the subcommand; returns exit code."""
     args = _build_parser().parse_args(argv)
-    return _COMMANDS[args.command](args)
+    handler = _COMMANDS[args.command]
+    telemetry_path = getattr(args, "telemetry", None)
+    if telemetry_path:
+        from repro.telemetry import run_report
+
+        meta = {
+            k: v for k, v in vars(args).items() if k != "telemetry" and v is not None
+        }
+        with run_report(telemetry_path, meta=meta):
+            code = handler(args)
+        print(f"telemetry report written to {telemetry_path}")
+        return code
+    return handler(args)
 
 
 if __name__ == "__main__":

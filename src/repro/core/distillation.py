@@ -19,9 +19,13 @@ import numpy as np
 
 from repro.core.guided_forest import GuidedIsolationForest
 from repro.core.guided_tree import GuidedTreeNode, augment_from_box
+from repro.telemetry import get_registry
 from repro.utils.box import Box
 from repro.utils.rng import SeedLike, as_rng
 from repro.utils.validation import check_2d, check_fitted
+
+#: Fidelity lives in [0, 1]: twenty even buckets.
+_FIDELITY_EDGES = tuple(i / 20.0 for i in range(1, 20))
 
 
 class DistilledForest:
@@ -60,7 +64,18 @@ class DistilledForest:
         rng = as_rng(seed)
         k = self.forest.k_aug if k_aug is None else k_aug
 
-        for tree in self.trees_:
+        # Telemetry: per-round (per-tree) distillation fidelity — the
+        # agreement between the tree's distilled leaf labels and the
+        # oracle's own verdicts over the training set.  Only computed
+        # when a registry is active (the oracle pass is not free).
+        registry = get_registry()
+        telemetry_on = registry.enabled and hasattr(oracle, "predict")
+        if telemetry_on:
+            y_oracle = np.asarray(oracle.predict(x)).astype(int)
+            fidelity_hist = registry.histogram("distil.tree_fidelity", _FIDELITY_EDGES)
+            fidelities = []
+
+        for round_idx, tree in enumerate(self.trees_):
             # Route all training samples to leaves in one pass.
             assignments: Dict[int, List[int]] = {}
             leaf_by_id: Dict[int, GuidedTreeNode] = {}
@@ -88,6 +103,16 @@ class DistilledForest:
                 x_leaf = np.vstack(pool)
                 expected = oracle.expected_errors(x_leaf)  # RE_leaf_u, Eq 5
                 leaf.label = oracle.label_from_expected_errors(expected)  # Eq 6
+            if telemetry_on:
+                fidelity = float(np.mean(tree.leaf_labels(x) == y_oracle))
+                fidelities.append(fidelity)
+                fidelity_hist.observe(fidelity)
+                registry.counter("distil.rounds").inc()
+                registry.event(
+                    "distil.round", round=round_idx, fidelity=round(fidelity, 6)
+                )
+        if telemetry_on and fidelities:
+            registry.gauge("distil.mean_fidelity").set(float(np.mean(fidelities)))
         self.distilled_ = True
         return self
 

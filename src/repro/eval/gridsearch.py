@@ -24,6 +24,7 @@ from repro.core.iguard import IGuard
 from repro.eval.metrics import DetectionMetrics, detection_metrics
 from repro.forest.iforest import IsolationForest
 from repro.nn.ensemble import AutoencoderEnsemble
+from repro.telemetry import get_registry, span
 from repro.utils.rng import SeedLike, as_rng, spawn_seeds
 
 #: Default search spaces — intentionally compact so the full benchmark
@@ -69,6 +70,23 @@ def _check_objective(objective: str) -> None:
         raise ValueError(f"objective must be one of {VALID_OBJECTIVES}, got {objective!r}")
 
 
+def _record_config(registry, model: str, params: Dict, score: float, improved: bool) -> None:
+    """Grid-search progress: one counter/event per evaluated config."""
+    if not registry.enabled:
+        return
+    registry.counter("gridsearch.configs").inc()
+    registry.counter(f"gridsearch.{model}.configs").inc()
+    if improved:
+        registry.gauge(f"gridsearch.{model}.best_objective").set(score)
+    registry.event(
+        "gridsearch.config",
+        model=model,
+        score=round(score, 6),
+        improved=improved,
+        **params,
+    )
+
+
 def grid_search_iforest(
     x_train: np.ndarray,
     x_val: np.ndarray,
@@ -81,37 +99,43 @@ def grid_search_iforest(
     _check_objective(objective)
     grid = dict(IFOREST_GRID if grid is None else grid)
     rng = as_rng(seed)
+    registry = get_registry()
     best: Optional[SearchResult] = None
-    for n_trees in grid["n_trees"]:
-        for psi in grid["subsample_size"]:
-            forest = IsolationForest(
-                n_trees=n_trees,
-                subsample_size=psi,
-                contamination=grid["contamination"][0],
-                seed=int(rng.integers(2**31 - 1)),
-            ).fit(x_train)
-            scores = forest.decision_function(x_val)
-            train_scores = forest.decision_function(x_train)
-            for contamination in grid["contamination"]:
-                threshold = float(np.quantile(train_scores, 1.0 - contamination))
-                pred = (scores > threshold).astype(int)
-                metrics = detection_metrics(y_val, pred, scores)
-                if best is None or _objective(metrics, objective) > _objective(
-                    best.val_metrics, objective
-                ):
-                    forest.contamination = contamination
-                    forest.threshold_ = threshold
-                    best = SearchResult(
-                        params={
-                            "n_trees": n_trees,
-                            "subsample_size": psi,
-                            "contamination": contamination,
-                        },
-                        model=forest,
-                        val_metrics=metrics,
+    with span("gridsearch", model="iforest"):
+        for n_trees in grid["n_trees"]:
+            for psi in grid["subsample_size"]:
+                forest = IsolationForest(
+                    n_trees=n_trees,
+                    subsample_size=psi,
+                    contamination=grid["contamination"][0],
+                    seed=int(rng.integers(2**31 - 1)),
+                ).fit(x_train)
+                scores = forest.decision_function(x_val)
+                train_scores = forest.decision_function(x_train)
+                for contamination in grid["contamination"]:
+                    threshold = float(np.quantile(train_scores, 1.0 - contamination))
+                    pred = (scores > threshold).astype(int)
+                    metrics = detection_metrics(y_val, pred, scores)
+                    params = {
+                        "n_trees": n_trees,
+                        "subsample_size": psi,
+                        "contamination": contamination,
+                    }
+                    score = _objective(metrics, objective)
+                    improved = best is None or score > _objective(
+                        best.val_metrics, objective
                     )
-    # Refit the winner at its own contamination so model state matches params.
-    winner = IsolationForest(seed=int(rng.integers(2**31 - 1)), **best.params).fit(x_train)
+                    _record_config(registry, "iforest", params, score, improved)
+                    if improved:
+                        forest.contamination = contamination
+                        forest.threshold_ = threshold
+                        best = SearchResult(
+                            params=params, model=forest, val_metrics=metrics
+                        )
+        # Refit the winner at its own contamination so model state matches params.
+        winner = IsolationForest(seed=int(rng.integers(2**31 - 1)), **best.params).fit(
+            x_train
+        )
     best.model = winner
     return best
 
@@ -129,44 +153,48 @@ def grid_search_iguard(
     _check_objective(objective)
     grid = dict(IGUARD_GRID if grid is None else grid)
     rng = as_rng(seed)
+    registry = get_registry()
     if oracle is None:
         oracle = AutoencoderEnsemble(seed=int(rng.integers(2**31 - 1)))
         oracle.fit(x_train)
     best: Optional[SearchResult] = None
-    for n_trees in grid["n_trees"]:
-        for psi in grid["subsample_size"]:
-            for k_aug in grid["k_aug"]:
-                for t_margin in grid["threshold_margin"]:
-                    oracle.calibrate(x_train, margin=t_margin)
-                    for d_margin in grid["distil_margin"]:
-                        model = IGuard(
-                            n_trees=n_trees,
-                            subsample_size=psi,
-                            k_aug=k_aug,
-                            tau_split=0.0,
-                            threshold_margin=t_margin,
-                            distil_margin=d_margin,
-                            oracle=oracle,
-                            oracle_prefit=True,
-                            seed=int(rng.integers(2**31 - 1)),
-                        ).fit(x_train)
-                        pred = model.predict(x_val)
-                        scores = model.vote_fraction(x_val)
-                        metrics = detection_metrics(y_val, pred, scores)
-                        if best is None or _objective(metrics, objective) > _objective(
-                            best.val_metrics, objective
-                        ):
-                            best = SearchResult(
-                                params={
-                                    "n_trees": n_trees,
-                                    "subsample_size": psi,
-                                    "k_aug": k_aug,
-                                    "threshold_margin": t_margin,
-                                    "distil_margin": d_margin,
-                                },
-                                model=model,
-                                val_metrics=metrics,
+    with span("gridsearch", model="iguard"):
+        for n_trees in grid["n_trees"]:
+            for psi in grid["subsample_size"]:
+                for k_aug in grid["k_aug"]:
+                    for t_margin in grid["threshold_margin"]:
+                        oracle.calibrate(x_train, margin=t_margin)
+                        for d_margin in grid["distil_margin"]:
+                            model = IGuard(
+                                n_trees=n_trees,
+                                subsample_size=psi,
+                                k_aug=k_aug,
+                                tau_split=0.0,
+                                threshold_margin=t_margin,
+                                distil_margin=d_margin,
+                                oracle=oracle,
+                                oracle_prefit=True,
+                                seed=int(rng.integers(2**31 - 1)),
+                            ).fit(x_train)
+                            pred = model.predict(x_val)
+                            scores = model.vote_fraction(x_val)
+                            metrics = detection_metrics(y_val, pred, scores)
+                            params = {
+                                "n_trees": n_trees,
+                                "subsample_size": psi,
+                                "k_aug": k_aug,
+                                "threshold_margin": t_margin,
+                                "distil_margin": d_margin,
+                            }
+                            score = _objective(metrics, objective)
+                            improved = best is None or score > _objective(
+                                best.val_metrics, objective
                             )
+                            _record_config(registry, "iguard", params, score, improved)
+                            if improved:
+                                best = SearchResult(
+                                    params=params, model=model, val_metrics=metrics
+                                )
     # Leave the shared oracle calibrated as the winner expects.
     oracle.calibrate(x_train, margin=best.params["threshold_margin"])
     return best

@@ -49,6 +49,7 @@ from repro.switch.controller import Controller
 from repro.switch.pipeline import PipelineConfig, SwitchPipeline
 from repro.switch.resources import ResourceReport, memory_fraction, resource_report
 from repro.switch.runner import ReplayResult, replay_trace
+from repro.telemetry import get_registry, span
 from repro.utils.box import Box
 from repro.utils.rng import SeedLike, as_rng, spawn_seeds
 
@@ -81,15 +82,20 @@ def run_cpu_experiment(
     """Fig 5/8 protocol for one attack."""
     rng = as_rng(seed)
     split_seed, search_seed, oracle_seed = spawn_seeds(rng, 3)
-    split = make_attack_split(
-        attack, n_benign_flows=n_benign_flows, feature_set="magnifier", seed=split_seed
-    )
+    with span("dataset", attack=attack):
+        split = make_attack_split(
+            attack,
+            n_benign_flows=n_benign_flows,
+            feature_set="magnifier",
+            seed=split_seed,
+        )
     metrics: Dict[str, DetectionMetrics] = {}
     params: Dict[str, Dict] = {}
 
     oracle: Optional[AutoencoderEnsemble] = None
     if "magnifier" in models or "iguard" in models:
-        oracle = AutoencoderEnsemble(seed=oracle_seed).fit(split.x_train)
+        with span("train", model="oracle"):
+            oracle = AutoencoderEnsemble(seed=oracle_seed).fit(split.x_train)
 
     if "iforest" in models:
         result = grid_search_iforest(
@@ -213,20 +219,26 @@ def _compile_model_rules(
     rng = as_rng(seed)
     fit_seed, rule_seed = spawn_seeds(rng, 2)
     if model_name == "iforest":
-        forest = IsolationForest(seed=fit_seed, **config.iforest_params).fit(x_train)
-        labeled = ScoreLabeledForest(forest)
-        box = Box.from_data(x_train, pad=0.05)
-        ruleset = compile_ruleset(
-            labeled,
-            feature_box=box,
-            max_cells=config.rule_cells,
-            x_ref=x_train,
-            seed=rule_seed,
-        )
+        with span("train", model="iforest"):
+            forest = IsolationForest(seed=fit_seed, **config.iforest_params).fit(
+                x_train
+            )
+            labeled = ScoreLabeledForest(forest)
+        with span("compile", model="iforest"):
+            box = Box.from_data(x_train, pad=0.05)
+            ruleset = compile_ruleset(
+                labeled,
+                feature_box=box,
+                max_cells=config.rule_cells,
+                x_ref=x_train,
+                seed=rule_seed,
+            )
         return ruleset, labeled
     if model_name == "iguard":
-        model = IGuard(seed=fit_seed, **config.iguard_params).fit(x_train)
-        ruleset = model.to_rules(max_cells=config.rule_cells, seed=rule_seed)
+        with span("train", model="iguard"):
+            model = IGuard(seed=fit_seed, **config.iguard_params).fit(x_train)
+        with span("compile", model="iguard"):
+            ruleset = model.to_rules(max_cells=config.rule_cells, seed=rule_seed)
         return ruleset, model
     raise ValueError(f"model must be one of {TESTBED_MODELS}, got {model_name!r}")
 
@@ -257,26 +269,30 @@ def build_pipeline(
     rng = as_rng(seed)
     model_seed, pl_seed = spawn_seeds(rng, 2)
 
-    x_train, _extractor = _train_features(split, config)
+    with span("features"):
+        x_train, _extractor = _train_features(split, config)
     ruleset, model = _compile_model_rules(model_name, x_train, config, model_seed)
 
-    # Log-spaced codes, fit over the training data plus every *finite*
-    # rule boundary, so rule edges and out-of-distribution traffic
-    # quantise distinctly (infinite bounds map to the sentinel codes).
-    fl_quantizer = IntegerQuantizer(bits=config.quantizer_bits, space="log").fit(
-        _rule_domain(x_train, ruleset)
-    )
-    fl_rules = ruleset.quantize(fl_quantizer)
-
-    pl_rules = pl_quantizer = None
-    if config.use_pl_model:
-        early = EarlyPacketModel(seed=pl_seed).fit(split.train_flows)
-        pl_ruleset = early.to_rules(seed=pl_seed)
-        x_pl, _ = extract_first_packets(split.train_flows, per_flow=early.packets_per_flow)
-        pl_quantizer = IntegerQuantizer(bits=config.quantizer_bits, space="log").fit(
-            _rule_domain(x_pl, pl_ruleset)
+    with span("quantize", model=model_name):
+        # Log-spaced codes, fit over the training data plus every *finite*
+        # rule boundary, so rule edges and out-of-distribution traffic
+        # quantise distinctly (infinite bounds map to the sentinel codes).
+        fl_quantizer = IntegerQuantizer(bits=config.quantizer_bits, space="log").fit(
+            _rule_domain(x_train, ruleset)
         )
-        pl_rules = pl_ruleset.quantize(pl_quantizer)
+        fl_rules = ruleset.quantize(fl_quantizer)
+
+        pl_rules = pl_quantizer = None
+        if config.use_pl_model:
+            early = EarlyPacketModel(seed=pl_seed).fit(split.train_flows)
+            pl_ruleset = early.to_rules(seed=pl_seed)
+            x_pl, _ = extract_first_packets(
+                split.train_flows, per_flow=early.packets_per_flow
+            )
+            pl_quantizer = IntegerQuantizer(bits=config.quantizer_bits, space="log").fit(
+                _rule_domain(x_pl, pl_ruleset)
+            )
+            pl_rules = pl_ruleset.quantize(pl_quantizer)
 
     pipeline = SwitchPipeline(
         fl_rules=fl_rules,
@@ -305,16 +321,35 @@ def run_testbed_experiment(
     rng = as_rng(seed)
     split_seed, build_seed = spawn_seeds(rng, 2)
     if split is None:
-        split = make_trace_split(
-            attack, n_benign_flows=config.n_benign_flows, seed=split_seed
-        )
+        with span("dataset", attack=attack):
+            split = make_trace_split(
+                attack, n_benign_flows=config.n_benign_flows, seed=split_seed
+            )
     pipeline, _controller, _model = build_pipeline(
         model_name, split, config=config, seed=build_seed
     )
     replay = replay_trace(split.test_trace, pipeline, mode=config.replay_mode)
-    metrics = detection_metrics(replay.y_true, replay.y_pred, replay.y_pred.astype(float))
-    resources = resource_report(pipeline)
-    reward = testbed_reward(metrics, memory_fraction(resources))
+    with span("metrics"):
+        metrics = detection_metrics(
+            replay.y_true, replay.y_pred, replay.y_pred.astype(float)
+        )
+        resources = resource_report(pipeline)
+        reward = testbed_reward(metrics, memory_fraction(resources))
+    registry = get_registry()
+    if registry.enabled:
+        registry.counter("eval.testbed_runs").inc()
+        registry.gauge("eval.macro_f1").set(metrics.macro_f1)
+        registry.gauge("eval.roc_auc").set(metrics.roc_auc)
+        registry.gauge("eval.pr_auc").set(metrics.pr_auc)
+        registry.gauge("eval.reward").set(reward)
+        registry.event(
+            "testbed.result",
+            attack=attack,
+            model=model_name,
+            macro_f1=round(metrics.macro_f1, 6),
+            reward=round(reward, 6),
+            n_rules=len(pipeline.fl_table),
+        )
     return TestbedResult(
         attack=attack,
         model=model_name,
@@ -366,7 +401,10 @@ def run_adversarial_experiment(
     rng = as_rng(seed)
     split_seed, transform_seed, poison_seed, run_seed = spawn_seeds(rng, 4)
 
-    split = make_trace_split(attack, n_benign_flows=config.n_benign_flows, seed=split_seed)
+    with span("dataset", attack=attack, variant=variant):
+        split = make_trace_split(
+            attack, n_benign_flows=config.n_benign_flows, seed=split_seed
+        )
 
     if transform is not None:
         flows = list(split.test_trace.flows().values())

@@ -94,6 +94,27 @@ def format_distribution_summary(
     return "\n".join(lines)
 
 
+def format_stage_times(report: Mapping) -> str:
+    """One line per top-level telemetry span: where a run spent its time.
+
+    *report* is a telemetry report document
+    (:func:`repro.telemetry.build_report` /
+    :func:`repro.telemetry.load_report`); benchmarks print this compact
+    form under their tables, the full tree is in ``repro report``.
+    """
+    spans = report.get("spans") or []
+    if not spans:
+        return "stage times: (no spans recorded)"
+    parts = []
+    for root in spans:
+        parts.append(f"{root['name']}={float(root.get('duration_s', 0.0)):.3f}s")
+        for child in root.get("children", ()):
+            parts.append(
+                f"  {child['name']}={float(child.get('duration_s', 0.0)):.3f}s"
+            )
+    return "stage times: " + " ".join(p.strip() for p in parts)
+
+
 def histogram_overlap(benign, malicious, n_bins: int = 20) -> float:
     """Overlap coefficient of two sample distributions in [0, 1]."""
     import numpy as np

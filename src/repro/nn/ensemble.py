@@ -17,6 +17,7 @@ from typing import List, Optional, Sequence
 import numpy as np
 
 from repro.nn.autoencoder import Autoencoder, MagnifierAutoencoder
+from repro.telemetry import get_registry, span
 from repro.utils.rng import SeedLike, as_rng, spawn_seeds
 from repro.utils.validation import check_2d, check_fitted, check_probability
 
@@ -91,12 +92,15 @@ class AutoencoderEnsemble:
         """Train each member on (a resample of) the benign set and
         calibrate its RMSE threshold T_u on the full benign set."""
         x = check_2d(x_benign, "x_benign")
-        for ae in self.autoencoders:
-            if self.bootstrap and x.shape[0] > 1:
-                idx = self._fit_rng.integers(x.shape[0], size=x.shape[0])
-                ae.fit(x[idx])
-            else:
-                ae.fit(x)
+        registry = get_registry()
+        for i, ae in enumerate(self.autoencoders):
+            with span("nn.member_fit", member=i):
+                if self.bootstrap and x.shape[0] > 1:
+                    idx = self._fit_rng.integers(x.shape[0], size=x.shape[0])
+                    ae.fit(x[idx])
+                else:
+                    ae.fit(x)
+            registry.counter("nn.members_trained").inc()
         self.calibrate(x, self.threshold_quantile)
         return self
 
@@ -120,6 +124,16 @@ class AutoencoderEnsemble:
             ]
         )
         self.thresholds_ = m * self.base_thresholds_
+        registry = get_registry()
+        if registry.enabled:
+            registry.counter("nn.calibrations").inc()
+            registry.gauge("nn.threshold_margin").set(m)
+            registry.event(
+                "nn.calibrated",
+                quantile=q,
+                margin=m,
+                thresholds=[round(t, 8) for t in self.thresholds_],
+            )
 
     def set_thresholds(self, thresholds: Sequence[float]) -> None:
         """Directly set T_u (the grid-search path of §4.1)."""

@@ -8,6 +8,7 @@ import numpy as np
 
 from repro.nn.layers import Dense
 from repro.nn.optim import Adam
+from repro.telemetry import get_registry
 from repro.utils.rng import SeedLike, as_rng, spawn_seeds
 from repro.utils.validation import check_2d
 
@@ -94,6 +95,12 @@ class MLP:
         optimizer = Adam(self.parameters(), lr=lr)
         history: List[float] = []
         n = x.shape[0]
+        # Telemetry handles fetched once; no-ops when disabled.
+        registry = get_registry()
+        telemetry_on = registry.enabled
+        if telemetry_on:
+            loss_hist = registry.histogram("nn.epoch_loss")
+            epoch_counter = registry.counter("nn.epochs")
         for epoch in range(epochs):
             order = self._rng.permutation(n) if shuffle else np.arange(n)
             losses = []
@@ -107,6 +114,18 @@ class MLP:
                 self.backward(2.0 * diff / diff.shape[1])
                 optimizer.step(self.gradients())
             history.append(float(np.mean(losses)))
+            if telemetry_on:
+                loss_hist.observe(history[-1])
+                epoch_counter.inc()
             if verbose and (epoch % max(1, epochs // 10) == 0):
                 print(f"epoch {epoch:4d}  loss {history[-1]:.6f}")
+        if telemetry_on and history:
+            registry.counter("nn.fits").inc()
+            registry.gauge("nn.last_fit_final_loss").set(history[-1])
+            registry.event(
+                "nn.fit",
+                epochs=epochs,
+                first_loss=round(history[0], 8),
+                final_loss=round(history[-1], 8),
+            )
         return history

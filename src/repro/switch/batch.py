@@ -403,6 +403,7 @@ def replay_arrays(trace: Trace, pipeline: SwitchPipeline) -> BatchReplayOutcome:
                 if slot.state.label != LABEL_UNDECIDED:
                     fresh = FlowState()
                     t0[p0] = Slot(flow_id=ft, state=fresh)
+                    table.eviction_count += 1
                     fresh.stats.update_raw(ts[i], sizes[i])
                     mirror()
                 if pl_labels is None:
@@ -511,6 +512,11 @@ def replay_trace_batch(trace: Trace, pipeline: SwitchPipeline):
             mirrored,
         )
     )
-    return ReplayResult(
+    result = ReplayResult(
         decisions=decisions, y_true=outcome.y_true, y_pred=outcome.y_pred
     )
+    # Seed the result's aggregate caches from the vectorised outcome so
+    # path_counts()/dropped_fraction() never re-walk the decision list.
+    result._path_counts = outcome.path_counts()
+    result._dropped_fraction = float(drop_mask.mean()) if n else 0.0
+    return result

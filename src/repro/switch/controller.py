@@ -12,7 +12,7 @@ the control plane.
 from __future__ import annotations
 
 from dataclasses import dataclass, field
-from typing import List, Optional
+from typing import Dict, List, Optional
 
 from repro.switch.pipeline import Digest, SwitchPipeline
 from repro.switch.storage import LABEL_MALICIOUS
@@ -62,3 +62,17 @@ class Controller:
             # blacklist now covers them and the slot is freed for new flows.
             if self.pipeline.store.release(digest.five_tuple):
                 self.stats.storage_releases += 1
+
+    def telemetry_counters(self) -> Dict[str, int]:
+        """Control-plane counters mirroring :class:`ControllerStats`.
+
+        Published per replay (as deltas) alongside the pipeline's
+        counters by :func:`repro.switch.runner.replay_trace`.
+        """
+        return {
+            "controller.digests_received": self.stats.digests_received,
+            "controller.digest_bytes": self.stats.digest_bytes,
+            "controller.blacklist_installs": self.stats.blacklist_installs,
+            "controller.storage_releases": self.stats.storage_releases,
+            "controller.horuseye_equivalent_bytes": self.stats.horuseye_equivalent_bytes(),
+        }

@@ -63,6 +63,7 @@ class DoubleHashTable(Generic[T]):
             [None] * size,
         ]
         self.collision_count = 0
+        self.eviction_count = 0
 
     def _positions(self, five_tuple: FiveTuple) -> Tuple[int, int]:
         return (
@@ -110,6 +111,7 @@ class DoubleHashTable(Generic[T]):
         pos = self._positions(canonical)[0]
         slot = Slot(flow_id=canonical, state=state)
         self._tables[0][pos] = slot
+        self.eviction_count += 1
         return slot
 
     def remove(self, five_tuple: FiveTuple) -> bool:

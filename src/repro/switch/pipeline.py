@@ -188,6 +188,38 @@ class SwitchPipeline:
         self.mirrored_packets = 0
         self.digests_emitted = 0
 
+    # -- telemetry ----------------------------------------------------------
+
+    def telemetry_counters(self) -> Dict[str, int]:
+        """Monotonic counters of the data plane, as flat dotted names.
+
+        Pure reads of accumulated pipeline state — the scalar walk and
+        the batch engine mutate the same objects, so both emit identical
+        values (asserted by the differential suite).  Published per
+        replay (as deltas) by :func:`repro.switch.runner.replay_trace`.
+        """
+        counters = {f"switch.path.{p}": c for p, c in self.path_counts.items()}
+        counters["switch.digests.emitted"] = self.digests_emitted
+        counters["switch.mirrored_packets"] = self.mirrored_packets
+        counters["switch.table.fl_lookups"] = self.fl_table.lookup_count
+        if self.pl_table is not None:
+            counters["switch.table.pl_lookups"] = self.pl_table.lookup_count
+        counters["switch.store.collisions"] = self.store.collision_count
+        counters["switch.store.evictions"] = self.store.eviction_count
+        counters["switch.blacklist.installs"] = self.blacklist.installs
+        counters["switch.blacklist.evictions"] = self.blacklist.evictions
+        counters["switch.blacklist.churn"] = self.blacklist.version
+        return counters
+
+    def telemetry_gauges(self) -> Dict[str, float]:
+        """Point-in-time levels (non-monotonic): storage and table fill."""
+        return {
+            "switch.store.occupancy": float(self.store.occupancy()),
+            "switch.store.fill_fraction": self.store.occupancy()
+            / float(2 * self.store.n_slots),
+            "switch.blacklist.size": float(len(self.blacklist)),
+        }
+
     # -- scoring helpers ---------------------------------------------------
 
     def _match_pl(self, pkt: Packet) -> int:

@@ -19,13 +19,14 @@ advantage reflects.
 
 from __future__ import annotations
 
-from dataclasses import dataclass
-from typing import List, Optional
+from dataclasses import dataclass, field
+from typing import Dict, List, Optional
 
 import numpy as np
 
 from repro.datasets.trace import Trace
 from repro.switch.pipeline import ACTION_DROP, PacketDecision, SwitchPipeline
+from repro.telemetry import get_registry, span
 
 #: Fixed pipeline traversal latency (the paper measures ~532.8 ns).
 PIPELINE_LATENCY_NS = 532.8
@@ -36,30 +37,74 @@ CONTROL_PLANE_RTT_NS = 50_000.0
 
 @dataclass
 class ReplayResult:
-    """Per-packet outcomes of one replay."""
+    """Per-packet outcomes of one replay.
+
+    ``path_counts`` and ``dropped_fraction`` are derived aggregates over
+    every decision; they are computed once on first access and cached
+    (the batch engine seeds them from its vectorised outcome), so
+    repeated calls — the throughput model, reporting, telemetry — stay
+    O(1) instead of re-walking the decision list.
+    """
 
     decisions: List[PacketDecision]
     y_true: np.ndarray
     y_pred: np.ndarray
+    _path_counts: Optional[Dict[str, int]] = field(
+        default=None, init=False, repr=False, compare=False
+    )
+    _dropped_fraction: Optional[float] = field(
+        default=None, init=False, repr=False, compare=False
+    )
 
     @property
     def n_packets(self) -> int:
         return len(self.decisions)
 
-    def path_counts(self) -> dict:
-        counts: dict = {}
-        for d in self.decisions:
-            counts[d.path] = counts.get(d.path, 0) + 1
-        return counts
+    def path_counts(self) -> Dict[str, int]:
+        if self._path_counts is None:
+            counts: Dict[str, int] = {}
+            for d in self.decisions:
+                counts[d.path] = counts.get(d.path, 0) + 1
+            self._path_counts = counts
+        return dict(self._path_counts)
 
     def dropped_fraction(self) -> float:
-        if not self.decisions:
-            return 0.0
-        return sum(d.action == ACTION_DROP for d in self.decisions) / len(self.decisions)
+        if self._dropped_fraction is None:
+            if not self.decisions:
+                self._dropped_fraction = 0.0
+            else:
+                self._dropped_fraction = sum(
+                    d.action == ACTION_DROP for d in self.decisions
+                ) / len(self.decisions)
+        return self._dropped_fraction
 
 
 #: Replay engine names accepted by :func:`replay_trace`.
 REPLAY_MODES = ("scalar", "batch")
+
+
+def _publish_replay_telemetry(
+    registry,
+    pipeline: SwitchPipeline,
+    before: Dict[str, int],
+) -> None:
+    """Emit this replay's data-plane counter deltas plus level gauges.
+
+    Counters come from :meth:`SwitchPipeline.telemetry_counters` (and
+    the attached controller's), diffed against the pre-replay snapshot
+    so multiple replays on one pipeline accumulate correctly.  Both
+    engines mutate the same pipeline objects, so the emitted values are
+    engine-independent by construction.
+    """
+    after = dict(pipeline.telemetry_counters())
+    if pipeline.controller is not None:
+        after.update(pipeline.controller.telemetry_counters())
+    for name, value in after.items():
+        delta = value - before.get(name, 0)
+        if delta:
+            registry.counter(name).inc(delta)
+    for name, value in pipeline.telemetry_gauges().items():
+        registry.gauge(name).set(value)
 
 
 def replay_trace(
@@ -71,19 +116,37 @@ def replay_trace(
     ``mode="batch"`` precomputes hashes, quantized feature matrices, and
     whitelist verdicts for the whole trace and resolves only the
     sequential state in a tight loop — same outputs, much faster.
+
+    When telemetry is enabled (:mod:`repro.telemetry`), the replay runs
+    under a ``replay`` span and publishes the pipeline's and
+    controller's counter deltas plus occupancy gauges afterwards; with
+    the default null registry the only cost is one ``enabled`` check.
     """
     if mode not in REPLAY_MODES:
         raise ValueError(f"mode must be one of {REPLAY_MODES}, got {mode!r}")
-    if mode == "batch" and type(pipeline).process is SwitchPipeline.process:
-        from repro.switch.batch import replay_trace_batch
+    registry = get_registry()
+    before: Dict[str, int] = {}
+    if registry.enabled:
+        before = dict(pipeline.telemetry_counters())
+        if pipeline.controller is not None:
+            before.update(pipeline.controller.telemetry_counters())
+    with span("replay", mode=mode, packets=len(trace)):
+        if mode == "batch" and type(pipeline).process is SwitchPipeline.process:
+            from repro.switch.batch import replay_trace_batch
 
-        return replay_trace_batch(trace, pipeline)
-    # Pipeline subclasses with a custom packet walk (e.g. the multipoint
-    # extension) always take the scalar engine the walk defines.
-    decisions = [pipeline.process(pkt) for pkt in trace]
-    y_true = np.array([int(d.packet.malicious) for d in decisions], dtype=int)
-    y_pred = np.array([d.predicted_malicious for d in decisions], dtype=int)
-    return ReplayResult(decisions=decisions, y_true=y_true, y_pred=y_pred)
+            result = replay_trace_batch(trace, pipeline)
+        else:
+            # Pipeline subclasses with a custom packet walk (e.g. the
+            # multipoint extension) always take the scalar engine the
+            # walk defines.
+            decisions = [pipeline.process(pkt) for pkt in trace]
+            y_true = np.array([int(d.packet.malicious) for d in decisions], dtype=int)
+            y_pred = np.array([d.predicted_malicious for d in decisions], dtype=int)
+            result = ReplayResult(decisions=decisions, y_true=y_true, y_pred=y_pred)
+    if registry.enabled:
+        _publish_replay_telemetry(registry, pipeline, before)
+        registry.counter("replay.packets").inc(len(trace))
+    return result
 
 
 @dataclass(frozen=True)

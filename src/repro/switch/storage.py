@@ -92,6 +92,11 @@ class FlowStateStore:
     def collision_count(self) -> int:
         return self.table.collision_count
 
+    @property
+    def eviction_count(self) -> int:
+        """Decided residents evicted on the orange path."""
+        return self.table.eviction_count
+
     def occupancy(self) -> int:
         return self.table.occupancy()
 

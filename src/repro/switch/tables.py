@@ -33,6 +33,7 @@ class BlacklistTable:
         self.capacity = capacity
         self.eviction = eviction
         self._entries: "OrderedDict[FiveTuple, bool]" = OrderedDict()
+        self.installs = 0
         self.evictions = 0
         #: Bumped whenever membership changes (install/evict/remove), so
         #: replay engines can cache per-flow membership between changes.
@@ -51,6 +52,7 @@ class BlacklistTable:
             self._entries.popitem(last=False)
             self.evictions += 1
         self._entries[key] = True
+        self.installs += 1
         self.version += 1
 
     def matches(self, five_tuple: FiveTuple) -> bool:

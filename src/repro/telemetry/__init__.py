@@ -1,0 +1,71 @@
+"""Unified telemetry: metrics registry, stage tracing, run reports.
+
+The paper's evaluation is an exercise in reading counters off a Tofino —
+per-path packet counts, storage occupancy, digest volume (Table 1,
+App. B.1/B.2).  This package makes those signals (and the ML-side ones:
+epoch losses, distillation fidelity, grid-search progress) first-class:
+
+* :class:`MetricRegistry` — counters / gauges / numpy histograms plus a
+  bounded event log; the process-wide default is a no-op
+  :class:`NullRegistry`, so instrumentation costs ~nothing until a run
+  opts in via :func:`set_registry` / :func:`use_registry` /
+  :func:`run_report`.
+* :func:`span` — hierarchical wall-time tree of experiment stages
+  (dataset → train → compile → replay → metrics).
+* :class:`JsonlSink` — streaming JSONL event log.
+* :func:`write_report` / :func:`load_report` / :func:`format_report` —
+  the per-run ``telemetry.json`` document and its pretty-printer
+  (surfaced as ``repro report``).
+
+Typical use::
+
+    from repro.telemetry import run_report, span
+
+    with run_report("telemetry.json", meta={"attack": "Mirai"}):
+        result = run_testbed_experiment("Mirai", "iguard")
+"""
+
+from repro.telemetry.registry import (
+    DEFAULT_EDGES,
+    Counter,
+    Gauge,
+    Histogram,
+    MetricRegistry,
+    NullRegistry,
+    get_registry,
+    set_registry,
+    use_registry,
+)
+from repro.telemetry.report import (
+    SCHEMA,
+    build_report,
+    format_report,
+    load_report,
+    run_report,
+    write_report,
+)
+from repro.telemetry.sink import JsonlSink, load_events
+from repro.telemetry.tracing import SpanNode, Tracer, span
+
+__all__ = [
+    "DEFAULT_EDGES",
+    "SCHEMA",
+    "Counter",
+    "Gauge",
+    "Histogram",
+    "JsonlSink",
+    "MetricRegistry",
+    "NullRegistry",
+    "SpanNode",
+    "Tracer",
+    "build_report",
+    "format_report",
+    "get_registry",
+    "load_events",
+    "load_report",
+    "run_report",
+    "set_registry",
+    "span",
+    "use_registry",
+    "write_report",
+]

@@ -1,0 +1,273 @@
+"""Metric registry: counters, gauges, and fixed-bucket histograms.
+
+The registry is the in-process store every instrumented layer writes to.
+Design constraints, in order:
+
+1. **Zero dependency, zero cost when off.**  The module-level default is
+   a :class:`NullRegistry` whose instruments are shared no-op singletons;
+   an instrumentation site that runs against it pays one attribute call
+   and nothing else.  Hot loops should additionally guard on
+   ``registry.enabled`` and skip the call entirely.
+2. **Names are flat dotted strings** (``switch.path.red``,
+   ``nn.epoch_loss``) — the report writer groups them by prefix, nothing
+   in the registry itself is hierarchical.
+3. **Deterministic snapshots.**  :meth:`MetricRegistry.counters_dict`
+   and friends return plain sorted dicts so test suites can assert
+   bit-identical telemetry between two runs (the scalar-vs-batch
+   differential lock relies on this).
+"""
+
+from __future__ import annotations
+
+import contextlib
+from typing import Dict, Iterator, List, Optional, Sequence
+
+import numpy as np
+
+
+class Counter:
+    """A monotonically increasing integer."""
+
+    __slots__ = ("name", "value")
+
+    def __init__(self, name: str) -> None:
+        self.name = name
+        self.value = 0
+
+    def inc(self, n: int = 1) -> None:
+        if n < 0:
+            raise ValueError(f"counters only go up; got inc({n}) on {self.name!r}")
+        self.value += n
+
+
+class Gauge:
+    """A last-write-wins scalar."""
+
+    __slots__ = ("name", "value")
+
+    def __init__(self, name: str) -> None:
+        self.name = name
+        self.value: float = 0.0
+
+    def set(self, value: float) -> None:
+        self.value = float(value)
+
+
+class Histogram:
+    """Fixed-bucket histogram over numpy edges.
+
+    *edges* are the interior bucket boundaries: ``len(edges) + 1``
+    buckets total, the first catching ``(-inf, edges[0])`` and the last
+    ``[edges[-1], inf)``.  ``observe`` costs one ``searchsorted``;
+    ``observe_many`` amortises it over an array.  Count/sum/min/max are
+    tracked exactly so the report can show a summary without samples.
+    """
+
+    __slots__ = ("name", "edges", "bucket_counts", "count", "total", "vmin", "vmax")
+
+    def __init__(self, name: str, edges: Sequence[float]) -> None:
+        e = np.asarray(edges, dtype=float)
+        if e.ndim != 1 or e.size < 1:
+            raise ValueError(f"histogram {name!r} needs a 1-D non-empty edge array")
+        if np.any(np.diff(e) <= 0):
+            raise ValueError(f"histogram {name!r} edges must be strictly increasing")
+        self.name = name
+        self.edges = e
+        self.bucket_counts = np.zeros(e.size + 1, dtype=np.int64)
+        self.count = 0
+        self.total = 0.0
+        self.vmin: Optional[float] = None
+        self.vmax: Optional[float] = None
+
+    def observe(self, value: float) -> None:
+        v = float(value)
+        self.bucket_counts[int(np.searchsorted(self.edges, v, side="right"))] += 1
+        self.count += 1
+        self.total += v
+        self.vmin = v if self.vmin is None else min(self.vmin, v)
+        self.vmax = v if self.vmax is None else max(self.vmax, v)
+
+    def observe_many(self, values: np.ndarray) -> None:
+        v = np.asarray(values, dtype=float).ravel()
+        if v.size == 0:
+            return
+        idx = np.searchsorted(self.edges, v, side="right")
+        np.add.at(self.bucket_counts, idx, 1)
+        self.count += int(v.size)
+        self.total += float(v.sum())
+        lo, hi = float(v.min()), float(v.max())
+        self.vmin = lo if self.vmin is None else min(self.vmin, lo)
+        self.vmax = hi if self.vmax is None else max(self.vmax, hi)
+
+    @property
+    def mean(self) -> float:
+        return self.total / self.count if self.count else 0.0
+
+    def summary(self) -> Dict:
+        return {
+            "edges": self.edges.tolist(),
+            "bucket_counts": self.bucket_counts.tolist(),
+            "count": self.count,
+            "sum": self.total,
+            "mean": self.mean,
+            "min": self.vmin,
+            "max": self.vmax,
+        }
+
+
+#: Default edges for histograms created without explicit buckets:
+#: log-spaced decades covering losses, durations, and rates alike.
+DEFAULT_EDGES = tuple(float(10.0**e) for e in range(-9, 10))
+
+
+class _NullCounter:
+    __slots__ = ()
+
+    def inc(self, n: int = 1) -> None:
+        pass
+
+
+class _NullGauge:
+    __slots__ = ()
+
+    def set(self, value: float) -> None:
+        pass
+
+
+class _NullHistogram:
+    __slots__ = ()
+
+    def observe(self, value: float) -> None:
+        pass
+
+    def observe_many(self, values) -> None:
+        pass
+
+
+_NULL_COUNTER = _NullCounter()
+_NULL_GAUGE = _NullGauge()
+_NULL_HISTOGRAM = _NullHistogram()
+
+
+class MetricRegistry:
+    """Namespace of counters, gauges, and histograms plus an event log.
+
+    Instruments are created on first access and shared thereafter;
+    fetching a handle once outside a hot loop and calling it inside is
+    the intended pattern.  ``event`` appends a structured record to the
+    in-memory log (bounded by *max_events*) and forwards it to an
+    attached sink (see :class:`repro.telemetry.sink.JsonlSink`).
+    """
+
+    enabled = True
+
+    def __init__(self, max_events: int = 10_000) -> None:
+        self._counters: Dict[str, Counter] = {}
+        self._gauges: Dict[str, Gauge] = {}
+        self._histograms: Dict[str, Histogram] = {}
+        self.events: List[Dict] = []
+        self.max_events = max_events
+        self.dropped_events = 0
+        self.sink = None  # duck-typed: needs .emit(record: dict)
+        from repro.telemetry.tracing import Tracer
+
+        self.tracer = Tracer()
+
+    # -- instrument accessors ---------------------------------------------
+
+    def counter(self, name: str) -> Counter:
+        c = self._counters.get(name)
+        if c is None:
+            c = self._counters[name] = Counter(name)
+        return c
+
+    def gauge(self, name: str) -> Gauge:
+        g = self._gauges.get(name)
+        if g is None:
+            g = self._gauges[name] = Gauge(name)
+        return g
+
+    def histogram(self, name: str, edges: Optional[Sequence[float]] = None) -> Histogram:
+        h = self._histograms.get(name)
+        if h is None:
+            h = self._histograms[name] = Histogram(name, edges or DEFAULT_EDGES)
+        return h
+
+    # -- events ------------------------------------------------------------
+
+    def event(self, kind: str, **fields) -> None:
+        record = {"kind": kind, **fields}
+        if len(self.events) < self.max_events:
+            self.events.append(record)
+        else:
+            self.dropped_events += 1
+        if self.sink is not None:
+            self.sink.emit(record)
+
+    def attach_sink(self, sink) -> None:
+        """Forward every subsequent event to *sink* (``emit(record)``)."""
+        self.sink = sink
+
+    # -- snapshots -----------------------------------------------------------
+
+    def counters_dict(self) -> Dict[str, int]:
+        return {name: c.value for name, c in sorted(self._counters.items())}
+
+    def gauges_dict(self) -> Dict[str, float]:
+        return {name: g.value for name, g in sorted(self._gauges.items())}
+
+    def histograms_dict(self) -> Dict[str, Dict]:
+        return {name: h.summary() for name, h in sorted(self._histograms.items())}
+
+
+class NullRegistry(MetricRegistry):
+    """The disabled registry: every instrument is a shared no-op.
+
+    Instrumented code paths that only do ``registry.counter(...).inc()``
+    cost two cheap calls; paths that guard on ``registry.enabled`` cost
+    one attribute read.
+    """
+
+    enabled = False
+
+    def __init__(self) -> None:
+        super().__init__(max_events=0)
+
+    def counter(self, name: str) -> Counter:  # type: ignore[override]
+        return _NULL_COUNTER  # type: ignore[return-value]
+
+    def gauge(self, name: str) -> Gauge:  # type: ignore[override]
+        return _NULL_GAUGE  # type: ignore[return-value]
+
+    def histogram(self, name, edges=None) -> Histogram:  # type: ignore[override]
+        return _NULL_HISTOGRAM  # type: ignore[return-value]
+
+    def event(self, kind: str, **fields) -> None:
+        pass
+
+
+#: Process-wide current registry.  Off by default.
+_REGISTRY: MetricRegistry = NullRegistry()
+
+
+def get_registry() -> MetricRegistry:
+    """The currently active registry (a :class:`NullRegistry` when off)."""
+    return _REGISTRY
+
+
+def set_registry(registry: Optional[MetricRegistry]) -> MetricRegistry:
+    """Install *registry* globally (None → disable); returns the previous one."""
+    global _REGISTRY
+    previous = _REGISTRY
+    _REGISTRY = registry if registry is not None else NullRegistry()
+    return previous
+
+
+@contextlib.contextmanager
+def use_registry(registry: Optional[MetricRegistry]) -> Iterator[MetricRegistry]:
+    """Scope *registry* as the active one, restoring the previous on exit."""
+    previous = set_registry(registry)
+    try:
+        yield get_registry()
+    finally:
+        set_registry(previous)

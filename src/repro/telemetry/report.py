@@ -1,0 +1,169 @@
+"""Structured per-run reports (``telemetry.json``).
+
+A report is one JSON document capturing everything a run's registry
+accumulated: counters, gauges, histogram summaries, the span tree, and
+the (bounded) event log.  ``repro report PATH`` pretty-prints one;
+benchmarks drop one next to their printed table; the CLI's
+``--telemetry PATH`` writes one for any experiment command.
+
+Schema (``"schema": "repro.telemetry/v1"``)::
+
+    {
+      "schema":  "repro.telemetry/v1",
+      "meta":    {...},                  # caller-supplied run identity
+      "counters": {"switch.path.red": 12, ...},
+      "gauges":   {"gridsearch.best_objective": 0.93, ...},
+      "histograms": {"nn.epoch_loss": {"edges": [...],
+                     "bucket_counts": [...], "count", "sum", "mean",
+                     "min", "max"}, ...},
+      "spans":   [{"name", "duration_s", "meta"?, "children"?: [...]}],
+      "events":  [{"kind": ..., ...}, ...],
+      "dropped_events": 0
+    }
+"""
+
+from __future__ import annotations
+
+import contextlib
+import json
+from pathlib import Path
+from typing import Dict, Iterator, List, Optional, Union
+
+from repro.telemetry.registry import MetricRegistry, use_registry
+from repro.telemetry.sink import _jsonify
+
+PathLike = Union[str, Path]
+
+SCHEMA = "repro.telemetry/v1"
+
+
+def build_report(registry: MetricRegistry, meta: Optional[Dict] = None) -> Dict:
+    """Snapshot *registry* into the report document (plain dict)."""
+    return {
+        "schema": SCHEMA,
+        "meta": dict(meta or {}),
+        "counters": registry.counters_dict(),
+        "gauges": registry.gauges_dict(),
+        "histograms": registry.histograms_dict(),
+        "spans": [root.to_dict() for root in registry.tracer.roots],
+        "events": list(registry.events),
+        "dropped_events": registry.dropped_events,
+    }
+
+
+def write_report(
+    path: PathLike, registry: MetricRegistry, meta: Optional[Dict] = None
+) -> Dict:
+    """Write the registry snapshot to *path*; returns the document."""
+    report = build_report(registry, meta=meta)
+    p = Path(path)
+    p.parent.mkdir(parents=True, exist_ok=True)
+    p.write_text(json.dumps(report, indent=2, default=_jsonify) + "\n")
+    return report
+
+
+def load_report(path: PathLike) -> Dict:
+    """Load a saved report, validating the schema marker."""
+    report = json.loads(Path(path).read_text())
+    schema = report.get("schema")
+    if schema != SCHEMA:
+        raise ValueError(
+            f"{path} is not a telemetry report (schema {schema!r}, expected {SCHEMA!r})"
+        )
+    return report
+
+
+@contextlib.contextmanager
+def run_report(
+    path: Optional[PathLike], meta: Optional[Dict] = None
+) -> Iterator[MetricRegistry]:
+    """Activate a fresh registry for the block; write *path* on exit.
+
+    ``path=None`` still activates a registry (useful for capturing
+    telemetry programmatically) but writes nothing.  The report is
+    written even when the block raises, so a failed experiment keeps its
+    partial trace.
+    """
+    registry = MetricRegistry()
+    with use_registry(registry):
+        try:
+            yield registry
+        finally:
+            if path is not None:
+                write_report(path, registry, meta=meta)
+
+
+# -- pretty printing ---------------------------------------------------------
+
+
+def _format_span(node: Dict, total: float, indent: int, lines: List[str]) -> None:
+    dur = float(node.get("duration_s", 0.0))
+    share = f" ({100.0 * dur / total:4.1f}%)" if total > 0 else ""
+    meta = node.get("meta") or {}
+    meta_str = (
+        "  [" + ", ".join(f"{k}={v}" for k, v in meta.items()) + "]" if meta else ""
+    )
+    lines.append(f"{'  ' * indent}{node['name']:<24s} {dur:10.4f}s{share}{meta_str}")
+    for child in node.get("children", ()):
+        _format_span(child, total, indent + 1, lines)
+
+
+def format_report(report: Dict, max_events: int = 10) -> str:
+    """Human-readable rendering of a report document."""
+    lines: List[str] = []
+    meta = report.get("meta") or {}
+    header = "telemetry report"
+    if meta:
+        header += "  " + " ".join(f"{k}={v}" for k, v in sorted(meta.items()))
+    lines.append(header)
+    lines.append("=" * max(len(header), 20))
+
+    spans = report.get("spans") or []
+    if spans:
+        lines.append("")
+        lines.append("stages (wall time):")
+        for root in spans:
+            _format_span(root, float(root.get("duration_s", 0.0)), 1, lines)
+
+    counters = report.get("counters") or {}
+    if counters:
+        lines.append("")
+        lines.append("counters:")
+        width = max(len(n) for n in counters)
+        for name, value in counters.items():
+            lines.append(f"  {name:<{width}s} {value:>12d}")
+
+    gauges = report.get("gauges") or {}
+    if gauges:
+        lines.append("")
+        lines.append("gauges:")
+        width = max(len(n) for n in gauges)
+        for name, value in gauges.items():
+            lines.append(f"  {name:<{width}s} {value:>14.6g}")
+
+    histograms = report.get("histograms") or {}
+    if histograms:
+        lines.append("")
+        lines.append("histograms:")
+        width = max(len(n) for n in histograms)
+        for name, h in histograms.items():
+            if h.get("count"):
+                lines.append(
+                    f"  {name:<{width}s} n={h['count']:<7d} mean={h['mean']:.6g} "
+                    f"min={h['min']:.6g} max={h['max']:.6g}"
+                )
+            else:
+                lines.append(f"  {name:<{width}s} (empty)")
+
+    events = report.get("events") or []
+    if events:
+        lines.append("")
+        shown = events[:max_events]
+        lines.append(f"events ({len(events)} recorded, showing {len(shown)}):")
+        for ev in shown:
+            fields = " ".join(f"{k}={v}" for k, v in ev.items() if k != "kind")
+            lines.append(f"  {ev.get('kind', '?'):<24s} {fields}")
+    dropped = report.get("dropped_events", 0)
+    if dropped:
+        lines.append(f"  ... {dropped} events dropped (max_events cap)")
+    return "\n".join(lines)

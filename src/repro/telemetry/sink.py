@@ -1,0 +1,68 @@
+"""JSONL event sink: one JSON object per line, appended as events fire.
+
+Attach to a registry with ``registry.attach_sink(JsonlSink(path))``;
+every ``registry.event(...)`` then lands on disk immediately, so a
+crashed run still leaves its event stream behind.  ``load_events``
+round-trips the file back to the list of records.
+"""
+
+from __future__ import annotations
+
+import json
+import time
+from pathlib import Path
+from typing import Dict, List, Optional, Union
+
+PathLike = Union[str, Path]
+
+
+class JsonlSink:
+    """Append-only JSON-lines writer with a wall-clock stamp per record."""
+
+    def __init__(self, path: PathLike, stamp: bool = True) -> None:
+        self.path = Path(path)
+        self.stamp = stamp
+        self.emitted = 0
+        self.path.parent.mkdir(parents=True, exist_ok=True)
+        self._fh = open(self.path, "a", encoding="utf-8")
+
+    def emit(self, record: Dict) -> None:
+        if self.stamp and "ts" not in record:
+            record = {"ts": round(time.time(), 6), **record}
+        self._fh.write(json.dumps(record, default=_jsonify) + "\n")
+        self._fh.flush()
+        self.emitted += 1
+
+    def close(self) -> None:
+        if not self._fh.closed:
+            self._fh.close()
+
+    def __enter__(self) -> "JsonlSink":
+        return self
+
+    def __exit__(self, exc_type, exc, tb) -> None:
+        self.close()
+
+
+def _jsonify(obj):
+    """Fallback encoder: numpy scalars/arrays and anything str-able."""
+    import numpy as np
+
+    if isinstance(obj, np.integer):
+        return int(obj)
+    if isinstance(obj, np.floating):
+        return float(obj)
+    if isinstance(obj, np.ndarray):
+        return obj.tolist()
+    return str(obj)
+
+
+def load_events(path: PathLike) -> List[Dict]:
+    """Parse a JSONL event file back into records (skips blank lines)."""
+    records: List[Dict] = []
+    with open(path, "r", encoding="utf-8") as fh:
+        for line in fh:
+            line = line.strip()
+            if line:
+                records.append(json.loads(line))
+    return records

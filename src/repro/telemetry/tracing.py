@@ -1,0 +1,140 @@
+"""Hierarchical wall-time spans.
+
+``with span("replay", mode="batch"):`` opens a timed node under the
+active registry's tracer; nested ``span`` calls build a tree.  Each
+completed root lands in ``tracer.roots`` and flows into the run report
+as the experiment's stage breakdown (dataset → train → compile → replay
+→ metrics).
+
+When the active registry is disabled, :func:`span` returns one shared
+no-op context manager — no allocation, no clock read.
+"""
+
+from __future__ import annotations
+
+import time
+from dataclasses import dataclass, field
+from typing import Dict, List, Optional
+
+
+@dataclass
+class SpanNode:
+    """One timed stage; ``children`` are the stages it contained."""
+
+    name: str
+    meta: Dict = field(default_factory=dict)
+    start: float = 0.0
+    end: Optional[float] = None
+    children: List["SpanNode"] = field(default_factory=list)
+
+    @property
+    def duration_s(self) -> float:
+        return (self.end if self.end is not None else time.perf_counter()) - self.start
+
+    def to_dict(self) -> Dict:
+        d: Dict = {"name": self.name, "duration_s": round(self.duration_s, 6)}
+        if self.meta:
+            d["meta"] = self.meta
+        if self.children:
+            d["children"] = [c.to_dict() for c in self.children]
+        return d
+
+    def find(self, name: str) -> Optional["SpanNode"]:
+        """Depth-first lookup of the first descendant named *name*."""
+        for child in self.children:
+            if child.name == name:
+                return child
+            found = child.find(name)
+            if found is not None:
+                return found
+        return None
+
+
+class Tracer:
+    """Per-registry span stack; completed top-level spans in ``roots``."""
+
+    def __init__(self) -> None:
+        self.roots: List[SpanNode] = []
+        self._stack: List[SpanNode] = []
+
+    def push(self, name: str, meta: Dict) -> SpanNode:
+        node = SpanNode(name=name, meta=meta, start=time.perf_counter())
+        if self._stack:
+            self._stack[-1].children.append(node)
+        self._stack.append(node)
+        return node
+
+    def pop(self, node: SpanNode) -> None:
+        node.end = time.perf_counter()
+        # Unwind to (and including) node; tolerates a missed pop below it.
+        while self._stack:
+            top = self._stack.pop()
+            if top is node:
+                break
+        if not self._stack and (not self.roots or self.roots[-1] is not node):
+            if node.end is not None and all(r is not node for r in self.roots):
+                self.roots.append(node)
+
+    def find(self, name: str) -> Optional[SpanNode]:
+        """First span named *name* anywhere in the completed trees."""
+        for root in self.roots:
+            if root.name == name:
+                return root
+            found = root.find(name)
+            if found is not None:
+                return found
+        return None
+
+
+class _Span:
+    """Context manager binding one SpanNode to the registry that opened it."""
+
+    __slots__ = ("_tracer", "_node", "_name", "_meta")
+
+    def __init__(self, tracer: Tracer, name: str, meta: Dict) -> None:
+        self._tracer = tracer
+        self._name = name
+        self._meta = meta
+        self._node: Optional[SpanNode] = None
+
+    def __enter__(self) -> SpanNode:
+        self._node = self._tracer.push(self._name, self._meta)
+        return self._node
+
+    def __exit__(self, exc_type, exc, tb) -> None:
+        if exc_type is not None:
+            self._node.meta["error"] = exc_type.__name__
+        self._tracer.pop(self._node)
+
+
+class _NullSpan:
+    """Shared do-nothing span for the disabled path."""
+
+    __slots__ = ()
+
+    def __enter__(self):
+        return None
+
+    def __exit__(self, exc_type, exc, tb) -> None:
+        pass
+
+
+_NULL_SPAN = _NullSpan()
+
+
+def span(name: str, **meta):
+    """Open a timed span named *name* on the active registry.
+
+    Usage::
+
+        with span("train", model="iguard"):
+            model.fit(x)
+
+    Free (a shared no-op) when telemetry is disabled.
+    """
+    from repro.telemetry.registry import get_registry
+
+    registry = get_registry()
+    if not registry.enabled:
+        return _NULL_SPAN
+    return _Span(registry.tracer, name, meta)

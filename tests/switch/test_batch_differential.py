@@ -28,6 +28,7 @@ from repro.switch.controller import Controller
 from repro.switch.hashing import bi_hash
 from repro.switch.pipeline import PipelineConfig, SwitchPipeline
 from repro.switch.runner import replay_trace
+from repro.telemetry import MetricRegistry, use_registry
 from repro.utils.box import Box
 
 #: Registry profiles the engines are locked over — a pure benign mix
@@ -91,11 +92,15 @@ def _build_pipeline(train_flows, n=6, timeout=1.0, n_slots=32, blacklist_capacit
 
 def _assert_identical(trace, make_pipeline):
     """Replay *trace* through two identically-built pipelines, one per
-    engine, and compare every observable output."""
+    engine, and compare every observable output — including the
+    telemetry counters each engine publishes into its own registry."""
     p_s, c_s = make_pipeline()
     p_b, c_b = make_pipeline()
-    r_s = replay_trace(trace, p_s, mode="scalar")
-    r_b = replay_trace(trace, p_b, mode="batch")
+    reg_s, reg_b = MetricRegistry(), MetricRegistry()
+    with use_registry(reg_s):
+        r_s = replay_trace(trace, p_s, mode="scalar")
+    with use_registry(reg_b):
+        r_b = replay_trace(trace, p_b, mode="batch")
 
     assert len(r_s.decisions) == len(r_b.decisions) == len(trace)
     for i, (a, b) in enumerate(zip(r_s.decisions, r_b.decisions)):
@@ -119,13 +124,25 @@ def _assert_identical(trace, make_pipeline):
 
     # Storage and blacklist state.
     assert p_s.store.table.collision_count == p_b.store.table.collision_count
+    assert p_s.store.eviction_count == p_b.store.eviction_count
     assert p_s.store.occupancy() == p_b.store.occupancy()
     assert len(p_s.blacklist) == len(p_b.blacklist)
     assert list(p_s.blacklist._entries) == list(p_b.blacklist._entries)
     assert p_s.blacklist.evictions == p_b.blacklist.evictions
+    assert p_s.blacklist.installs == p_b.blacklist.installs
 
     # Controller view.
     assert c_s.stats == c_b.stats
+
+    # Published telemetry must be engine-identical, counter for counter.
+    assert reg_s.counters_dict() == reg_b.counters_dict()
+    assert reg_s.gauges_dict() == reg_b.gauges_dict()
+    # And agree with the raw pipeline view the counters are derived from.
+    counters = reg_s.counters_dict()
+    for path, count in p_s.path_counts.items():
+        if count:
+            assert counters[f"switch.path.{path}"] == count
+    assert counters["replay.packets"] == len(trace)
     return p_s.path_counts
 
 

@@ -1,0 +1,154 @@
+"""Control-plane unit tests: digest handling, blacklist aging, and the
+App. B.2 overhead accounting (§3.3.2)."""
+
+import numpy as np
+import pytest
+
+from repro.core.rules import BENIGN, QuantizedRule, QuantizedRuleSet
+from repro.datasets.packet import PROTO_UDP, FiveTuple
+from repro.features.flow_features import SWITCH_FEATURES
+from repro.features.scaling import IntegerQuantizer
+from repro.switch.controller import FEATURE_DIGEST_EXTRA_BYTES, Controller, ControllerStats
+from repro.switch.pipeline import Digest, PipelineConfig, SwitchPipeline
+from repro.switch.storage import LABEL_BENIGN, LABEL_MALICIOUS
+
+N = len(SWITCH_FEATURES)
+
+
+def _ft(i):
+    return FiveTuple(i, 99, 5000 + i, 80, PROTO_UDP)
+
+
+def _digest(i, label, ts=0.0):
+    return Digest(five_tuple=_ft(i), label=label, timestamp=ts)
+
+
+def _pipeline(**config_kwargs):
+    domain = np.vstack([np.zeros(N), np.full(N, 1e6)])
+    q = IntegerQuantizer(bits=16).fit(domain)
+    rules = QuantizedRuleSet(
+        [QuantizedRule(lows=(1,) * N, highs=(q.levels - 1,) * N, label=BENIGN)],
+        bits=16,
+    )
+    return SwitchPipeline(
+        fl_rules=rules, fl_quantizer=q, config=PipelineConfig(**config_kwargs)
+    )
+
+
+class TestDigestHandling:
+    def test_attaches_to_pipeline(self):
+        pipe = _pipeline()
+        ctrl = Controller(pipe)
+        assert pipe.controller is ctrl
+
+    def test_malicious_digest_installs_blacklist(self):
+        pipe = _pipeline()
+        ctrl = Controller(pipe)
+        ctrl.handle_digest(_digest(1, LABEL_MALICIOUS))
+        assert pipe.blacklist.matches(_ft(1))
+        assert ctrl.stats.blacklist_installs == 1
+        assert ctrl.stats.digests_received == 1
+        assert ctrl.stats.digest_bytes == Digest.WIRE_BYTES
+
+    def test_benign_digest_only_counts(self):
+        pipe = _pipeline()
+        ctrl = Controller(pipe)
+        ctrl.handle_digest(_digest(1, LABEL_BENIGN))
+        assert not pipe.blacklist.matches(_ft(1))
+        assert ctrl.stats.blacklist_installs == 0
+        assert ctrl.stats.digests_received == 1
+
+    def test_install_blacklist_disabled(self):
+        pipe = _pipeline()
+        ctrl = Controller(pipe, install_blacklist=False)
+        ctrl.handle_digest(_digest(1, LABEL_MALICIOUS))
+        assert not pipe.blacklist.matches(_ft(1))
+        assert ctrl.stats.blacklist_installs == 0
+        assert ctrl.stats.digests_received == 1
+
+    def test_storage_release_accounting(self):
+        """storage_releases counts only flows the store actually held."""
+        pipe = _pipeline()
+        ctrl = Controller(pipe)
+        pipe.store.lookup_or_create(_ft(1))  # tracked flow
+        assert pipe.store.occupancy() == 1
+        ctrl.handle_digest(_digest(1, LABEL_MALICIOUS))
+        assert ctrl.stats.storage_releases == 1
+        assert pipe.store.occupancy() == 0
+        # An untracked flow installs a rule but releases nothing.
+        ctrl.handle_digest(_digest(2, LABEL_MALICIOUS))
+        assert ctrl.stats.blacklist_installs == 2
+        assert ctrl.stats.storage_releases == 1
+
+
+class TestBlacklistAging:
+    def test_fifo_aging_through_controller(self):
+        pipe = _pipeline(blacklist_capacity=2, blacklist_eviction="fifo")
+        ctrl = Controller(pipe)
+        for i in (1, 2, 3):
+            ctrl.handle_digest(_digest(i, LABEL_MALICIOUS))
+        assert not pipe.blacklist.matches(_ft(1))  # oldest aged out
+        assert pipe.blacklist.matches(_ft(2))
+        assert pipe.blacklist.matches(_ft(3))
+        assert pipe.blacklist.evictions == 1
+        assert ctrl.stats.blacklist_installs == 3
+
+    def test_lru_aging_through_controller(self):
+        pipe = _pipeline(blacklist_capacity=2, blacklist_eviction="lru")
+        ctrl = Controller(pipe)
+        ctrl.handle_digest(_digest(1, LABEL_MALICIOUS))
+        ctrl.handle_digest(_digest(2, LABEL_MALICIOUS))
+        pipe.blacklist.matches(_ft(1))  # touch 1 → 2 becomes LRU
+        ctrl.handle_digest(_digest(3, LABEL_MALICIOUS))
+        assert pipe.blacklist.matches(_ft(1))
+        assert not pipe.blacklist.matches(_ft(2))
+
+    def test_reinstall_does_not_recount(self):
+        pipe = _pipeline()
+        ctrl = Controller(pipe)
+        ctrl.handle_digest(_digest(1, LABEL_MALICIOUS))
+        ctrl.handle_digest(_digest(1, LABEL_MALICIOUS))
+        # The controller counts both digests; the table counts one entry.
+        assert ctrl.stats.blacklist_installs == 2
+        assert pipe.blacklist.installs == 1
+        assert len(pipe.blacklist) == 1
+
+
+class TestOverheadAccounting:
+    def test_digest_bytes_accumulate(self):
+        pipe = _pipeline()
+        ctrl = Controller(pipe)
+        for i in range(5):
+            ctrl.handle_digest(_digest(i, LABEL_BENIGN, ts=float(i)))
+        assert ctrl.stats.digest_bytes == 5 * Digest.WIRE_BYTES
+
+    def test_overhead_kbps(self):
+        stats = ControllerStats(digests_received=10, digest_bytes=14000)
+        assert stats.overhead_kbps(window_seconds=7.0) == pytest.approx(2.0)
+
+    def test_overhead_kbps_rejects_bad_window(self):
+        with pytest.raises(ValueError, match="window_seconds"):
+            ControllerStats().overhead_kbps(0.0)
+
+    def test_horuseye_equivalent_bytes(self):
+        stats = ControllerStats(digests_received=10, digest_bytes=140)
+        assert (
+            stats.horuseye_equivalent_bytes()
+            == 140 + 10 * FEATURE_DIGEST_EXTRA_BYTES
+        )
+
+    def test_telemetry_counters_mirror_stats(self):
+        pipe = _pipeline()
+        ctrl = Controller(pipe)
+        pipe.store.lookup_or_create(_ft(1))
+        ctrl.handle_digest(_digest(1, LABEL_MALICIOUS))
+        ctrl.handle_digest(_digest(2, LABEL_BENIGN))
+        counters = ctrl.telemetry_counters()
+        assert counters["controller.digests_received"] == 2
+        assert counters["controller.digest_bytes"] == 2 * Digest.WIRE_BYTES
+        assert counters["controller.blacklist_installs"] == 1
+        assert counters["controller.storage_releases"] == 1
+        assert (
+            counters["controller.horuseye_equivalent_bytes"]
+            == ctrl.stats.horuseye_equivalent_bytes()
+        )

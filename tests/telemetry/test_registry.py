@@ -1,0 +1,196 @@
+"""Registry semantics: instruments, events, snapshots, and scoping."""
+
+import numpy as np
+import pytest
+
+from repro.telemetry import (
+    DEFAULT_EDGES,
+    MetricRegistry,
+    NullRegistry,
+    get_registry,
+    set_registry,
+    use_registry,
+)
+
+
+class TestCounter:
+    def test_starts_at_zero_and_accumulates(self):
+        reg = MetricRegistry()
+        c = reg.counter("a.b")
+        assert c.value == 0
+        c.inc()
+        c.inc(5)
+        assert c.value == 6
+
+    def test_same_name_same_instrument(self):
+        reg = MetricRegistry()
+        assert reg.counter("x") is reg.counter("x")
+        assert reg.counter("x") is not reg.counter("y")
+
+    def test_rejects_negative_increment(self):
+        reg = MetricRegistry()
+        with pytest.raises(ValueError, match="only go up"):
+            reg.counter("x").inc(-1)
+
+
+class TestGauge:
+    def test_last_write_wins(self):
+        reg = MetricRegistry()
+        g = reg.gauge("level")
+        g.set(3)
+        g.set(1.5)
+        assert g.value == 1.5
+        assert isinstance(g.value, float)
+
+
+class TestHistogram:
+    def test_bucket_assignment(self):
+        reg = MetricRegistry()
+        h = reg.histogram("h", edges=(1.0, 10.0))
+        for v in (0.5, 5.0, 5.0, 100.0):
+            h.observe(v)
+        # 3 buckets: (-inf,1), [1,10), [10,inf).
+        assert h.bucket_counts.tolist() == [1, 2, 1]
+        assert h.count == 4
+        assert h.total == pytest.approx(110.5)
+        assert h.vmin == 0.5 and h.vmax == 100.0
+        assert h.mean == pytest.approx(110.5 / 4)
+
+    def test_observe_many_matches_scalar_observes(self):
+        values = np.array([0.01, 0.5, 2.0, 2.0, 9.0, 50.0])
+        reg = MetricRegistry()
+        h_scalar = reg.histogram("s", edges=(0.1, 1.0, 10.0))
+        h_batch = reg.histogram("b", edges=(0.1, 1.0, 10.0))
+        for v in values:
+            h_scalar.observe(v)
+        h_batch.observe_many(values)
+        assert h_scalar.bucket_counts.tolist() == h_batch.bucket_counts.tolist()
+        assert h_scalar.count == h_batch.count
+        assert h_scalar.total == pytest.approx(h_batch.total)
+        assert (h_scalar.vmin, h_scalar.vmax) == (h_batch.vmin, h_batch.vmax)
+
+    def test_observe_many_empty_is_noop(self):
+        h = MetricRegistry().histogram("h", edges=(1.0,))
+        h.observe_many(np.array([]))
+        assert h.count == 0
+        assert h.vmin is None
+
+    def test_default_edges(self):
+        h = MetricRegistry().histogram("h")
+        assert h.edges.tolist() == list(DEFAULT_EDGES)
+
+    def test_edge_validation(self):
+        from repro.telemetry import Histogram
+
+        with pytest.raises(ValueError, match="strictly increasing"):
+            Histogram("bad", edges=(1.0, 1.0))
+        with pytest.raises(ValueError, match="non-empty"):
+            Histogram("bad2", edges=())
+        # The registry accessor falls back to DEFAULT_EDGES on empty edges.
+        assert MetricRegistry().histogram("h", edges=()).edges.size > 0
+
+    def test_summary_round_trips_state(self):
+        h = MetricRegistry().histogram("h", edges=(1.0, 2.0))
+        h.observe(0.5)
+        h.observe(1.5)
+        s = h.summary()
+        assert s["count"] == 2
+        assert s["bucket_counts"] == [1, 1, 0]
+        assert s["mean"] == pytest.approx(1.0)
+
+
+class TestEvents:
+    def test_event_log_and_cap(self):
+        reg = MetricRegistry(max_events=2)
+        reg.event("a", x=1)
+        reg.event("b")
+        reg.event("c")
+        assert [e["kind"] for e in reg.events] == ["a", "b"]
+        assert reg.events[0]["x"] == 1
+        assert reg.dropped_events == 1
+
+    def test_sink_receives_all_events_past_the_cap(self):
+        emitted = []
+
+        class ListSink:
+            def emit(self, record):
+                emitted.append(record)
+
+        reg = MetricRegistry(max_events=1)
+        reg.attach_sink(ListSink())
+        reg.event("a")
+        reg.event("b")
+        assert len(reg.events) == 1
+        assert [e["kind"] for e in emitted] == ["a", "b"]
+
+
+class TestSnapshots:
+    def test_snapshots_are_sorted_plain_dicts(self):
+        reg = MetricRegistry()
+        reg.counter("z").inc(2)
+        reg.counter("a").inc(1)
+        reg.gauge("m").set(0.5)
+        assert list(reg.counters_dict()) == ["a", "z"]
+        assert reg.counters_dict() == {"a": 1, "z": 2}
+        assert reg.gauges_dict() == {"m": 0.5}
+        assert "h" not in reg.histograms_dict()
+
+    def test_two_identical_runs_snapshot_identically(self):
+        def run(reg):
+            reg.counter("n").inc(3)
+            reg.gauge("g").set(7)
+            reg.histogram("h", edges=(1.0,)).observe(2.0)
+
+        a, b = MetricRegistry(), MetricRegistry()
+        run(a)
+        run(b)
+        assert a.counters_dict() == b.counters_dict()
+        assert a.gauges_dict() == b.gauges_dict()
+        assert a.histograms_dict() == b.histograms_dict()
+
+
+class TestNullRegistry:
+    def test_disabled_and_shared_noops(self):
+        null = NullRegistry()
+        assert null.enabled is False
+        assert null.counter("a") is null.counter("b")
+        assert null.gauge("a") is null.gauge("b")
+        assert null.histogram("a") is null.histogram("b", edges=(1.0,))
+
+    def test_instruments_swallow_writes(self):
+        null = NullRegistry()
+        null.counter("c").inc(5)
+        null.gauge("g").set(1.0)
+        null.histogram("h").observe(1.0)
+        null.histogram("h").observe_many(np.array([1.0, 2.0]))
+        null.event("e", x=1)
+        assert null.counters_dict() == {}
+        assert null.events == []
+
+
+class TestGlobalScoping:
+    def test_default_is_disabled(self):
+        assert get_registry().enabled is False
+
+    def test_use_registry_scopes_and_restores(self):
+        before = get_registry()
+        reg = MetricRegistry()
+        with use_registry(reg) as active:
+            assert active is reg
+            assert get_registry() is reg
+        assert get_registry() is before
+
+    def test_use_registry_restores_on_exception(self):
+        before = get_registry()
+        with pytest.raises(RuntimeError):
+            with use_registry(MetricRegistry()):
+                raise RuntimeError("boom")
+        assert get_registry() is before
+
+    def test_set_registry_none_disables(self):
+        previous = set_registry(MetricRegistry())
+        try:
+            set_registry(None)
+            assert get_registry().enabled is False
+        finally:
+            set_registry(previous)

@@ -1,0 +1,133 @@
+"""JSONL sink round-trips and report build/write/load/format."""
+
+import json
+
+import numpy as np
+import pytest
+
+from repro.telemetry import (
+    SCHEMA,
+    JsonlSink,
+    MetricRegistry,
+    build_report,
+    format_report,
+    load_events,
+    load_report,
+    run_report,
+    span,
+    use_registry,
+    write_report,
+)
+
+
+class TestJsonlSink:
+    def test_round_trip(self, tmp_path):
+        path = tmp_path / "events.jsonl"
+        with JsonlSink(path, stamp=False) as sink:
+            sink.emit({"kind": "a", "x": 1})
+            sink.emit({"kind": "b", "y": "text"})
+        assert sink.emitted == 2
+        records = load_events(path)
+        assert records == [{"kind": "a", "x": 1}, {"kind": "b", "y": "text"}]
+
+    def test_wall_clock_stamp(self, tmp_path):
+        path = tmp_path / "events.jsonl"
+        with JsonlSink(path) as sink:
+            sink.emit({"kind": "a"})
+        (record,) = load_events(path)
+        assert record["ts"] > 0
+
+    def test_numpy_values_serialise(self, tmp_path):
+        path = tmp_path / "events.jsonl"
+        with JsonlSink(path, stamp=False) as sink:
+            sink.emit({"kind": "np", "i": np.int64(3), "f": np.float32(0.5),
+                       "a": np.array([1, 2])})
+        (record,) = load_events(path)
+        assert record == {"kind": "np", "i": 3, "f": 0.5, "a": [1, 2]}
+
+    def test_appends_across_sinks(self, tmp_path):
+        path = tmp_path / "events.jsonl"
+        with JsonlSink(path, stamp=False) as sink:
+            sink.emit({"kind": "first"})
+        with JsonlSink(path, stamp=False) as sink:
+            sink.emit({"kind": "second"})
+        assert [r["kind"] for r in load_events(path)] == ["first", "second"]
+
+    def test_registry_events_flow_through_sink(self, tmp_path):
+        path = tmp_path / "events.jsonl"
+        reg = MetricRegistry()
+        with JsonlSink(path, stamp=False) as sink:
+            reg.attach_sink(sink)
+            reg.event("trained", loss=0.25)
+        assert load_events(path) == [{"kind": "trained", "loss": 0.25}]
+
+
+class TestReport:
+    def _populated_registry(self):
+        reg = MetricRegistry()
+        with use_registry(reg):
+            with span("stage", mode="test"):
+                reg.counter("pkts").inc(10)
+                reg.gauge("fill").set(0.5)
+                reg.histogram("loss", edges=(1.0,)).observe(0.2)
+                reg.event("done", ok=True)
+        return reg
+
+    def test_build_report_shape(self):
+        report = build_report(self._populated_registry(), meta={"run": "t1"})
+        assert report["schema"] == SCHEMA
+        assert report["meta"] == {"run": "t1"}
+        assert report["counters"] == {"pkts": 10}
+        assert report["gauges"] == {"fill": 0.5}
+        assert report["histograms"]["loss"]["count"] == 1
+        assert report["spans"][0]["name"] == "stage"
+        assert report["events"] == [{"kind": "done", "ok": True}]
+        assert report["dropped_events"] == 0
+
+    def test_write_and_load_round_trip(self, tmp_path):
+        path = tmp_path / "sub" / "telemetry.json"  # parent dirs created
+        written = write_report(path, self._populated_registry(), meta={"a": 1})
+        loaded = load_report(path)
+        assert loaded == json.loads(json.dumps(written))
+
+    def test_load_rejects_non_reports(self, tmp_path):
+        path = tmp_path / "other.json"
+        path.write_text(json.dumps({"schema": "something/else"}))
+        with pytest.raises(ValueError, match="not a telemetry report"):
+            load_report(path)
+
+    def test_run_report_writes_on_exit(self, tmp_path):
+        path = tmp_path / "telemetry.json"
+        with run_report(path, meta={"cmd": "test"}) as reg:
+            assert reg.enabled
+            reg.counter("n").inc(2)
+        report = load_report(path)
+        assert report["counters"] == {"n": 2}
+        assert report["meta"] == {"cmd": "test"}
+
+    def test_run_report_writes_even_on_failure(self, tmp_path):
+        path = tmp_path / "telemetry.json"
+        with pytest.raises(RuntimeError):
+            with run_report(path) as reg:
+                reg.counter("partial").inc()
+                raise RuntimeError("experiment died")
+        assert load_report(path)["counters"] == {"partial": 1}
+
+    def test_run_report_none_path_writes_nothing(self, tmp_path):
+        with run_report(None) as reg:
+            reg.counter("n").inc()
+        assert list(tmp_path.iterdir()) == []
+        assert reg.counters_dict() == {"n": 1}
+
+    def test_format_report_mentions_everything(self):
+        text = format_report(build_report(self._populated_registry(),
+                                          meta={"run": "t1"}))
+        for needle in ("run=t1", "stage", "pkts", "fill", "loss", "done"):
+            assert needle in text
+
+    def test_format_report_event_cap(self):
+        reg = MetricRegistry()
+        for i in range(5):
+            reg.event("e", i=i)
+        text = format_report(build_report(reg), max_events=2)
+        assert "5 recorded, showing 2" in text

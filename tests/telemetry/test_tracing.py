@@ -1,0 +1,94 @@
+"""Span tracing: nesting, error capture, and the disabled fast path."""
+
+import pytest
+
+from repro.telemetry import MetricRegistry, get_registry, span, use_registry
+from repro.telemetry.tracing import _NULL_SPAN
+
+
+class TestSpanTree:
+    def test_nested_spans_build_a_tree(self):
+        reg = MetricRegistry()
+        with use_registry(reg):
+            with span("outer", kind="test"):
+                with span("inner_a"):
+                    pass
+                with span("inner_b"):
+                    pass
+        assert len(reg.tracer.roots) == 1
+        root = reg.tracer.roots[0]
+        assert root.name == "outer"
+        assert root.meta == {"kind": "test"}
+        assert [c.name for c in root.children] == ["inner_a", "inner_b"]
+        assert root.end is not None
+        assert root.duration_s >= max(c.duration_s for c in root.children) >= 0.0
+
+    def test_sequential_roots(self):
+        reg = MetricRegistry()
+        with use_registry(reg):
+            with span("first"):
+                pass
+            with span("second"):
+                pass
+        assert [r.name for r in reg.tracer.roots] == ["first", "second"]
+
+    def test_find_descends_depth_first(self):
+        reg = MetricRegistry()
+        with use_registry(reg):
+            with span("a"):
+                with span("b"):
+                    with span("c"):
+                        pass
+        assert reg.tracer.find("c").name == "c"
+        assert reg.tracer.find("a").find("c").name == "c"
+        assert reg.tracer.find("missing") is None
+
+    def test_exception_recorded_and_span_closed(self):
+        reg = MetricRegistry()
+        with use_registry(reg):
+            with pytest.raises(KeyError):
+                with span("failing"):
+                    raise KeyError("x")
+        root = reg.tracer.roots[0]
+        assert root.meta["error"] == "KeyError"
+        assert root.end is not None
+
+    def test_to_dict_shape(self):
+        reg = MetricRegistry()
+        with use_registry(reg):
+            with span("outer", model="iguard"):
+                with span("inner"):
+                    pass
+        d = reg.tracer.roots[0].to_dict()
+        assert d["name"] == "outer"
+        assert d["meta"] == {"model": "iguard"}
+        assert d["duration_s"] >= 0.0
+        assert d["children"][0]["name"] == "inner"
+        assert "meta" not in d["children"][0]  # empty meta omitted
+
+
+class TestDisabledPath:
+    def test_span_is_shared_noop_when_disabled(self):
+        assert get_registry().enabled is False
+        s = span("anything", key="value")
+        assert s is _NULL_SPAN
+        assert span("other") is s
+        with s as node:
+            assert node is None
+
+    def test_noop_span_records_nothing(self):
+        reg = MetricRegistry()
+        with span("outside"):  # default registry: disabled
+            pass
+        assert reg.tracer.roots == []
+
+    def test_spans_bind_to_the_active_registry(self):
+        reg_a, reg_b = MetricRegistry(), MetricRegistry()
+        with use_registry(reg_a):
+            with span("a"):
+                pass
+        with use_registry(reg_b):
+            with span("b"):
+                pass
+        assert [r.name for r in reg_a.tracer.roots] == ["a"]
+        assert [r.name for r in reg_b.tracer.roots] == ["b"]

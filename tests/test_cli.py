@@ -50,3 +50,65 @@ class TestCli:
         out = capsys.readouterr().out
         assert "per-packet macro F1" in out
         assert "paths:" in out
+
+
+class TestTelemetryFlag:
+    def test_train_writes_report(self, tmp_path, capsys):
+        from repro.telemetry import load_report
+
+        path = str(tmp_path / "train.telemetry.json")
+        assert main(
+            ["train", "--flows", "120", "--trees", "3", "--seed", "1",
+             "--telemetry", path]
+        ) == 0
+        assert f"telemetry report written to {path}" in capsys.readouterr().out
+        report = load_report(path)
+        assert report["meta"]["command"] == "train"
+        assert report["meta"]["flows"] == 120
+        assert "telemetry" not in report["meta"]
+        assert report["counters"]["nn.fits"] >= 1
+
+    def test_deploy_report_counters_match_paths(self, tmp_path, capsys):
+        from repro.telemetry import load_report
+
+        path = str(tmp_path / "deploy.telemetry.json")
+        assert main(
+            ["deploy", "OS scan", "--flows", "150", "--seed", "4",
+             "--telemetry", path]
+        ) == 0
+        out = capsys.readouterr().out
+        report = load_report(path)
+        # The printed path counts and the report's counters are the same
+        # numbers (the counters are deltas of the pipeline's own state).
+        import ast
+
+        printed = ast.literal_eval(out.split("paths: ", 1)[1].splitlines()[0])
+        for p, count in printed.items():
+            assert report["counters"][f"switch.path.{p}"] == count
+        names = {s["name"] for s in report["spans"]}
+        assert {"dataset", "train", "compile", "replay", "metrics"} <= names
+
+    def test_telemetry_disabled_after_run(self, tmp_path):
+        from repro.telemetry import get_registry
+
+        path = str(tmp_path / "t.json")
+        main(["train", "--flows", "120", "--trees", "3", "--seed", "1",
+              "--telemetry", path])
+        assert get_registry().enabled is False  # registry scope restored
+
+    def test_report_subcommand_pretty_prints(self, tmp_path, capsys):
+        path = str(tmp_path / "train.telemetry.json")
+        main(["train", "--flows", "120", "--trees", "3", "--seed", "1",
+              "--telemetry", path])
+        capsys.readouterr()
+        assert main(["report", path]) == 0
+        out = capsys.readouterr().out
+        assert "telemetry report" in out
+        assert "counters:" in out
+        assert "nn.fits" in out
+
+    def test_report_rejects_non_report_file(self, tmp_path):
+        path = tmp_path / "junk.json"
+        path.write_text(json.dumps({"schema": "nope"}))
+        with pytest.raises(ValueError, match="not a telemetry report"):
+            main(["report", str(path)])
