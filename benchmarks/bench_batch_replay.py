@@ -27,7 +27,7 @@ import numpy as np
 if __package__ in (None, ""):  # standalone: put the repo root on sys.path
     sys.path.insert(0, str(Path(__file__).resolve().parents[1]))
 
-from benchmarks.common import BENCH_SEED
+from benchmarks.common import bench_seed
 from repro.core.rules import BENIGN, MALICIOUS, RuleSet, WhitelistRule
 from repro.datasets.attacks import generate_attack_flows
 from repro.datasets.benign import generate_benign_flows
@@ -41,7 +41,6 @@ from repro.switch.runner import replay_trace
 from repro.utils.box import Box
 
 REPLAY_FLOWS = int(os.environ.get("REPRO_BENCH_REPLAY_FLOWS", "1150"))
-ATTACK_FLOWS = max(10, REPLAY_FLOWS // 40)
 #: Deployment knob n — within the paper's studied range; larger n keeps
 #: flows on the PL-scored brown path longer (the realistic hot path).
 PKT_COUNT_THRESHOLD = 16
@@ -69,10 +68,11 @@ def _rules(x_benign, x_attack):
     )
 
 
-def build_workload(seed=None):
-    seed = BENCH_SEED if seed is None else seed
-    benign = generate_benign_flows(REPLAY_FLOWS, seed=seed)
-    attack = generate_attack_flows("Mirai", ATTACK_FLOWS, seed=seed + 1)
+def build_workload(seed=None, n_flows=None):
+    seed = bench_seed("batch_replay") if seed is None else seed
+    n_flows = REPLAY_FLOWS if n_flows is None else n_flows
+    benign = generate_benign_flows(n_flows, seed=seed)
+    attack = generate_attack_flows("Mirai", max(10, n_flows // 40), seed=seed + 1)
     trace = flows_to_trace(benign + attack)
 
     n, timeout = PKT_COUNT_THRESHOLD, 5.0

@@ -1,0 +1,133 @@
+"""Serving-runtime cost model: streaming throughput and swap pause.
+
+The serving runtime chops a trace into chunks and replays each through
+the live tables (:class:`repro.runtime.StreamDriver`); between chunks it
+may stage a new table generation and flip it atomically
+(``stage_tables`` + ``hot_swap``).  Two costs matter for deployment:
+
+* the *chunking overhead* — steady-state packets/sec of the chunked
+  stream versus the one-shot batch replay of the same trace;
+* the *swap pause* — wall clock of stage + flip, the window during
+  which a real control plane would be writing TCAM entries.
+
+Emits ``BENCH_runtime.json`` at the repo root.  Runs standalone
+(``PYTHONPATH=src python benchmarks/bench_runtime.py``) or under
+pytest-benchmark.
+
+Scale knobs: ``REPRO_BENCH_RUNTIME_FLOWS`` (benign flows, default 600),
+``REPRO_BENCH_RUNTIME_CHUNK`` (chunk size, default 4096),
+``REPRO_BENCH_SEED``.
+"""
+
+import json
+import os
+import sys
+import time
+from pathlib import Path
+
+import numpy as np
+
+if __package__ in (None, ""):  # standalone: put the repo root on sys.path
+    sys.path.insert(0, str(Path(__file__).resolve().parents[1]))
+
+from benchmarks.bench_batch_replay import build_workload
+from benchmarks.common import bench_seed
+from repro.runtime import StreamDriver
+from repro.switch.runner import replay_trace
+
+RUNTIME_FLOWS = int(os.environ.get("REPRO_BENCH_RUNTIME_FLOWS", "600"))
+CHUNK_SIZE = int(os.environ.get("REPRO_BENCH_RUNTIME_CHUNK", "4096"))
+N_SWAPS = 5
+OUT_PATH = Path(__file__).resolve().parents[1] / "BENCH_runtime.json"
+
+
+def _measure_oneshot(trace, make_pipeline, repeats):
+    best_pps, last = 0.0, None
+    for _ in range(repeats):
+        pipeline = make_pipeline()
+        start = time.perf_counter()
+        result = replay_trace(trace, pipeline, mode="batch")
+        best_pps = max(best_pps, len(trace) / (time.perf_counter() - start))
+        last = result
+    return best_pps, last
+
+
+def _measure_stream(trace, make_pipeline, repeats):
+    best_pps, last = 0.0, None
+    for _ in range(repeats):
+        pipeline = make_pipeline()
+        driver = StreamDriver(pipeline, chunk_size=CHUNK_SIZE)
+        preds = []
+        start = time.perf_counter()
+        for chunk in driver.run(trace):
+            preds.append(chunk.replay.y_pred)
+        best_pps = max(best_pps, len(trace) / (time.perf_counter() - start))
+        last = (driver, np.concatenate(preds))
+    return best_pps, last
+
+
+def _measure_swap_pause(make_pipeline, n_swaps):
+    """Stage + flip the pipeline's own table generation *n_swaps* times."""
+    pipeline = make_pipeline()
+    tables = pipeline._live_tables()
+    pauses = []
+    for _ in range(n_swaps):
+        start = time.perf_counter()
+        pipeline.stage_tables(
+            tables.fl_rules,
+            tables.fl_quantizer,
+            pl_rules=tables.pl_rules,
+            pl_quantizer=tables.pl_quantizer,
+        )
+        pipeline.hot_swap()
+        pauses.append(time.perf_counter() - start)
+    assert pipeline.table_swaps == n_swaps
+    return pauses
+
+
+def run(repeats=3):
+    trace, make_pipeline = build_workload(
+        seed=bench_seed("runtime"), n_flows=RUNTIME_FLOWS
+    )
+    oneshot_pps, oneshot = _measure_oneshot(trace, make_pipeline, repeats)
+    stream_pps, (driver, stream_pred) = _measure_stream(trace, make_pipeline, repeats)
+
+    # Streaming is only a cost model if it serves the same verdicts.
+    assert (stream_pred == oneshot.y_pred).all(), "stream diverged from one-shot"
+
+    pauses = _measure_swap_pause(make_pipeline, N_SWAPS)
+    report = {
+        "n_packets": len(trace),
+        "n_chunks": driver.chunks_processed,
+        "chunk_size": CHUNK_SIZE,
+        "oneshot_pps": round(oneshot_pps, 1),
+        "stream_pps": round(stream_pps, 1),
+        "chunking_overhead": round(oneshot_pps / stream_pps, 3),
+        "swap_pause_ms_mean": round(1e3 * float(np.mean(pauses)), 4),
+        "swap_pause_ms_max": round(1e3 * float(np.max(pauses)), 4),
+        "n_swaps_timed": N_SWAPS,
+    }
+    OUT_PATH.write_text(json.dumps(report, indent=2) + "\n")
+    return report
+
+
+def test_runtime_serving_cost(benchmark):
+    from benchmarks.common import single_round
+
+    report = single_round(benchmark, run)
+    print()
+    print(f"Serving runtime — {report['n_packets']} packets in "
+          f"{report['n_chunks']} chunks of {report['chunk_size']}")
+    print(f"  one-shot: {report['oneshot_pps']:>10.0f} pps")
+    print(f"  stream:   {report['stream_pps']:>10.0f} pps "
+          f"({report['chunking_overhead']:.2f}x overhead)")
+    print(f"  swap pause: mean {report['swap_pause_ms_mean']:.3f} ms, "
+          f"max {report['swap_pause_ms_max']:.3f} ms")
+    # The swap pause must stay far below one chunk's serving time.
+    chunk_serve_ms = 1e3 * report["chunk_size"] / report["stream_pps"]
+    assert report["swap_pause_ms_max"] < chunk_serve_ms
+
+
+if __name__ == "__main__":
+    out = run()
+    print(json.dumps(out, indent=2))

@@ -8,10 +8,18 @@ Subcommands cover the adoption path end to end:
   print the paper's metric triple for iForest / Magnifier / iGuard.
 * ``deploy``  — run the full testbed protocol (switch simulator) for one
   attack and print per-packet metrics, paths, and resources.
+* ``serve``   — run the online serving runtime on a streaming trace:
+  chunked replay with drift monitoring, runtime retrains, and staged
+  whitelist hot-swaps (:mod:`repro.runtime`).
 * ``export``  — write the P4-16 program and table entries for a trained
-  model.
+  model; ``--bundle DIR`` also persists the model as a reloadable
+  :mod:`repro.io` bundle.
 * ``attacks`` — list the 15 attack workload names.
 * ``report``  — pretty-print a saved ``telemetry.json`` run report.
+
+``deploy --model`` and ``serve --model`` accept either a model name
+(``iguard``/``iforest``, trained on the spot) or the path of a bundle
+directory written by ``export --bundle``.
 
 Every experiment command accepts ``--telemetry PATH``: the run then
 executes under a fresh metric registry and writes a structured report
@@ -58,15 +66,52 @@ def _build_parser() -> argparse.ArgumentParser:
         "deploy", help="testbed protocol for one attack", parents=[telemetry]
     )
     p_deploy.add_argument("attack")
-    p_deploy.add_argument("--model", choices=("iforest", "iguard"), default="iguard")
+    p_deploy.add_argument(
+        "--model",
+        default="iguard",
+        help="'iguard', 'iforest', or the path of a bundle written by "
+        "'export --bundle' (deployed without retraining)",
+    )
     p_deploy.add_argument("--flows", type=int, default=320)
     p_deploy.add_argument("--seed", type=int, default=7)
+
+    p_serve = sub.add_parser(
+        "serve",
+        help="online serving runtime: stream, monitor drift, hot-swap",
+        parents=[telemetry],
+    )
+    p_serve.add_argument("attack")
+    p_serve.add_argument(
+        "--model", default="iguard", help="model name or bundle path (as in deploy)"
+    )
+    p_serve.add_argument("--flows", type=int, default=240,
+                         help="benign flows per stream phase")
+    p_serve.add_argument("--chunk-size", type=int, default=2000)
+    p_serve.add_argument(
+        "--drift", type=float, default=0.25,
+        help="drift score that triggers a retrain (0 disables drift retrains)",
+    )
+    p_serve.add_argument(
+        "--cadence", type=int, default=0,
+        help="also retrain every N chunks (0 disables)",
+    )
+    p_serve.add_argument("--max-swaps", type=int, default=None,
+                         help="cap on table swaps for this run")
+    p_serve.add_argument(
+        "--shift", choices=("device_mix", "none"), default="device_mix",
+        help="benign distribution shift of the streamed trace",
+    )
+    p_serve.add_argument("--seed", type=int, default=7)
 
     p_export = sub.add_parser(
         "export", help="write P4 artifacts for a trained model", parents=[telemetry]
     )
     p_export.add_argument("--p4", default="iguard_whitelist.p4")
     p_export.add_argument("--entries", default="iguard_entries.json")
+    p_export.add_argument(
+        "--bundle", metavar="DIR", default=None,
+        help="also save the trained model as a reloadable bundle directory",
+    )
     p_export.add_argument("--flows", type=int, default=320)
     p_export.add_argument("--seed", type=int, default=7)
 
@@ -110,11 +155,11 @@ def _train_model(flows: int, trees: int, seed: int, pcap: Optional[str]):
     x_train, _ = extractor.extract_flows(flow_list)
     model = IGuard(n_trees=trees, subsample_size=96, k_aug=96, tau_split=0.0,
                    seed=seed).fit(x_train)
-    return model, x_train
+    return model, x_train, flow_list
 
 
 def _cmd_train(args) -> int:
-    model, x_train = _train_model(args.flows, args.trees, args.seed, args.pcap)
+    model, x_train, _flows = _train_model(args.flows, args.trees, args.seed, args.pcap)
     rules = model.to_rules(max_cells=1024, seed=args.seed)
     print(f"trained iGuard: {model.forest_.n_leaves()} leaves across "
           f"{args.trees} trees")
@@ -133,7 +178,54 @@ def _cmd_evaluate(args) -> int:
     return 0
 
 
+def _pipeline_from_bundle(path: str):
+    """Install a saved model bundle into a fresh pipeline (no retraining)."""
+    from repro.io import load_model_bundle
+    from repro.switch import Controller, PipelineConfig, SwitchPipeline
+
+    bundle = load_model_bundle(path)
+    arts = bundle.artifacts
+    meta = bundle.meta or {}
+    pipeline = SwitchPipeline(
+        fl_rules=arts.fl_rules,
+        fl_quantizer=arts.fl_quantizer,
+        pl_rules=arts.pl_rules,
+        pl_quantizer=arts.pl_quantizer,
+        config=PipelineConfig(
+            pkt_count_threshold=int(meta.get("pkt_count_threshold", 8)),
+            timeout=float(meta.get("timeout", 5.0)),
+        ),
+    )
+    controller = Controller(pipeline)
+    return pipeline, controller, bundle
+
+
+def _deploy_bundle(args) -> int:
+    from repro.datasets import make_trace_split
+    from repro.eval.metrics import detection_metrics
+    from repro.eval.reward import testbed_reward
+    from repro.switch import memory_fraction, replay_trace, resource_report
+
+    pipeline, _controller, bundle = _pipeline_from_bundle(args.model)
+    print(f"loaded bundle {args.model} ({len(pipeline.fl_table)} FL rules)")
+    split = make_trace_split(args.attack, n_benign_flows=args.flows, seed=args.seed)
+    replay = replay_trace(split.test_trace, pipeline)
+    m = detection_metrics(replay.y_true, replay.y_pred, replay.y_pred.astype(float))
+    resources = resource_report(pipeline)
+    reward = testbed_reward(m, memory_fraction(resources))
+    print(f"{args.attack} via {args.model}: per-packet macro F1 {m.macro_f1:.3f}  "
+          f"ROC {m.roc_auc:.3f}  PR {m.pr_auc:.3f}")
+    print(f"rules={len(pipeline.fl_table)}  reward={reward:.3f}")
+    print(resources.row(str(bundle.meta.get("model", "bundle"))))
+    print("paths:", replay.path_counts())
+    return 0
+
+
 def _cmd_deploy(args) -> int:
+    from repro.io import is_model_bundle
+
+    if is_model_bundle(args.model):
+        return _deploy_bundle(args)
     from repro.eval.harness import TestbedConfig, run_testbed_experiment
 
     config = TestbedConfig(n_benign_flows=args.flows)
@@ -148,15 +240,86 @@ def _cmd_deploy(args) -> int:
     return 0
 
 
+def _cmd_serve(args) -> int:
+    from repro.datasets import make_drift_split
+    from repro.eval.metrics import confusion_counts, macro_f1
+    from repro.io import is_model_bundle
+    from repro.runtime import OnlineDetectionService, RuntimeConfig
+
+    split = make_drift_split(
+        args.attack, n_benign_flows=args.flows, shift=args.shift, seed=args.seed
+    )
+    if is_model_bundle(args.model):
+        pipeline, _controller, _bundle = _pipeline_from_bundle(args.model)
+        print(f"loaded bundle {args.model} ({len(pipeline.fl_table)} FL rules)")
+    else:
+        from repro.eval.harness import build_pipeline
+
+        pipeline, _controller, _model = build_pipeline(
+            args.model, split, seed=args.seed
+        )
+    config = RuntimeConfig(
+        chunk_size=args.chunk_size,
+        drift_threshold=args.drift,
+        drift_window=2,
+        baseline_window=2,
+        cadence=args.cadence,
+        max_swaps=args.max_swaps,
+    )
+    service = OnlineDetectionService(pipeline, config=config, seed=args.seed)
+    report = service.serve(split.stream_trace)
+
+    print(f"served {report.n_packets} packets in {report.n_chunks} chunks "
+          f"({args.attack}, shift={args.shift})")
+    print(f"drift signals={report.drift_signals}  retrains={report.retrains}  "
+          f"swaps={report.n_swaps}  rollbacks={report.n_rollbacks}")
+    for event in report.swap_events:
+        outcome = "rolled back" if event.rolled_back else "swapped"
+        print(f"  chunk {event.chunk_index}: {event.reason} -> {outcome} "
+              f"(pause {event.duration_s * 1e3:.2f} ms)")
+    c = confusion_counts(report.y_true, report.y_pred)
+    recall = c.tp / (c.tp + c.fn) if (c.tp + c.fn) else 0.0
+    fpr = c.fp / (c.fp + c.tn) if (c.fp + c.tn) else 0.0
+    print(f"per-packet macro F1 {macro_f1(report.y_true, report.y_pred):.3f}  "
+          f"recall {recall:.3f}  FPR {fpr:.3f}")
+    return 0
+
+
 def _cmd_export(args) -> int:
-    from repro.features import IntegerQuantizer, SWITCH_FEATURES
+    from repro.core.deployment import compile_pl_artifacts, quantize_ruleset, SwitchArtifacts
+    from repro.features import SWITCH_FEATURES
     from repro.switch import write_artifacts
 
-    model, x_train = _train_model(args.flows, 11, args.seed, None)
+    model, x_train, flow_list = _train_model(args.flows, 11, args.seed, None)
     ruleset = model.to_rules(max_cells=1024, seed=args.seed)
-    quantizer = IntegerQuantizer(bits=16, space="log").fit(x_train)
-    write_artifacts(ruleset.quantize(quantizer), args.p4, args.entries, SWITCH_FEATURES)
+    fl_rules, fl_quantizer = quantize_ruleset(ruleset, x_train, bits=16)
+    write_artifacts(fl_rules, args.p4, args.entries, SWITCH_FEATURES)
     print(f"wrote {args.p4} and {args.entries} ({len(ruleset)} rules)")
+    if args.bundle:
+        from repro.io import save_model_bundle
+
+        pl_rules, pl_quantizer = compile_pl_artifacts(flow_list, bits=16,
+                                                      seed=args.seed)
+        artifacts = SwitchArtifacts(
+            fl_rules=fl_rules,
+            fl_quantizer=fl_quantizer,
+            pl_rules=pl_rules,
+            pl_quantizer=pl_quantizer,
+        )
+        save_model_bundle(
+            args.bundle,
+            artifacts,
+            forest=model.distilled_,
+            ensemble=model.oracle,
+            meta={
+                "model": "iguard",
+                "flows": args.flows,
+                "seed": args.seed,
+                "pkt_count_threshold": 8,
+                "timeout": 5.0,
+            },
+        )
+        print(f"saved model bundle to {args.bundle}")
     return 0
 
 
@@ -172,6 +335,7 @@ _COMMANDS = {
     "train": _cmd_train,
     "evaluate": _cmd_evaluate,
     "deploy": _cmd_deploy,
+    "serve": _cmd_serve,
     "export": _cmd_export,
     "report": _cmd_report,
 }

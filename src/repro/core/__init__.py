@@ -3,6 +3,13 @@ distillation, hypercube → whitelist-rule compilation, consistency
 checking, and the early-packet PL model."""
 
 from repro.core.consistency import consistency, quantized_consistency
+from repro.core.deployment import (
+    SwitchArtifacts,
+    compile_pl_artifacts,
+    compile_switch_artifacts,
+    quantize_ruleset,
+    rule_domain,
+)
 from repro.core.distillation import DistilledForest
 from repro.core.early import EarlyPacketModel
 from repro.core.guided_forest import GuidedIsolationForest
@@ -41,14 +48,19 @@ __all__ = [
     "QuantizedRule",
     "QuantizedRuleSet",
     "RuleSet",
+    "SwitchArtifacts",
     "WhitelistRule",
     "augment_from_box",
     "best_split",
     "binary_entropy",
+    "compile_pl_artifacts",
     "compile_ruleset",
+    "compile_switch_artifacts",
     "consistency",
     "enumerate_hypercubes",
     "merge_labeled_cells",
+    "quantize_ruleset",
     "quantized_consistency",
     "refine_hypercubes",
+    "rule_domain",
 ]

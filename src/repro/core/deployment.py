@@ -1,0 +1,148 @@
+"""Model → switch-table compilation entry point (train once, recompile
+at will).
+
+The harness (:mod:`repro.eval.harness`) and the online serving runtime
+(:mod:`repro.runtime`) both need the same step: take a fitted model,
+compile its whitelist rules, and quantise them — together with the
+matching PL early-packet rules — into the integer tables the switch
+installs.  This module is that single entry point, so an install-time
+artifact is produced identically whether it comes from the one-shot
+experiment protocol or from a runtime retrain.
+
+The quantiser-fit convention (training rows plus every finite rule
+boundary, log-spaced codes) lives here too; see
+:func:`rule_domain` for why the boundaries are included.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import Optional, Sequence, Tuple
+
+import numpy as np
+
+from repro.core.early import EarlyPacketModel
+from repro.core.rules import QuantizedRuleSet, RuleSet
+from repro.features.packet_features import extract_first_packets
+from repro.features.scaling import IntegerQuantizer
+from repro.utils.rng import SeedLike, as_rng, spawn_seeds
+
+
+@dataclass(frozen=True)
+class SwitchArtifacts:
+    """Everything the data plane installs: quantised FL/PL rules and the
+    quantisers that produce their match keys.
+
+    This is the unit the runtime stages, swaps, and persists
+    (:mod:`repro.io`); the pipeline validates the pairs with its
+    install-time checks before they go live.
+    """
+
+    fl_rules: QuantizedRuleSet
+    fl_quantizer: IntegerQuantizer
+    pl_rules: Optional[QuantizedRuleSet] = None
+    pl_quantizer: Optional[IntegerQuantizer] = None
+
+    @property
+    def n_fl_rules(self) -> int:
+        return len(self.fl_rules)
+
+    @property
+    def n_pl_rules(self) -> int:
+        return len(self.pl_rules) if self.pl_rules is not None else 0
+
+
+def rule_domain(x_train: np.ndarray, ruleset: RuleSet) -> np.ndarray:
+    """Training rows plus the finite rule boundaries, for quantiser fit.
+
+    Fitting the codebook over the training data alone would let rule
+    edges land outside the fitted domain and collapse onto the sentinel
+    codes; including every finite boundary keeps rule edges and
+    out-of-distribution traffic quantising distinctly.
+    """
+    rows = [x_train]
+    for rule in ruleset:
+        for values in (rule.box.lows, rule.box.highs):
+            arr = np.array(values, dtype=float).reshape(1, -1)
+            arr = np.where(np.isfinite(arr), arr, np.nan)
+            if not np.all(np.isnan(arr)):
+                # replace non-finite entries with per-feature train values
+                fill = x_train[0]
+                arr = np.where(np.isnan(arr), fill, arr)
+                rows.append(arr)
+    return np.vstack(rows)
+
+
+def quantize_ruleset(
+    ruleset: RuleSet, x_train: np.ndarray, bits: int = 16
+) -> Tuple[QuantizedRuleSet, IntegerQuantizer]:
+    """Fit a log-spaced quantiser over *x_train* + rule boundaries and
+    quantise *ruleset* with it — the install-form (rules, quantizer)
+    pair, fingerprint-stamped so the pipeline can verify the match."""
+    quantizer = IntegerQuantizer(bits=bits, space="log").fit(
+        rule_domain(x_train, ruleset)
+    )
+    return ruleset.quantize(quantizer), quantizer
+
+
+def compile_pl_artifacts(
+    train_flows: Sequence[Sequence],
+    bits: int = 16,
+    rule_cells: int = 1024,
+    seed: SeedLike = None,
+) -> Tuple[QuantizedRuleSet, IntegerQuantizer]:
+    """Fit the PL early-packet model on benign flows and quantise its
+    rules (§3.3.1 — early packets are scored on PL features only)."""
+    early = EarlyPacketModel(seed=seed).fit(train_flows)
+    pl_ruleset = early.to_rules(max_cells=rule_cells, seed=seed)
+    x_pl, _ = extract_first_packets(train_flows, per_flow=early.packets_per_flow)
+    pl_quantizer = IntegerQuantizer(bits=bits, space="log").fit(
+        rule_domain(x_pl, pl_ruleset)
+    )
+    return pl_ruleset.quantize(pl_quantizer), pl_quantizer
+
+
+def compile_switch_artifacts(
+    model,
+    x_train: np.ndarray,
+    train_flows: Optional[Sequence[Sequence]] = None,
+    quantizer_bits: int = 16,
+    rule_cells: int = 1024,
+    use_pl_model: bool = True,
+    seed: SeedLike = None,
+) -> SwitchArtifacts:
+    """Compile a fitted model into a complete install-ready artifact set.
+
+    Parameters
+    ----------
+    model:
+        Fitted detector exposing ``to_rules(max_cells=..., seed=...)``
+        (:class:`~repro.core.iguard.IGuard` or anything matching its
+        compile contract).
+    x_train:
+        FL training features; the quantiser domain is fitted over these
+        plus the finite rule boundaries.
+    train_flows:
+        Benign flows for the PL early-packet model; required when
+        *use_pl_model* is true.
+    """
+    rng = as_rng(seed)
+    rule_seed, pl_seed = spawn_seeds(rng, 2)
+    ruleset = model.to_rules(max_cells=rule_cells, seed=rule_seed)
+    fl_rules, fl_quantizer = quantize_ruleset(ruleset, x_train, bits=quantizer_bits)
+
+    pl_rules = pl_quantizer = None
+    if use_pl_model:
+        if train_flows is None:
+            raise ValueError(
+                "use_pl_model=True requires train_flows for the PL early-packet model"
+            )
+        pl_rules, pl_quantizer = compile_pl_artifacts(
+            train_flows, bits=quantizer_bits, rule_cells=rule_cells, seed=pl_seed
+        )
+    return SwitchArtifacts(
+        fl_rules=fl_rules,
+        fl_quantizer=fl_quantizer,
+        pl_rules=pl_rules,
+        pl_quantizer=pl_quantizer,
+    )

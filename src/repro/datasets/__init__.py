@@ -41,8 +41,10 @@ from repro.datasets.registry import (
 )
 from repro.datasets.splits import (
     DatasetSplit,
+    DriftTraceSplit,
     TraceSplit,
     make_attack_split,
+    make_drift_split,
     make_trace_split,
     split_benign_indices,
 )
@@ -57,6 +59,7 @@ __all__ = [
     "PROTO_TCP",
     "PROTO_UDP",
     "DatasetSplit",
+    "DriftTraceSplit",
     "FiveTuple",
     "FlowProfile",
     "Packet",
@@ -78,6 +81,7 @@ __all__ = [
     "load_benign",
     "low_rate_flows",
     "make_attack_split",
+    "make_drift_split",
     "make_ip",
     "make_trace_split",
     "merge_traces",

@@ -140,6 +140,105 @@ def make_attack_split(
     )
 
 
+@dataclass(frozen=True)
+class DriftTraceSplit:
+    """Trace split with a mid-stream benign distribution shift.
+
+    ``stream_trace`` plays an initial benign device mix (phase A), then
+    switches to a different mix (phase B) at ``drift_time``; attack
+    packets are overlaid on both phases.  ``train_flows`` sample the
+    phase-A mix (what the initially deployed model sees);
+    ``shifted_train_flows`` sample the phase-B mix cleanly, for training
+    the reference model a runtime retrain is compared against.
+    """
+
+    train_flows: List[List[Packet]]
+    stream_trace: Trace
+    drift_time: float
+    shifted_train_flows: List[List[Packet]]
+    attack_name: str
+
+
+#: Device-profile index sets for the two phases of a drift scenario.
+#: Phase A: chatty small-packet devices (sensors, plugs, DNS/NTP
+#: clients, hub telemetry).  Phase B: heavy streaming devices (camera,
+#: voice assistant, firmware updates) — far outside phase A's whitelist
+#: boxes in packet size, IPD, and volume, so the shift is detectable.
+_DRIFT_MIX_A = (0, 1, 4, 5, 7)
+_DRIFT_MIX_B = (2, 3, 6)
+
+
+def _device_mixture(indices: Sequence[int]):
+    from repro.datasets.benign import DEVICE_WEIGHTS, device_profiles
+    from repro.datasets.profiles import ProfileMixture
+
+    profiles = device_profiles()
+    return ProfileMixture(
+        [profiles[i] for i in indices], [DEVICE_WEIGHTS[i] for i in indices]
+    )
+
+
+def make_drift_split(
+    attack_name: str,
+    n_benign_flows: int = 240,
+    attack_fraction: float = 0.15,
+    shift: str = "device_mix",
+    seed: SeedLike = None,
+) -> DriftTraceSplit:
+    """Build a two-phase streaming trace for the serving-runtime tests.
+
+    ``shift="device_mix"`` switches the benign mix from small chatty
+    devices to heavy streaming devices at mid-stream; ``shift="none"``
+    keeps the phase-A mix throughout (the no-drift control — a monitor
+    should raise nothing on it).  Each phase holds ``n_benign_flows``
+    benign flows with ``attack_fraction`` of attack traffic overlaid.
+    """
+    if shift not in ("device_mix", "none"):
+        raise ValueError(f"shift must be 'device_mix' or 'none', got {shift!r}")
+    rng = as_rng(seed)
+    train_seed, a_seed, b_seed, ref_seed, attack_seed = spawn_seeds(rng, 5)
+
+    mix_a = _device_mixture(_DRIFT_MIX_A)
+    mix_b = mix_a if shift == "none" else _device_mixture(_DRIFT_MIX_B)
+
+    train_flows = mix_a.generate_flows(n_benign_flows, seed=train_seed,
+                                       flow_arrival_rate=4.0)
+    phase_a_flows = mix_a.generate_flows(n_benign_flows, seed=a_seed,
+                                         flow_arrival_rate=4.0)
+    phase_b_flows = mix_b.generate_flows(n_benign_flows, seed=b_seed,
+                                         flow_arrival_rate=4.0)
+    shifted_train_flows = mix_b.generate_flows(n_benign_flows, seed=ref_seed,
+                                               flow_arrival_rate=4.0)
+
+    phase_a = flows_to_trace(phase_a_flows)
+    phase_b = flows_to_trace(phase_b_flows)
+    # Phase B begins right after phase A's window ends.
+    drift_time = phase_a[-1].timestamp + 1e-3
+    phase_b = phase_b.shifted(drift_time - phase_b[0].timestamp)
+
+    n_attack = _attack_count(2 * n_benign_flows, attack_fraction)
+    attack_flows = generate_attack_flows(attack_name, n_attack, seed=attack_seed)
+    half = max(1, len(attack_flows) // 2)
+    overlays = []
+    for flows, phase_start in (
+        (attack_flows[:half], phase_a[0].timestamp),
+        (attack_flows[half:], drift_time),
+    ):
+        if not flows:
+            continue
+        overlay = flows_to_trace(flows)
+        overlays.append(overlay.shifted(phase_start - overlay[0].timestamp))
+
+    stream_trace = merge_traces([phase_a, phase_b] + overlays)
+    return DriftTraceSplit(
+        train_flows=train_flows,
+        stream_trace=stream_trace,
+        drift_time=drift_time,
+        shifted_train_flows=shifted_train_flows,
+        attack_name=attack_name,
+    )
+
+
 def make_trace_split(
     attack_name: str,
     n_benign_flows: int = 900,

@@ -21,7 +21,7 @@ from typing import Callable, Dict, List, Optional, Sequence, Tuple
 
 import numpy as np
 
-from repro.core.early import EarlyPacketModel
+from repro.core.deployment import compile_pl_artifacts, quantize_ruleset
 from repro.core.hypercube import compile_ruleset
 from repro.core.iguard import IGuard
 from repro.core.rules import RuleSet
@@ -40,8 +40,6 @@ from repro.eval.gridsearch import (
 from repro.eval.metrics import DetectionMetrics, detection_metrics
 from repro.eval.reward import testbed_reward
 from repro.features.flow_features import FlowFeatureExtractor
-from repro.features.packet_features import extract_first_packets
-from repro.features.scaling import IntegerQuantizer
 from repro.forest.iforest import IsolationForest
 from repro.forest.rules import ScoreLabeledForest
 from repro.nn.ensemble import AutoencoderEnsemble
@@ -243,21 +241,6 @@ def _compile_model_rules(
     raise ValueError(f"model must be one of {TESTBED_MODELS}, got {model_name!r}")
 
 
-def _rule_domain(x_train: np.ndarray, ruleset: RuleSet) -> np.ndarray:
-    """Training rows plus the finite rule boundaries, for quantiser fit."""
-    rows = [x_train]
-    for rule in ruleset:
-        for values in (rule.box.lows, rule.box.highs):
-            arr = np.array(values, dtype=float).reshape(1, -1)
-            arr = np.where(np.isfinite(arr), arr, np.nan)
-            if not np.all(np.isnan(arr)):
-                # replace non-finite entries with per-feature train values
-                fill = x_train[0]
-                arr = np.where(np.isnan(arr), fill, arr)
-                rows.append(arr)
-    return np.vstack(rows)
-
-
 def build_pipeline(
     model_name: str,
     split: TraceSplit,
@@ -277,22 +260,15 @@ def build_pipeline(
         # Log-spaced codes, fit over the training data plus every *finite*
         # rule boundary, so rule edges and out-of-distribution traffic
         # quantise distinctly (infinite bounds map to the sentinel codes).
-        fl_quantizer = IntegerQuantizer(bits=config.quantizer_bits, space="log").fit(
-            _rule_domain(x_train, ruleset)
+        fl_rules, fl_quantizer = quantize_ruleset(
+            ruleset, x_train, bits=config.quantizer_bits
         )
-        fl_rules = ruleset.quantize(fl_quantizer)
 
         pl_rules = pl_quantizer = None
         if config.use_pl_model:
-            early = EarlyPacketModel(seed=pl_seed).fit(split.train_flows)
-            pl_ruleset = early.to_rules(seed=pl_seed)
-            x_pl, _ = extract_first_packets(
-                split.train_flows, per_flow=early.packets_per_flow
+            pl_rules, pl_quantizer = compile_pl_artifacts(
+                split.train_flows, bits=config.quantizer_bits, seed=pl_seed
             )
-            pl_quantizer = IntegerQuantizer(bits=config.quantizer_bits, space="log").fit(
-                _rule_domain(x_pl, pl_ruleset)
-            )
-            pl_rules = pl_ruleset.quantize(pl_quantizer)
 
     pipeline = SwitchPipeline(
         fl_rules=fl_rules,

@@ -1,0 +1,493 @@
+"""Versioned artifact persistence — round-trip trained models to disk.
+
+The control plane's lifecycle (train → compile → quantise → install,
+then retrain and hot-swap at runtime) needs its artifacts to survive a
+process: the runtime keeps previous generations for rollback, `repro
+export` ships a trained bundle, and `repro deploy --model PATH` installs
+one without retraining.  This module round-trips every deployable
+object:
+
+* :class:`~repro.core.rules.QuantizedRuleSet` and the fitted
+  :class:`~repro.features.scaling.IntegerQuantizer` that produces its
+  match keys — JSON.  The quantizer fingerprint is preserved, so a
+  reloaded (rules, quantizer) pair still passes the pipeline's
+  install-time checks.
+* The distilled AE-guided forest
+  (:class:`~repro.core.distillation.DistilledForest`) — JSON tree dump
+  with leaf labels; reloaded forests predict/vote but are not refittable
+  (the oracle is not stored with them).
+* The :class:`~repro.nn.ensemble.AutoencoderEnsemble` — a single NPZ of
+  layer weights, scaler domains, and thresholds (no pickle).
+
+A *model bundle* is a directory with a ``manifest.json`` naming the
+parts; :func:`save_model_bundle` / :func:`load_model_bundle` are the
+entry points, with per-object helpers underneath.  Every file carries
+``"schema": "repro.io/v1"`` and a ``kind`` tag; loaders reject files
+with the wrong one instead of mis-parsing them.
+"""
+
+from __future__ import annotations
+
+import json
+from dataclasses import dataclass, field
+from pathlib import Path
+from typing import Dict, List, Optional, Union
+
+import numpy as np
+
+from repro.core.deployment import SwitchArtifacts
+from repro.core.distillation import DistilledForest
+from repro.core.guided_forest import GuidedIsolationForest
+from repro.core.guided_tree import GuidedIsolationTree, GuidedTreeNode
+from repro.core.rules import QuantizedRule, QuantizedRuleSet
+from repro.features.scaling import IntegerQuantizer, MinMaxScaler
+from repro.nn.autoencoder import Autoencoder, MagnifierAutoencoder
+from repro.nn.ensemble import AutoencoderEnsemble
+from repro.nn.network import MLP
+from repro.telemetry import get_registry
+from repro.utils.box import Box
+
+SCHEMA = "repro.io/v1"
+
+PathLike = Union[str, Path]
+
+#: Autoencoder classes a stored ensemble may name.  Reload refuses
+#: anything else rather than instantiating arbitrary names.
+_AE_CLASSES = {
+    "Autoencoder": Autoencoder,
+    "MagnifierAutoencoder": MagnifierAutoencoder,
+}
+
+
+def _check_doc(doc: dict, kind: str, source: str) -> None:
+    if not isinstance(doc, dict) or doc.get("schema") != SCHEMA:
+        raise ValueError(f"{source} is not a {SCHEMA} document")
+    if doc.get("kind") != kind:
+        raise ValueError(f"{source} holds a {doc.get('kind')!r}, expected {kind!r}")
+
+
+def _write_json(path: Path, doc: dict) -> None:
+    # allow_nan keeps ±Infinity boundaries (unbounded box dimensions)
+    # round-tripping; json reads them back as float('inf').
+    path.write_text(json.dumps(doc, indent=2, allow_nan=True) + "\n")
+
+
+def _read_json(path: Path, kind: str) -> dict:
+    doc = json.loads(Path(path).read_text())
+    _check_doc(doc, kind, str(path))
+    return doc
+
+
+# --------------------------------------------------------------------------
+# Quantizer and quantised rules (JSON)
+# --------------------------------------------------------------------------
+
+
+def quantizer_to_dict(quantizer: IntegerQuantizer) -> dict:
+    if quantizer.data_min_ is None:
+        raise ValueError("cannot serialise an unfitted quantizer")
+    return {
+        "schema": SCHEMA,
+        "kind": "integer_quantizer",
+        "bits": quantizer.bits,
+        "space": quantizer.space,
+        # Stored in warped space, exactly as fitted, so the reloaded
+        # codebook (and its fingerprint) is bit-identical.
+        "data_min": [float(v) for v in np.asarray(quantizer.data_min_)],
+        "data_max": [float(v) for v in np.asarray(quantizer.data_max_)],
+    }
+
+
+def quantizer_from_dict(doc: dict, source: str = "document") -> IntegerQuantizer:
+    _check_doc(doc, "integer_quantizer", source)
+    quantizer = IntegerQuantizer(bits=int(doc["bits"]), space=doc["space"])
+    quantizer.data_min_ = np.asarray(doc["data_min"], dtype=float)
+    quantizer.data_max_ = np.asarray(doc["data_max"], dtype=float)
+    return quantizer
+
+
+def ruleset_to_dict(rules: QuantizedRuleSet) -> dict:
+    return {
+        "schema": SCHEMA,
+        "kind": "quantized_ruleset",
+        "bits": rules.bits,
+        "default_label": rules.default_label,
+        "quantizer_fingerprint": rules.quantizer_fingerprint,
+        "rules": [
+            {"lows": list(r.lows), "highs": list(r.highs), "label": r.label}
+            for r in rules.rules
+        ],
+    }
+
+
+def ruleset_from_dict(doc: dict, source: str = "document") -> QuantizedRuleSet:
+    _check_doc(doc, "quantized_ruleset", source)
+    return QuantizedRuleSet(
+        [
+            QuantizedRule(
+                lows=tuple(int(v) for v in r["lows"]),
+                highs=tuple(int(v) for v in r["highs"]),
+                label=int(r["label"]),
+            )
+            for r in doc["rules"]
+        ],
+        bits=int(doc["bits"]),
+        default_label=int(doc["default_label"]),
+        quantizer_fingerprint=doc.get("quantizer_fingerprint"),
+    )
+
+
+# --------------------------------------------------------------------------
+# Distilled guided forest (JSON)
+# --------------------------------------------------------------------------
+
+
+def _box_to_obj(box: Optional[Box]) -> Optional[dict]:
+    if box is None:
+        return None
+    return {"lows": [float(v) for v in box.lows], "highs": [float(v) for v in box.highs]}
+
+
+def _box_from_obj(obj: Optional[dict]) -> Optional[Box]:
+    if obj is None:
+        return None
+    return Box(tuple(float(v) for v in obj["lows"]), tuple(float(v) for v in obj["highs"]))
+
+
+def _node_to_obj(node: GuidedTreeNode) -> dict:
+    obj = {
+        "size": node.size,
+        "depth": node.depth,
+        "feature": node.feature,
+        "threshold": node.threshold,
+        "label": node.label,
+        "malicious_fraction": node.malicious_fraction,
+        "box": _box_to_obj(node.box),
+    }
+    if node.left is not None:
+        obj["left"] = _node_to_obj(node.left)
+    if node.right is not None:
+        obj["right"] = _node_to_obj(node.right)
+    return obj
+
+
+def _node_from_obj(obj: dict) -> GuidedTreeNode:
+    return GuidedTreeNode(
+        size=int(obj["size"]),
+        depth=int(obj["depth"]),
+        feature=None if obj["feature"] is None else int(obj["feature"]),
+        threshold=None if obj["threshold"] is None else float(obj["threshold"]),
+        left=_node_from_obj(obj["left"]) if "left" in obj else None,
+        right=_node_from_obj(obj["right"]) if "right" in obj else None,
+        label=None if obj["label"] is None else int(obj["label"]),
+        box=_box_from_obj(obj.get("box")),
+        malicious_fraction=(
+            None
+            if obj["malicious_fraction"] is None
+            else float(obj["malicious_fraction"])
+        ),
+    )
+
+
+def forest_to_dict(forest: DistilledForest) -> dict:
+    """Serialise a distilled forest: hyperparameters + full tree dumps.
+
+    The oracle ensemble is deliberately not part of this document (it
+    has its own NPZ form); a reloaded forest predicts and compiles to
+    rules, but re-distilling it needs a live oracle again.
+    """
+    inner = forest.forest
+    return {
+        "schema": SCHEMA,
+        "kind": "distilled_forest",
+        "distilled": forest.distilled_,
+        "params": {
+            "n_trees": inner.n_trees,
+            "subsample_size": inner.subsample_size,
+            "k_aug": inner.k_aug,
+            "tau_split": inner.tau_split,
+            "max_depth": inner.max_depth,
+            "max_candidates_per_feature": inner.max_candidates_per_feature,
+            "augment_mode": inner.augment_mode,
+        },
+        "n_features": inner.n_features_,
+        "psi": inner.psi_,
+        "feature_box": _box_to_obj(inner.feature_box_),
+        "trees": [
+            {
+                "max_depth": tree.max_depth,
+                "root": _node_to_obj(tree.root_),
+            }
+            for tree in inner.trees_
+        ],
+    }
+
+
+def forest_from_dict(doc: dict, source: str = "document") -> DistilledForest:
+    _check_doc(doc, "distilled_forest", source)
+    params = doc["params"]
+    inner = GuidedIsolationForest(
+        n_trees=int(params["n_trees"]),
+        subsample_size=int(params["subsample_size"]),
+        k_aug=int(params["k_aug"]),
+        tau_split=float(params["tau_split"]),
+        max_depth=None if params["max_depth"] is None else int(params["max_depth"]),
+        max_candidates_per_feature=int(params["max_candidates_per_feature"]),
+        augment_mode=params["augment_mode"],
+    )
+    inner.n_features_ = int(doc["n_features"])
+    inner.psi_ = int(doc["psi"])
+    inner.feature_box_ = _box_from_obj(doc["feature_box"])
+    inner.trees_ = []
+    for tree_doc in doc["trees"]:
+        tree = GuidedIsolationTree(
+            oracle=None,
+            max_depth=int(tree_doc["max_depth"]),
+            k_aug=inner.k_aug,
+            tau_split=inner.tau_split,
+            max_candidates_per_feature=inner.max_candidates_per_feature,
+            augment_mode=inner.augment_mode,
+        )
+        tree.root_ = _node_from_obj(tree_doc["root"])
+        tree.n_features_ = inner.n_features_
+        tree.feature_box_ = inner.feature_box_
+        inner.trees_.append(tree)
+    forest = DistilledForest(inner)
+    forest.distilled_ = bool(doc["distilled"])
+    return forest
+
+
+# --------------------------------------------------------------------------
+# Autoencoder ensemble (NPZ, no pickle)
+# --------------------------------------------------------------------------
+
+
+def save_ensemble(path: PathLike, ensemble: AutoencoderEnsemble) -> Path:
+    """Store a fitted ensemble as a single NPZ.
+
+    Layout: a JSON config string (member classes and shapes) plus flat
+    arrays ``m{i}_layer{j}_W`` / ``_b``, ``m{i}_scaler_min`` / ``_max``,
+    and the ensemble-level weight/threshold vectors.  No object arrays,
+    so loading never needs ``allow_pickle``.
+    """
+    if ensemble.thresholds_ is None:
+        raise ValueError("cannot serialise an uncalibrated ensemble")
+    members = []
+    arrays: Dict[str, np.ndarray] = {
+        "weights": np.asarray(ensemble.weights, dtype=float),
+        "thresholds": np.asarray(ensemble.thresholds_, dtype=float),
+        "base_thresholds": np.asarray(ensemble.base_thresholds_, dtype=float),
+    }
+    for i, ae in enumerate(ensemble.autoencoders):
+        cls = type(ae).__name__
+        if cls not in _AE_CLASSES:
+            raise ValueError(f"cannot serialise autoencoder of type {cls}")
+        if ae.net_ is None or ae.scaler_ is None:
+            raise ValueError(f"ensemble member {i} is not fitted")
+        members.append(
+            {
+                "class": cls,
+                "hidden": list(ae.hidden),
+                "epochs": ae.epochs,
+                "batch_size": ae.batch_size,
+                "lr": ae.lr,
+                "log_scale": ae.log_scale,
+                "n_layers": len(ae.net_.layers),
+                "activations": [layer.activation for layer in ae.net_.layers],
+            }
+        )
+        arrays[f"m{i}_scaler_min"] = np.asarray(ae.scaler_.data_min_, dtype=float)
+        arrays[f"m{i}_scaler_max"] = np.asarray(ae.scaler_.data_max_, dtype=float)
+        for j, layer in enumerate(ae.net_.layers):
+            arrays[f"m{i}_layer{j}_W"] = np.asarray(layer.weights, dtype=float)
+            arrays[f"m{i}_layer{j}_b"] = np.asarray(layer.bias, dtype=float)
+    config = {
+        "schema": SCHEMA,
+        "kind": "autoencoder_ensemble",
+        "threshold_quantile": ensemble.threshold_quantile,
+        "threshold_margin": ensemble.threshold_margin,
+        "bootstrap": ensemble.bootstrap,
+        "members": members,
+    }
+    arrays["config"] = np.array(json.dumps(config))
+    path = Path(path)
+    path.parent.mkdir(parents=True, exist_ok=True)
+    with open(path, "wb") as fh:
+        np.savez(fh, **arrays)
+    return path
+
+
+def load_ensemble(path: PathLike) -> AutoencoderEnsemble:
+    """Reload an ensemble stored by :func:`save_ensemble`.
+
+    The result scores and predicts identically to the saved one; calling
+    ``fit`` again retrains it from scratch like any fresh ensemble.
+    """
+    with np.load(Path(path)) as data:
+        config = json.loads(str(data["config"]))
+        _check_doc(config, "autoencoder_ensemble", str(path))
+        members = []
+        for i, m in enumerate(config["members"]):
+            cls = _AE_CLASSES.get(m["class"])
+            if cls is None:
+                raise ValueError(f"{path}: unknown autoencoder class {m['class']!r}")
+            kwargs = {
+                "epochs": int(m["epochs"]),
+                "batch_size": int(m["batch_size"]),
+                "lr": float(m["lr"]),
+                "log_scale": bool(m["log_scale"]),
+            }
+            hidden = tuple(int(h) for h in m["hidden"])
+            if cls is MagnifierAutoencoder:
+                ae = cls(encoder_hidden=hidden, **kwargs)
+            else:
+                ae = cls(hidden=hidden, **kwargs)
+            scaler = MinMaxScaler()
+            scaler.data_min_ = np.asarray(data[f"m{i}_scaler_min"], dtype=float)
+            scaler.data_max_ = np.asarray(data[f"m{i}_scaler_max"], dtype=float)
+            ae.scaler_ = scaler
+            n_features = int(data[f"m{i}_layer0_W"].shape[0])
+            sizes = ae._layer_sizes(n_features)
+            net = MLP(sizes, list(m["activations"]), seed=0)
+            if len(net.layers) != int(m["n_layers"]):
+                raise ValueError(
+                    f"{path}: member {i} layer count mismatch "
+                    f"({len(net.layers)} rebuilt vs {m['n_layers']} stored)"
+                )
+            for j, layer in enumerate(net.layers):
+                layer.weights = np.array(data[f"m{i}_layer{j}_W"], dtype=float)
+                layer.bias = np.array(data[f"m{i}_layer{j}_b"], dtype=float)
+            ae.net_ = net
+            members.append(ae)
+        ensemble = AutoencoderEnsemble(
+            autoencoders=members,
+            weights=np.asarray(data["weights"], dtype=float),
+            threshold_quantile=float(config["threshold_quantile"]),
+            threshold_margin=float(config["threshold_margin"]),
+            bootstrap=bool(config["bootstrap"]),
+        )
+        ensemble.thresholds_ = np.asarray(data["thresholds"], dtype=float)
+        ensemble.base_thresholds_ = np.asarray(data["base_thresholds"], dtype=float)
+    return ensemble
+
+
+# --------------------------------------------------------------------------
+# Model bundles (directory with manifest)
+# --------------------------------------------------------------------------
+
+
+@dataclass
+class ModelBundle:
+    """A reloaded bundle: install-ready artifacts plus optional models."""
+
+    artifacts: SwitchArtifacts
+    forest: Optional[DistilledForest] = None
+    ensemble: Optional[AutoencoderEnsemble] = None
+    meta: Dict = field(default_factory=dict)
+
+
+def is_model_bundle(path: PathLike) -> bool:
+    """True when *path* is a directory holding a bundle manifest."""
+    return (Path(path) / "manifest.json").is_file()
+
+
+def save_model_bundle(
+    directory: PathLike,
+    artifacts: SwitchArtifacts,
+    forest: Optional[DistilledForest] = None,
+    ensemble: Optional[AutoencoderEnsemble] = None,
+    meta: Optional[Dict] = None,
+) -> Path:
+    """Write a bundle directory: manifest + one file per artifact.
+
+    ``fl_rules``/``fl_quantizer`` are always present; PL rules, the
+    forest, and the ensemble are included when given.  The manifest's
+    ``files`` map names exactly what was written, so loaders (and
+    humans) need no directory listing.
+    """
+    directory = Path(directory)
+    directory.mkdir(parents=True, exist_ok=True)
+    files: Dict[str, str] = {}
+
+    _write_json(directory / "fl_rules.json", ruleset_to_dict(artifacts.fl_rules))
+    files["fl_rules"] = "fl_rules.json"
+    _write_json(
+        directory / "fl_quantizer.json", quantizer_to_dict(artifacts.fl_quantizer)
+    )
+    files["fl_quantizer"] = "fl_quantizer.json"
+    if artifacts.pl_rules is not None:
+        _write_json(directory / "pl_rules.json", ruleset_to_dict(artifacts.pl_rules))
+        files["pl_rules"] = "pl_rules.json"
+        _write_json(
+            directory / "pl_quantizer.json", quantizer_to_dict(artifacts.pl_quantizer)
+        )
+        files["pl_quantizer"] = "pl_quantizer.json"
+    if forest is not None:
+        _write_json(directory / "forest.json", forest_to_dict(forest))
+        files["forest"] = "forest.json"
+    if ensemble is not None:
+        save_ensemble(directory / "ensemble.npz", ensemble)
+        files["ensemble"] = "ensemble.npz"
+
+    manifest = {
+        "schema": SCHEMA,
+        "kind": "model_bundle",
+        "files": files,
+        "meta": dict(meta or {}),
+    }
+    _write_json(directory / "manifest.json", manifest)
+    registry = get_registry()
+    if registry.enabled:
+        registry.counter("io.bundles_saved").inc()
+        registry.event("io.bundle_saved", path=str(directory), files=sorted(files))
+    return directory
+
+
+def load_model_bundle(directory: PathLike) -> ModelBundle:
+    """Reload a bundle written by :func:`save_model_bundle`."""
+    directory = Path(directory)
+    manifest = _read_json(directory / "manifest.json", "model_bundle")
+    files = manifest["files"]
+
+    fl_rules = ruleset_from_dict(
+        _read_json(directory / files["fl_rules"], "quantized_ruleset"),
+        files["fl_rules"],
+    )
+    fl_quantizer = quantizer_from_dict(
+        _read_json(directory / files["fl_quantizer"], "integer_quantizer"),
+        files["fl_quantizer"],
+    )
+    pl_rules = pl_quantizer = None
+    if "pl_rules" in files:
+        pl_rules = ruleset_from_dict(
+            _read_json(directory / files["pl_rules"], "quantized_ruleset"),
+            files["pl_rules"],
+        )
+        pl_quantizer = quantizer_from_dict(
+            _read_json(directory / files["pl_quantizer"], "integer_quantizer"),
+            files["pl_quantizer"],
+        )
+    forest = None
+    if "forest" in files:
+        forest = forest_from_dict(
+            _read_json(directory / files["forest"], "distilled_forest"),
+            files["forest"],
+        )
+    ensemble = None
+    if "ensemble" in files:
+        ensemble = load_ensemble(directory / files["ensemble"])
+
+    registry = get_registry()
+    if registry.enabled:
+        registry.counter("io.bundles_loaded").inc()
+    return ModelBundle(
+        artifacts=SwitchArtifacts(
+            fl_rules=fl_rules,
+            fl_quantizer=fl_quantizer,
+            pl_rules=pl_rules,
+            pl_quantizer=pl_quantizer,
+        ),
+        forest=forest,
+        ensemble=ensemble,
+        meta=dict(manifest.get("meta", {})),
+    )

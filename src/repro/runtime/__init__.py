@@ -1,0 +1,52 @@
+"""Online serving runtime: streaming ingestion, drift monitoring, and
+staged whitelist hot-swap.
+
+The evaluation harness exercises one train → compile → quantise → replay
+pass; a deployed iGuard is a *service* — the data plane keeps classifying
+at line rate while the control plane watches the traffic distribution,
+refits the AE-guided forest on recent traffic, and pushes recompiled
+whitelist tables into the running pipeline.  This package is that
+control loop over the simulator:
+
+* :class:`~repro.runtime.stream.StreamDriver` — feeds a trace through
+  the batch replay engine in fixed-size chunks, carrying flow/blacklist
+  state across chunks (chunked replay with no swaps is bit-identical to
+  one replay call; the differential suite asserts it).
+* :class:`~repro.runtime.drift.DriftMonitor` — sliding-window
+  benign-rate and path-distribution statistics; raises a retrain signal
+  on distribution shift.
+* :class:`~repro.runtime.retrain.Retrainer` — reservoir-samples recent
+  flows, refits the model, and recompiles install-ready artifacts via
+  :func:`repro.core.deployment.compile_switch_artifacts`.
+* :class:`~repro.runtime.service.OnlineDetectionService` — ties them
+  together around :meth:`SwitchPipeline.stage_tables` /
+  :meth:`~repro.switch.pipeline.SwitchPipeline.hot_swap`, with the state
+  machine SERVING → STAGING → SWAP (→ ROLLBACK on validation failure).
+
+Surfaced on the command line as ``repro serve``.
+"""
+
+from repro.runtime.drift import DriftMonitor
+from repro.runtime.retrain import FlowReservoir, Retrainer, default_model_factory
+from repro.runtime.service import (
+    OnlineDetectionService,
+    RuntimeConfig,
+    ServeReport,
+    SwapEvent,
+)
+from repro.runtime.stream import ChunkResult, ChunkStats, StreamDriver, iter_chunks
+
+__all__ = [
+    "ChunkResult",
+    "ChunkStats",
+    "DriftMonitor",
+    "FlowReservoir",
+    "OnlineDetectionService",
+    "Retrainer",
+    "RuntimeConfig",
+    "ServeReport",
+    "StreamDriver",
+    "SwapEvent",
+    "default_model_factory",
+    "iter_chunks",
+]

@@ -1,0 +1,126 @@
+"""Drift detection over the serving stream.
+
+The deployed system cannot see ground truth, so drift is read from what
+the data plane *does* observe about itself: the predicted-malicious rate
+and the execution-path mix (``switch.path.*`` counter deltas).  Both
+shift hard when the benign device mix changes — traffic from unseen
+device types falls outside the whitelist boxes, so the malicious rate
+inflates and flow-path proportions (brown/blue/purple) move — which is
+exactly the situation that calls for a retrain.
+
+The monitor is a two-window comparator: the first ``baseline_window``
+chunks after (re)start form the reference distribution, and a sliding
+window of the most recent chunks is compared against it.  The drift
+score is the larger of the absolute malicious-rate shift and the total
+variation distance between path mixes; a score above ``threshold``
+raises the retrain signal.  After a hot-swap the service resets the
+monitor so the baseline re-forms under the new tables.
+"""
+
+from __future__ import annotations
+
+from collections import deque
+from typing import Deque, Dict, Optional
+
+from repro.runtime.stream import ChunkStats
+
+
+def _mean_rate(window: Deque[ChunkStats]) -> float:
+    total = sum(s.n_packets for s in window)
+    if total == 0:
+        return 0.0
+    return sum(s.malicious_rate * s.n_packets for s in window) / total
+
+
+def _mean_paths(window: Deque[ChunkStats]) -> Dict[str, float]:
+    total = sum(s.n_packets for s in window)
+    if total == 0:
+        return {}
+    mix: Dict[str, float] = {}
+    for s in window:
+        for path, frac in s.path_fractions.items():
+            mix[path] = mix.get(path, 0.0) + frac * s.n_packets
+    return {path: v / total for path, v in mix.items()}
+
+
+def total_variation(p: Dict[str, float], q: Dict[str, float]) -> float:
+    """TV distance ½·Σ|p−q| over the union of path keys."""
+    keys = set(p) | set(q)
+    return 0.5 * sum(abs(p.get(k, 0.0) - q.get(k, 0.0)) for k in keys)
+
+
+class DriftMonitor:
+    """Sliding-window drift score over per-chunk serving statistics.
+
+    Parameters
+    ----------
+    window:
+        Recent chunks compared against the baseline.
+    baseline_window:
+        Chunks (after construction or :meth:`reset`) that form the
+        reference distribution.
+    threshold:
+        Drift score above which :meth:`observe` returns True.
+    min_packets:
+        Chunks smaller than this are folded into the statistics but
+        never trigger on their own incomplete window.
+    """
+
+    def __init__(
+        self,
+        window: int = 4,
+        baseline_window: int = 4,
+        threshold: float = 0.25,
+        min_packets: int = 64,
+    ) -> None:
+        if window < 1 or baseline_window < 1:
+            raise ValueError("window and baseline_window must be >= 1")
+        if threshold <= 0:
+            raise ValueError(f"threshold must be > 0, got {threshold}")
+        self.window = window
+        self.baseline_window = baseline_window
+        self.threshold = threshold
+        self.min_packets = min_packets
+        self._baseline: Deque[ChunkStats] = deque()
+        self._recent: Deque[ChunkStats] = deque(maxlen=window)
+        self.last_score: float = 0.0
+        self.last_rate: float = 0.0
+        self.signals = 0
+
+    @property
+    def has_baseline(self) -> bool:
+        return len(self._baseline) >= self.baseline_window
+
+    def reset(self) -> None:
+        """Forget everything; the baseline re-forms from the next chunks.
+
+        Called by the service after a hot-swap — the old reference
+        distribution describes the displaced tables' behaviour.
+        """
+        self._baseline.clear()
+        self._recent.clear()
+        self.last_score = 0.0
+
+    def observe(self, stats: ChunkStats) -> bool:
+        """Fold one chunk in; True when the drift score crosses threshold."""
+        self.last_rate = stats.malicious_rate
+        if not self.has_baseline:
+            self._baseline.append(stats)
+            self.last_score = 0.0
+            return False
+        self._recent.append(stats)
+        if len(self._recent) < self.window:
+            self.last_score = 0.0
+            return False
+        if sum(s.n_packets for s in self._recent) < self.min_packets:
+            self.last_score = 0.0
+            return False
+        rate_shift = abs(_mean_rate(self._recent) - _mean_rate(self._baseline))
+        path_shift = total_variation(
+            _mean_paths(self._recent), _mean_paths(self._baseline)
+        )
+        self.last_score = max(rate_shift, path_shift)
+        if self.last_score > self.threshold:
+            self.signals += 1
+            return True
+        return False

@@ -1,0 +1,255 @@
+"""The online detection service: serve, watch, retrain, hot-swap.
+
+State machine per serving loop (documented in DESIGN.md §"Serving
+runtime"):
+
+    SERVING --(drift signal / cadence due)--> STAGING
+    STAGING --(install-time checks pass)----> SWAP  --> SERVING
+    STAGING --(validation fails)------------> ROLLBACK --> SERVING
+
+SERVING replays chunks through the live tables; STAGING compiles and
+validates a new table generation while the live tables keep serving;
+SWAP flips the staged generation in between chunks (flow state, the
+blacklist, and verdict registers all survive); ROLLBACK rejects a
+generation that fails the install-time checks, keeping the current
+tables.  Swap pause — the wall-clock cost of stage+flip, what a Tofino
+control plane would spend writing TCAM entries — is measured around the
+table flip and reported both in telemetry
+(``runtime.swap_pause_s``) and in the serve report.
+"""
+
+from __future__ import annotations
+
+import time
+from dataclasses import dataclass, field
+from typing import List, Optional
+
+import numpy as np
+
+from repro.datasets.trace import Trace
+from repro.runtime.drift import DriftMonitor
+from repro.runtime.retrain import Retrainer
+from repro.runtime.stream import ChunkStats, StreamDriver
+from repro.switch.pipeline import PacketDecision, SwitchPipeline
+from repro.telemetry import get_registry, span
+from repro.utils.rng import SeedLike
+
+
+@dataclass
+class RuntimeConfig:
+    """Knobs of the serving loop.
+
+    chunk_size / mode:
+        Streaming granularity and replay engine.
+    drift_threshold:
+        Drift score that triggers a retrain; 0 disables drift-triggered
+        retrains entirely.
+    drift_window / baseline_window / min_drift_packets:
+        :class:`~repro.runtime.drift.DriftMonitor` shape.
+    cadence:
+        Retrain every N chunks regardless of drift; 0 disables.
+    min_retrain_flows:
+        Reservoir size below which retrain requests are deferred (a
+        forest fitted on a handful of flows whitelists almost nothing).
+    max_swaps:
+        Hard cap on table swaps per :meth:`OnlineDetectionService.serve`
+        call (None = unlimited); the CI smoke uses 1.
+    """
+
+    chunk_size: int = 2048
+    mode: str = "batch"
+    drift_threshold: float = 0.25
+    drift_window: int = 4
+    baseline_window: int = 4
+    min_drift_packets: int = 64
+    cadence: int = 0
+    min_retrain_flows: int = 24
+    max_swaps: Optional[int] = None
+
+
+@dataclass(frozen=True)
+class SwapEvent:
+    """One staged table update: why, how long the flip paused serving,
+    and whether validation rejected it."""
+
+    chunk_index: int
+    reason: str  # "drift" or "cadence"
+    duration_s: float
+    rolled_back: bool
+
+
+@dataclass
+class ServeReport:
+    """Outcome of one :meth:`OnlineDetectionService.serve` call."""
+
+    n_chunks: int = 0
+    n_packets: int = 0
+    drift_signals: int = 0
+    retrains: int = 0
+    swap_events: List[SwapEvent] = field(default_factory=list)
+    chunk_stats: List[ChunkStats] = field(default_factory=list)
+    #: Start offset of each chunk in the concatenated decision arrays.
+    chunk_offsets: List[int] = field(default_factory=list)
+    decisions: List[PacketDecision] = field(default_factory=list)
+    y_true: np.ndarray = field(default_factory=lambda: np.empty(0, dtype=int))
+    y_pred: np.ndarray = field(default_factory=lambda: np.empty(0, dtype=int))
+
+    @property
+    def n_swaps(self) -> int:
+        return sum(1 for e in self.swap_events if not e.rolled_back)
+
+    @property
+    def n_rollbacks(self) -> int:
+        return sum(1 for e in self.swap_events if e.rolled_back)
+
+    def packet_offset_of_chunk(self, chunk_index: int) -> int:
+        """Concatenated-array offset where *chunk_index* begins."""
+        return self.chunk_offsets[chunk_index]
+
+
+class OnlineDetectionService:
+    """Continuous serving loop around one :class:`SwitchPipeline`.
+
+    The pipeline serves every chunk through its live tables; between
+    chunks the service consults the drift monitor and the retrain
+    cadence, and on a signal runs retrain → stage → hot-swap.  A staged
+    generation that fails the install-time checks is rolled back (the
+    live tables are never touched) and serving continues.
+    """
+
+    def __init__(
+        self,
+        pipeline: SwitchPipeline,
+        retrainer: Optional[Retrainer] = None,
+        monitor: Optional[DriftMonitor] = None,
+        config: Optional[RuntimeConfig] = None,
+        seed: SeedLike = None,
+    ) -> None:
+        self.config = config or RuntimeConfig()
+        self.pipeline = pipeline
+        self.retrainer = retrainer or Retrainer(
+            pkt_count_threshold=pipeline.config.pkt_count_threshold,
+            timeout=pipeline.config.timeout,
+            use_pl_model=pipeline.pl_table is not None,
+            seed=seed,
+        )
+        drift_on = self.config.drift_threshold > 0
+        self.monitor = monitor or (
+            DriftMonitor(
+                window=self.config.drift_window,
+                baseline_window=self.config.baseline_window,
+                threshold=self.config.drift_threshold,
+                min_packets=self.config.min_drift_packets,
+            )
+            if drift_on
+            else None
+        )
+
+    def _swap_allowed(self, report: ServeReport) -> bool:
+        cap = self.config.max_swaps
+        return cap is None or report.n_swaps < cap
+
+    def _retrain_and_swap(
+        self, chunk_index: int, reason: str, report: ServeReport
+    ) -> None:
+        registry = get_registry()
+        with span("retrain", reason=reason, chunk=chunk_index):
+            artifacts = self.retrainer.retrain()
+        report.retrains += 1
+        if registry.enabled:
+            registry.counter("runtime.retrains").inc()
+
+        rolled_back = False
+        start = time.perf_counter()
+        try:
+            self.pipeline.stage_tables(
+                artifacts.fl_rules,
+                artifacts.fl_quantizer,
+                pl_rules=artifacts.pl_rules,
+                pl_quantizer=artifacts.pl_quantizer,
+            )
+            self.pipeline.hot_swap()
+        except ValueError:
+            # Install-time validation rejected the staged generation; the
+            # live tables were never touched — serving continues on them.
+            rolled_back = True
+        duration = time.perf_counter() - start
+
+        report.swap_events.append(
+            SwapEvent(
+                chunk_index=chunk_index,
+                reason=reason,
+                duration_s=duration,
+                rolled_back=rolled_back,
+            )
+        )
+        if registry.enabled:
+            registry.histogram("runtime.swap_pause_s").observe(duration)
+            if rolled_back:
+                registry.counter("runtime.rollbacks").inc()
+            else:
+                registry.counter("runtime.swaps").inc()
+                # Mirror the pipeline's own swap counter: swaps happen
+                # between replay calls, so the per-replay counter-delta
+                # publication never observes them.
+                registry.counter("switch.table.swaps").inc()
+            registry.event(
+                "runtime.swap",
+                chunk=chunk_index,
+                reason=reason,
+                rolled_back=rolled_back,
+                duration_s=round(duration, 6),
+                n_fl_rules=artifacts.n_fl_rules,
+            )
+        if not rolled_back and self.monitor is not None:
+            # The old reference distribution described the displaced
+            # tables; re-form the baseline under the new generation.
+            self.monitor.reset()
+
+    def serve(self, trace: Trace) -> ServeReport:
+        """Stream *trace* through the pipeline with the full control loop."""
+        cfg = self.config
+        report = ServeReport()
+        registry = get_registry()
+        driver = StreamDriver(
+            self.pipeline, chunk_size=cfg.chunk_size, mode=cfg.mode
+        )
+        with span("serve", chunk_size=cfg.chunk_size, mode=cfg.mode):
+            for chunk in driver.run(trace):
+                report.chunk_offsets.append(report.n_packets)
+                report.n_chunks += 1
+                report.n_packets += chunk.stats.n_packets
+                report.chunk_stats.append(chunk.stats)
+                report.decisions.extend(chunk.replay.decisions)
+                report.y_true = np.concatenate([report.y_true, chunk.replay.y_true])
+                report.y_pred = np.concatenate([report.y_pred, chunk.replay.y_pred])
+                self.retrainer.observe(chunk.trace)
+
+                drifted = False
+                if self.monitor is not None:
+                    drifted = self.monitor.observe(chunk.stats)
+                    if drifted:
+                        report.drift_signals += 1
+                if registry.enabled:
+                    registry.counter("runtime.chunks").inc()
+                    registry.counter("runtime.packets").inc(chunk.stats.n_packets)
+                    if self.monitor is not None:
+                        registry.gauge("runtime.drift.score").set(
+                            self.monitor.last_score
+                        )
+                        registry.gauge("runtime.drift.malicious_rate").set(
+                            chunk.stats.malicious_rate
+                        )
+                        if drifted:
+                            registry.counter("runtime.drift.signals").inc()
+
+                cadence_due = cfg.cadence > 0 and (chunk.index + 1) % cfg.cadence == 0
+                if (
+                    (drifted or cadence_due)
+                    and self._swap_allowed(report)
+                    and len(self.retrainer) >= cfg.min_retrain_flows
+                ):
+                    self._retrain_and_swap(
+                        chunk.index, "drift" if drifted else "cadence", report
+                    )
+        return report

@@ -1,0 +1,121 @@
+"""Streaming ingestion: replay a trace chunk-by-chunk through one
+pipeline.
+
+The batch replay engine precomputes per call and mutates the pipeline's
+own stateful objects (flow store, blacklist, counters), so driving it
+with consecutive slices of a trace is *exactly* the same computation as
+one call over the whole trace — flow state, timeouts (which are
+packet-timestamp-driven), and verdict registers all carry across chunk
+boundaries for free.  That identity is what makes chunking safe as a
+serving loop: the control plane gets a natural between-chunks point to
+observe statistics and hot-swap tables, at zero cost to decision
+fidelity (asserted by the differential suite).
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+from typing import Dict, Iterator, List
+
+import numpy as np
+
+from repro.datasets.trace import Trace
+from repro.switch.pipeline import SwitchPipeline
+from repro.switch.runner import ReplayResult, replay_trace
+
+
+def iter_chunks(trace: Trace, chunk_size: int) -> Iterator[Trace]:
+    """Split a trace into consecutive fixed-size packet chunks.
+
+    The last chunk holds the remainder; an empty trace yields nothing.
+    """
+    if chunk_size < 1:
+        raise ValueError(f"chunk_size must be >= 1, got {chunk_size}")
+    packets = trace.packets
+    for start in range(0, len(packets), chunk_size):
+        yield Trace(packets[start : start + chunk_size])
+
+
+@dataclass(frozen=True)
+class ChunkStats:
+    """Distribution summary of one chunk, the drift monitor's input.
+
+    ``malicious_rate`` is the *predicted* malicious fraction — the only
+    label the deployed system can observe about itself — and
+    ``path_fractions`` the per-chunk execution-path mix (from the
+    pipeline's own ``switch.path.*`` counter deltas).
+    """
+
+    n_packets: int
+    malicious_rate: float
+    path_fractions: Dict[str, float] = field(default_factory=dict)
+
+
+@dataclass
+class ChunkResult:
+    """One served chunk: its replay outcome plus per-chunk counter deltas."""
+
+    index: int
+    trace: Trace
+    replay: ReplayResult
+    counters: Dict[str, int]
+    stats: ChunkStats
+
+
+def _path_fractions(counter_deltas: Dict[str, int], n_packets: int) -> Dict[str, float]:
+    if n_packets <= 0:
+        return {}
+    return {
+        name.split("switch.path.", 1)[1]: count / n_packets
+        for name, count in counter_deltas.items()
+        if name.startswith("switch.path.") and count > 0
+    }
+
+
+class StreamDriver:
+    """Feed a trace through *pipeline* as a stream of chunk replays.
+
+    Each :meth:`run` iteration replays one chunk (batch engine by
+    default) and yields a :class:`ChunkResult` carrying the decisions
+    and the delta of every pipeline counter over that chunk.  The driver
+    itself publishes nothing to the telemetry registry — the per-replay
+    publication inside :func:`~repro.switch.runner.replay_trace` already
+    telescopes to the one-shot totals, and keeping the driver pure is
+    what lets the differential test demand exact counter equality.
+
+    Between iterations the pipeline is untouched, which is the
+    designated window for :meth:`SwitchPipeline.hot_swap`.
+    """
+
+    def __init__(
+        self,
+        pipeline: SwitchPipeline,
+        chunk_size: int = 2048,
+        mode: str = "batch",
+    ) -> None:
+        if chunk_size < 1:
+            raise ValueError(f"chunk_size must be >= 1, got {chunk_size}")
+        self.pipeline = pipeline
+        self.chunk_size = chunk_size
+        self.mode = mode
+        self.chunks_processed = 0
+        self.packets_processed = 0
+
+    def run(self, trace: Trace) -> Iterator[ChunkResult]:
+        """Yield one :class:`ChunkResult` per chunk of *trace*."""
+        for index, chunk in enumerate(iter_chunks(trace, self.chunk_size)):
+            before = self.pipeline.telemetry_counters()
+            replay = replay_trace(chunk, self.pipeline, mode=self.mode)
+            after = self.pipeline.telemetry_counters()
+            deltas = {k: after[k] - before.get(k, 0) for k in after}
+            n = len(chunk)
+            stats = ChunkStats(
+                n_packets=n,
+                malicious_rate=float(np.mean(replay.y_pred)) if n else 0.0,
+                path_fractions=_path_fractions(deltas, n),
+            )
+            self.chunks_processed += 1
+            self.packets_processed += n
+            yield ChunkResult(
+                index=index, trace=chunk, replay=replay, counters=deltas, stats=stats
+            )

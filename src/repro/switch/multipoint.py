@@ -148,7 +148,7 @@ def build_checkpoint_rules(
     horizon, so its whitelist describes what benign traffic looks like
     after exactly n_i packets.
     """
-    from repro.eval.harness import _rule_domain
+    from repro.core.deployment import quantize_ruleset
 
     rng = as_rng(seed)
     params = dict(iguard_params or {})
@@ -160,8 +160,6 @@ def build_checkpoint_rules(
         x_train, _ = extractor.extract_flows(train_flows)
         model = IGuard(seed=fit_seed, **params).fit(x_train)
         ruleset = model.to_rules(max_cells=rule_cells, seed=fit_seed)
-        quantizer = IntegerQuantizer(bits=quantizer_bits, space="log").fit(
-            _rule_domain(x_train, ruleset)
-        )
-        out.append(Checkpoint(n=n, rules=ruleset.quantize(quantizer), quantizer=quantizer))
+        rules, quantizer = quantize_ruleset(ruleset, x_train, bits=quantizer_bits)
+        out.append(Checkpoint(n=n, rules=rules, quantizer=quantizer))
     return out

@@ -91,6 +91,21 @@ def _check_table_quantizer(
 
 
 @dataclass(frozen=True)
+class _TableSet:
+    """One validated generation of whitelist tables and quantisers.
+
+    Held by the pipeline while staged (pre-swap) and as the previous
+    generation (post-swap, for rollback).  Immutable: staging never
+    touches the live tables.
+    """
+
+    fl_rules: QuantizedRuleSet
+    fl_quantizer: IntegerQuantizer
+    pl_rules: Optional[QuantizedRuleSet] = None
+    pl_quantizer: Optional[IntegerQuantizer] = None
+
+
+@dataclass(frozen=True)
 class Digest:
     """Flow verdict sent to the controller: 13 B 5-tuple + 1-bit label."""
 
@@ -187,6 +202,103 @@ class SwitchPipeline:
         }
         self.mirrored_packets = 0
         self.digests_emitted = 0
+        # Staged-swap state (control-plane table updates, §3.3.2): a new
+        # table generation is validated into ``_staged`` while the live
+        # tables keep serving, then flipped in by hot_swap() between
+        # packets.  ``_previous`` keeps the displaced generation for
+        # rollback.
+        self._staged: Optional[_TableSet] = None
+        self._previous: Optional[_TableSet] = None
+        self.table_swaps = 0
+        self.table_rollbacks = 0
+
+    # -- staged table updates ----------------------------------------------
+
+    @property
+    def has_staged_tables(self) -> bool:
+        return self._staged is not None
+
+    @property
+    def can_rollback(self) -> bool:
+        return self._previous is not None
+
+    def stage_tables(
+        self,
+        fl_rules: QuantizedRuleSet,
+        fl_quantizer: IntegerQuantizer,
+        pl_rules: Optional[QuantizedRuleSet] = None,
+        pl_quantizer: Optional[IntegerQuantizer] = None,
+    ) -> None:
+        """Validate a new table generation without touching the live one.
+
+        Runs the same install-time checks as construction; on failure the
+        staged slot is cleared and the live tables are untouched, so a bad
+        recompile can never reach the data plane.  Re-staging replaces any
+        previously staged (not yet swapped) generation.
+        """
+        self._staged = None
+        _check_table_quantizer("FL", fl_rules, fl_quantizer)
+        if pl_rules is not None:
+            if pl_quantizer is None:
+                raise ValueError(
+                    "pl_rules were staged without a pl_quantizer; the PL table "
+                    "would silently score every packet as benign"
+                )
+            _check_table_quantizer("PL", pl_rules, pl_quantizer)
+        self._staged = _TableSet(
+            fl_rules=fl_rules,
+            fl_quantizer=fl_quantizer,
+            pl_rules=pl_rules,
+            pl_quantizer=pl_quantizer,
+        )
+
+    def _install_tables(self, tables: _TableSet) -> None:
+        """Flip *tables* live, carrying lookup counters across the swap so
+        ``switch.table.*_lookups`` stay monotonic over a swap."""
+        fl_table = WhitelistTable(tables.fl_rules)
+        fl_table.lookup_count = self.fl_table.lookup_count
+        pl_table = None
+        if tables.pl_rules is not None:
+            pl_table = WhitelistTable(tables.pl_rules)
+            if self.pl_table is not None:
+                pl_table.lookup_count = self.pl_table.lookup_count
+        self.fl_table = fl_table
+        self.fl_quantizer = tables.fl_quantizer
+        self.pl_table = pl_table
+        self.pl_quantizer = tables.pl_quantizer
+
+    def _live_tables(self) -> _TableSet:
+        return _TableSet(
+            fl_rules=self.fl_table.ruleset,
+            fl_quantizer=self.fl_quantizer,
+            pl_rules=self.pl_table.ruleset if self.pl_table is not None else None,
+            pl_quantizer=self.pl_quantizer,
+        )
+
+    def hot_swap(self) -> None:
+        """Atomically flip the staged tables live.
+
+        Only the whitelist tables and their quantisers change hands: the
+        stateful storage, blacklist, and path counters are untouched, so
+        in-flight flows keep their accumulators and verdicts across the
+        swap.  The displaced generation is retained for :meth:`rollback`.
+        Call between packets (the batch replay engine reads the tables
+        once per call, so swapping between replay calls is safe).
+        """
+        if self._staged is None:
+            raise RuntimeError("hot_swap() without staged tables; call stage_tables() first")
+        self._previous = self._live_tables()
+        self._install_tables(self._staged)
+        self._staged = None
+        self.table_swaps += 1
+
+    def rollback(self) -> None:
+        """Restore the table generation displaced by the last hot_swap()."""
+        if self._previous is None:
+            raise RuntimeError("rollback() without a previous table generation")
+        self._install_tables(self._previous)
+        self._previous = None
+        self.table_rollbacks += 1
 
     # -- telemetry ----------------------------------------------------------
 
@@ -209,6 +321,8 @@ class SwitchPipeline:
         counters["switch.blacklist.installs"] = self.blacklist.installs
         counters["switch.blacklist.evictions"] = self.blacklist.evictions
         counters["switch.blacklist.churn"] = self.blacklist.version
+        counters["switch.table.swaps"] = self.table_swaps
+        counters["switch.table.rollbacks"] = self.table_rollbacks
         return counters
 
     def telemetry_gauges(self) -> Dict[str, float]:

@@ -3,12 +3,12 @@
 import numpy as np
 import pytest
 
+from repro.core.deployment import rule_domain
 from repro.core.rules import BENIGN, RuleSet, WhitelistRule
 from repro.datasets.splits import make_trace_split
 from repro.eval.harness import (
     ADVERSARIAL_VARIANTS,
     TestbedConfig,
-    _rule_domain,
     _train_features,
     build_pipeline,
 )
@@ -22,7 +22,7 @@ class TestRuleDomain:
             [WhitelistRule(box=Box((0.5, 0.5), (9.0, 9.0)), label=BENIGN)],
             outer_box=Box((0.0, 0.0), (10.0, 10.0)),
         )
-        domain = _rule_domain(x, rules)
+        domain = rule_domain(x, rules)
         assert domain[:, 0].min() == 0.5
         assert domain[:, 0].max() == 9.0
 
@@ -32,7 +32,7 @@ class TestRuleDomain:
             [WhitelistRule(box=Box((-np.inf,), (np.inf,)), label=BENIGN)],
             outer_box=Box.full(1),
         )
-        domain = _rule_domain(x, rules)
+        domain = rule_domain(x, rules)
         assert np.all(np.isfinite(domain))
 
 

@@ -1,0 +1,56 @@
+"""Shared fixtures for the serving-runtime tests: a hand-built
+percentile whitelist (fast, deterministic) and a light trained model
+factory (small forest, single shallow autoencoder) for the end-to-end
+service scenarios."""
+
+import numpy as np
+
+from repro.core.iguard import IGuard
+from repro.core.rules import BENIGN, MALICIOUS, RuleSet, WhitelistRule
+from repro.nn.autoencoder import Autoencoder
+from repro.nn.ensemble import AutoencoderEnsemble
+from repro.utils.box import Box
+from repro.utils.rng import as_rng, spawn_seeds
+
+
+def percentile_rules(x):
+    """Two-rule whitelist over *x*: narrow MALICIOUS band shadowing a
+    wide BENIGN band, default MALICIOUS (mirrors the differential
+    suite's workload)."""
+    outer = Box(tuple(np.min(x, axis=0) - 1.0), tuple(np.max(x, axis=0) + 1.0))
+    mal = WhitelistRule(
+        box=Box(
+            tuple(np.percentile(x, 40, axis=0)), tuple(np.percentile(x, 60, axis=0))
+        ),
+        label=MALICIOUS,
+    )
+    ben = WhitelistRule(
+        box=Box(
+            tuple(np.percentile(x, 5, axis=0)), tuple(np.percentile(x, 95, axis=0))
+        ),
+        label=BENIGN,
+    )
+    return RuleSet([mal, ben], outer_box=outer, default_label=MALICIOUS)
+
+
+def light_model_factory(seed=None):
+    """A minutes-to-seconds iGuard: one shallow autoencoder oracle and a
+    five-tree forest — enough signal for the drift scenarios, fast
+    enough for CI."""
+    rng = as_rng(seed)
+    oracle_seed, model_seed = spawn_seeds(rng, 2)
+    oracle = AutoencoderEnsemble(
+        autoencoders=[Autoencoder(hidden=(8, 3), epochs=60, seed=oracle_seed)],
+        threshold_margin=2.0,
+        seed=oracle_seed,
+    )
+    return IGuard(
+        n_trees=5,
+        subsample_size=64,
+        k_aug=32,
+        tau_split=0.0,
+        threshold_margin=2.0,
+        distil_margin=1.2,
+        oracle=oracle,
+        seed=model_seed,
+    )

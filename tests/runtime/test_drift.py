@@ -1,0 +1,96 @@
+"""DriftMonitor unit behaviour on hand-built chunk statistics."""
+
+import pytest
+
+from repro.runtime import DriftMonitor
+from repro.runtime.drift import total_variation
+from repro.runtime.stream import ChunkStats
+
+
+def _stats(rate, paths=None, n=100):
+    return ChunkStats(n_packets=n, malicious_rate=rate, path_fractions=paths or {})
+
+
+class TestTotalVariation:
+    def test_identical_mixes(self):
+        p = {"brown": 0.5, "purple": 0.5}
+        assert total_variation(p, dict(p)) == 0.0
+
+    def test_disjoint_mixes(self):
+        assert total_variation({"brown": 1.0}, {"purple": 1.0}) == pytest.approx(1.0)
+
+    def test_missing_keys_count_as_zero(self):
+        assert total_variation({"brown": 0.6, "blue": 0.4}, {"brown": 0.6}) == (
+            pytest.approx(0.2)
+        )
+
+
+class TestDriftMonitor:
+    def test_baseline_forms_before_scoring(self):
+        m = DriftMonitor(window=2, baseline_window=3, threshold=0.1)
+        assert not m.has_baseline
+        for _ in range(3):
+            assert m.observe(_stats(0.1)) is False
+        assert m.has_baseline
+
+    def test_stable_stream_never_fires(self):
+        m = DriftMonitor(window=2, baseline_window=2, threshold=0.2)
+        paths = {"brown": 0.7, "purple": 0.3}
+        for _ in range(10):
+            assert m.observe(_stats(0.1, paths)) is False
+        assert m.signals == 0
+        assert m.last_score < 0.2
+
+    def test_rate_shift_fires(self):
+        m = DriftMonitor(window=2, baseline_window=2, threshold=0.2)
+        for _ in range(2):
+            m.observe(_stats(0.05))
+        m.observe(_stats(0.6))
+        assert m.observe(_stats(0.6)) is True
+        assert m.signals == 1
+        assert m.last_score == pytest.approx(0.55)
+
+    def test_path_mix_shift_fires_without_rate_change(self):
+        m = DriftMonitor(window=2, baseline_window=2, threshold=0.2)
+        for _ in range(2):
+            m.observe(_stats(0.1, {"brown": 0.9, "purple": 0.1}))
+        m.observe(_stats(0.1, {"blue": 0.9, "purple": 0.1}))
+        assert m.observe(_stats(0.1, {"blue": 0.9, "purple": 0.1})) is True
+
+    def test_incomplete_window_does_not_fire(self):
+        m = DriftMonitor(window=3, baseline_window=1, threshold=0.2)
+        m.observe(_stats(0.0))
+        assert m.observe(_stats(0.9)) is False  # only 1 of 3 recent chunks
+        assert m.observe(_stats(0.9)) is False
+        assert m.observe(_stats(0.9)) is True
+
+    def test_min_packets_suppresses_tiny_windows(self):
+        m = DriftMonitor(window=1, baseline_window=1, threshold=0.2, min_packets=64)
+        m.observe(_stats(0.0, n=100))
+        assert m.observe(_stats(0.9, n=10)) is False  # below min_packets
+        assert m.observe(_stats(0.9, n=100)) is True
+
+    def test_packet_weighted_rate(self):
+        """A big clean chunk must outweigh a small noisy one."""
+        m = DriftMonitor(window=2, baseline_window=1, threshold=0.3, min_packets=1)
+        m.observe(_stats(0.0, n=1000))
+        m.observe(_stats(0.9, n=10))
+        assert m.observe(_stats(0.0, n=1000)) is False
+
+    def test_reset_reforms_baseline(self):
+        m = DriftMonitor(window=1, baseline_window=1, threshold=0.2, min_packets=1)
+        m.observe(_stats(0.0))
+        assert m.observe(_stats(0.9)) is True
+        m.reset()
+        assert not m.has_baseline
+        assert m.last_score == 0.0
+        # The new normal is 0.9: no further signal on it.
+        m.observe(_stats(0.9))
+        assert m.observe(_stats(0.9)) is False
+        assert m.signals == 1
+
+    def test_rejects_bad_parameters(self):
+        with pytest.raises(ValueError):
+            DriftMonitor(window=0)
+        with pytest.raises(ValueError):
+            DriftMonitor(threshold=0.0)

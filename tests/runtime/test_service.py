@@ -1,0 +1,220 @@
+"""End-to-end serving scenarios: drift → retrain → hot-swap recovery,
+and the no-drift control (zero spurious swaps).
+
+The drift fixture (:func:`repro.datasets.make_drift_split`) switches the
+benign device mix mid-stream from chatty small devices to heavy
+streaming devices; the initially deployed model has never seen the new
+mix, so its whitelist mislabels the new benign traffic until the runtime
+retrains on the reservoir and swaps tables.
+"""
+
+import numpy as np
+import pytest
+
+from repro.core.deployment import compile_switch_artifacts
+from repro.datasets import Trace, make_drift_split
+from repro.eval.harness import TestbedConfig, build_pipeline
+from repro.eval.metrics import confusion_counts
+from repro.features.flow_features import FlowFeatureExtractor
+from repro.runtime import (
+    OnlineDetectionService,
+    Retrainer,
+    RuntimeConfig,
+    default_model_factory,
+)
+from repro.switch.controller import Controller
+from repro.switch.pipeline import PipelineConfig, SwitchPipeline
+from repro.switch.runner import replay_trace
+from repro.telemetry import MetricRegistry, use_registry
+from tests.runtime.common import light_model_factory
+
+LIGHT_TESTBED = dict(
+    iguard_params={
+        "n_trees": 5,
+        "subsample_size": 64,
+        "k_aug": 32,
+        "tau_split": 0.0,
+        "threshold_margin": 2.0,
+        "distil_margin": 1.2,
+    }
+)
+
+RUNTIME_CONFIG = dict(
+    chunk_size=2000,
+    drift_threshold=0.25,
+    drift_window=2,
+    baseline_window=2,
+    min_drift_packets=64,
+    min_retrain_flows=24,
+    max_swaps=2,
+)
+
+
+def _recall(y_true, y_pred):
+    c = confusion_counts(y_true, y_pred)
+    return c.tp / (c.tp + c.fn) if (c.tp + c.fn) else 0.0
+
+
+def _serve(split, registry=None):
+    config = TestbedConfig(n_benign_flows=120, **LIGHT_TESTBED)
+    pipeline, _controller, _model = build_pipeline("iguard", split, config=config,
+                                                   seed=13)
+    retrainer = Retrainer(
+        pkt_count_threshold=config.pkt_count_threshold,
+        timeout=config.timeout,
+        model_factory=light_model_factory,
+        seed=17,
+    )
+    service = OnlineDetectionService(
+        pipeline, retrainer=retrainer, config=RuntimeConfig(**RUNTIME_CONFIG)
+    )
+    if registry is None:
+        report = service.serve(split.stream_trace)
+    else:
+        with use_registry(registry):
+            report = service.serve(split.stream_trace)
+    return pipeline, service, report
+
+
+@pytest.fixture(scope="module")
+def drift_run():
+    split = make_drift_split("Mirai", n_benign_flows=120, seed=11)
+    registry = MetricRegistry()
+    pipeline, service, report = _serve(split, registry)
+    return split, pipeline, service, report, registry
+
+
+class TestDriftScenario:
+    def test_monitor_fires_and_runtime_swaps(self, drift_run):
+        _split, pipeline, _service, report, _registry = drift_run
+        assert report.drift_signals >= 1
+        assert report.retrains >= 1
+        assert report.n_swaps >= 1
+        assert report.n_rollbacks == 0
+        assert pipeline.table_swaps == report.n_swaps
+
+    def test_flow_state_survives_the_swap(self, drift_run):
+        _split, pipeline, _service, report, _registry = drift_run
+        # The store still holds live flows, blacklist entries installed
+        # before the swap survive it, and the whitelist lookup counter
+        # (one lookup per completed flow) stayed monotonic across
+        # generations instead of resetting with the new table object.
+        assert pipeline.store.occupancy() > 0
+        assert pipeline.fl_table.lookup_count > 0
+        assert len(pipeline.blacklist) > 0
+
+    def test_report_accounts_every_packet(self, drift_run):
+        split, _pipeline, _service, report, _registry = drift_run
+        assert report.n_packets == len(split.stream_trace)
+        assert len(report.decisions) == report.n_packets
+        assert len(report.y_true) == len(report.y_pred) == report.n_packets
+        assert report.chunk_offsets[0] == 0
+        assert report.packet_offset_of_chunk(1) == report.chunk_stats[0].n_packets
+
+    def test_post_swap_recall_tracks_reference_model(self, drift_run):
+        """Once the runtime has converged (after its last swap), recall
+        must come within 5% of a model trained directly on the shifted
+        benign distribution — the oracle retrain the runtime is
+        approximating from its contaminated reservoir."""
+        split, _pipeline, _service, report, _registry = drift_run
+        last_swap = [e for e in report.swap_events if not e.rolled_back][-1]
+        offset = report.packet_offset_of_chunk(last_swap.chunk_index + 1)
+        post_recall = _recall(report.y_true[offset:], report.y_pred[offset:])
+
+        # Reference: same light model, trained on the clean phase-B mix.
+        fx = FlowFeatureExtractor(feature_set="switch", pkt_count_threshold=8,
+                                  timeout=5.0)
+        x_ref, _ = fx.extract_flows(split.shifted_train_flows)
+        ref_model = light_model_factory(seed=29).fit(x_ref)
+        arts = compile_switch_artifacts(
+            ref_model, x_ref, train_flows=split.shifted_train_flows, seed=31
+        )
+        ref_pipeline = SwitchPipeline(
+            fl_rules=arts.fl_rules,
+            fl_quantizer=arts.fl_quantizer,
+            pl_rules=arts.pl_rules,
+            pl_quantizer=arts.pl_quantizer,
+            config=PipelineConfig(pkt_count_threshold=8, timeout=5.0),
+        )
+        Controller(ref_pipeline)
+        ref_replay = replay_trace(
+            Trace(split.stream_trace.packets[offset:]), ref_pipeline, mode="batch"
+        )
+        ref_recall = _recall(ref_replay.y_true, ref_replay.y_pred)
+        assert post_recall >= ref_recall - 0.05, (
+            f"post-swap recall {post_recall:.3f} vs reference {ref_recall:.3f}"
+        )
+
+    def test_runtime_telemetry_published(self, drift_run):
+        _split, _pipeline, _service, report, registry = drift_run
+        counters = registry.counters_dict()
+        assert counters["runtime.chunks"] == report.n_chunks
+        assert counters["runtime.packets"] == report.n_packets
+        assert counters["runtime.drift.signals"] == report.drift_signals
+        assert counters["runtime.retrains"] == report.retrains
+        assert counters["runtime.swaps"] == report.n_swaps
+        assert "runtime.rollbacks" not in counters  # none happened
+        assert counters["switch.table.swaps"] == report.n_swaps
+        gauges = registry.gauges_dict()
+        assert "runtime.drift.score" in gauges
+        events = [e for e in registry.events if e["kind"] == "runtime.swap"]
+        assert len(events) == len(report.swap_events)
+        serve_span = registry.tracer.find("serve")
+        assert serve_span is not None
+        assert serve_span.find("retrain") is not None  # nested in the serve span
+        assert "runtime.swap_pause_s" in registry.histograms_dict()
+
+    def test_swap_pause_is_bounded(self, drift_run):
+        _split, _pipeline, _service, report, _registry = drift_run
+        for event in report.swap_events:
+            assert 0.0 <= event.duration_s < 1.0
+
+
+class TestNoDriftControl:
+    def test_stable_stream_triggers_nothing(self):
+        split = make_drift_split("Mirai", n_benign_flows=120, shift="none", seed=11)
+        pipeline, _service, report = _serve(split)
+        assert report.drift_signals == 0
+        assert report.retrains == 0
+        assert report.n_swaps == 0
+        assert pipeline.table_swaps == 0
+        assert report.n_packets == len(split.stream_trace)
+
+
+class TestServiceConfig:
+    def test_cadence_triggers_without_drift_monitor(self):
+        split = make_drift_split("Mirai", n_benign_flows=60, shift="none", seed=19)
+        config = TestbedConfig(n_benign_flows=60, **LIGHT_TESTBED)
+        pipeline, _c, _m = build_pipeline("iguard", split, config=config, seed=23)
+        retrainer = Retrainer(model_factory=light_model_factory, seed=23)
+        service = OnlineDetectionService(
+            pipeline,
+            retrainer=retrainer,
+            config=RuntimeConfig(
+                chunk_size=1500, drift_threshold=0.0, cadence=2,
+                min_retrain_flows=8, max_swaps=1,
+            ),
+        )
+        report = service.serve(split.stream_trace)
+        assert service.monitor is None  # drift disabled entirely
+        assert report.retrains == 1
+        assert report.n_swaps == 1
+        assert report.swap_events[0].reason == "cadence"
+
+    def test_max_swaps_caps_retrains(self):
+        """With max_swaps=0 the control loop observes but never retrains."""
+        split = make_drift_split("Mirai", n_benign_flows=60, seed=19)
+        config = TestbedConfig(n_benign_flows=60, **LIGHT_TESTBED)
+        pipeline, _c, _m = build_pipeline("iguard", split, config=config, seed=23)
+        service = OnlineDetectionService(
+            pipeline,
+            retrainer=Retrainer(model_factory=light_model_factory, seed=23),
+            config=RuntimeConfig(
+                chunk_size=1500, drift_window=2, baseline_window=2,
+                cadence=2, max_swaps=0,
+            ),
+        )
+        report = service.serve(split.stream_trace)
+        assert report.retrains == 0
+        assert report.n_swaps == 0
+        assert pipeline.table_swaps == 0

@@ -271,6 +271,87 @@ class TestDifferential:
             replay_arrays(trace, pipe)
 
 
+class TestChunkedStreamDifferential:
+    """Streamed chunked replay with no swaps must be decision-identical
+    to a single one-shot replay over the concatenated trace.
+
+    This is the serving runtime's correctness premise: the batch engine
+    reads the live tables at call start and all flow / blacklist /
+    verdict state lives on the pipeline, so splitting a trace into
+    chunks is invisible — per-packet decisions, pipeline counters, and
+    the telemetry each side publishes all match exactly.
+    """
+
+    def _assert_stream_identical(self, trace, make_pipeline, chunk_size):
+        from repro.runtime import StreamDriver
+
+        p_one, c_one = make_pipeline()
+        p_chunk, c_chunk = make_pipeline()
+        reg_one, reg_chunk = MetricRegistry(), MetricRegistry()
+
+        with use_registry(reg_one):
+            r_one = replay_trace(trace, p_one, mode="batch")
+        driver = StreamDriver(p_chunk, chunk_size=chunk_size)
+        decisions, preds, trues = [], [], []
+        with use_registry(reg_chunk):
+            for chunk in driver.run(trace):
+                decisions.extend(chunk.replay.decisions)
+                preds.append(chunk.replay.y_pred)
+                trues.append(chunk.replay.y_true)
+
+        assert driver.packets_processed == len(trace)
+        assert len(decisions) == len(r_one.decisions) == len(trace)
+        for i, (a, b) in enumerate(zip(r_one.decisions, decisions)):
+            assert a.path == b.path, f"packet {i}: path {a.path} != {b.path}"
+            assert a.action == b.action, f"packet {i}: action"
+            assert a.predicted_malicious == b.predicted_malicious, f"packet {i}"
+            assert a.digest == b.digest, f"packet {i}: digest"
+            assert a.mirrored == b.mirrored, f"packet {i}: mirrored"
+        np.testing.assert_array_equal(r_one.y_pred, np.concatenate(preds))
+        np.testing.assert_array_equal(r_one.y_true, np.concatenate(trues))
+
+        # Pipeline, storage, and blacklist state.
+        assert p_one.path_counts == p_chunk.path_counts
+        assert p_one.digests_emitted == p_chunk.digests_emitted
+        assert p_one.fl_table.lookup_count == p_chunk.fl_table.lookup_count
+        assert p_one.store.occupancy() == p_chunk.store.occupancy()
+        assert p_one.store.eviction_count == p_chunk.store.eviction_count
+        assert list(p_one.blacklist._entries) == list(p_chunk.blacklist._entries)
+        assert c_one.stats == c_chunk.stats
+
+        # Per-chunk telemetry deltas must telescope to the one-shot
+        # totals, and final-state gauges must agree.
+        assert reg_one.counters_dict() == reg_chunk.counters_dict()
+        assert reg_one.gauges_dict() == reg_chunk.gauges_dict()
+
+    @pytest.mark.parametrize("chunk_size", (97, 512, 10**9))
+    def test_chunk_sizes_bit_identical(self, chunk_size):
+        flows = _make_flows("Mirai")
+        trace = flows_to_trace(flows)
+        self._assert_stream_identical(
+            trace, lambda: _build_pipeline(flows), chunk_size
+        )
+
+    def test_single_packet_chunks(self):
+        """chunk_size=1 — the degenerate stream — on a short trace."""
+        flows = _make_flows("Bashlite", n_benign=12, n_attack=6)
+        trace = flows_to_trace(flows)
+        trace = Trace(trace.packets[:400])
+        self._assert_stream_identical(
+            trace, lambda: _build_pipeline(flows), chunk_size=1
+        )
+
+    def test_collision_heavy_stream(self):
+        """Tiny tables: orange/green paths must survive chunking too."""
+        flows = _make_flows("UDP DDoS")
+        trace = flows_to_trace(flows)
+        self._assert_stream_identical(
+            trace,
+            lambda: _build_pipeline(flows, n_slots=2, blacklist_capacity=4),
+            chunk_size=256,
+        )
+
+
 class TestBatchPrimitives:
     def test_bi_hash_batch_matches_scalar(self):
         rng = np.random.default_rng(42)

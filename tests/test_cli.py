@@ -51,6 +51,40 @@ class TestCli:
         assert "per-packet macro F1" in out
         assert "paths:" in out
 
+    def test_serve_runs_with_cadence_retrain(self, capsys):
+        assert main(
+            ["serve", "UDP DDoS", "--flows", "150", "--chunk-size", "800",
+             "--drift", "0", "--cadence", "2", "--max-swaps", "1", "--seed", "4"]
+        ) == 0
+        out = capsys.readouterr().out
+        assert "served" in out and "chunks" in out
+        assert "swaps=1" in out
+        assert "cadence -> swapped" in out
+        assert "per-packet macro F1" in out
+
+    def test_export_bundle_roundtrips_through_deploy_and_serve(
+        self, tmp_path, capsys
+    ):
+        bundle = str(tmp_path / "bundle")
+        assert main(
+            ["export", "--p4", str(tmp_path / "x.p4"),
+             "--entries", str(tmp_path / "x.json"),
+             "--bundle", bundle, "--flows", "150", "--seed", "5"]
+        ) == 0
+        assert f"saved model bundle to {bundle}" in capsys.readouterr().out
+
+        assert main(["deploy", "OS scan", "--model", bundle,
+                     "--flows", "150", "--seed", "5"]) == 0
+        out = capsys.readouterr().out
+        assert f"loaded bundle {bundle}" in out
+        assert "per-packet macro F1" in out
+
+        assert main(["serve", "OS scan", "--model", bundle, "--flows", "120",
+                     "--chunk-size", "900", "--drift", "0", "--seed", "5"]) == 0
+        out = capsys.readouterr().out
+        assert f"loaded bundle {bundle}" in out
+        assert "served" in out
+
 
 class TestTelemetryFlag:
     def test_train_writes_report(self, tmp_path, capsys):
@@ -87,6 +121,21 @@ class TestTelemetryFlag:
             assert report["counters"][f"switch.path.{p}"] == count
         names = {s["name"] for s in report["spans"]}
         assert {"dataset", "train", "compile", "replay", "metrics"} <= names
+
+    def test_serve_report_has_runtime_counters(self, tmp_path, capsys):
+        from repro.telemetry import load_report
+
+        path = str(tmp_path / "serve.telemetry.json")
+        assert main(
+            ["serve", "UDP DDoS", "--flows", "120", "--chunk-size", "900",
+             "--drift", "0", "--seed", "4", "--telemetry", path]
+        ) == 0
+        report = load_report(path)
+        assert report["meta"]["command"] == "serve"
+        assert report["counters"]["runtime.chunks"] >= 1
+        assert report["counters"]["runtime.packets"] >= 1
+        names = {s["name"] for s in report["spans"]}
+        assert "serve" in names
 
     def test_telemetry_disabled_after_run(self, tmp_path):
         from repro.telemetry import get_registry

@@ -1,0 +1,190 @@
+"""Artifact persistence round-trips (:mod:`repro.io`).
+
+Every deployable object must reload to something *behaviourally
+identical*: same quantizer fingerprint (so install-time checks still
+pass), same forest votes, same ensemble scores.  A trained model is
+fitted once per module and shared.
+"""
+
+import json
+
+import numpy as np
+import pytest
+
+from repro import io as rio
+from repro.core.deployment import compile_switch_artifacts
+from repro.datasets import generate_benign_flows
+from repro.features.flow_features import FlowFeatureExtractor
+from repro.features.scaling import IntegerQuantizer
+from repro.switch.pipeline import PipelineConfig, SwitchPipeline
+from repro.telemetry import MetricRegistry, use_registry
+from tests.runtime.common import light_model_factory
+
+
+@pytest.fixture(scope="module")
+def trained():
+    flows = generate_benign_flows(60, seed=21)
+    fx = FlowFeatureExtractor(feature_set="switch", pkt_count_threshold=8, timeout=5.0)
+    x, _ = fx.extract_flows(flows)
+    model = light_model_factory(seed=23).fit(x)
+    artifacts = compile_switch_artifacts(model, x, train_flows=flows, seed=25)
+    return flows, x, model, artifacts
+
+
+class TestQuantizerRoundTrip:
+    def test_fingerprint_preserved(self, trained):
+        _flows, _x, _model, artifacts = trained
+        doc = rio.quantizer_to_dict(artifacts.fl_quantizer)
+        back = rio.quantizer_from_dict(doc)
+        assert back.fingerprint() == artifacts.fl_quantizer.fingerprint()
+
+    def test_quantization_identical(self, trained):
+        _flows, x, _model, artifacts = trained
+        back = rio.quantizer_from_dict(rio.quantizer_to_dict(artifacts.fl_quantizer))
+        np.testing.assert_array_equal(
+            back.quantize(x), artifacts.fl_quantizer.quantize(x)
+        )
+
+    def test_unfitted_rejected(self):
+        with pytest.raises(ValueError, match="unfitted"):
+            rio.quantizer_to_dict(IntegerQuantizer(bits=8))
+
+    def test_survives_json_text(self, trained):
+        """The document must survive an actual serialise/parse cycle."""
+        _flows, _x, _model, artifacts = trained
+        doc = json.loads(json.dumps(rio.quantizer_to_dict(artifacts.fl_quantizer)))
+        assert rio.quantizer_from_dict(doc).fingerprint() == (
+            artifacts.fl_quantizer.fingerprint()
+        )
+
+
+class TestRulesetRoundTrip:
+    def test_rules_and_fingerprint_preserved(self, trained):
+        _flows, _x, _model, artifacts = trained
+        back = rio.ruleset_from_dict(rio.ruleset_to_dict(artifacts.fl_rules))
+        assert back.bits == artifacts.fl_rules.bits
+        assert back.default_label == artifacts.fl_rules.default_label
+        assert back.quantizer_fingerprint == artifacts.fl_rules.quantizer_fingerprint
+        assert len(back) == len(artifacts.fl_rules)
+        for a, b in zip(back.rules, artifacts.fl_rules.rules):
+            assert a.lows == b.lows and a.highs == b.highs and a.label == b.label
+
+    def test_wrong_kind_rejected(self, trained):
+        _flows, _x, _model, artifacts = trained
+        doc = rio.quantizer_to_dict(artifacts.fl_quantizer)
+        with pytest.raises(ValueError, match="quantized_ruleset"):
+            rio.ruleset_from_dict(doc)
+
+    def test_wrong_schema_rejected(self, trained):
+        _flows, _x, _model, artifacts = trained
+        doc = rio.ruleset_to_dict(artifacts.fl_rules)
+        doc["schema"] = "someone-else/v9"
+        with pytest.raises(ValueError, match="repro.io/v1"):
+            rio.ruleset_from_dict(doc)
+
+
+class TestForestRoundTrip:
+    def test_votes_identical(self, trained):
+        _flows, x, model, _artifacts = trained
+        back = rio.forest_from_dict(rio.forest_to_dict(model.distilled_))
+        from repro.utils.transforms import signed_log1p
+
+        x_log = signed_log1p(x)
+        np.testing.assert_array_equal(
+            back.vote_fraction(x_log), model.distilled_.vote_fraction(x_log)
+        )
+        assert back.distilled_ == model.distilled_.distilled_
+
+    def test_survives_json_text(self, trained):
+        _flows, x, model, _artifacts = trained
+        doc = json.loads(json.dumps(rio.forest_to_dict(model.distilled_)))
+        back = rio.forest_from_dict(doc)
+        from repro.utils.transforms import signed_log1p
+
+        np.testing.assert_array_equal(
+            back.vote_fraction(signed_log1p(x)),
+            model.distilled_.vote_fraction(signed_log1p(x)),
+        )
+
+
+class TestEnsembleRoundTrip:
+    def test_scores_identical(self, trained, tmp_path):
+        _flows, x, model, _artifacts = trained
+        path = rio.save_ensemble(tmp_path / "ens.npz", model.oracle)
+        back = rio.load_ensemble(path)
+        np.testing.assert_allclose(
+            back.anomaly_scores(x), model.oracle.anomaly_scores(x), rtol=0, atol=0
+        )
+        np.testing.assert_array_equal(back.predict(x), model.oracle.predict(x))
+        np.testing.assert_array_equal(back.thresholds_, model.oracle.thresholds_)
+
+    def test_uncalibrated_rejected(self, tmp_path):
+        from repro.nn.ensemble import AutoencoderEnsemble
+
+        with pytest.raises(ValueError, match="uncalibrated"):
+            rio.save_ensemble(tmp_path / "e.npz", AutoencoderEnsemble())
+
+
+class TestModelBundle:
+    def test_round_trip_with_all_parts(self, trained, tmp_path):
+        _flows, x, model, artifacts = trained
+        directory = tmp_path / "bundle"
+        registry = MetricRegistry()
+        with use_registry(registry):
+            rio.save_model_bundle(
+                directory, artifacts, forest=model.distilled_,
+                ensemble=model.oracle, meta={"model": "iguard", "seed": 23},
+            )
+            assert rio.is_model_bundle(directory)
+            bundle = rio.load_model_bundle(directory)
+
+        assert bundle.meta == {"model": "iguard", "seed": 23}
+        assert bundle.artifacts.n_fl_rules == artifacts.n_fl_rules
+        assert bundle.artifacts.fl_rules.quantizer_fingerprint == (
+            bundle.artifacts.fl_quantizer.fingerprint()
+        )
+        assert bundle.artifacts.pl_rules is not None
+        assert bundle.forest is not None and bundle.ensemble is not None
+        assert registry.counters_dict()["io.bundles_saved"] == 1
+        assert registry.counters_dict()["io.bundles_loaded"] == 1
+        assert any(e["kind"] == "io.bundle_saved" for e in registry.events)
+
+    def test_minimal_bundle(self, trained, tmp_path):
+        """FL rules + quantizer only — the smallest deployable bundle."""
+        _flows, _x, _model, artifacts = trained
+        from repro.core.deployment import SwitchArtifacts
+
+        minimal = SwitchArtifacts(
+            fl_rules=artifacts.fl_rules, fl_quantizer=artifacts.fl_quantizer
+        )
+        directory = rio.save_model_bundle(tmp_path / "minimal", minimal)
+        bundle = rio.load_model_bundle(directory)
+        assert bundle.artifacts.pl_rules is None
+        assert bundle.forest is None and bundle.ensemble is None
+
+    def test_reloaded_artifacts_install_into_pipeline(self, trained, tmp_path):
+        """The whole point: a reloaded bundle passes the pipeline's
+        install-time fingerprint checks, both at construction and when
+        staged into a live pipeline for a hot swap."""
+        _flows, _x, _model, artifacts = trained
+        directory = rio.save_model_bundle(tmp_path / "deploy", artifacts)
+        arts = rio.load_model_bundle(directory).artifacts
+
+        pipeline = SwitchPipeline(
+            fl_rules=arts.fl_rules,
+            fl_quantizer=arts.fl_quantizer,
+            pl_rules=arts.pl_rules,
+            pl_quantizer=arts.pl_quantizer,
+            config=PipelineConfig(pkt_count_threshold=8, timeout=5.0),
+        )
+        pipeline.stage_tables(
+            arts.fl_rules, arts.fl_quantizer,
+            pl_rules=arts.pl_rules, pl_quantizer=arts.pl_quantizer,
+        )
+        pipeline.hot_swap()
+        assert pipeline.table_swaps == 1
+
+    def test_missing_manifest_is_not_a_bundle(self, tmp_path):
+        assert not rio.is_model_bundle(tmp_path)
+        with pytest.raises(FileNotFoundError):
+            rio.load_model_bundle(tmp_path)
