@@ -1,0 +1,268 @@
+"""Fault-injection cost model: disabled-hook overhead and recovery latency.
+
+Two questions decide whether the fault layer can stay compiled into the
+serving runtime:
+
+* **Disabled-hook overhead** — the cost of a fully disabled fault plan
+  (every injector at p=0, the digest channel interposed but
+  pass-through) relative to a serve with no plan at all.  The budget is
+  <2%: below that, production runs can keep the hooks resident and
+  chaos runs differ only by a spec string.
+
+  The layer adds *no per-packet work* — only a per-chunk hook and a
+  per-digest channel hop — so the overhead is measured analytically:
+  each hook is micro-timed over thousands of iterations (stable even on
+  noisy machines), multiplied by how often the serve invokes it, and
+  divided by the serve's wall time.  An end-to-end A/B pps comparison
+  is also recorded, but purely as information: shared-machine timing
+  noise on sub-second serves exceeds the 2% budget, so the analytic
+  number is the one gated on.
+* **Recovery latency** — after a one-shot state-destroying fault
+  (store pressure, register saturation), how many chunks until the
+  per-chunk verdicts re-converge with the fault-free run.  For the
+  digest-channel faults, which corrupt no switch state, the divergence
+  they cause is reported instead.
+
+Emits ``BENCH_faults.json`` at the repo root.  Runs standalone
+(``PYTHONPATH=src python benchmarks/bench_faults.py``) or under
+pytest-benchmark.
+
+Scale knobs: ``REPRO_BENCH_FAULTS_FLOWS`` (benign flows, default 600),
+``REPRO_BENCH_FAULTS_CHUNK`` (chunk size, default 2048),
+``REPRO_BENCH_SEED``.
+"""
+
+import json
+import os
+import sys
+import time
+from pathlib import Path
+
+import numpy as np
+
+if __package__ in (None, ""):  # standalone: put the repo root on sys.path
+    sys.path.insert(0, str(Path(__file__).resolve().parents[1]))
+
+from benchmarks.bench_batch_replay import build_workload
+from benchmarks.common import bench_seed
+from repro.faults import FaultPlan
+from repro.runtime import StreamDriver
+
+FAULT_FLOWS = int(os.environ.get("REPRO_BENCH_FAULTS_FLOWS", "600"))
+CHUNK_SIZE = int(os.environ.get("REPRO_BENCH_FAULTS_CHUNK", "2048"))
+REPEATS = 5
+OUT_PATH = Path(__file__).resolve().parents[1] / "BENCH_faults.json"
+
+#: Every injector armed at p=0: hooks execute, nothing ever fires.
+DISABLED_SPEC = (
+    "digest_loss:p=0;digest_dup:p=0;digest_reorder:p=0;digest_delay:p=0;"
+    "store_pressure:p=0;register_saturation:p=0;retrain_failure:p=0;"
+    "artifact_corruption:p=0;table_install_flake:p=0"
+)
+
+#: One-shot state faults measured for chunks-to-recover.
+RECOVERY_SPECS = {
+    "store_pressure": "seed=7;store_pressure:at={at},fraction=0.5",
+    "register_saturation": "seed=7;register_saturation:at={at},fraction=0.5",
+}
+
+#: Sustained digest faults measured for verdict divergence.
+DIVERGENCE_SPECS = {
+    "digest_loss": "seed=7;digest_loss:p=0.5",
+    "digest_dup": "seed=7;digest_dup:p=0.5",
+    "digest_reorder": "seed=7;digest_reorder:p=0.5",
+    "digest_delay": "seed=7;digest_delay:p=0.5,chunks=2",
+}
+
+
+def _stream_chunks(trace, make_pipeline, plan=None):
+    """Per-chunk prediction arrays (and the pipeline) for one serve."""
+    pipeline = make_pipeline()
+    driver = StreamDriver(pipeline, chunk_size=CHUNK_SIZE, faults=plan)
+    if plan is not None:
+        plan.install(pipeline)
+    preds = [chunk.replay.y_pred for chunk in driver.run(trace)]
+    if plan is not None:
+        plan.finalize()
+    return preds, pipeline
+
+
+def _one_round(trace, make_pipeline, spec):
+    """Wall-clock pps of a single serve with a fresh pipeline (and a
+    fresh plan — injector RNGs are stateful)."""
+    plan = None if spec is None else FaultPlan.from_spec(spec)
+    pipeline = make_pipeline()
+    driver = StreamDriver(pipeline, chunk_size=CHUNK_SIZE, faults=plan)
+    if plan is not None:
+        plan.install(pipeline)
+    start = time.perf_counter()
+    for _chunk in driver.run(trace):
+        pass
+    return len(trace) / (time.perf_counter() - start)
+
+
+def _measure_overhead(trace, make_pipeline, repeats=REPEATS):
+    """Best-of-*repeats* pps with and without the disabled fault plan.
+
+    The two variants are interleaved round-by-round so slow machine
+    drift (thermal, noisy neighbours) biases neither side; best-of
+    filters out the remaining one-sided stalls."""
+    _one_round(trace, make_pipeline, None)  # warm-up, not timed
+    base_best = hooked_best = 0.0
+    for _ in range(repeats):
+        base_best = max(base_best, _one_round(trace, make_pipeline, None))
+        hooked_best = max(
+            hooked_best, _one_round(trace, make_pipeline, DISABLED_SPEC)
+        )
+    return base_best, hooked_best
+
+
+def _measure_hook_cost(make_pipeline, iters=20000):
+    """Per-invocation cost of the two disabled hooks, micro-timed.
+
+    ``on_chunk_end`` runs once per chunk (every chunk injector draws or
+    declines, the channel ages an empty queue); the digest channel's
+    ``send`` runs once per emitted digest (four pass-through Bernoulli
+    declines, then delivery).  The channel is detached from the
+    pipeline for the send timing so only the *added* layer is measured
+    — controller delivery happens identically in a plan-free serve."""
+    from repro.datasets.packet import FiveTuple
+    from repro.switch.pipeline import Digest
+
+    plan = FaultPlan.from_spec(DISABLED_SPEC)
+    pipeline = make_pipeline()
+    plan.install(pipeline)
+
+    start = time.perf_counter()
+    for i in range(iters):
+        plan.on_chunk_end(pipeline, i)
+    per_chunk = (time.perf_counter() - start) / iters
+
+    channel = plan.channel
+    channel.pipeline = None  # measure the hop, not the delivery
+    digest = Digest(
+        five_tuple=FiveTuple(0x0A000001, 0x0A000002, 40000, 80, 6),
+        label=1,
+        timestamp=0.0,
+    )
+    start = time.perf_counter()
+    for _ in range(iters):
+        channel.send(digest)
+    per_digest = (time.perf_counter() - start) / iters
+    return per_chunk, per_digest
+
+
+def _chunks_to_recover(fault_chunks, base_chunks, at, tol=0.01):
+    """Chunks after *at* until per-chunk verdicts re-converge (mismatch
+    fraction <= *tol*); also the peak mismatch while diverged."""
+    peak = 0.0
+    for i in range(at + 1, len(base_chunks)):
+        mismatch = float(np.mean(fault_chunks[i] != base_chunks[i]))
+        peak = max(peak, mismatch)
+        if mismatch <= tol:
+            return i - at, peak
+    return None, peak  # never re-converged within the trace
+
+
+def run():
+    trace, make_pipeline = build_workload(
+        seed=bench_seed("faults"), n_flows=FAULT_FLOWS
+    )
+    base_chunks, base_pipeline = _stream_chunks(trace, make_pipeline)
+    n_chunks = len(base_chunks)
+    at = max(1, n_chunks // 3)  # fault lands with room to recover
+
+    # Hooks-resident-but-disabled must serve bit-identical verdicts.
+    disabled_chunks, _dp = _stream_chunks(
+        trace, make_pipeline, FaultPlan.from_spec(DISABLED_SPEC)
+    )
+    for a, b in zip(disabled_chunks, base_chunks):
+        assert (a == b).all(), "disabled fault plan changed verdicts"
+
+    base_pps, hooked_pps = _measure_overhead(trace, make_pipeline)
+    per_chunk_s, per_digest_s = _measure_hook_cost(make_pipeline)
+    serve_s = len(trace) / base_pps
+    digests = base_pipeline.digests_emitted
+    hook_s = per_chunk_s * n_chunks + per_digest_s * digests
+    overhead = 1.0 + hook_s / serve_s
+
+    recovery = {}
+    for name, template in RECOVERY_SPECS.items():
+        plan = FaultPlan.from_spec(template.format(at=at))
+        chunks, _fp = _stream_chunks(trace, make_pipeline, plan)
+        fired = sum(i.fired for i in plan.injectors)
+        assert fired > 0, f"{name} never fired"
+        to_recover, peak = _chunks_to_recover(chunks, base_chunks, at)
+        recovery[name] = {
+            "fault_chunk": at,
+            "chunks_to_recover": to_recover,
+            "peak_divergence": round(peak, 4),
+        }
+
+    # Digest faults corrupt no switch state, so data-plane verdicts stay
+    # put (the flow-label register decides; the blacklist only
+    # short-circuits repeat offenders).  Their footprint is on the
+    # controller: lost digests are blacklist entries never installed.
+    divergence = {}
+    base_flat = np.concatenate(base_chunks)
+    for name, spec in DIVERGENCE_SPECS.items():
+        plan = FaultPlan.from_spec(spec)
+        chunks, fault_pipeline = _stream_chunks(trace, make_pipeline, plan)
+        divergence[name] = {
+            "verdict_divergence": round(
+                float(np.mean(np.concatenate(chunks) != base_flat)), 4
+            ),
+            "blacklist_installs": fault_pipeline.blacklist.installs,
+            "blacklist_installs_base": base_pipeline.blacklist.installs,
+            "faults_fired": sum(i.fired for i in plan.injectors),
+        }
+
+    report = {
+        "n_packets": len(trace),
+        "n_chunks": n_chunks,
+        "chunk_size": CHUNK_SIZE,
+        "base_pps": round(base_pps, 1),
+        "disabled_hooks_pps": round(hooked_pps, 1),
+        "hook_cost_per_chunk_us": round(1e6 * per_chunk_s, 3),
+        "hook_cost_per_digest_us": round(1e6 * per_digest_s, 3),
+        "digests_emitted": digests,
+        "disabled_hook_overhead": round(overhead, 6),
+        "overhead_budget": 1.02,
+        "overhead_ok": bool(overhead <= 1.02),
+        "recovery": recovery,
+        "divergence": divergence,
+    }
+    OUT_PATH.write_text(json.dumps(report, indent=2) + "\n")
+    return report
+
+
+def test_fault_layer_cost(benchmark):
+    from benchmarks.common import single_round
+
+    report = single_round(benchmark, run)
+    print()
+    print(f"Fault layer — {report['n_packets']} packets in "
+          f"{report['n_chunks']} chunks of {report['chunk_size']}")
+    print(f"  no hooks:       {report['base_pps']:>10.0f} pps")
+    print(f"  disabled hooks: {report['disabled_hooks_pps']:>10.0f} pps (A/B, "
+          f"informational)")
+    print(f"  hook cost: {report['hook_cost_per_chunk_us']:.2f} us/chunk + "
+          f"{report['hook_cost_per_digest_us']:.2f} us/digest "
+          f"-> {report['disabled_hook_overhead']:.4f}x overhead")
+    for name, r in report["recovery"].items():
+        print(f"  {name}: recovered in {r['chunks_to_recover']} chunks "
+              f"(peak divergence {r['peak_divergence']:.1%})")
+    for name, d in report["divergence"].items():
+        print(f"  {name}: verdict divergence {d['verdict_divergence']:.2%}, "
+              f"blacklist {d['blacklist_installs']} vs "
+              f"{d['blacklist_installs_base']} "
+              f"({d['faults_fired']} faults fired)")
+    assert report["overhead_ok"], (
+        f"disabled hooks cost {report['disabled_hook_overhead']:.3f}x "
+        f"(budget {report['overhead_budget']}x)"
+    )
+
+
+if __name__ == "__main__":
+    out = run()
+    print(json.dumps(out, indent=2))

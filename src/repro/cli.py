@@ -10,7 +10,13 @@ Subcommands cover the adoption path end to end:
   attack and print per-packet metrics, paths, and resources.
 * ``serve``   — run the online serving runtime on a streaming trace:
   chunked replay with drift monitoring, runtime retrains, and staged
-  whitelist hot-swaps (:mod:`repro.runtime`).
+  whitelist hot-swaps (:mod:`repro.runtime`).  ``--faults SPEC``
+  injects a deterministic fault schedule (:mod:`repro.faults`);
+  ``--checkpoint DIR`` journals crash-safe snapshots at chunk
+  boundaries.
+* ``resume``  — continue a killed ``serve --checkpoint`` run from its
+  last snapshot; the completed run prints verdict totals identical to
+  the uninterrupted one.  Idempotent on an already-complete checkpoint.
 * ``export``  — write the P4-16 program and table entries for a trained
   model; ``--bundle DIR`` also persists the model as a reloadable
   :mod:`repro.io` bundle.
@@ -102,6 +108,30 @@ def _build_parser() -> argparse.ArgumentParser:
         help="benign distribution shift of the streamed trace",
     )
     p_serve.add_argument("--seed", type=int, default=7)
+    p_serve.add_argument(
+        "--faults", metavar="SPEC", default=None,
+        help="deterministic fault schedule, e.g. "
+        "'seed=7;digest_loss:p=0.2;store_pressure:at=3' (see repro.faults)",
+    )
+    p_serve.add_argument(
+        "--checkpoint", metavar="DIR", default=None,
+        help="journal crash-safe snapshots to DIR (resume with 'repro resume DIR')",
+    )
+    p_serve.add_argument(
+        "--checkpoint-every", type=int, default=1, metavar="N",
+        help="snapshot every N-th chunk boundary (default 1)",
+    )
+
+    p_resume = sub.add_parser(
+        "resume",
+        help="continue a killed 'serve --checkpoint' run from its snapshot",
+        parents=[telemetry],
+    )
+    p_resume.add_argument("checkpoint", help="checkpoint directory written by serve")
+    p_resume.add_argument(
+        "--no-faults", action="store_true",
+        help="resume without the checkpointed fault schedule",
+    )
 
     p_export = sub.add_parser(
         "export", help="write P4 artifacts for a trained model", parents=[telemetry]
@@ -240,11 +270,48 @@ def _cmd_deploy(args) -> int:
     return 0
 
 
+def _print_serve_summary(report, attack: str, shift: str) -> None:
+    """Shared serve/resume summary.
+
+    The ``final verdicts:`` line is deterministic for a given trace and
+    schedule (no wall-clock quantities), so a kill-and-resume run can be
+    diffed against an uninterrupted one on exactly that line.
+    """
+    import numpy as np
+
+    from repro.eval.metrics import confusion_counts, macro_f1
+
+    print(f"served {report.n_packets} packets in {report.n_chunks} chunks "
+          f"({attack}, shift={shift})")
+    print(f"drift signals={report.drift_signals}  retrains={report.retrains}  "
+          f"swaps={report.n_swaps}  rollbacks={report.n_rollbacks}")
+    if report.retrain_failures:
+        print(f"retrain failures={report.retrain_failures}")
+    for event in report.swap_events:
+        outcome = "rolled back" if event.rolled_back else "swapped"
+        retry = f", {event.attempts} attempts" if event.attempts > 1 else ""
+        print(f"  chunk {event.chunk_index}: {event.reason} -> {outcome} "
+              f"(pause {event.duration_s * 1e3:.2f} ms{retry})")
+    if report.fault_counts:
+        fired = "  ".join(
+            f"{name}={count}" for name, count in sorted(report.fault_counts.items())
+        )
+        print(f"faults fired: {fired}")
+    c = confusion_counts(report.y_true, report.y_pred)
+    recall = c.tp / (c.tp + c.fn) if (c.tp + c.fn) else 0.0
+    fpr = c.fp / (c.fp + c.tn) if (c.fp + c.tn) else 0.0
+    print(f"per-packet macro F1 {macro_f1(report.y_true, report.y_pred):.3f}  "
+          f"recall {recall:.3f}  FPR {fpr:.3f}")
+    benign = int(np.sum(report.y_pred == 0))
+    malicious = int(np.sum(report.y_pred == 1))
+    print(f"final verdicts: benign={benign} malicious={malicious} "
+          f"packets={report.n_packets}")
+
+
 def _cmd_serve(args) -> int:
     from repro.datasets import make_drift_split
-    from repro.eval.metrics import confusion_counts, macro_f1
     from repro.io import is_model_bundle
-    from repro.runtime import OnlineDetectionService, RuntimeConfig
+    from repro.runtime import CheckpointManager, OnlineDetectionService, RuntimeConfig
 
     split = make_drift_split(
         args.attack, n_benign_flows=args.flows, shift=args.shift, seed=args.seed
@@ -266,22 +333,73 @@ def _cmd_serve(args) -> int:
         cadence=args.cadence,
         max_swaps=args.max_swaps,
     )
-    service = OnlineDetectionService(pipeline, config=config, seed=args.seed)
-    report = service.serve(split.stream_trace)
+    faults = None
+    if args.faults:
+        from repro.faults import FaultPlan
 
-    print(f"served {report.n_packets} packets in {report.n_chunks} chunks "
-          f"({args.attack}, shift={args.shift})")
-    print(f"drift signals={report.drift_signals}  retrains={report.retrains}  "
-          f"swaps={report.n_swaps}  rollbacks={report.n_rollbacks}")
-    for event in report.swap_events:
-        outcome = "rolled back" if event.rolled_back else "swapped"
-        print(f"  chunk {event.chunk_index}: {event.reason} -> {outcome} "
-              f"(pause {event.duration_s * 1e3:.2f} ms)")
-    c = confusion_counts(report.y_true, report.y_pred)
-    recall = c.tp / (c.tp + c.fn) if (c.tp + c.fn) else 0.0
-    fpr = c.fp / (c.fp + c.tn) if (c.fp + c.tn) else 0.0
-    print(f"per-packet macro F1 {macro_f1(report.y_true, report.y_pred):.3f}  "
-          f"recall {recall:.3f}  FPR {fpr:.3f}")
+        faults = FaultPlan.from_spec(args.faults)
+    checkpoint = None
+    if args.checkpoint:
+        # The meta block carries everything resume needs to rebuild the
+        # identical trace and config.
+        checkpoint = CheckpointManager(
+            args.checkpoint,
+            every=args.checkpoint_every,
+            meta={
+                "attack": args.attack,
+                "model": args.model,
+                "flows": args.flows,
+                "chunk_size": args.chunk_size,
+                "drift": args.drift,
+                "cadence": args.cadence,
+                "max_swaps": args.max_swaps,
+                "shift": args.shift,
+                "seed": args.seed,
+                "faults": args.faults,
+                "checkpoint_every": args.checkpoint_every,
+            },
+        )
+    service = OnlineDetectionService(
+        pipeline, config=config, seed=args.seed, faults=faults
+    )
+    report = service.serve(split.stream_trace, checkpoint=checkpoint)
+    _print_serve_summary(report, args.attack, args.shift)
+    return 0
+
+
+def _cmd_resume(args) -> int:
+    from repro.datasets import make_drift_split
+    from repro.runtime import CheckpointManager, report_from_dict, restore_service
+
+    doc = CheckpointManager.load(args.checkpoint)
+    meta = doc.get("meta", {})
+    attack = meta.get("attack", "?")
+    shift = meta.get("shift", "none")
+    if doc.get("status") == "complete":
+        # Nothing to do — reprint the stored summary so callers diffing
+        # output get identical verdict totals from repeated resumes.
+        print(f"checkpoint {args.checkpoint} is complete; nothing to resume")
+        _print_serve_summary(report_from_dict(doc["report"]), attack, shift)
+        return 0
+
+    service, report = restore_service(
+        doc, faults=None if args.no_faults else "auto"
+    )
+    print(f"resuming {attack} from chunk {report.n_chunks} "
+          f"({report.n_packets} packets served before the crash)")
+    split = make_drift_split(
+        attack,
+        n_benign_flows=int(meta["flows"]),
+        shift=shift,
+        seed=int(meta["seed"]),
+    )
+    checkpoint = CheckpointManager(
+        args.checkpoint, every=int(meta.get("checkpoint_every", 1)), meta=meta
+    )
+    report = service.serve(
+        split.stream_trace, checkpoint=checkpoint, resume_report=report
+    )
+    _print_serve_summary(report, attack, shift)
     return 0
 
 
@@ -336,6 +454,7 @@ _COMMANDS = {
     "evaluate": _cmd_evaluate,
     "deploy": _cmd_deploy,
     "serve": _cmd_serve,
+    "resume": _cmd_resume,
     "export": _cmd_export,
     "report": _cmd_report,
 }

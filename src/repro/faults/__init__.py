@@ -1,0 +1,66 @@
+"""Deterministic fault injection for the serving runtime.
+
+A :class:`FaultPlan` bundles seeded injectors for the failure modes a
+deployed iGuard actually sees — digest-channel loss/dup/reorder/delay,
+flow-store pressure, verdict-register saturation, retrain failures,
+corrupt recompiled artifacts, flaky table installs, and process death —
+and threads them through :class:`~repro.runtime.stream.StreamDriver`
+and :class:`~repro.runtime.service.OnlineDetectionService`.  Plans are
+pure functions of ``(spec, seed, trace)``: the chaos suite replays the
+same scenario bit-identically, and a checkpoint-resumed run continues
+the exact fault schedule of the uninterrupted one.
+
+Entry points: ``FaultPlan.from_spec("seed=7;digest_loss:p=0.2;...")``
+(the ``repro serve --faults`` grammar), the injector classes for
+programmatic plans, and :func:`retry_with_backoff` for hardening
+control-plane operations.
+"""
+
+from repro.faults.channel import FaultyDigestChannel
+from repro.faults.errors import (
+    FaultError,
+    RetrainFaultError,
+    SimulatedKill,
+    TransientFaultError,
+)
+from repro.faults.injectors import (
+    INJECTOR_TYPES,
+    ArtifactCorruption,
+    DigestDelay,
+    DigestDuplication,
+    DigestLoss,
+    DigestReorder,
+    FaultInjector,
+    KillSwitch,
+    RegisterSaturation,
+    RetrainFailure,
+    StorePressure,
+    TableInstallFlake,
+)
+from repro.faults.plan import FaultPlan, parse_fault_spec
+from repro.faults.retry import DeadlineExceeded, backoff_schedule, retry_with_backoff
+
+__all__ = [
+    "ArtifactCorruption",
+    "DeadlineExceeded",
+    "DigestDelay",
+    "DigestDuplication",
+    "DigestLoss",
+    "DigestReorder",
+    "FaultError",
+    "FaultInjector",
+    "FaultPlan",
+    "FaultyDigestChannel",
+    "INJECTOR_TYPES",
+    "KillSwitch",
+    "RegisterSaturation",
+    "RetrainFailure",
+    "RetrainFaultError",
+    "SimulatedKill",
+    "StorePressure",
+    "TableInstallFlake",
+    "TransientFaultError",
+    "backoff_schedule",
+    "parse_fault_spec",
+    "retry_with_backoff",
+]

@@ -1,0 +1,180 @@
+"""A lossy, reordering digest channel between data and control plane.
+
+On hardware the digest path is an asynchronous DMA ring plus a PCIe
+hop: under load it drops, duplicates, reorders, and delays reports.  The
+simulator's default channel is a synchronous function call
+(``pipeline.controller.handle_digest``); this class sits in that call
+path (``pipeline.digest_channel``) and applies the digest-kind
+injectors in a fixed order per digest:
+
+    loss → duplication → delay (per copy) → reorder (per copy)
+
+Delayed digests age at chunk boundaries (:meth:`on_chunk_end`) —  the
+only clock the serving loop has — and everything still pending is
+delivered by :meth:`flush` when the stream ends, so a fault run loses
+exactly the digests the loss injector dropped, never the tail.
+
+Accounting invariant (asserted by the chaos suite)::
+
+    sent + duplicated == delivered + dropped + pending
+"""
+
+from __future__ import annotations
+
+from typing import List, Optional
+
+from repro.switch.pipeline import Digest, SwitchPipeline
+
+from repro.faults.injectors import (
+    DigestDelay,
+    DigestDuplication,
+    DigestLoss,
+    DigestReorder,
+)
+
+
+def digest_to_obj(digest: Digest) -> list:
+    ft = digest.five_tuple
+    return [
+        ft.src_ip, ft.dst_ip, ft.src_port, ft.dst_port, ft.protocol,
+        digest.label, digest.timestamp,
+    ]
+
+
+def digest_from_obj(obj: list) -> Digest:
+    from repro.datasets.packet import FiveTuple
+
+    return Digest(
+        five_tuple=FiveTuple(*(int(v) for v in obj[:5])),
+        label=int(obj[5]),
+        timestamp=float(obj[6]),
+    )
+
+
+class FaultyDigestChannel:
+    """Digest transport with injectable loss/dup/reorder/delay."""
+
+    def __init__(
+        self,
+        loss: Optional[DigestLoss] = None,
+        dup: Optional[DigestDuplication] = None,
+        reorder: Optional[DigestReorder] = None,
+        delay: Optional[DigestDelay] = None,
+    ) -> None:
+        self.loss = loss
+        self.dup = dup
+        self.reorder = reorder
+        self.delay = delay
+        self.pipeline: Optional[SwitchPipeline] = None
+        self.sent = 0
+        self.delivered = 0
+        self.dropped = 0
+        self.duplicated = 0
+        self._held: Optional[Digest] = None
+        #: ``[remaining_chunk_boundaries, digest]`` queue entries.
+        self._delayed: List[list] = []
+
+    # -- wiring -------------------------------------------------------------
+
+    def attach(self, pipeline: SwitchPipeline) -> None:
+        self.pipeline = pipeline
+        pipeline.digest_channel = self
+
+    @property
+    def pending(self) -> int:
+        return len(self._delayed) + (1 if self._held is not None else 0)
+
+    # -- the transport ------------------------------------------------------
+
+    def send(self, digest: Digest) -> None:
+        """Called by the pipeline in place of direct controller delivery."""
+        self.sent += 1
+        if self.loss is not None and self.loss.applies():
+            self.loss.record()
+            self.dropped += 1
+            return
+        copies = 1
+        if self.dup is not None and self.dup.applies():
+            self.dup.record()
+            self.duplicated += 1
+            copies = 2
+        for _ in range(copies):
+            self._route(digest)
+
+    def _route(self, digest: Digest) -> None:
+        if self.delay is not None and self.delay.applies():
+            self.delay.record()
+            self._delayed.append([self.delay.chunks, digest])
+            return
+        if self.reorder is not None and self.reorder.applies():
+            self.reorder.record()
+            if self._held is None:
+                self._held = digest
+                return
+            # Already holding one: release it, hold the newcomer — at most
+            # one digest is ever in flight out of order.
+            held, self._held = self._held, digest
+            self._deliver(held)
+            return
+        self._deliver(digest)
+        if self._held is not None:
+            held, self._held = self._held, None
+            self._deliver(held)  # the swap completes: held rides out second
+
+    def _deliver(self, digest: Digest) -> None:
+        self.delivered += 1
+        if self.pipeline is not None and self.pipeline.controller is not None:
+            self.pipeline.controller.handle_digest(digest)
+
+    # -- clock edges --------------------------------------------------------
+
+    def on_chunk_end(self) -> None:
+        """Age the delay queue and release any held-for-reorder digest.
+
+        Reordering never crosses a chunk boundary: the boundary is where
+        the control plane reconciles, so a held digest is delivered here.
+        """
+        if self._held is not None:
+            held, self._held = self._held, None
+            self._deliver(held)
+        if self._delayed:
+            still: List[list] = []
+            for entry in self._delayed:
+                entry[0] -= 1
+                if entry[0] <= 0:
+                    self._deliver(entry[1])
+                else:
+                    still.append(entry)
+            self._delayed = still
+
+    def flush(self) -> None:
+        """End of stream: deliver everything still pending, in order."""
+        if self._held is not None:
+            held, self._held = self._held, None
+            self._deliver(held)
+        for entry in self._delayed:
+            self._deliver(entry[1])
+        self._delayed = []
+
+    # -- checkpointing ------------------------------------------------------
+
+    def state_dict(self) -> dict:
+        return {
+            "sent": self.sent,
+            "delivered": self.delivered,
+            "dropped": self.dropped,
+            "duplicated": self.duplicated,
+            "held": None if self._held is None else digest_to_obj(self._held),
+            "delayed": [[int(n), digest_to_obj(d)] for n, d in self._delayed],
+        }
+
+    def load_state(self, doc: dict) -> None:
+        self.sent = int(doc["sent"])
+        self.delivered = int(doc["delivered"])
+        self.dropped = int(doc["dropped"])
+        self.duplicated = int(doc["duplicated"])
+        held = doc.get("held")
+        self._held = None if held is None else digest_from_obj(held)
+        self._delayed = [
+            [int(n), digest_from_obj(d)] for n, d in doc.get("delayed", [])
+        ]

@@ -1,0 +1,39 @@
+"""Exception taxonomy of the fault layer.
+
+Three distinct failure shapes, mapped to how the control plane must
+react (DESIGN.md §"Failure model"):
+
+* :class:`TransientFaultError` — a controller operation that may succeed
+  on retry (table install flake, digest channel hiccup).  Wrapped in
+  :func:`repro.faults.retry.retry_with_backoff`.
+* :class:`RetrainFaultError` — the refit itself failed (OOM, solver
+  divergence).  Not retryable within the same signal: the service skips
+  the swap, counts ``degraded.retrain_skipped``, and keeps serving the
+  live generation.
+* :class:`SimulatedKill` — the process dies.  Deliberately *not* a
+  :class:`FaultError` subclass so no ``except FaultError`` handler can
+  swallow it; only the checkpoint layer makes this survivable.
+"""
+
+from __future__ import annotations
+
+
+class FaultError(Exception):
+    """Base class of every injected (recoverable) fault."""
+
+
+class TransientFaultError(FaultError):
+    """A controller operation failed but may succeed if retried."""
+
+
+class RetrainFaultError(FaultError):
+    """The retrain step failed; the current generation keeps serving."""
+
+
+class SimulatedKill(BaseException):
+    """SIGKILL stand-in: unwinds the whole serve loop uncaught.
+
+    Derives from ``BaseException`` (like ``KeyboardInterrupt``) so the
+    runtime's fault handlers cannot accidentally absorb it — recovery is
+    the checkpoint's job, not the control loop's.
+    """

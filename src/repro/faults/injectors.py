@@ -1,0 +1,358 @@
+"""Seeded fault injectors — the failure modes of a deployed iGuard.
+
+Each injector models one concrete way the Tofino deployment degrades
+(DESIGN.md §"Failure model"): the digest channel to the controller
+loses/duplicates/reorders/delays reports under load, the flow store and
+the verdict registers saturate, a retrain fails, a recompile produces a
+corrupt artifact, or a table install flakes mid-write.  Every injector
+
+* owns a private numpy Generator bound by the plan (seeded fan-out from
+  the plan seed), so a fault scenario is a pure function of
+  ``(spec, trace)``;
+* draws from that generator on a schedule that depends only on the
+  *position* in the stream (one draw per chunk / per digest when its
+  probability is non-zero), never on whether earlier faults fired —
+  which is what makes a checkpoint-resumed run consume the exact same
+  random stream as an uninterrupted one;
+* counts every firing in ``fired`` and the ``faults.<name>`` telemetry
+  counter, so the chaos suite can assert no fault goes unobserved.
+
+The zero-probability path never touches the generator and costs one
+attribute check, keeping the disabled fault layer under the <2%
+throughput budget (``benchmarks/bench_faults.py``).
+"""
+
+from __future__ import annotations
+
+from typing import Dict, Optional
+
+import numpy as np
+
+from repro.core.deployment import SwitchArtifacts
+from repro.faults.errors import RetrainFaultError, SimulatedKill, TransientFaultError
+from repro.features.scaling import IntegerQuantizer
+from repro.telemetry import get_registry
+
+
+def _rng_state(rng: Optional[np.random.Generator]) -> Optional[dict]:
+    return None if rng is None else rng.bit_generator.state
+
+
+def _rng_from_state(state: Optional[dict]) -> Optional[np.random.Generator]:
+    if state is None:
+        return None
+    rng = np.random.default_rng(0)
+    rng.bit_generator.state = state
+    return rng
+
+
+class FaultInjector:
+    """Base injector: a name, a firing counter, and a bound generator."""
+
+    #: Spec-grammar name; also keys the ``faults.<name>`` counter.
+    name: str = "fault"
+    #: Where the injector hooks in: "digest", "chunk", "retrain",
+    #: "artifact", or "install".
+    kind: str = "chunk"
+
+    def __init__(self, p: float = 0.0) -> None:
+        if not 0.0 <= p <= 1.0:
+            raise ValueError(f"{self.name}: p must be in [0, 1], got {p}")
+        self.p = float(p)
+        self.rng: Optional[np.random.Generator] = None
+        self.fired = 0
+
+    def bind(self, rng: np.random.Generator) -> None:
+        self.rng = rng
+
+    @property
+    def counter(self) -> str:
+        return f"faults.{self.name}"
+
+    @property
+    def active(self) -> bool:
+        """Whether this injector can ever fire (spec made it non-trivial)."""
+        return self.p > 0.0
+
+    def record(self, n: int = 1) -> None:
+        self.fired += n
+        registry = get_registry()
+        if registry.enabled:
+            registry.counter(self.counter).inc(n)
+
+    def applies(self) -> bool:
+        """One Bernoulli draw; no generator touch when disabled."""
+        if self.p <= 0.0:
+            return False
+        return float(self.rng.random()) < self.p
+
+    # -- checkpointing ------------------------------------------------------
+
+    def state_dict(self) -> dict:
+        return {"name": self.name, "fired": self.fired, "rng": _rng_state(self.rng)}
+
+    def load_state(self, doc: dict) -> None:
+        if doc.get("name") != self.name:
+            raise ValueError(
+                f"checkpointed injector {doc.get('name')!r} does not match {self.name!r}"
+            )
+        self.fired = int(doc["fired"])
+        restored = _rng_from_state(doc.get("rng"))
+        if restored is not None:
+            self.rng = restored
+
+
+# --------------------------------------------------------------------------
+# Digest-channel injectors (consumed by FaultyDigestChannel)
+# --------------------------------------------------------------------------
+
+
+class DigestLoss(FaultInjector):
+    """The digest never reaches the controller (channel overrun)."""
+
+    name = "digest_loss"
+    kind = "digest"
+
+
+class DigestDuplication(FaultInjector):
+    """The digest is delivered twice (driver-level retransmit)."""
+
+    name = "digest_dup"
+    kind = "digest"
+
+
+class DigestReorder(FaultInjector):
+    """The digest is held and delivered after its successor."""
+
+    name = "digest_reorder"
+    kind = "digest"
+
+
+class DigestDelay(FaultInjector):
+    """The digest is queued for ``chunks`` chunk boundaries before delivery."""
+
+    name = "digest_delay"
+    kind = "digest"
+
+    def __init__(self, p: float = 0.0, chunks: int = 1) -> None:
+        super().__init__(p)
+        if chunks < 1:
+            raise ValueError(f"digest_delay: chunks must be >= 1, got {chunks}")
+        self.chunks = int(chunks)
+
+
+# --------------------------------------------------------------------------
+# Chunk-boundary injectors (flow store / verdict registers / kill)
+# --------------------------------------------------------------------------
+
+
+class ChunkFaultInjector(FaultInjector):
+    """Fires between chunks: Bernoulli per chunk and/or a pinned chunk.
+
+    ``due`` draws exactly one variate per chunk whenever ``p > 0`` —
+    regardless of the ``at`` match — so the generator's position is a
+    function of the chunk index alone (resume-safe).
+    """
+
+    def __init__(self, p: float = 0.0, at: Optional[int] = None) -> None:
+        super().__init__(p)
+        self.at = None if at is None else int(at)
+
+    @property
+    def active(self) -> bool:
+        return self.p > 0.0 or self.at is not None
+
+    def due(self, chunk_index: int) -> bool:
+        due = self.at is not None and chunk_index == self.at
+        if self.p > 0.0:
+            due = (float(self.rng.random()) < self.p) or due
+        return due
+
+    def on_chunk_end(self, pipeline, chunk_index: int) -> None:
+        raise NotImplementedError
+
+    def state_dict(self) -> dict:
+        doc = super().state_dict()
+        doc["at"] = self.at
+        return doc
+
+
+class StorePressure(ChunkFaultInjector):
+    """Flow-store pressure: force-evict a fraction of tracked flows.
+
+    Models slot churn under a flow-count burst: undecided flows lose
+    their accumulators (they re-track from scratch), exactly what
+    happens on the switch when the register arrays thrash.
+    """
+
+    name = "store_pressure"
+
+    def __init__(
+        self, p: float = 0.0, fraction: float = 0.25, at: Optional[int] = None
+    ) -> None:
+        super().__init__(p, at)
+        if not 0.0 < fraction <= 1.0:
+            raise ValueError(f"store_pressure: fraction must be in (0, 1], got {fraction}")
+        self.fraction = float(fraction)
+
+    def on_chunk_end(self, pipeline, chunk_index: int) -> None:
+        if self.due(chunk_index):
+            evicted = pipeline.store.force_evict(self.rng, self.fraction)
+            if evicted:
+                self.record()
+
+
+class RegisterSaturation(ChunkFaultInjector):
+    """Verdict-register saturation: wipe a fraction of decided labels.
+
+    Decided flows fall back to undecided (their register was reclaimed),
+    so they re-classify — the purple fast path degrades to brown/blue.
+    """
+
+    name = "register_saturation"
+
+    def __init__(
+        self, p: float = 0.0, fraction: float = 0.25, at: Optional[int] = None
+    ) -> None:
+        super().__init__(p, at)
+        if not 0.0 < fraction <= 1.0:
+            raise ValueError(
+                f"register_saturation: fraction must be in (0, 1], got {fraction}"
+            )
+        self.fraction = float(fraction)
+
+    def on_chunk_end(self, pipeline, chunk_index: int) -> None:
+        if self.due(chunk_index):
+            wiped = pipeline.store.saturate_labels(self.rng, self.fraction)
+            if wiped:
+                self.record()
+
+
+class KillSwitch(ChunkFaultInjector):
+    """Process death at a chunk boundary (SIGKILL stand-in).
+
+    ``at`` counts chunks processed *by this process* (not the global
+    chunk index): the checkpoint for the killed chunk is never written,
+    so a globally-indexed kill would re-fire forever on resume.  Resume
+    therefore restarts the countdown — matching a real crash, which is
+    external to the replayed stream.
+    """
+
+    name = "kill"
+
+    def __init__(self, at: int = 0) -> None:
+        super().__init__(0.0, at)
+        self._seen = 0
+
+    def on_chunk_end(self, pipeline, chunk_index: int) -> None:
+        self._seen += 1
+        if self._seen == self.at + 1:
+            self.record()
+            raise SimulatedKill(f"simulated kill after chunk {chunk_index}")
+
+    def load_state(self, doc: dict) -> None:
+        super().load_state(doc)
+        self._seen = 0  # the countdown is process-local by design
+
+
+# --------------------------------------------------------------------------
+# Control-plane injectors (retrain / artifacts / table install)
+# --------------------------------------------------------------------------
+
+
+class RetrainFailure(FaultInjector):
+    """The refit blows up (OOM, divergence); one draw per retrain signal."""
+
+    name = "retrain_failure"
+    kind = "retrain"
+
+    def before_retrain(self) -> None:
+        if self.applies():
+            self.record()
+            raise RetrainFaultError("injected retrain failure")
+
+
+class ArtifactCorruption(FaultInjector):
+    """The recompiled artifacts are corrupt: quantizer codebook garbled.
+
+    The corruption is *detectable* — the FL quantizer's fingerprint no
+    longer matches the one the rules were compiled with — so the
+    pipeline's install-time validation must catch it and the service
+    must take the ROLLBACK arm.  One draw per retrain.
+    """
+
+    name = "artifact_corruption"
+    kind = "artifact"
+
+    def corrupt(self, artifacts: SwitchArtifacts) -> SwitchArtifacts:
+        if not self.applies():
+            return artifacts
+        self.record()
+        good = artifacts.fl_quantizer
+        bad = IntegerQuantizer(bits=good.bits, space=good.space)
+        bad.data_min_ = np.asarray(good.data_min_, dtype=float).copy()
+        # A shifted codebook domain: quantises without error, but the
+        # fingerprint diverges from the rules' compile-time quantizer.
+        bad.data_max_ = np.asarray(good.data_max_, dtype=float) * 1.5 + 1.0
+        return SwitchArtifacts(
+            fl_rules=artifacts.fl_rules,
+            fl_quantizer=bad,
+            pl_rules=artifacts.pl_rules,
+            pl_quantizer=artifacts.pl_quantizer,
+        )
+
+
+class TableInstallFlake(FaultInjector):
+    """Transient table-install failure: fails ``times`` consecutive tries.
+
+    One draw per install *sequence* (not per retry), then the flake
+    holds for ``times`` attempts — so a retry budget of ``times`` or
+    more recovers, and a smaller one exhausts and aborts the swap.
+    """
+
+    name = "table_install_flake"
+    kind = "install"
+
+    def __init__(self, p: float = 0.0, times: int = 1) -> None:
+        super().__init__(p)
+        if times < 1:
+            raise ValueError(f"table_install_flake: times must be >= 1, got {times}")
+        self.times = int(times)
+        self._remaining = 0
+
+    def before_table_install(self) -> None:
+        if self._remaining > 0:
+            self._remaining -= 1
+            self.record()
+            raise TransientFaultError("injected table install flake (retry)")
+        if self.applies():
+            self._remaining = self.times - 1
+            self.record()
+            raise TransientFaultError("injected table install flake")
+
+    def state_dict(self) -> dict:
+        doc = super().state_dict()
+        doc["remaining"] = self._remaining
+        return doc
+
+    def load_state(self, doc: dict) -> None:
+        super().load_state(doc)
+        self._remaining = int(doc.get("remaining", 0))
+
+
+#: Spec-name → class registry for :meth:`repro.faults.plan.FaultPlan.from_spec`.
+INJECTOR_TYPES: Dict[str, type] = {
+    cls.name: cls
+    for cls in (
+        DigestLoss,
+        DigestDuplication,
+        DigestReorder,
+        DigestDelay,
+        StorePressure,
+        RegisterSaturation,
+        KillSwitch,
+        RetrainFailure,
+        ArtifactCorruption,
+        TableInstallFlake,
+    )
+}

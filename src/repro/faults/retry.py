@@ -1,0 +1,89 @@
+"""Retry with exponential backoff and deadlines for controller ops.
+
+A Tofino control plane talks to the driver over gRPC: table writes fail
+transiently under load, so production controllers wrap every install in
+bounded retry.  :func:`retry_with_backoff` is that wrapper for the
+simulated control plane — deterministic (no jitter), with an optional
+wall-clock deadline so a flapping operation cannot stall serving
+forever.
+
+The clock and sleep functions are injectable; the unit tests drive a
+virtual clock so backoff schedules are asserted exactly, and the
+service passes a near-zero base delay so test suites never sleep for
+real.
+"""
+
+from __future__ import annotations
+
+import time
+from typing import Callable, Optional, Tuple, Type, TypeVar
+
+from repro.faults.errors import TransientFaultError
+
+T = TypeVar("T")
+
+
+class DeadlineExceeded(TransientFaultError):
+    """The retry budget's wall-clock deadline expired before success."""
+
+
+def backoff_schedule(
+    retries: int,
+    base_delay: float = 0.05,
+    factor: float = 2.0,
+    max_delay: float = 1.0,
+) -> Tuple[float, ...]:
+    """The deterministic sleep sequence between attempts.
+
+    ``retries`` is the number of *re*-attempts after the first try, so
+    the schedule has ``retries`` entries: base, base*factor, ... capped
+    at ``max_delay``.
+    """
+    if retries < 0:
+        raise ValueError(f"retries must be >= 0, got {retries}")
+    return tuple(min(max_delay, base_delay * factor**i) for i in range(retries))
+
+
+def retry_with_backoff(
+    fn: Callable[[], T],
+    *,
+    retries: int = 3,
+    base_delay: float = 0.05,
+    factor: float = 2.0,
+    max_delay: float = 1.0,
+    deadline_s: Optional[float] = None,
+    retryable: Tuple[Type[BaseException], ...] = (TransientFaultError,),
+    sleep: Callable[[float], None] = time.sleep,
+    clock: Callable[[], float] = time.monotonic,
+    on_retry: Optional[Callable[[int, BaseException], None]] = None,
+) -> T:
+    """Call ``fn`` up to ``1 + retries`` times, backing off between tries.
+
+    Only exceptions in ``retryable`` are retried; anything else (e.g. a
+    ``ValueError`` from install-time validation — a *deterministic*
+    rejection that no retry can fix) propagates immediately.  When the
+    deadline expires before the next attempt would start, the last
+    retryable error is re-raised wrapped in :class:`DeadlineExceeded`.
+    ``on_retry(attempt, error)`` fires before each re-attempt, for
+    telemetry.
+    """
+    schedule = backoff_schedule(retries, base_delay, factor, max_delay)
+    start = clock()
+    attempt = 0
+    while True:
+        try:
+            return fn()
+        except retryable as err:
+            if attempt >= len(schedule):
+                raise
+            delay = schedule[attempt]
+            if deadline_s is not None and (clock() - start) + delay > deadline_s:
+                raise DeadlineExceeded(
+                    f"operation still failing after {attempt + 1} attempt(s) "
+                    f"with {deadline_s}s deadline: {err}"
+                ) from err
+            attempt += 1
+            if on_retry is not None:
+                on_retry(attempt, err)
+            if delay > 0:
+                sleep(delay)

@@ -24,11 +24,20 @@ parts; :func:`save_model_bundle` / :func:`load_model_bundle` are the
 entry points, with per-object helpers underneath.  Every file carries
 ``"schema": "repro.io/v1"`` and a ``kind`` tag; loaders reject files
 with the wrong one instead of mis-parsing them.
+
+Loaders normalise *every* failure mode — missing file, truncated or
+garbled JSON/NPZ, wrong schema or kind, manifest naming absent parts —
+to a single :class:`BundleError` carrying the offending path, so
+callers (the CLI's ``--model``, the runtime's rollback path) need
+exactly one except clause and the error message always says which file
+to look at.
 """
 
 from __future__ import annotations
 
 import json
+import zipfile
+from contextlib import contextmanager
 from dataclasses import dataclass, field
 from pathlib import Path
 from typing import Dict, List, Optional, Union
@@ -59,6 +68,38 @@ _AE_CLASSES = {
 }
 
 
+class BundleError(ValueError):
+    """A persisted artifact could not be loaded.
+
+    Raised for every load-side failure (missing file, truncated or
+    garbled content, schema/kind mismatch, incomplete bundle) with the
+    offending path both in the message and on :attr:`path`.  Subclasses
+    :class:`ValueError` so pre-existing ``except ValueError`` handlers
+    keep working.
+    """
+
+    def __init__(self, path, problem: str) -> None:
+        self.path = str(path)
+        super().__init__(f"{self.path}: {problem}")
+
+
+@contextmanager
+def _loading(path, what: str):
+    """Convert any load failure under this block into a BundleError.
+
+    A BundleError raised by a nested loader passes through untouched —
+    it already names the innermost offending file.
+    """
+    try:
+        yield
+    except BundleError:
+        raise
+    except FileNotFoundError as err:
+        raise BundleError(path, f"missing {what}") from err
+    except (OSError, ValueError, KeyError, TypeError, zipfile.BadZipFile) as err:
+        raise BundleError(path, f"cannot load {what}: {err}") from err
+
+
 def _check_doc(doc: dict, kind: str, source: str) -> None:
     if not isinstance(doc, dict) or doc.get("schema") != SCHEMA:
         raise ValueError(f"{source} is not a {SCHEMA} document")
@@ -73,8 +114,10 @@ def _write_json(path: Path, doc: dict) -> None:
 
 
 def _read_json(path: Path, kind: str) -> dict:
-    doc = json.loads(Path(path).read_text())
-    _check_doc(doc, kind, str(path))
+    path = Path(path)
+    with _loading(path, f"{kind} document"):
+        doc = json.loads(path.read_text())
+        _check_doc(doc, kind, str(path))
     return doc
 
 
@@ -323,7 +366,8 @@ def load_ensemble(path: PathLike) -> AutoencoderEnsemble:
     The result scores and predicts identically to the saved one; calling
     ``fit`` again retrains it from scratch like any fresh ensemble.
     """
-    with np.load(Path(path)) as data:
+    path = Path(path)
+    with _loading(path, "autoencoder ensemble"), np.load(path) as data:
         config = json.loads(str(data["config"]))
         _check_doc(config, "autoencoder_ensemble", str(path))
         members = []
@@ -444,38 +488,44 @@ def save_model_bundle(
 
 
 def load_model_bundle(directory: PathLike) -> ModelBundle:
-    """Reload a bundle written by :func:`save_model_bundle`."""
-    directory = Path(directory)
-    manifest = _read_json(directory / "manifest.json", "model_bundle")
-    files = manifest["files"]
+    """Reload a bundle written by :func:`save_model_bundle`.
 
-    fl_rules = ruleset_from_dict(
-        _read_json(directory / files["fl_rules"], "quantized_ruleset"),
-        files["fl_rules"],
-    )
-    fl_quantizer = quantizer_from_dict(
-        _read_json(directory / files["fl_quantizer"], "integer_quantizer"),
-        files["fl_quantizer"],
-    )
-    pl_rules = pl_quantizer = None
-    if "pl_rules" in files:
-        pl_rules = ruleset_from_dict(
-            _read_json(directory / files["pl_rules"], "quantized_ruleset"),
-            files["pl_rules"],
+    Any failure — missing manifest, missing/garbled part, schema or
+    kind mismatch — raises :class:`BundleError` naming the offending
+    file.
+    """
+    directory = Path(directory)
+    with _loading(directory, "model bundle"):
+        manifest = _read_json(directory / "manifest.json", "model_bundle")
+        files = manifest["files"]
+
+        fl_rules = ruleset_from_dict(
+            _read_json(directory / files["fl_rules"], "quantized_ruleset"),
+            files["fl_rules"],
         )
-        pl_quantizer = quantizer_from_dict(
-            _read_json(directory / files["pl_quantizer"], "integer_quantizer"),
-            files["pl_quantizer"],
+        fl_quantizer = quantizer_from_dict(
+            _read_json(directory / files["fl_quantizer"], "integer_quantizer"),
+            files["fl_quantizer"],
         )
-    forest = None
-    if "forest" in files:
-        forest = forest_from_dict(
-            _read_json(directory / files["forest"], "distilled_forest"),
-            files["forest"],
-        )
-    ensemble = None
-    if "ensemble" in files:
-        ensemble = load_ensemble(directory / files["ensemble"])
+        pl_rules = pl_quantizer = None
+        if "pl_rules" in files:
+            pl_rules = ruleset_from_dict(
+                _read_json(directory / files["pl_rules"], "quantized_ruleset"),
+                files["pl_rules"],
+            )
+            pl_quantizer = quantizer_from_dict(
+                _read_json(directory / files["pl_quantizer"], "integer_quantizer"),
+                files["pl_quantizer"],
+            )
+        forest = None
+        if "forest" in files:
+            forest = forest_from_dict(
+                _read_json(directory / files["forest"], "distilled_forest"),
+                files["forest"],
+            )
+        ensemble = None
+        if "ensemble" in files:
+            ensemble = load_ensemble(directory / files["ensemble"])
 
     registry = get_registry()
     if registry.enabled:

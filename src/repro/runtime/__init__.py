@@ -23,9 +23,21 @@ control loop over the simulator:
   :meth:`~repro.switch.pipeline.SwitchPipeline.hot_swap`, with the state
   machine SERVING → STAGING → SWAP (→ ROLLBACK on validation failure).
 
-Surfaced on the command line as ``repro serve``.
+* :class:`~repro.runtime.checkpoint.CheckpointManager` /
+  :func:`~repro.runtime.checkpoint.restore_service` — journaled,
+  atomically-replaced snapshots of the whole service; a killed serve
+  loop resumes bit-identically from the last chunk boundary
+  (``repro resume``).
+
+Surfaced on the command line as ``repro serve`` / ``repro resume``.
 """
 
+from repro.runtime.checkpoint import (
+    CheckpointManager,
+    report_from_dict,
+    restore_service,
+    service_to_dict,
+)
 from repro.runtime.drift import DriftMonitor
 from repro.runtime.retrain import FlowReservoir, Retrainer, default_model_factory
 from repro.runtime.service import (
@@ -37,6 +49,7 @@ from repro.runtime.service import (
 from repro.runtime.stream import ChunkResult, ChunkStats, StreamDriver, iter_chunks
 
 __all__ = [
+    "CheckpointManager",
     "ChunkResult",
     "ChunkStats",
     "DriftMonitor",
@@ -49,4 +62,7 @@ __all__ = [
     "SwapEvent",
     "default_model_factory",
     "iter_chunks",
+    "report_from_dict",
+    "restore_service",
+    "service_to_dict",
 ]

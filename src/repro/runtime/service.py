@@ -22,11 +22,13 @@ from __future__ import annotations
 
 import time
 from dataclasses import dataclass, field
-from typing import List, Optional
+from typing import Dict, List, Optional
 
 import numpy as np
 
 from repro.datasets.trace import Trace
+from repro.faults.errors import RetrainFaultError, TransientFaultError
+from repro.faults.retry import retry_with_backoff
 from repro.runtime.drift import DriftMonitor
 from repro.runtime.retrain import Retrainer
 from repro.runtime.stream import ChunkStats, StreamDriver
@@ -54,6 +56,13 @@ class RuntimeConfig:
     max_swaps:
         Hard cap on table swaps per :meth:`OnlineDetectionService.serve`
         call (None = unlimited); the CI smoke uses 1.
+    stage_retries / stage_backoff_s / stage_deadline_s:
+        Retry budget for the stage+flip control-plane operation: up to
+        ``stage_retries`` re-attempts after a transient install failure,
+        exponential backoff starting at ``stage_backoff_s`` seconds,
+        aborted once ``stage_deadline_s`` of wall clock would be
+        exceeded (None = no deadline).  Deterministic validation
+        rejections are never retried — they roll back immediately.
     """
 
     chunk_size: int = 2048
@@ -65,6 +74,9 @@ class RuntimeConfig:
     cadence: int = 0
     min_retrain_flows: int = 24
     max_swaps: Optional[int] = None
+    stage_retries: int = 2
+    stage_backoff_s: float = 0.02
+    stage_deadline_s: Optional[float] = None
 
 
 @dataclass(frozen=True)
@@ -76,6 +88,8 @@ class SwapEvent:
     reason: str  # "drift" or "cadence"
     duration_s: float
     rolled_back: bool
+    #: Table-install attempts made (>1 means transient flakes were retried).
+    attempts: int = 1
 
 
 @dataclass
@@ -86,6 +100,11 @@ class ServeReport:
     n_packets: int = 0
     drift_signals: int = 0
     retrains: int = 0
+    #: Retrain attempts aborted by an injected/observed retrain fault.
+    retrain_failures: int = 0
+    #: ``faults.* -> fired`` totals from the run's FaultPlan (empty
+    #: when no plan was attached or nothing fired).
+    fault_counts: Dict[str, int] = field(default_factory=dict)
     swap_events: List[SwapEvent] = field(default_factory=list)
     chunk_stats: List[ChunkStats] = field(default_factory=list)
     #: Start offset of each chunk in the concatenated decision arrays.
@@ -115,6 +134,14 @@ class OnlineDetectionService:
     cadence, and on a signal runs retrain → stage → hot-swap.  A staged
     generation that fails the install-time checks is rolled back (the
     live tables are never touched) and serving continues.
+
+    ``faults`` attaches a :class:`repro.faults.FaultPlan`: its digest
+    channel is installed on the pipeline at serve start, chunk injectors
+    fire at chunk boundaries, and the retrain/artifact/install hooks
+    wrap the control-plane path.  Transient install failures are retried
+    with exponential backoff (``stage_retries``/``stage_backoff_s``);
+    exhausted retries degrade to a rollback and serving continues on the
+    old generation.
     """
 
     def __init__(
@@ -124,26 +151,34 @@ class OnlineDetectionService:
         monitor: Optional[DriftMonitor] = None,
         config: Optional[RuntimeConfig] = None,
         seed: SeedLike = None,
+        faults=None,
     ) -> None:
         self.config = config or RuntimeConfig()
         self.pipeline = pipeline
-        self.retrainer = retrainer or Retrainer(
+        self.faults = faults
+        # ``is not None`` rather than ``or``: Retrainer defines __len__
+        # (reservoir size), so a freshly-built one with an empty
+        # reservoir is falsy and ``or`` would silently discard it.
+        self.retrainer = retrainer if retrainer is not None else Retrainer(
             pkt_count_threshold=pipeline.config.pkt_count_threshold,
             timeout=pipeline.config.timeout,
             use_pl_model=pipeline.pl_table is not None,
             seed=seed,
         )
         drift_on = self.config.drift_threshold > 0
-        self.monitor = monitor or (
-            DriftMonitor(
-                window=self.config.drift_window,
-                baseline_window=self.config.baseline_window,
-                threshold=self.config.drift_threshold,
-                min_packets=self.config.min_drift_packets,
+        if monitor is not None:
+            self.monitor = monitor
+        else:
+            self.monitor = (
+                DriftMonitor(
+                    window=self.config.drift_window,
+                    baseline_window=self.config.baseline_window,
+                    threshold=self.config.drift_threshold,
+                    min_packets=self.config.min_drift_packets,
+                )
+                if drift_on
+                else None
             )
-            if drift_on
-            else None
-        )
 
     def _swap_allowed(self, report: ServeReport) -> bool:
         cap = self.config.max_swaps
@@ -152,16 +187,33 @@ class OnlineDetectionService:
     def _retrain_and_swap(
         self, chunk_index: int, reason: str, report: ServeReport
     ) -> None:
+        cfg = self.config
         registry = get_registry()
-        with span("retrain", reason=reason, chunk=chunk_index):
-            artifacts = self.retrainer.retrain()
+        try:
+            if self.faults is not None:
+                self.faults.before_retrain()
+            with span("retrain", reason=reason, chunk=chunk_index):
+                artifacts = self.retrainer.retrain()
+        except RetrainFaultError:
+            # The retrain job died; nothing was staged, the live tables
+            # keep serving, and the next signal will try again.
+            report.retrain_failures += 1
+            if registry.enabled:
+                registry.counter("degraded.retrain_skipped").inc()
+            return
         report.retrains += 1
         if registry.enabled:
             registry.counter("runtime.retrains").inc()
+        if self.faults is not None:
+            artifacts = self.faults.corrupt_artifacts(artifacts)
 
-        rolled_back = False
-        start = time.perf_counter()
-        try:
+        attempts = 0
+
+        def _install() -> None:
+            nonlocal attempts
+            attempts += 1
+            if self.faults is not None:
+                self.faults.before_table_install()
             self.pipeline.stage_tables(
                 artifacts.fl_rules,
                 artifacts.fl_quantizer,
@@ -169,10 +221,37 @@ class OnlineDetectionService:
                 pl_quantizer=artifacts.pl_quantizer,
             )
             self.pipeline.hot_swap()
+
+        def _on_retry(attempt: int, err: Exception) -> None:
+            if registry.enabled:
+                registry.counter("runtime.stage_retries").inc()
+
+        rolled_back = False
+        start = time.perf_counter()
+        try:
+            retry_with_backoff(
+                _install,
+                retries=cfg.stage_retries,
+                base_delay=cfg.stage_backoff_s,
+                deadline_s=cfg.stage_deadline_s,
+                on_retry=_on_retry,
+            )
         except ValueError:
-            # Install-time validation rejected the staged generation; the
-            # live tables were never touched — serving continues on them.
+            # Install-time validation rejected the staged generation —
+            # deterministic, so never retried.  Drop the candidate; the
+            # live tables were never touched and keep serving.
+            self.pipeline.reject_staged()
             rolled_back = True
+            if registry.enabled:
+                registry.counter("switch.table.rollbacks").inc()
+        except TransientFaultError:
+            # Retries/deadline exhausted on a flaky install.  Degrade:
+            # abandon this generation and keep serving the old one.
+            self.pipeline.reject_staged()
+            rolled_back = True
+            if registry.enabled:
+                registry.counter("switch.table.rollbacks").inc()
+                registry.counter("degraded.swap_aborted").inc()
         duration = time.perf_counter() - start
 
         report.swap_events.append(
@@ -181,6 +260,7 @@ class OnlineDetectionService:
                 reason=reason,
                 duration_s=duration,
                 rolled_back=rolled_back,
+                attempts=attempts,
             )
         )
         if registry.enabled:
@@ -206,14 +286,37 @@ class OnlineDetectionService:
             # tables; re-form the baseline under the new generation.
             self.monitor.reset()
 
-    def serve(self, trace: Trace) -> ServeReport:
-        """Stream *trace* through the pipeline with the full control loop."""
+    def serve(
+        self,
+        trace: Trace,
+        checkpoint=None,
+        resume_report: Optional[ServeReport] = None,
+    ) -> ServeReport:
+        """Stream *trace* through the pipeline with the full control loop.
+
+        ``checkpoint`` (a :class:`repro.runtime.checkpoint.CheckpointManager`)
+        journals the full service state at chunk boundaries; pass the
+        restored report as ``resume_report`` to continue a killed run —
+        *trace* must be the same full trace, and serving picks up at the
+        first chunk the checkpoint had not yet covered.
+        """
         cfg = self.config
-        report = ServeReport()
+        report = resume_report if resume_report is not None else ServeReport()
+        if report.n_packets:
+            # Skip the packets the checkpointed run already served; chunk
+            # boundaries are packet-count-aligned so this resumes exactly
+            # at the next chunk edge.
+            trace = Trace(trace.packets[report.n_packets :])
         registry = get_registry()
         driver = StreamDriver(
-            self.pipeline, chunk_size=cfg.chunk_size, mode=cfg.mode
+            self.pipeline,
+            chunk_size=cfg.chunk_size,
+            mode=cfg.mode,
+            faults=self.faults,
+            start_index=report.n_chunks,
         )
+        if self.faults is not None:
+            self.faults.install(self.pipeline)
         with span("serve", chunk_size=cfg.chunk_size, mode=cfg.mode):
             for chunk in driver.run(trace):
                 report.chunk_offsets.append(report.n_packets)
@@ -252,4 +355,11 @@ class OnlineDetectionService:
                     self._retrain_and_swap(
                         chunk.index, "drift" if drifted else "cadence", report
                     )
+                if checkpoint is not None:
+                    checkpoint.maybe_save(self, report)
+        if self.faults is not None:
+            self.faults.finalize()
+            report.fault_counts = self.faults.counts()
+        if checkpoint is not None:
+            checkpoint.save(self, report, complete=True)
         return report

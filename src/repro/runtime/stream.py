@@ -85,6 +85,15 @@ class StreamDriver:
 
     Between iterations the pipeline is untouched, which is the
     designated window for :meth:`SwitchPipeline.hot_swap`.
+
+    ``faults`` (a :class:`repro.faults.FaultPlan`) hooks the chunk
+    boundary: after each chunk's counter deltas are taken, the plan's
+    chunk injectors and digest-channel clock edge run, so injected state
+    damage lands in the inter-chunk window exactly where a hot swap
+    would.  ``start_index`` offsets chunk indices for checkpoint resume
+    — a resumed driver numbers its chunks as the uninterrupted run did,
+    keeping every index-keyed schedule (cadence, ``at=`` faults)
+    aligned.
     """
 
     def __init__(
@@ -92,22 +101,29 @@ class StreamDriver:
         pipeline: SwitchPipeline,
         chunk_size: int = 2048,
         mode: str = "batch",
+        faults=None,
+        start_index: int = 0,
     ) -> None:
         if chunk_size < 1:
             raise ValueError(f"chunk_size must be >= 1, got {chunk_size}")
         self.pipeline = pipeline
         self.chunk_size = chunk_size
         self.mode = mode
+        self.faults = faults
+        self.start_index = start_index
         self.chunks_processed = 0
         self.packets_processed = 0
 
     def run(self, trace: Trace) -> Iterator[ChunkResult]:
         """Yield one :class:`ChunkResult` per chunk of *trace*."""
-        for index, chunk in enumerate(iter_chunks(trace, self.chunk_size)):
+        for offset, chunk in enumerate(iter_chunks(trace, self.chunk_size)):
+            index = self.start_index + offset
             before = self.pipeline.telemetry_counters()
             replay = replay_trace(chunk, self.pipeline, mode=self.mode)
             after = self.pipeline.telemetry_counters()
             deltas = {k: after[k] - before.get(k, 0) for k in after}
+            if self.faults is not None:
+                self.faults.on_chunk_end(self.pipeline, index)
             n = len(chunk)
             stats = ChunkStats(
                 n_packets=n,

@@ -340,6 +340,9 @@ def replay_arrays(trace: Trace, pipeline: SwitchPipeline) -> BatchReplayOutcome:
     cfg = pipeline.config
     n_threshold = cfg.pkt_count_threshold
     timeout = cfg.timeout
+    overflow_fail_open = cfg.overflow_policy == "fail_open"
+    overflow_fail_closed = cfg.overflow_policy == "fail_closed"
+    degraded = 0
     blacklist = pipeline.blacklist
     bl_entries = blacklist._entries
     bl_lru = blacklist.eviction == "lru"
@@ -406,7 +409,20 @@ def replay_arrays(trace: Trace, pipeline: SwitchPipeline) -> BatchReplayOutcome:
                     table.eviction_count += 1
                     fresh.stats.update_raw(ts[i], sizes[i])
                     mirror()
-                if pl_labels is None:
+                    if pl_labels is None:
+                        label = LABEL_BENIGN
+                    else:
+                        label = pl_labels[i]
+                        pl_table.lookup_count += 1
+                elif overflow_fail_open:
+                    # Untracked overflow under a degradation policy — the
+                    # scalar walk's overflow_policy branch, vectorised.
+                    degraded += 1
+                    label = LABEL_BENIGN
+                elif overflow_fail_closed:
+                    degraded += 1
+                    label = LABEL_MALICIOUS
+                elif pl_labels is None:
                     label = LABEL_BENIGN
                 else:
                     label = pl_labels[i]
@@ -469,6 +485,9 @@ def replay_arrays(trace: Trace, pipeline: SwitchPipeline) -> BatchReplayOutcome:
             pl_table.lookup_count += 1
         path_codes[i] = CODE_BROWN
         preds[i] = 1 if label == LABEL_MALICIOUS else 0
+
+    if degraded:
+        pipeline.degraded_packets += degraded
 
     return BatchReplayOutcome(
         path_codes=np.array(path_codes, dtype=np.int8),

@@ -145,6 +145,12 @@ class PipelineConfig:
     drop_on_malicious:
         Whether malicious verdicts drop the packet (True on the paper's
         inline deployment) or only mark it (mirror/monitor deployments).
+    overflow_policy:
+        Degradation policy for untracked flow-store overflow (the orange
+        path's no-slot case): ``"score"`` (default — PL-score the packet,
+        the paper's behaviour), ``"fail_open"`` (forward as benign), or
+        ``"fail_closed"`` (treat as malicious).  Non-default policies
+        count every affected packet in ``degraded.store_overflow``.
     """
 
     pkt_count_threshold: int = 8
@@ -153,6 +159,7 @@ class PipelineConfig:
     blacklist_capacity: int = 4096
     blacklist_eviction: str = "fifo"
     drop_on_malicious: bool = True
+    overflow_policy: str = "score"
 
 
 class SwitchPipeline:
@@ -178,6 +185,11 @@ class SwitchPipeline:
         config: Optional[PipelineConfig] = None,
     ) -> None:
         self.config = config or PipelineConfig()
+        if self.config.overflow_policy not in ("score", "fail_open", "fail_closed"):
+            raise ValueError(
+                "overflow_policy must be 'score', 'fail_open', or 'fail_closed', "
+                f"got {self.config.overflow_policy!r}"
+            )
         _check_table_quantizer("FL", fl_rules, fl_quantizer)
         self.fl_table = WhitelistTable(fl_rules)
         self.fl_quantizer = fl_quantizer
@@ -196,6 +208,13 @@ class SwitchPipeline:
         )
         self.store = FlowStateStore(n_slots=self.config.n_slots)
         self.controller = None  # attached via Controller(pipeline)
+        # Optional fault-injectable digest transport (repro.faults); when
+        # None digests go straight to the controller, as on the fault-free
+        # simulator.
+        self.digest_channel = None
+        #: Packets decided by a non-default overflow_policy instead of a
+        #: table lookup (``degraded.store_overflow``).
+        self.degraded_packets = 0
         self.path_counts: Dict[str, int] = {
             p: 0
             for p in (PATH_RED, PATH_BROWN, PATH_BLUE, PATH_ORANGE, PATH_PURPLE, PATH_GREEN)
@@ -252,16 +271,38 @@ class SwitchPipeline:
             pl_quantizer=pl_quantizer,
         )
 
-    def _install_tables(self, tables: _TableSet) -> None:
-        """Flip *tables* live, carrying lookup counters across the swap so
-        ``switch.table.*_lookups`` stay monotonic over a swap."""
+    def _build_tables(self, tables: _TableSet):
+        """Re-validate and construct the live table objects for *tables*.
+
+        Pure construction: raises (re-running the install-time checks,
+        so even a generation corrupted *after* staging is caught) before
+        any live attribute is assigned — the exception-safety half of a
+        flip.  Lookup counters carry over so ``switch.table.*_lookups``
+        stay monotonic across a swap.
+        """
+        _check_table_quantizer("FL", tables.fl_rules, tables.fl_quantizer)
         fl_table = WhitelistTable(tables.fl_rules)
         fl_table.lookup_count = self.fl_table.lookup_count
         pl_table = None
         if tables.pl_rules is not None:
+            if tables.pl_quantizer is None:
+                raise ValueError(
+                    "table generation holds pl_rules without a pl_quantizer"
+                )
+            _check_table_quantizer("PL", tables.pl_rules, tables.pl_quantizer)
             pl_table = WhitelistTable(tables.pl_rules)
             if self.pl_table is not None:
                 pl_table.lookup_count = self.pl_table.lookup_count
+        return fl_table, pl_table
+
+    def _install_tables(self, tables: _TableSet) -> None:
+        """Flip *tables* live: build first (may raise), then assign.
+
+        The four live attributes are only written after every table
+        object exists, so a failed build can never leave the pipeline
+        with mixed generations.
+        """
+        fl_table, pl_table = self._build_tables(tables)
         self.fl_table = fl_table
         self.fl_quantizer = tables.fl_quantizer
         self.pl_table = pl_table
@@ -287,10 +328,28 @@ class SwitchPipeline:
         """
         if self._staged is None:
             raise RuntimeError("hot_swap() without staged tables; call stage_tables() first")
+        # Build (and re-validate) before mutating anything: a staged
+        # generation that fails here leaves the live tables, _previous,
+        # the flow store, and the blacklist exactly as they were.
+        staged = self._staged
+        fl_table, pl_table = self._build_tables(staged)
         self._previous = self._live_tables()
-        self._install_tables(self._staged)
+        self.fl_table = fl_table
+        self.fl_quantizer = staged.fl_quantizer
+        self.pl_table = pl_table
+        self.pl_quantizer = staged.pl_quantizer
         self._staged = None
         self.table_swaps += 1
+
+    def reject_staged(self) -> None:
+        """Discard the staged generation after a failed stage/flip.
+
+        The ROLLBACK arm of the serving state machine for a generation
+        that never went live: counted under ``table_rollbacks`` (the
+        candidate was rejected), with the live tables untouched.
+        """
+        self._staged = None
+        self.table_rollbacks += 1
 
     def rollback(self) -> None:
         """Restore the table generation displaced by the last hot_swap()."""
@@ -318,6 +377,9 @@ class SwitchPipeline:
             counters["switch.table.pl_lookups"] = self.pl_table.lookup_count
         counters["switch.store.collisions"] = self.store.collision_count
         counters["switch.store.evictions"] = self.store.eviction_count
+        counters["switch.store.forced_evictions"] = self.store.forced_evictions
+        counters["switch.store.label_wipes"] = self.store.label_wipes
+        counters["degraded.store_overflow"] = self.degraded_packets
         counters["switch.blacklist.installs"] = self.blacklist.installs
         counters["switch.blacklist.evictions"] = self.blacklist.evictions
         counters["switch.blacklist.churn"] = self.blacklist.version
@@ -362,7 +424,9 @@ class SwitchPipeline:
             five_tuple=pkt.five_tuple.canonical(), label=label, timestamp=pkt.timestamp
         )
         self.digests_emitted += 1
-        if self.controller is not None:
+        if self.digest_channel is not None:
+            self.digest_channel.send(digest)
+        elif self.controller is not None:
             self.controller.handle_digest(digest)
         return digest
 
@@ -397,7 +461,16 @@ class SwitchPipeline:
                 state = self.store.evict_and_track(pkt.five_tuple)
                 state.stats.update(pkt)
                 self._mirror_loopback()
-            label = self._match_pl(pkt)
+                label = self._match_pl(pkt)
+            elif cfg.overflow_policy == "fail_open":
+                # Store is genuinely full for this flow: degrade benign.
+                self.degraded_packets += 1
+                label = LABEL_BENIGN
+            elif cfg.overflow_policy == "fail_closed":
+                self.degraded_packets += 1
+                label = LABEL_MALICIOUS
+            else:
+                label = self._match_pl(pkt)
             return PacketDecision(
                 packet=pkt,
                 path=PATH_ORANGE,

@@ -52,6 +52,10 @@ class FlowStateStore:
     def __init__(self, n_slots: int = 4096) -> None:
         self.table = DoubleHashTable[FlowState](n_slots)
         self.n_slots = n_slots
+        #: Slots reclaimed by the store-pressure fault injector.
+        self.forced_evictions = 0
+        #: Decided labels wiped by the register-saturation fault injector.
+        self.label_wipes = 0
 
     def lookup(self, five_tuple: FiveTuple) -> Optional[FlowState]:
         slot = self.table.lookup(five_tuple)
@@ -87,6 +91,64 @@ class FlowStateStore:
     def release(self, five_tuple: FiveTuple) -> bool:
         """Controller cleanup: free the flow's slot."""
         return self.table.remove(five_tuple)
+
+    # -- fault hooks (repro.faults) ----------------------------------------
+
+    def _occupied_positions(self, predicate):
+        """(table_index, slot_index) of occupied slots passing *predicate*,
+        in deterministic table-scan order."""
+        return [
+            (t, i)
+            for t, tbl in enumerate(self.table._tables)
+            for i, slot in enumerate(tbl)
+            if slot is not None and predicate(slot.state)
+        ]
+
+    def force_evict(self, rng, fraction: float, undecided_only: bool = True) -> int:
+        """Store-pressure fault: reclaim a seeded *fraction* of slots.
+
+        Evicted flows lose their accumulators and re-track from scratch
+        — the behaviour of the register arrays thrashing under a
+        flow-count burst.  ``undecided_only`` (default) spares decided
+        flows: their verdict register is the valuable state, and slot
+        reclaim on the switch prefers unfinished flows.  Returns the
+        number of slots reclaimed.
+        """
+        if undecided_only:
+            candidates = self._occupied_positions(
+                lambda s: s.label == LABEL_UNDECIDED
+            )
+        else:
+            candidates = self._occupied_positions(lambda s: True)
+        if not candidates:
+            return 0
+        k = min(len(candidates), max(1, round(fraction * len(candidates))))
+        picks = rng.choice(len(candidates), size=k, replace=False)
+        for j in sorted(int(v) for v in picks):
+            t, i = candidates[j]
+            self.table._tables[t][i] = None
+        self.forced_evictions += k
+        return k
+
+    def saturate_labels(self, rng, fraction: float) -> int:
+        """Verdict-register saturation fault: wipe decided labels.
+
+        A seeded *fraction* of decided flows revert to undecided — their
+        register was reclaimed — so they re-classify on their next
+        packet.  Returns the number of labels wiped.
+        """
+        candidates = self._occupied_positions(
+            lambda s: s.label != LABEL_UNDECIDED
+        )
+        if not candidates:
+            return 0
+        k = min(len(candidates), max(1, round(fraction * len(candidates))))
+        picks = rng.choice(len(candidates), size=k, replace=False)
+        for j in sorted(int(v) for v in picks):
+            t, i = candidates[j]
+            self.table._tables[t][i].state.label = LABEL_UNDECIDED
+        self.label_wipes += k
+        return k
 
     @property
     def collision_count(self) -> int:

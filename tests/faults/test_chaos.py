@@ -1,0 +1,280 @@
+"""Chaos suite: the serving loop under every injector class.
+
+Invariants every fault scenario must hold:
+
+* **No unhandled exceptions** — the loop serves the whole trace
+  (``SimulatedKill`` is the single deliberate exception).
+* **Every fired fault is visible** — in the ``faults.*`` registry
+  counters and mirrored in ``report.fault_counts``.
+* **Bounded damage** — recall under faults stays within a fixed margin
+  of the fault-free baseline (faults degrade, they don't zero out).
+* **Zero-fault transparency** — a plan whose injectors all have p=0
+  leaves decisions *and* telemetry counters bit-identical to a run with
+  no plan at all.
+"""
+
+import numpy as np
+import pytest
+
+from repro.faults import FaultPlan, SimulatedKill
+from repro.runtime import OnlineDetectionService, RuntimeConfig
+from repro.telemetry import MetricRegistry, use_registry
+from tests.faults.common import (
+    StubRetrainer,
+    compile_artifacts,
+    fresh_pipeline,
+    make_split,
+    recall,
+)
+
+N_CHUNKS = 6
+
+
+@pytest.fixture(scope="module")
+def split():
+    return make_split()
+
+
+@pytest.fixture(scope="module")
+def artifacts(split):
+    return compile_artifacts(split.train_flows)
+
+
+def serve_with(
+    split,
+    artifacts,
+    faults=None,
+    n_slots=128,
+    overflow_policy="score",
+    cadence=0,
+    stage_retries=2,
+):
+    """One full serve of the module's stream on a fresh pipeline."""
+    pipeline = fresh_pipeline(
+        artifacts, n_slots=n_slots, overflow_policy=overflow_policy
+    )
+    n_packets = len(split.stream_trace.packets)
+    config = RuntimeConfig(
+        chunk_size=-(-n_packets // N_CHUNKS),
+        drift_threshold=0.0,  # chaos runs retrain on cadence, not drift
+        cadence=cadence,
+        min_retrain_flows=0,
+        stage_retries=stage_retries,
+        stage_backoff_s=0.0,
+    )
+    service = OnlineDetectionService(
+        pipeline,
+        retrainer=StubRetrainer(artifacts),
+        config=config,
+        faults=faults,
+    )
+    registry = MetricRegistry()
+    with use_registry(registry):
+        report = service.serve(split.stream_trace)
+    return pipeline, report, registry
+
+
+@pytest.fixture(scope="module")
+def baseline(split, artifacts):
+    _pipeline, report, registry = serve_with(split, artifacts)
+    return report, registry
+
+
+DATA_PLANE_SPECS = [
+    "seed=5;digest_loss:p=0.5",
+    "seed=5;digest_dup:p=0.5",
+    "seed=5;digest_reorder:p=0.5",
+    "seed=5;digest_delay:p=0.5,chunks=2",
+    "seed=5;store_pressure:p=1,fraction=0.5",
+    "seed=5;register_saturation:p=1,fraction=0.5",
+    # Everything at once: the paper's "switch under attack" worst case.
+    # Chunk injectors run at p=1 — the stream is only a handful of
+    # chunks, so a coin-flip schedule could legitimately never fire.
+    "seed=5;digest_loss:p=0.3;digest_dup:p=0.3;digest_reorder:p=0.3;"
+    "digest_delay:p=0.3,chunks=1;store_pressure:p=1,fraction=0.3;"
+    "register_saturation:p=1,fraction=0.3",
+]
+
+RECALL_MARGIN = 0.3
+
+
+class TestDataPlaneChaos:
+    @pytest.mark.parametrize("spec", DATA_PLANE_SPECS)
+    def test_fault_sweep_invariants(self, split, artifacts, baseline, spec):
+        plan = FaultPlan.from_spec(spec)
+        _pipeline, report, registry = serve_with(split, artifacts, faults=plan)
+
+        # The whole trace was served — no silent truncation.
+        assert report.n_packets == len(split.stream_trace.packets)
+        assert len(report.y_pred) == report.n_packets
+
+        # Every armed injector actually fired and is visible twice over:
+        # once in the registry, once in the report.
+        counters = registry.counters_dict()
+        for injector in plan.injectors:
+            assert injector.fired > 0, injector.name
+            assert counters[injector.counter] == injector.fired
+        assert report.fault_counts == plan.counts()
+
+        # Faults degrade detection, they don't destroy it.
+        base_report, _ = baseline
+        base_recall = recall(base_report.y_true, base_report.y_pred)
+        fault_recall = recall(report.y_true, report.y_pred)
+        assert fault_recall >= base_recall - RECALL_MARGIN
+
+    def test_channel_accounting_closes_after_flush(self, split, artifacts):
+        plan = FaultPlan.from_spec(
+            "seed=2;digest_loss:p=0.3;digest_dup:p=0.3;"
+            "digest_reorder:p=0.3;digest_delay:p=0.3,chunks=2"
+        )
+        serve_with(split, artifacts, faults=plan)
+        ch = plan.channel
+        assert ch.sent > 0
+        assert ch.pending == 0  # finalize() flushed the tail
+        assert ch.sent + ch.duplicated == ch.delivered + ch.dropped
+
+    def test_kill_switch_aborts_the_serve(self, split, artifacts):
+        plan = FaultPlan.from_spec("kill:at=1")
+        with pytest.raises(SimulatedKill):
+            serve_with(split, artifacts, faults=plan)
+        assert plan.injectors[0].fired == 1
+
+
+class TestControlPlaneChaos:
+    def test_retrain_failure_degrades_without_staging(self, split, artifacts):
+        plan = FaultPlan.from_spec("seed=1;retrain_failure:p=1")
+        _pipeline, report, registry = serve_with(
+            split, artifacts, faults=plan, cadence=2
+        )
+        assert report.retrain_failures > 0
+        assert report.retrains == 0  # the job died before producing anything
+        assert report.swap_events == []
+        counters = registry.counters_dict()
+        assert counters["degraded.retrain_skipped"] == report.retrain_failures
+        assert counters["faults.retrain_failure"] == report.retrain_failures
+
+    def test_corrupt_artifacts_roll_back_and_old_generation_serves(
+        self, split, artifacts
+    ):
+        plan = FaultPlan.from_spec("seed=1;artifact_corruption:p=1")
+        pipeline, report, registry = serve_with(
+            split, artifacts, faults=plan, cadence=2
+        )
+        assert report.n_rollbacks > 0
+        assert report.n_swaps == 0
+        assert all(e.rolled_back for e in report.swap_events)
+        counters = registry.counters_dict()
+        assert counters["switch.table.rollbacks"] == report.n_rollbacks
+        assert counters["faults.artifact_corruption"] > 0
+        # A corrupt install never leaves fingerprint-mismatched tables
+        # live, and no staged residue either.
+        from repro.switch.pipeline import _check_table_quantizer
+
+        _check_table_quantizer(
+            "FL", pipeline.fl_table.ruleset, pipeline.fl_quantizer
+        )
+        assert pipeline._staged is None
+        # The full trace still got served on the old generation.
+        assert report.n_packets == len(split.stream_trace.packets)
+
+    def test_transient_flake_recovers_via_retry(self, split, artifacts):
+        # p=1 would re-draw and fail every retry too; a fail/pass cycle
+        # needs a controlled draw sequence: first attempt of each install
+        # flakes (0.0 < p), the retry goes through (0.9 >= p).
+        class CycleRng:
+            def __init__(self, values):
+                self.values = list(values)
+                self.i = 0
+
+            def random(self):
+                v = self.values[self.i % len(self.values)]
+                self.i += 1
+                return v
+
+        plan = FaultPlan.from_spec("seed=1;table_install_flake:p=0.5,times=1")
+        plan.injectors[0].rng = CycleRng([0.0, 0.9])
+        _pipeline, report, registry = serve_with(
+            split, artifacts, faults=plan, cadence=3, stage_retries=2
+        )
+        assert report.n_swaps > 0
+        assert report.n_rollbacks == 0
+        # Each swap needed exactly one retry: fail once, succeed on the
+        # second attempt.
+        assert all(e.attempts == 2 for e in report.swap_events)
+        counters = registry.counters_dict()
+        assert counters["runtime.stage_retries"] == len(report.swap_events)
+
+    def test_persistent_flake_exhausts_retries_and_degrades(
+        self, split, artifacts
+    ):
+        plan = FaultPlan.from_spec("seed=1;table_install_flake:p=1,times=10")
+        pipeline, report, registry = serve_with(
+            split, artifacts, faults=plan, cadence=3, stage_retries=2
+        )
+        assert report.n_rollbacks > 0
+        assert report.n_swaps == 0
+        counters = registry.counters_dict()
+        assert counters["degraded.swap_aborted"] == report.n_rollbacks
+        assert pipeline._staged is None  # no residue from the aborted swap
+        assert report.n_packets == len(split.stream_trace.packets)
+
+
+class TestZeroFaultTransparency:
+    ALL_DISABLED = (
+        "digest_loss:p=0;digest_dup:p=0;digest_reorder:p=0;digest_delay:p=0;"
+        "store_pressure:p=0;register_saturation:p=0;retrain_failure:p=0;"
+        "artifact_corruption:p=0;table_install_flake:p=0"
+    )
+
+    def test_disabled_plan_is_bit_identical_to_no_plan(self, split, artifacts):
+        """The hooks must be pure overhead when nothing fires: identical
+        decisions AND identical telemetry counters, even with the digest
+        channel interposed and the retrain path exercised."""
+        plan = FaultPlan.from_spec(self.ALL_DISABLED)
+        _p1, with_plan, reg_plan = serve_with(
+            split, artifacts, faults=plan, cadence=2
+        )
+        _p2, without, reg_none = serve_with(split, artifacts, cadence=2)
+
+        np.testing.assert_array_equal(with_plan.y_pred, without.y_pred)
+        np.testing.assert_array_equal(with_plan.y_true, without.y_true)
+        assert with_plan.n_chunks == without.n_chunks
+        assert with_plan.n_swaps == without.n_swaps
+        assert with_plan.fault_counts == {}
+        assert reg_plan.counters_dict() == reg_none.counters_dict()
+
+    def test_disabled_channel_delivers_everything(self, split, artifacts):
+        plan = FaultPlan.from_spec("digest_loss:p=0;digest_delay:p=0")
+        serve_with(split, artifacts, faults=plan)
+        ch = plan.channel
+        assert ch.sent == ch.delivered
+        assert ch.dropped == ch.duplicated == ch.pending == 0
+
+
+class TestOverflowDegradation:
+    """The configurable degradation mode under store exhaustion (the
+    orange path with every slot taken)."""
+
+    def run(self, split, artifacts, policy):
+        return serve_with(
+            split, artifacts, n_slots=4, overflow_policy=policy
+        )
+
+    def test_fail_open_counts_degraded_packets(self, split, artifacts):
+        pipeline, report, registry = self.run(split, artifacts, "fail_open")
+        assert pipeline.degraded_packets > 0
+        assert (
+            registry.counters_dict()["degraded.store_overflow"]
+            == pipeline.degraded_packets
+        )
+        assert report.n_packets == len(split.stream_trace.packets)
+
+    def test_fail_closed_flags_untracked_flows(self, split, artifacts):
+        _p_open, open_report, _r1 = self.run(split, artifacts, "fail_open")
+        _p_closed, closed_report, _r2 = self.run(split, artifacts, "fail_closed")
+        # fail_closed marks what fail_open waves through: strictly more
+        # malicious verdicts, never fewer.
+        assert int(closed_report.y_pred.sum()) >= int(open_report.y_pred.sum())
+        assert recall(closed_report.y_true, closed_report.y_pred) >= recall(
+            open_report.y_true, open_report.y_pred
+        )

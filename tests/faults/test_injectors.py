@@ -1,0 +1,338 @@
+"""Unit behaviour of each injector class and the faulty digest channel."""
+
+import numpy as np
+import pytest
+
+from repro.datasets.packet import FiveTuple
+from repro.faults import (
+    ArtifactCorruption,
+    DigestDelay,
+    DigestDuplication,
+    DigestLoss,
+    DigestReorder,
+    FaultyDigestChannel,
+    KillSwitch,
+    RegisterSaturation,
+    RetrainFailure,
+    RetrainFaultError,
+    SimulatedKill,
+    StorePressure,
+    TableInstallFlake,
+    TransientFaultError,
+)
+from repro.switch.pipeline import Digest, _check_table_quantizer
+from repro.switch.storage import LABEL_MALICIOUS, LABEL_UNDECIDED, FlowStateStore
+from tests.faults.common import compile_artifacts, make_split
+
+
+def bound(injector, seed=0):
+    injector.bind(np.random.default_rng(seed))
+    return injector
+
+
+def populated_store(n_flows=24, decided_every=3):
+    """A store tracking *n_flows* flows, every third one decided.
+
+    Double-hash collisions can reject an insert; colliding flows are
+    simply skipped — the tests only need a mixed population.
+    """
+    store = FlowStateStore(n_slots=256)
+    inserted = 0
+    for i in range(n_flows * 2):
+        if inserted >= n_flows:
+            break
+        ft = FiveTuple(0x0A000001 + i, 0x0A0000FF, 1000 + i, 80, 6)
+        state, collided, _resident = store.lookup_or_create(ft)
+        if collided:
+            continue
+        if inserted % decided_every == 0:
+            state.label = LABEL_MALICIOUS
+        inserted += 1
+    assert inserted == n_flows
+    return store
+
+
+class TestBaseInjector:
+    def test_p_validated(self):
+        with pytest.raises(ValueError, match="p must be"):
+            DigestLoss(p=-0.1)
+        with pytest.raises(ValueError, match="p must be"):
+            DigestLoss(p=1.01)
+
+    def test_zero_p_never_draws(self):
+        """The disabled path must not touch the generator — both for the
+        <2% overhead budget and for resume-stable RNG positions."""
+        inj = DigestLoss(p=0.0)
+        inj.rng = None  # applies() would crash if it drew
+        assert inj.applies() is False
+        assert not inj.active
+
+    def test_certain_p_always_applies(self):
+        inj = bound(DigestLoss(p=1.0))
+        assert all(inj.applies() for _ in range(10))
+
+    def test_state_round_trip_continues_stream(self):
+        a = bound(DigestLoss(p=0.5), seed=3)
+        for _ in range(7):
+            a.applies()
+        a.record(2)
+        b = bound(DigestLoss(p=0.5), seed=99)
+        b.load_state(a.state_dict())
+        assert b.fired == 2
+        assert [a.applies() for _ in range(20)] == [b.applies() for _ in range(20)]
+
+    def test_load_state_rejects_wrong_name(self):
+        b = bound(DigestDuplication(p=0.5))
+        with pytest.raises(ValueError, match="does not match"):
+            b.load_state(bound(DigestLoss(p=0.5)).state_dict())
+
+
+class TestChunkInjectors:
+    def test_at_pins_a_chunk_without_rng(self):
+        inj = StorePressure(at=4)  # p=0: deterministic, no generator use
+        assert inj.active
+        assert [inj.due(i) for i in range(6)] == [False] * 4 + [True, False]
+
+    def test_p_draws_once_per_chunk_regardless_of_at(self):
+        """The generator's position must be a function of the chunk
+        index alone — `at` matches may not skip draws."""
+        a = bound(StorePressure(p=0.3, at=2), seed=7)
+        b = bound(StorePressure(p=0.3), seed=7)
+        for i in range(30):
+            a.due(i)
+            b.due(i)
+        # Same stream position afterwards: next draws agree.
+        assert a.rng.random() == b.rng.random()
+
+    def test_store_pressure_evicts_only_undecided(self):
+        store = populated_store()
+        decided_before = len(store._occupied_positions(lambda s: s.is_decided()))
+        inj = bound(StorePressure(p=1.0, fraction=0.5))
+        evicted = store.force_evict(inj.rng, inj.fraction)
+        assert evicted > 0
+        assert store.forced_evictions == evicted
+        # Every decided flow survived; only undecided slots were freed.
+        assert (
+            len(store._occupied_positions(lambda s: s.is_decided()))
+            == decided_before
+        )
+
+    def test_register_saturation_wipes_decided_labels(self):
+        store = populated_store()
+        decided_before = len(store._occupied_positions(lambda s: s.is_decided()))
+        occupancy_before = store.occupancy()
+        inj = bound(RegisterSaturation(p=1.0, fraction=0.5))
+        wiped = store.saturate_labels(inj.rng, inj.fraction)
+        assert 0 < wiped <= decided_before
+        assert store.label_wipes == wiped
+        # Labels reverted, but no slot was freed: flows re-classify.
+        assert store.occupancy() == occupancy_before
+        assert (
+            len(store._occupied_positions(lambda s: s.label == LABEL_UNDECIDED))
+            >= wiped
+        )
+
+    def test_fraction_validated(self):
+        with pytest.raises(ValueError, match="fraction"):
+            StorePressure(fraction=0.0)
+        with pytest.raises(ValueError, match="fraction"):
+            RegisterSaturation(fraction=1.5)
+
+    def test_kill_switch_counts_processed_chunks(self):
+        inj = KillSwitch(at=2)
+        inj.on_chunk_end(None, 0)
+        inj.on_chunk_end(None, 1)
+        with pytest.raises(SimulatedKill):
+            inj.on_chunk_end(None, 2)
+        assert inj.fired == 1
+
+    def test_kill_switch_is_not_a_fault_error(self):
+        """SimulatedKill must unwind past `except Exception` handlers —
+        only BaseException semantics model a SIGKILL."""
+        assert issubclass(SimulatedKill, BaseException)
+        assert not issubclass(SimulatedKill, Exception)
+
+    def test_kill_switch_countdown_is_process_local(self):
+        """A resumed process restarts the countdown (the checkpoint of
+        the killed chunk was never written, so a global countdown would
+        kill every resume forever)."""
+        inj = KillSwitch(at=0)
+        with pytest.raises(SimulatedKill):
+            inj.on_chunk_end(None, 0)
+        restored = KillSwitch(at=0)
+        restored.load_state(inj.state_dict())
+        assert restored._seen == 0
+        with pytest.raises(SimulatedKill):
+            restored.on_chunk_end(None, 5)
+
+
+class TestControlPlaneInjectors:
+    def test_retrain_failure_raises_and_counts(self):
+        inj = bound(RetrainFailure(p=1.0))
+        with pytest.raises(RetrainFaultError):
+            inj.before_retrain()
+        assert inj.fired == 1
+
+    def test_artifact_corruption_is_detectable(self):
+        """The corrupted artifacts must *fail* the pipeline's install
+        check — a corruption validation cannot see would defeat the
+        ROLLBACK arm the injector exists to exercise."""
+        split = make_split(seed=23, n_benign_flows=20)
+        artifacts = compile_artifacts(split.train_flows)
+        inj = bound(ArtifactCorruption(p=1.0))
+        bad = inj.corrupt(artifacts)
+        assert inj.fired == 1
+        assert bad.fl_rules is artifacts.fl_rules  # rules untouched
+        with pytest.raises(ValueError, match="fingerprint"):
+            _check_table_quantizer("FL", bad.fl_rules, bad.fl_quantizer)
+        # The original pair still validates — corrupt() did not mutate it.
+        _check_table_quantizer("FL", artifacts.fl_rules, artifacts.fl_quantizer)
+
+    def test_install_flake_holds_for_times_attempts(self):
+        inj = bound(TableInstallFlake(p=1.0, times=3))
+        for _ in range(3):
+            with pytest.raises(TransientFaultError):
+                inj.before_table_install()
+        # The consecutive-failure hold is exhausted: the next attempt is
+        # back to an independent Bernoulli draw.
+        assert inj._remaining == 0
+        assert inj.fired == 3
+
+    def test_install_flake_state_round_trip(self):
+        inj = bound(TableInstallFlake(p=1.0, times=2))
+        with pytest.raises(TransientFaultError):
+            inj.before_table_install()
+        restored = bound(TableInstallFlake(p=1.0, times=2), seed=50)
+        restored.load_state(inj.state_dict())
+        assert restored._remaining == 1
+        with pytest.raises(TransientFaultError):
+            restored.before_table_install()
+
+
+def _digest(i, label=LABEL_MALICIOUS):
+    return Digest(
+        five_tuple=FiveTuple(0x0A000001, 0x0A000002, 40000 + i, 80, 6),
+        label=label,
+        timestamp=float(i),
+    )
+
+
+class Recorder:
+    """Minimal stand-in for the pipeline+controller pair."""
+
+    def __init__(self):
+        self.received = []
+        self.digest_channel = None
+        self.controller = self
+
+    def handle_digest(self, digest):
+        self.received.append(digest)
+
+
+def channel_with(**inj):
+    channel = FaultyDigestChannel(**{k: bound(v, seed=i) for i, (k, v) in
+                                     enumerate(sorted(inj.items()))})
+    recorder = Recorder()
+    channel.attach(recorder)
+    return channel, recorder
+
+
+class TestFaultyDigestChannel:
+    def test_attach_wires_the_pipeline(self):
+        channel, recorder = channel_with(loss=DigestLoss(p=0.0))
+        assert recorder.digest_channel is channel
+
+    def test_lossless_channel_is_passthrough(self):
+        channel, recorder = channel_with()
+        for i in range(5):
+            channel.send(_digest(i))
+        assert [d.timestamp for d in recorder.received] == [0.0, 1.0, 2.0, 3.0, 4.0]
+        assert channel.sent == channel.delivered == 5
+        assert channel.dropped == channel.duplicated == channel.pending == 0
+
+    def test_loss_drops_and_counts(self):
+        channel, recorder = channel_with(loss=DigestLoss(p=1.0))
+        for i in range(4):
+            channel.send(_digest(i))
+        assert recorder.received == []
+        assert channel.dropped == 4
+        assert channel.loss.fired == 4
+
+    def test_duplication_delivers_twice(self):
+        channel, recorder = channel_with(dup=DigestDuplication(p=1.0))
+        channel.send(_digest(0))
+        assert len(recorder.received) == 2
+        assert channel.duplicated == 1
+
+    def test_reorder_swaps_adjacent_digests(self):
+        channel, recorder = channel_with(reorder=DigestReorder(p=1.0))
+        channel.send(_digest(0))
+        channel.send(_digest(1))
+        channel.send(_digest(2))
+        # Every send holds the newcomer and releases the previous hold:
+        # delivery runs one behind, in order of displacement.
+        assert [d.timestamp for d in recorder.received] == [0.0, 1.0]
+        assert channel.pending == 1
+        channel.on_chunk_end()  # boundary releases the hold
+        assert [d.timestamp for d in recorder.received] == [0.0, 1.0, 2.0]
+        assert channel.pending == 0
+
+    def test_delay_ages_at_chunk_boundaries(self):
+        channel, recorder = channel_with(delay=DigestDelay(p=1.0, chunks=2))
+        channel.send(_digest(0))
+        assert recorder.received == [] and channel.pending == 1
+        channel.on_chunk_end()
+        assert recorder.received == []  # one boundary aged, one to go
+        channel.on_chunk_end()
+        assert len(recorder.received) == 1
+
+    def test_flush_delivers_the_tail(self):
+        """End of stream loses only what the loss injector dropped —
+        held and delayed digests always arrive."""
+        channel, recorder = channel_with(
+            delay=DigestDelay(p=1.0, chunks=5), reorder=DigestReorder(p=0.0)
+        )
+        for i in range(3):
+            channel.send(_digest(i))
+        assert recorder.received == []
+        channel.flush()
+        assert len(recorder.received) == 3
+        assert channel.pending == 0
+
+    def test_accounting_invariant_under_all_faults(self):
+        channel, _recorder = channel_with(
+            loss=DigestLoss(p=0.3),
+            dup=DigestDuplication(p=0.3),
+            reorder=DigestReorder(p=0.3),
+            delay=DigestDelay(p=0.3, chunks=2),
+        )
+        for i in range(200):
+            channel.send(_digest(i))
+            if i % 20 == 19:
+                channel.on_chunk_end()
+            assert (
+                channel.sent + channel.duplicated
+                == channel.delivered + channel.dropped + channel.pending
+            )
+        channel.flush()
+        assert channel.pending == 0
+        assert (
+            channel.sent + channel.duplicated == channel.delivered + channel.dropped
+        )
+
+    def test_state_round_trip_preserves_pending(self):
+        channel, _recorder = channel_with(
+            delay=DigestDelay(p=1.0, chunks=3), reorder=DigestReorder(p=0.0)
+        )
+        for i in range(4):
+            channel.send(_digest(i))
+        doc = channel.state_dict()
+
+        restored, recorder2 = channel_with(
+            delay=DigestDelay(p=1.0, chunks=3), reorder=DigestReorder(p=0.0)
+        )
+        restored.load_state(doc)
+        assert restored.pending == channel.pending
+        assert restored.sent == 4
+        restored.flush()
+        assert len(recorder2.received) == 4

@@ -1,0 +1,172 @@
+"""Fault-plan construction: the ``--faults`` spec grammar, seeded
+determinism, and checkpoint state round-trips."""
+
+import pytest
+
+from repro.faults import (
+    INJECTOR_TYPES,
+    DigestDelay,
+    DigestLoss,
+    FaultPlan,
+    KillSwitch,
+    StorePressure,
+    TableInstallFlake,
+    parse_fault_spec,
+)
+
+
+class TestSpecGrammar:
+    def test_full_spec(self):
+        seed, clauses = parse_fault_spec(
+            "seed=7;digest_loss:p=0.2;store_pressure:p=0.5,fraction=0.3;kill:at=4"
+        )
+        assert seed == 7
+        assert clauses == [
+            ("digest_loss", {"p": 0.2}),
+            ("store_pressure", {"p": 0.5, "fraction": 0.3}),
+            ("kill", {"at": 4}),
+        ]
+
+    def test_int_params_stay_int(self):
+        _seed, clauses = parse_fault_spec("digest_delay:p=1,chunks=2")
+        assert clauses[0][1]["chunks"] == 2
+        assert isinstance(clauses[0][1]["chunks"], int)
+
+    def test_seed_defaults_to_none_then_zero(self):
+        seed, _clauses = parse_fault_spec("digest_loss:p=0.1")
+        assert seed is None
+        assert FaultPlan.from_spec("digest_loss:p=0.1").seed == 0
+
+    def test_whitespace_and_empty_clauses_tolerated(self):
+        _seed, clauses = parse_fault_spec(" digest_loss : p=0.1 ; ; ")
+        assert clauses == [("digest_loss", {"p": 0.1})]
+
+    def test_unknown_injector_lists_known_names(self):
+        with pytest.raises(ValueError, match="unknown fault injector"):
+            parse_fault_spec("bitflip:p=0.5")
+
+    def test_malformed_param_rejected(self):
+        with pytest.raises(ValueError, match="malformed"):
+            parse_fault_spec("digest_loss:p")
+
+    def test_non_number_param_rejected(self):
+        with pytest.raises(ValueError, match="not a number"):
+            parse_fault_spec("digest_loss:p=high")
+
+    def test_registry_covers_every_injector(self):
+        assert set(INJECTOR_TYPES) == {
+            "digest_loss",
+            "digest_dup",
+            "digest_reorder",
+            "digest_delay",
+            "store_pressure",
+            "register_saturation",
+            "kill",
+            "retrain_failure",
+            "artifact_corruption",
+            "table_install_flake",
+        }
+
+
+class TestPlanConstruction:
+    def test_from_spec_builds_typed_injectors(self):
+        plan = FaultPlan.from_spec(
+            "seed=3;digest_loss:p=0.2;digest_delay:p=0.1,chunks=2;kill:at=5"
+        )
+        assert [type(i) for i in plan.injectors] == [
+            DigestLoss,
+            DigestDelay,
+            KillSwitch,
+        ]
+        assert plan.seed == 3
+        assert plan.spec is not None
+        assert plan.channel is not None  # digest injectors present
+
+    def test_no_digest_injectors_no_channel(self):
+        plan = FaultPlan.from_spec("store_pressure:p=0.5")
+        assert plan.channel is None
+
+    def test_every_injector_gets_a_bound_rng(self):
+        plan = FaultPlan.from_spec("digest_loss:p=0.2;store_pressure:p=0.5")
+        assert all(i.rng is not None for i in plan.injectors)
+
+    def test_duplicate_digest_injectors_rejected(self):
+        with pytest.raises(ValueError, match="duplicate"):
+            FaultPlan([DigestLoss(p=0.1), DigestLoss(p=0.2)])
+
+    def test_bad_parameters_propagate(self):
+        with pytest.raises(ValueError, match="p must be"):
+            FaultPlan.from_spec("digest_loss:p=1.5")
+        with pytest.raises(ValueError, match="fraction"):
+            FaultPlan.from_spec("store_pressure:p=0.5,fraction=0")
+        with pytest.raises(ValueError, match="times"):
+            FaultPlan.from_spec("table_install_flake:p=0.5,times=0")
+
+
+class TestDeterminism:
+    def test_same_spec_same_schedule(self):
+        """Two plans built from one spec must replay the identical fault
+        schedule — the property every chaos test leans on."""
+        spec = "seed=11;store_pressure:p=0.4;register_saturation:p=0.3"
+        a, b = FaultPlan.from_spec(spec), FaultPlan.from_spec(spec)
+        fires_a = [inj.due(i) for i in range(50) for inj in a.injectors]
+        fires_b = [inj.due(i) for i in range(50) for inj in b.injectors]
+        assert fires_a == fires_b
+        assert any(fires_a)  # non-trivial schedule
+
+    def test_different_seed_different_schedule(self):
+        a = FaultPlan.from_spec("seed=1;store_pressure:p=0.4")
+        b = FaultPlan.from_spec("seed=2;store_pressure:p=0.4")
+        fires_a = [a.injectors[0].due(i) for i in range(100)]
+        fires_b = [b.injectors[0].due(i) for i in range(100)]
+        assert fires_a != fires_b
+
+    def test_injector_order_fixes_fanout(self):
+        """Seeds fan out in clause order, so each injector's stream is
+        independent of the *parameters* of its siblings."""
+        a = FaultPlan.from_spec("seed=5;digest_loss:p=0.5;store_pressure:p=0.4")
+        b = FaultPlan.from_spec("seed=5;digest_loss:p=0.9;store_pressure:p=0.4")
+        sp_a, sp_b = a.injectors[1], b.injectors[1]
+        assert [sp_a.due(i) for i in range(50)] == [sp_b.due(i) for i in range(50)]
+
+
+class TestPlanState:
+    def test_state_round_trip(self):
+        spec = "seed=9;store_pressure:p=0.5;table_install_flake:p=1,times=2"
+        plan = FaultPlan.from_spec(spec)
+        # Advance the world a little: draw some chunk decisions, arm the
+        # flake, then snapshot.
+        for i in range(5):
+            plan.injectors[0].due(i)
+        with pytest.raises(Exception):
+            plan.before_table_install()  # arms _remaining
+        doc = plan.state_dict()
+
+        restored = FaultPlan.from_spec(spec)
+        restored.load_state(doc)
+        # The restored plan continues the exact RNG streams…
+        assert [plan.injectors[0].due(i) for i in range(5, 25)] == [
+            restored.injectors[0].due(i) for i in range(5, 25)
+        ]
+        # …and the flake's consecutive-failure countdown.
+        assert restored.injectors[1]._remaining == plan.injectors[1]._remaining
+        assert restored.total_fired() == plan.total_fired()
+
+    def test_load_state_rejects_shape_mismatch(self):
+        plan = FaultPlan.from_spec("digest_loss:p=0.1")
+        other = FaultPlan.from_spec("digest_loss:p=0.1;store_pressure:p=0.5")
+        with pytest.raises(ValueError, match="injector states"):
+            plan.load_state(other.state_dict())
+
+    def test_load_state_rejects_name_mismatch(self):
+        plan = FaultPlan.from_spec("digest_loss:p=0.1")
+        other = FaultPlan.from_spec("digest_dup:p=0.1")
+        with pytest.raises(ValueError, match="does not match"):
+            plan.load_state(other.state_dict())
+
+    def test_counts_reports_only_fired(self):
+        plan = FaultPlan([StorePressure(p=0.0, at=3), TableInstallFlake(p=0.0)])
+        assert plan.counts() == {}
+        plan.injectors[0].record(2)
+        assert plan.counts() == {"faults.store_pressure": 2}
+        assert plan.total_fired() == 2

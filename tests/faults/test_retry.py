@@ -1,0 +1,129 @@
+"""Retry/backoff/deadline semantics (:mod:`repro.faults.retry`), driven
+by a virtual clock so schedules are asserted exactly and nothing sleeps
+for real."""
+
+import pytest
+
+from repro.faults import (
+    DeadlineExceeded,
+    TransientFaultError,
+    backoff_schedule,
+    retry_with_backoff,
+)
+
+
+class VirtualClock:
+    """A clock that only advances when something 'sleeps' on it."""
+
+    def __init__(self) -> None:
+        self.now = 0.0
+        self.sleeps = []
+
+    def sleep(self, seconds: float) -> None:
+        self.sleeps.append(seconds)
+        self.now += seconds
+
+    def clock(self) -> float:
+        return self.now
+
+
+def flaky(times, exc=TransientFaultError):
+    """A callable failing the first *times* invocations."""
+    calls = {"n": 0}
+
+    def fn():
+        calls["n"] += 1
+        if calls["n"] <= times:
+            raise exc(f"flake {calls['n']}")
+        return calls["n"]
+
+    fn.calls = calls
+    return fn
+
+
+class TestBackoffSchedule:
+    def test_exponential_and_capped(self):
+        assert backoff_schedule(4, base_delay=0.1, factor=2.0, max_delay=0.5) == (
+            0.1,
+            0.2,
+            0.4,
+            0.5,
+        )
+
+    def test_zero_retries_is_empty(self):
+        assert backoff_schedule(0) == ()
+
+    def test_negative_rejected(self):
+        with pytest.raises(ValueError, match="retries"):
+            backoff_schedule(-1)
+
+
+class TestRetryWithBackoff:
+    def test_first_try_success_never_sleeps(self):
+        vc = VirtualClock()
+        assert retry_with_backoff(lambda: 42, sleep=vc.sleep, clock=vc.clock) == 42
+        assert vc.sleeps == []
+
+    def test_recovers_after_transient_failures(self):
+        vc = VirtualClock()
+        fn = flaky(2)
+        result = retry_with_backoff(
+            fn, retries=3, base_delay=0.1, sleep=vc.sleep, clock=vc.clock
+        )
+        assert result == 3  # two failures + the succeeding third call
+        assert vc.sleeps == [0.1, 0.2]  # exact backoff schedule observed
+
+    def test_exhausted_retries_reraise_last_error(self):
+        vc = VirtualClock()
+        with pytest.raises(TransientFaultError, match="flake 3"):
+            retry_with_backoff(
+                flaky(10), retries=2, base_delay=0.1, sleep=vc.sleep, clock=vc.clock
+            )
+        assert len(vc.sleeps) == 2
+
+    def test_deterministic_errors_never_retried(self):
+        """ValueError (install-time validation) must propagate on the
+        first attempt — retrying a deterministic rejection wastes the
+        whole backoff budget for nothing."""
+        vc = VirtualClock()
+        fn = flaky(1, exc=ValueError)
+        with pytest.raises(ValueError):
+            retry_with_backoff(fn, retries=5, sleep=vc.sleep, clock=vc.clock)
+        assert fn.calls["n"] == 1
+        assert vc.sleeps == []
+
+    def test_deadline_cuts_the_budget(self):
+        """The deadline is checked before sleeping: an attempt whose
+        backoff would overrun it raises DeadlineExceeded instead."""
+        vc = VirtualClock()
+        with pytest.raises(DeadlineExceeded):
+            retry_with_backoff(
+                flaky(10),
+                retries=10,
+                base_delay=1.0,
+                factor=1.0,
+                deadline_s=2.5,
+                sleep=vc.sleep,
+                clock=vc.clock,
+            )
+        # Slept 1s + 1s, then the third 1s sleep would exceed 2.5s.
+        assert vc.sleeps == [1.0, 1.0]
+
+    def test_deadline_exceeded_is_transient(self):
+        """DeadlineExceeded subclasses TransientFaultError so the
+        service's degradation arm (swap_aborted) catches it."""
+        assert issubclass(DeadlineExceeded, TransientFaultError)
+
+    def test_on_retry_callback_sees_every_reattempt(self):
+        vc = VirtualClock()
+        seen = []
+        retry_with_backoff(
+            flaky(2),
+            retries=3,
+            base_delay=0.01,
+            sleep=vc.sleep,
+            clock=vc.clock,
+            on_retry=lambda attempt, err: seen.append((attempt, str(err))),
+        )
+        assert [a for a, _ in seen] == [1, 2]
+        assert all("flake" in msg for _, msg in seen)

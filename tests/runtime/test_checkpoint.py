@@ -1,0 +1,246 @@
+"""Crash-safe checkpoint/restore (:mod:`repro.runtime.checkpoint`).
+
+The core claim under test: a serve loop killed at an arbitrary chunk
+boundary and resumed from its last checkpoint finishes with decisions
+bit-identical to the uninterrupted run.  The simulated kill
+(:class:`repro.faults.SimulatedKill`) fires *inside* the stream driver
+before the chunk is yielded, so — like a real SIGKILL — the in-flight
+chunk's pipeline mutations are never checkpointed and the resume
+re-serves that chunk from the previous consistent snapshot.
+"""
+
+import json
+
+import numpy as np
+import pytest
+
+from repro.faults import FaultPlan, SimulatedKill
+from repro.runtime import OnlineDetectionService, Retrainer, RuntimeConfig
+from repro.runtime.checkpoint import (
+    SCHEMA,
+    CheckpointManager,
+    report_from_dict,
+    report_to_dict,
+    restore_service,
+    service_to_dict,
+)
+from repro.telemetry import MetricRegistry, use_registry
+from tests.faults.common import (
+    PKT_COUNT_THRESHOLD,
+    TIMEOUT,
+    compile_artifacts,
+    fresh_pipeline,
+    make_split,
+)
+from tests.runtime.common import light_model_factory
+
+N_CHUNKS = 6
+
+
+@pytest.fixture(scope="module")
+def split():
+    return make_split(seed=29, n_benign_flows=50)
+
+
+@pytest.fixture(scope="module")
+def artifacts(split):
+    return compile_artifacts(split.train_flows)
+
+
+def make_service(split, artifacts, faults=None):
+    """A fresh service with a *real* retrainer (checkpoints serialise the
+    reservoir + RNG states, so the stub from the chaos suite won't do)."""
+    pipeline = fresh_pipeline(artifacts)
+    n_packets = len(split.stream_trace.packets)
+    config = RuntimeConfig(
+        chunk_size=-(-n_packets // N_CHUNKS),
+        drift_threshold=0.0,
+        cadence=3,
+        min_retrain_flows=8,
+        stage_backoff_s=0.0,
+    )
+    retrainer = Retrainer(
+        pkt_count_threshold=PKT_COUNT_THRESHOLD,
+        timeout=TIMEOUT,
+        model_factory=light_model_factory,
+        seed=17,
+    )
+    return OnlineDetectionService(
+        pipeline, retrainer=retrainer, config=config, faults=faults
+    )
+
+
+@pytest.fixture(scope="module")
+def baseline(split, artifacts):
+    """The uninterrupted, checkpoint-free run every test compares to."""
+    service = make_service(split, artifacts)
+    registry = MetricRegistry()
+    with use_registry(registry):
+        report = service.serve(split.stream_trace)
+    assert report.n_chunks == N_CHUNKS
+    assert report.retrains > 0  # the control loop actually exercised
+    return report, registry
+
+
+def canon(doc):
+    return json.dumps(doc, sort_keys=True, allow_nan=True)
+
+
+class TestDocumentRoundTrip:
+    def test_restore_then_reserialize_is_identity(
+        self, split, artifacts, tmp_path, baseline
+    ):
+        """serialize → restore → serialize must be a fixed point — any
+        drift (a float coerced, a counter dropped) breaks resume
+        bit-identity sooner or later."""
+        service = make_service(split, artifacts)
+        manager = CheckpointManager(tmp_path)
+        with use_registry(MetricRegistry()):
+            service.serve(split.stream_trace, checkpoint=manager)
+
+        doc = CheckpointManager.load(tmp_path)
+        assert doc.pop("status") == "complete"
+        restored, report = restore_service(doc, model_factory=light_model_factory)
+        assert canon(service_to_dict(restored, report)) == canon(doc)
+
+    def test_report_round_trip(self, baseline):
+        report, _ = baseline
+        back = report_from_dict(report_to_dict(report))
+        np.testing.assert_array_equal(back.y_pred, report.y_pred)
+        np.testing.assert_array_equal(back.y_true, report.y_true)
+        assert back.n_chunks == report.n_chunks
+        assert back.n_packets == report.n_packets
+        assert back.retrains == report.retrains
+        assert back.swap_events == report.swap_events
+        assert back.chunk_offsets == report.chunk_offsets
+        assert back.decisions == []  # evaluation sugar, never persisted
+
+    def test_restore_rejects_foreign_documents(self):
+        with pytest.raises(ValueError, match="checkpoint"):
+            restore_service({"schema": "something/else"})
+
+
+class TestCheckpointTransparency:
+    def test_checkpointing_does_not_perturb_the_run(
+        self, split, artifacts, tmp_path, baseline
+    ):
+        base_report, base_registry = baseline
+        service = make_service(split, artifacts)
+        registry = MetricRegistry()
+        with use_registry(registry):
+            report = service.serve(
+                split.stream_trace, checkpoint=CheckpointManager(tmp_path)
+            )
+        np.testing.assert_array_equal(report.y_pred, base_report.y_pred)
+        assert registry.counters_dict() == base_registry.counters_dict()
+
+
+class TestKillAndResume:
+    def resume_until_complete(self, split, tmp_path, max_segments=10):
+        """Drive the kill/restore cycle to completion; each resume
+        rebuilds the fault plan from the stored spec, so the kill switch
+        re-arms in every segment until too few chunks remain."""
+        for _ in range(max_segments):
+            doc = CheckpointManager.load(tmp_path)
+            if doc["status"] == "complete":
+                service, report = restore_service(
+                    doc, model_factory=light_model_factory
+                )
+                return report
+            service, report = restore_service(
+                doc, model_factory=light_model_factory
+            )
+            try:
+                with use_registry(MetricRegistry()):
+                    report = service.serve(
+                        split.stream_trace,
+                        checkpoint=CheckpointManager(tmp_path),
+                        resume_report=report,
+                    )
+            except SimulatedKill:
+                continue
+            return report
+        raise AssertionError("resume loop did not converge")
+
+    def test_killed_run_resumes_bit_identical(
+        self, split, artifacts, tmp_path, baseline
+    ):
+        base_report, _ = baseline
+        plan = FaultPlan.from_spec("kill:at=2")
+        service = make_service(split, artifacts, faults=plan)
+        with pytest.raises(SimulatedKill):
+            with use_registry(MetricRegistry()):
+                service.serve(
+                    split.stream_trace, checkpoint=CheckpointManager(tmp_path)
+                )
+
+        # The kill dropped the in-flight chunk: the checkpoint is behind.
+        doc = CheckpointManager.load(tmp_path)
+        assert doc["status"] == "in_progress"
+        assert doc["report"]["n_chunks"] < N_CHUNKS
+
+        final = self.resume_until_complete(split, tmp_path)
+        assert final.n_chunks == N_CHUNKS
+        assert final.n_packets == base_report.n_packets
+        np.testing.assert_array_equal(final.y_pred, base_report.y_pred)
+        np.testing.assert_array_equal(final.y_true, base_report.y_true)
+        assert final.retrains == base_report.retrains
+        assert [e.chunk_index for e in final.swap_events] == [
+            e.chunk_index for e in base_report.swap_events
+        ]
+
+    def test_resume_of_complete_run_is_a_noop(
+        self, split, artifacts, tmp_path
+    ):
+        service = make_service(split, artifacts)
+        with use_registry(MetricRegistry()):
+            service.serve(
+                split.stream_trace, checkpoint=CheckpointManager(tmp_path)
+            )
+        doc = CheckpointManager.load(tmp_path)
+        assert doc["status"] == "complete"
+        restored, report = restore_service(doc, model_factory=light_model_factory)
+        before = report_to_dict(report)
+        with use_registry(MetricRegistry()):
+            again = restored.serve(split.stream_trace, resume_report=report)
+        # Every packet was already covered: zero chunks re-served.
+        assert report_to_dict(again) == before
+
+
+class TestCheckpointManager:
+    def test_journal_records_every_save(self, split, artifacts, tmp_path):
+        manager = CheckpointManager(tmp_path)
+        service = make_service(split, artifacts)
+        with use_registry(MetricRegistry()):
+            service.serve(split.stream_trace, checkpoint=manager)
+        lines = [
+            json.loads(line)
+            for line in (tmp_path / CheckpointManager.JOURNAL)
+            .read_text()
+            .splitlines()
+        ]
+        assert len(lines) == manager.saves
+        chunk_counts = [e["n_chunks"] for e in lines]
+        assert chunk_counts == sorted(chunk_counts)
+        assert lines[-1]["status"] == "complete"
+        assert lines[-1]["benign"] + lines[-1]["malicious"] == lines[-1]["n_packets"]
+
+    def test_every_thins_intermediate_saves(self, split, artifacts, tmp_path):
+        manager = CheckpointManager(tmp_path, every=4)
+        service = make_service(split, artifacts)
+        with use_registry(MetricRegistry()):
+            service.serve(split.stream_trace, checkpoint=manager)
+        # Chunk boundaries 4 (the only multiple of 4 in 1..6) plus the
+        # unconditional final save.
+        assert manager.saves == 2
+
+    def test_every_validated(self, tmp_path):
+        with pytest.raises(ValueError, match="every"):
+            CheckpointManager(tmp_path, every=0)
+
+    def test_load_rejects_garbage(self, tmp_path):
+        (tmp_path / CheckpointManager.FILENAME).write_text('{"schema": "nope"}')
+        with pytest.raises(ValueError, match=SCHEMA.split("/")[0]):
+            CheckpointManager.load(tmp_path)
+        assert CheckpointManager.exists(tmp_path)
+        assert not CheckpointManager.exists(tmp_path / "elsewhere")

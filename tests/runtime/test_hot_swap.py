@@ -61,6 +61,20 @@ class TestStage:
         with pytest.raises(RuntimeError, match="previous"):
             pipeline.rollback()
 
+    def test_reject_staged_discards_candidate(self, setup):
+        pipeline, _trace, x, rules, quantizer = setup
+        q2 = IntegerQuantizer(bits=12, space="log").fit(x * 1.2)
+        rules2 = percentile_rules(x * 1.2).quantize(q2)
+        pipeline.stage_tables(rules2, q2)
+        pipeline.reject_staged()
+        assert not pipeline.has_staged_tables
+        assert pipeline.table_rollbacks == 1
+        assert pipeline.table_swaps == 0
+        assert pipeline.fl_table.ruleset is rules
+        assert pipeline.fl_quantizer is quantizer
+        with pytest.raises(RuntimeError, match="staged"):
+            pipeline.hot_swap()  # the rejected candidate is truly gone
+
 
 class TestHotSwap:
     def test_swap_preserves_flow_state_mid_trace(self, setup):
@@ -126,6 +140,49 @@ class TestHotSwap:
         pipeline.stage_tables(rules3, q3)
         pipeline.hot_swap()
         assert pipeline.fl_table.ruleset is rules3
+
+    def test_failed_flip_leaves_old_generation_fully_intact(
+        self, setup, monkeypatch
+    ):
+        """A validation error raised mid-flip (between staging and the
+        live-pointer assignment) must leave every piece of serving state
+        untouched — tables, quantizer, previous generation, flow store,
+        blacklist — and keep the candidate staged so the flip can retry."""
+        pipeline, trace, x, _rules, quantizer = setup
+        half = len(trace) // 2
+        replay_trace(Trace(trace.packets[:half]), pipeline, mode="batch")
+
+        q2 = IntegerQuantizer(bits=12, space="log").fit(x * 1.2)
+        rules2 = percentile_rules(x * 1.2).quantize(q2)
+        pipeline.stage_tables(rules2, q2)
+
+        live = pipeline.fl_table
+        previous = pipeline._previous
+        occupancy = pipeline.store.occupancy()
+        blacklist = list(pipeline.blacklist._entries)
+
+        def boom(tables):
+            raise ValueError("mid-flip validation failure")
+
+        monkeypatch.setattr(pipeline, "_build_tables", boom)
+        with pytest.raises(ValueError, match="mid-flip"):
+            pipeline.hot_swap()
+
+        assert pipeline.fl_table is live
+        assert pipeline.fl_quantizer is quantizer
+        assert pipeline._previous is previous
+        assert pipeline.table_swaps == 0
+        assert pipeline.store.occupancy() == occupancy
+        assert list(pipeline.blacklist._entries) == blacklist
+        assert pipeline.has_staged_tables  # candidate survives for a retry
+
+        # With the transient gone, the very same staged generation flips.
+        monkeypatch.undo()
+        pipeline.hot_swap()
+        assert pipeline.table_swaps == 1
+        assert pipeline.fl_table.ruleset is rules2
+        result = replay_trace(Trace(trace.packets[half:]), pipeline, mode="batch")
+        assert result.n_packets == len(trace) - half
 
     def test_swap_decisions_change_with_tables(self, setup):
         """A genuinely different whitelist must change verdicts — the

@@ -186,5 +186,79 @@ class TestModelBundle:
 
     def test_missing_manifest_is_not_a_bundle(self, tmp_path):
         assert not rio.is_model_bundle(tmp_path)
-        with pytest.raises(FileNotFoundError):
+        with pytest.raises(rio.BundleError, match="missing"):
             rio.load_model_bundle(tmp_path)
+
+
+class TestBundleErrors:
+    """Every load-side failure surfaces as one exception type —
+    :class:`repro.io.BundleError` — naming the offending file."""
+
+    @pytest.fixture()
+    def bundle_dir(self, trained, tmp_path):
+        _flows, _x, model, artifacts = trained
+        return rio.save_model_bundle(
+            tmp_path / "bundle", artifacts, forest=model.distilled_,
+            ensemble=model.oracle,
+        )
+
+    def test_bundle_error_is_a_value_error(self):
+        # Pre-hardening callers caught ValueError; they must keep working.
+        assert issubclass(rio.BundleError, ValueError)
+
+    def test_missing_manifest_names_the_path(self, tmp_path):
+        with pytest.raises(rio.BundleError) as excinfo:
+            rio.load_model_bundle(tmp_path)
+        assert excinfo.value.path.endswith("manifest.json")
+        assert "missing" in str(excinfo.value)
+
+    def test_missing_part_file(self, bundle_dir):
+        (bundle_dir / "fl_rules.json").unlink()
+        with pytest.raises(rio.BundleError) as excinfo:
+            rio.load_model_bundle(bundle_dir)
+        assert excinfo.value.path.endswith("fl_rules.json")
+        assert "missing" in str(excinfo.value)
+
+    def test_truncated_json_part(self, bundle_dir):
+        path = bundle_dir / "fl_quantizer.json"
+        path.write_text(path.read_text()[: len(path.read_text()) // 2])
+        with pytest.raises(rio.BundleError) as excinfo:
+            rio.load_model_bundle(bundle_dir)
+        assert excinfo.value.path.endswith("fl_quantizer.json")
+        assert "cannot load" in str(excinfo.value)
+
+    def test_garbled_npz_part(self, bundle_dir):
+        (bundle_dir / "ensemble.npz").write_bytes(b"\x00not a zip archive")
+        with pytest.raises(rio.BundleError) as excinfo:
+            rio.load_model_bundle(bundle_dir)
+        assert excinfo.value.path.endswith("ensemble.npz")
+
+    def test_schema_mismatch_in_part(self, bundle_dir):
+        doc = json.loads((bundle_dir / "fl_rules.json").read_text())
+        doc["schema"] = "someone-else/v9"
+        (bundle_dir / "fl_rules.json").write_text(json.dumps(doc))
+        with pytest.raises(rio.BundleError) as excinfo:
+            rio.load_model_bundle(bundle_dir)
+        assert excinfo.value.path.endswith("fl_rules.json")
+
+    def test_wrong_kind_part(self, bundle_dir):
+        # The manifest points fl_rules at what is actually a quantizer
+        # document: the kind check must catch the swap.
+        quantizer_doc = (bundle_dir / "fl_quantizer.json").read_text()
+        (bundle_dir / "fl_rules.json").write_text(quantizer_doc)
+        with pytest.raises(rio.BundleError) as excinfo:
+            rio.load_model_bundle(bundle_dir)
+        assert excinfo.value.path.endswith("fl_rules.json")
+
+    def test_manifest_without_files_key(self, bundle_dir):
+        (bundle_dir / "manifest.json").write_text(
+            json.dumps({"schema": "repro.io/v1", "kind": "model_bundle"})
+        )
+        with pytest.raises(rio.BundleError) as excinfo:
+            rio.load_model_bundle(bundle_dir)
+        assert "cannot load" in str(excinfo.value)
+
+    def test_intact_bundle_still_loads(self, bundle_dir):
+        # The hardening must not reject anything legitimate.
+        bundle = rio.load_model_bundle(bundle_dir)
+        assert bundle.artifacts.fl_rules is not None
