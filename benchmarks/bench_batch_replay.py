@@ -127,7 +127,10 @@ def run(repeats=3):
     assert p_b.path_counts == p_s.path_counts, "engines diverged on path counts"
     assert (r_b.y_pred == r_s.y_pred).all(), "engines diverged on verdicts"
 
+    from benchmarks.common import host_info
+
     report = {
+        "host": host_info(),
         "n_packets": len(trace),
         "n_flows": len(trace.bidirectional_flows()),
         "malicious_fraction": round(trace.malicious_fraction(), 4),

@@ -217,7 +217,10 @@ def run():
             "faults_fired": sum(i.fired for i in plan.injectors),
         }
 
+    from benchmarks.common import host_info
+
     report = {
+        "host": host_info(),
         "n_packets": len(trace),
         "n_chunks": n_chunks,
         "chunk_size": CHUNK_SIZE,

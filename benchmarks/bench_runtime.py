@@ -95,8 +95,11 @@ def run(repeats=3):
     # Streaming is only a cost model if it serves the same verdicts.
     assert (stream_pred == oneshot.y_pred).all(), "stream diverged from one-shot"
 
+    from benchmarks.common import host_info
+
     pauses = _measure_swap_pause(make_pipeline, N_SWAPS)
     report = {
+        "host": host_info(),
         "n_packets": len(trace),
         "n_chunks": driver.chunks_processed,
         "chunk_size": CHUNK_SIZE,

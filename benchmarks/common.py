@@ -26,6 +26,7 @@ from __future__ import annotations
 
 import hashlib
 import os
+import platform
 import sys
 from typing import Dict, Optional
 
@@ -70,6 +71,27 @@ FULL_IGUARD_GRID = {
     "threshold_margin": (1.6, 2.0),
     "distil_margin": (1.0, 1.2),
 }
+
+
+def host_info() -> Dict:
+    """Machine-readable host block embedded in every ``BENCH_*.json``.
+
+    Throughput and scaling numbers are only comparable across runs when
+    the host is recorded next to them — ``n_cores`` is the *usable*
+    core count (cgroup/affinity-aware where the platform exposes it),
+    which is what bounds any pps-vs-shards curve.
+    """
+    if hasattr(os, "sched_getaffinity"):
+        n_cores = len(os.sched_getaffinity(0))
+    else:  # pragma: no cover — platforms without affinity introspection
+        n_cores = os.cpu_count() or 1
+    return {
+        "n_cores": n_cores,
+        "cpu_count": os.cpu_count(),
+        "platform": platform.platform(),
+        "machine": platform.machine(),
+        "python": platform.python_version(),
+    }
 
 
 def bench_seed(name: str) -> int:

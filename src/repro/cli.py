@@ -121,6 +121,17 @@ def _build_parser() -> argparse.ArgumentParser:
         "--checkpoint-every", type=int, default=1, metavar="N",
         help="snapshot every N-th chunk boundary (default 1)",
     )
+    p_serve.add_argument(
+        "--shards", type=int, default=1, metavar="N",
+        help="serve through a flow-sharded cluster of N pipelines "
+        "(1 = single-pipeline service)",
+    )
+    p_serve.add_argument(
+        "--cluster-executor", choices=("inprocess", "multiprocess"),
+        default="inprocess",
+        help="where shard workers run (with --shards > 1): 'inprocess' is "
+        "deterministic, 'multiprocess' parallelises across cores",
+    )
 
     p_resume = sub.add_parser(
         "resume",
@@ -308,11 +319,30 @@ def _print_serve_summary(report, attack: str, shift: str) -> None:
           f"packets={report.n_packets}")
 
 
+def _print_shard_summary(report) -> None:
+    """Cluster-only lines appended to the shared serve summary."""
+    dist = "  ".join(
+        f"shard{k}={n}" for k, n in enumerate(report.shard_packets)
+    )
+    print(f"cluster: {report.n_shards} shards  packet distribution: {dist}")
+    for event in report.swap_events:
+        if event.failed_shards:
+            print(f"  chunk {event.chunk_index}: swap aborted by "
+                  f"shard(s) {event.failed_shards} -> all shards rolled back")
+    for k, counts in enumerate(report.shard_fault_counts):
+        if counts:
+            fired = "  ".join(f"{n}={c}" for n, c in sorted(counts.items()))
+            print(f"  shard {k} faults: {fired}")
+
+
 def _cmd_serve(args) -> int:
     from repro.datasets import make_drift_split
     from repro.io import is_model_bundle
     from repro.runtime import CheckpointManager, OnlineDetectionService, RuntimeConfig
 
+    if args.shards < 1:
+        print(f"--shards must be >= 1, got {args.shards}")
+        return 2
     split = make_drift_split(
         args.attack, n_benign_flows=args.flows, shift=args.shift, seed=args.seed
     )
@@ -333,6 +363,44 @@ def _cmd_serve(args) -> int:
         cadence=args.cadence,
         max_swaps=args.max_swaps,
     )
+    # The meta block carries everything resume needs to rebuild the
+    # identical trace and config.
+    checkpoint_meta = {
+        "attack": args.attack,
+        "model": args.model,
+        "flows": args.flows,
+        "chunk_size": args.chunk_size,
+        "drift": args.drift,
+        "cadence": args.cadence,
+        "max_swaps": args.max_swaps,
+        "shift": args.shift,
+        "seed": args.seed,
+        "faults": args.faults,
+        "checkpoint_every": args.checkpoint_every,
+        "shards": args.shards,
+    }
+
+    if args.shards > 1:
+        from repro.cluster import ClusterCheckpointManager, ClusterService
+
+        checkpoint = None
+        if args.checkpoint:
+            checkpoint = ClusterCheckpointManager(
+                args.checkpoint, every=args.checkpoint_every, meta=checkpoint_meta
+            )
+        with ClusterService(
+            pipeline,
+            n_shards=args.shards,
+            config=config,
+            executor=args.cluster_executor,
+            seed=args.seed,
+            faults_spec=args.faults,
+        ) as cluster:
+            report = cluster.serve(split.stream_trace, checkpoint=checkpoint)
+        _print_serve_summary(report, args.attack, args.shift)
+        _print_shard_summary(report)
+        return 0
+
     faults = None
     if args.faults:
         from repro.faults import FaultPlan
@@ -340,24 +408,8 @@ def _cmd_serve(args) -> int:
         faults = FaultPlan.from_spec(args.faults)
     checkpoint = None
     if args.checkpoint:
-        # The meta block carries everything resume needs to rebuild the
-        # identical trace and config.
         checkpoint = CheckpointManager(
-            args.checkpoint,
-            every=args.checkpoint_every,
-            meta={
-                "attack": args.attack,
-                "model": args.model,
-                "flows": args.flows,
-                "chunk_size": args.chunk_size,
-                "drift": args.drift,
-                "cadence": args.cadence,
-                "max_swaps": args.max_swaps,
-                "shift": args.shift,
-                "seed": args.seed,
-                "faults": args.faults,
-                "checkpoint_every": args.checkpoint_every,
-            },
+            args.checkpoint, every=args.checkpoint_every, meta=checkpoint_meta
         )
     service = OnlineDetectionService(
         pipeline, config=config, seed=args.seed, faults=faults
@@ -368,10 +420,18 @@ def _cmd_serve(args) -> int:
 
 
 def _cmd_resume(args) -> int:
+    from repro.cluster import (
+        CLUSTER_SCHEMA,
+        ClusterCheckpointManager,
+        cluster_report_from_dict,
+        load_any_checkpoint,
+        restore_cluster,
+    )
     from repro.datasets import make_drift_split
     from repro.runtime import CheckpointManager, report_from_dict, restore_service
 
-    doc = CheckpointManager.load(args.checkpoint)
+    doc = load_any_checkpoint(args.checkpoint)
+    is_cluster = doc.get("schema") == CLUSTER_SCHEMA
     meta = doc.get("meta", {})
     attack = meta.get("attack", "?")
     shift = meta.get("shift", "none")
@@ -379,23 +439,42 @@ def _cmd_resume(args) -> int:
         # Nothing to do — reprint the stored summary so callers diffing
         # output get identical verdict totals from repeated resumes.
         print(f"checkpoint {args.checkpoint} is complete; nothing to resume")
-        _print_serve_summary(report_from_dict(doc["report"]), attack, shift)
+        restored = (
+            cluster_report_from_dict(doc["report"])
+            if is_cluster
+            else report_from_dict(doc["report"])
+        )
+        _print_serve_summary(restored, attack, shift)
+        if is_cluster:
+            _print_shard_summary(restored)
         return 0
 
-    service, report = restore_service(
-        doc, faults=None if args.no_faults else "auto"
-    )
-    print(f"resuming {attack} from chunk {report.n_chunks} "
-          f"({report.n_packets} packets served before the crash)")
+    faults = None if args.no_faults else "auto"
     split = make_drift_split(
         attack,
         n_benign_flows=int(meta["flows"]),
         shift=shift,
         seed=int(meta["seed"]),
     )
-    checkpoint = CheckpointManager(
-        args.checkpoint, every=int(meta.get("checkpoint_every", 1)), meta=meta
-    )
+    every = int(meta.get("checkpoint_every", 1))
+    if is_cluster:
+        service, report = restore_cluster(doc, faults=faults)
+        print(f"resuming {attack} from chunk {report.n_chunks} "
+              f"({report.n_packets} packets served before the crash, "
+              f"{report.n_shards} shards)")
+        checkpoint = ClusterCheckpointManager(args.checkpoint, every=every, meta=meta)
+        with service:
+            report = service.serve(
+                split.stream_trace, checkpoint=checkpoint, resume_report=report
+            )
+        _print_serve_summary(report, attack, shift)
+        _print_shard_summary(report)
+        return 0
+
+    service, report = restore_service(doc, faults=faults)
+    print(f"resuming {attack} from chunk {report.n_chunks} "
+          f"({report.n_packets} packets served before the crash)")
+    checkpoint = CheckpointManager(args.checkpoint, every=every, meta=meta)
     report = service.serve(
         split.stream_trace, checkpoint=checkpoint, resume_report=report
     )

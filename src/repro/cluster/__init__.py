@@ -1,0 +1,79 @@
+"""Sharded cluster runtime: horizontal scale-out of the serving loop.
+
+Layout:
+
+* :mod:`repro.cluster.router` — canonical-flow-hash partitioning
+  (:class:`FlowShardRouter`), the invariant that keeps per-flow
+  semantics exact across shards;
+* :mod:`repro.cluster.worker` — one pipeline per shard plus the
+  coordinator-driven verbs (:class:`ShardWorker`);
+* :mod:`repro.cluster.executor` — in-process (deterministic) and
+  multiprocess (parallel) execution of the shard fleet;
+* :mod:`repro.cluster.service` — the coordinator
+  (:class:`ClusterService`): merged telemetry, cluster-wide drift →
+  retrain → two-phase hot swap;
+* :mod:`repro.cluster.checkpoint` — cluster-consistent atomic
+  checkpoints with self-contained per-shard sections.
+"""
+
+from repro.cluster.checkpoint import (
+    CLUSTER_SCHEMA,
+    ClusterCheckpointManager,
+    cluster_report_from_dict,
+    cluster_report_to_dict,
+    cluster_to_dict,
+    load_any_checkpoint,
+    restore_cluster,
+    restore_shard,
+)
+from repro.cluster.executor import (
+    EXECUTOR_KINDS,
+    InProcessExecutor,
+    MultiprocessExecutor,
+    ShardError,
+    make_executor,
+)
+from repro.cluster.router import ROUTER_SALT, FlowShardRouter, ShardPartition
+from repro.cluster.service import (
+    ClusterReplayResult,
+    ClusterServeReport,
+    ClusterService,
+    ClusterSwapEvent,
+    shard_fault_plans,
+)
+from repro.cluster.worker import (
+    ShardChunkOutcome,
+    ShardWorker,
+    clone_pipeline,
+    pack_packets,
+    unpack_packets,
+)
+
+__all__ = [
+    "CLUSTER_SCHEMA",
+    "EXECUTOR_KINDS",
+    "ROUTER_SALT",
+    "ClusterCheckpointManager",
+    "ClusterReplayResult",
+    "ClusterServeReport",
+    "ClusterService",
+    "ClusterSwapEvent",
+    "FlowShardRouter",
+    "InProcessExecutor",
+    "MultiprocessExecutor",
+    "ShardChunkOutcome",
+    "ShardError",
+    "ShardPartition",
+    "ShardWorker",
+    "clone_pipeline",
+    "cluster_report_from_dict",
+    "cluster_report_to_dict",
+    "cluster_to_dict",
+    "load_any_checkpoint",
+    "make_executor",
+    "pack_packets",
+    "restore_cluster",
+    "restore_shard",
+    "shard_fault_plans",
+    "unpack_packets",
+]

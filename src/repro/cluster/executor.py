@@ -1,0 +1,207 @@
+"""Shard executors: where the cluster's workers actually run.
+
+Both executors expose the same asynchronous verb protocol over a fleet
+of :class:`~repro.cluster.worker.ShardWorker`\\ s — ``dispatch`` a
+method call to one shard, ``collect`` its result, or ``broadcast`` a
+call to every shard at once (dispatch-all-then-collect-all, so shards
+overlap) — and the coordinator is written against that protocol alone:
+
+* :class:`InProcessExecutor` runs every worker in the coordinator's own
+  interpreter.  Fully deterministic and introspectable (tests reach
+  straight into shard pipelines), and the mode the differential suite
+  locks against single-pipeline replay.
+* :class:`MultiprocessExecutor` runs one long-lived worker *process*
+  per shard, fed over a private :class:`multiprocessing.Pipe`.  A verb
+  crosses the pipe as ``(method, args, kwargs)``; the batch replay
+  engine then spends its time inside numpy in that process, so shards
+  genuinely overlap on multi-core hosts.  Worker exceptions never kill
+  the process — they come back as data and re-raise in the coordinator
+  as :class:`ShardError`, keeping the remaining shards serviceable
+  (fault isolation).
+
+The ``fork`` start method is preferred (workers inherit their pipeline
+state by address-space copy; nothing is pickled on the way in); on
+platforms without it the workers are pickled through ``spawn``.
+"""
+
+from __future__ import annotations
+
+import multiprocessing as mp
+from typing import Any, List, Optional, Sequence
+
+from repro.cluster.worker import ShardWorker
+
+
+class ShardError(RuntimeError):
+    """A shard worker raised while executing a coordinator verb."""
+
+    def __init__(self, shard_id: int, message: str) -> None:
+        super().__init__(f"shard {shard_id}: {message}")
+        self.shard_id = shard_id
+
+
+class InProcessExecutor:
+    """All shards in the coordinator's interpreter, executed eagerly.
+
+    ``dispatch`` runs the verb immediately (there is no concurrency to
+    win in one process) and parks the result for ``collect`` — the
+    coordinator's dispatch-all/collect-all pattern behaves identically
+    over both executors.
+    """
+
+    kind = "inprocess"
+
+    def __init__(self, workers: Sequence[ShardWorker]) -> None:
+        self.workers: List[ShardWorker] = list(workers)
+        self._pending: List[Any] = [None] * len(self.workers)
+
+    @property
+    def n_shards(self) -> int:
+        return len(self.workers)
+
+    def dispatch(self, shard_id: int, method: str, *args, **kwargs) -> None:
+        try:
+            result = getattr(self.workers[shard_id], method)(*args, **kwargs)
+        except Exception as exc:  # noqa: BLE001 — uniform ShardError surface
+            result = ShardError(shard_id, f"{type(exc).__name__}: {exc}")
+        self._pending[shard_id] = result
+
+    def collect(self, shard_id: int) -> Any:
+        result, self._pending[shard_id] = self._pending[shard_id], None
+        if isinstance(result, ShardError):
+            raise result
+        return result
+
+    def call(self, shard_id: int, method: str, *args, **kwargs) -> Any:
+        self.dispatch(shard_id, method, *args, **kwargs)
+        return self.collect(shard_id)
+
+    def broadcast(self, method: str, *args, per_shard_args=None, **kwargs) -> List[Any]:
+        """Run *method* on every shard; per-shard positional args come
+        from ``per_shard_args[k]`` (a tuple), shared args from ``args``."""
+        for k in range(self.n_shards):
+            extra = per_shard_args[k] if per_shard_args is not None else ()
+            self.dispatch(k, method, *extra, *args, **kwargs)
+        return [self.collect(k) for k in range(self.n_shards)]
+
+    def close(self) -> None:  # symmetric with the multiprocess executor
+        pass
+
+    def __enter__(self) -> "InProcessExecutor":
+        return self
+
+    def __exit__(self, *exc) -> None:
+        self.close()
+
+
+def _worker_main(conn, worker: ShardWorker) -> None:
+    """Verb loop of one shard process: recv → execute → send, forever.
+
+    Exceptions are converted to ``("err", repr)`` replies so a bad verb
+    (or an injected fault that escapes) degrades that one call, not the
+    shard process; ``None`` is the shutdown sentinel.
+    """
+    try:
+        while True:
+            msg = conn.recv()
+            if msg is None:
+                break
+            method, args, kwargs = msg
+            try:
+                conn.send(("ok", getattr(worker, method)(*args, **kwargs)))
+            except Exception as exc:  # noqa: BLE001 — shipped to coordinator
+                conn.send(("err", f"{type(exc).__name__}: {exc}"))
+    except (EOFError, KeyboardInterrupt):
+        pass
+    finally:
+        conn.close()
+
+
+class MultiprocessExecutor:
+    """One persistent worker process per shard, driven over pipes."""
+
+    kind = "multiprocess"
+
+    def __init__(self, workers: Sequence[ShardWorker]) -> None:
+        try:
+            ctx = mp.get_context("fork")
+        except ValueError:  # pragma: no cover — non-fork platforms
+            ctx = mp.get_context("spawn")
+        self._conns = []
+        self._procs = []
+        self._in_flight = [False] * len(workers)
+        for worker in workers:
+            parent, child = ctx.Pipe()
+            proc = ctx.Process(
+                target=_worker_main,
+                args=(child, worker),
+                daemon=True,
+                name=f"repro-shard-{worker.shard_id}",
+            )
+            proc.start()
+            child.close()
+            self._conns.append(parent)
+            self._procs.append(proc)
+
+    @property
+    def n_shards(self) -> int:
+        return len(self._procs)
+
+    def dispatch(self, shard_id: int, method: str, *args, **kwargs) -> None:
+        if self._in_flight[shard_id]:
+            raise RuntimeError(f"shard {shard_id} already has a verb in flight")
+        self._conns[shard_id].send((method, args, kwargs))
+        self._in_flight[shard_id] = True
+
+    def collect(self, shard_id: int) -> Any:
+        if not self._in_flight[shard_id]:
+            raise RuntimeError(f"shard {shard_id} has no verb in flight")
+        self._in_flight[shard_id] = False
+        try:
+            status, payload = self._conns[shard_id].recv()
+        except EOFError:
+            raise ShardError(shard_id, "worker process died") from None
+        if status == "err":
+            raise ShardError(shard_id, payload)
+        return payload
+
+    def call(self, shard_id: int, method: str, *args, **kwargs) -> Any:
+        self.dispatch(shard_id, method, *args, **kwargs)
+        return self.collect(shard_id)
+
+    def broadcast(self, method: str, *args, per_shard_args=None, **kwargs) -> List[Any]:
+        for k in range(self.n_shards):
+            extra = per_shard_args[k] if per_shard_args is not None else ()
+            self.dispatch(k, method, *extra, *args, **kwargs)
+        return [self.collect(k) for k in range(self.n_shards)]
+
+    def close(self) -> None:
+        for conn, proc in zip(self._conns, self._procs):
+            try:
+                conn.send(None)
+            except (BrokenPipeError, OSError):
+                pass
+        for conn, proc in zip(self._conns, self._procs):
+            proc.join(timeout=5.0)
+            if proc.is_alive():  # pragma: no cover — stuck worker
+                proc.terminate()
+                proc.join(timeout=1.0)
+            conn.close()
+
+    def __enter__(self) -> "MultiprocessExecutor":
+        return self
+
+    def __exit__(self, *exc) -> None:
+        self.close()
+
+
+EXECUTOR_KINDS = ("inprocess", "multiprocess")
+
+
+def make_executor(kind: str, workers: Sequence[ShardWorker]):
+    """Build the executor named *kind* over *workers*."""
+    if kind == "inprocess":
+        return InProcessExecutor(workers)
+    if kind == "multiprocess":
+        return MultiprocessExecutor(workers)
+    raise ValueError(f"executor must be one of {EXECUTOR_KINDS}, got {kind!r}")

@@ -1,0 +1,604 @@
+"""Cluster coordinator: sharded serving with a cluster-wide control loop.
+
+:class:`ClusterService` scales the PR 3 serving loop horizontally: a
+:class:`~repro.cluster.router.FlowShardRouter` splits each global chunk
+by canonical flow hash, every shard's
+:class:`~repro.cluster.worker.ShardWorker` replays its slice through
+its own :class:`~repro.switch.pipeline.SwitchPipeline`, and the
+coordinator merges verdicts back into global arrival order, feeds the
+*merged* stream to one cluster-level drift monitor + retrainer, and
+publishes all telemetry itself (aggregated totals plus shard-tagged
+``cluster.shard.<k>.*`` counters).
+
+Table updates use a **two-phase protocol** so no packet is ever served
+by a mixed-generation cluster:
+
+1. *Stage* the new generation on every shard (per-shard
+   ``retry_with_backoff`` around ``stage_tables``, same budget as the
+   single-pipeline service).  If **any** shard fails — validation or an
+   exhausted transient-retry budget — the swap aborts everywhere:
+   every shard rejects the candidate and keeps serving the old tables.
+2. *Commit* (``hot_swap``) on every shard only once all stages
+   succeeded.  Should a commit still fail (install-time re-validation),
+   shards that already flipped are rolled back and the rest reject, so
+   the cluster uniformly lands back on the old generation.
+
+Faults and checkpoints are threaded **per shard**: each worker carries
+its own :class:`~repro.faults.FaultPlan` (independent seeds fanned out
+from the cluster seed, so one shard's schedule never perturbs
+another's) and cluster checkpoints embed one self-contained snapshot
+per shard (see :mod:`repro.cluster.checkpoint`).
+
+With ``n_shards=1`` — or any shard count under the in-process executor,
+absent cross-flow hash-table couplings — the cluster is bit-identical
+to single-pipeline replay; the differential suite in
+``tests/cluster/test_cluster_differential.py`` locks that equivalence.
+"""
+
+from __future__ import annotations
+
+import time
+from dataclasses import dataclass, field
+from typing import Dict, List, Optional
+
+import numpy as np
+
+from repro.cluster.executor import EXECUTOR_KINDS, make_executor
+from repro.cluster.router import ROUTER_SALT, FlowShardRouter, ShardPartition
+from repro.cluster.worker import (
+    ShardChunkOutcome,
+    ShardWorker,
+    clone_pipeline,
+    pack_packets,
+)
+from repro.datasets.trace import Trace
+from repro.faults.errors import RetrainFaultError
+from repro.faults.plan import INJECTOR_TYPES, FaultPlan, parse_fault_spec
+from repro.runtime.drift import DriftMonitor
+from repro.runtime.retrain import Retrainer
+from repro.runtime.service import RuntimeConfig
+from repro.runtime.stream import ChunkStats, _path_fractions, iter_chunks
+from repro.switch.pipeline import PacketDecision, SwitchPipeline
+from repro.switch.runner import ReplayResult
+from repro.telemetry import get_registry, span
+from repro.utils.rng import SeedLike, as_rng, spawn_seeds
+
+
+def shard_fault_plans(spec: str, n_shards: int) -> List[FaultPlan]:
+    """One independently-seeded :class:`FaultPlan` per shard from *spec*.
+
+    All plans share the spec's injector clauses; their generator seeds
+    fan out from the spec seed, so per-shard fault schedules are
+    decorrelated yet the whole cluster's fault behaviour replays from
+    one spec string (fault isolation: shard k's schedule is a pure
+    function of ``(spec, k)``).
+    """
+    seed, clauses = parse_fault_spec(spec)
+    shard_seeds = spawn_seeds(as_rng(0 if seed is None else seed), n_shards)
+    return [
+        FaultPlan(
+            [INJECTOR_TYPES[name](**params) for name, params in clauses],
+            seed=s,
+            spec=spec,
+        )
+        for s in shard_seeds
+    ]
+
+
+@dataclass(frozen=True)
+class ClusterSwapEvent:
+    """One cluster-wide two-phase table update attempt."""
+
+    chunk_index: int
+    reason: str  # "drift", "cadence", or "manual"
+    #: Wall clock of the full barrier: stage-everywhere + commit (or abort).
+    duration_s: float
+    rolled_back: bool
+    #: Worst-case per-shard install attempts (>1 ⇒ transient flakes retried).
+    attempts: int = 1
+    #: Install attempts per shard, indexed by shard id.
+    shard_attempts: List[int] = field(default_factory=list)
+    #: Shards whose stage/commit failed and triggered the cluster abort.
+    failed_shards: List[int] = field(default_factory=list)
+
+
+@dataclass
+class ClusterReplayResult:
+    """Merged outcome of one cluster replay, in global arrival order."""
+
+    y_true: np.ndarray
+    y_pred: np.ndarray
+    #: Global-order decisions; empty when workers ran with
+    #: ``keep_decisions=False`` (multiprocess executor).
+    decisions: List[PacketDecision] = field(default_factory=list)
+    #: Summed pipeline+controller counter deltas across shards.
+    counters: Dict[str, int] = field(default_factory=dict)
+    shard_sizes: List[int] = field(default_factory=list)
+
+    @property
+    def n_packets(self) -> int:
+        return int(self.y_true.size)
+
+
+@dataclass
+class ClusterServeReport:
+    """Outcome of one :meth:`ClusterService.serve` call.
+
+    Field-compatible with :class:`~repro.runtime.service.ServeReport`
+    where the meaning coincides (the CLI summary renders either), plus
+    the cluster-only sections: per-shard packet counts and per-shard
+    fault counts.
+    """
+
+    n_shards: int = 1
+    n_chunks: int = 0
+    n_packets: int = 0
+    drift_signals: int = 0
+    retrains: int = 0
+    retrain_failures: int = 0
+    #: Coordinator-plan + all shard-plan ``faults.*`` totals, summed.
+    fault_counts: Dict[str, int] = field(default_factory=dict)
+    #: Per-shard ``faults.*`` totals, indexed by shard id.
+    shard_fault_counts: List[Dict[str, int]] = field(default_factory=list)
+    #: Packets served by each shard, indexed by shard id.
+    shard_packets: List[int] = field(default_factory=list)
+    swap_events: List[ClusterSwapEvent] = field(default_factory=list)
+    chunk_stats: List[ChunkStats] = field(default_factory=list)
+    chunk_offsets: List[int] = field(default_factory=list)
+    decisions: List[PacketDecision] = field(default_factory=list)
+    y_true: np.ndarray = field(default_factory=lambda: np.empty(0, dtype=int))
+    y_pred: np.ndarray = field(default_factory=lambda: np.empty(0, dtype=int))
+
+    @property
+    def n_swaps(self) -> int:
+        return sum(1 for e in self.swap_events if not e.rolled_back)
+
+    @property
+    def n_rollbacks(self) -> int:
+        return sum(1 for e in self.swap_events if e.rolled_back)
+
+    def packet_offset_of_chunk(self, chunk_index: int) -> int:
+        return self.chunk_offsets[chunk_index]
+
+
+class ClusterService:
+    """N sharded pipelines behaving as one big switch.
+
+    Parameters
+    ----------
+    pipeline:
+        Template pipeline; every shard serves a fresh clone of its live
+        table generation (state starts empty per shard — the router
+        guarantees each flow's packets meet only its own shard's state).
+    n_shards / executor:
+        Cluster width and where workers run (``"inprocess"`` for
+        deterministic tests, ``"multiprocess"`` for real parallelism).
+    retrainer / monitor / config / seed:
+        Exactly the single-service control-plane knobs; drift detection
+        and retraining run once, cluster-wide, over the merged stream.
+    faults_spec / shard_faults:
+        Per-shard fault plans — either derived from a spec string via
+        :func:`shard_fault_plans`, or given explicitly (one per shard;
+        ``None`` entries mean fault-free shards).  The coordinator keeps
+        its own plan for the global retrain/artifact hooks.
+    workers:
+        Pre-built workers (checkpoint restore path); overrides
+        ``pipeline``-based construction.
+    """
+
+    def __init__(
+        self,
+        pipeline: Optional[SwitchPipeline] = None,
+        n_shards: int = 2,
+        retrainer: Optional[Retrainer] = None,
+        monitor: Optional[DriftMonitor] = None,
+        config: Optional[RuntimeConfig] = None,
+        executor: str = "inprocess",
+        seed: SeedLike = None,
+        faults_spec: Optional[str] = None,
+        shard_faults: Optional[List[Optional[FaultPlan]]] = None,
+        coordinator_faults: Optional[FaultPlan] = None,
+        workers: Optional[List[ShardWorker]] = None,
+        router_salt: int = ROUTER_SALT,
+    ) -> None:
+        if executor not in EXECUTOR_KINDS:
+            raise ValueError(
+                f"executor must be one of {EXECUTOR_KINDS}, got {executor!r}"
+            )
+        self.config = config or RuntimeConfig()
+        self.executor_kind = executor
+        self.faults_spec = faults_spec
+
+        if coordinator_faults is None and faults_spec is not None:
+            coordinator_faults = FaultPlan.from_spec(faults_spec)
+        self.faults = coordinator_faults
+
+        if workers is not None:
+            self.workers = list(workers)
+            n_shards = len(self.workers)
+        else:
+            if shard_faults is None and faults_spec is not None:
+                shard_faults = shard_fault_plans(faults_spec, n_shards)
+            if pipeline is None:
+                raise ValueError("either a template pipeline or workers required")
+            if n_shards < 1:
+                raise ValueError(f"n_shards must be >= 1, got {n_shards}")
+            if shard_faults is not None and len(shard_faults) != n_shards:
+                raise ValueError(
+                    f"{len(shard_faults)} shard fault plans for {n_shards} shards"
+                )
+            # Per-packet decision objects only survive the in-process
+            # executor; shipping them back over a pipe would dominate.
+            keep = executor == "inprocess"
+            self.workers = [
+                ShardWorker(
+                    k,
+                    clone_pipeline(pipeline),
+                    mode=self.config.mode,
+                    faults=shard_faults[k] if shard_faults is not None else None,
+                    keep_decisions=keep,
+                )
+                for k in range(n_shards)
+            ]
+        self.n_shards = n_shards
+        self.router = FlowShardRouter(n_shards, salt=router_salt)
+
+        template = pipeline if pipeline is not None else self.workers[0].pipeline
+        self.retrainer = retrainer if retrainer is not None else Retrainer(
+            pkt_count_threshold=template.config.pkt_count_threshold,
+            timeout=template.config.timeout,
+            use_pl_model=template.pl_table is not None,
+            seed=seed,
+        )
+        if monitor is not None:
+            self.monitor: Optional[DriftMonitor] = monitor
+        elif self.config.drift_threshold > 0:
+            self.monitor = DriftMonitor(
+                window=self.config.drift_window,
+                baseline_window=self.config.baseline_window,
+                threshold=self.config.drift_threshold,
+                min_packets=self.config.min_drift_packets,
+            )
+        else:
+            self.monitor = None
+
+        self._executor = None
+
+    # -- lifecycle -----------------------------------------------------------
+
+    def start(self) -> "ClusterService":
+        """Bring the shard fleet up (forks worker processes under the
+        multiprocess executor); idempotent."""
+        if self._executor is None:
+            self._executor = make_executor(self.executor_kind, self.workers)
+        return self
+
+    def close(self) -> None:
+        if self._executor is not None:
+            self._executor.close()
+            self._executor = None
+
+    def __enter__(self) -> "ClusterService":
+        return self.start()
+
+    def __exit__(self, *exc) -> None:
+        self.close()
+
+    def _ship(self, packets: List) -> object:
+        """Per-shard packet payload in the executor's cheapest form."""
+        if self.executor_kind == "multiprocess":
+            return pack_packets(packets)
+        return packets
+
+    # -- merged replay -------------------------------------------------------
+
+    def _merge_outcomes(
+        self, partition: ShardPartition, outcomes: List[ShardChunkOutcome]
+    ) -> ClusterReplayResult:
+        """Scatter per-shard results back into global arrival order."""
+        n = partition.n_packets
+        y_true = np.empty(n, dtype=int)
+        y_pred = np.empty(n, dtype=int)
+        counters: Dict[str, int] = {}
+        decisions: List[Optional[PacketDecision]] = (
+            [None] * n if all(o.decisions is not None for o in outcomes) else []
+        )
+        for k, out in enumerate(outcomes):
+            idx = partition.indices[k]
+            y_true[idx] = out.y_true
+            y_pred[idx] = out.y_pred
+            if decisions and out.decisions is not None:
+                for i, d in zip(idx, out.decisions):
+                    decisions[i] = d
+            for name, delta in out.counter_deltas.items():
+                counters[name] = counters.get(name, 0) + delta
+        return ClusterReplayResult(
+            y_true=y_true,
+            y_pred=y_pred,
+            decisions=decisions,
+            counters=counters,
+            shard_sizes=partition.shard_sizes(),
+        )
+
+    def _publish_chunk(
+        self, merged: ClusterReplayResult, outcomes: List[ShardChunkOutcome]
+    ) -> None:
+        """Publish one routed chunk the way single-pipeline replay would.
+
+        Aggregated counter deltas telescope to the same totals a single
+        pipeline serving the same packets publishes (the differential
+        invariant); shard-tagged copies land under ``cluster.shard.<k>.*``.
+        """
+        registry = get_registry()
+        if not registry.enabled:
+            return
+        for name, delta in sorted(merged.counters.items()):
+            if delta:
+                registry.counter(name).inc(delta)
+        registry.counter("replay.packets").inc(merged.n_packets)
+        occupancy = 0.0
+        fill = 0.0
+        bl_size = 0.0
+        for out in outcomes:
+            k = out.shard_id
+            for name, delta in out.counter_deltas.items():
+                if delta:
+                    registry.counter(f"cluster.shard.{k}.{name}").inc(delta)
+            for name, value in out.gauges.items():
+                registry.gauge(f"cluster.shard.{k}.{name}").set(value)
+            occupancy += out.gauges.get("switch.store.occupancy", 0.0)
+            fill += out.gauges.get("switch.store.fill_fraction", 0.0)
+            bl_size += out.gauges.get("switch.blacklist.size", 0.0)
+        registry.gauge("switch.store.occupancy").set(occupancy)
+        registry.gauge("switch.store.fill_fraction").set(fill / len(outcomes))
+        registry.gauge("switch.blacklist.size").set(bl_size)
+
+    def replay(self, trace: Trace) -> ClusterReplayResult:
+        """Route and replay *trace* across all shards, one shot.
+
+        Returns merged global-order verdicts plus summed counter deltas
+        — the cluster-side subject of the differential suite.
+        """
+        self.start()
+        partition = self.router.partition(trace)
+        with span("cluster.replay", shards=self.n_shards, packets=partition.n_packets):
+            for k in range(self.n_shards):
+                self._executor.dispatch(
+                    k, "replay_chunk", self._ship(partition.shards[k]), 0
+                )
+            outcomes = [self._executor.collect(k) for k in range(self.n_shards)]
+        merged = self._merge_outcomes(partition, outcomes)
+        self._publish_chunk(merged, outcomes)
+        return merged
+
+    # -- two-phase swap ------------------------------------------------------
+
+    def swap(
+        self,
+        artifacts,
+        chunk_index: int = -1,
+        reason: str = "manual",
+    ) -> ClusterSwapEvent:
+        """Install *artifacts* cluster-wide via the two-phase protocol.
+
+        Either every shard ends on the new generation or every shard
+        ends on the old one — never a mix.  Returns the barrier event;
+        telemetry mirrors the per-shard swap/rollback counters (swaps
+        happen between replays, so per-chunk counter deltas never
+        observe them).
+        """
+        self.start()
+        cfg = self.config
+        registry = get_registry()
+        start = time.perf_counter()
+
+        staged = self._executor.broadcast(
+            "stage",
+            artifacts,
+            retries=cfg.stage_retries,
+            base_delay=cfg.stage_backoff_s,
+            deadline_s=cfg.stage_deadline_s,
+        )
+        failed = [r for r in staged if not r["ok"]]
+        transient_abort = any(r["error"] == "transient" for r in failed)
+        rolled_back = False
+        if failed:
+            # Phase 1 failed somewhere: abort everywhere.  Shards that
+            # staged fine reject their candidate; the failing shard's
+            # candidate was already cleared by stage_tables — its abort
+            # just records the rollback.  No shard ever flipped.
+            self._executor.broadcast("abort", swapped=False)
+            rolled_back = True
+        else:
+            committed = self._executor.broadcast("commit")
+            if any(not r["ok"] for r in committed):
+                # Phase 2 failed somewhere: shards that flipped roll
+                # back, the rest reject — uniform old generation.
+                self._executor.broadcast(
+                    "abort",
+                    per_shard_args=[(bool(r["ok"]),) for r in committed],
+                )
+                failed = [r for r in committed if not r["ok"]]
+                rolled_back = True
+        duration = time.perf_counter() - start
+
+        shard_attempts = [r["attempts"] for r in staged]
+        event = ClusterSwapEvent(
+            chunk_index=chunk_index,
+            reason=reason,
+            duration_s=duration,
+            rolled_back=rolled_back,
+            attempts=max(shard_attempts),
+            shard_attempts=shard_attempts,
+            failed_shards=sorted(r["shard_id"] for r in failed),
+        )
+
+        if registry.enabled:
+            retries = sum(a - 1 for a in shard_attempts)
+            if retries:
+                registry.counter("runtime.stage_retries").inc(retries)
+            registry.histogram("runtime.swap_pause_s").observe(duration)
+            registry.histogram("cluster.swap_barrier_s").observe(duration)
+            if rolled_back:
+                registry.counter("runtime.rollbacks").inc()
+                registry.counter("switch.table.rollbacks").inc(self.n_shards)
+                for k in range(self.n_shards):
+                    registry.counter(f"cluster.shard.{k}.switch.table.rollbacks").inc()
+                if transient_abort:
+                    registry.counter("degraded.swap_aborted").inc()
+            else:
+                registry.counter("runtime.swaps").inc()
+                registry.counter("switch.table.swaps").inc(self.n_shards)
+                for k in range(self.n_shards):
+                    registry.counter(f"cluster.shard.{k}.switch.table.swaps").inc()
+            registry.event(
+                "cluster.swap",
+                chunk=chunk_index,
+                reason=reason,
+                rolled_back=rolled_back,
+                shards=self.n_shards,
+                failed_shards=event.failed_shards,
+                duration_s=round(duration, 6),
+            )
+        if not rolled_back and self.monitor is not None:
+            self.monitor.reset()
+        return event
+
+    def _retrain_and_swap(self, chunk_index, reason, report) -> None:
+        registry = get_registry()
+        try:
+            if self.faults is not None:
+                self.faults.before_retrain()
+            with span("retrain", reason=reason, chunk=chunk_index):
+                artifacts = self.retrainer.retrain()
+        except RetrainFaultError:
+            report.retrain_failures += 1
+            if registry.enabled:
+                registry.counter("degraded.retrain_skipped").inc()
+            return
+        report.retrains += 1
+        if registry.enabled:
+            registry.counter("runtime.retrains").inc()
+        if self.faults is not None:
+            artifacts = self.faults.corrupt_artifacts(artifacts)
+        report.swap_events.append(self.swap(artifacts, chunk_index, reason))
+
+    # -- serving -------------------------------------------------------------
+
+    def _swap_allowed(self, report: ClusterServeReport) -> bool:
+        cap = self.config.max_swaps
+        return cap is None or report.n_swaps < cap
+
+    def serve(
+        self,
+        trace: Trace,
+        checkpoint=None,
+        resume_report: Optional[ClusterServeReport] = None,
+    ) -> ClusterServeReport:
+        """Stream *trace* through the cluster with the full control loop.
+
+        The global chunk clock, drift/cadence gating, and checkpoint
+        cadence all mirror
+        :meth:`~repro.runtime.service.OnlineDetectionService.serve`; the
+        differences are that every chunk is routed across shards and
+        table updates go through the two-phase barrier.
+        """
+        cfg = self.config
+        report = resume_report if resume_report is not None else ClusterServeReport(
+            n_shards=self.n_shards
+        )
+        if not report.shard_packets:
+            report.shard_packets = [0] * self.n_shards
+        if report.n_packets:
+            trace = Trace(trace.packets[report.n_packets :])
+        registry = get_registry()
+        self.start()
+        self._executor.broadcast("start_serving")
+        with span(
+            "cluster.serve",
+            shards=self.n_shards,
+            executor=self.executor_kind,
+            chunk_size=cfg.chunk_size,
+        ):
+            if registry.enabled:
+                registry.gauge("cluster.n_shards").set(float(self.n_shards))
+            for offset, chunk in enumerate(iter_chunks(trace, cfg.chunk_size)):
+                index = report.n_chunks  # == start_index + offset
+                partition = self.router.partition(chunk)
+                for k in range(self.n_shards):
+                    self._executor.dispatch(
+                        k, "replay_chunk", self._ship(partition.shards[k]), index
+                    )
+                outcomes = [
+                    self._executor.collect(k) for k in range(self.n_shards)
+                ]
+                merged = self._merge_outcomes(partition, outcomes)
+                self._publish_chunk(merged, outcomes)
+
+                n = merged.n_packets
+                stats = ChunkStats(
+                    n_packets=n,
+                    malicious_rate=float(np.mean(merged.y_pred)) if n else 0.0,
+                    path_fractions=_path_fractions(merged.counters, n),
+                )
+                report.chunk_offsets.append(report.n_packets)
+                report.n_chunks += 1
+                report.n_packets += n
+                for k, size in enumerate(merged.shard_sizes):
+                    report.shard_packets[k] += size
+                report.chunk_stats.append(stats)
+                report.decisions.extend(merged.decisions)
+                report.y_true = np.concatenate([report.y_true, merged.y_true])
+                report.y_pred = np.concatenate([report.y_pred, merged.y_pred])
+                self.retrainer.observe(chunk)
+
+                drifted = False
+                if self.monitor is not None:
+                    drifted = self.monitor.observe(stats)
+                    if drifted:
+                        report.drift_signals += 1
+                if registry.enabled:
+                    registry.counter("runtime.chunks").inc()
+                    registry.counter("runtime.packets").inc(n)
+                    if self.monitor is not None:
+                        registry.gauge("runtime.drift.score").set(
+                            self.monitor.last_score
+                        )
+                        registry.gauge("runtime.drift.malicious_rate").set(
+                            stats.malicious_rate
+                        )
+                        if drifted:
+                            registry.counter("runtime.drift.signals").inc()
+
+                cadence_due = cfg.cadence > 0 and (index + 1) % cfg.cadence == 0
+                if (
+                    (drifted or cadence_due)
+                    and self._swap_allowed(report)
+                    and len(self.retrainer) >= cfg.min_retrain_flows
+                ):
+                    self._retrain_and_swap(
+                        index, "drift" if drifted else "cadence", report
+                    )
+                if checkpoint is not None:
+                    checkpoint.maybe_save(self, report)
+
+        shard_counts = self._executor.broadcast("finish")
+        report.shard_fault_counts = [dict(c) for c in shard_counts]
+        merged_counts: Dict[str, int] = {}
+        if self.faults is not None:
+            merged_counts.update(self.faults.counts())
+        for counts in shard_counts:
+            for name, fired in counts.items():
+                merged_counts[name] = merged_counts.get(name, 0) + fired
+        report.fault_counts = merged_counts
+        if checkpoint is not None:
+            checkpoint.save(self, report, complete=True)
+        return report
+
+    # -- checkpointing hooks -------------------------------------------------
+
+    def shard_snapshots(self) -> List[dict]:
+        """Self-contained per-shard state documents (executor-agnostic:
+        under multiprocess the truth lives in the worker processes)."""
+        self.start()
+        return self._executor.broadcast("snapshot")

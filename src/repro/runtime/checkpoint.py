@@ -520,13 +520,18 @@ class CheckpointManager:
         self.save(service, report)
         return True
 
+    def _document(self, service, report) -> dict:
+        """Build the snapshot document; subclasses (the cluster manager)
+        swap this out while inheriting the durability protocol."""
+        return service_to_dict(service, report, meta=self.meta)
+
     def save(
         self,
         service: OnlineDetectionService,
         report: ServeReport,
         complete: bool = False,
     ) -> Path:
-        doc = service_to_dict(service, report, meta=self.meta)
+        doc = self._document(service, report)
         doc["status"] = "complete" if complete else "in_progress"
         path = self.directory / self.FILENAME
         tmp = self.directory / (self.FILENAME + ".tmp")

@@ -78,6 +78,30 @@ class ReplayResult:
                 ) / len(self.decisions)
         return self._dropped_fraction
 
+    def merge(self, others: List["ReplayResult"]) -> "ReplayResult":
+        """Concatenate this result with *others*, in order.
+
+        The combined result reads as one replay of the concatenated
+        traces: decisions and verdict arrays are joined end-to-end, and
+        if every input already has its ``path_counts`` cache the merged
+        cache is the summed counts (so chunked offline analyses don't
+        re-walk millions of decisions).  ``self`` and *others* are left
+        untouched.
+        """
+        results = [self, *others]
+        merged = ReplayResult(
+            decisions=[d for r in results for d in r.decisions],
+            y_true=np.concatenate([r.y_true for r in results]),
+            y_pred=np.concatenate([r.y_pred for r in results]),
+        )
+        if all(r._path_counts is not None for r in results):
+            counts: Dict[str, int] = {}
+            for r in results:
+                for path, c in r._path_counts.items():
+                    counts[path] = counts.get(path, 0) + c
+            merged._path_counts = counts
+        return merged
+
 
 #: Replay engine names accepted by :func:`replay_trace`.
 REPLAY_MODES = ("scalar", "batch")

@@ -96,6 +96,44 @@ def run_report(
 # -- pretty printing ---------------------------------------------------------
 
 
+def _split_shard_metrics(metrics: Dict) -> "tuple":
+    """Separate ``cluster.shard.<k>.<name>`` entries from plain ones.
+
+    Returns ``(plain, by_shard)`` where ``by_shard`` maps the integer
+    shard id to ``{name: value}`` with the tag prefix stripped — the
+    cluster report then renders one block per shard instead of
+    interleaving every shard's copy of every counter alphabetically.
+    Tags that don't parse (no integer shard id) stay in ``plain``.
+    """
+    plain: Dict = {}
+    by_shard: Dict[int, Dict] = {}
+    prefix = "cluster.shard."
+    for name, value in metrics.items():
+        if name.startswith(prefix):
+            shard_part, _, rest = name[len(prefix) :].partition(".")
+            if rest and shard_part.isdigit():
+                by_shard.setdefault(int(shard_part), {})[rest] = value
+                continue
+        plain[name] = value
+    return plain, by_shard
+
+
+def _format_metric_block(
+    title: str, metrics: Dict, lines: List[str], fmt, indent: str = "  "
+) -> None:
+    lines.append(title)
+    width = max(len(n) for n in metrics)
+    for name, value in metrics.items():
+        lines.append(f"{indent}{name:<{width}s} {fmt(value)}")
+
+
+def _format_shard_groups(by_shard: Dict[int, Dict], lines: List[str], fmt) -> None:
+    for shard_id in sorted(by_shard):
+        _format_metric_block(
+            f"  shard {shard_id}:", by_shard[shard_id], lines, fmt, indent="    "
+        )
+
+
 def _format_span(node: Dict, total: float, indent: int, lines: List[str]) -> None:
     dur = float(node.get("duration_s", 0.0))
     share = f" ({100.0 * dur / total:4.1f}%)" if total > 0 else ""
@@ -125,21 +163,26 @@ def format_report(report: Dict, max_events: int = 10) -> str:
         for root in spans:
             _format_span(root, float(root.get("duration_s", 0.0)), 1, lines)
 
-    counters = report.get("counters") or {}
-    if counters:
-        lines.append("")
-        lines.append("counters:")
-        width = max(len(n) for n in counters)
-        for name, value in counters.items():
-            lines.append(f"  {name:<{width}s} {value:>12d}")
+    counter_fmt = lambda v: f"{v:>12d}"  # noqa: E731
+    gauge_fmt = lambda v: f"{v:>14.6g}"  # noqa: E731
 
-    gauges = report.get("gauges") or {}
-    if gauges:
+    counters, shard_counters = _split_shard_metrics(report.get("counters") or {})
+    if counters or shard_counters:
         lines.append("")
-        lines.append("gauges:")
-        width = max(len(n) for n in gauges)
-        for name, value in gauges.items():
-            lines.append(f"  {name:<{width}s} {value:>14.6g}")
+        if counters:
+            _format_metric_block("counters:", counters, lines, counter_fmt)
+        else:
+            lines.append("counters:")
+        _format_shard_groups(shard_counters, lines, counter_fmt)
+
+    gauges, shard_gauges = _split_shard_metrics(report.get("gauges") or {})
+    if gauges or shard_gauges:
+        lines.append("")
+        if gauges:
+            _format_metric_block("gauges:", gauges, lines, gauge_fmt)
+        else:
+            lines.append("gauges:")
+        _format_shard_groups(shard_gauges, lines, gauge_fmt)
 
     histograms = report.get("histograms") or {}
     if histograms:

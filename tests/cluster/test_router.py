@@ -1,0 +1,121 @@
+"""Flow-hash router properties (:mod:`repro.cluster.router`).
+
+The sharding invariants everything else in the cluster rests on: the
+assignment is a pure function of the canonical 5-tuple (stable under
+reordering, identical for both flow directions), the vectorised path is
+bit-identical to the scalar reference, and a partition is an exact
+re-ordering of the input — every packet exactly once, shard-internal
+order preserved.
+"""
+
+import numpy as np
+import pytest
+
+from repro.cluster import ROUTER_SALT, FlowShardRouter
+from repro.datasets.attacks import generate_attack_flows
+from repro.datasets.benign import generate_benign_flows
+from repro.datasets.packet import FiveTuple, Packet
+from repro.datasets.trace import Trace, flows_to_trace
+
+
+@pytest.fixture(scope="module")
+def trace():
+    flows = generate_benign_flows(40, seed=5) + generate_attack_flows(
+        "Mirai", 10, seed=6
+    )
+    return flows_to_trace(flows)
+
+
+@pytest.fixture(scope="module")
+def router():
+    return FlowShardRouter(4)
+
+
+class TestAssignment:
+    def test_vectorised_matches_scalar_reference(self, trace, router):
+        vector = router.shard_indices(trace.packets)
+        scalar = np.array([router.shard_of(p.five_tuple) for p in trace.packets])
+        np.testing.assert_array_equal(vector, scalar)
+
+    def test_both_directions_land_on_the_same_shard(self, trace, router):
+        reversed_packets = [
+            Packet(
+                five_tuple=FiveTuple(
+                    p.five_tuple.dst_ip,
+                    p.five_tuple.src_ip,
+                    p.five_tuple.dst_port,
+                    p.five_tuple.src_port,
+                    p.five_tuple.protocol,
+                ),
+                timestamp=p.timestamp,
+                size=p.size,
+            )
+            for p in trace.packets
+        ]
+        np.testing.assert_array_equal(
+            router.shard_indices(trace.packets),
+            router.shard_indices(reversed_packets),
+        )
+
+    def test_stable_under_packet_reordering(self, trace, router):
+        assignments = router.shard_indices(trace.packets)
+        perm = np.random.default_rng(3).permutation(len(trace))
+        shuffled = [trace.packets[i] for i in perm]
+        np.testing.assert_array_equal(
+            router.shard_indices(shuffled), assignments[perm]
+        )
+
+    def test_in_range_and_uses_every_shard(self, trace, router):
+        assignments = router.shard_indices(trace.packets)
+        assert assignments.min() >= 0
+        assert assignments.max() < router.n_shards
+        # 50 flows over 4 shards: every shard should see traffic.
+        assert len(np.unique(assignments)) == router.n_shards
+
+    def test_salt_decorrelates_placement(self, trace):
+        a = FlowShardRouter(4, salt=ROUTER_SALT).shard_indices(trace.packets)
+        b = FlowShardRouter(4, salt=ROUTER_SALT + 1).shard_indices(trace.packets)
+        assert (a != b).any()
+
+    def test_single_shard_takes_everything(self, trace):
+        assignments = FlowShardRouter(1).shard_indices(trace.packets)
+        assert (assignments == 0).all()
+
+    def test_empty_input(self, router):
+        assert router.shard_indices([]).size == 0
+        partition = router.partition([])
+        assert partition.n_packets == 0
+        assert partition.shard_sizes() == [0, 0, 0, 0]
+
+    def test_rejects_bad_shard_count(self):
+        with pytest.raises(ValueError, match="n_shards"):
+            FlowShardRouter(0)
+
+
+class TestPartition:
+    def test_every_packet_exactly_once(self, trace, router):
+        partition = router.partition(trace)
+        assert partition.n_packets == len(trace)
+        assert sum(partition.shard_sizes()) == len(trace)
+        all_indices = np.concatenate(partition.indices)
+        np.testing.assert_array_equal(np.sort(all_indices), np.arange(len(trace)))
+
+    def test_shards_preserve_arrival_order(self, trace, router):
+        partition = router.partition(trace)
+        for k, idx in enumerate(partition.indices):
+            assert (np.diff(idx) > 0).all() if idx.size > 1 else True
+            for i, packet in zip(idx, partition.shards[k]):
+                assert packet is trace.packets[i]  # no copies
+
+    def test_accepts_trace_or_sequence(self, trace, router):
+        from_trace = router.partition(trace)
+        from_list = router.partition(list(trace.packets))
+        np.testing.assert_array_equal(
+            from_trace.assignments, from_list.assignments
+        )
+
+    def test_shard_packets_route_to_their_shard(self, trace, router):
+        partition = router.partition(trace)
+        for k, shard in enumerate(partition.shards):
+            for packet in shard:
+                assert router.shard_of(packet.five_tuple) == k

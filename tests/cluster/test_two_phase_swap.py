@@ -1,0 +1,219 @@
+"""Cluster-wide two-phase table swap: all-or-nothing, never mixed.
+
+Every scenario checks the same postcondition from a different failure
+point: after any swap attempt — clean, flaky-but-recovered, stage
+abort, validation reject, or mid-commit failure — **every** shard is on
+the same table generation and nothing is left staged.  A
+mixed-generation cluster would silently serve two different whitelists
+to different flows, which is the one state the protocol exists to make
+unreachable.
+"""
+
+import numpy as np
+import pytest
+
+from repro.cluster import ClusterService
+from repro.faults import FaultPlan
+from repro.faults.injectors import TableInstallFlake
+from repro.features.scaling import IntegerQuantizer
+from repro.runtime import RuntimeConfig
+from repro.telemetry import MetricRegistry, use_registry
+from tests.faults.common import compile_artifacts, fresh_pipeline, make_split
+
+N_SHARDS = 3
+
+
+@pytest.fixture(scope="module")
+def split():
+    return make_split(seed=19, n_benign_flows=60)
+
+
+@pytest.fixture(scope="module")
+def artifacts(split):
+    return compile_artifacts(split.train_flows)
+
+
+@pytest.fixture(scope="module")
+def next_gen(split):
+    """A second, distinguishable table generation to swap in."""
+    return compile_artifacts(split.train_flows[: len(split.train_flows) // 2])
+
+
+def make_cluster(artifacts, shard_faults=None):
+    return ClusterService(
+        fresh_pipeline(artifacts),
+        n_shards=N_SHARDS,
+        config=RuntimeConfig(drift_threshold=0.0, stage_backoff_s=0.0),
+        shard_faults=shard_faults,
+    )
+
+
+def assert_uniform_generation(cluster, quantizer):
+    """Every shard live on the generation carrying *quantizer*, nothing
+    staged anywhere — the no-mixed-generation postcondition."""
+    for worker in cluster.workers:
+        assert worker.pipeline.fl_quantizer is quantizer
+        assert not worker.pipeline.has_staged_tables
+
+
+class TestSuccessPath:
+    def test_swaps_every_shard(self, artifacts, next_gen):
+        registry = MetricRegistry()
+        with make_cluster(artifacts) as cluster:
+            with use_registry(registry):
+                event = cluster.swap(next_gen)
+        assert not event.rolled_back
+        assert event.failed_shards == []
+        assert event.attempts == 1
+        assert event.shard_attempts == [1] * N_SHARDS
+        assert event.duration_s > 0
+        assert_uniform_generation(cluster, next_gen.fl_quantizer)
+        for worker in cluster.workers:
+            assert worker.pipeline.table_swaps == 1
+            assert worker.pipeline.table_rollbacks == 0
+
+        counters = registry.counters_dict()
+        assert counters["runtime.swaps"] == 1
+        assert counters["switch.table.swaps"] == N_SHARDS
+        for k in range(N_SHARDS):
+            assert counters[f"cluster.shard.{k}.switch.table.swaps"] == 1
+        assert "runtime.rollbacks" not in counters
+        assert "cluster.swap_barrier_s" in registry.histograms_dict()
+        events = [e for e in registry.events if e["kind"] == "cluster.swap"]
+        assert len(events) == 1 and events[0]["rolled_back"] is False
+
+    def test_transient_flake_recovers_within_retry_budget(
+        self, artifacts, next_gen
+    ):
+        """Two consecutive install flakes on one shard are absorbed by
+        the per-shard retry budget (3 attempts) — the cluster still
+        swaps everywhere."""
+        flake = TableInstallFlake(times=3)
+        flake._remaining = 2  # exactly two deterministic failures
+        shard_faults = [None, FaultPlan([flake], seed=1), None]
+        registry = MetricRegistry()
+        with make_cluster(artifacts, shard_faults) as cluster:
+            with use_registry(registry):
+                event = cluster.swap(next_gen)
+        assert not event.rolled_back
+        assert event.shard_attempts == [1, 3, 1]
+        assert event.attempts == 3
+        assert_uniform_generation(cluster, next_gen.fl_quantizer)
+        assert registry.counters_dict()["runtime.stage_retries"] == 2
+
+
+class TestStageAbort:
+    def test_one_flaky_shard_aborts_the_whole_cluster(self, artifacts, next_gen):
+        """An exhausted retry budget on shard 1 must leave shards 0 and 2
+        — whose stages succeeded — back on the old generation too."""
+        shard_faults = [
+            None,
+            FaultPlan.from_spec("table_install_flake:p=1,times=10"),
+            None,
+        ]
+        registry = MetricRegistry()
+        with make_cluster(artifacts, shard_faults) as cluster:
+            with use_registry(registry):
+                event = cluster.swap(next_gen)
+
+        assert event.rolled_back
+        assert event.failed_shards == [1]
+        assert event.shard_attempts == [1, 3, 1]  # budget: 2 retries
+        assert_uniform_generation(cluster, artifacts.fl_quantizer)
+        for worker in cluster.workers:
+            assert worker.pipeline.table_swaps == 0
+            assert worker.pipeline.table_rollbacks == 1
+
+        counters = registry.counters_dict()
+        assert counters["runtime.rollbacks"] == 1
+        assert counters["switch.table.rollbacks"] == N_SHARDS
+        assert counters["degraded.swap_aborted"] == 1  # transient class
+        assert counters["runtime.stage_retries"] == 2
+        assert "runtime.swaps" not in counters
+        for k in range(N_SHARDS):
+            assert counters[f"cluster.shard.{k}.switch.table.rollbacks"] == 1
+
+    def test_validation_reject_aborts_without_degradation_flag(
+        self, artifacts, next_gen
+    ):
+        """Corrupt artifacts fail deterministic validation on every
+        shard: the abort is not 'degraded' operation, just a rejected
+        candidate."""
+        bad_q = IntegerQuantizer(
+            bits=next_gen.fl_quantizer.bits, space=next_gen.fl_quantizer.space
+        )
+        bad_q.data_min_ = np.asarray(next_gen.fl_quantizer.data_min_).copy()
+        bad_q.data_max_ = np.asarray(next_gen.fl_quantizer.data_max_) * 1.5 + 1.0
+        corrupt = type(next_gen)(
+            fl_rules=next_gen.fl_rules,
+            fl_quantizer=bad_q,
+            pl_rules=next_gen.pl_rules,
+            pl_quantizer=next_gen.pl_quantizer,
+        )
+        registry = MetricRegistry()
+        with make_cluster(artifacts) as cluster:
+            with use_registry(registry):
+                event = cluster.swap(corrupt)
+        assert event.rolled_back
+        assert event.failed_shards == list(range(N_SHARDS))
+        assert event.shard_attempts == [1] * N_SHARDS  # no retry on validation
+        assert_uniform_generation(cluster, artifacts.fl_quantizer)
+        counters = registry.counters_dict()
+        assert counters["runtime.rollbacks"] == 1
+        assert "degraded.swap_aborted" not in counters
+
+
+class TestCommitAbort:
+    def test_mid_commit_failure_rolls_flipped_shards_back(
+        self, artifacts, next_gen
+    ):
+        """Shards 0 and 1 flip, shard 2's commit blows up: the flipped
+        shards roll back so the cluster lands uniformly on the old
+        generation."""
+        registry = MetricRegistry()
+        with make_cluster(artifacts) as cluster:
+
+            def exploding_hot_swap():
+                raise RuntimeError("injected commit failure")
+
+            cluster.workers[2].pipeline.hot_swap = exploding_hot_swap
+            with use_registry(registry):
+                event = cluster.swap(next_gen)
+
+        assert event.rolled_back
+        assert event.failed_shards == [2]
+        assert_uniform_generation(cluster, artifacts.fl_quantizer)
+        # Shards 0 and 1 flipped then rolled back; shard 2 only rejected.
+        for k in (0, 1):
+            assert cluster.workers[k].pipeline.table_swaps == 1
+            assert cluster.workers[k].pipeline.table_rollbacks == 1
+        assert cluster.workers[2].pipeline.table_rollbacks == 1
+        counters = registry.counters_dict()
+        assert counters["runtime.rollbacks"] == 1
+        assert counters["switch.table.rollbacks"] == N_SHARDS
+        assert "runtime.swaps" not in counters
+
+
+class TestServingAcrossSwaps:
+    def test_aborted_swap_leaves_verdicts_unchanged(
+        self, split, artifacts, next_gen
+    ):
+        """Replay, abort a swap, replay again: the second replay is
+        served by the same generation, so a fresh fault-free cluster
+        replaying both rounds produces the same verdicts."""
+        shard_faults = [
+            FaultPlan.from_spec("table_install_flake:p=1,times=10"),
+            None,
+            None,
+        ]
+        with make_cluster(artifacts, shard_faults) as faulty:
+            first = faulty.replay(split.stream_trace)
+            event = faulty.swap(next_gen)
+            second = faulty.replay(split.stream_trace)
+        assert event.rolled_back
+
+        with make_cluster(artifacts) as clean:
+            ref_first = clean.replay(split.stream_trace)
+            ref_second = clean.replay(split.stream_trace)
+        np.testing.assert_array_equal(first.y_pred, ref_first.y_pred)
+        np.testing.assert_array_equal(second.y_pred, ref_second.y_pred)

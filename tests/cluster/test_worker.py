@@ -1,0 +1,109 @@
+"""Shard worker mechanics: wire format, pipeline cloning, error surface.
+
+The pieces the differential suite relies on implicitly, locked
+explicitly: the multiprocess wire format is lossless, a cloned pipeline
+serves the template's tables with fresh state, and worker exceptions
+reach the coordinator as :class:`ShardError` under both executors.
+"""
+
+import numpy as np
+import pytest
+
+from repro.cluster import (
+    InProcessExecutor,
+    MultiprocessExecutor,
+    ShardError,
+    ShardWorker,
+    clone_pipeline,
+    make_executor,
+    pack_packets,
+    unpack_packets,
+)
+from repro.switch.runner import replay_trace
+from tests.faults.common import compile_artifacts, fresh_pipeline, make_split
+
+
+@pytest.fixture(scope="module")
+def split():
+    return make_split(seed=31, n_benign_flows=30)
+
+
+@pytest.fixture(scope="module")
+def artifacts(split):
+    return compile_artifacts(split.train_flows)
+
+
+class TestWireFormat:
+    def test_round_trip_is_lossless(self, split):
+        packets = split.stream_trace.packets[:500]
+        back = unpack_packets(pack_packets(packets))
+        assert back == packets  # dataclass equality, field by field
+
+    def test_round_trip_preserves_malicious_bit(self, split):
+        packets = split.stream_trace.packets
+        doc = pack_packets(packets)
+        assert doc["malicious"].sum() == sum(p.malicious for p in packets)
+        back = unpack_packets(doc)
+        assert [p.malicious for p in back] == [p.malicious for p in packets]
+
+    def test_empty_batch(self):
+        assert unpack_packets(pack_packets([])) == []
+
+    def test_worker_accepts_both_forms(self, split, artifacts):
+        packets = split.stream_trace.packets[:300]
+        w_list = ShardWorker(0, fresh_pipeline(artifacts))
+        w_wire = ShardWorker(0, fresh_pipeline(artifacts))
+        out_list = w_list.replay_chunk(packets, 0)
+        out_wire = w_wire.replay_chunk(pack_packets(packets), 0)
+        np.testing.assert_array_equal(out_list.y_pred, out_wire.y_pred)
+        assert out_list.counter_deltas == out_wire.counter_deltas
+
+
+class TestClonePipeline:
+    def test_clone_serves_identical_verdicts_with_fresh_state(
+        self, split, artifacts
+    ):
+        template = fresh_pipeline(artifacts)
+        replay_trace(split.stream_trace, template, mode="batch")  # dirty it
+        clone = clone_pipeline(template)
+        assert clone.store.occupancy() == 0
+        assert len(clone.blacklist) == 0
+        assert clone.table_swaps == 0
+        assert clone.fl_quantizer is template.fl_quantizer  # tables shared
+        assert clone.controller is not None
+        reference = replay_trace(
+            split.stream_trace, fresh_pipeline(artifacts), mode="batch"
+        )
+        result = replay_trace(split.stream_trace, clone, mode="batch")
+        np.testing.assert_array_equal(result.y_pred, reference.y_pred)
+
+
+class TestExecutors:
+    @pytest.mark.parametrize("kind", ["inprocess", "multiprocess"])
+    def test_worker_exception_surfaces_as_shard_error(self, artifacts, kind):
+        workers = [ShardWorker(k, fresh_pipeline(artifacts)) for k in range(2)]
+        with make_executor(kind, workers) as executor:
+            executor.dispatch(1, "replay_chunk")  # missing required args
+            executor.dispatch(0, "counters")
+            assert executor.collect(0)  # healthy shard unaffected
+            with pytest.raises(ShardError, match="shard 1"):
+                executor.collect(1)
+            # The fleet stays serviceable after one failed verb.
+            assert executor.call(1, "counters")
+
+    def test_make_executor_rejects_unknown_kind(self, artifacts):
+        with pytest.raises(ValueError, match="executor"):
+            make_executor("threads", [ShardWorker(0, fresh_pipeline(artifacts))])
+
+    def test_kinds(self, artifacts):
+        workers = [ShardWorker(0, fresh_pipeline(artifacts))]
+        assert isinstance(make_executor("inprocess", workers), InProcessExecutor)
+        mp_exec = make_executor("multiprocess", workers)
+        assert isinstance(mp_exec, MultiprocessExecutor)
+        mp_exec.close()
+
+    def test_multiprocess_collect_without_dispatch_fails(self, artifacts):
+        workers = [ShardWorker(0, fresh_pipeline(artifacts))]
+        with make_executor("multiprocess", workers) as executor:
+            with pytest.raises(RuntimeError, match="no verb in flight"):
+                executor.collect(0)

@@ -1,0 +1,88 @@
+""":meth:`ReplayResult.merge` — chunked replays read as one replay.
+
+The cluster coordinator and chunked offline analyses both join partial
+replays back together; merge must behave exactly like having replayed
+the concatenated trace in one shot (same pipeline state trajectory), and
+must sum — never recompute — the ``path_counts`` caches when every input
+already carries one.
+"""
+
+import numpy as np
+import pytest
+
+from repro.datasets.trace import Trace
+from repro.switch.runner import ReplayResult, replay_trace
+from tests.faults.common import compile_artifacts, fresh_pipeline, make_split
+
+
+@pytest.fixture(scope="module")
+def split():
+    return make_split(seed=37, n_benign_flows=25)
+
+
+@pytest.fixture(scope="module")
+def artifacts(split):
+    return compile_artifacts(split.train_flows)
+
+
+@pytest.fixture(scope="module")
+def chunked(split, artifacts):
+    """The same trace replayed in three chunks on one pipeline, plus the
+    one-shot replay on an identical fresh pipeline."""
+    packets = split.stream_trace.packets
+    cuts = [0, len(packets) // 3, 2 * len(packets) // 3, len(packets)]
+    pipeline = fresh_pipeline(artifacts)
+    parts = [
+        replay_trace(Trace(packets[a:b]), pipeline, mode="batch")
+        for a, b in zip(cuts, cuts[1:])
+    ]
+    full = replay_trace(split.stream_trace, fresh_pipeline(artifacts), mode="batch")
+    return parts, full
+
+
+class TestMerge:
+    def test_reads_as_one_replay(self, chunked):
+        parts, full = chunked
+        merged = parts[0].merge(parts[1:])
+        assert merged.n_packets == full.n_packets
+        np.testing.assert_array_equal(merged.y_true, full.y_true)
+        np.testing.assert_array_equal(merged.y_pred, full.y_pred)
+        assert merged.path_counts() == full.path_counts()
+        assert merged.dropped_fraction() == full.dropped_fraction()
+        assert [d.path for d in merged.decisions] == [d.path for d in full.decisions]
+
+    def test_sums_caches_instead_of_rewalking(self, chunked):
+        parts, full = chunked
+        for part in parts:
+            part.path_counts()  # warm every cache
+        merged = parts[0].merge(parts[1:])
+        assert merged._path_counts is not None  # precomputed, not deferred
+        assert merged.path_counts() == full.path_counts()
+
+    def test_missing_cache_defers_to_lazy_recompute(self, chunked):
+        parts, full = chunked
+        fresh = [
+            ReplayResult(decisions=p.decisions, y_true=p.y_true, y_pred=p.y_pred)
+            for p in parts
+        ]
+        fresh[0].path_counts()  # only one input cached
+        merged = fresh[0].merge(fresh[1:])
+        assert merged._path_counts is None
+        assert merged.path_counts() == full.path_counts()  # lazy path agrees
+
+    def test_inputs_left_untouched(self, chunked):
+        parts, _full = chunked
+        sizes = [p.n_packets for p in parts]
+        preds = [p.y_pred.copy() for p in parts]
+        parts[0].merge(parts[1:])
+        assert [p.n_packets for p in parts] == sizes
+        for p, before in zip(parts, preds):
+            np.testing.assert_array_equal(p.y_pred, before)
+
+    def test_merge_with_nothing_is_a_copy(self, chunked):
+        parts, _full = chunked
+        merged = parts[0].merge([])
+        assert merged is not parts[0]
+        assert merged.n_packets == parts[0].n_packets
+        np.testing.assert_array_equal(merged.y_pred, parts[0].y_pred)
+        assert merged.path_counts() == parts[0].path_counts()

@@ -131,3 +131,54 @@ class TestReport:
             reg.event("e", i=i)
         text = format_report(build_report(reg), max_events=2)
         assert "5 recorded, showing 2" in text
+
+
+class TestShardGrouping:
+    """Cluster runs tag per-shard metrics ``cluster.shard.<k>.<name>``;
+    the report renderer must group them into one block per shard instead
+    of interleaving every shard's copy alphabetically."""
+
+    def _registry(self):
+        reg = MetricRegistry()
+        reg.counter("replay.packets").inc(10)
+        reg.counter("cluster.shard.0.switch.path.green").inc(4)
+        reg.counter("cluster.shard.1.switch.path.green").inc(6)
+        reg.counter("cluster.shard.10.switch.path.green").inc(1)
+        reg.gauge("switch.store.occupancy").set(7.0)
+        reg.gauge("cluster.shard.1.switch.store.occupancy").set(3.0)
+        return reg
+
+    def test_groups_one_block_per_shard(self):
+        text = format_report(build_report(self._registry()))
+        lines = text.splitlines()
+        for needle in ("shard 0:", "shard 1:", "shard 10:"):
+            assert any(needle in line for line in lines), needle
+        # Tag prefix stripped inside the group; aggregate stays plain.
+        shard0 = lines.index(next(l for l in lines if "shard 0:" in l))
+        assert "switch.path.green" in lines[shard0 + 1]
+        assert "cluster.shard" not in lines[shard0 + 1]
+        assert any(
+            "replay.packets" in l and "shard" not in l for l in lines
+        )
+
+    def test_shards_render_in_numeric_order(self):
+        text = format_report(build_report(self._registry()))
+        assert text.index("shard 0:") < text.index("shard 1:")
+        assert text.index("shard 1:") < text.index("shard 10:")  # 10 after 1
+
+    def test_unparseable_tags_stay_plain(self):
+        reg = MetricRegistry()
+        reg.counter("cluster.shard.oops").inc(3)
+        reg.counter("cluster.shard.x.thing").inc(2)
+        reg.counter("cluster.swap_total").inc(1)
+        text = format_report(build_report(reg))
+        assert "shard " not in text
+        assert "cluster.shard.oops" in text
+        assert "cluster.shard.x.thing" in text
+
+    def test_shard_only_metrics_still_render_section_header(self):
+        reg = MetricRegistry()
+        reg.counter("cluster.shard.0.switch.path.red").inc(2)
+        text = format_report(build_report(reg))
+        assert "counters:" in text
+        assert "shard 0:" in text

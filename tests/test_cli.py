@@ -161,3 +161,45 @@ class TestTelemetryFlag:
         path.write_text(json.dumps({"schema": "nope"}))
         with pytest.raises(ValueError, match="not a telemetry report"):
             main(["report", str(path)])
+
+
+class TestClusterCli:
+    def test_serve_with_shards_prints_distribution(self, capsys):
+        assert main(
+            ["serve", "UDP DDoS", "--flows", "150", "--chunk-size", "800",
+             "--drift", "0", "--cadence", "2", "--max-swaps", "1",
+             "--shards", "2", "--seed", "4"]
+        ) == 0
+        out = capsys.readouterr().out
+        assert "served" in out and "swaps=1" in out
+        assert "cluster: 2 shards" in out
+        assert "shard0=" in out and "shard1=" in out
+
+    def test_serve_rejects_nonpositive_shards(self, capsys):
+        assert main(
+            ["serve", "UDP DDoS", "--flows", "120", "--shards", "0"]
+        ) == 2
+        assert "--shards must be >= 1" in capsys.readouterr().out
+
+    def test_sharded_telemetry_groups_in_report(self, tmp_path, capsys):
+        """serve --shards 2 --telemetry, then `repro report` on the file:
+        the per-shard tagged counters land in the report and render as
+        grouped shard sub-blocks."""
+        from repro.telemetry import load_report
+
+        path = str(tmp_path / "cluster.telemetry.json")
+        assert main(
+            ["serve", "UDP DDoS", "--flows", "120", "--chunk-size", "900",
+             "--drift", "0", "--shards", "2", "--seed", "4",
+             "--telemetry", path]
+        ) == 0
+        report = load_report(path)
+        assert report["meta"]["shards"] == 2
+        assert report["gauges"]["cluster.n_shards"] == 2.0
+        assert any(
+            name.startswith("cluster.shard.") for name in report["counters"]
+        )
+        capsys.readouterr()
+        assert main(["report", path]) == 0
+        out = capsys.readouterr().out
+        assert "shard 0:" in out and "shard 1:" in out
