@@ -10,12 +10,20 @@ at increasing shard counts and measures:
   update (stage on every shard, commit on every shard), the window in
   which a real control plane would be writing N switches' TCAM entries.
 
+* the *transport race* — per-shard routed-replay throughput of the
+  pipe+pickle transport vs the zero-copy shared-memory descriptor
+  transport at a fixed shard count.  Unlike the scaling curve this is
+  core-count independent: shm drops the per-packet pickle/unpickle tax
+  on the coordinator's critical path, so it must win even (especially)
+  on a 1-core host, and the pytest assertion demands it
+  unconditionally.
+
 The ≥2× at-4-shards claim is only physical on hosts with ≥4 usable
 cores; the emitted ``BENCH_cluster.json`` embeds the
 :func:`benchmarks.common.host_info` block precisely so curves from
 different hosts aren't compared blind, and the pytest assertion gates on
-it.  Verdict equality across shard counts is asserted unconditionally —
-scaling never buys divergence.
+it.  Verdict equality across shard counts *and* transports is asserted
+unconditionally — neither scaling nor the transport may buy divergence.
 
 Emits ``BENCH_cluster.json`` at the repo root.  Runs standalone
 (``PYTHONPATH=src python benchmarks/bench_cluster.py``) or under
@@ -49,17 +57,25 @@ SHARD_COUNTS = tuple(
     int(s) for s in os.environ.get("REPRO_BENCH_CLUSTER_SHARDS", "1,2,4").split(",")
 )
 EXECUTOR = os.environ.get("REPRO_BENCH_CLUSTER_EXECUTOR", "multiprocess")
+#: The two multiprocess transports raced head-to-head (same fleet
+#: shape, only the data path differs).
+TRANSPORTS = ("multiprocess", "shm")
+#: Shard count at which the transports are raced.
+TRANSPORT_SHARDS = int(os.environ.get("REPRO_BENCH_CLUSTER_RACE_SHARDS", "2"))
 N_SWAPS = 5
 OUT_PATH = Path(__file__).resolve().parents[1] / "BENCH_cluster.json"
 
 
-def _measure_replay(trace, make_pipeline, n_shards, repeats):
+def _measure_replay(trace, make_pipeline, n_shards, repeats, executor=None):
     """Best-of-*repeats* routed-replay pps on a fresh cluster each round."""
     best_pps, y_pred = 0.0, None
     for _ in range(repeats):
         config = RuntimeConfig(drift_threshold=0.0)
         with ClusterService(
-            make_pipeline(), n_shards=n_shards, config=config, executor=EXECUTOR
+            make_pipeline(),
+            n_shards=n_shards,
+            config=config,
+            executor=executor or EXECUTOR,
         ) as cluster:
             start = time.perf_counter()
             merged = cluster.replay(trace)
@@ -109,16 +125,37 @@ def run(repeats=3):
     for entry in shards.values():
         entry["speedup_vs_1"] = round(entry["pps"] / base, 3)
 
+    # Transport race: pipe+pickle vs shared-memory descriptors, same
+    # shard count, same trace, same fleet shape.
+    transports = {}
+    for transport in TRANSPORTS:
+        pps, y_pred = _measure_replay(
+            trace, make_pipeline, TRANSPORT_SHARDS, repeats, executor=transport
+        )
+        assert (y_pred == reference_pred).all(), f"{transport} diverged"
+        transports[transport] = {
+            "transport": transport,
+            "n_shards": TRANSPORT_SHARDS,
+            "pps": round(pps, 1),
+            "speedup_vs_pipe": None,
+        }
+    pipe_pps = transports["multiprocess"]["pps"]
+    for entry in transports.values():
+        entry["speedup_vs_pipe"] = round(entry["pps"] / pipe_pps, 3)
+
     report = {
         "host": host_info(),
         "n_packets": len(trace),
         "n_flows": len(trace.bidirectional_flows()),
         "executor": EXECUTOR,
+        "transport": EXECUTOR,
         "shard_counts": list(SHARD_COUNTS),
         "shards": shards,
+        "transports": transports,
         "n_swaps_timed": N_SWAPS,
-        # The assert above already enforced this; recorded so downstream
-        # consumers of the JSON can check it without rerunning.
+        # The asserts above already enforced this; recorded so
+        # downstream consumers of the JSON can check it without
+        # rerunning.
         "verdicts_identical": True,
     }
     OUT_PATH.write_text(json.dumps(report, indent=2) + "\n")
@@ -138,6 +175,14 @@ def test_cluster_scaling(benchmark):
         print(f"  {n} shard(s): {row['pps']:>10.0f} pps "
               f"({row['speedup_vs_1']:.2f}x)  "
               f"swap barrier mean {row['swap_barrier_ms_mean']:.3f} ms")
+    race = report["transports"]
+    print(f"  transport race @ {race['shm']['n_shards']} shards: "
+          f"pipe {race['multiprocess']['pps']:>10.0f} pps vs "
+          f"shm {race['shm']['pps']:>10.0f} pps "
+          f"({race['shm']['speedup_vs_pipe']:.2f}x)")
+    # Core-count independent: the descriptor transport removes the
+    # coordinator's pickle/unpickle tax, so it must win even at 1 core.
+    assert race["shm"]["pps"] > race["multiprocess"]["pps"]
     # The parallel-speedup claim needs the cores to exist; the host
     # block in BENCH_cluster.json records why it was (not) asserted.
     if report["executor"] == "multiprocess" and n_cores >= 4 and "4" in report["shards"]:

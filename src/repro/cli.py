@@ -127,10 +127,12 @@ def _build_parser() -> argparse.ArgumentParser:
         "(1 = single-pipeline service)",
     )
     p_serve.add_argument(
-        "--cluster-executor", choices=("inprocess", "multiprocess"),
+        "--cluster-executor", choices=("inprocess", "multiprocess", "shm"),
         default="inprocess",
         help="where shard workers run (with --shards > 1): 'inprocess' is "
-        "deterministic, 'multiprocess' parallelises across cores",
+        "deterministic, 'multiprocess' parallelises across cores over "
+        "pipe+pickle, 'shm' parallelises over the zero-copy shared-memory "
+        "descriptor transport",
     )
 
     p_resume = sub.add_parser(

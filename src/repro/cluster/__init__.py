@@ -7,8 +7,12 @@ Layout:
   semantics exact across shards;
 * :mod:`repro.cluster.worker` — one pipeline per shard plus the
   coordinator-driven verbs (:class:`ShardWorker`);
-* :mod:`repro.cluster.executor` — in-process (deterministic) and
-  multiprocess (parallel) execution of the shard fleet;
+* :mod:`repro.cluster.shm` — the zero-copy transport: one shared
+  segment holding the trace columns, per-shard SPSC descriptor rings,
+  and fixed-layout verdict/counter return blocks;
+* :mod:`repro.cluster.executor` — in-process (deterministic),
+  multiprocess (pipe+pickle), and shared-memory (descriptor-passing)
+  execution of the shard fleet;
 * :mod:`repro.cluster.service` — the coordinator
   (:class:`ClusterService`): merged telemetry, cluster-wide drift →
   retrain → two-phase hot swap;
@@ -30,6 +34,7 @@ from repro.cluster.executor import (
     EXECUTOR_KINDS,
     InProcessExecutor,
     MultiprocessExecutor,
+    SharedMemoryExecutor,
     ShardError,
     make_executor,
 )
@@ -39,7 +44,17 @@ from repro.cluster.service import (
     ClusterServeReport,
     ClusterService,
     ClusterSwapEvent,
+    RowPartition,
     shard_fault_plans,
+)
+from repro.cluster.shm import (
+    SHM_PREFIX,
+    ClusterShm,
+    ShmArena,
+    SpscRing,
+    TornReadError,
+    make_segment_name,
+    unlink_segment,
 )
 from repro.cluster.worker import (
     ShardChunkOutcome,
@@ -53,27 +68,35 @@ __all__ = [
     "CLUSTER_SCHEMA",
     "EXECUTOR_KINDS",
     "ROUTER_SALT",
+    "SHM_PREFIX",
     "ClusterCheckpointManager",
     "ClusterReplayResult",
     "ClusterServeReport",
     "ClusterService",
+    "ClusterShm",
     "ClusterSwapEvent",
     "FlowShardRouter",
     "InProcessExecutor",
     "MultiprocessExecutor",
+    "RowPartition",
+    "SharedMemoryExecutor",
     "ShardChunkOutcome",
     "ShardError",
     "ShardPartition",
     "ShardWorker",
+    "ShmArena",
+    "SpscRing",
+    "TornReadError",
     "clone_pipeline",
     "cluster_report_from_dict",
     "cluster_report_to_dict",
     "cluster_to_dict",
     "load_any_checkpoint",
     "make_executor",
+    "make_segment_name",
     "pack_packets",
     "restore_cluster",
     "restore_shard",
     "shard_fault_plans",
-    "unpack_packets",
+    "unlink_segment",
 ]

@@ -36,6 +36,7 @@ from repro.cluster.service import (
     ClusterService,
     ClusterSwapEvent,
 )
+from repro.cluster.shm import unlink_segment
 from repro.cluster.worker import ShardWorker
 from repro.faults.plan import INJECTOR_TYPES, FaultPlan, parse_fault_spec
 from repro.runtime.checkpoint import (
@@ -120,6 +121,9 @@ def cluster_to_dict(
         "config": asdict(service.config),
         "n_shards": service.n_shards,
         "executor": service.executor_kind,
+        # The live shared-segment name (shm executor only): a resumed
+        # run re-maps the surviving segment instead of re-allocating.
+        "shm_name": service.shm_segment_name,
         "router_salt": service.router.salt,
         "faults_spec": service.faults_spec,
         "coordinator_faults": None
@@ -198,6 +202,13 @@ def restore_cluster(
     if not isinstance(doc, dict) or doc.get("schema") != CLUSTER_SCHEMA:
         raise ValueError(f"not a {CLUSTER_SCHEMA} checkpoint document")
     kind = executor or doc["executor"]
+    shm_name = doc.get("shm_name")
+    if shm_name is not None and kind != "shm":
+        # The checkpointed run owned a shared segment but the resumed
+        # one won't adopt it — reap the orphan now (a SIGKILLed shm
+        # coordinator deliberately leaves its segment behind for us).
+        unlink_segment(shm_name)
+        shm_name = None
     keep = kind == "inprocess"
     n_shards = int(doc["n_shards"])
     config = RuntimeConfig(**doc["config"])
@@ -241,6 +252,7 @@ def restore_cluster(
         coordinator_faults=coordinator,
         faults_spec=doc.get("faults_spec"),
         router_salt=int(doc["router_salt"]),
+        shm_name=shm_name,
     )
     return service, cluster_report_from_dict(doc["report"])
 

@@ -18,6 +18,13 @@ overlap) — and the coordinator is written against that protocol alone:
   the process — they come back as data and re-raise in the coordinator
   as :class:`ShardError`, keeping the remaining shards serviceable
   (fault isolation).
+* :class:`SharedMemoryExecutor` keeps the same process fleet and verb
+  protocol but moves the replay data path into shared memory
+  (:mod:`repro.cluster.shm`): trace columns are mapped by every worker
+  once, chunks are dispatched as ``(offset, length, chunk_id)``
+  descriptors over per-shard SPSC rings, and verdicts/counters come
+  back through preallocated in-place return blocks — nothing bulk is
+  ever pickled.
 
 The ``fork`` start method is preferred (workers inherit their pipeline
 state by address-space copy; nothing is pickled on the way in); on
@@ -27,8 +34,17 @@ platforms without it the workers are pickled through ``spawn``.
 from __future__ import annotations
 
 import multiprocessing as mp
-from typing import Any, List, Optional, Sequence
+import os
+from typing import Any, Dict, List, Optional, Sequence, Tuple
 
+import numpy as np
+
+from repro.cluster.shm import (
+    STATUS_ERROR,
+    STATUS_OK,
+    ClusterShm,
+    make_segment_name,
+)
 from repro.cluster.worker import ShardWorker
 
 
@@ -94,13 +110,33 @@ class InProcessExecutor:
         self.close()
 
 
-def _worker_main(conn, worker: ShardWorker) -> None:
+def _close_stale_fds(stale_fds) -> None:
+    """Close pipe fds a forked worker inherited from earlier siblings.
+
+    Under the fork start method, shard *k* inherits the parent-side
+    pipe ends of shards ``0..k`` (they were open in the coordinator at
+    fork time).  Left open, they deadlock the fleet's death: when the
+    coordinator is SIGKILLed, no worker's ``recv`` ever sees EOF
+    because a sibling still holds the write end — every worker lingers
+    forever, pinning any inherited stdout/stderr pipes with it.  Closing
+    the stale ends makes the coordinator the sole holder, so its death
+    EOFs every worker and the fleet self-reaps.
+    """
+    for fd in stale_fds:
+        try:
+            os.close(fd)
+        except OSError:  # pragma: no cover — already closed
+            pass
+
+
+def _worker_main(conn, worker: ShardWorker, stale_fds=()) -> None:
     """Verb loop of one shard process: recv → execute → send, forever.
 
     Exceptions are converted to ``("err", repr)`` replies so a bad verb
     (or an injected fault that escapes) degrades that one call, not the
     shard process; ``None`` is the shutdown sentinel.
     """
+    _close_stale_fds(stale_fds)
     try:
         while True:
             msg = conn.recv()
@@ -121,6 +157,8 @@ class MultiprocessExecutor:
     """One persistent worker process per shard, driven over pipes."""
 
     kind = "multiprocess"
+    #: Worker-process entry point; the shm executor swaps in its own.
+    _worker_target = staticmethod(_worker_main)
 
     def __init__(self, workers: Sequence[ShardWorker]) -> None:
         try:
@@ -130,16 +168,27 @@ class MultiprocessExecutor:
         self._conns = []
         self._procs = []
         self._in_flight = [False] * len(workers)
+        # Forked children inherit every parent-side pipe end open at
+        # fork time; each child closes those stale fds on entry (see
+        # _close_stale_fds).  Under spawn nothing leaks, so pass none.
+        forked = ctx.get_start_method() == "fork"
+        stale_fds: List[int] = []
         for worker in workers:
             parent, child = ctx.Pipe()
             proc = ctx.Process(
-                target=_worker_main,
-                args=(child, worker),
+                target=type(self)._worker_target,
+                args=(
+                    child,
+                    worker,
+                    tuple(stale_fds) + (parent.fileno(),) if forked else (),
+                ),
                 daemon=True,
                 name=f"repro-shard-{worker.shard_id}",
             )
             proc.start()
             child.close()
+            if forked:
+                stale_fds.append(parent.fileno())
             self._conns.append(parent)
             self._procs.append(proc)
 
@@ -159,7 +208,9 @@ class MultiprocessExecutor:
         self._in_flight[shard_id] = False
         try:
             status, payload = self._conns[shard_id].recv()
-        except EOFError:
+        except (EOFError, ConnectionResetError):
+            # EOF for an orderly close, ECONNRESET when the peer was
+            # SIGKILLed with the message half-written — same diagnosis.
             raise ShardError(shard_id, "worker process died") from None
         if status == "err":
             raise ShardError(shard_id, payload)
@@ -195,13 +246,220 @@ class MultiprocessExecutor:
         self.close()
 
 
-EXECUTOR_KINDS = ("inprocess", "multiprocess")
+def _serve_descriptor(
+    shm: ClusterShm, worker: ShardWorker, rec: Tuple[int, ...]
+) -> dict:
+    """Serve one ``(offset, length, chunk_id)`` descriptor in a worker.
+
+    Results flow back entirely through shared memory: verdicts land in
+    the shared column at the descriptor's own rows, counter deltas and
+    gauges in this shard's fixed-layout blocks, and the completion
+    record on the shard's completion ring.  Returns the counter *spill*
+    — names a hot-swapped generation grew beyond the pre-fork block
+    layout — which rides the doorbell ack over the pipe (tiny, rare).
+    A replay exception becomes an error-block message plus a
+    ``STATUS_ERROR`` completion — the worker process survives, exactly
+    like the pipe transport's ``("err", …)`` replies.
+    """
+    offset, length, chunk_id = rec
+    k = worker.shard_id
+    try:
+        outcome = worker.replay_chunk_columns(shm.columns(offset, length), chunk_id)
+        shm.write_verdicts(offset, np.asarray(outcome.y_pred, dtype=np.uint8))
+        spill = shm.write_counter_deltas(k, outcome.counter_deltas)
+        shm.write_gauges(k, outcome.gauges)
+        shm.completion_ring(k).try_push((chunk_id, length, STATUS_OK))
+        return spill
+    except Exception as exc:  # noqa: BLE001 — shipped via the error block
+        shm.write_error(k, f"{type(exc).__name__}: {exc}")
+        shm.completion_ring(k).try_push((chunk_id, length, STATUS_ERROR))
+        return {}
 
 
-def make_executor(kind: str, workers: Sequence[ShardWorker]):
-    """Build the executor named *kind* over *workers*."""
+def _worker_main_shm(conn, worker: ShardWorker, stale_fds=()) -> None:
+    """Verb loop of one shm-transport shard process.
+
+    The pipe still carries every control verb (stage/commit/abort/
+    snapshot/finish/shutdown) exactly as :func:`_worker_main` does, plus
+    two transport verbs: ``attach_shm`` maps the cluster segment by
+    name, and ``serve_ring`` — the coordinator's doorbell — drains this
+    shard's submit ring, serving each descriptor via
+    :func:`_serve_descriptor`.  Only the few-byte doorbell and its ack
+    cross the pipe on the hot path; packets, verdicts, counters, and
+    errors all travel through shared memory.  Blocking on ``recv``
+    (rather than spinning on the ring) keeps idle shards costless on
+    oversubscribed hosts.
+    """
+    _close_stale_fds(stale_fds)
+    shm: Optional[ClusterShm] = None
+    try:
+        while True:
+            msg = conn.recv()
+            if msg is None:
+                break
+            method, args, kwargs = msg
+            try:
+                if method == "attach_shm":
+                    if shm is not None:  # re-attach after arena growth
+                        shm.close()
+                    shm = ClusterShm.attach(**args[0])
+                    conn.send(("ok", True))
+                elif method == "serve_ring":
+                    if shm is None:
+                        raise RuntimeError("serve_ring before attach_shm")
+                    ring = shm.submit_ring(worker.shard_id)
+                    served = 0
+                    spill: dict = {}
+                    while (rec := ring.try_pop()) is not None:
+                        for name, v in _serve_descriptor(shm, worker, rec).items():
+                            spill[name] = spill.get(name, 0) + v
+                        served += 1
+                    conn.send(("ok", (served, spill)))
+                else:
+                    conn.send(("ok", getattr(worker, method)(*args, **kwargs)))
+            except Exception as exc:  # noqa: BLE001 — shipped to coordinator
+                conn.send(("err", f"{type(exc).__name__}: {exc}"))
+    except (EOFError, KeyboardInterrupt):
+        pass
+    finally:
+        if shm is not None:
+            shm.close()
+        conn.close()
+
+
+class SharedMemoryExecutor(MultiprocessExecutor):
+    """Worker processes fed by shared-memory descriptor rings.
+
+    Same process fleet and verb protocol as
+    :class:`MultiprocessExecutor`, but the replay data path is zero-copy
+    (see :mod:`repro.cluster.shm`): the coordinator writes the trace
+    columns into one shared segment once, ``dispatch_descriptor`` pushes
+    an ``(offset, length, chunk_id)`` tuple onto the target shard's SPSC
+    ring (plus a doorbell verb over the pipe so idle workers can block
+    instead of spin), and ``collect_completion`` reads the fixed-layout
+    return blocks the worker filled in place.
+
+    Counter and gauge block layouts are fixed **pre-fork** from the
+    template worker's telemetry name set (static per pipeline), so
+    result collection never deserialises anything.
+
+    Lifecycle: this executor *owns* the segment — it creates (or, given
+    a ``segment_name`` from a checkpoint, re-maps) it lazily on first
+    :meth:`ensure_arena` and unlinks it in :meth:`close` on every exit
+    path, including after a worker crash.  Segments are detached from
+    the ``resource_tracker`` so a SIGKILLed coordinator leaves the
+    segment for resume to re-map; the checkpoint document records the
+    name.
+    """
+
+    kind = "shm"
+    _worker_target = staticmethod(_worker_main_shm)
+
+    def __init__(
+        self,
+        workers: Sequence[ShardWorker],
+        segment_name: Optional[str] = None,
+    ) -> None:
+        workers = list(workers)
+        if not workers:
+            raise ValueError("shm executor needs at least one worker")
+        self.segment_name = segment_name or make_segment_name()
+        # Fixed return-block layouts, computed before the fork below so
+        # coordinator and workers agree on them by inheritance.
+        self.counter_names = sorted(workers[0].counters())
+        self.gauge_names = sorted(workers[0].pipeline.telemetry_gauges())
+        self.shm: Optional[ClusterShm] = None
+        #: Whether the last :meth:`ensure_arena` re-mapped an existing
+        #: segment (checkpoint-resume) rather than allocating a new one.
+        self.remapped = False
+        super().__init__(workers)
+
+    def ensure_arena(self, capacity: int) -> ClusterShm:
+        """Make the shared arena hold at least *capacity* packet rows.
+
+        Re-maps the named segment if a sufficient one already exists
+        (resume), allocates otherwise; on growth the old segment is
+        unlinked first and every worker re-attaches.  No-op when the
+        current arena is already big enough.
+        """
+        capacity = max(1, int(capacity))
+        if self.shm is not None and self.shm.capacity >= capacity:
+            return self.shm
+        if self.shm is not None:
+            self.shm.unlink()
+            self.shm = None
+        self.shm, self.remapped = ClusterShm.adopt(
+            self.segment_name,
+            capacity,
+            self.n_shards,
+            self.counter_names,
+            self.gauge_names,
+        )
+        self.broadcast("attach_shm", self.shm.describe())
+        return self.shm
+
+    def dispatch_descriptor(
+        self, shard_id: int, offset: int, length: int, chunk_id: int
+    ) -> None:
+        """Hand shard *shard_id* the rows ``[offset, offset+length)``."""
+        if self.shm is None:
+            raise RuntimeError("ensure_arena() before dispatching descriptors")
+        if not self.shm.submit_ring(shard_id).try_push(
+            (int(offset), int(length), int(chunk_id))
+        ):
+            raise RuntimeError(f"shard {shard_id}: submit ring full")
+        self.dispatch(shard_id, "serve_ring")
+
+    def collect_completion(self, shard_id: int) -> Tuple[int, int, Dict[str, int]]:
+        """Await shard *shard_id*'s completion; ``(chunk_id, n_packets, spill)``.
+
+        Worker death surfaces as the pipe-level :class:`ShardError` from
+        :meth:`collect`; a replay failure inside the worker surfaces as
+        a ``STATUS_ERROR`` completion whose message is read back from
+        the shard's error block.  *spill* holds counter deltas whose
+        names fall outside the pre-fork block layout (a hot-swapped
+        generation can grow the counter set); it rides the doorbell ack.
+        """
+        ack = self.collect(shard_id)  # doorbell ack (or worker-death EOF)
+        spill = ack[1] if isinstance(ack, tuple) else {}
+        rec = self.shm.completion_ring(shard_id).try_pop()
+        if rec is None:
+            raise ShardError(shard_id, "ring served but no completion record")
+        chunk_id, n_packets, status = rec
+        if status != STATUS_OK:
+            raise ShardError(shard_id, self.shm.read_error(shard_id) or "worker error")
+        return chunk_id, n_packets, spill
+
+    def close(self) -> None:
+        """Shut the fleet down, then reap the shared segment.
+
+        Runs the segment unlink even when workers crashed or hang —
+        the coordinator owns the segment and this is the one place its
+        life ends (SIGKILL of the whole coordinator being the deliberate
+        exception, handled by resume's re-map)."""
+        try:
+            super().close()
+        finally:
+            if self.shm is not None:
+                self.shm.unlink()
+                self.shm = None
+
+
+EXECUTOR_KINDS = ("inprocess", "multiprocess", "shm")
+
+
+def make_executor(
+    kind: str, workers: Sequence[ShardWorker], shm_name: Optional[str] = None
+):
+    """Build the executor named *kind* over *workers*.
+
+    ``shm_name`` pins the shared segment name of the ``"shm"`` executor
+    (checkpoint-resume re-maps by name); other kinds ignore it.
+    """
     if kind == "inprocess":
         return InProcessExecutor(workers)
     if kind == "multiprocess":
         return MultiprocessExecutor(workers)
+    if kind == "shm":
+        return SharedMemoryExecutor(workers, segment_name=shm_name)
     raise ValueError(f"executor must be one of {EXECUTOR_KINDS}, got {kind!r}")

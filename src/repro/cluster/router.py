@@ -104,6 +104,22 @@ class FlowShardRouter:
             dtype=np.int64,
             count=5 * n,
         ).reshape(n, 5)
+        return self.shard_indices_fields(flat)
+
+    def shard_indices_fields(self, flat: np.ndarray) -> np.ndarray:
+        """Vectorised shard id per row of an ``(n, 5)`` raw 5-tuple array
+        (packet direction, as :attr:`TraceColumns.tuples` stores it —
+        canonicalisation happens here, exactly as in the scalar hash).
+
+        This is the columnar twin of :meth:`shard_indices`: the shm
+        serve path routes straight off the trace's tuple column without
+        ever touching a :class:`Packet`.
+        """
+        n = int(flat.shape[0])
+        if n == 0:
+            return np.empty(0, dtype=np.int64)
+        if self.n_shards == 1:
+            return np.zeros(n, dtype=np.int64)
         src_ip, dst_ip = flat[:, 0], flat[:, 1]
         src_port, dst_port = flat[:, 2], flat[:, 3]
         # FiveTuple.canonical(): keep the direction whose (src_ip, src_port)

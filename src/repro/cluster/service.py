@@ -57,7 +57,8 @@ from repro.faults.plan import INJECTOR_TYPES, FaultPlan, parse_fault_spec
 from repro.runtime.drift import DriftMonitor
 from repro.runtime.retrain import Retrainer
 from repro.runtime.service import RuntimeConfig
-from repro.runtime.stream import ChunkStats, _path_fractions, iter_chunks
+from repro.runtime.stream import ChunkStats, _path_fractions, chunk_ranges, iter_chunks
+from repro.switch.batch import TraceColumns
 from repro.switch.pipeline import PacketDecision, SwitchPipeline
 from repro.switch.runner import ReplayResult
 from repro.telemetry import get_registry, span
@@ -83,6 +84,26 @@ def shard_fault_plans(spec: str, n_shards: int) -> List[FaultPlan]:
         )
         for s in shard_seeds
     ]
+
+
+@dataclass(frozen=True)
+class RowPartition:
+    """A routed chunk in row space — the shm transport's partition.
+
+    Shape-compatible with :class:`~repro.cluster.router.ShardPartition`
+    where the merge path looks (``indices``, ``n_packets``,
+    ``shard_sizes``), but carries no packet lists: shard *k*'s slice is
+    the contiguous arena rows ``[offsets[k], offsets[k] + lengths[k])``
+    and ``indices[k]`` maps them back to chunk-local arrival order.
+    """
+
+    indices: List[np.ndarray]
+    offsets: np.ndarray  #: per-shard start row in the shared arena
+    lengths: np.ndarray  #: per-shard row count
+    n_packets: int
+
+    def shard_sizes(self) -> List[int]:
+        return [int(n) for n in self.lengths]
 
 
 @dataclass(frozen=True)
@@ -200,6 +221,7 @@ class ClusterService:
         coordinator_faults: Optional[FaultPlan] = None,
         workers: Optional[List[ShardWorker]] = None,
         router_salt: int = ROUTER_SALT,
+        shm_name: Optional[str] = None,
     ) -> None:
         if executor not in EXECUTOR_KINDS:
             raise ValueError(
@@ -208,6 +230,9 @@ class ClusterService:
         self.config = config or RuntimeConfig()
         self.executor_kind = executor
         self.faults_spec = faults_spec
+        #: Pinned shared-segment name for the ``shm`` executor (resume
+        #: re-maps by this name); ``None`` → a fresh name per executor.
+        self.shm_name = shm_name
 
         if coordinator_faults is None and faults_spec is not None:
             coordinator_faults = FaultPlan.from_spec(faults_spec)
@@ -270,8 +295,20 @@ class ClusterService:
         """Bring the shard fleet up (forks worker processes under the
         multiprocess executor); idempotent."""
         if self._executor is None:
-            self._executor = make_executor(self.executor_kind, self.workers)
+            self._executor = make_executor(
+                self.executor_kind, self.workers, shm_name=self.shm_name
+            )
         return self
+
+    @property
+    def shm_segment_name(self) -> Optional[str]:
+        """Name of the live shared segment (``shm`` executor only) —
+        recorded in cluster checkpoints so resume can re-map it."""
+        if self.executor_kind != "shm":
+            return None
+        if self._executor is not None:
+            return self._executor.segment_name
+        return self.shm_name
 
     def close(self) -> None:
         if self._executor is not None:
@@ -293,9 +330,13 @@ class ClusterService:
     # -- merged replay -------------------------------------------------------
 
     def _merge_outcomes(
-        self, partition: ShardPartition, outcomes: List[ShardChunkOutcome]
+        self, partition, outcomes: List[ShardChunkOutcome]
     ) -> ClusterReplayResult:
-        """Scatter per-shard results back into global arrival order."""
+        """Scatter per-shard results back into global arrival order.
+
+        *partition* is a :class:`~repro.cluster.router.ShardPartition`
+        or a :class:`RowPartition` — only ``indices`` / ``n_packets`` /
+        ``shard_sizes()`` are touched, which both provide."""
         n = partition.n_packets
         y_true = np.empty(n, dtype=int)
         y_pred = np.empty(n, dtype=int)
@@ -353,6 +394,111 @@ class ClusterService:
         registry.gauge("switch.store.fill_fraction").set(fill / len(outcomes))
         registry.gauge("switch.blacklist.size").set(bl_size)
 
+    # -- chunk iteration (both transports) -----------------------------------
+
+    def _iter_routed_chunks(self, trace: Trace, chunk_size: int, start_index: int):
+        """Packet-list transport: route each chunk, ship per-shard
+        packet payloads, collect outcomes.  Yields
+        ``(chunk, partition, outcomes)`` per global chunk."""
+        for offset, chunk in enumerate(iter_chunks(trace, chunk_size)):
+            index = start_index + offset
+            partition = self.router.partition(chunk)
+            for k in range(self.n_shards):
+                self._executor.dispatch(
+                    k, "replay_chunk", self._ship(partition.shards[k]), index
+                )
+            outcomes = [self._executor.collect(k) for k in range(self.n_shards)]
+            yield chunk, partition, outcomes
+
+    def _iter_shm_chunks(self, trace: Trace, ranges, start_index: int):
+        """Shared-memory transport: write the whole trace into the
+        arena **once**, then dispatch each chunk as per-shard
+        ``(offset, length, chunk_id)`` descriptors.
+
+        The arena holds the trace under a global permutation that
+        stable-sorts each chunk's rows by shard assignment, so every
+        shard's share of every chunk is one contiguous row range (a
+        single descriptor) while within-shard arrival order — the order
+        the packet-list transport's router preserves — is untouched.
+        Yields the same ``(chunk, partition, outcomes)`` triples as
+        :meth:`_iter_routed_chunks`.
+        """
+        ex = self._executor
+        packets = trace.packets
+        cols = TraceColumns.from_trace(trace)
+        n = len(cols)
+        assignments = self.router.shard_indices_fields(cols.tuples)
+        perm = np.empty(n, dtype=np.int64)
+        plans = []
+        for start, stop in ranges:
+            local = assignments[start:stop]
+            order = np.argsort(local, kind="stable")
+            perm[start:stop] = start + order
+            lengths = np.bincount(local, minlength=self.n_shards).astype(np.int64)
+            bounds = np.concatenate(([0], np.cumsum(lengths)))
+            offsets = start + bounds[:-1]
+            indices = [
+                order[bounds[k] : bounds[k + 1]] for k in range(self.n_shards)
+            ]
+            plans.append(
+                RowPartition(
+                    indices=indices,
+                    offsets=offsets,
+                    lengths=lengths,
+                    n_packets=stop - start,
+                )
+            )
+        ex.ensure_arena(n)
+        ex.shm.write_columns(cols.take(perm))
+        row = 0
+        for offset_i, partition in enumerate(plans):
+            index = start_index + offset_i
+            chunk = Trace(packets[row : row + partition.n_packets])
+            row += partition.n_packets
+            for k in range(self.n_shards):
+                ex.dispatch_descriptor(
+                    k, int(partition.offsets[k]), int(partition.lengths[k]), index
+                )
+            outcomes = [
+                self._collect_shm_outcome(
+                    k, int(partition.offsets[k]), int(partition.lengths[k])
+                )
+                for k in range(self.n_shards)
+            ]
+            yield chunk, partition, outcomes
+
+    def _collect_shm_outcome(
+        self, shard_id: int, offset: int, length: int
+    ) -> ShardChunkOutcome:
+        """Await one shard's completion and read its results in place:
+        verdicts from the shared column at the descriptor's own rows,
+        ground truth from the coordinator-side malicious column (never
+        shipped), counters/gauges from the fixed-layout blocks.  Counter
+        names outside the pre-fork layout (grown by a hot-swapped
+        generation) arrive as the doorbell ack's spill and are merged
+        back in — spill names are disjoint from the block's by
+        construction."""
+        ex = self._executor
+        _, _, spill = ex.collect_completion(shard_id)
+        deltas = ex.shm.read_counter_deltas(shard_id)
+        deltas.update(spill)
+        return ShardChunkOutcome(
+            shard_id=shard_id,
+            n_packets=length,
+            y_true=ex.shm.read_truth(offset, length),
+            y_pred=ex.shm.read_verdicts(offset, length),
+            counter_deltas=deltas,
+            gauges=ex.shm.read_gauges(shard_id),
+            decisions=None,
+        )
+
+    def _iter_chunk_replays(self, trace: Trace, chunk_size: int, start_index: int):
+        if self.executor_kind == "shm":
+            return self._iter_shm_chunks(
+                trace, chunk_ranges(len(trace.packets), chunk_size), start_index
+            )
+        return self._iter_routed_chunks(trace, chunk_size, start_index)
+
     def replay(self, trace: Trace) -> ClusterReplayResult:
         """Route and replay *trace* across all shards, one shot.
 
@@ -360,13 +506,24 @@ class ClusterService:
         — the cluster-side subject of the differential suite.
         """
         self.start()
-        partition = self.router.partition(trace)
-        with span("cluster.replay", shards=self.n_shards, packets=partition.n_packets):
-            for k in range(self.n_shards):
-                self._executor.dispatch(
-                    k, "replay_chunk", self._ship(partition.shards[k]), 0
+        with span("cluster.replay", shards=self.n_shards, packets=len(trace.packets)):
+            if self.executor_kind == "shm":
+                # One chunk spanning the whole trace; an empty trace
+                # still dispatches one empty descriptor per shard so
+                # chunk-boundary hooks advance exactly as the packet
+                # transport's empty-chunk dispatch does.
+                replays = self._iter_shm_chunks(
+                    trace, [(0, len(trace.packets))], start_index=0
                 )
-            outcomes = [self._executor.collect(k) for k in range(self.n_shards)]
+            else:
+                partition = self.router.partition(trace)
+                for k in range(self.n_shards):
+                    self._executor.dispatch(
+                        k, "replay_chunk", self._ship(partition.shards[k]), 0
+                    )
+                outcomes = [self._executor.collect(k) for k in range(self.n_shards)]
+                replays = iter([(trace, partition, outcomes)])
+            _, partition, outcomes = next(replays)
         merged = self._merge_outcomes(partition, outcomes)
         self._publish_chunk(merged, outcomes)
         return merged
@@ -522,16 +679,10 @@ class ClusterService:
         ):
             if registry.enabled:
                 registry.gauge("cluster.n_shards").set(float(self.n_shards))
-            for offset, chunk in enumerate(iter_chunks(trace, cfg.chunk_size)):
+            for chunk, partition, outcomes in self._iter_chunk_replays(
+                trace, cfg.chunk_size, report.n_chunks
+            ):
                 index = report.n_chunks  # == start_index + offset
-                partition = self.router.partition(chunk)
-                for k in range(self.n_shards):
-                    self._executor.dispatch(
-                        k, "replay_chunk", self._ship(partition.shards[k]), index
-                    )
-                outcomes = [
-                    self._executor.collect(k) for k in range(self.n_shards)
-                ]
                 merged = self._merge_outcomes(partition, outcomes)
                 self._publish_chunk(merged, outcomes)
 

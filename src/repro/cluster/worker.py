@@ -43,6 +43,7 @@ from repro.datasets.packet import FiveTuple, Packet
 from repro.datasets.trace import Trace
 from repro.faults.errors import TransientFaultError
 from repro.faults.retry import retry_with_backoff
+from repro.switch.batch import TraceColumns, replay_columns
 from repro.switch.controller import Controller
 from repro.switch.pipeline import PacketDecision, SwitchPipeline
 from repro.switch.runner import replay_trace
@@ -216,6 +217,52 @@ class ShardWorker:
             counter_deltas=deltas,
             gauges=self.pipeline.telemetry_gauges(),
             decisions=replay.decisions if self.keep_decisions else None,
+        )
+
+    def replay_chunk_columns(
+        self, cols: TraceColumns, chunk_index: int
+    ) -> ShardChunkOutcome:
+        """Serve a columnar slice of global chunk *chunk_index* — the
+        shared-memory transport's twin of :meth:`replay_chunk`.
+
+        In batch mode the slice goes straight through
+        :func:`~repro.switch.batch.replay_columns`, so no
+        :class:`Packet` objects exist on the hot path (only the rare
+        digest-emitting blue-path packets materialise lazily).  In
+        scalar mode the columns are rehydrated and replayed exactly as
+        a packet list would be — same verdicts, same counters, either
+        way.
+        """
+        before = self._counters()
+        decisions: Optional[List[PacketDecision]] = None
+        # The worker never publishes: the coordinator owns telemetry.
+        with use_registry(None):
+            if self.mode == "batch" and type(self.pipeline).process is (
+                SwitchPipeline.process
+            ):
+                outcome = replay_columns(cols, self.pipeline)
+                y_true, y_pred = outcome.y_true, outcome.y_pred
+            else:
+                replay = replay_trace(
+                    Trace(cols.to_packets()), self.pipeline, mode=self.mode
+                )
+                y_true, y_pred = replay.y_true, replay.y_pred
+                if self.keep_decisions:
+                    decisions = replay.decisions
+        after = self._counters()
+        deltas = {k: after[k] - before.get(k, 0) for k in after}
+        if self.faults is not None:
+            self.faults.on_chunk_end(self.pipeline, chunk_index)
+        self.chunks_processed += 1
+        self.packets_processed += len(cols)
+        return ShardChunkOutcome(
+            shard_id=self.shard_id,
+            n_packets=len(cols),
+            y_true=y_true,
+            y_pred=y_pred,
+            counter_deltas=deltas,
+            gauges=self.pipeline.telemetry_gauges(),
+            decisions=decisions,
         )
 
     def finish(self) -> Dict[str, int]:

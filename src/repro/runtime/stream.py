@@ -24,16 +24,28 @@ from repro.switch.pipeline import SwitchPipeline
 from repro.switch.runner import ReplayResult, replay_trace
 
 
+def chunk_ranges(n_packets: int, chunk_size: int) -> Iterator[tuple]:
+    """Consecutive ``(start, stop)`` row ranges of fixed-size chunks.
+
+    The index-space twin of :func:`iter_chunks`, used by the columnar
+    serve path where chunks are array slices rather than packet lists.
+    The last range holds the remainder; ``n_packets == 0`` yields
+    nothing.
+    """
+    if chunk_size < 1:
+        raise ValueError(f"chunk_size must be >= 1, got {chunk_size}")
+    for start in range(0, n_packets, chunk_size):
+        yield start, min(start + chunk_size, n_packets)
+
+
 def iter_chunks(trace: Trace, chunk_size: int) -> Iterator[Trace]:
     """Split a trace into consecutive fixed-size packet chunks.
 
     The last chunk holds the remainder; an empty trace yields nothing.
     """
-    if chunk_size < 1:
-        raise ValueError(f"chunk_size must be >= 1, got {chunk_size}")
     packets = trace.packets
-    for start in range(0, len(packets), chunk_size):
-        yield Trace(packets[start : start + chunk_size])
+    for start, stop in chunk_ranges(len(packets), chunk_size):
+        yield Trace(packets[start:stop])
 
 
 @dataclass(frozen=True)

@@ -81,6 +81,110 @@ _PACKET_FIELDS = operator.attrgetter(
     "malicious",
 )
 
+#: Full-fidelity extractor for :meth:`TraceColumns.from_packets` —
+#: every Packet field, so the columnar form round-trips losslessly.
+_COLUMN_FIELDS = operator.attrgetter(
+    "five_tuple.src_ip",
+    "five_tuple.dst_ip",
+    "five_tuple.src_port",
+    "five_tuple.dst_port",
+    "five_tuple.protocol",
+    "timestamp",
+    "size",
+    "ttl",
+    "tcp_flags",
+    "malicious",
+)
+
+
+@dataclass
+class TraceColumns:
+    """Lossless struct-of-arrays twin of a packet list.
+
+    This is the zero-copy wire format of the cluster's shared-memory
+    transport: six fixed-dtype columns that can live in one
+    ``multiprocessing.shared_memory`` segment and be sliced by
+    ``(offset, length)`` descriptors without touching a single
+    :class:`~repro.datasets.packet.Packet` object.  Tuples keep the
+    packet's *own* direction (canonicalisation happens downstream in
+    :meth:`TraceArrays.from_columns`, exactly as it does for packets).
+    """
+
+    tuples: np.ndarray  #: (n, 5) int64 — src_ip, dst_ip, src_port, dst_port, protocol
+    timestamps: np.ndarray  #: (n,) float64 arrival times
+    sizes: np.ndarray  #: (n,) int64 frame sizes
+    ttls: np.ndarray  #: (n,) int64
+    tcp_flags: np.ndarray  #: (n,) int64
+    malicious: np.ndarray  #: (n,) uint8 ground-truth bits
+
+    def __len__(self) -> int:
+        return int(self.timestamps.shape[0])
+
+    @classmethod
+    def from_packets(cls, packets) -> "TraceColumns":
+        """Columnise *packets* in one C-level extraction pass (every
+        field is exactly representable in float64)."""
+        n = len(packets)
+        flat = np.fromiter(
+            chain.from_iterable(map(_COLUMN_FIELDS, packets)),
+            dtype=np.float64,
+            count=10 * n,
+        ).reshape(n, 10)
+        return cls(
+            tuples=flat[:, :5].astype(np.int64),
+            timestamps=flat[:, 5].copy(),
+            sizes=flat[:, 6].astype(np.int64),
+            ttls=flat[:, 7].astype(np.int64),
+            tcp_flags=flat[:, 8].astype(np.int64),
+            malicious=flat[:, 9].astype(np.uint8),
+        )
+
+    @classmethod
+    def from_trace(cls, trace: Trace) -> "TraceColumns":
+        return cls.from_packets(trace.packets)
+
+    def slice(self, start: int, stop: int) -> "TraceColumns":
+        """Zero-copy view of rows ``[start, stop)``."""
+        return TraceColumns(
+            tuples=self.tuples[start:stop],
+            timestamps=self.timestamps[start:stop],
+            sizes=self.sizes[start:stop],
+            ttls=self.ttls[start:stop],
+            tcp_flags=self.tcp_flags[start:stop],
+            malicious=self.malicious[start:stop],
+        )
+
+    def take(self, idx: np.ndarray) -> "TraceColumns":
+        """Row-gathered copy (used to group each chunk's rows by shard)."""
+        return TraceColumns(
+            tuples=self.tuples[idx],
+            timestamps=self.timestamps[idx],
+            sizes=self.sizes[idx],
+            ttls=self.ttls[idx],
+            tcp_flags=self.tcp_flags[idx],
+            malicious=self.malicious[idx],
+        )
+
+    def packet_at(self, i: int):
+        """Materialise row *i* as a :class:`Packet` (lazy — only the rare
+        digest-emitting packets of a columns replay ever need one)."""
+        from repro.datasets.packet import Packet
+
+        t = self.tuples[i]
+        return Packet(
+            five_tuple=FiveTuple(int(t[0]), int(t[1]), int(t[2]), int(t[3]), int(t[4])),
+            timestamp=float(self.timestamps[i]),
+            size=int(self.sizes[i]),
+            ttl=int(self.ttls[i]),
+            tcp_flags=int(self.tcp_flags[i]),
+            malicious=bool(self.malicious[i]),
+        )
+
+    def to_packets(self) -> list:
+        """Rebuild the full packet list (packets compare equal to the
+        originals — the columnar form is lossless)."""
+        return [self.packet_at(i) for i in range(len(self))]
+
 
 def bi_hash_batch(fields: np.ndarray, salt: int = 0) -> np.ndarray:
     """Vectorised :func:`repro.switch.hashing.bi_hash` over many flows.
@@ -205,14 +309,59 @@ class TraceArrays:
             dtype=np.float64,
             count=9 * n,
         ).reshape(n, 9)
-        src_ip = flat[:, 0].astype(np.int64)
-        dst_ip = flat[:, 1].astype(np.int64)
-        src_port = flat[:, 2].astype(np.int64)
-        dst_port = flat[:, 3].astype(np.int64)
-        proto = flat[:, 4].astype(np.int64)
-        timestamps = flat[:, 5].copy()
-        sizes = flat[:, 6].astype(np.int64)
-        malicious = flat[:, 8].astype(np.int64)
+        # PL features use the packet's own direction (packet_feature_vector):
+        # dst_port, protocol, length, ttl — already float64 columns of flat.
+        pl_matrix = np.ascontiguousarray(flat[:, [3, 4, 6, 7]])
+        return cls._from_fields(
+            src_ip=flat[:, 0].astype(np.int64),
+            dst_ip=flat[:, 1].astype(np.int64),
+            src_port=flat[:, 2].astype(np.int64),
+            dst_port=flat[:, 3].astype(np.int64),
+            proto=flat[:, 4].astype(np.int64),
+            timestamps=flat[:, 5].copy(),
+            sizes=flat[:, 6].astype(np.int64),
+            malicious=flat[:, 8].astype(np.int64),
+            pl_matrix=pl_matrix,
+        )
+
+    @classmethod
+    def from_columns(cls, cols: "TraceColumns") -> "TraceArrays":
+        """Build the replay view straight from columnar packet data —
+        no :class:`Packet` objects anywhere on the path.  Produces
+        bit-identical arrays to :meth:`from_trace` of the equivalent
+        packet list (same float64 feature matrix, same flow grouping)."""
+        n = len(cols)
+        pl_matrix = np.empty((n, 4), dtype=np.float64)
+        pl_matrix[:, 0] = cols.tuples[:, 3]  # dst_port
+        pl_matrix[:, 1] = cols.tuples[:, 4]  # protocol
+        pl_matrix[:, 2] = cols.sizes  # length
+        pl_matrix[:, 3] = cols.ttls  # ttl
+        return cls._from_fields(
+            src_ip=np.ascontiguousarray(cols.tuples[:, 0]),
+            dst_ip=np.ascontiguousarray(cols.tuples[:, 1]),
+            src_port=np.ascontiguousarray(cols.tuples[:, 2]),
+            dst_port=np.ascontiguousarray(cols.tuples[:, 3]),
+            proto=np.ascontiguousarray(cols.tuples[:, 4]),
+            timestamps=cols.timestamps.astype(np.float64, copy=False),
+            sizes=cols.sizes.astype(np.int64, copy=False),
+            malicious=cols.malicious.astype(np.int64),
+            pl_matrix=pl_matrix,
+        )
+
+    @classmethod
+    def _from_fields(
+        cls,
+        src_ip: np.ndarray,
+        dst_ip: np.ndarray,
+        src_port: np.ndarray,
+        dst_port: np.ndarray,
+        proto: np.ndarray,
+        timestamps: np.ndarray,
+        sizes: np.ndarray,
+        malicious: np.ndarray,
+        pl_matrix: np.ndarray,
+    ) -> "TraceArrays":
+        n = int(timestamps.shape[0])
         # FiveTuple.canonical(): keep the direction whose (src_ip, src_port)
         # is lexicographically smaller.
         swap = (src_ip > dst_ip) | ((src_ip == dst_ip) & (src_port > dst_port))
@@ -257,9 +406,6 @@ class TraceArrays:
             FiveTuple(int(r[0]), int(r[1]), int(r[2]), int(r[3]), int(r[4]))
             for r in flow_fields
         ]
-        # PL features use the packet's own direction (packet_feature_vector):
-        # dst_port, protocol, length, ttl — already float64 columns of flat.
-        pl_matrix = np.ascontiguousarray(flat[:, [3, 4, 6, 7]])
         return cls(
             timestamps=timestamps,
             sizes=sizes,
@@ -308,23 +454,52 @@ def replay_arrays(trace: Trace, pipeline: SwitchPipeline) -> BatchReplayOutcome:
     Mutates the pipeline's tables, storage, counters, and attached
     controller exactly as the scalar walk would.
     """
+    _check_batchable(pipeline)
+    if not trace.packets:
+        return _empty_outcome()
+    return _replay_sequential(
+        TraceArrays.from_trace(trace), pipeline, trace.packets.__getitem__
+    )
+
+
+def replay_columns(cols: TraceColumns, pipeline: SwitchPipeline) -> BatchReplayOutcome:
+    """Batch-replay columnar packet data — the cluster's shared-memory
+    serve path.  Identical pipeline mutations and outcome to
+    :func:`replay_arrays` over the equivalent packet list, but no
+    :class:`Packet` objects are built except for the rare blue-path
+    packets that emit a digest.
+    """
+    _check_batchable(pipeline)
+    if not len(cols):
+        return _empty_outcome()
+    return _replay_sequential(TraceArrays.from_columns(cols), pipeline, cols.packet_at)
+
+
+def _check_batchable(pipeline: SwitchPipeline) -> None:
     if type(pipeline).process is not SwitchPipeline.process:
         raise TypeError(
             "batch replay reproduces SwitchPipeline.process exactly; "
             f"{type(pipeline).__name__} overrides the packet walk — replay it "
             "with the scalar engine"
         )
-    pkts = trace.packets
-    n = len(pkts)
-    if n == 0:
-        return BatchReplayOutcome(
-            path_codes=np.empty(0, dtype=np.int8),
-            y_true=np.empty(0, dtype=int),
-            y_pred=np.empty(0, dtype=int),
-            digests={},
-        )
 
-    arrays = TraceArrays.from_trace(trace)
+
+def _empty_outcome() -> BatchReplayOutcome:
+    return BatchReplayOutcome(
+        path_codes=np.empty(0, dtype=np.int8),
+        y_true=np.empty(0, dtype=int),
+        y_pred=np.empty(0, dtype=int),
+        digests={},
+    )
+
+
+def _replay_sequential(
+    arrays: TraceArrays, pipeline: SwitchPipeline, packet_at
+) -> BatchReplayOutcome:
+    """The sequential state loop shared by the packet-list and columnar
+    entry points; *packet_at* materialises packet *i* on demand (only
+    digest-emitting packets ever call it on the columnar path)."""
+    n = int(arrays.timestamps.shape[0])
     table = pipeline.store.table
     salt_a, salt_b = table.salts
     size = np.uint64(table.size)
@@ -448,7 +623,7 @@ def replay_arrays(trace: Trace, pipeline: SwitchPipeline) -> BatchReplayOutcome:
             path_counts[PATH_BLUE] += 1
             fl_label = match_fl(state)
             state.label = fl_label
-            digest = emit_digest(pkts[i], fl_label)
+            digest = emit_digest(packet_at(i), fl_label)
             mirror()
             if pl_labels is None:
                 label = LABEL_BENIGN
@@ -469,7 +644,7 @@ def replay_arrays(trace: Trace, pipeline: SwitchPipeline) -> BatchReplayOutcome:
             path_counts[PATH_BLUE] += 1
             fl_label = match_fl(state)
             state.label = fl_label
-            digest = emit_digest(pkts[i], fl_label)
+            digest = emit_digest(packet_at(i), fl_label)
             mirror()
             digests[i] = digest
             path_codes[i] = CODE_BLUE

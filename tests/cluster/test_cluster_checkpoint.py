@@ -11,6 +11,10 @@ rebuilds without reading any other shard's state.
 
 import copy
 import json
+import signal
+import subprocess
+import sys
+from pathlib import Path
 
 import numpy as np
 import pytest
@@ -19,6 +23,7 @@ from repro.cluster import (
     CLUSTER_SCHEMA,
     ClusterCheckpointManager,
     ClusterService,
+    ShmArena,
     cluster_report_from_dict,
     cluster_report_to_dict,
     cluster_to_dict,
@@ -42,6 +47,8 @@ from tests.runtime.common import light_model_factory
 N_CHUNKS = 6
 N_SHARDS = 2
 
+REPO_ROOT = Path(__file__).resolve().parents[2]
+
 
 @pytest.fixture(scope="module")
 def split():
@@ -53,7 +60,7 @@ def artifacts(split):
     return compile_artifacts(split.train_flows)
 
 
-def make_cluster(split, artifacts, shard_faults=None):
+def make_cluster(split, artifacts, shard_faults=None, executor="inprocess"):
     n_packets = len(split.stream_trace.packets)
     config = RuntimeConfig(
         chunk_size=-(-n_packets // N_CHUNKS),
@@ -74,6 +81,7 @@ def make_cluster(split, artifacts, shard_faults=None):
         retrainer=retrainer,
         config=config,
         shard_faults=shard_faults,
+        executor=executor,
     )
 
 
@@ -224,6 +232,134 @@ class TestKillAndResume:
         with restored, use_registry(MetricRegistry()):
             again = restored.serve(split.stream_trace, resume_report=report)
         assert cluster_report_to_dict(again) == before
+
+
+#: A real, whole-process SIGKILL of a *shm-transport* coordinator —
+#: no Python cleanup runs, so this is the one exit path on which the
+#: shared segment is *supposed* to survive (the checkpoint names it and
+#: resume re-maps it).  The workload mirrors ``make_cluster`` exactly so
+#: the resumed run can be compared bit-for-bit against the module
+#: baseline.
+SIGKILL_COORDINATOR = """
+import os, signal, sys
+sys.path.insert(0, "src")
+sys.path.insert(0, ".")
+from repro.cluster import ClusterCheckpointManager, ClusterService
+from repro.runtime import Retrainer, RuntimeConfig
+from repro.telemetry import MetricRegistry, use_registry
+from tests.faults.common import (
+    PKT_COUNT_THRESHOLD, TIMEOUT, compile_artifacts, fresh_pipeline, make_split,
+)
+from tests.runtime.common import light_model_factory
+
+directory = sys.argv[1]
+split = make_split(seed=29, n_benign_flows=50)
+artifacts = compile_artifacts(split.train_flows)
+n_packets = len(split.stream_trace.packets)
+
+
+class KillAfterTwoChunks(ClusterCheckpointManager):
+    def maybe_save(self, service, report):
+        super().maybe_save(service, report)
+        if report.n_chunks >= 2:
+            os.kill(os.getpid(), signal.SIGKILL)
+
+
+cluster = ClusterService(
+    fresh_pipeline(artifacts),
+    n_shards=2,
+    retrainer=Retrainer(
+        pkt_count_threshold=PKT_COUNT_THRESHOLD,
+        timeout=TIMEOUT,
+        model_factory=light_model_factory,
+        seed=17,
+    ),
+    config=RuntimeConfig(
+        chunk_size=-(-n_packets // 6),
+        drift_threshold=0.0,
+        cadence=3,
+        min_retrain_flows=8,
+        stage_backoff_s=0.0,
+    ),
+    executor="shm",
+)
+with use_registry(MetricRegistry()):
+    cluster.serve(split.stream_trace, checkpoint=KillAfterTwoChunks(directory))
+raise SystemExit("unreachable: the kill above must have fired")
+"""
+
+
+@pytest.mark.skipif(not Path("/dev/shm").exists(), reason="no /dev/shm to audit")
+class TestShmSigkillAndResume:
+    @pytest.fixture(scope="class")
+    def killed(self, tmp_path_factory):
+        directory = tmp_path_factory.mktemp("shm-ckpt")
+        proc = subprocess.run(
+            [sys.executable, "-c", SIGKILL_COORDINATOR, str(directory)],
+            cwd=REPO_ROOT,
+            capture_output=True,
+            text=True,
+            timeout=560,
+        )
+        assert proc.returncode == -signal.SIGKILL, proc.stderr
+        return directory
+
+    def test_segment_survives_resume_remaps_and_finishes(
+        self, killed, split, baseline
+    ):
+        doc = ClusterCheckpointManager.load(killed)
+        assert doc["status"] == "in_progress"
+        assert doc["executor"] == "shm"
+        assert doc["report"]["n_chunks"] < N_CHUNKS
+        name = doc["shm_name"]
+        assert name and Path("/dev/shm", name).exists()  # survived SIGKILL
+
+        service, report = restore_cluster(doc, model_factory=light_model_factory)
+        assert service.executor_kind == "shm"
+        try:
+            with use_registry(MetricRegistry()):
+                final = service.serve(
+                    split.stream_trace,
+                    checkpoint=ClusterCheckpointManager(killed),
+                    resume_report=report,
+                )
+            executor = service._executor
+            assert executor.segment_name == name
+            assert executor.remapped  # re-mapped the orphan, no re-allocation
+        finally:
+            service.close()
+        assert not Path("/dev/shm", name).exists()  # reaped at shutdown
+
+        assert final.n_chunks == N_CHUNKS
+        assert final.n_packets == baseline.n_packets
+        np.testing.assert_array_equal(final.y_pred, baseline.y_pred)
+        np.testing.assert_array_equal(final.y_true, baseline.y_true)
+        assert final.shard_packets == baseline.shard_packets
+        assert final.retrains == baseline.retrains
+        assert [e.chunk_index for e in final.swap_events] == [
+            e.chunk_index for e in baseline.swap_events
+        ]
+        assert ClusterCheckpointManager.load(killed)["status"] == "complete"
+
+    def test_resume_onto_other_transport_reaps_orphan(self, split, artifacts):
+        """A checkpointed shm run resumed on a different executor must
+        not leak the named segment: restore reaps it immediately."""
+        with make_cluster(split, artifacts, executor="shm") as cluster:
+            with use_registry(MetricRegistry()):
+                report = cluster.serve(split.stream_trace)
+            doc = json.loads(canon(cluster_to_dict(cluster, report)))
+        name = doc["shm_name"]
+        assert name  # recorded while the segment was live
+        # The segment died with close(); plant an orphan under its name
+        # (exactly what a SIGKILLed coordinator leaves behind).
+        ShmArena.create(name, [("x", np.dtype(np.int64), (8,))]).close()
+        assert Path("/dev/shm", name).exists()
+
+        service, _report = restore_cluster(
+            doc, model_factory=light_model_factory, executor="inprocess"
+        )
+        assert service.shm_name is None
+        assert not Path("/dev/shm", name).exists()  # orphan reaped
 
 
 class TestShardAutonomy:

@@ -1,0 +1,306 @@
+"""Transport-level property tests for the shared-memory ring protocol.
+
+No pipelines, no packets — these lock the pure invariants of
+:mod:`repro.cluster.shm` that the executor differential suite then
+builds on: SPSC rings deliver exactly the pushed records in FIFO order
+under any produce/consume interleaving, wrap-around is seamless, a full
+ring back-pressures instead of overwriting, torn reads are detected via
+the per-slot sequence stamps rather than returning garbage, and the
+arena's named views never alias each other.
+"""
+
+import multiprocessing as mp
+import random
+
+import numpy as np
+import pytest
+
+from repro.cluster.shm import (
+    ERROR_BYTES,
+    RING_CAPACITY,
+    SHM_PREFIX,
+    ClusterShm,
+    ShmArena,
+    SpscRing,
+    TornReadError,
+    make_segment_name,
+    unlink_segment,
+)
+
+
+def ring_of(capacity, record_words=3):
+    words = np.zeros(SpscRing.words_needed(capacity, record_words), dtype=np.int64)
+    return SpscRing.create(words, capacity, record_words), words
+
+
+class TestSpscRingModel:
+    """The ring against a shadow FIFO under randomized interleavings."""
+
+    @pytest.mark.parametrize("capacity", [1, 2, 3, 8, 64])
+    @pytest.mark.parametrize("seed", [0, 1, 2])
+    def test_random_interleavings_match_fifo_model(self, capacity, seed):
+        rng = random.Random(seed * 1000 + capacity)
+        ring, _ = ring_of(capacity)
+        model = []
+        pushed = 0
+        for _ in range(2000):
+            if rng.random() < 0.5:
+                record = (pushed, rng.randrange(1 << 40), -pushed)
+                ok = ring.try_push(record)
+                assert ok == (len(model) < capacity), "backpressure exactly at capacity"
+                if ok:
+                    model.append(record)
+                    pushed += 1
+            else:
+                got = ring.try_pop()
+                expect = model.pop(0) if model else None
+                assert got == expect
+            assert len(ring) == len(model)
+        # Drain: everything pushed comes back, in order, then empty.
+        while model:
+            assert ring.try_pop() == model.pop(0)
+        assert ring.try_pop() is None
+
+    def test_wrap_around_many_generations(self):
+        """Head/tail are monotone counters; slot reuse across thousands
+        of wraps must never confuse old and new records."""
+        ring, _ = ring_of(4)
+        for i in range(10_000):
+            assert ring.try_push((i, i ^ 0xABC, i * 3))
+            assert ring.try_pop() == (i, i ^ 0xABC, i * 3)
+        assert ring.head == ring.tail == 10_000
+
+    def test_full_ring_backpressure_then_recovers(self):
+        ring, _ = ring_of(3)
+        for i in range(3):
+            assert ring.try_push((i, 0, 0))
+        for _ in range(5):
+            assert not ring.try_push((99, 0, 0))  # refused, repeatedly
+        assert ring.try_pop() == (0, 0, 0)
+        assert ring.try_push((3, 0, 0))  # exactly one slot freed
+        assert not ring.try_push((4, 0, 0))
+        assert [ring.try_pop() for _ in range(3)] == [(1, 0, 0), (2, 0, 0), (3, 0, 0)]
+
+    def test_record_width_is_enforced(self):
+        ring, _ = ring_of(2)
+        with pytest.raises(ValueError, match="record"):
+            ring.try_push((1, 2))
+        with pytest.raises(ValueError, match="record"):
+            ring.try_push((1, 2, 3, 4))
+
+    def test_attach_sees_producer_state(self):
+        ring, words = ring_of(8)
+        ring.try_push((5, 6, 7))
+        consumer = SpscRing.attach(words)  # a second view of the same words
+        assert consumer.try_pop() == (5, 6, 7)
+        assert ring.try_pop() is None  # tail advance is shared state
+
+    def test_attach_rejects_uninitialised_storage(self):
+        with pytest.raises(ValueError, match="initialised"):
+            SpscRing.attach(np.zeros(64, dtype=np.int64))
+
+
+class TestTornReadDetection:
+    def test_corrupted_stamp_raises_instead_of_returning_garbage(self):
+        ring, words = ring_of(4)
+        ring.try_push((1, 2, 3))
+        slot = 4 + (ring.tail % 4) * 4  # header is 4 words, slot stride 1+3
+        words[slot] = 999  # stamp no longer matches tail+1
+        with pytest.raises(TornReadError):
+            ring.try_pop()
+
+    def test_stale_stamp_from_previous_generation_is_torn(self):
+        """A producer crash after writing the payload but before the
+        stamp leaves the old generation's stamp — must read as torn,
+        not as the old record."""
+        ring, words = ring_of(2)
+        for i in range(2):  # fill and drain once: slots hold stamps 1, 2
+            ring.try_push((i, i, i))
+            ring.try_pop()
+        ring.try_push((7, 7, 7))
+        slot = 4 + (ring.tail % 2) * 4
+        words[slot] -= 2  # regress the stamp one full generation
+        with pytest.raises(TornReadError):
+            ring.try_pop()
+
+    def test_mid_read_overwrite_is_detected(self):
+        """The consumer re-checks the stamp *after* copying the record;
+        corrupt the slot between the two checks to prove the re-check
+        fires (single-threaded stand-in for a racing producer)."""
+        ring, words = ring_of(4)
+        ring.try_push((1, 2, 3))
+        slot = 4 + (ring.tail % 4) * 4
+
+        # Intercept the record copy: SpscRing.try_pop slices
+        # words[slot+1 : slot+4]; corrupt the stamp at that moment.
+        class TrappedWords:
+            def __init__(self, w):
+                self._w = w
+
+            def __getitem__(self, key):
+                if isinstance(key, slice) and key.start == slot + 1:
+                    self._w[slot] = 999  # producer "overwrites" mid-copy
+                return self._w[key]
+
+            def __setitem__(self, key, value):
+                self._w[key] = value
+
+        ring._w = TrappedWords(words)
+        with pytest.raises(TornReadError, match="overwritten|stamp"):
+            ring.try_pop()
+
+
+class TestCrossProcessSpsc:
+    def test_forked_producer_consumer_preserve_order(self):
+        """True SPSC concurrency: a forked producer pushes 5000 records
+        with backpressure retries while this process consumes — every
+        record arrives exactly once, in order."""
+        name = make_segment_name("ringspsc")
+        n_words = SpscRing.words_needed(RING_CAPACITY, 3)
+        arena = ShmArena.create(name, [("ring", np.dtype(np.int64), (n_words,))])
+        try:
+            SpscRing.create(arena.array("ring"), RING_CAPACITY, 3)
+            total = 5000
+
+            def produce():
+                prod_arena = ShmArena.attach(
+                    name, [("ring", np.dtype(np.int64), (n_words,))]
+                )
+                ring = SpscRing.attach(prod_arena.array("ring"))
+                for i in range(total):
+                    while not ring.try_push((i, i * 2, i * 3)):
+                        pass
+                prod_arena.close()
+
+            proc = mp.get_context("fork").Process(target=produce)
+            proc.start()
+            ring = SpscRing.attach(arena.array("ring"))
+            got = []
+            while len(got) < total:
+                rec = ring.try_pop()
+                if rec is not None:
+                    got.append(rec)
+            proc.join(timeout=10)
+            assert proc.exitcode == 0
+            assert got == [(i, i * 2, i * 3) for i in range(total)]
+            assert ring.try_pop() is None
+        finally:
+            arena.unlink()
+
+
+class TestArenaLayout:
+    SPEC = [
+        ("a", np.dtype(np.int64), (7,)),
+        ("b", np.dtype(np.float64), (3, 5)),
+        ("c", np.dtype(np.uint8), (100,)),
+    ]
+
+    def test_views_are_disjoint_and_typed(self):
+        arena = ShmArena.create(make_segment_name("layout"), self.SPEC)
+        try:
+            arena.array("a")[:] = np.arange(7)
+            arena.array("b")[:] = np.arange(15).reshape(3, 5) * 0.5
+            arena.array("c")[:] = np.arange(100) % 251
+            # Writes to any view must not bleed into the others.
+            np.testing.assert_array_equal(arena.array("a"), np.arange(7))
+            np.testing.assert_array_equal(
+                arena.array("b"), np.arange(15).reshape(3, 5) * 0.5
+            )
+            np.testing.assert_array_equal(arena.array("c"), np.arange(100) % 251)
+            for spec_name, dtype, shape in self.SPEC:
+                view = arena.array(spec_name)
+                assert view.dtype == dtype and view.shape == shape
+        finally:
+            arena.unlink()
+
+    def test_attach_requires_sufficient_segment(self):
+        arena = ShmArena.create(make_segment_name("small"), self.SPEC)
+        try:
+            too_big = self.SPEC + [("d", np.dtype(np.int64), (10_000,))]
+            with pytest.raises(ValueError, match="bytes"):
+                ShmArena.attach(arena.name, too_big)
+        finally:
+            arena.unlink()
+
+    def test_unlink_is_idempotent_and_unlink_segment_reports(self):
+        name = make_segment_name("once")
+        arena = ShmArena.create(name, self.SPEC)
+        arena.unlink()
+        arena.unlink()  # second unlink is a no-op, not an error
+        assert unlink_segment(name) is False  # already gone
+
+
+class TestClusterShmBlocks:
+    NAMES = ["c.one", "c.two", "c.three"]
+    GAUGES = ["g.x", "g.y"]
+
+    @pytest.fixture()
+    def shm(self):
+        inst, remapped = ClusterShm.adopt(
+            make_segment_name("blocks"), 64, 2, self.NAMES, self.GAUGES
+        )
+        assert not remapped
+        yield inst
+        inst.unlink()
+
+    def test_counter_blocks_round_trip_and_spill_unknown_names(self, shm):
+        spill = shm.write_counter_deltas(1, {"c.two": 9, "c.one": -1})
+        assert spill == {}
+        assert shm.read_counter_deltas(1) == {"c.one": -1, "c.two": 9, "c.three": 0}
+        # Names a hot-swapped generation grew past the pre-fork layout
+        # are returned as spill (for the pipe ack), not written, and the
+        # known names still land in the block.
+        spill = shm.write_counter_deltas(0, {"c.one": 4, "c.unknown": 7})
+        assert spill == {"c.unknown": 7}
+        assert shm.read_counter_deltas(0) == {"c.one": 4, "c.two": 0, "c.three": 0}
+
+    def test_gauge_blocks_are_exact_floats(self, shm):
+        shm.write_gauges(0, {"g.x": 0.1, "g.y": 3.0})
+        assert shm.read_gauges(0) == {"g.x": 0.1, "g.y": 3.0}
+
+    def test_error_block_truncates_utf8_safely(self, shm):
+        original = "boom \N{BUG}" * 1000
+        shm.write_error(0, original)
+        message = shm.read_error(0)
+        assert message.startswith("boom")
+        # At most ERROR_BYTES - 8 raw bytes are stored; a codepoint cut
+        # at the boundary decodes as U+FFFD rather than raising.
+        assert len(message) < len(original)
+        assert original.startswith(message[: len("boom ") * 100].rstrip("�"))
+        # Per-shard blocks are independent.
+        assert shm.read_error(1) == ""
+
+    def test_verdict_rows_are_shard_disjoint(self, shm):
+        shm.write_verdicts(0, np.ones(10, dtype=np.uint8))
+        shm.write_verdicts(30, np.full(5, 1, dtype=np.uint8))
+        assert shm.read_verdicts(0, 10).tolist() == [1] * 10
+        assert shm.read_verdicts(10, 20).tolist() == [0] * 20
+        assert shm.read_verdicts(30, 5).tolist() == [1] * 5
+
+    def test_out_of_capacity_slices_are_rejected(self, shm):
+        with pytest.raises(ValueError, match="capacity"):
+            shm.columns(60, 5)
+
+    def test_adopt_remaps_existing_segment(self, shm):
+        shm.arena.array("tuples")[0] = np.arange(5)
+        again, remapped = ClusterShm.adopt(
+            shm.arena.name, 64, 2, self.NAMES, self.GAUGES
+        )
+        assert remapped  # attached, not re-allocated …
+        np.testing.assert_array_equal(
+            again.arena.array("tuples")[0], np.arange(5)
+        )  # … so the data survived
+        again.close()
+
+    def test_adopt_replaces_undersized_segment(self, shm):
+        bigger, remapped = ClusterShm.adopt(
+            shm.arena.name, 4096, 2, self.NAMES, self.GAUGES
+        )
+        assert not remapped  # too small to adopt: replaced
+        assert bigger.capacity == 4096
+        bigger.unlink()
+
+
+def test_segment_names_carry_the_audit_prefix():
+    assert make_segment_name().startswith(SHM_PREFIX)
+    assert make_segment_name("x") == SHM_PREFIX + "x"

@@ -1,0 +1,176 @@
+"""Leak and teardown regression: shared segments must never outlive us.
+
+The shm transport manages raw POSIX shared memory by hand (it opts out
+of ``resource_tracker`` reaping on purpose, so segments can survive a
+SIGKILLed coordinator for resume).  The price of that opt-out is that
+*every other* exit path must clean up exactly, with nobody watching:
+
+* repeated spawn → replay → shutdown cycles leave zero ``/dev/shm``
+  residue and leak no worker processes;
+* a full run in a fresh interpreter emits **no** resource-tracker
+  noise on stderr — no "leaked shared_memory" warnings at exit, no
+  ``KeyError`` tracebacks from unbalanced register/unregister pairs
+  (the historical failure mode of tracking attachments);
+* a SIGKILLed *worker* surfaces as :class:`ShardError` / a broken pipe
+  at the coordinator, and the coordinator's ``close()`` still unlinks
+  the segment — a crashed shard must not leave an orphan behind.
+"""
+
+import os
+import signal
+import subprocess
+import sys
+from pathlib import Path
+
+import pytest
+
+from repro.cluster import ClusterService, ShardError, SHM_PREFIX
+from repro.runtime import RuntimeConfig
+from tests.faults.common import compile_artifacts, fresh_pipeline, make_split
+
+REPO_ROOT = Path(__file__).resolve().parents[2]
+
+pytestmark = pytest.mark.skipif(
+    not Path("/dev/shm").exists(), reason="no /dev/shm to audit"
+)
+
+
+def shm_residue():
+    """Names of live repro segments — the audit this suite is about."""
+    return {
+        entry.name
+        for entry in Path("/dev/shm").iterdir()
+        if entry.name.startswith(SHM_PREFIX)
+    }
+
+
+@pytest.fixture(scope="module")
+def split():
+    return make_split(seed=11, n_benign_flows=20)
+
+
+@pytest.fixture(scope="module")
+def artifacts(split):
+    return compile_artifacts(split.train_flows)
+
+
+def shm_cluster(artifacts, n_shards=2):
+    return ClusterService(
+        fresh_pipeline(artifacts, n_slots=1024),
+        n_shards=n_shards,
+        config=RuntimeConfig(drift_threshold=0.0),
+        executor="shm",
+    )
+
+
+class TestShutdownHygiene:
+    def test_spawn_replay_shutdown_loop_leaves_nothing(
+        self, split, artifacts, capfd
+    ):
+        """Three full lifecycles: segment names rotate, residue stays
+        zero after every single shutdown, and the tracker stays silent."""
+        before = shm_residue()
+        seen_segments = set()
+        for _ in range(3):
+            with shm_cluster(artifacts) as cluster:
+                merged = cluster.replay(split.stream_trace)
+                assert sum(merged.shard_sizes) == len(split.stream_trace)
+                name = cluster.shm_segment_name
+                assert name in shm_residue()  # live while serving …
+                seen_segments.add(name)
+            assert shm_residue() == before  # … gone at shutdown
+        assert len(seen_segments) == 3  # fresh segment per lifecycle
+        err = capfd.readouterr().err
+        assert "resource_tracker" not in err
+        assert "KeyError" not in err
+
+    def test_double_close_is_idempotent(self, split, artifacts):
+        before = shm_residue()
+        cluster = shm_cluster(artifacts)
+        cluster.replay(split.stream_trace)
+        cluster.close()
+        cluster.close()  # second close must not raise or re-create
+        assert shm_residue() == before
+
+    def test_fresh_interpreter_run_is_tracker_silent(self):
+        """An end-to-end run in its own interpreter: the resource
+        tracker's exit-time sweep (where leak warnings and unbalanced
+        unregister KeyErrors surface) must print nothing at all."""
+        script = (
+            "import sys\n"
+            "sys.path.insert(0, 'src')\n"
+            "sys.path.insert(0, '.')\n"
+            "from tests.faults.common import compile_artifacts, fresh_pipeline, make_split\n"
+            "from repro.cluster import ClusterService\n"
+            "from repro.runtime import RuntimeConfig\n"
+            "split = make_split(seed=11, n_benign_flows=12)\n"
+            "artifacts = compile_artifacts(split.train_flows)\n"
+            "for _ in range(2):\n"
+            "    with ClusterService(fresh_pipeline(artifacts, n_slots=512),\n"
+            "                        n_shards=2,\n"
+            "                        config=RuntimeConfig(drift_threshold=0.0),\n"
+            "                        executor='shm') as cluster:\n"
+            "        merged = cluster.replay(split.stream_trace)\n"
+            "        assert sum(merged.shard_sizes) == len(split.stream_trace)\n"
+            "print('CLEAN-EXIT')\n"
+        )
+        proc = subprocess.run(
+            [sys.executable, "-c", script],
+            cwd=REPO_ROOT,
+            capture_output=True,
+            text=True,
+            timeout=300,
+        )
+        assert proc.returncode == 0, proc.stderr
+        assert "CLEAN-EXIT" in proc.stdout
+        assert "resource_tracker" not in proc.stderr, proc.stderr
+        assert "leaked shared_memory" not in proc.stderr, proc.stderr
+        assert "KeyError" not in proc.stderr, proc.stderr
+
+
+class TestWorkerCrashReap:
+    def test_sigkilled_worker_surfaces_and_segment_is_reaped(
+        self, split, artifacts
+    ):
+        """SIGKILL one shard process mid-fleet: the next replay fails
+        loudly (ShardError or broken pipe, depending on where the death
+        is noticed) instead of hanging, and ``close()`` still unlinks
+        the segment even though the fleet is degraded."""
+        before = shm_residue()
+        cluster = shm_cluster(artifacts)
+        try:
+            cluster.replay(split.stream_trace)  # fleet + arena are live
+            name = cluster.shm_segment_name
+            assert name in shm_residue()
+
+            victim = cluster._executor._procs[1]
+            os.kill(victim.pid, signal.SIGKILL)
+            victim.join(timeout=10)
+            assert victim.exitcode == -signal.SIGKILL
+
+            with pytest.raises((ShardError, OSError)):
+                cluster.replay(split.stream_trace)
+        finally:
+            cluster.close()
+        assert shm_residue() == before  # crashed shard left no orphan
+
+    def test_collect_after_worker_death_raises_shard_error(
+        self, split, artifacts
+    ):
+        """A verb in flight when the worker dies must come back as
+        ShardError — never a hang, never a bare EOFError.  (Whether the
+        worker managed to answer the verb before the signal landed only
+        changes the message, not the exception type.)"""
+        before = shm_residue()
+        cluster = shm_cluster(artifacts)
+        try:
+            cluster.replay(split.stream_trace)
+            ex = cluster._executor
+            ex.dispatch(0, "no_such_verb")  # in flight …
+            os.kill(ex._procs[0].pid, signal.SIGKILL)  # … and the worker dies
+            ex._procs[0].join(timeout=10)
+            with pytest.raises(ShardError):
+                ex.collect(0)
+        finally:
+            cluster.close()
+        assert shm_residue() == before
