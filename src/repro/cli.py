@@ -13,7 +13,8 @@ Subcommands cover the adoption path end to end:
   whitelist hot-swaps (:mod:`repro.runtime`).  ``--faults SPEC``
   injects a deterministic fault schedule (:mod:`repro.faults`);
   ``--checkpoint DIR`` journals crash-safe snapshots at chunk
-  boundaries.
+  boundaries; ``--ops-port N`` attaches the live HTTP operations
+  endpoint (:mod:`repro.ops`) for the duration of the run.
 * ``resume``  — continue a killed ``serve --checkpoint`` run from its
   last snapshot; the completed run prints verdict totals identical to
   the uninterrupted one.  Idempotent on an already-complete checkpoint.
@@ -21,7 +22,9 @@ Subcommands cover the adoption path end to end:
   model; ``--bundle DIR`` also persists the model as a reloadable
   :mod:`repro.io` bundle.
 * ``attacks`` — list the 15 attack workload names.
-* ``report``  — pretty-print a saved ``telemetry.json`` run report.
+* ``report``  — pretty-print a saved ``telemetry.json`` run report, or
+  ``--watch URL`` to render the live ``/metrics`` document of a serving
+  run's ops endpoint on an interval.
 
 ``deploy --model`` and ``serve --model`` accept either a model name
 (``iguard``/``iforest``, trained on the spot) or the path of a bundle
@@ -35,6 +38,7 @@ executes under a fresh metric registry and writes a structured report
 from __future__ import annotations
 
 import argparse
+import contextlib
 import sys
 from typing import List, Optional
 
@@ -51,6 +55,18 @@ def _build_parser() -> argparse.ArgumentParser:
         "--telemetry",
         metavar="PATH",
         help="write a structured telemetry.json run report to PATH",
+    )
+
+    ops = argparse.ArgumentParser(add_help=False)
+    ops.add_argument(
+        "--ops-port", type=int, default=None, metavar="PORT",
+        help="serve the live HTTP ops endpoint on 127.0.0.1:PORT for the "
+        "duration of the run (0 picks a free port; see repro.ops)",
+    )
+    ops.add_argument(
+        "--ops-token", default=None, metavar="TOKEN",
+        help="shared secret required (X-Repro-Token header) for POST "
+        "/control/* verbs; GET endpoints stay open",
     )
 
     p_train = sub.add_parser(
@@ -84,7 +100,7 @@ def _build_parser() -> argparse.ArgumentParser:
     p_serve = sub.add_parser(
         "serve",
         help="online serving runtime: stream, monitor drift, hot-swap",
-        parents=[telemetry],
+        parents=[telemetry, ops],
     )
     p_serve.add_argument("attack")
     p_serve.add_argument(
@@ -138,7 +154,7 @@ def _build_parser() -> argparse.ArgumentParser:
     p_resume = sub.add_parser(
         "resume",
         help="continue a killed 'serve --checkpoint' run from its snapshot",
-        parents=[telemetry],
+        parents=[telemetry, ops],
     )
     p_resume.add_argument("checkpoint", help="checkpoint directory written by serve")
     p_resume.add_argument(
@@ -163,9 +179,25 @@ def _build_parser() -> argparse.ArgumentParser:
     p_report = sub.add_parser(
         "report", help="pretty-print a saved telemetry run report"
     )
-    p_report.add_argument("path", help="telemetry.json written by --telemetry")
+    p_report.add_argument(
+        "path", nargs="?", default=None,
+        help="telemetry.json written by --telemetry (omit with --watch)",
+    )
     p_report.add_argument(
         "--events", type=int, default=10, help="max events to show (default 10)"
+    )
+    p_report.add_argument(
+        "--watch", metavar="URL", default=None,
+        help="render the live /metrics document of a serving run's ops "
+        "endpoint (e.g. http://127.0.0.1:8080) instead of a saved file",
+    )
+    p_report.add_argument(
+        "--interval", type=float, default=2.0, metavar="S",
+        help="seconds between --watch refreshes (default 2)",
+    )
+    p_report.add_argument(
+        "--iterations", type=int, default=0, metavar="N",
+        help="stop --watch after N refreshes (0 = until interrupted)",
     )
     return parser
 
@@ -283,6 +315,34 @@ def _cmd_deploy(args) -> int:
     return 0
 
 
+@contextlib.contextmanager
+def _ops_endpoint(service, ops_port, ops_token):
+    """Run the block with the HTTP ops endpoint attached (or not).
+
+    ``--ops-port`` without ``--telemetry`` still needs live metrics, so
+    a real registry is activated for the run if the process-wide one is
+    the null registry; with ``--telemetry`` the report registry is
+    shared, and the scrape surface sees exactly what the report will.
+    """
+    if ops_port is None:
+        yield None
+        return
+    from contextlib import ExitStack
+
+    from repro.ops import OpsServer
+    from repro.telemetry import MetricRegistry, get_registry, use_registry
+
+    with ExitStack() as stack:
+        registry = get_registry()
+        if not registry.enabled:
+            registry = stack.enter_context(use_registry(MetricRegistry()))
+        server = stack.enter_context(
+            OpsServer(service, registry=registry, port=ops_port, token=ops_token)
+        )
+        print(f"ops endpoint listening on {server.url}")
+        yield server
+
+
 def _print_serve_summary(report, attack: str, shift: str) -> None:
     """Shared serve/resume summary.
 
@@ -398,7 +458,8 @@ def _cmd_serve(args) -> int:
             seed=args.seed,
             faults_spec=args.faults,
         ) as cluster:
-            report = cluster.serve(split.stream_trace, checkpoint=checkpoint)
+            with _ops_endpoint(cluster, args.ops_port, args.ops_token):
+                report = cluster.serve(split.stream_trace, checkpoint=checkpoint)
         _print_serve_summary(report, args.attack, args.shift)
         _print_shard_summary(report)
         return 0
@@ -416,7 +477,8 @@ def _cmd_serve(args) -> int:
     service = OnlineDetectionService(
         pipeline, config=config, seed=args.seed, faults=faults
     )
-    report = service.serve(split.stream_trace, checkpoint=checkpoint)
+    with _ops_endpoint(service, args.ops_port, args.ops_token):
+        report = service.serve(split.stream_trace, checkpoint=checkpoint)
     _print_serve_summary(report, args.attack, args.shift)
     return 0
 
@@ -466,9 +528,10 @@ def _cmd_resume(args) -> int:
               f"{report.n_shards} shards)")
         checkpoint = ClusterCheckpointManager(args.checkpoint, every=every, meta=meta)
         with service:
-            report = service.serve(
-                split.stream_trace, checkpoint=checkpoint, resume_report=report
-            )
+            with _ops_endpoint(service, args.ops_port, args.ops_token):
+                report = service.serve(
+                    split.stream_trace, checkpoint=checkpoint, resume_report=report
+                )
         _print_serve_summary(report, attack, shift)
         _print_shard_summary(report)
         return 0
@@ -477,9 +540,10 @@ def _cmd_resume(args) -> int:
     print(f"resuming {attack} from chunk {report.n_chunks} "
           f"({report.n_packets} packets served before the crash)")
     checkpoint = CheckpointManager(args.checkpoint, every=every, meta=meta)
-    report = service.serve(
-        split.stream_trace, checkpoint=checkpoint, resume_report=report
-    )
+    with _ops_endpoint(service, args.ops_port, args.ops_token):
+        report = service.serve(
+            split.stream_trace, checkpoint=checkpoint, resume_report=report
+        )
     _print_serve_summary(report, attack, shift)
     return 0
 
@@ -522,7 +586,60 @@ def _cmd_export(args) -> int:
     return 0
 
 
+def _watch_metrics(url: str, interval: float, iterations: int, max_events: int) -> int:
+    """Poll a live ops endpoint's ``/metrics`` and render each snapshot.
+
+    The snapshot document is report-shaped, so the saved-file renderer
+    works on it unchanged; the ``ops`` block the endpoint appends is
+    summarised on one trailing status line.
+    """
+    import json
+    import time
+    import urllib.error
+    import urllib.request
+
+    from repro.telemetry import format_report
+
+    base = url if "://" in url else f"http://{url}"
+    endpoint = base.rstrip("/")
+    if not endpoint.endswith("/metrics"):
+        endpoint += "/metrics"
+    count = 0
+    while True:
+        try:
+            with urllib.request.urlopen(endpoint, timeout=10) as resp:
+                doc = json.loads(resp.read().decode())
+        except (urllib.error.URLError, OSError) as exc:
+            print(f"watch: {endpoint} unreachable ({exc}); run over?")
+            return 1
+        ops = doc.pop("ops", {})
+        print(format_report(doc, max_events=max_events))
+        state = "serving" if ops.get("serving") else "idle"
+        last = ops.get("last_chunk") or {}
+        last_str = (
+            f"  last chunk #{last['index']} {last['n_packets']}pkt "
+            f"{last.get('duration_s', 0.0) * 1e3:.1f}ms"
+            if "index" in last
+            else ""
+        )
+        print(
+            f"[{state}] chunks={ops.get('n_chunks', 0)} "
+            f"packets={ops.get('n_packets', 0)} swaps={ops.get('swaps', 0)} "
+            f"rollbacks={ops.get('rollbacks', 0)}{last_str}"
+        )
+        count += 1
+        if iterations and count >= iterations:
+            return 0
+        time.sleep(interval)
+        print()
+
+
 def _cmd_report(args) -> int:
+    if args.watch:
+        return _watch_metrics(args.watch, args.interval, args.iterations, args.events)
+    if args.path is None:
+        print("report: a telemetry.json path (or --watch URL) is required")
+        return 2
     from repro.telemetry import format_report, load_report
 
     print(format_report(load_report(args.path), max_events=args.events))

@@ -78,6 +78,7 @@ def cluster_report_to_dict(report: ClusterServeReport) -> dict:
         "swap_events": [asdict(e) for e in report.swap_events],
         "chunk_stats": [_chunk_stats_to_obj(s) for s in report.chunk_stats],
         "chunk_offsets": list(report.chunk_offsets),
+        "control_events": [dict(t) for t in report.control_events],
         "y_true": [int(v) for v in report.y_true],
         "y_pred": [int(v) for v in report.y_pred],
     }
@@ -99,6 +100,8 @@ def cluster_report_from_dict(obj: dict) -> ClusterServeReport:
         swap_events=[ClusterSwapEvent(**e) for e in obj["swap_events"]],
         chunk_stats=[_chunk_stats_from_obj(s) for s in obj["chunk_stats"]],
         chunk_offsets=[int(v) for v in obj["chunk_offsets"]],
+        # .get: checkpoints written before the ops surface lack the key.
+        control_events=[dict(t) for t in obj.get("control_events", [])],
         y_true=np.asarray(obj["y_true"], dtype=int),
         y_pred=np.asarray(obj["y_pred"], dtype=int),
     )

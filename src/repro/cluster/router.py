@@ -86,11 +86,39 @@ class FlowShardRouter:
             raise ValueError(f"n_shards must be >= 1, got {n_shards}")
         self.n_shards = n_shards
         self.salt = salt
+        #: Shards taken out of rotation by an ops ``drain`` verb.  Their
+        #: flows spill deterministically onto the remaining shards (a
+        #: second ``hash % n_active`` draw), so the assignment stays a
+        #: pure function of ``(tuple, drained-set)`` — stable across
+        #: chunks, restarts, and both transports.  Draining moves flows
+        #: onto shards with no prior state for them; that is inherent to
+        #: drain, not a routing defect.
+        self.drained: set = set()
+
+    def drain(self, shard: int) -> None:
+        """Take *shard* out of rotation (future chunks re-route its flows)."""
+        if not 0 <= shard < self.n_shards:
+            raise ValueError(f"shard must be in [0, {self.n_shards}), got {shard}")
+        if len(self.drained | {shard}) >= self.n_shards:
+            raise ValueError("cannot drain the last active shard")
+        self.drained.add(shard)
+
+    def undrain(self, shard: int) -> None:
+        """Return *shard* to rotation."""
+        self.drained.discard(shard)
+
+    def _active_shards(self) -> List[int]:
+        return [k for k in range(self.n_shards) if k not in self.drained]
 
     def shard_of(self, five_tuple: FiveTuple) -> int:
         """Shard owning *five_tuple* — direction independent by
         construction (``bi_hash`` canonicalises internally)."""
-        return int(bi_hash(five_tuple, self.salt) % self.n_shards)
+        h = bi_hash(five_tuple, self.salt)
+        shard = int(h % self.n_shards)
+        if shard in self.drained:
+            active = self._active_shards()
+            shard = active[int(h % len(active))]
+        return shard
 
     def shard_indices(self, packets: Sequence[Packet]) -> np.ndarray:
         """Vectorised shard id per packet."""
@@ -132,7 +160,15 @@ class FlowShardRouter:
         fields[:, 3] = np.where(swap, src_port, dst_port)
         fields[:, 4] = flat[:, 4]
         h = bi_hash_batch(fields, self.salt)
-        return (h % np.uint64(self.n_shards)).astype(np.int64)
+        assignments = (h % np.uint64(self.n_shards)).astype(np.int64)
+        if self.drained:
+            active = np.asarray(self._active_shards(), dtype=np.int64)
+            mask = np.isin(assignments, np.fromiter(self.drained, dtype=np.int64))
+            if mask.any():
+                assignments[mask] = active[
+                    (h[mask] % np.uint64(active.size)).astype(np.int64)
+                ]
+        return assignments
 
     def partition(self, packets) -> ShardPartition:
         """Split *packets* (a :class:`Trace` or packet sequence) into one

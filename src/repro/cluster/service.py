@@ -54,6 +54,7 @@ from repro.cluster.worker import (
 from repro.datasets.trace import Trace
 from repro.faults.errors import RetrainFaultError
 from repro.faults.plan import INJECTOR_TYPES, FaultPlan, parse_fault_spec
+from repro.runtime.control import OpsControlMixin
 from repro.runtime.drift import DriftMonitor
 from repro.runtime.retrain import Retrainer
 from repro.runtime.service import RuntimeConfig
@@ -166,6 +167,8 @@ class ClusterServeReport:
     swap_events: List[ClusterSwapEvent] = field(default_factory=list)
     chunk_stats: List[ChunkStats] = field(default_factory=list)
     chunk_offsets: List[int] = field(default_factory=list)
+    #: Operator control tickets applied during the run (ops surface).
+    control_events: List[Dict] = field(default_factory=list)
     decisions: List[PacketDecision] = field(default_factory=list)
     y_true: np.ndarray = field(default_factory=lambda: np.empty(0, dtype=int))
     y_pred: np.ndarray = field(default_factory=lambda: np.empty(0, dtype=int))
@@ -182,7 +185,7 @@ class ClusterServeReport:
         return self.chunk_offsets[chunk_index]
 
 
-class ClusterService:
+class ClusterService(OpsControlMixin):
     """N sharded pipelines behaving as one big switch.
 
     Parameters
@@ -230,6 +233,7 @@ class ClusterService:
         self.config = config or RuntimeConfig()
         self.executor_kind = executor
         self.faults_spec = faults_spec
+        self._init_control_plane()
         #: Pinned shared-segment name for the ``shm`` executor (resume
         #: re-maps by this name); ``None`` → a fresh name per executor.
         self.shm_name = shm_name
@@ -640,6 +644,81 @@ class ClusterService:
             artifacts = self.faults.corrupt_artifacts(artifacts)
         report.swap_events.append(self.swap(artifacts, chunk_index, reason))
 
+    # -- operator control (see repro.runtime.control / repro.ops) ------------
+
+    def _apply_control(self, ticket: Dict, chunk_index: int, report) -> str:
+        """Route one queued ops verb through the cluster control plane.
+
+        Runs on the serving thread between chunks — the only thread that
+        may touch the executor — so verbs reuse the exact machinery the
+        drift loop drives (two-phase swap, worker rollback, router).
+        """
+        verb = ticket["verb"]
+        registry = get_registry()
+        if verb == "retrain":
+            if not self._swap_allowed(report):
+                return "skipped:max_swaps"
+            if len(self.retrainer) < self.config.min_retrain_flows:
+                return "skipped:reservoir_too_small"
+            before = len(report.swap_events)
+            self._retrain_and_swap(chunk_index, "manual", report)
+            if len(report.swap_events) == before:
+                return "skipped:retrain_failed"
+            return (
+                "rolled_back" if report.swap_events[-1].rolled_back else "swapped"
+            )
+        if verb == "rollback":
+            self.start()
+            results = self._executor.broadcast("rollback")
+            if any(not r["ok"] for r in results):
+                # Shards flip in lockstep, so a shard without a previous
+                # generation means none have one: nothing to undo.
+                return "skipped:no_previous_generation"
+            if registry.enabled:
+                registry.counter("ops.rollbacks").inc()
+                registry.counter("switch.table.rollbacks").inc(self.n_shards)
+                for k in range(self.n_shards):
+                    registry.counter(f"cluster.shard.{k}.switch.table.rollbacks").inc()
+            if self.monitor is not None:
+                self.monitor.reset()
+            return "rolled_back"
+        if verb == "drain":
+            shard = ticket.get("shard")
+            if shard is None:
+                return "skipped:no_shard_given"
+            if self.executor_kind == "shm":
+                # The shm transport routes the whole trace up front, so a
+                # mid-serve drain could not take effect; refuse loudly
+                # rather than pretend.
+                return "unsupported:shm_transport"
+            try:
+                self.router.drain(int(shard))
+            except ValueError as err:
+                return f"skipped:{err}"
+            if registry.enabled:
+                registry.counter("ops.drains").inc()
+                registry.gauge("cluster.drained_shards").set(
+                    float(len(self.router.drained))
+                )
+            return "drained"
+        return f"unsupported:{verb}"
+
+    def _ops_extra(self) -> Dict:
+        report = self._live_report
+        return {
+            "kind": "cluster",
+            "n_shards": self.n_shards,
+            "executor": self.executor_kind,
+            "drained_shards": sorted(self.router.drained),
+            "shard_packets": (
+                list(report.shard_packets) if report is not None else []
+            ),
+            "reservoir_flows": len(self.retrainer),
+            "drift_score": (
+                self.monitor.last_score if self.monitor is not None else None
+            ),
+        }
+
     # -- serving -------------------------------------------------------------
 
     def _swap_allowed(self, report: ClusterServeReport) -> bool:
@@ -671,6 +750,26 @@ class ClusterService:
         registry = get_registry()
         self.start()
         self._executor.broadcast("start_serving")
+        self._serve_begin(report)
+        try:
+            self._serve_loop(trace, cfg, report, registry, checkpoint)
+        finally:
+            self._serve_end()
+
+        shard_counts = self._executor.broadcast("finish")
+        report.shard_fault_counts = [dict(c) for c in shard_counts]
+        merged_counts: Dict[str, int] = {}
+        if self.faults is not None:
+            merged_counts.update(self.faults.counts())
+        for counts in shard_counts:
+            for name, fired in counts.items():
+                merged_counts[name] = merged_counts.get(name, 0) + fired
+        report.fault_counts = merged_counts
+        if checkpoint is not None:
+            checkpoint.save(self, report, complete=True)
+        return report
+
+    def _serve_loop(self, trace, cfg, report, registry, checkpoint) -> None:
         with span(
             "cluster.serve",
             shards=self.n_shards,
@@ -679,6 +778,7 @@ class ClusterService:
         ):
             if registry.enabled:
                 registry.gauge("cluster.n_shards").set(float(self.n_shards))
+            chunk_start = time.perf_counter()
             for chunk, partition, outcomes in self._iter_chunk_replays(
                 trace, cfg.chunk_size, report.n_chunks
             ):
@@ -730,21 +830,11 @@ class ClusterService:
                     self._retrain_and_swap(
                         index, "drift" if drifted else "cadence", report
                     )
+                self._apply_pending_controls(index, report)
+                self._note_chunk(index, n, time.perf_counter() - chunk_start)
                 if checkpoint is not None:
                     checkpoint.maybe_save(self, report)
-
-        shard_counts = self._executor.broadcast("finish")
-        report.shard_fault_counts = [dict(c) for c in shard_counts]
-        merged_counts: Dict[str, int] = {}
-        if self.faults is not None:
-            merged_counts.update(self.faults.counts())
-        for counts in shard_counts:
-            for name, fired in counts.items():
-                merged_counts[name] = merged_counts.get(name, 0) + fired
-        report.fault_counts = merged_counts
-        if checkpoint is not None:
-            checkpoint.save(self, report, complete=True)
-        return report
+                chunk_start = time.perf_counter()
 
     # -- checkpointing hooks -------------------------------------------------
 

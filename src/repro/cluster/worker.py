@@ -350,6 +350,18 @@ class ShardWorker:
         else:
             self.pipeline.reject_staged()
 
+    def rollback(self) -> dict:
+        """Ops verb: restore the generation the last committed swap
+        displaced.  Shards flip in lockstep (two-phase commit), so either
+        every shard can roll back or none can — the coordinator checks
+        the per-shard ``ok`` flags all agree before mirroring telemetry.
+        """
+        if not self.pipeline.can_rollback:
+            return {"shard_id": self.shard_id, "ok": False,
+                    "error": "no_previous_generation"}
+        self.pipeline.rollback()
+        return {"shard_id": self.shard_id, "ok": True, "error": None}
+
     # -- state --------------------------------------------------------------
 
     def counters(self) -> Dict[str, int]:

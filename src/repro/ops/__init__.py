@@ -1,0 +1,26 @@
+"""Live operations surface: HTTP ops endpoint over a serving run.
+
+See :mod:`repro.ops.server` for the endpoint catalogue and the
+read/control split, and :mod:`repro.ops.prometheus` for the scrape
+format.  Everything here is stdlib-only (``http.server`` + ``json``),
+mirroring the repo's no-new-dependencies rule.
+"""
+
+from repro.ops.prometheus import histogram_quantile, render_prometheus
+from repro.ops.server import (
+    DEFAULT_EVENT_TAIL,
+    FOLLOW_TIMEOUT_S,
+    TOKEN_HEADER,
+    OpsRequestHandler,
+    OpsServer,
+)
+
+__all__ = [
+    "DEFAULT_EVENT_TAIL",
+    "FOLLOW_TIMEOUT_S",
+    "TOKEN_HEADER",
+    "OpsRequestHandler",
+    "OpsServer",
+    "histogram_quantile",
+    "render_prometheus",
+]

@@ -1,0 +1,151 @@
+"""Prometheus text-exposition rendering of a registry snapshot.
+
+Pure functions from a ``telemetry.json``-shaped snapshot document (see
+:meth:`repro.telemetry.MetricRegistry.snapshot`) to the Prometheus
+`text exposition format
+<https://prometheus.io/docs/instrumenting/exposition_formats/>`_ —
+version 0.0.4, the one every Prometheus server scrapes.  No client
+library is involved; the format is a line protocol and the registry
+already holds everything a scrape needs.
+
+Naming follows the Prometheus conventions applied to our flat dotted
+names: dots become underscores under a ``repro_`` namespace prefix,
+counters gain the ``_total`` suffix (``switch.path.red`` →
+``repro_switch_path_red_total``), gauges map 1:1, and histograms emit
+the full cumulative-bucket series (``_bucket{le="..."}``, ``_sum``,
+``_count``) plus interpolated quantile samples in summary style
+(``{quantile="0.5"}``) so dashboards get p50/p90/p99 without PromQL
+``histogram_quantile`` gymnastics.  Shard-tagged names
+(``cluster.shard.3.switch.path.red``) become proper labels:
+``repro_cluster_switch_path_red_total{shard="3"}``.
+"""
+
+from __future__ import annotations
+
+from typing import Dict, Iterable, List, Optional, Tuple
+
+#: Quantiles rendered for every non-empty histogram.
+QUANTILES = (0.5, 0.9, 0.99)
+
+_SHARD_PREFIX = "cluster.shard."
+
+
+def _sanitize(name: str) -> str:
+    """Dotted metric name → Prometheus metric name."""
+    out = []
+    for ch in name:
+        out.append(ch if ch.isalnum() or ch == "_" else "_")
+    base = "".join(out)
+    if base and base[0].isdigit():
+        base = "_" + base
+    return f"repro_{base}"
+
+
+def _shard_split(name: str) -> Tuple[str, Optional[str]]:
+    """``cluster.shard.<k>.<rest>`` → (``cluster.<rest>``, ``"<k>"``)."""
+    if name.startswith(_SHARD_PREFIX):
+        shard, _, rest = name[len(_SHARD_PREFIX) :].partition(".")
+        if rest and shard.isdigit():
+            return f"cluster.{rest}", shard
+    return name, None
+
+
+def _fmt_value(v: float) -> str:
+    if v != v:  # NaN
+        return "NaN"
+    if v in (float("inf"), float("-inf")):
+        return "+Inf" if v > 0 else "-Inf"
+    f = float(v)
+    return repr(int(f)) if f == int(f) else repr(f)
+
+
+def _labels(pairs: Iterable[Tuple[str, str]]) -> str:
+    rendered = ",".join(f'{k}="{v}"' for k, v in pairs)
+    return "{" + rendered + "}" if rendered else ""
+
+
+def histogram_quantile(summary: Dict, q: float) -> float:
+    """Estimate the *q*-quantile of a histogram summary document.
+
+    Linear interpolation inside the owning bucket, clamped to the
+    observed min/max for the open-ended outer buckets (the standard
+    Prometheus estimation, but with exact extremes available since the
+    registry tracks them).
+    """
+    count = int(summary.get("count", 0))
+    if count == 0:
+        return float("nan")
+    edges = [float(e) for e in summary["edges"]]
+    buckets = [int(c) for c in summary["bucket_counts"]]
+    vmin = float(summary["min"])
+    vmax = float(summary["max"])
+    target = q * count
+    cumulative = 0
+    for i, c in enumerate(buckets):
+        if cumulative + c >= target and c > 0:
+            lo = edges[i - 1] if i > 0 else vmin
+            hi = edges[i] if i < len(edges) else vmax
+            lo = max(lo, vmin)
+            hi = min(hi, vmax)
+            if hi <= lo:
+                return lo
+            fraction = (target - cumulative) / c
+            return lo + fraction * (hi - lo)
+        cumulative += c
+    return vmax
+
+
+def render_prometheus(snapshot: Dict) -> str:
+    """Render *snapshot* (a registry snapshot document) as exposition text."""
+    lines: List[str] = []
+
+    counters = snapshot.get("counters") or {}
+    typed_help: set = set()
+
+    def _emit(metric: str, kind: str, labels: str, value: float) -> None:
+        if metric not in typed_help:
+            lines.append(f"# TYPE {metric} {kind}")
+            typed_help.add(metric)
+        lines.append(f"{metric}{labels} {_fmt_value(value)}")
+
+    for name in sorted(counters):
+        base, shard = _shard_split(name)
+        metric = _sanitize(base) + "_total"
+        label = _labels([("shard", shard)] if shard is not None else [])
+        _emit(metric, "counter", label, counters[name])
+
+    gauges = snapshot.get("gauges") or {}
+    for name in sorted(gauges):
+        base, shard = _shard_split(name)
+        metric = _sanitize(base)
+        label = _labels([("shard", shard)] if shard is not None else [])
+        _emit(metric, "gauge", label, gauges[name])
+
+    histograms = snapshot.get("histograms") or {}
+    for name in sorted(histograms):
+        h = histograms[name]
+        base, shard = _shard_split(name)
+        metric = _sanitize(base)
+        extra = [("shard", shard)] if shard is not None else []
+        if metric not in typed_help:
+            lines.append(f"# TYPE {metric} histogram")
+            typed_help.add(metric)
+        cumulative = 0
+        edges = list(h.get("edges") or [])
+        buckets = list(h.get("bucket_counts") or [])
+        for edge, count in zip(edges + [float("inf")], buckets):
+            cumulative += int(count)
+            le = "+Inf" if edge == float("inf") else _fmt_value(float(edge))
+            lines.append(
+                f"{metric}_bucket{_labels(extra + [('le', le)])} {cumulative}"
+            )
+        lines.append(f"{metric}_sum{_labels(extra)} {_fmt_value(h.get('sum', 0.0))}")
+        lines.append(f"{metric}_count{_labels(extra)} {int(h.get('count', 0))}")
+        if h.get("count"):
+            for q in QUANTILES:
+                value = histogram_quantile(h, q)
+                lines.append(
+                    f"{metric}{_labels(extra + [('quantile', repr(q))])} "
+                    f"{_fmt_value(value)}"
+                )
+    return "\n".join(lines) + "\n"

@@ -1,0 +1,332 @@
+"""Dependency-free HTTP operations endpoint for a live serving run.
+
+:class:`OpsServer` attaches to a running
+:class:`~repro.runtime.service.OnlineDetectionService` or
+:class:`~repro.cluster.service.ClusterService` on a background daemon
+thread (stdlib :class:`~http.server.ThreadingHTTPServer`, nothing to
+install) and exposes the run over plain HTTP:
+
+Read surface — safe to poll at any rate, mutates nothing:
+
+- ``GET /healthz``  — liveness, generation, uptime.
+- ``GET /metrics``  — full registry snapshot as JSON, or Prometheus
+  text exposition with ``?format=prometheus``.
+- ``GET /shards``   — per-shard view: packets, drain state, and every
+  ``cluster.shard.<k>.*`` registry metric regrouped by shard.
+- ``GET /events``   — bounded tail of the telemetry event log, with a
+  ``since_seq`` cursor and ``?follow=1`` long-poll/SSE streaming.
+
+Control surface — token-guarded POSTs that *queue* a verb through
+:meth:`~repro.runtime.control.OpsControlMixin.request_control`; the
+serving thread applies it at the next chunk boundary through the same
+code paths the drift loop uses (hence ``202 Accepted``, never ``200``):
+
+- ``POST /control/retrain``
+- ``POST /control/rollback``
+- ``POST /control/drain/<shard>``
+
+GET handlers never create registry instruments and never emit events,
+so a run scraped continuously produces decisions and telemetry
+bit-identical to an unobserved run — the differential test in
+``tests/ops/test_differential.py`` holds this line.
+"""
+
+from __future__ import annotations
+
+import json
+import threading
+from http.server import BaseHTTPRequestHandler, ThreadingHTTPServer
+from typing import Dict, Optional, Tuple
+from urllib.parse import parse_qs, urlsplit
+
+from repro.ops.prometheus import render_prometheus
+from repro.telemetry import get_registry
+
+#: Header carrying the shared control secret (``Authorization: Bearer``
+#: is also accepted).
+TOKEN_HEADER = "X-Repro-Token"
+
+#: Default cap on events returned by one /events call without ``n=``.
+DEFAULT_EVENT_TAIL = 100
+
+#: How long one ``follow=1`` request blocks waiting for a fresh event
+#: before returning what it has (clients just reconnect with the
+#: cursor from the last response).
+FOLLOW_TIMEOUT_S = 10.0
+
+
+class OpsRequestHandler(BaseHTTPRequestHandler):
+    """Routes one request against ``self.server.ops`` (the OpsServer)."""
+
+    protocol_version = "HTTP/1.1"
+    server_version = "repro-ops/1"
+
+    # The default handler writes an access log line per request to
+    # stderr — at scrape rates that is pure noise on an interactive run.
+    def log_message(self, format: str, *args) -> None:  # noqa: A002
+        pass
+
+    # -- plumbing ------------------------------------------------------------
+
+    @property
+    def ops(self) -> "OpsServer":
+        return self.server.ops  # type: ignore[attr-defined]
+
+    def _send(
+        self,
+        code: int,
+        body: bytes,
+        content_type: str = "application/json",
+        extra_headers: Optional[Dict[str, str]] = None,
+    ) -> None:
+        self.send_response(code)
+        self.send_header("Content-Type", content_type)
+        self.send_header("Content-Length", str(len(body)))
+        for key, value in (extra_headers or {}).items():
+            self.send_header(key, value)
+        self.end_headers()
+        self.wfile.write(body)
+
+    def _send_json(self, code: int, doc: Dict) -> None:
+        self._send(code, json.dumps(doc, sort_keys=True).encode() + b"\n")
+
+    def _error(self, code: int, message: str) -> None:
+        self._send_json(code, {"error": message})
+
+    def _query(self) -> Tuple[str, Dict[str, str]]:
+        parts = urlsplit(self.path)
+        params = {k: v[-1] for k, v in parse_qs(parts.query).items()}
+        return parts.path.rstrip("/") or "/", params
+
+    def _authorized(self) -> bool:
+        token = self.ops.token
+        if token is None:
+            return True
+        supplied = self.headers.get(TOKEN_HEADER)
+        if supplied is None:
+            auth = self.headers.get("Authorization", "")
+            if auth.startswith("Bearer "):
+                supplied = auth[len("Bearer ") :]
+        return supplied == token
+
+    # -- GET -----------------------------------------------------------------
+
+    def do_GET(self) -> None:  # noqa: N802 (http.server API)
+        path, params = self._query()
+        try:
+            if path == "/healthz":
+                self._send_json(200, self.ops.healthz())
+            elif path == "/metrics":
+                if params.get("format") == "prometheus":
+                    text = render_prometheus(self.ops.metrics())
+                    self._send(200, text.encode(), "text/plain; version=0.0.4")
+                else:
+                    self._send_json(200, self.ops.metrics())
+            elif path == "/shards":
+                self._send_json(200, self.ops.shards())
+            elif path == "/events":
+                self._do_events(params)
+            else:
+                self._error(404, f"no such endpoint: {path}")
+        except BrokenPipeError:
+            pass  # poller went away mid-write; nothing to clean up
+
+    def _do_events(self, params: Dict[str, str]) -> None:
+        try:
+            n = int(params["n"]) if "n" in params else DEFAULT_EVENT_TAIL
+            since = int(params["since_seq"]) if "since_seq" in params else None
+        except ValueError:
+            self._error(400, "n and since_seq must be integers")
+            return
+        registry = self.ops.registry
+        follow = params.get("follow") in ("1", "true", "yes")
+        if not follow:
+            events, last_seq = registry.tail(n, since_seq=since)
+            self._send_json(200, {"events": events, "last_seq": last_seq})
+            return
+        # SSE long-poll: block until an event lands past the cursor (or
+        # the follow window times out), then emit everything new as one
+        # batch of `data:` frames and close.  Clients resume from the
+        # `id:` of the last frame.
+        cursor = since if since is not None else registry.last_seq
+        registry.wait_for_events(cursor, timeout=self.ops.follow_timeout_s)
+        events, last_seq = registry.tail(None, since_seq=cursor)
+        frames = []
+        for record in events:
+            frames.append(f"id: {record['seq']}\ndata: {json.dumps(record, sort_keys=True)}\n\n")
+        if not events:
+            frames.append(f": keepalive last_seq={last_seq}\n\n")
+        self._send(
+            200,
+            "".join(frames).encode(),
+            "text/event-stream",
+            extra_headers={"Cache-Control": "no-store"},
+        )
+
+    # -- POST ----------------------------------------------------------------
+
+    def do_POST(self) -> None:  # noqa: N802 (http.server API)
+        path, _ = self._query()
+        if not path.startswith("/control/"):
+            self._error(404, f"no such endpoint: {path}")
+            return
+        if not self._authorized():
+            self._error(403, f"control requires the {TOKEN_HEADER} header")
+            return
+        parts = path.split("/")[2:]  # ["retrain"] or ["drain", "3"]
+        verb = parts[0] if parts else ""
+        shard: Optional[int] = None
+        if verb == "drain":
+            if len(parts) != 2 or not parts[1].lstrip("-").isdigit():
+                self._error(400, "drain takes a shard index: /control/drain/<k>")
+                return
+            shard = int(parts[1])
+        elif len(parts) != 1:
+            self._error(404, f"no such control verb path: {path}")
+            return
+        try:
+            ticket = self.ops.service.request_control(verb, shard=shard, source="http")
+        except ValueError as exc:
+            self._error(400, str(exc))
+            return
+        self._send_json(202, {"accepted": True, "ticket": ticket})
+
+
+class OpsServer:
+    """Background HTTP ops endpoint bound to one service + registry.
+
+    ``port=0`` binds an ephemeral port (the resolved one is ``.port``
+    after :meth:`start`).  ``token`` guards the control surface only —
+    reads stay open, writes require the shared secret.  Use as a
+    context manager or call :meth:`close` in a ``finally``; the server
+    thread is a daemon either way, so a crashed serve loop never hangs
+    the process on it.
+    """
+
+    def __init__(
+        self,
+        service,
+        registry=None,
+        host: str = "127.0.0.1",
+        port: int = 0,
+        token: Optional[str] = None,
+        follow_timeout_s: float = FOLLOW_TIMEOUT_S,
+    ) -> None:
+        self.service = service
+        self.registry = registry if registry is not None else get_registry()
+        self.host = host
+        self.requested_port = port
+        self.token = token
+        self.follow_timeout_s = follow_timeout_s
+        self._httpd: Optional[ThreadingHTTPServer] = None
+        self._thread: Optional[threading.Thread] = None
+
+    # -- lifecycle -----------------------------------------------------------
+
+    def start(self) -> "OpsServer":
+        if self._httpd is not None:
+            raise RuntimeError("ops server already started")
+        self._httpd = ThreadingHTTPServer(
+            (self.host, self.requested_port), OpsRequestHandler
+        )
+        self._httpd.daemon_threads = True
+        self._httpd.ops = self  # type: ignore[attr-defined]
+        self._thread = threading.Thread(
+            target=self._httpd.serve_forever,
+            kwargs={"poll_interval": 0.1},
+            name="repro-ops",
+            daemon=True,
+        )
+        self._thread.start()
+        return self
+
+    def close(self) -> None:
+        if self._httpd is None:
+            return
+        self._httpd.shutdown()
+        self._httpd.server_close()
+        if self._thread is not None:
+            self._thread.join(timeout=5.0)
+        self._httpd = None
+        self._thread = None
+
+    def __enter__(self) -> "OpsServer":
+        return self.start()
+
+    def __exit__(self, *exc) -> None:
+        self.close()
+
+    @property
+    def port(self) -> int:
+        if self._httpd is None:
+            raise RuntimeError("ops server not started")
+        return self._httpd.server_address[1]
+
+    @property
+    def url(self) -> str:
+        return f"http://{self.host}:{self.port}"
+
+    # -- endpoint documents (also callable directly, e.g. from tests) --------
+
+    def healthz(self) -> Dict:
+        status = self.service.ops_status()
+        return {
+            "status": "serving" if status["serving"] else "idle",
+            "serving": status["serving"],
+            "uptime_s": status["uptime_s"],
+            "generation": status.get("generation", 0),
+            "n_chunks": status["n_chunks"],
+            "n_packets": status["n_packets"],
+            "kind": status.get("kind", "unknown"),
+        }
+
+    def metrics(self) -> Dict:
+        doc = self.registry.snapshot()
+        doc["ops"] = self.service.ops_status()
+        return doc
+
+    def shards(self) -> Dict:
+        """Per-shard view, regrouped from the flat registry namespace.
+
+        For the single service this degrades to one pseudo-shard so
+        dashboards don't need a second code path.
+        """
+        status = self.service.ops_status()
+        counters = self.registry.counters_dict()
+        gauges = self.registry.gauges_dict()
+        n_shards = int(status.get("n_shards", 1))
+        drained = set(status.get("drained_shards", []))
+        shard_packets = list(status.get("shard_packets", []))
+        per_shard = [
+            {
+                "shard": k,
+                "drained": k in drained,
+                "packets": shard_packets[k] if k < len(shard_packets) else None,
+                "metrics": {},
+            }
+            for k in range(n_shards)
+        ]
+        prefix = "cluster.shard."
+        for source in (counters, gauges):
+            for name, value in source.items():
+                if not name.startswith(prefix):
+                    continue
+                shard_str, _, rest = name[len(prefix) :].partition(".")
+                if rest and shard_str.isdigit() and int(shard_str) < n_shards:
+                    per_shard[int(shard_str)]["metrics"][rest] = value
+        for entry in per_shard:
+            # generation = count of accepted table swaps on that shard.
+            entry["generation"] = int(
+                entry["metrics"].get(
+                    "switch.table.swaps", status.get("generation", 0)
+                )
+            )
+        return {
+            "kind": status.get("kind", "unknown"),
+            "n_shards": n_shards,
+            "last_chunk": status.get("last_chunk", {}),
+            "swap_events": status.get("swap_events", []),
+            "control_events": status.get("control_events", []),
+            "pending_controls": status.get("pending_controls", []),
+            "shards": per_shard,
+        }

@@ -1,0 +1,168 @@
+"""Operator control plane shared by the single service and the cluster.
+
+The live ops surface (:mod:`repro.ops`) runs on background HTTP threads
+while ``serve()`` owns the pipeline on the serving thread, so control
+verbs can never act on the service directly — a mid-chunk table flip
+would break the "swap between replay calls" contract every generation
+invariant rests on.  Instead the mixin gives both services a thread-safe
+**command queue**: :meth:`request_control` enqueues a ticket from any
+thread, and the serving loop drains the queue at chunk boundaries —
+exactly where the drift loop itself acts — routing each verb through the
+same retrain/rollback machinery a drift signal would use.  Applied
+tickets are appended to the serve report (``control_events``) and
+recorded in the telemetry event log (``ops.control``), so a run's
+control history survives into ``telemetry.json`` and checkpoints.
+
+A service that is not serving still accepts tickets; they apply at the
+first chunk boundary of the next ``serve()`` call.
+"""
+
+from __future__ import annotations
+
+import threading
+import time
+from typing import Dict, List, Optional
+
+from repro.telemetry import get_registry
+
+#: Verbs the ops surface may enqueue.
+CONTROL_VERBS = ("retrain", "rollback", "drain")
+
+
+class OpsControlMixin:
+    """Queue-and-apply control plane plus the live status snapshot.
+
+    Subclasses call :meth:`_init_control_plane` in ``__init__``,
+    :meth:`_serve_begin` / :meth:`_serve_end` around the serve loop,
+    :meth:`_note_chunk` + :meth:`_apply_pending_controls` at each chunk
+    boundary, and implement ``_apply_control(ticket, chunk_index,
+    report) -> str`` returning the outcome label.
+    """
+
+    def _init_control_plane(self) -> None:
+        self._control_lock = threading.Lock()
+        self._pending_controls: List[Dict] = []
+        self._control_seq = 0
+        self._live_report = None
+        self._serving = False
+        self._serve_started_at: Optional[float] = None
+        self._last_chunk: Dict = {}
+
+    # -- enqueue (any thread) ------------------------------------------------
+
+    def request_control(
+        self, verb: str, shard: Optional[int] = None, source: str = "api"
+    ) -> Dict:
+        """Queue *verb* for the next chunk boundary; returns the ticket.
+
+        The returned dict is a copy — the queued ticket itself is updated
+        in place when applied (status/outcome/chunk), and surfaces in the
+        report's ``control_events``.
+        """
+        if verb not in CONTROL_VERBS:
+            raise ValueError(f"unknown control verb {verb!r}; expected {CONTROL_VERBS}")
+        with self._control_lock:
+            ticket = {
+                "id": self._control_seq,
+                "verb": verb,
+                "shard": shard,
+                "source": source,
+                "status": "queued",
+            }
+            self._control_seq += 1
+            self._pending_controls.append(ticket)
+        return dict(ticket)
+
+    def pending_controls(self) -> List[Dict]:
+        with self._control_lock:
+            return [dict(t) for t in self._pending_controls]
+
+    # -- apply (serving thread, chunk boundaries) ----------------------------
+
+    def _apply_pending_controls(self, chunk_index: int, report) -> None:
+        with self._control_lock:
+            taken, self._pending_controls = self._pending_controls, []
+        registry = get_registry()
+        for ticket in taken:
+            outcome = self._apply_control(ticket, chunk_index, report)
+            ticket.update(status="applied", outcome=outcome, chunk=chunk_index)
+            report.control_events.append(dict(ticket))
+            if registry.enabled:
+                registry.event(
+                    "ops.control",
+                    verb=ticket["verb"],
+                    shard=ticket["shard"],
+                    outcome=outcome,
+                    chunk=chunk_index,
+                    source=ticket["source"],
+                )
+
+    def _apply_control(self, ticket: Dict, chunk_index: int, report) -> str:
+        raise NotImplementedError
+
+    # -- live status ---------------------------------------------------------
+
+    def _serve_begin(self, report) -> None:
+        self._live_report = report
+        self._serving = True
+        self._serve_started_at = time.time()
+
+    def _serve_end(self) -> None:
+        self._serving = False
+
+    def _note_chunk(self, index: int, n_packets: int, duration_s: float) -> None:
+        self._last_chunk = {
+            "index": index,
+            "n_packets": n_packets,
+            "duration_s": duration_s,
+        }
+
+    def ops_status(self) -> Dict:
+        """Point-in-time service state for the ops surface.
+
+        Read from HTTP threads while the serving thread appends — every
+        field is either an immutable scalar or copied here, and list
+        reads under the GIL see a prefix of the live list, so the
+        snapshot is safe (if momentarily behind).  Touches no registry
+        instruments and no executor: a status poll can never perturb the
+        run it is watching.
+        """
+        report = self._live_report
+        status = {
+            "serving": self._serving,
+            "uptime_s": (
+                time.time() - self._serve_started_at
+                if self._serve_started_at is not None
+                else 0.0
+            ),
+            "n_chunks": report.n_chunks if report is not None else 0,
+            "n_packets": report.n_packets if report is not None else 0,
+            "drift_signals": report.drift_signals if report is not None else 0,
+            "retrains": report.retrains if report is not None else 0,
+            "swaps": report.n_swaps if report is not None else 0,
+            "rollbacks": report.n_rollbacks if report is not None else 0,
+            "last_chunk": dict(self._last_chunk),
+            "swap_events": (
+                [self._swap_event_dict(e) for e in list(report.swap_events)]
+                if report is not None
+                else []
+            ),
+            "control_events": (
+                [dict(t) for t in list(report.control_events)]
+                if report is not None
+                else []
+            ),
+            "pending_controls": self.pending_controls(),
+        }
+        status.update(self._ops_extra())
+        return status
+
+    @staticmethod
+    def _swap_event_dict(event) -> Dict:
+        from dataclasses import asdict
+
+        return asdict(event)
+
+    def _ops_extra(self) -> Dict:
+        """Subclass hook: service-kind-specific status fields."""
+        return {}

@@ -29,6 +29,7 @@ import numpy as np
 from repro.datasets.trace import Trace
 from repro.faults.errors import RetrainFaultError, TransientFaultError
 from repro.faults.retry import retry_with_backoff
+from repro.runtime.control import OpsControlMixin
 from repro.runtime.drift import DriftMonitor
 from repro.runtime.retrain import Retrainer
 from repro.runtime.stream import ChunkStats, StreamDriver
@@ -109,6 +110,8 @@ class ServeReport:
     chunk_stats: List[ChunkStats] = field(default_factory=list)
     #: Start offset of each chunk in the concatenated decision arrays.
     chunk_offsets: List[int] = field(default_factory=list)
+    #: Operator control tickets applied during the run (ops surface).
+    control_events: List[Dict] = field(default_factory=list)
     decisions: List[PacketDecision] = field(default_factory=list)
     y_true: np.ndarray = field(default_factory=lambda: np.empty(0, dtype=int))
     y_pred: np.ndarray = field(default_factory=lambda: np.empty(0, dtype=int))
@@ -126,7 +129,7 @@ class ServeReport:
         return self.chunk_offsets[chunk_index]
 
 
-class OnlineDetectionService:
+class OnlineDetectionService(OpsControlMixin):
     """Continuous serving loop around one :class:`SwitchPipeline`.
 
     The pipeline serves every chunk through its live tables; between
@@ -156,6 +159,7 @@ class OnlineDetectionService:
         self.config = config or RuntimeConfig()
         self.pipeline = pipeline
         self.faults = faults
+        self._init_control_plane()
         # ``is not None`` rather than ``or``: Retrainer defines __len__
         # (reservoir size), so a freshly-built one with an empty
         # reservoir is falsy and ``or`` would silently discard it.
@@ -286,6 +290,52 @@ class OnlineDetectionService:
             # tables; re-form the baseline under the new generation.
             self.monitor.reset()
 
+    # -- operator control (see repro.runtime.control / repro.ops) ------------
+
+    def _apply_control(self, ticket: Dict, chunk_index: int, report) -> str:
+        """Route one queued ops verb through the drift loop's own paths."""
+        verb = ticket["verb"]
+        if verb == "retrain":
+            if not self._swap_allowed(report):
+                return "skipped:max_swaps"
+            if len(self.retrainer) < self.config.min_retrain_flows:
+                return "skipped:reservoir_too_small"
+            before = len(report.swap_events)
+            self._retrain_and_swap(chunk_index, "manual", report)
+            if len(report.swap_events) == before:
+                return "skipped:retrain_failed"
+            return (
+                "rolled_back" if report.swap_events[-1].rolled_back else "swapped"
+            )
+        if verb == "rollback":
+            if not self.pipeline.can_rollback:
+                return "skipped:no_previous_generation"
+            self.pipeline.rollback()
+            registry = get_registry()
+            if registry.enabled:
+                # Mirror the pipeline counter: the flip happens between
+                # replay calls, invisible to per-replay delta publication.
+                registry.counter("switch.table.rollbacks").inc()
+                registry.counter("ops.rollbacks").inc()
+            if self.monitor is not None:
+                # The baseline described the rolled-forward generation.
+                self.monitor.reset()
+            return "rolled_back"
+        if verb == "drain":
+            return "unsupported:not_a_cluster"
+        return f"unsupported:{verb}"
+
+    def _ops_extra(self) -> Dict:
+        return {
+            "kind": "service",
+            "generation": self.pipeline.table_swaps,
+            "can_rollback": self.pipeline.can_rollback,
+            "reservoir_flows": len(self.retrainer),
+            "drift_score": (
+                self.monitor.last_score if self.monitor is not None else None
+            ),
+        }
+
     def serve(
         self,
         trace: Trace,
@@ -317,46 +367,60 @@ class OnlineDetectionService:
         )
         if self.faults is not None:
             self.faults.install(self.pipeline)
-        with span("serve", chunk_size=cfg.chunk_size, mode=cfg.mode):
-            for chunk in driver.run(trace):
-                report.chunk_offsets.append(report.n_packets)
-                report.n_chunks += 1
-                report.n_packets += chunk.stats.n_packets
-                report.chunk_stats.append(chunk.stats)
-                report.decisions.extend(chunk.replay.decisions)
-                report.y_true = np.concatenate([report.y_true, chunk.replay.y_true])
-                report.y_pred = np.concatenate([report.y_pred, chunk.replay.y_pred])
-                self.retrainer.observe(chunk.trace)
+        self._serve_begin(report)
+        try:
+            with span("serve", chunk_size=cfg.chunk_size, mode=cfg.mode):
+                chunk_start = time.perf_counter()
+                for chunk in driver.run(trace):
+                    report.chunk_offsets.append(report.n_packets)
+                    report.n_chunks += 1
+                    report.n_packets += chunk.stats.n_packets
+                    report.chunk_stats.append(chunk.stats)
+                    report.decisions.extend(chunk.replay.decisions)
+                    report.y_true = np.concatenate([report.y_true, chunk.replay.y_true])
+                    report.y_pred = np.concatenate([report.y_pred, chunk.replay.y_pred])
+                    self.retrainer.observe(chunk.trace)
 
-                drifted = False
-                if self.monitor is not None:
-                    drifted = self.monitor.observe(chunk.stats)
-                    if drifted:
-                        report.drift_signals += 1
-                if registry.enabled:
-                    registry.counter("runtime.chunks").inc()
-                    registry.counter("runtime.packets").inc(chunk.stats.n_packets)
+                    drifted = False
                     if self.monitor is not None:
-                        registry.gauge("runtime.drift.score").set(
-                            self.monitor.last_score
-                        )
-                        registry.gauge("runtime.drift.malicious_rate").set(
-                            chunk.stats.malicious_rate
-                        )
+                        drifted = self.monitor.observe(chunk.stats)
                         if drifted:
-                            registry.counter("runtime.drift.signals").inc()
+                            report.drift_signals += 1
+                    if registry.enabled:
+                        registry.counter("runtime.chunks").inc()
+                        registry.counter("runtime.packets").inc(chunk.stats.n_packets)
+                        if self.monitor is not None:
+                            registry.gauge("runtime.drift.score").set(
+                                self.monitor.last_score
+                            )
+                            registry.gauge("runtime.drift.malicious_rate").set(
+                                chunk.stats.malicious_rate
+                            )
+                            if drifted:
+                                registry.counter("runtime.drift.signals").inc()
 
-                cadence_due = cfg.cadence > 0 and (chunk.index + 1) % cfg.cadence == 0
-                if (
-                    (drifted or cadence_due)
-                    and self._swap_allowed(report)
-                    and len(self.retrainer) >= cfg.min_retrain_flows
-                ):
-                    self._retrain_and_swap(
-                        chunk.index, "drift" if drifted else "cadence", report
+                    cadence_due = (
+                        cfg.cadence > 0 and (chunk.index + 1) % cfg.cadence == 0
                     )
-                if checkpoint is not None:
-                    checkpoint.maybe_save(self, report)
+                    if (
+                        (drifted or cadence_due)
+                        and self._swap_allowed(report)
+                        and len(self.retrainer) >= cfg.min_retrain_flows
+                    ):
+                        self._retrain_and_swap(
+                            chunk.index, "drift" if drifted else "cadence", report
+                        )
+                    self._apply_pending_controls(chunk.index, report)
+                    self._note_chunk(
+                        chunk.index,
+                        chunk.stats.n_packets,
+                        time.perf_counter() - chunk_start,
+                    )
+                    if checkpoint is not None:
+                        checkpoint.maybe_save(self, report)
+                    chunk_start = time.perf_counter()
+        finally:
+            self._serve_end()
         if self.faults is not None:
             self.faults.finalize()
             report.fault_counts = self.faults.counts()

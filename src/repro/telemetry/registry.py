@@ -15,12 +15,28 @@ Design constraints, in order:
    and friends return plain sorted dicts so test suites can assert
    bit-identical telemetry between two runs (the scalar-vs-batch
    differential lock relies on this).
+4. **Safe to read from another thread.**  The live ops surface
+   (:mod:`repro.ops`) snapshots the registry while the serving thread is
+   writing to it.  Snapshot methods and multi-field writers (histogram
+   observes, event appends) share one registry lock; single-field
+   writers (``Counter.inc``, ``Gauge.set``) stay lock-free — a one-word
+   read of a monotonic int can never be torn under the GIL, and keeping
+   the hot increment path free of lock traffic preserves the
+   zero-cost-when-off budget.
+
+The event log is a **ring buffer with monotonic sequence numbers**: the
+most recent *max_events* records are retained (older ones evicted into
+``dropped_events``), and every record carries a process-stable ``seq``
+so tail readers — ``/events?follow=1`` long-polling included — can
+resume exactly where they left off via :meth:`MetricRegistry.tail`.
 """
 
 from __future__ import annotations
 
 import contextlib
-from typing import Dict, Iterator, List, Optional, Sequence
+import threading
+from collections import deque
+from typing import Deque, Dict, Iterator, List, Optional, Sequence, Tuple
 
 import numpy as np
 
@@ -61,11 +77,20 @@ class Histogram:
     ``[edges[-1], inf)``.  ``observe`` costs one ``searchsorted``;
     ``observe_many`` amortises it over an array.  Count/sum/min/max are
     tracked exactly so the report can show a summary without samples.
+
+    A histogram mutates several fields per observation, so observe and
+    summary share *lock* (the owning registry's lock when created via
+    :meth:`MetricRegistry.histogram`) — a snapshot can never see
+    ``count`` disagree with ``sum(bucket_counts)``.
     """
 
-    __slots__ = ("name", "edges", "bucket_counts", "count", "total", "vmin", "vmax")
+    __slots__ = (
+        "name", "edges", "bucket_counts", "count", "total", "vmin", "vmax", "_lock",
+    )
 
-    def __init__(self, name: str, edges: Sequence[float]) -> None:
+    def __init__(
+        self, name: str, edges: Sequence[float], lock: Optional[threading.RLock] = None
+    ) -> None:
         e = np.asarray(edges, dtype=float)
         if e.ndim != 1 or e.size < 1:
             raise ValueError(f"histogram {name!r} needs a 1-D non-empty edge array")
@@ -78,41 +103,45 @@ class Histogram:
         self.total = 0.0
         self.vmin: Optional[float] = None
         self.vmax: Optional[float] = None
+        self._lock = lock if lock is not None else threading.RLock()
 
     def observe(self, value: float) -> None:
         v = float(value)
-        self.bucket_counts[int(np.searchsorted(self.edges, v, side="right"))] += 1
-        self.count += 1
-        self.total += v
-        self.vmin = v if self.vmin is None else min(self.vmin, v)
-        self.vmax = v if self.vmax is None else max(self.vmax, v)
+        with self._lock:
+            self.bucket_counts[int(np.searchsorted(self.edges, v, side="right"))] += 1
+            self.count += 1
+            self.total += v
+            self.vmin = v if self.vmin is None else min(self.vmin, v)
+            self.vmax = v if self.vmax is None else max(self.vmax, v)
 
     def observe_many(self, values: np.ndarray) -> None:
         v = np.asarray(values, dtype=float).ravel()
         if v.size == 0:
             return
         idx = np.searchsorted(self.edges, v, side="right")
-        np.add.at(self.bucket_counts, idx, 1)
-        self.count += int(v.size)
-        self.total += float(v.sum())
-        lo, hi = float(v.min()), float(v.max())
-        self.vmin = lo if self.vmin is None else min(self.vmin, lo)
-        self.vmax = hi if self.vmax is None else max(self.vmax, hi)
+        with self._lock:
+            np.add.at(self.bucket_counts, idx, 1)
+            self.count += int(v.size)
+            self.total += float(v.sum())
+            lo, hi = float(v.min()), float(v.max())
+            self.vmin = lo if self.vmin is None else min(self.vmin, lo)
+            self.vmax = hi if self.vmax is None else max(self.vmax, hi)
 
     @property
     def mean(self) -> float:
         return self.total / self.count if self.count else 0.0
 
     def summary(self) -> Dict:
-        return {
-            "edges": self.edges.tolist(),
-            "bucket_counts": self.bucket_counts.tolist(),
-            "count": self.count,
-            "sum": self.total,
-            "mean": self.mean,
-            "min": self.vmin,
-            "max": self.vmax,
-        }
+        with self._lock:
+            return {
+                "edges": self.edges.tolist(),
+                "bucket_counts": self.bucket_counts.tolist(),
+                "count": self.count,
+                "sum": self.total,
+                "mean": self.mean,
+                "min": self.vmin,
+                "max": self.vmax,
+            }
 
 
 #: Default edges for histograms created without explicit buckets:
@@ -162,10 +191,14 @@ class MetricRegistry:
     enabled = True
 
     def __init__(self, max_events: int = 10_000) -> None:
+        self._lock = threading.RLock()
+        self._event_seen = threading.Condition(self._lock)
         self._counters: Dict[str, Counter] = {}
         self._gauges: Dict[str, Gauge] = {}
         self._histograms: Dict[str, Histogram] = {}
-        self.events: List[Dict] = []
+        #: Ring of ``(seq, record)`` pairs — most recent *max_events*.
+        self._events: Deque[Tuple[int, Dict]] = deque(maxlen=max(max_events, 0) or None)
+        self._next_seq = 0
         self.max_events = max_events
         self.dropped_events = 0
         self.sink = None  # duck-typed: needs .emit(record: dict)
@@ -178,31 +211,85 @@ class MetricRegistry:
     def counter(self, name: str) -> Counter:
         c = self._counters.get(name)
         if c is None:
-            c = self._counters[name] = Counter(name)
+            with self._lock:
+                c = self._counters.setdefault(name, Counter(name))
         return c
 
     def gauge(self, name: str) -> Gauge:
         g = self._gauges.get(name)
         if g is None:
-            g = self._gauges[name] = Gauge(name)
+            with self._lock:
+                g = self._gauges.setdefault(name, Gauge(name))
         return g
 
     def histogram(self, name: str, edges: Optional[Sequence[float]] = None) -> Histogram:
         h = self._histograms.get(name)
         if h is None:
-            h = self._histograms[name] = Histogram(name, edges or DEFAULT_EDGES)
+            with self._lock:
+                h = self._histograms.setdefault(
+                    name, Histogram(name, edges or DEFAULT_EDGES, lock=self._lock)
+                )
         return h
 
     # -- events ------------------------------------------------------------
 
     def event(self, kind: str, **fields) -> None:
         record = {"kind": kind, **fields}
-        if len(self.events) < self.max_events:
-            self.events.append(record)
-        else:
-            self.dropped_events += 1
+        with self._event_seen:
+            if self.max_events <= 0:
+                self.dropped_events += 1
+            else:
+                if len(self._events) == self.max_events:
+                    self.dropped_events += 1  # ring eviction of the oldest
+                self._events.append((self._next_seq, record))
+            self._next_seq += 1
+            self._event_seen.notify_all()
         if self.sink is not None:
             self.sink.emit(record)
+
+    @property
+    def events(self) -> List[Dict]:
+        """The retained event records, oldest first (the ring's tail)."""
+        with self._lock:
+            return [record for _seq, record in self._events]
+
+    @property
+    def last_seq(self) -> int:
+        """Sequence number of the most recent event (-1 before the first)."""
+        with self._lock:
+            return self._next_seq - 1
+
+    def tail(
+        self, n: Optional[int] = None, since_seq: Optional[int] = None
+    ) -> Tuple[List[Dict], int]:
+        """The most recent events as ``({"seq": s, **record}, ...)``.
+
+        ``since_seq`` restricts to records strictly newer than that
+        sequence number (the long-poll cursor contract: pass the
+        ``last_seq`` of the previous call to get only what landed since);
+        ``n`` caps the count, keeping the newest.  Returns
+        ``(records, last_seq)`` where ``last_seq`` is the registry-wide
+        latest sequence number — even when the matching records
+        themselves were already evicted from the ring.
+        """
+        with self._lock:
+            records = [
+                {"seq": seq, **record}
+                for seq, record in self._events
+                if since_seq is None or seq > since_seq
+            ]
+            if n is not None and len(records) > n:
+                records = records[-n:]
+            return records, self._next_seq - 1
+
+    def wait_for_events(self, since_seq: int, timeout: Optional[float] = None) -> bool:
+        """Block until an event with ``seq > since_seq`` exists (or
+        *timeout* elapses); returns whether one does.  The follow mode of
+        ``/events`` parks here instead of spinning on :meth:`tail`."""
+        with self._event_seen:
+            return self._event_seen.wait_for(
+                lambda: self._next_seq - 1 > since_seq, timeout=timeout
+            )
 
     def attach_sink(self, sink) -> None:
         """Forward every subsequent event to *sink* (``emit(record)``)."""
@@ -211,13 +298,39 @@ class MetricRegistry:
     # -- snapshots -----------------------------------------------------------
 
     def counters_dict(self) -> Dict[str, int]:
-        return {name: c.value for name, c in sorted(self._counters.items())}
+        with self._lock:
+            return {name: c.value for name, c in sorted(self._counters.items())}
 
     def gauges_dict(self) -> Dict[str, float]:
-        return {name: g.value for name, g in sorted(self._gauges.items())}
+        with self._lock:
+            return {name: g.value for name, g in sorted(self._gauges.items())}
 
     def histograms_dict(self) -> Dict[str, Dict]:
-        return {name: h.summary() for name, h in sorted(self._histograms.items())}
+        with self._lock:
+            return {name: h.summary() for name, h in sorted(self._histograms.items())}
+
+    def snapshot(self, meta: Optional[Dict] = None, max_events: Optional[int] = None) -> Dict:
+        """One consistent point-in-time document of the whole registry.
+
+        Shaped exactly like a ``telemetry.json`` report (schema marker
+        included) so ``format_report`` and ``repro report --watch``
+        render it unchanged; spans are omitted (they are still open while
+        the run is live).  Taken under the registry lock: counters are
+        monotone between successive snapshots and histogram summaries are
+        internally consistent.
+        """
+        with self._lock:
+            events, last_seq = self.tail(n=max_events)
+            return {
+                "schema": "repro.telemetry/v1",
+                "meta": dict(meta or {}),
+                "counters": self.counters_dict(),
+                "gauges": self.gauges_dict(),
+                "histograms": self.histograms_dict(),
+                "events": events,
+                "last_seq": last_seq,
+                "dropped_events": self.dropped_events,
+            }
 
 
 class NullRegistry(MetricRegistry):

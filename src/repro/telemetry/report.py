@@ -208,5 +208,5 @@ def format_report(report: Dict, max_events: int = 10) -> str:
             lines.append(f"  {ev.get('kind', '?'):<24s} {fields}")
     dropped = report.get("dropped_events", 0)
     if dropped:
-        lines.append(f"  ... {dropped} events dropped (max_events cap)")
+        lines.append(f"  ... {dropped} older events evicted (ring of max_events)")
     return "\n".join(lines)

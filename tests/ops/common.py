@@ -1,0 +1,74 @@
+"""Shared plumbing for the ops-surface tests: tiny HTTP helpers and a
+stub service implementing just the two methods :class:`repro.ops.OpsServer`
+calls (``ops_status`` / ``request_control``), so endpoint behaviour can
+be tested without serving a real stream."""
+
+import json
+import urllib.error
+import urllib.request
+
+
+def http_get(url, headers=None):
+    req = urllib.request.Request(url, headers=headers or {})
+    try:
+        with urllib.request.urlopen(req, timeout=10) as resp:
+            return resp.status, resp.read().decode(), dict(resp.headers)
+    except urllib.error.HTTPError as err:
+        return err.code, err.read().decode(), dict(err.headers)
+
+
+def http_post(url, headers=None):
+    req = urllib.request.Request(url, method="POST", headers=headers or {})
+    try:
+        with urllib.request.urlopen(req, timeout=10) as resp:
+            return resp.status, resp.read().decode()
+    except urllib.error.HTTPError as err:
+        return err.code, err.read().decode()
+
+
+def get_json(url, headers=None):
+    status, body, _ = http_get(url, headers=headers)
+    return status, json.loads(body)
+
+
+class StubService:
+    """Minimal OpsControlMixin look-alike with scripted status."""
+
+    def __init__(self, **status_overrides):
+        self.requests = []
+        self.status = {
+            "serving": True,
+            "uptime_s": 1.5,
+            "n_chunks": 4,
+            "n_packets": 400,
+            "drift_signals": 1,
+            "retrains": 1,
+            "swaps": 1,
+            "rollbacks": 0,
+            "last_chunk": {"index": 3, "n_packets": 100, "duration_s": 0.01},
+            "swap_events": [],
+            "control_events": [],
+            "pending_controls": [],
+            "kind": "cluster",
+            "n_shards": 2,
+            "generation": 1,
+            "drained_shards": [],
+            "shard_packets": [250, 150],
+        }
+        self.status.update(status_overrides)
+
+    def ops_status(self):
+        return dict(self.status)
+
+    def request_control(self, verb, shard=None, source="api"):
+        if verb not in ("retrain", "rollback", "drain"):
+            raise ValueError(f"unknown control verb {verb!r}")
+        ticket = {
+            "id": len(self.requests),
+            "verb": verb,
+            "shard": shard,
+            "source": source,
+            "status": "queued",
+        }
+        self.requests.append(ticket)
+        return dict(ticket)

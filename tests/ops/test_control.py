@@ -1,0 +1,299 @@
+"""Control-verb equivalence: the HTTP surface adds nothing.
+
+The core claim: a ``POST /control/rollback`` lands the service in
+exactly the state a direct in-process rollback (the drift loop's own
+path) produces — bit-identical decisions on the remaining stream, same
+table generation, same counters.  The HTTP layer only *enqueues*; the
+serving thread applies every verb at a chunk boundary through the same
+machinery, so observing or steering a run over HTTP can never create a
+third behaviour.
+"""
+
+import threading
+import time
+
+import numpy as np
+import pytest
+
+from repro.cluster import ClusterService
+from repro.cluster.router import FlowShardRouter
+from repro.features.flow_features import FlowFeatureExtractor
+from repro.features.scaling import IntegerQuantizer
+from repro.ops import TOKEN_HEADER, OpsServer
+from repro.runtime import OnlineDetectionService, RuntimeConfig
+from repro.telemetry import MetricRegistry, use_registry
+from tests.faults.common import (
+    PKT_COUNT_THRESHOLD,
+    TIMEOUT,
+    StubRetrainer,
+    compile_artifacts,
+    fresh_pipeline,
+    make_split,
+)
+from tests.ops.common import get_json, http_post
+from tests.runtime.common import percentile_rules
+
+N_CHUNKS = 6
+
+
+@pytest.fixture(scope="module")
+def split():
+    return make_split(seed=23, n_benign_flows=50)
+
+
+@pytest.fixture(scope="module")
+def artifacts(split):
+    return compile_artifacts(split.train_flows)
+
+
+@pytest.fixture(scope="module")
+def second_generation(split, artifacts):
+    """A distinct-but-valid table generation to hot-swap over gen 0,
+    giving every service under test something to roll back from."""
+    fx = FlowFeatureExtractor(
+        feature_set="switch", pkt_count_threshold=PKT_COUNT_THRESHOLD, timeout=TIMEOUT
+    )
+    x, _ = fx.extract_flows(split.train_flows)
+    quantizer = IntegerQuantizer(bits=12, space="log").fit(
+        np.vstack([x, x * 1.5 + 1.0])
+    )
+    return percentile_rules(x * 1.08).quantize(quantizer), quantizer
+
+
+def make_service(split, artifacts, second_generation, pre_swapped=True):
+    pipeline = fresh_pipeline(artifacts)
+    if pre_swapped:
+        rules2, quantizer2 = second_generation
+        pipeline.stage_tables(rules2, quantizer2)
+        pipeline.hot_swap()
+        assert pipeline.can_rollback
+    n_packets = len(split.stream_trace.packets)
+    config = RuntimeConfig(
+        chunk_size=-(-n_packets // N_CHUNKS),
+        drift_threshold=0.0,
+        min_retrain_flows=8,
+        stage_backoff_s=0.0,
+    )
+    return OnlineDetectionService(
+        pipeline, retrainer=StubRetrainer(artifacts), config=config
+    )
+
+
+def serve(service, split):
+    with use_registry(MetricRegistry()):
+        return service.serve(split.stream_trace)
+
+
+class TestRollbackEquivalence:
+    def test_http_rollback_matches_direct_request(
+        self, split, artifacts, second_generation
+    ):
+        """Same rollback, three routes — direct pipeline call (what a
+        failed swap validation does), in-process ticket, HTTP POST — all
+        three must serve the stream with bit-identical decisions."""
+        # Route 1: the drift loop's own primitive, applied up front.
+        direct = make_service(split, artifacts, second_generation)
+        direct.pipeline.rollback()
+        direct_report = serve(direct, split)
+
+        # Route 2: an in-process control ticket, applied at chunk 0's
+        # boundary by the serving thread.
+        ticketed = make_service(split, artifacts, second_generation)
+        ticketed.request_control("rollback", source="direct")
+        ticketed_report = serve(ticketed, split)
+
+        # Route 3: the same ticket via a real HTTP POST.
+        http = make_service(split, artifacts, second_generation)
+        with OpsServer(http, token="t0k3n") as srv:
+            status, _ = http_post(
+                srv.url + "/control/rollback", {TOKEN_HEADER: "t0k3n"}
+            )
+            assert status == 202
+            http_report = serve(http, split)
+
+        # Tickets applied through the same path report the same outcome.
+        for report in (ticketed_report, http_report):
+            (event,) = report.control_events
+            assert event["verb"] == "rollback"
+            assert event["outcome"] == "rolled_back"
+            assert event["chunk"] == 0
+            assert event["status"] == "applied"
+
+        # All three land on the rolled-back generation...
+        assert ticketed.pipeline.table_rollbacks == 1
+        assert http.pipeline.table_rollbacks == 1
+        # ...chunk 0 ran on gen 1 for routes 2/3 (the ticket applies at
+        # the first boundary, not before the stream starts), after which
+        # every remaining packet must decide identically to route 1.
+        offset = ticketed_report.chunk_stats[0].n_packets
+        assert np.array_equal(
+            ticketed_report.y_pred[offset:], direct_report.y_pred[offset:]
+        )
+        # And routes 2 and 3 are identical over the whole stream: the
+        # HTTP hop changes nothing about where or how the verb applies.
+        assert np.array_equal(ticketed_report.y_pred, http_report.y_pred)
+        assert ticketed_report.decisions == http_report.decisions
+
+    def test_rollback_without_history_is_skipped(
+        self, split, artifacts, second_generation
+    ):
+        service = make_service(split, artifacts, second_generation, pre_swapped=False)
+        service.request_control("rollback")
+        report = serve(service, split)
+        (event,) = report.control_events
+        assert event["outcome"] == "skipped:no_previous_generation"
+        assert service.pipeline.table_rollbacks == 0
+
+    def test_mid_serve_post_applies_at_a_chunk_boundary(
+        self, split, artifacts, second_generation
+    ):
+        """A POST issued while serve() is mid-stream is picked up at the
+        next boundary; the server thread never touches the pipeline."""
+        service = make_service(split, artifacts, second_generation)
+        report_box = {}
+
+        def run():
+            report_box["report"] = serve(service, split)
+
+        with OpsServer(service) as srv:
+            thread = threading.Thread(target=run)
+            thread.start()
+            try:
+                deadline = time.monotonic() + 30.0
+                posted = False
+                while time.monotonic() < deadline and thread.is_alive():
+                    _, doc = get_json(srv.url + "/healthz")
+                    if doc["serving"]:
+                        status, _ = http_post(srv.url + "/control/rollback")
+                        assert status == 202
+                        posted = True
+                        break
+                    time.sleep(0.001)
+            finally:
+                thread.join(timeout=120)
+        assert not thread.is_alive()
+        if not posted:
+            pytest.skip("stream finished before the POST landed")
+        report = report_box["report"]
+        applied = [t for t in report.control_events if t["verb"] == "rollback"]
+        pending = [t for t in service.pending_controls()]
+        # The ticket either applied at some boundary or the stream ended
+        # first and it stayed queued — it must never vanish or apply off
+        # a boundary.
+        if applied:
+            (event,) = applied
+            assert 0 <= event["chunk"] < report.n_chunks
+            assert event["outcome"] in ("rolled_back", "skipped:no_previous_generation")
+            assert service.pipeline.table_rollbacks <= 1
+        else:
+            assert len(pending) == 1
+
+
+class TestRetrainVerb:
+    def test_manual_retrain_swaps_through_the_drift_path(
+        self, split, artifacts, second_generation
+    ):
+        service = make_service(split, artifacts, second_generation)
+        with OpsServer(service, token="t") as srv:
+            status, _ = http_post(srv.url + "/control/retrain", {TOKEN_HEADER: "t"})
+            assert status == 202
+            registry = MetricRegistry()
+            with use_registry(registry):
+                report = service.serve(split.stream_trace)
+        (event,) = report.control_events
+        assert event["verb"] == "retrain"
+        assert event["outcome"] == "swapped"
+        assert report.retrains == 1
+        (swap,) = report.swap_events
+        assert swap.reason == "manual"
+        assert swap.chunk_index == 0
+        # The applied ticket is also in the telemetry event log.
+        kinds = [e["kind"] for e in registry.events]
+        assert "ops.control" in kinds
+
+    def test_retrain_respects_max_swaps(self, split, artifacts, second_generation):
+        service = make_service(split, artifacts, second_generation)
+        service.config.max_swaps = 0
+        service.request_control("retrain")
+        report = serve(service, split)
+        (event,) = report.control_events
+        assert event["outcome"] == "skipped:max_swaps"
+        assert report.retrains == 0
+
+
+class TestDrainVerb:
+    def test_router_drain_remaps_deterministically(self):
+        router = FlowShardRouter(n_shards=3, salt=11)
+        fields = np.column_stack(
+            [
+                np.arange(64, dtype=np.int64) + 10,
+                np.arange(64, dtype=np.int64) * 3 + 1,
+                np.full(64, 6000, dtype=np.int64),
+                np.arange(64, dtype=np.int64) * 7,
+                np.full(64, 6, dtype=np.int64),
+            ]
+        )
+        before = router.shard_indices_fields(fields)
+        router.drain(1)
+        after = router.shard_indices_fields(fields)
+        # Undrained flows keep their shard; drained ones land on an
+        # active shard, by a pure function of the tuple (stable across
+        # calls).
+        assert not np.any(after == 1)
+        moved = before == 1
+        assert np.array_equal(after[~moved], before[~moved])
+        assert np.array_equal(after, router.shard_indices_fields(fields))
+        router.undrain(1)
+        assert np.array_equal(router.shard_indices_fields(fields), before)
+
+    def test_router_refuses_to_drain_the_last_shard(self):
+        router = FlowShardRouter(n_shards=2, salt=3)
+        router.drain(0)
+        with pytest.raises(ValueError, match="last active shard"):
+            router.drain(1)
+        with pytest.raises(ValueError, match="must be in"):
+            router.drain(5)
+
+    def test_drain_on_single_service_is_unsupported(
+        self, split, artifacts, second_generation
+    ):
+        service = make_service(split, artifacts, second_generation)
+        service.request_control("drain", shard=0)
+        report = serve(service, split)
+        (event,) = report.control_events
+        assert event["outcome"] == "unsupported:not_a_cluster"
+
+    def test_cluster_drain_diverts_traffic(self, split, artifacts):
+        pipeline = fresh_pipeline(artifacts)
+        n_packets = len(split.stream_trace.packets)
+        config = RuntimeConfig(
+            chunk_size=-(-n_packets // N_CHUNKS),
+            drift_threshold=0.0,
+            stage_backoff_s=0.0,
+        )
+        registry = MetricRegistry()
+        with ClusterService(
+            pipeline,
+            n_shards=2,
+            config=config,
+            executor="inprocess",
+            retrainer=StubRetrainer(artifacts),
+            seed=5,
+        ) as cluster:
+            with OpsServer(cluster, registry=registry, token="t") as srv:
+                status, _ = http_post(
+                    srv.url + "/control/drain/1", {TOKEN_HEADER: "t"}
+                )
+                assert status == 202
+                with use_registry(registry):
+                    report = cluster.serve(split.stream_trace)
+                _, shards_doc = get_json(srv.url + "/shards")
+        (event,) = report.control_events
+        assert event["outcome"] == "drained"
+        assert event["shard"] == 1
+        assert cluster.router.drained == {1}
+        # Shard 1 saw chunk 0 only (the ticket applies at its boundary);
+        # everything after was rerouted to shard 0.
+        assert report.shard_packets[1] < report.shard_packets[0]
+        assert registry.gauges_dict()["cluster.drained_shards"] == 1.0
+        assert shards_doc["shards"][1]["drained"] is True

@@ -1,0 +1,155 @@
+"""The observability tax is zero: a run scraped continuously over HTTP
+produces decisions and telemetry bit-identical to an unobserved run.
+
+Two fresh services serve the identical stream — one plain, one with the
+ops endpoint attached and a polling thread hammering every GET endpoint
+throughout the run.  Everything deterministic must match exactly:
+per-packet decisions, every counter, every gauge, every event (modulo
+wall-clock duration fields), and every histogram's observation count.
+Only wall-clock quantities (histogram sums of ``*_s`` timings, event
+durations) may differ, because two runs of *anything* differ there.
+"""
+
+import threading
+import urllib.request
+
+import numpy as np
+import pytest
+
+from repro.ops import OpsServer
+from repro.runtime import OnlineDetectionService, RuntimeConfig
+from repro.telemetry import MetricRegistry, build_report, use_registry
+from tests.faults.common import (
+    StubRetrainer,
+    compile_artifacts,
+    fresh_pipeline,
+    make_split,
+)
+
+N_CHUNKS = 8
+
+#: Event keys that carry wall-clock durations — the only permitted
+#: divergence between an observed and an unobserved run.
+VOLATILE_EVENT_KEYS = ("duration_s", "elapsed_s", "pause_s")
+
+GET_PATHS = (
+    "/healthz",
+    "/metrics",
+    "/metrics?format=prometheus",
+    "/shards",
+    "/events?n=5",
+)
+
+
+@pytest.fixture(scope="module")
+def split():
+    # device_mix shift + cadence retrains: the run actually swaps
+    # tables, so the comparison covers the interesting code paths.
+    return make_split(seed=31, n_benign_flows=60, shift="device_mix")
+
+
+@pytest.fixture(scope="module")
+def artifacts(split):
+    return compile_artifacts(split.train_flows)
+
+
+def _poll_forever(base_url, stop):
+    while not stop.is_set():
+        for path in GET_PATHS:
+            try:
+                with urllib.request.urlopen(base_url + path, timeout=5) as resp:
+                    resp.read()
+            except OSError:
+                if stop.is_set():
+                    return
+    # One final sweep after serve() returned, against the final state.
+    for path in GET_PATHS:
+        try:
+            with urllib.request.urlopen(base_url + path, timeout=5) as resp:
+                resp.read()
+        except OSError:
+            return
+
+
+def _serve(split, artifacts, observed):
+    pipeline = fresh_pipeline(artifacts)
+    n_packets = len(split.stream_trace.packets)
+    config = RuntimeConfig(
+        chunk_size=-(-n_packets // N_CHUNKS),
+        drift_threshold=0.0,
+        cadence=3,
+        min_retrain_flows=8,
+        stage_backoff_s=0.0,
+    )
+    service = OnlineDetectionService(
+        pipeline, retrainer=StubRetrainer(artifacts), config=config
+    )
+    registry = MetricRegistry()
+    with use_registry(registry):
+        if not observed:
+            report = service.serve(split.stream_trace)
+        else:
+            stop = threading.Event()
+            with OpsServer(service) as srv:
+                poller = threading.Thread(
+                    target=_poll_forever, args=(srv.url, stop)
+                )
+                poller.start()
+                try:
+                    report = service.serve(split.stream_trace)
+                finally:
+                    stop.set()
+                    poller.join(timeout=30)
+    return report, build_report(registry)
+
+
+def _normalise_events(events):
+    return [
+        {k: v for k, v in e.items() if k not in VOLATILE_EVENT_KEYS}
+        for e in events
+    ]
+
+
+@pytest.fixture(scope="module")
+def runs(split, artifacts):
+    plain = _serve(split, artifacts, observed=False)
+    observed = _serve(split, artifacts, observed=True)
+    return plain, observed
+
+
+class TestObservedRunIsBitIdentical:
+    def test_decisions_identical(self, runs):
+        (plain_report, _), (obs_report, _) = runs
+        assert plain_report.n_packets == obs_report.n_packets
+        assert np.array_equal(plain_report.y_pred, obs_report.y_pred)
+        assert np.array_equal(plain_report.y_true, obs_report.y_true)
+        assert plain_report.decisions == obs_report.decisions
+
+    def test_control_flow_identical(self, runs):
+        (plain_report, _), (obs_report, _) = runs
+        assert plain_report.retrains == obs_report.retrains
+        assert plain_report.n_swaps == obs_report.n_swaps
+        assert plain_report.retrains > 0  # the comparison has teeth
+        assert [e.chunk_index for e in plain_report.swap_events] == [
+            e.chunk_index for e in obs_report.swap_events
+        ]
+        # No control verbs were posted, so scraping alone queued none.
+        assert obs_report.control_events == []
+
+    def test_counters_and_gauges_identical(self, runs):
+        (_, plain_doc), (_, obs_doc) = runs
+        assert plain_doc["counters"] == obs_doc["counters"]
+        assert plain_doc["gauges"] == obs_doc["gauges"]
+
+    def test_histogram_populations_identical(self, runs):
+        (_, plain_doc), (_, obs_doc) = runs
+        assert set(plain_doc["histograms"]) == set(obs_doc["histograms"])
+        for name, h in plain_doc["histograms"].items():
+            assert h["count"] == obs_doc["histograms"][name]["count"], name
+
+    def test_event_log_identical_modulo_durations(self, runs):
+        (_, plain_doc), (_, obs_doc) = runs
+        assert _normalise_events(plain_doc["events"]) == _normalise_events(
+            obs_doc["events"]
+        )
+        assert plain_doc["dropped_events"] == obs_doc["dropped_events"]

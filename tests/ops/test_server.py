@@ -1,0 +1,212 @@
+"""Endpoint behaviour of :class:`repro.ops.OpsServer` against a stub
+service: routing, auth, cursors, SSE follow, and the Prometheus
+exposition — everything that doesn't need a live stream."""
+
+import json
+import threading
+
+import pytest
+
+from repro.ops import TOKEN_HEADER, OpsServer, histogram_quantile, render_prometheus
+from repro.telemetry import MetricRegistry
+from tests.ops.common import StubService, get_json, http_get, http_post
+
+
+@pytest.fixture()
+def registry():
+    reg = MetricRegistry()
+    reg.counter("switch.path.red").inc(7)
+    reg.counter("cluster.shard.0.switch.table.swaps").inc(2)
+    reg.counter("cluster.shard.1.switch.table.swaps").inc(1)
+    reg.gauge("runtime.drift.score").set(0.125)
+    reg.histogram("runtime.swap_pause_s", edges=[0.001, 0.01, 0.1]).observe_many(
+        [0.002, 0.005, 0.05]
+    )
+    reg.event("serve.start", attack="Mirai")
+    reg.event("runtime.swap", chunk=3)
+    return reg
+
+
+@pytest.fixture()
+def server(registry):
+    stub = StubService()
+    with OpsServer(stub, registry=registry, token="hunter2") as srv:
+        yield srv, stub
+
+
+class TestReadSurface:
+    def test_healthz(self, server):
+        srv, _ = server
+        status, doc = get_json(srv.url + "/healthz")
+        assert status == 200
+        assert doc["status"] == "serving"
+        assert doc["generation"] == 1
+        assert doc["n_chunks"] == 4
+        assert doc["uptime_s"] > 0
+
+    def test_metrics_json_is_snapshot_plus_ops(self, server, registry):
+        srv, _ = server
+        status, doc = get_json(srv.url + "/metrics")
+        assert status == 200
+        assert doc["counters"] == registry.counters_dict()
+        assert doc["gauges"] == registry.gauges_dict()
+        assert doc["ops"]["n_packets"] == 400
+        assert [e["kind"] for e in doc["events"]] == ["serve.start", "runtime.swap"]
+
+    def test_metrics_prometheus(self, server):
+        srv, _ = server
+        status, body, headers = http_get(srv.url + "/metrics?format=prometheus")
+        assert status == 200
+        assert headers["Content-Type"].startswith("text/plain")
+        assert "# TYPE repro_switch_path_red_total counter" in body
+        assert "repro_switch_path_red_total 7" in body
+        # Shard-tagged counters become labelled series of one metric.
+        assert 'repro_cluster_switch_table_swaps_total{shard="0"} 2' in body
+        assert 'repro_cluster_switch_table_swaps_total{shard="1"} 1' in body
+        assert "repro_runtime_drift_score 0.125" in body
+        assert 'repro_runtime_swap_pause_s_bucket{le="+Inf"} 3' in body
+        assert "repro_runtime_swap_pause_s_count 3" in body
+
+    def test_shards_groups_the_registry_namespace(self, server):
+        srv, _ = server
+        status, doc = get_json(srv.url + "/shards")
+        assert status == 200
+        assert doc["n_shards"] == 2
+        by_id = {s["shard"]: s for s in doc["shards"]}
+        assert by_id[0]["metrics"]["switch.table.swaps"] == 2
+        assert by_id[0]["generation"] == 2
+        assert by_id[1]["generation"] == 1
+        assert by_id[0]["packets"] == 250
+        assert not by_id[1]["drained"]
+
+    def test_events_tail_and_cursor(self, server):
+        srv, _ = server
+        status, doc = get_json(srv.url + "/events?n=1")
+        assert status == 200
+        assert [e["kind"] for e in doc["events"]] == ["runtime.swap"]
+        assert doc["last_seq"] == 1
+        status, doc = get_json(srv.url + "/events?since_seq=0")
+        assert [e["kind"] for e in doc["events"]] == ["runtime.swap"]
+        status, doc = get_json(srv.url + "/events?since_seq=1")
+        assert doc["events"] == []
+
+    def test_events_rejects_garbage_params(self, server):
+        srv, _ = server
+        status, doc = get_json(srv.url + "/events?n=bogus")
+        assert status == 400
+
+    def test_events_follow_streams_new_events(self, server, registry):
+        srv, _ = server
+        cursor = registry.last_seq
+
+        def emit_late():
+            registry.event("late.event", marker=42)
+
+        timer = threading.Timer(0.05, emit_late)
+        timer.start()
+        try:
+            status, body, headers = http_get(
+                srv.url + f"/events?follow=1&since_seq={cursor}"
+            )
+        finally:
+            timer.join()
+        assert status == 200
+        assert headers["Content-Type"].startswith("text/event-stream")
+        assert f"id: {cursor + 1}" in body
+        record = json.loads(body.split("data: ", 1)[1].split("\n")[0])
+        assert record["kind"] == "late.event"
+        assert record["marker"] == 42
+
+    def test_unknown_path_404s(self, server):
+        srv, _ = server
+        status, doc = get_json(srv.url + "/nope")
+        assert status == 404
+
+
+class TestControlSurface:
+    def test_token_required(self, server):
+        srv, stub = server
+        status, body = http_post(srv.url + "/control/retrain")
+        assert status == 403
+        assert stub.requests == []
+
+    def test_token_header_accepted(self, server):
+        srv, stub = server
+        status, body = http_post(
+            srv.url + "/control/retrain", {TOKEN_HEADER: "hunter2"}
+        )
+        assert status == 202
+        doc = json.loads(body)
+        assert doc["accepted"] is True
+        assert doc["ticket"]["verb"] == "retrain"
+        assert doc["ticket"]["source"] == "http"
+        assert [r["verb"] for r in stub.requests] == ["retrain"]
+
+    def test_bearer_token_accepted(self, server):
+        srv, stub = server
+        status, _ = http_post(
+            srv.url + "/control/rollback", {"Authorization": "Bearer hunter2"}
+        )
+        assert status == 202
+        assert stub.requests[-1]["verb"] == "rollback"
+
+    def test_wrong_token_rejected(self, server):
+        srv, stub = server
+        status, _ = http_post(srv.url + "/control/retrain", {TOKEN_HEADER: "nope"})
+        assert status == 403
+        assert stub.requests == []
+
+    def test_drain_takes_a_shard_index(self, server):
+        srv, stub = server
+        status, body = http_post(
+            srv.url + "/control/drain/1", {TOKEN_HEADER: "hunter2"}
+        )
+        assert status == 202
+        assert json.loads(body)["ticket"]["shard"] == 1
+        status, _ = http_post(srv.url + "/control/drain", {TOKEN_HEADER: "hunter2"})
+        assert status == 400
+        status, _ = http_post(
+            srv.url + "/control/drain/x", {TOKEN_HEADER: "hunter2"}
+        )
+        assert status == 400
+
+    def test_unknown_verb_400s(self, server):
+        srv, _ = server
+        status, _ = http_post(srv.url + "/control/explode", {TOKEN_HEADER: "hunter2"})
+        assert status == 400
+
+    def test_no_token_configured_means_open(self, registry):
+        with OpsServer(StubService(), registry=registry) as srv:
+            status, _ = http_post(srv.url + "/control/retrain")
+            assert status == 202
+
+
+class TestPrometheusRendering:
+    def test_quantile_estimation_brackets_the_data(self):
+        reg = MetricRegistry()
+        h = reg.histogram("q.test", edges=[1.0, 2.0, 4.0, 8.0])
+        h.observe_many([0.5, 1.5, 1.6, 3.0, 3.5, 5.0, 6.0, 7.0])
+        summary = reg.histograms_dict()["q.test"]
+        p50 = histogram_quantile(summary, 0.5)
+        p99 = histogram_quantile(summary, 0.99)
+        assert 1.0 <= p50 <= 4.0
+        assert 4.0 <= p99 <= 7.0
+        assert histogram_quantile({"count": 0}, 0.5) != histogram_quantile(
+            {"count": 0}, 0.5
+        )  # NaN for empty
+
+    def test_buckets_are_cumulative_and_close_at_inf(self):
+        reg = MetricRegistry()
+        reg.histogram("lat", edges=[1.0, 10.0]).observe_many([0.5, 5.0, 50.0])
+        text = render_prometheus(
+            {"counters": {}, "gauges": {}, "histograms": reg.histograms_dict()}
+        )
+        assert 'repro_lat_bucket{le="1"} 1' in text
+        assert 'repro_lat_bucket{le="10"} 2' in text
+        assert 'repro_lat_bucket{le="+Inf"} 3' in text
+
+    def test_names_are_sanitised(self):
+        text = render_prometheus(
+            {"counters": {"a.b-c.d": 1}, "gauges": {}, "histograms": {}}
+        )
+        assert "repro_a_b_c_d_total 1" in text

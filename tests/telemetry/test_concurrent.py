@@ -1,0 +1,129 @@
+"""Registry reads under concurrent writes: the ops-surface contract.
+
+The HTTP ops endpoint snapshots the registry from scraper threads while
+the serving thread keeps writing.  These tests hammer the registry from
+writer threads and assert every reader-visible invariant the scrape
+surface depends on: counters never run backwards between snapshots,
+histogram summaries are internally consistent (no torn bucket arrays),
+and event sequence numbers stay strictly monotonic through the tail
+cursor.
+"""
+
+import threading
+
+from repro.telemetry import MetricRegistry
+
+
+def _hammer(registry, n_iters, stop_evt=None):
+    c = registry.counter("load.packets")
+    g = registry.gauge("load.depth")
+    h = registry.histogram("load.latency", edges=[0.1, 1.0, 10.0])
+    for i in range(n_iters):
+        c.inc(3)
+        g.set(float(i))
+        h.observe(float(i % 13))
+        registry.event("load.tick", i=i)
+        if stop_evt is not None and stop_evt.is_set():
+            return
+
+
+class TestConcurrentSnapshots:
+    N_WRITERS = 4
+    N_ITERS = 2000
+
+    def test_counters_monotonic_and_histograms_consistent(self):
+        registry = MetricRegistry(max_events=256)
+        writers = [
+            threading.Thread(target=_hammer, args=(registry, self.N_ITERS))
+            for _ in range(self.N_WRITERS)
+        ]
+        for w in writers:
+            w.start()
+
+        last_packets = 0
+        last_seq = -1
+        snapshots = 0
+        while any(w.is_alive() for w in writers) or snapshots < 10:
+            snap = registry.snapshot()
+            packets = snap["counters"].get("load.packets", 0)
+            # Counters only ever move forward between two reads.
+            assert packets >= last_packets
+            last_packets = packets
+            # No torn histogram: the summary is taken under one lock, so
+            # its parts must agree with each other.
+            hist = snap["histograms"].get("load.latency")
+            if hist is not None and hist["count"]:
+                assert sum(hist["bucket_counts"]) == hist["count"]
+                assert hist["min"] <= hist["mean"] <= hist["max"]
+            assert snap["last_seq"] >= last_seq
+            last_seq = snap["last_seq"]
+            snapshots += 1
+        for w in writers:
+            w.join()
+
+        final = registry.snapshot()
+        total = self.N_WRITERS * self.N_ITERS
+        assert final["counters"]["load.packets"] == 3 * total
+        assert final["histograms"]["load.latency"]["count"] == total
+        # Every event got a distinct seq (even the evicted ones).
+        assert final["last_seq"] == total - 1
+
+    def test_tail_cursor_sees_strictly_increasing_seqs(self):
+        registry = MetricRegistry(max_events=128)
+        stop = threading.Event()
+        writer = threading.Thread(
+            target=_hammer, args=(registry, 5000, stop)
+        )
+        writer.start()
+        try:
+            seen = -1
+            for _ in range(200):
+                events, last_seq = registry.tail(since_seq=seen)
+                seqs = [e["seq"] for e in events]
+                # Strictly increasing within one read, and strictly past
+                # the cursor — the follow stream can never replay or
+                # reorder an event.
+                assert all(b > a for a, b in zip(seqs, seqs[1:]))
+                assert all(s > seen for s in seqs)
+                if seqs:
+                    seen = seqs[-1]
+                assert last_seq >= seen
+        finally:
+            stop.set()
+            writer.join()
+
+    def test_wait_for_events_wakes_on_concurrent_write(self):
+        registry = MetricRegistry()
+        registry.event("warmup")
+
+        def late_writer():
+            registry.event("late", marker=1)
+
+        t = threading.Timer(0.05, late_writer)
+        t.start()
+        try:
+            assert registry.wait_for_events(registry.last_seq, timeout=5.0)
+            events, _ = registry.tail(since_seq=0)
+            assert [e["kind"] for e in events] == ["late"]
+        finally:
+            t.join()
+
+    def test_instrument_creation_race_yields_one_instrument(self):
+        registry = MetricRegistry()
+        barrier = threading.Barrier(8)
+        grabbed = []
+
+        def grab():
+            barrier.wait()
+            grabbed.append(registry.counter("contended"))
+            grabbed[-1].inc()
+
+        threads = [threading.Thread(target=grab) for _ in range(8)]
+        for t in threads:
+            t.start()
+        for t in threads:
+            t.join()
+        # All callers got the same Counter object, so no increment was
+        # lost to a second instance shadowing the first.
+        assert all(c is grabbed[0] for c in grabbed)
+        assert registry.counters_dict()["contended"] == 8

@@ -100,14 +100,48 @@ class TestHistogram:
 
 
 class TestEvents:
-    def test_event_log_and_cap(self):
+    def test_event_log_is_a_bounded_tail(self):
         reg = MetricRegistry(max_events=2)
         reg.event("a", x=1)
         reg.event("b")
         reg.event("c")
-        assert [e["kind"] for e in reg.events] == ["a", "b"]
-        assert reg.events[0]["x"] == 1
+        # Ring semantics: the most recent max_events records survive.
+        assert [e["kind"] for e in reg.events] == ["b", "c"]
         assert reg.dropped_events == 1
+        assert reg.last_seq == 2
+
+    def test_tail_cursor_and_cap(self):
+        reg = MetricRegistry(max_events=4)
+        for i in range(6):
+            reg.event("e", i=i)
+        records, last_seq = reg.tail()
+        assert last_seq == 5
+        assert [r["seq"] for r in records] == [2, 3, 4, 5]
+        assert [r["i"] for r in records] == [2, 3, 4, 5]
+        newest, _ = reg.tail(n=2)
+        assert [r["seq"] for r in newest] == [4, 5]
+        since, last_seq = reg.tail(since_seq=4)
+        assert [r["seq"] for r in since] == [5] and last_seq == 5
+        # A cursor past everything retained still reports the live seq.
+        none_left, last_seq = reg.tail(since_seq=5)
+        assert none_left == [] and last_seq == 5
+
+    def test_wait_for_events(self):
+        reg = MetricRegistry()
+        reg.event("a")
+        assert reg.wait_for_events(since_seq=-1, timeout=0.01)
+        assert not reg.wait_for_events(since_seq=0, timeout=0.01)
+
+    def test_snapshot_is_report_shaped(self):
+        reg = MetricRegistry()
+        reg.counter("c").inc(3)
+        reg.event("boot")
+        snap = reg.snapshot(meta={"run": 1}, max_events=5)
+        assert snap["schema"] == "repro.telemetry/v1"
+        assert snap["counters"] == {"c": 3}
+        assert snap["events"][0]["kind"] == "boot"
+        assert snap["events"][0]["seq"] == 0
+        assert snap["last_seq"] == 0
 
     def test_sink_receives_all_events_past_the_cap(self):
         emitted = []
