@@ -22,6 +22,14 @@ Subcommands cover the adoption path end to end:
   model; ``--bundle DIR`` also persists the model as a reloadable
   :mod:`repro.io` bundle.
 * ``attacks`` — list the 15 attack workload names.
+* ``scenario`` — inspect the scenario foundry (:mod:`repro.scenarios`):
+  ``scenario list`` shows the registered presets, ``scenario preview
+  SPEC`` generates a spec once (streaming, one pass) and prints
+  per-window offered-load rows.  ``serve --scenario SPEC`` serves the
+  scenario's packet stream instead of an attack split, training the
+  model on benign flows drawn from the scenario's own tenant
+  populations; generation is chunked, so arbitrarily long scenarios
+  serve in bounded memory.
 * ``report``  — pretty-print a saved ``telemetry.json`` run report, or
   ``--watch URL`` to render the live ``/metrics`` document of a serving
   run's ops endpoint on an interval.
@@ -102,12 +110,23 @@ def _build_parser() -> argparse.ArgumentParser:
         help="online serving runtime: stream, monitor drift, hot-swap",
         parents=[telemetry, ops],
     )
-    p_serve.add_argument("attack")
+    p_serve.add_argument(
+        "attack", nargs="?", default=None,
+        help="attack workload name (omit when using --scenario)",
+    )
+    p_serve.add_argument(
+        "--scenario", metavar="SPEC", default=None,
+        help="serve a scenario stream instead of an attack split: a preset "
+        "name ('pulse_wave_syn'), a preset with overrides "
+        "('pulse_wave_syn;duration=120;seed=11'), or a full DSL spec "
+        "(see repro.scenarios; 'repro scenario list' shows presets)",
+    )
     p_serve.add_argument(
         "--model", default="iguard", help="model name or bundle path (as in deploy)"
     )
     p_serve.add_argument("--flows", type=int, default=240,
-                         help="benign flows per stream phase")
+                         help="benign flows per stream phase (or scenario "
+                         "training flows with --scenario)")
     p_serve.add_argument("--chunk-size", type=int, default=2000)
     p_serve.add_argument(
         "--drift", type=float, default=0.25,
@@ -175,6 +194,26 @@ def _build_parser() -> argparse.ArgumentParser:
     p_export.add_argument("--seed", type=int, default=7)
 
     sub.add_parser("attacks", help="list attack workload names")
+
+    p_scenario = sub.add_parser(
+        "scenario", help="inspect scenario presets and DSL specs"
+    )
+    scenario_sub = p_scenario.add_subparsers(dest="scenario_cmd", required=True)
+    scenario_sub.add_parser("list", help="list registered scenario presets")
+    p_preview = scenario_sub.add_parser(
+        "preview",
+        help="generate a scenario once and print per-window offered-load rows",
+    )
+    p_preview.add_argument(
+        "spec", help="preset name or DSL spec (as in serve --scenario)"
+    )
+    p_preview.add_argument(
+        "--every", type=float, default=5.0, metavar="S",
+        help="summary window in seconds (default 5)",
+    )
+    p_preview.add_argument(
+        "--seed", type=int, default=None, help="override the spec's seed"
+    )
 
     p_report = sub.add_parser(
         "report", help="pretty-print a saved telemetry run report"
@@ -397,17 +436,59 @@ def _print_shard_summary(report) -> None:
             print(f"  shard {k} faults: {fired}")
 
 
+def _scenario_source(spec: str, n_flows: int, seed: int):
+    """Build ``(source, train_split, label)`` for a ``--scenario`` serve.
+
+    The source is a fresh streaming :class:`ScenarioStream` (the serve
+    loop holds one chunk at a time); the train split is a shim exposing
+    only ``train_flows`` — benign flows drawn from the scenario's own
+    tenant populations — which is all ``build_pipeline`` reads.
+    """
+    from types import SimpleNamespace
+
+    from repro.scenarios import parse_scenario
+
+    scenario = parse_scenario(spec)
+    stream = scenario.stream()
+    train_split = SimpleNamespace(
+        train_flows=stream.training_flows(n_flows, seed=seed)
+    )
+    return scenario.stream(), train_split, scenario.name
+
+
 def _cmd_serve(args) -> int:
-    from repro.datasets import make_drift_split
     from repro.io import is_model_bundle
     from repro.runtime import CheckpointManager, OnlineDetectionService, RuntimeConfig
 
     if args.shards < 1:
         print(f"--shards must be >= 1, got {args.shards}")
         return 2
-    split = make_drift_split(
-        args.attack, n_benign_flows=args.flows, shift=args.shift, seed=args.seed
-    )
+    if args.scenario and args.attack:
+        print("serve: give either an attack name or --scenario, not both")
+        return 2
+    if not args.scenario and not args.attack:
+        print("serve: an attack workload name or --scenario SPEC is required")
+        return 2
+
+    if args.scenario:
+        if args.shards > 1 and args.cluster_executor == "shm":
+            print("serve: the shm transport needs a materialised trace and "
+                  "cannot serve a streaming --scenario; use "
+                  "--cluster-executor inprocess or multiprocess")
+            return 2
+        source, split, label = _scenario_source(
+            args.scenario, args.flows, args.seed
+        )
+        shift_label = "scenario"
+    else:
+        from repro.datasets import make_drift_split
+
+        split = make_drift_split(
+            args.attack, n_benign_flows=args.flows, shift=args.shift, seed=args.seed
+        )
+        source = split.stream_trace
+        label = args.attack
+        shift_label = args.shift
     if is_model_bundle(args.model):
         pipeline, _controller, _bundle = _pipeline_from_bundle(args.model)
         print(f"loaded bundle {args.model} ({len(pipeline.fl_table)} FL rules)")
@@ -428,7 +509,8 @@ def _cmd_serve(args) -> int:
     # The meta block carries everything resume needs to rebuild the
     # identical trace and config.
     checkpoint_meta = {
-        "attack": args.attack,
+        "attack": label,
+        "scenario": args.scenario,
         "model": args.model,
         "flows": args.flows,
         "chunk_size": args.chunk_size,
@@ -459,8 +541,8 @@ def _cmd_serve(args) -> int:
             faults_spec=args.faults,
         ) as cluster:
             with _ops_endpoint(cluster, args.ops_port, args.ops_token):
-                report = cluster.serve(split.stream_trace, checkpoint=checkpoint)
-        _print_serve_summary(report, args.attack, args.shift)
+                report = cluster.serve(source, checkpoint=checkpoint)
+        _print_serve_summary(report, label, shift_label)
         _print_shard_summary(report)
         return 0
 
@@ -478,8 +560,8 @@ def _cmd_serve(args) -> int:
         pipeline, config=config, seed=args.seed, faults=faults
     )
     with _ops_endpoint(service, args.ops_port, args.ops_token):
-        report = service.serve(split.stream_trace, checkpoint=checkpoint)
-    _print_serve_summary(report, args.attack, args.shift)
+        report = service.serve(source, checkpoint=checkpoint)
+    _print_serve_summary(report, label, shift_label)
     return 0
 
 
@@ -514,12 +596,22 @@ def _cmd_resume(args) -> int:
         return 0
 
     faults = None if args.no_faults else "auto"
-    split = make_drift_split(
-        attack,
-        n_benign_flows=int(meta["flows"]),
-        shift=shift,
-        seed=int(meta["seed"]),
-    )
+    scenario_spec = meta.get("scenario")
+    if scenario_spec:
+        # A scenario stream is a pure function of (spec, seed): a fresh
+        # stream replays identically and serve skips the served prefix.
+        from repro.scenarios import parse_scenario
+
+        source = parse_scenario(scenario_spec).stream()
+        shift = "scenario"
+    else:
+        split = make_drift_split(
+            attack,
+            n_benign_flows=int(meta["flows"]),
+            shift=shift,
+            seed=int(meta["seed"]),
+        )
+        source = split.stream_trace
     every = int(meta.get("checkpoint_every", 1))
     if is_cluster:
         service, report = restore_cluster(doc, faults=faults)
@@ -530,7 +622,7 @@ def _cmd_resume(args) -> int:
         with service:
             with _ops_endpoint(service, args.ops_port, args.ops_token):
                 report = service.serve(
-                    split.stream_trace, checkpoint=checkpoint, resume_report=report
+                    source, checkpoint=checkpoint, resume_report=report
                 )
         _print_serve_summary(report, attack, shift)
         _print_shard_summary(report)
@@ -542,9 +634,48 @@ def _cmd_resume(args) -> int:
     checkpoint = CheckpointManager(args.checkpoint, every=every, meta=meta)
     with _ops_endpoint(service, args.ops_port, args.ops_token):
         report = service.serve(
-            split.stream_trace, checkpoint=checkpoint, resume_report=report
+            source, checkpoint=checkpoint, resume_report=report
         )
     _print_serve_summary(report, attack, shift)
+    return 0
+
+
+def _cmd_scenario(args) -> int:
+    if args.scenario_cmd == "list":
+        from repro.scenarios import SCENARIO_PRESETS, scenario_names
+
+        for name in scenario_names():
+            s = SCENARIO_PRESETS[name]
+            families = ", ".join(c.family for c in s.campaigns) or "benign only"
+            print(f"{name:24s} {s.duration_s:>5.0f}s  "
+                  f"benign_loads={len(s.benign)}  campaigns={families}")
+        return 0
+
+    from repro.scenarios import parse_scenario
+
+    scenario = parse_scenario(args.spec)
+    if args.seed is not None:
+        from dataclasses import replace
+
+        scenario = replace(scenario, seed=args.seed)
+    print(f"scenario {scenario.name}: duration={scenario.duration_s:g}s "
+          f"seed={scenario.seed} benign_loads={len(scenario.benign)} "
+          f"campaigns={len(scenario.campaigns)} evasions={len(scenario.evasions)}")
+    print(f"spec: {scenario.to_spec()}")
+    header = (f"{'window':>16s} {'packets':>9s} {'kpps':>7s} {'MB':>7s} "
+              f"{'flows':>6s} {'attack%':>8s}  campaigns")
+    print(header)
+    total = attack_total = 0
+    for row in scenario.stream().preview(every_s=args.every):
+        total += row.n_packets
+        attack_total += row.n_attack_packets
+        window = f"[{row.t0:g}, {row.t1:g})"
+        print(f"{window:>16s} {row.n_packets:>9d} "
+              f"{row.offered_pps / 1e3:>7.1f} {row.n_bytes / 1e6:>7.2f} "
+              f"{row.n_flows:>6d} {100 * row.attack_fraction:>7.1f}%  "
+              f"{', '.join(row.active_campaigns) or '-'}")
+    frac = 100 * attack_total / total if total else 0.0
+    print(f"total: {total} packets, {attack_total} attack ({frac:.1f}%)")
     return 0
 
 
@@ -648,6 +779,7 @@ def _cmd_report(args) -> int:
 
 _COMMANDS = {
     "attacks": _cmd_attacks,
+    "scenario": _cmd_scenario,
     "train": _cmd_train,
     "evaluate": _cmd_evaluate,
     "deploy": _cmd_deploy,

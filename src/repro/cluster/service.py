@@ -58,7 +58,13 @@ from repro.runtime.control import OpsControlMixin
 from repro.runtime.drift import DriftMonitor
 from repro.runtime.retrain import Retrainer
 from repro.runtime.service import RuntimeConfig
-from repro.runtime.stream import ChunkStats, _path_fractions, chunk_ranges, iter_chunks
+from repro.runtime.stream import (
+    ChunkStats,
+    PacketSource,
+    _path_fractions,
+    as_chunk_iter,
+    chunk_ranges,
+)
 from repro.switch.batch import TraceColumns
 from repro.switch.pipeline import PacketDecision, SwitchPipeline
 from repro.switch.runner import ReplayResult
@@ -287,6 +293,7 @@ class ClusterService(OpsControlMixin):
                 baseline_window=self.config.baseline_window,
                 threshold=self.config.drift_threshold,
                 min_packets=self.config.min_drift_packets,
+                warmup_chunks=self.config.drift_warmup_chunks,
             )
         else:
             self.monitor = None
@@ -400,11 +407,22 @@ class ClusterService(OpsControlMixin):
 
     # -- chunk iteration (both transports) -----------------------------------
 
-    def _iter_routed_chunks(self, trace: Trace, chunk_size: int, start_index: int):
+    def _iter_routed_chunks(
+        self,
+        source: PacketSource,
+        chunk_size: int,
+        start_index: int,
+        skip_packets: int = 0,
+    ):
         """Packet-list transport: route each chunk, ship per-shard
         packet payloads, collect outcomes.  Yields
-        ``(chunk, partition, outcomes)`` per global chunk."""
-        for offset, chunk in enumerate(iter_chunks(trace, chunk_size)):
+        ``(chunk, partition, outcomes)`` per global chunk.  *source* may
+        be a materialised trace or a streaming packet source — routing
+        consumes one chunk at a time either way, so streaming scenarios
+        serve in O(chunk) memory."""
+        for offset, chunk in enumerate(
+            as_chunk_iter(source, chunk_size, skip_packets=skip_packets)
+        ):
             index = start_index + offset
             partition = self.router.partition(chunk)
             for k in range(self.n_shards):
@@ -496,12 +514,33 @@ class ClusterService(OpsControlMixin):
             decisions=None,
         )
 
-    def _iter_chunk_replays(self, trace: Trace, chunk_size: int, start_index: int):
+    def _iter_chunk_replays(
+        self,
+        source: PacketSource,
+        chunk_size: int,
+        start_index: int,
+        skip_packets: int = 0,
+    ):
         if self.executor_kind == "shm":
+            # The shm transport writes the whole trace into the arena up
+            # front — fundamentally a materialised-input design.  Refuse
+            # streaming sources loudly rather than silently buffering an
+            # unbounded stream into RAM.
+            if not isinstance(source, Trace):
+                raise ValueError(
+                    "the shm transport requires a materialised Trace (it "
+                    "writes the full trace into the shared arena up front); "
+                    "use the packet-list transport (executor='serial' or "
+                    "'process') for streaming sources, or materialise() "
+                    "the scenario first"
+                )
+            trace = Trace(source.packets[skip_packets:]) if skip_packets else source
             return self._iter_shm_chunks(
                 trace, chunk_ranges(len(trace.packets), chunk_size), start_index
             )
-        return self._iter_routed_chunks(trace, chunk_size, start_index)
+        return self._iter_routed_chunks(
+            source, chunk_size, start_index, skip_packets=skip_packets
+        )
 
     def replay(self, trace: Trace) -> ClusterReplayResult:
         """Route and replay *trace* across all shards, one shot.
@@ -727,7 +766,7 @@ class ClusterService(OpsControlMixin):
 
     def serve(
         self,
-        trace: Trace,
+        trace: PacketSource,
         checkpoint=None,
         resume_report: Optional[ClusterServeReport] = None,
     ) -> ClusterServeReport:
@@ -737,7 +776,10 @@ class ClusterService(OpsControlMixin):
         cadence all mirror
         :meth:`~repro.runtime.service.OnlineDetectionService.serve`; the
         differences are that every chunk is routed across shards and
-        table updates go through the two-phase barrier.
+        table updates go through the two-phase barrier.  The packet-list
+        transports accept streaming sources (scenario streams) and serve
+        them in O(chunk) memory; the shm transport needs a materialised
+        :class:`Trace` and raises ``ValueError`` otherwise.
         """
         cfg = self.config
         report = resume_report if resume_report is not None else ClusterServeReport(
@@ -745,14 +787,13 @@ class ClusterService(OpsControlMixin):
         )
         if not report.shard_packets:
             report.shard_packets = [0] * self.n_shards
-        if report.n_packets:
-            trace = Trace(trace.packets[report.n_packets :])
+        skip_packets = report.n_packets
         registry = get_registry()
         self.start()
         self._executor.broadcast("start_serving")
         self._serve_begin(report)
         try:
-            self._serve_loop(trace, cfg, report, registry, checkpoint)
+            self._serve_loop(trace, cfg, report, registry, checkpoint, skip_packets)
         finally:
             self._serve_end()
 
@@ -769,7 +810,9 @@ class ClusterService(OpsControlMixin):
             checkpoint.save(self, report, complete=True)
         return report
 
-    def _serve_loop(self, trace, cfg, report, registry, checkpoint) -> None:
+    def _serve_loop(
+        self, trace, cfg, report, registry, checkpoint, skip_packets: int = 0
+    ) -> None:
         with span(
             "cluster.serve",
             shards=self.n_shards,
@@ -780,7 +823,7 @@ class ClusterService(OpsControlMixin):
                 registry.gauge("cluster.n_shards").set(float(self.n_shards))
             chunk_start = time.perf_counter()
             for chunk, partition, outcomes in self._iter_chunk_replays(
-                trace, cfg.chunk_size, report.n_chunks
+                trace, cfg.chunk_size, report.n_chunks, skip_packets=skip_packets
             ):
                 index = report.n_chunks  # == start_index + offset
                 merged = self._merge_outcomes(partition, outcomes)

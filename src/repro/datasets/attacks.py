@@ -15,11 +15,22 @@ The five ``* router`` workloads model the same attacks observed behind a
 home router/NAT (as in the paper's router-filtered captures): sources are
 collapsed to the router's WAN address with port translation, a queueing
 jitter floor is added, and TTLs are decremented.
+
+Beyond the paper's 15 workloads, :data:`EXTENDED_ATTACKS` adds the
+families a terabit-class DDoS substrate needs (the scenario foundry's
+campaign catalogue): DNS/NTP amplification with reflection asymmetry,
+ACK floods, and fragmentation DoS.  Reflection attacks emit *both*
+directions of every flow — the small spoofed request and the amplified
+response — with the response 5-tuple being exactly the reverse of the
+request's, so direction-canonicalised hashing (the flow store's bi-hash
+and :class:`repro.cluster.router.FlowShardRouter`) keeps request and
+response on the same register slot / shard.
 """
 
 from __future__ import annotations
 
-from typing import Callable, Dict, List
+from dataclasses import dataclass
+from typing import Callable, Dict, List, Tuple
 
 import numpy as np
 
@@ -27,6 +38,7 @@ from repro.datasets.packet import (
     FLAG_ACK,
     FLAG_PSH,
     FLAG_SYN,
+    MAX_PACKET_SIZE,
     PROTO_TCP,
     PROTO_UDP,
     FiveTuple,
@@ -38,6 +50,10 @@ from repro.utils.rng import SeedLike, as_rng
 
 #: Router WAN address used by the NAT model.
 ROUTER_WAN_IP = make_ip(198, 51, 100, 1)
+
+#: /24 base of the open-reflector pool (resolvers, NTP servers) abused
+#: by the amplification attacks.
+REFLECTOR_BLOCK = make_ip(198, 18, 0, 0)
 
 #: Dispersion bands violated by attacks (cf. benign bands in benign.py).
 FLOOD_COV = (0.0, 0.02)
@@ -270,6 +286,172 @@ def _keylogging_profile() -> FlowProfile:
     )
 
 
+def _ack_flood_profile() -> FlowProfile:
+    # ACK flood: minimum-size pure-ACK segments at sub-10ms spacing from a
+    # botnet-scale pool.  Bypasses SYN-cookie defences and exercises any
+    # stateful middlebox's established-connection table; the signature is
+    # the same near-zero dispersion band as the other floods but with the
+    # ACK bit instead of SYN.
+    return FlowProfile(
+        name="ack-flood",
+        protocol=PROTO_TCP,
+        dst_ports=(80, 443),
+        size_mean_range=(60.0, 72.0),
+        size_cov_range=FLOOD_COV,
+        ipd_mean_range=(0.002, 0.006),
+        ipd_cov_range=(0.005, 0.03),
+        count_range=(300, 900),
+        tcp_flags=FLAG_ACK,
+        malicious=True,
+        src_block=WAN_BLOCK,
+        dst_block=LAN_BLOCK,
+        n_sources=128,
+        n_destinations=1,
+    )
+
+
+@dataclass(frozen=True)
+class ReflectionSpec:
+    """Shape of one reflection/amplification attack family.
+
+    The attacker spoofs the victim's source address toward an open
+    reflector; the vantage point therefore sees two packet streams of
+    one flow: small ``victim → reflector`` requests and a much larger
+    ``reflector → victim`` response train.  ``resp_per_req_range``
+    (packets) times the response/request size ratio is the amplification
+    factor — the fan-in asymmetry the detectors key on.
+
+    Direction consistency is part of the contract: the response
+    5-tuple is exactly ``request.reversed()``, so the canonical
+    (direction-independent) tuple — and with it the flow-store slot and
+    the cluster shard — is shared by both directions.
+    """
+
+    name: str
+    port: int
+    req_size_range: Tuple[float, float]
+    resp_size_range: Tuple[float, float]
+    resp_per_req_range: Tuple[int, int]
+    req_count_range: Tuple[int, int]
+    req_ipd_range: Tuple[float, float]
+    n_reflectors: int = 32
+    n_victims: int = 2
+    #: Reflector service time between a request and its response burst.
+    turnaround_s: float = 0.0005
+    #: Gap between packets of one response burst.
+    burst_ipd_s: float = 0.0002
+
+
+#: DNS amplification (ANY/TXT queries against open resolvers): ~77 B
+#: requests, near-MTU responses, 2-6 response packets per query —
+#: a 30-100× byte amplification.
+DNS_AMPLIFICATION = ReflectionSpec(
+    name="dns-amplification",
+    port=53,
+    req_size_range=(68.0, 86.0),
+    resp_size_range=(1100.0, 1400.0),
+    resp_per_req_range=(2, 6),
+    req_count_range=(8, 40),
+    req_ipd_range=(0.002, 0.01),
+    n_reflectors=48,
+    n_victims=2,
+)
+
+#: NTP amplification (monlist): ~90 B requests, long trains of 440-482 B
+#: response packets (the mode-7 MRU list) — up to ~200× amplification.
+NTP_AMPLIFICATION = ReflectionSpec(
+    name="ntp-amplification",
+    port=123,
+    req_size_range=(86.0, 94.0),
+    resp_size_range=(440.0, 482.0),
+    resp_per_req_range=(8, 40),
+    req_count_range=(4, 20),
+    req_ipd_range=(0.005, 0.02),
+    n_reflectors=32,
+    n_victims=2,
+)
+
+
+def reflection_flow(
+    rng: np.random.Generator, start_time: float, spec: ReflectionSpec
+) -> List[Packet]:
+    """One reflection flow: spoofed requests plus the amplified response.
+
+    Both directions share one canonical 5-tuple (the response tuple is
+    ``request.reversed()`` — no fresh ephemeral port is drawn for the
+    reflector side), which is what keeps request and response on the
+    same flow-store slot and cluster shard.
+    """
+    victim = LAN_BLOCK + 1 + int(rng.integers(spec.n_victims))
+    reflector = REFLECTOR_BLOCK + 1 + int(rng.integers(spec.n_reflectors))
+    src_port = int(rng.integers(1024, 65535))
+    req_ft = FiveTuple(victim, reflector, src_port, spec.port, PROTO_UDP)
+    resp_ft = req_ft.reversed()
+
+    n_req = int(rng.integers(spec.req_count_range[0], spec.req_count_range[1] + 1))
+    req_ipd = rng.uniform(*spec.req_ipd_range)
+    packets: List[Packet] = []
+    t = start_time
+    for _ in range(n_req):
+        req_size = int(round(rng.uniform(*spec.req_size_range)))
+        packets.append(
+            Packet(five_tuple=req_ft, timestamp=t, size=req_size, ttl=64,
+                   malicious=True)
+        )
+        n_resp = int(
+            rng.integers(spec.resp_per_req_range[0], spec.resp_per_req_range[1] + 1)
+        )
+        rt = t + spec.turnaround_s
+        for _ in range(n_resp):
+            resp_size = int(round(rng.uniform(*spec.resp_size_range)))
+            packets.append(
+                Packet(five_tuple=resp_ft, timestamp=rt, size=resp_size, ttl=57,
+                       malicious=True)
+            )
+            rt += spec.burst_ipd_s
+        t += req_ipd
+    packets.sort(key=lambda p: p.timestamp)
+    return packets
+
+
+def fragmentation_flow(
+    rng: np.random.Generator,
+    start_time: float,
+    n_victims: int = 2,
+    n_sources: int = 64,
+) -> List[Packet]:
+    """One fragmentation-DoS flow: trains of max-size fragments.
+
+    Each oversized datagram arrives as several full-MTU frames plus one
+    variable-size tail fragment, back to back; trains repeat on a fast
+    timer.  The reassembly buffer is the target, so the signature is the
+    bimodal size distribution (a pile at the MTU, a uniform tail) and
+    the intra-train spacing far below any benign IPD band.
+    """
+    src = WAN_BLOCK + 1 + int(rng.integers(n_sources))
+    dst = LAN_BLOCK + 1 + int(rng.integers(n_victims))
+    ft = FiveTuple(src, dst, int(rng.integers(1024, 65535)),
+                   int(rng.integers(1024, 65535)), PROTO_UDP)
+    n_trains = int(rng.integers(4, 41))
+    train_gap = rng.uniform(0.002, 0.008)
+    packets: List[Packet] = []
+    t = start_time
+    for _ in range(n_trains):
+        frags = int(rng.integers(3, 10))
+        for j in range(frags):
+            if j < frags - 1:
+                size = MAX_PACKET_SIZE
+            else:
+                size = int(rng.integers(100, 1481))
+            packets.append(
+                Packet(five_tuple=ft, timestamp=t, size=size, ttl=64,
+                       malicious=True)
+            )
+            t += 0.0002
+        t += train_gap
+    return packets
+
+
 def route_flows(
     flows: List[List[Packet]],
     seed: SeedLike = None,
@@ -349,6 +531,25 @@ def _routed(
     return generate
 
 
+def _flow_fn(
+    flow_factory: Callable[[np.random.Generator, float], List[Packet]],
+    arrival_rate: float = 8.0,
+) -> GeneratorFn:
+    """Lift a single-flow factory (reflection, fragmentation) into the
+    ``(n_flows, seed) -> flows`` generator shape with Poisson arrivals."""
+
+    def generate(n_flows: int, seed: SeedLike = None) -> List[List[Packet]]:
+        rng = as_rng(seed)
+        flows: List[List[Packet]] = []
+        t = 0.0
+        for _ in range(n_flows):
+            t += rng.exponential(1.0 / arrival_rate)
+            flows.append(flow_factory(rng, t))
+        return flows
+
+    return generate
+
+
 #: Attack name → flow generator, using the paper's workload names.
 ATTACK_GENERATORS: Dict[str, GeneratorFn] = {
     "Mirai": _plain(_mirai_profile()),
@@ -366,6 +567,35 @@ ATTACK_GENERATORS: Dict[str, GeneratorFn] = {
     "Port scan router": _routed(_port_scan_profile(), arrival_rate=30.0),
     "TCP DDoS router": _routed(_tcp_ddos_profile(), arrival_rate=12.0),
     "UDP DDoS router": _routed(_udp_ddos_profile(), arrival_rate=12.0),
+    # Extended families (beyond the paper's 15 — the scenario foundry's
+    # campaign catalogue; see EXTENDED_ATTACKS below).
+    "DNS amplification": _flow_fn(
+        lambda rng, t: reflection_flow(rng, t, DNS_AMPLIFICATION)
+    ),
+    "NTP amplification": _flow_fn(
+        lambda rng, t: reflection_flow(rng, t, NTP_AMPLIFICATION)
+    ),
+    "ACK flood": _plain(_ack_flood_profile(), arrival_rate=12.0),
+    "Fragmentation DoS": _flow_fn(fragmentation_flow),
+}
+
+#: Profile-based attack signatures by workload name, exported for the
+#: scenario foundry's campaign factories (reflection and fragmentation
+#: families are function-shaped — see ``reflection_flow`` /
+#: ``fragmentation_flow`` — and have no entry here).
+ATTACK_PROFILES: Dict[str, FlowProfile] = {
+    "Mirai": _mirai_profile(),
+    "Aidra": _aidra_profile(),
+    "Bashlite": _bashlite_profile(),
+    "UDP DDoS": _udp_ddos_profile(),
+    "TCP DDoS": _tcp_ddos_profile(),
+    "HTTP DDoS": _http_ddos_profile(),
+    "OS scan": _os_scan_profile(),
+    "Service scan": _service_scan_profile(),
+    "Port scan": _port_scan_profile(),
+    "Data theft": _data_theft_profile(),
+    "Keylogging": _keylogging_profile(),
+    "ACK flood": _ack_flood_profile(),
 }
 
 #: Canonical evaluation order: the 5 headline attacks (Figs 2, 5, 6)
@@ -384,6 +614,16 @@ APPENDIX_ATTACKS = (
     "UDP DDoS router",
 )
 ALL_ATTACKS = HEADLINE_ATTACKS + APPENDIX_ATTACKS
+
+#: Families beyond the paper's 15 workloads (kept out of ``ALL_ATTACKS``
+#: so the paper-figure harnesses keep their evaluation set): reflection
+#: amplification, ACK flood, fragmentation DoS.
+EXTENDED_ATTACKS = (
+    "DNS amplification",
+    "NTP amplification",
+    "ACK flood",
+    "Fragmentation DoS",
+)
 
 
 def generate_attack_flows(name: str, n_flows: int, seed: SeedLike = None) -> List[List[Packet]]:

@@ -12,6 +12,7 @@ from repro.datasets.attacks import (
     ALL_ATTACKS,
     APPENDIX_ATTACKS,
     ATTACK_GENERATORS,
+    EXTENDED_ATTACKS,
     HEADLINE_ATTACKS,
     generate_attack_flows,
 )
@@ -33,6 +34,12 @@ def headline_attack_names() -> List[str]:
 def appendix_attack_names() -> List[str]:
     """The 10 attacks of the appendix figures (Figs 7, 8, 9)."""
     return list(APPENDIX_ATTACKS)
+
+
+def extended_attack_names() -> List[str]:
+    """Families beyond the paper's 15 workloads (amplification, ACK
+    flood, fragmentation DoS) — the scenario foundry's extra catalogue."""
+    return list(EXTENDED_ATTACKS)
 
 
 def load_attack(name: str, n_flows: int, seed: SeedLike = None):

@@ -46,7 +46,14 @@ from repro.runtime.service import (
     ServeReport,
     SwapEvent,
 )
-from repro.runtime.stream import ChunkResult, ChunkStats, StreamDriver, iter_chunks
+from repro.runtime.stream import (
+    ChunkResult,
+    ChunkStats,
+    PacketSource,
+    StreamDriver,
+    as_chunk_iter,
+    iter_chunks,
+)
 
 __all__ = [
     "CheckpointManager",
@@ -55,11 +62,13 @@ __all__ = [
     "DriftMonitor",
     "FlowReservoir",
     "OnlineDetectionService",
+    "PacketSource",
     "Retrainer",
     "RuntimeConfig",
     "ServeReport",
     "StreamDriver",
     "SwapEvent",
+    "as_chunk_iter",
     "default_model_factory",
     "iter_chunks",
     "report_from_dict",

@@ -350,6 +350,8 @@ def _monitor_to_obj(monitor: Optional[DriftMonitor]) -> Optional[dict]:
         "baseline_window": monitor.baseline_window,
         "threshold": monitor.threshold,
         "min_packets": monitor.min_packets,
+        "warmup_chunks": monitor.warmup_chunks,
+        "seen": monitor._seen,
         "baseline": [_chunk_stats_to_obj(s) for s in monitor._baseline],
         "recent": [_chunk_stats_to_obj(s) for s in monitor._recent],
         "last_score": monitor.last_score,
@@ -366,7 +368,12 @@ def _monitor_from_obj(obj: Optional[dict]) -> Optional[DriftMonitor]:
         baseline_window=int(obj["baseline_window"]),
         threshold=float(obj["threshold"]),
         min_packets=int(obj["min_packets"]),
+        warmup_chunks=int(obj.get("warmup_chunks", 0)),
     )
+    # Checkpoints written before warm-up existed carry no "seen"; any
+    # resumed monitor has already served past its warm-up, so treat the
+    # warm-up as spent rather than re-applying it mid-stream.
+    monitor._seen = int(obj.get("seen", monitor.warmup_chunks))
     monitor._baseline.extend(_chunk_stats_from_obj(s) for s in obj["baseline"])
     monitor._recent.extend(_chunk_stats_from_obj(s) for s in obj["recent"])
     monitor.last_score = float(obj["last_score"])

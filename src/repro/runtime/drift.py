@@ -64,6 +64,16 @@ class DriftMonitor:
     min_packets:
         Chunks smaller than this are folded into the statistics but
         never trigger on their own incomplete window.
+    warmup_chunks:
+        Observations discarded before the baseline starts forming.  A
+        cold flow store matures for as long as flows take to reach the
+        packet-count decision threshold — on realistic inter-packet
+        gaps that is tens of seconds during which the path mix shifts
+        monotonically (pending slots drain into decided ones).  A
+        baseline formed during that transient makes every mature chunk
+        afterwards score as drift.  Warm-up is a cold-start property of
+        the *store*, not the tables, so :meth:`reset` after a hot-swap
+        does not re-apply it.
     """
 
     def __init__(
@@ -72,15 +82,20 @@ class DriftMonitor:
         baseline_window: int = 4,
         threshold: float = 0.25,
         min_packets: int = 64,
+        warmup_chunks: int = 0,
     ) -> None:
         if window < 1 or baseline_window < 1:
             raise ValueError("window and baseline_window must be >= 1")
         if threshold <= 0:
             raise ValueError(f"threshold must be > 0, got {threshold}")
+        if warmup_chunks < 0:
+            raise ValueError(f"warmup_chunks must be >= 0, got {warmup_chunks}")
         self.window = window
         self.baseline_window = baseline_window
         self.threshold = threshold
         self.min_packets = min_packets
+        self.warmup_chunks = warmup_chunks
+        self._seen = 0
         self._baseline: Deque[ChunkStats] = deque()
         self._recent: Deque[ChunkStats] = deque(maxlen=window)
         self.last_score: float = 0.0
@@ -104,6 +119,10 @@ class DriftMonitor:
     def observe(self, stats: ChunkStats) -> bool:
         """Fold one chunk in; True when the drift score crosses threshold."""
         self.last_rate = stats.malicious_rate
+        self._seen += 1
+        if self._seen <= self.warmup_chunks:
+            self.last_score = 0.0
+            return False
         if not self.has_baseline:
             self._baseline.append(stats)
             self.last_score = 0.0

@@ -32,7 +32,7 @@ from repro.faults.retry import retry_with_backoff
 from repro.runtime.control import OpsControlMixin
 from repro.runtime.drift import DriftMonitor
 from repro.runtime.retrain import Retrainer
-from repro.runtime.stream import ChunkStats, StreamDriver
+from repro.runtime.stream import ChunkStats, PacketSource, StreamDriver
 from repro.switch.pipeline import PacketDecision, SwitchPipeline
 from repro.telemetry import get_registry, span
 from repro.utils.rng import SeedLike
@@ -49,6 +49,12 @@ class RuntimeConfig:
         retrains entirely.
     drift_window / baseline_window / min_drift_packets:
         :class:`~repro.runtime.drift.DriftMonitor` shape.
+    drift_warmup_chunks:
+        Chunks discarded before the drift baseline forms, so a cold
+        flow store's maturation transient (pending slots draining into
+        decided paths over the first seconds of a realistic-IPD stream)
+        is not frozen into the reference distribution.  0 keeps the
+        historical immediate-baseline behaviour.
     cadence:
         Retrain every N chunks regardless of drift; 0 disables.
     min_retrain_flows:
@@ -72,6 +78,7 @@ class RuntimeConfig:
     drift_window: int = 4
     baseline_window: int = 4
     min_drift_packets: int = 64
+    drift_warmup_chunks: int = 0
     cadence: int = 0
     min_retrain_flows: int = 24
     max_swaps: Optional[int] = None
@@ -179,6 +186,7 @@ class OnlineDetectionService(OpsControlMixin):
                     baseline_window=self.config.baseline_window,
                     threshold=self.config.drift_threshold,
                     min_packets=self.config.min_drift_packets,
+                    warmup_chunks=self.config.drift_warmup_chunks,
                 )
                 if drift_on
                 else None
@@ -338,25 +346,31 @@ class OnlineDetectionService(OpsControlMixin):
 
     def serve(
         self,
-        trace: Trace,
+        trace: PacketSource,
         checkpoint=None,
         resume_report: Optional[ServeReport] = None,
     ) -> ServeReport:
         """Stream *trace* through the pipeline with the full control loop.
 
+        *trace* may be a materialised :class:`Trace` or any streaming
+        packet source (e.g. a :class:`repro.scenarios.ScenarioStream`) —
+        the streaming path holds only one chunk in memory at a time, so
+        arbitrarily long scenarios serve in bounded RSS, and chunk
+        boundaries match the materialised path packet-for-packet.
+
         ``checkpoint`` (a :class:`repro.runtime.checkpoint.CheckpointManager`)
         journals the full service state at chunk boundaries; pass the
         restored report as ``resume_report`` to continue a killed run —
-        *trace* must be the same full trace, and serving picks up at the
-        first chunk the checkpoint had not yet covered.
+        *trace* must be the same full trace (or a fresh stream of the
+        same scenario + seed), and serving picks up at the first chunk
+        the checkpoint had not yet covered.
         """
         cfg = self.config
         report = resume_report if resume_report is not None else ServeReport()
-        if report.n_packets:
-            # Skip the packets the checkpointed run already served; chunk
-            # boundaries are packet-count-aligned so this resumes exactly
-            # at the next chunk edge.
-            trace = Trace(trace.packets[report.n_packets :])
+        # Skip the packets a checkpointed run already served; chunk
+        # boundaries are packet-count-aligned so this resumes exactly at
+        # the next chunk edge.
+        skip_packets = report.n_packets
         registry = get_registry()
         driver = StreamDriver(
             self.pipeline,
@@ -371,7 +385,7 @@ class OnlineDetectionService(OpsControlMixin):
         try:
             with span("serve", chunk_size=cfg.chunk_size, mode=cfg.mode):
                 chunk_start = time.perf_counter()
-                for chunk in driver.run(trace):
+                for chunk in driver.run(trace, skip_packets=skip_packets):
                     report.chunk_offsets.append(report.n_packets)
                     report.n_chunks += 1
                     report.n_packets += chunk.stats.n_packets

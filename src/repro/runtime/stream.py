@@ -14,14 +14,21 @@ fidelity (asserted by the differential suite).
 
 from __future__ import annotations
 
+import itertools
 from dataclasses import dataclass, field
-from typing import Dict, Iterator, List
+from typing import Dict, Iterable, Iterator, List, Union
 
 import numpy as np
 
+from repro.datasets.packet import Packet
 from repro.datasets.trace import Trace
 from repro.switch.pipeline import SwitchPipeline
 from repro.switch.runner import ReplayResult, replay_trace
+
+#: Anything the serve loop can ingest: a materialised trace, an object
+#: exposing ``iter_chunks(chunk_size)`` (e.g. a scenario stream), or a
+#: plain iterable of packets in timestamp order.
+PacketSource = Union[Trace, Iterable[Packet]]
 
 
 def chunk_ranges(n_packets: int, chunk_size: int) -> Iterator[tuple]:
@@ -46,6 +53,60 @@ def iter_chunks(trace: Trace, chunk_size: int) -> Iterator[Trace]:
     packets = trace.packets
     for start, stop in chunk_ranges(len(packets), chunk_size):
         yield Trace(packets[start:stop])
+
+
+def _source_packets(source: PacketSource, chunk_size: int) -> Iterator[Packet]:
+    """Flatten a streaming source to its packet sequence.
+
+    Sources exposing ``iter_chunks`` (scenario streams) are driven at
+    the consumer's chunk size so their per-chunk telemetry fires at the
+    serve cadence; anything else is treated as a packet iterable.
+    """
+    if hasattr(source, "iter_chunks"):
+        for chunk in source.iter_chunks(chunk_size):
+            yield from chunk.packets
+    else:
+        yield from source
+
+
+def as_chunk_iter(
+    source: PacketSource, chunk_size: int, skip_packets: int = 0
+) -> Iterator[Trace]:
+    """Normalise any packet source into fixed-size :class:`Trace` chunks.
+
+    This is the single ingestion point of the serve path: a materialised
+    :class:`Trace` is sliced (zero-copy of packet objects), and a
+    streaming source — a scenario stream or any timestamp-ordered packet
+    iterable — is buffered into *exact* ``chunk_size`` chunks.  Chunk
+    boundaries therefore land at identical packet offsets on both paths,
+    which is what makes streaming-vs-materialised replays bit-identical.
+
+    ``skip_packets`` drops that many leading packets first (checkpoint
+    resume: boundaries are packet-count-aligned, so skipping a chunk
+    multiple re-aligns the stream with the uninterrupted run).  Only the
+    skipped prefix of a streaming source is regenerated and discarded —
+    memory stays O(chunk).
+    """
+    if chunk_size < 1:
+        raise ValueError(f"chunk_size must be >= 1, got {chunk_size}")
+    if skip_packets < 0:
+        raise ValueError(f"skip_packets must be >= 0, got {skip_packets}")
+    if isinstance(source, Trace):
+        packets = source.packets[skip_packets:] if skip_packets else source.packets
+        for start, stop in chunk_ranges(len(packets), chunk_size):
+            yield Trace(packets[start:stop])
+        return
+    packet_iter = _source_packets(source, chunk_size)
+    if skip_packets:
+        packet_iter = itertools.islice(packet_iter, skip_packets, None)
+    buf: List[Packet] = []
+    for pkt in packet_iter:
+        buf.append(pkt)
+        if len(buf) == chunk_size:
+            yield Trace(buf)
+            buf = []
+    if buf:
+        yield Trace(buf)
 
 
 @dataclass(frozen=True)
@@ -126,9 +187,18 @@ class StreamDriver:
         self.chunks_processed = 0
         self.packets_processed = 0
 
-    def run(self, trace: Trace) -> Iterator[ChunkResult]:
-        """Yield one :class:`ChunkResult` per chunk of *trace*."""
-        for offset, chunk in enumerate(iter_chunks(trace, self.chunk_size)):
+    def run(self, source: PacketSource, skip_packets: int = 0) -> Iterator[ChunkResult]:
+        """Yield one :class:`ChunkResult` per chunk of *source*.
+
+        *source* is anything :func:`as_chunk_iter` accepts — a
+        materialised :class:`Trace` or a streaming packet source (e.g. a
+        :class:`repro.scenarios.ScenarioStream`); memory stays bounded
+        by the chunk size on the streaming path.  ``skip_packets``
+        resumes mid-stream (see :func:`as_chunk_iter`).
+        """
+        for offset, chunk in enumerate(
+            as_chunk_iter(source, self.chunk_size, skip_packets=skip_packets)
+        ):
             index = self.start_index + offset
             before = self.pipeline.telemetry_counters()
             replay = replay_trace(chunk, self.pipeline, mode=self.mode)

@@ -1,0 +1,51 @@
+"""Scenario foundry: composable streaming workload generation.
+
+Declarative :class:`Scenario` specs (benign load curves + attack
+campaigns + mid-stream evasion phases) compile to bounded-memory,
+seed-deterministic packet streams (:class:`ScenarioStream`) that feed
+``repro serve`` and the runtime benchmarks without ever materialising a
+full trace.  See DESIGN.md §2.17.
+"""
+
+from repro.scenarios.engine import ScenarioStream, WindowSummary
+from repro.scenarios.families import (
+    DEVICE_MIXES,
+    FAMILY_FACTORIES,
+    device_mixture,
+    family_names,
+    flow_factory,
+)
+from repro.scenarios.registry import SCENARIO_PRESETS, get_scenario, scenario_names
+from repro.scenarios.spec import (
+    CURVE_KINDS,
+    EVASION_KINDS,
+    SHAPE_KINDS,
+    BenignLoad,
+    Campaign,
+    EvasionPhase,
+    LoadCurve,
+    Scenario,
+    parse_scenario,
+)
+
+__all__ = [
+    "BenignLoad",
+    "CURVE_KINDS",
+    "Campaign",
+    "DEVICE_MIXES",
+    "EVASION_KINDS",
+    "EvasionPhase",
+    "FAMILY_FACTORIES",
+    "LoadCurve",
+    "SCENARIO_PRESETS",
+    "SHAPE_KINDS",
+    "Scenario",
+    "ScenarioStream",
+    "WindowSummary",
+    "device_mixture",
+    "family_names",
+    "flow_factory",
+    "get_scenario",
+    "parse_scenario",
+    "scenario_names",
+]

@@ -1,0 +1,95 @@
+"""Campaign flow factories and tenant device mixes.
+
+The engine places *flow starts* on the timeline; a factory turns one
+start into one flow's packets.  Factories wrap the attack signatures in
+:mod:`repro.datasets.attacks` — profile-based families sample from the
+exported :data:`~repro.datasets.attacks.ATTACK_PROFILES`, the
+reflection and fragmentation families call their structured generators
+— so the scenario foundry and the paper harnesses share one catalogue
+of attack behaviour.
+"""
+
+from __future__ import annotations
+
+from typing import Callable, Dict, List, Tuple
+
+import numpy as np
+
+from repro.datasets.attacks import (
+    ATTACK_PROFILES,
+    DNS_AMPLIFICATION,
+    NTP_AMPLIFICATION,
+    fragmentation_flow,
+    reflection_flow,
+)
+from repro.datasets.benign import DEVICE_WEIGHTS, device_profiles
+from repro.datasets.packet import Packet
+from repro.datasets.profiles import FlowProfile, ProfileMixture
+
+#: One generated flow from one timeline start: ``(rng, start_time) -> packets``.
+FlowFactory = Callable[[np.random.Generator, float], List[Packet]]
+
+#: Tenant device-population subsets by name (indices into
+#: :func:`repro.datasets.benign.device_profiles`).  ``chatty`` and
+#: ``heavy`` mirror the drift split's phase-A/phase-B mixes so a
+#: device-mix-shift scenario exercises exactly the shift the runtime's
+#: drift tests recover from.
+DEVICE_MIXES: Dict[str, Tuple[int, ...]] = {
+    "all": tuple(range(8)),
+    "chatty": (0, 1, 4, 5, 7),
+    "heavy": (2, 3, 6),
+}
+
+
+def device_mixture(mix: str) -> ProfileMixture:
+    """The weighted benign profile mixture for tenant population *mix*."""
+    try:
+        indices = DEVICE_MIXES[mix]
+    except KeyError:
+        raise KeyError(
+            f"unknown device mix {mix!r}; valid mixes: {sorted(DEVICE_MIXES)}"
+        ) from None
+    profiles = device_profiles()
+    return ProfileMixture(
+        [profiles[i] for i in indices], [DEVICE_WEIGHTS[i] for i in indices]
+    )
+
+
+def _profile_factory(profile: FlowProfile) -> FlowFactory:
+    def factory(rng: np.random.Generator, start_time: float) -> List[Packet]:
+        return profile.sample_flow(rng, start_time)
+
+    return factory
+
+
+#: Campaign family → flow factory.  Profile families reuse the attack
+#: catalogue's signatures; reflection/fragmentation families are
+#: structured generators.
+FAMILY_FACTORIES: Dict[str, FlowFactory] = {
+    "syn_flood": _profile_factory(ATTACK_PROFILES["TCP DDoS"]),
+    "udp_flood": _profile_factory(ATTACK_PROFILES["UDP DDoS"]),
+    "http_flood": _profile_factory(ATTACK_PROFILES["HTTP DDoS"]),
+    "ack_flood": _profile_factory(ATTACK_PROFILES["ACK flood"]),
+    "mirai_botnet": _profile_factory(ATTACK_PROFILES["Mirai"]),
+    "bashlite_flood": _profile_factory(ATTACK_PROFILES["Bashlite"]),
+    "os_scan": _profile_factory(ATTACK_PROFILES["OS scan"]),
+    "data_theft": _profile_factory(ATTACK_PROFILES["Data theft"]),
+    "dns_amplification": lambda rng, t: reflection_flow(rng, t, DNS_AMPLIFICATION),
+    "ntp_amplification": lambda rng, t: reflection_flow(rng, t, NTP_AMPLIFICATION),
+    "fragmentation": fragmentation_flow,
+}
+
+
+def family_names() -> List[str]:
+    """All campaign family names the DSL accepts."""
+    return sorted(FAMILY_FACTORIES)
+
+
+def flow_factory(family: str) -> FlowFactory:
+    """The factory for *family*, with a helpful error on a typo."""
+    try:
+        return FAMILY_FACTORIES[family]
+    except KeyError:
+        raise KeyError(
+            f"unknown campaign family {family!r}; valid families: {family_names()}"
+        ) from None

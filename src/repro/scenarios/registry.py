@@ -1,0 +1,146 @@
+"""Named scenario presets shared by tests, benchmarks, and the CLI.
+
+Each preset is a complete :class:`~repro.scenarios.spec.Scenario` tuned
+so its default form finishes in CI-scale seconds; ``get_scenario``'s
+``duration_s``/``intensity`` knobs (via :meth:`Scenario.scaled`) stretch
+the same shape to soak-test or hundred-million-packet sizes without
+changing what the scenario *is*.
+"""
+
+from __future__ import annotations
+
+from dataclasses import replace
+from typing import Dict, List, Optional
+
+from repro.scenarios.spec import (
+    BenignLoad,
+    Campaign,
+    EvasionPhase,
+    LoadCurve,
+    Scenario,
+)
+
+SCENARIO_PRESETS: Dict[str, Scenario] = {
+    # Pure benign control: steady offered load, every device class.  The
+    # no-drift baseline the runtime's monitors must stay silent on.
+    "steady_benign": Scenario(
+        name="steady_benign",
+        duration_s=60.0,
+        seed=7,
+        benign=(BenignLoad(curve=LoadCurve(kind="constant", rate=40.0)),),
+    ),
+    # Two tenant populations on phase-shifted day/night cycles — the
+    # chatty mix peaks while the heavy mix troughs, so the aggregate
+    # feature mixture rotates continuously without any attack.
+    "diurnal_multitenant": Scenario(
+        name="diurnal_multitenant",
+        duration_s=60.0,
+        seed=7,
+        benign=(
+            BenignLoad(
+                curve=LoadCurve(
+                    kind="diurnal", rate=25.0, amplitude=0.8, period_s=40.0
+                ),
+                mix="chatty",
+            ),
+            BenignLoad(
+                curve=LoadCurve(
+                    kind="diurnal", rate=18.0, amplitude=0.8, period_s=40.0,
+                    phase=0.5,
+                ),
+                mix="heavy",
+            ),
+        ),
+    ),
+    # Pulse-wave SYN flood over steady benign: bursts at full rate for
+    # 40% of every 6 s period.  The on/off edges are what drift monitors
+    # and conservative hot-swap policies must react to.
+    "pulse_wave_syn": Scenario(
+        name="pulse_wave_syn",
+        duration_s=60.0,
+        seed=7,
+        benign=(BenignLoad(curve=LoadCurve(kind="constant", rate=30.0)),),
+        campaigns=(
+            Campaign(
+                family="syn_flood", rate=35.0, start_s=15.0, end_s=55.0,
+                shape="pulse", period_s=6.0, duty=0.4,
+            ),
+        ),
+    ),
+    # Reflection/amplification: DNS first, NTP overlapping later.  The
+    # interesting property is fan-in asymmetry — few large response
+    # packets toward one victim from many reflectors — plus the
+    # direction-consistency contract the shard router relies on.
+    "amplification_campaign": Scenario(
+        name="amplification_campaign",
+        duration_s=60.0,
+        seed=7,
+        benign=(BenignLoad(curve=LoadCurve(kind="constant", rate=25.0)),),
+        campaigns=(
+            Campaign(family="dns_amplification", rate=6.0, start_s=10.0, end_s=45.0),
+            Campaign(family="ntp_amplification", rate=4.0, start_s=30.0, end_s=55.0),
+        ),
+    ),
+    # Botnet recruitment: Mirai flow arrivals ramp linearly from zero to
+    # peak across the campaign window (bots joining over time), over a
+    # diurnal benign baseline.
+    "botnet_rampup": Scenario(
+        name="botnet_rampup",
+        duration_s=60.0,
+        seed=7,
+        benign=(
+            BenignLoad(
+                curve=LoadCurve(kind="diurnal", rate=25.0, amplitude=0.4,
+                                period_s=60.0),
+            ),
+        ),
+        campaigns=(
+            Campaign(family="mirai_botnet", rate=30.0, start_s=10.0, end_s=55.0,
+                     shape="ramp"),
+        ),
+    ),
+    # Mid-stream evasion: a UDP flood runs plainly, then at t=30 the
+    # attacker switches to 4x low-rate sending, then at t=45 to benign
+    # padding — the detector sees the same campaign change its own
+    # signature twice.
+    "evasion_midstream": Scenario(
+        name="evasion_midstream",
+        duration_s=60.0,
+        seed=7,
+        benign=(BenignLoad(curve=LoadCurve(kind="constant", rate=30.0)),),
+        campaigns=(
+            Campaign(family="udp_flood", rate=18.0, start_s=10.0, end_s=58.0),
+        ),
+        evasions=(
+            EvasionPhase(kind="low_rate", factor=4.0, start_s=30.0, end_s=45.0,
+                         families=("udp_flood",)),
+            EvasionPhase(kind="padding", factor=2.0, start_s=45.0, end_s=58.0,
+                         families=("udp_flood",)),
+        ),
+    ),
+}
+
+
+def scenario_names() -> List[str]:
+    """All registered preset names."""
+    return sorted(SCENARIO_PRESETS)
+
+
+def get_scenario(
+    name: str,
+    seed: Optional[int] = None,
+    duration_s: Optional[float] = None,
+    intensity: float = 1.0,
+) -> Scenario:
+    """A preset by name, optionally re-seeded and re-scaled."""
+    try:
+        scenario = SCENARIO_PRESETS[name]
+    except KeyError:
+        raise KeyError(
+            f"unknown scenario {name!r}; valid scenarios: {scenario_names()}"
+        ) from None
+    if duration_s is not None or intensity != 1.0:
+        scenario = scenario.scaled(duration_s=duration_s, intensity=intensity)
+    if seed is not None:
+        scenario = replace(scenario, seed=int(seed))
+    return scenario

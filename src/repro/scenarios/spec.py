@@ -1,0 +1,479 @@
+"""Declarative scenario specs: load curves, campaigns, evasion phases.
+
+A :class:`Scenario` is a pure description of a traffic timeline — benign
+*load curves* (how many flows per second each tenant population offers,
+as a function of time) composed with attack *campaigns* (an attack
+family, a peak rate, a time window, and an intensity shape) and optional
+mid-stream *evasion phases* (the :mod:`repro.datasets.adversarial`
+transforms scheduled over a window).  Specs carry no packets; the
+chunked generator (:mod:`repro.scenarios.engine`) turns a spec plus a
+seed into a deterministic packet stream.
+
+Every spec has two equivalent forms: the Python dataclasses below and a
+parseable one-line text form (the DSL the CLI accepts)::
+
+    name=demo;duration=60;seed=7;
+    benign:curve=diurnal,rate=40,amplitude=0.5,period=30,mix=chatty;
+    campaign:family=syn_flood,shape=pulse,start=20,end=50,rate=30,period=6,duty=0.4;
+    evasion:kind=low_rate,factor=4,start=30,end=45
+
+``parse_scenario`` also accepts a preset name from
+:mod:`repro.scenarios.registry` (optionally followed by ``;key=value``
+overrides), so ``repro serve --scenario pulse_wave_syn`` and
+``--scenario "pulse_wave_syn;seed=11;duration=120"`` both work.
+``Scenario.to_spec()`` round-trips a spec back to its text form.
+"""
+
+from __future__ import annotations
+
+import math
+from dataclasses import dataclass, field, replace
+from typing import Dict, List, Optional, Tuple
+
+#: Load-curve kinds understood by :meth:`LoadCurve.rate_at`.
+CURVE_KINDS = ("constant", "diurnal", "step")
+#: Campaign intensity shapes understood by :meth:`Campaign.intensity_at`.
+SHAPE_KINDS = ("constant", "ramp", "pulse")
+#: Evasion transform kinds (see repro.datasets.adversarial).
+EVASION_KINDS = ("low_rate", "padding")
+
+
+@dataclass(frozen=True)
+class LoadCurve:
+    """Offered flow-arrival rate (flows/second) as a function of time.
+
+    ``constant``
+        ``rate`` throughout.
+    ``diurnal``
+        ``rate * (1 + amplitude * sin(2π(t/period + phase)))`` clamped
+        at zero — a compressed day/night cycle (``period_s`` stands in
+        for 24 h).
+    ``step``
+        Piecewise-constant: ``rate`` until the first step time, then the
+        rate of the latest step at or before *t* (``steps`` is a sorted
+        tuple of ``(time_s, rate)`` pairs).
+    """
+
+    kind: str = "constant"
+    rate: float = 10.0
+    amplitude: float = 0.5
+    period_s: float = 60.0
+    phase: float = 0.0
+    steps: Tuple[Tuple[float, float], ...] = ()
+
+    def __post_init__(self) -> None:
+        if self.kind not in CURVE_KINDS:
+            raise ValueError(f"curve kind must be one of {CURVE_KINDS}, got {self.kind!r}")
+        if self.rate < 0:
+            raise ValueError(f"rate must be >= 0, got {self.rate}")
+        if self.kind == "diurnal" and not 0.0 <= self.amplitude <= 1.0:
+            raise ValueError(f"amplitude must be in [0, 1], got {self.amplitude}")
+        if self.kind == "step" and list(self.steps) != sorted(self.steps):
+            raise ValueError("step times must be sorted")
+
+    def rate_at(self, t: float) -> float:
+        if self.kind == "constant":
+            return self.rate
+        if self.kind == "diurnal":
+            value = self.rate * (
+                1.0 + self.amplitude * math.sin(2.0 * math.pi * (t / self.period_s + self.phase))
+            )
+            return max(0.0, value)
+        rate = self.rate
+        for step_t, step_rate in self.steps:
+            if t >= step_t:
+                rate = step_rate
+            else:
+                break
+        return rate
+
+    @property
+    def peak_rate(self) -> float:
+        """Upper bound of :meth:`rate_at` (the thinning envelope)."""
+        if self.kind == "constant":
+            return self.rate
+        if self.kind == "diurnal":
+            return self.rate * (1.0 + self.amplitude)
+        return max([self.rate] + [r for _, r in self.steps])
+
+
+@dataclass(frozen=True)
+class BenignLoad:
+    """One tenant population: a device mix driven by a load curve.
+
+    ``mix`` names a device-population subset from
+    :data:`repro.scenarios.families.DEVICE_MIXES` (``all``, ``chatty``,
+    ``heavy``) — multi-tenant scenarios compose several loads with
+    different mixes and phase-shifted curves.
+    """
+
+    curve: LoadCurve = field(default_factory=LoadCurve)
+    mix: str = "all"
+
+
+@dataclass(frozen=True)
+class Campaign:
+    """One attack campaign: a family, a window, a peak rate, a shape.
+
+    ``family`` names a flow factory from
+    :data:`repro.scenarios.families.FAMILY_FACTORIES` (``syn_flood``,
+    ``dns_amplification``, ``mirai_botnet``, …).  ``rate`` is the peak
+    flow-arrival rate; the effective rate at time *t* is
+    ``rate * intensity_at(t)``:
+
+    ``constant``
+        1 inside ``[start_s, end_s)``.
+    ``ramp``
+        Linear 0 → 1 across the window (a botnet recruiting bots).
+    ``pulse``
+        Square wave: 1 for the first ``duty`` fraction of every
+        ``period_s`` within the window (pulse-wave DDoS).
+    """
+
+    family: str
+    rate: float = 10.0
+    start_s: float = 0.0
+    end_s: float = math.inf
+    shape: str = "constant"
+    period_s: float = 10.0
+    duty: float = 0.5
+
+    def __post_init__(self) -> None:
+        if self.shape not in SHAPE_KINDS:
+            raise ValueError(f"shape must be one of {SHAPE_KINDS}, got {self.shape!r}")
+        if self.rate < 0:
+            raise ValueError(f"rate must be >= 0, got {self.rate}")
+        if self.end_s <= self.start_s:
+            raise ValueError(f"campaign window is empty: [{self.start_s}, {self.end_s})")
+        if self.shape == "pulse":
+            if self.period_s <= 0:
+                raise ValueError(f"pulse period must be > 0, got {self.period_s}")
+            if not 0.0 < self.duty <= 1.0:
+                raise ValueError(f"duty must be in (0, 1], got {self.duty}")
+
+    def intensity_at(self, t: float) -> float:
+        if not self.start_s <= t < self.end_s:
+            return 0.0
+        if self.shape == "constant":
+            return 1.0
+        if self.shape == "ramp":
+            span = self.end_s - self.start_s
+            if not math.isfinite(span):
+                return 1.0
+            return (t - self.start_s) / span
+        return 1.0 if ((t - self.start_s) % self.period_s) < self.duty * self.period_s else 0.0
+
+    def active_at(self, t: float) -> bool:
+        return self.start_s <= t < self.end_s
+
+
+@dataclass(frozen=True)
+class EvasionPhase:
+    """Adversarial transform scheduled over a window of the timeline.
+
+    Applies to every campaign flow *starting* inside
+    ``[start_s, end_s)`` whose family is in ``families`` (empty tuple =
+    every campaign).  ``low_rate`` stretches the flow's gaps by
+    ``factor`` (:func:`repro.datasets.adversarial.low_rate_flows`);
+    ``padding`` injects ``factor`` benign-mimicking packets per original
+    packet (:func:`repro.datasets.adversarial.evasion_flows`).
+    """
+
+    kind: str = "low_rate"
+    factor: float = 4.0
+    start_s: float = 0.0
+    end_s: float = math.inf
+    families: Tuple[str, ...] = ()
+
+    def __post_init__(self) -> None:
+        if self.kind not in EVASION_KINDS:
+            raise ValueError(f"evasion kind must be one of {EVASION_KINDS}, got {self.kind!r}")
+        if self.factor <= 0 or (self.kind == "low_rate" and self.factor < 1.0):
+            raise ValueError(f"bad evasion factor {self.factor} for kind {self.kind!r}")
+        if self.end_s <= self.start_s:
+            raise ValueError(f"evasion window is empty: [{self.start_s}, {self.end_s})")
+
+    def covers(self, family: str, t: float) -> bool:
+        if not self.start_s <= t < self.end_s:
+            return False
+        return not self.families or family in self.families
+
+
+@dataclass(frozen=True)
+class Scenario:
+    """A complete workload timeline: benign loads + campaigns + evasions.
+
+    ``duration_s`` bounds flow *starts*; tail packets of flows started
+    near the end may extend slightly past it.  ``window_s`` is the
+    engine's generation granularity and part of the spec's deterministic
+    identity (per-window RNG seeding): the same spec + seed always
+    yields the same stream, while changing ``window_s`` yields a
+    *different* draw of the same scenario distribution.  The consumer's
+    chunk size, by contrast, never affects the stream.
+    """
+
+    name: str = "scenario"
+    duration_s: float = 60.0
+    seed: int = 7
+    window_s: float = 1.0
+    benign: Tuple[BenignLoad, ...] = ()
+    campaigns: Tuple[Campaign, ...] = ()
+    evasions: Tuple[EvasionPhase, ...] = ()
+
+    def __post_init__(self) -> None:
+        if self.duration_s <= 0:
+            raise ValueError(f"duration_s must be > 0, got {self.duration_s}")
+        if self.window_s <= 0:
+            raise ValueError(f"window_s must be > 0, got {self.window_s}")
+        if not self.benign and not self.campaigns:
+            raise ValueError("scenario needs at least one benign load or campaign")
+
+    def stream(self, seed: Optional[int] = None):
+        """A fresh :class:`repro.scenarios.engine.ScenarioStream` over
+        this spec (each stream is an independent one-pass generator)."""
+        from repro.scenarios.engine import ScenarioStream
+
+        return ScenarioStream(self, seed=seed)
+
+    def scaled(self, duration_s: Optional[float] = None, intensity: float = 1.0) -> "Scenario":
+        """Copy with the timeline stretched and/or the rates scaled.
+
+        Stretching to a new ``duration_s`` rescales every time quantity
+        (campaign windows, curve periods and steps, evasion windows)
+        proportionally, preserving the scenario's shape; ``intensity``
+        multiplies every offered rate (the knob that turns a CI-sized
+        scenario into a hundred-million-packet run).
+        """
+        f = 1.0 if duration_s is None else duration_s / self.duration_s
+        if f <= 0 or intensity < 0:
+            raise ValueError("duration_s must be > 0 and intensity >= 0")
+
+        def _curve(c: LoadCurve) -> LoadCurve:
+            return replace(
+                c,
+                rate=c.rate * intensity,
+                period_s=c.period_s * f,
+                steps=tuple((t * f, r * intensity) for t, r in c.steps),
+            )
+
+        def _clip(t: float) -> float:
+            return t * f if math.isfinite(t) else t
+
+        return replace(
+            self,
+            duration_s=self.duration_s * f,
+            benign=tuple(replace(b, curve=_curve(b.curve)) for b in self.benign),
+            campaigns=tuple(
+                replace(
+                    c,
+                    rate=c.rate * intensity,
+                    start_s=c.start_s * f,
+                    end_s=_clip(c.end_s),
+                    period_s=c.period_s * f,
+                )
+                for c in self.campaigns
+            ),
+            evasions=tuple(
+                replace(e, start_s=e.start_s * f, end_s=_clip(e.end_s))
+                for e in self.evasions
+            ),
+        )
+
+    # -- text form -----------------------------------------------------------
+
+    def to_spec(self) -> str:
+        """Render the scenario as its one-line DSL text form."""
+        parts = [f"name={self.name}", f"duration={_num(self.duration_s)}",
+                 f"seed={self.seed}"]
+        if self.window_s != 1.0:
+            parts.append(f"window={_num(self.window_s)}")
+        for b in self.benign:
+            kv = [f"curve={b.curve.kind}", f"rate={_num(b.curve.rate)}"]
+            if b.curve.kind == "diurnal":
+                kv += [f"amplitude={_num(b.curve.amplitude)}",
+                       f"period={_num(b.curve.period_s)}"]
+                if b.curve.phase:
+                    kv.append(f"phase={_num(b.curve.phase)}")
+            if b.curve.kind == "step":
+                kv.append("steps=" + "/".join(
+                    f"{_num(t)}:{_num(r)}" for t, r in b.curve.steps))
+            if b.mix != "all":
+                kv.append(f"mix={b.mix}")
+            parts.append("benign:" + ",".join(kv))
+        for c in self.campaigns:
+            kv = [f"family={c.family}", f"rate={_num(c.rate)}",
+                  f"start={_num(c.start_s)}"]
+            if math.isfinite(c.end_s):
+                kv.append(f"end={_num(c.end_s)}")
+            if c.shape != "constant":
+                kv.append(f"shape={c.shape}")
+            if c.shape == "pulse":
+                kv += [f"period={_num(c.period_s)}", f"duty={_num(c.duty)}"]
+            parts.append("campaign:" + ",".join(kv))
+        for e in self.evasions:
+            kv = [f"kind={e.kind}", f"factor={_num(e.factor)}",
+                  f"start={_num(e.start_s)}"]
+            if math.isfinite(e.end_s):
+                kv.append(f"end={_num(e.end_s)}")
+            if e.families:
+                kv.append("families=" + "/".join(e.families))
+            parts.append("evasion:" + ",".join(kv))
+        return ";".join(parts)
+
+
+def _num(x: float) -> str:
+    """Compact numeric rendering: drop a trailing ``.0``."""
+    return str(int(x)) if float(x) == int(x) else str(x)
+
+
+def _parse_kv(body: str, clause: str) -> Dict[str, str]:
+    kv: Dict[str, str] = {}
+    for item in body.split(","):
+        item = item.strip()
+        if not item:
+            continue
+        if "=" not in item:
+            raise ValueError(f"expected key=value in {clause!r}, got {item!r}")
+        key, value = item.split("=", 1)
+        kv[key.strip()] = value.strip()
+    return kv
+
+
+def _pop_float(kv: Dict[str, str], key: str, default: float) -> float:
+    return float(kv.pop(key)) if key in kv else default
+
+
+def _parse_benign(body: str, clause: str) -> BenignLoad:
+    kv = _parse_kv(body, clause)
+    steps: Tuple[Tuple[float, float], ...] = ()
+    if "steps" in kv:
+        steps = tuple(
+            (float(t), float(r))
+            for t, r in (pair.split(":", 1) for pair in kv.pop("steps").split("/"))
+        )
+    curve = LoadCurve(
+        kind=kv.pop("curve", "constant"),
+        rate=_pop_float(kv, "rate", 10.0),
+        amplitude=_pop_float(kv, "amplitude", 0.5),
+        period_s=_pop_float(kv, "period", 60.0),
+        phase=_pop_float(kv, "phase", 0.0),
+        steps=steps,
+    )
+    load = BenignLoad(curve=curve, mix=kv.pop("mix", "all"))
+    if kv:
+        raise ValueError(f"unknown benign keys {sorted(kv)} in {clause!r}")
+    return load
+
+
+def _parse_campaign(body: str, clause: str) -> Campaign:
+    kv = _parse_kv(body, clause)
+    if "family" not in kv:
+        raise ValueError(f"campaign clause needs family=...: {clause!r}")
+    campaign = Campaign(
+        family=kv.pop("family"),
+        rate=_pop_float(kv, "rate", 10.0),
+        start_s=_pop_float(kv, "start", 0.0),
+        end_s=_pop_float(kv, "end", math.inf),
+        shape=kv.pop("shape", "constant"),
+        period_s=_pop_float(kv, "period", 10.0),
+        duty=_pop_float(kv, "duty", 0.5),
+    )
+    if kv:
+        raise ValueError(f"unknown campaign keys {sorted(kv)} in {clause!r}")
+    return campaign
+
+
+def _parse_evasion(body: str, clause: str) -> EvasionPhase:
+    kv = _parse_kv(body, clause)
+    families: Tuple[str, ...] = ()
+    if "families" in kv:
+        families = tuple(f for f in kv.pop("families").split("/") if f)
+    phase = EvasionPhase(
+        kind=kv.pop("kind", "low_rate"),
+        factor=_pop_float(kv, "factor", 4.0),
+        start_s=_pop_float(kv, "start", 0.0),
+        end_s=_pop_float(kv, "end", math.inf),
+        families=families,
+    )
+    if kv:
+        raise ValueError(f"unknown evasion keys {sorted(kv)} in {clause!r}")
+    return phase
+
+
+def parse_scenario(spec: str) -> Scenario:
+    """Parse a DSL string — or a preset name with optional overrides.
+
+    Grammar: ``;``-separated clauses.  A clause is either a top-level
+    ``key=value`` (``name``, ``duration``, ``seed``, ``window``,
+    ``intensity``), a ``benign:…`` / ``campaign:…`` / ``evasion:…``
+    block of comma-separated ``key=value`` pairs, or — only as the first
+    clause — a preset name from the scenario registry, which seeds the
+    spec that later clauses then override or extend.
+    """
+    text = spec.strip()
+    if not text:
+        raise ValueError("empty scenario spec")
+
+    clauses = [c.strip() for c in text.split(";") if c.strip()]
+    base: Optional[Scenario] = None
+    first = clauses[0]
+    if ":" not in first and "=" not in first:
+        from repro.scenarios.registry import get_scenario
+
+        base = get_scenario(first)
+        clauses = clauses[1:]
+
+    top: Dict[str, str] = {}
+    benign: List[BenignLoad] = []
+    campaigns: List[Campaign] = []
+    evasions: List[EvasionPhase] = []
+    for clause in clauses:
+        head, _, body = clause.partition(":")
+        if head == "benign":
+            benign.append(_parse_benign(body, clause))
+        elif head == "campaign":
+            campaigns.append(_parse_campaign(body, clause))
+        elif head == "evasion":
+            evasions.append(_parse_evasion(body, clause))
+        elif "=" in clause and ":" not in clause:
+            key, value = clause.split("=", 1)
+            top[key.strip()] = value.strip()
+        else:
+            raise ValueError(
+                f"unknown clause {clause!r} (expected benign:/campaign:/evasion:/key=value)"
+            )
+
+    known = {"name", "duration", "seed", "window", "intensity"}
+    unknown = set(top) - known
+    if unknown:
+        raise ValueError(f"unknown scenario keys {sorted(unknown)}")
+
+    if base is not None:
+        scenario = base
+        if "duration" in top or "intensity" in top:
+            scenario = scenario.scaled(
+                duration_s=float(top["duration"]) if "duration" in top else None,
+                intensity=float(top.get("intensity", 1.0)),
+            )
+        return replace(
+            scenario,
+            name=top.get("name", scenario.name),
+            seed=int(top.get("seed", scenario.seed)),
+            window_s=float(top.get("window", scenario.window_s)),
+            benign=scenario.benign + tuple(benign),
+            campaigns=scenario.campaigns + tuple(campaigns),
+            evasions=scenario.evasions + tuple(evasions),
+        )
+
+    scenario = Scenario(
+        name=top.get("name", "scenario"),
+        duration_s=float(top.get("duration", 60.0)),
+        seed=int(top.get("seed", 7)),
+        window_s=float(top.get("window", 1.0)),
+        benign=tuple(benign),
+        campaigns=tuple(campaigns),
+        evasions=tuple(evasions),
+    )
+    if "intensity" in top:
+        scenario = scenario.scaled(intensity=float(top["intensity"]))
+    return scenario

@@ -116,3 +116,75 @@ class TestRouterModel:
         flows = generate_benign_flows(4, seed=18)
         routed = route_flows(flows, seed=19)
         assert all(not p.malicious for f in routed for p in f)
+
+
+class TestExtendedAttacks:
+    """The scenario foundry's extra families (beyond the paper's 15)."""
+
+    def test_registry_shape(self):
+        from repro.datasets.attacks import EXTENDED_ATTACKS
+
+        assert len(EXTENDED_ATTACKS) == 4
+        # The paper's 15-workload catalogue is untouched.
+        assert len(ALL_ATTACKS) == 15
+        assert not set(EXTENDED_ATTACKS) & set(ALL_ATTACKS)
+        for name in EXTENDED_ATTACKS:
+            assert name in ATTACK_GENERATORS
+
+    @pytest.mark.parametrize(
+        "name", ["DNS amplification", "NTP amplification", "ACK flood",
+                 "Fragmentation DoS"]
+    )
+    def test_flows_malicious_and_deterministic(self, name):
+        a = generate_attack_flows(name, 4, seed=21)
+        b = generate_attack_flows(name, 4, seed=21)
+        assert len(a) == 4
+        assert all(p.malicious for f in a for p in f)
+        assert [p.timestamp for f in a for p in f] == [
+            p.timestamp for f in b for p in f
+        ]
+
+    def test_amplification_bytes_asymmetry(self):
+        """Responses toward the victim must dwarf the tiny requests."""
+        from repro.datasets.attacks import DNS_AMPLIFICATION, reflection_flow
+
+        rng = np.random.default_rng(3)
+        flow = reflection_flow(rng, 0.0, DNS_AMPLIFICATION)
+        req = [p for p in flow if p.five_tuple.dst_port == 53]
+        resp = [p for p in flow if p.five_tuple.src_port == 53]
+        assert req and resp
+        amp = sum(p.size for p in resp) / sum(p.size for p in req)
+        assert amp > 10.0
+
+
+class TestReflectionDirectionConsistency:
+    """Reflection request/response 5-tuples must be exact reversals so
+    direction-canonicalised flow keying (store slots, shard routing)
+    keeps both directions of the exchange together."""
+
+    def _flow(self, seed=5):
+        from repro.datasets.attacks import NTP_AMPLIFICATION, reflection_flow
+
+        rng = np.random.default_rng(seed)
+        return reflection_flow(rng, 0.0, NTP_AMPLIFICATION)
+
+    def test_single_canonical_tuple(self):
+        flow = self._flow()
+        assert len({p.five_tuple.canonical() for p in flow}) == 1
+
+    def test_response_is_exact_reversal(self):
+        flow = self._flow()
+        req_ft = flow[0].five_tuple
+        resp = next(p for p in flow if p.five_tuple != req_ft)
+        assert resp.five_tuple == req_ft.reversed()
+
+    def test_shard_router_keeps_exchange_together(self):
+        from repro.cluster.router import FlowShardRouter
+        from repro.datasets.attacks import DNS_AMPLIFICATION, reflection_flow
+
+        router = FlowShardRouter(n_shards=5)
+        rng = np.random.default_rng(11)
+        for _ in range(20):
+            flow = reflection_flow(rng, 0.0, DNS_AMPLIFICATION)
+            shards = {router.shard_of(p.five_tuple) for p in flow}
+            assert len(shards) == 1

@@ -94,3 +94,44 @@ class TestDriftMonitor:
             DriftMonitor(window=0)
         with pytest.raises(ValueError):
             DriftMonitor(threshold=0.0)
+
+
+class TestWarmup:
+    """Cold-start warm-up: discard early chunks so the flow store's
+    maturation transient never becomes the reference distribution."""
+
+    def test_warmup_chunks_excluded_from_baseline(self):
+        m = DriftMonitor(window=1, baseline_window=1, threshold=0.2,
+                         min_packets=1, warmup_chunks=3)
+        # Maturation transient: rate drains 0.9 -> 0.1 over warm-up.
+        for rate in (0.9, 0.5, 0.3):
+            assert m.observe(_stats(rate)) is False
+            assert not m.has_baseline
+        # Baseline forms on the first mature chunk; steady stream is quiet.
+        m.observe(_stats(0.1))
+        assert m.has_baseline
+        assert m.observe(_stats(0.1)) is False
+        # A real shift after warm-up still fires.
+        assert m.observe(_stats(0.6)) is True
+
+    def test_without_warmup_transient_poisons_baseline(self):
+        """The counter-factual the knob exists for."""
+        m = DriftMonitor(window=1, baseline_window=1, threshold=0.2,
+                         min_packets=1)
+        m.observe(_stats(0.9))
+        assert m.observe(_stats(0.1)) is True
+
+    def test_reset_does_not_reapply_warmup(self):
+        """Warm-up belongs to the store's cold start, not the tables:
+        after a hot-swap reset the baseline re-forms immediately."""
+        m = DriftMonitor(window=1, baseline_window=1, threshold=0.2,
+                         min_packets=1, warmup_chunks=2)
+        for rate in (0.9, 0.4, 0.1):
+            m.observe(_stats(rate))
+        m.reset()
+        m.observe(_stats(0.1))
+        assert m.has_baseline
+
+    def test_rejects_negative_warmup(self):
+        with pytest.raises(ValueError, match="warmup_chunks"):
+            DriftMonitor(warmup_chunks=-1)

@@ -1,0 +1,38 @@
+"""Serve-mode scenario fixtures: named scenarios wired to a fast
+pipeline so runtime tests and benchmarks drive realistic streams.
+
+``scenario_pipeline`` fits the hand-built percentile whitelist (see
+``tests.runtime.common``) on benign flows drawn from the scenario's own
+tenant populations — the same warm-up ``repro serve --scenario``
+performs — so benign traffic lands in the BENIGN band and campaign
+traffic falls through to the default-MALICIOUS verdict.  Fast enough
+for CI, discriminative enough that drift monitors see attacks.
+"""
+
+from repro.features.flow_features import FlowFeatureExtractor
+from repro.features.scaling import IntegerQuantizer
+from repro.scenarios import Scenario
+from repro.switch.pipeline import PipelineConfig, SwitchPipeline
+from tests.runtime.common import percentile_rules
+
+PKT_THRESHOLD = 6
+TIMEOUT_S = 1.0
+
+
+def scenario_pipeline(
+    scenario: Scenario, n_train_flows: int = 60, n_slots: int = 128
+) -> SwitchPipeline:
+    """A percentile-whitelist pipeline trained on *scenario*'s benign mix."""
+    flows = scenario.stream().training_flows(n_train_flows)
+    fx = FlowFeatureExtractor(
+        feature_set="switch", pkt_count_threshold=PKT_THRESHOLD, timeout=TIMEOUT_S
+    )
+    x, _ = fx.extract_flows(flows)
+    quantizer = IntegerQuantizer(bits=12, space="log").fit(x)
+    return SwitchPipeline(
+        fl_rules=percentile_rules(x).quantize(quantizer),
+        fl_quantizer=quantizer,
+        config=PipelineConfig(
+            pkt_count_threshold=PKT_THRESHOLD, timeout=TIMEOUT_S, n_slots=n_slots
+        ),
+    )

@@ -1,0 +1,230 @@
+"""The chunked generation engine: determinism, chunk-size invariance,
+golden per-family statistics, and streaming telemetry."""
+
+import numpy as np
+import pytest
+
+from repro.datasets.packet import MAX_PACKET_SIZE
+from repro.scenarios import ScenarioStream, get_scenario, parse_scenario
+from repro.telemetry import MetricRegistry, use_registry
+
+
+def _short(name, duration=5.0, **kw):
+    return get_scenario(name, duration_s=duration, **kw)
+
+
+class TestDeterminism:
+    def test_same_seed_bit_identical(self):
+        s = _short("pulse_wave_syn")
+        assert list(s.stream().iter_packets()) == list(s.stream().iter_packets())
+
+    def test_different_seed_differs(self):
+        s = _short("pulse_wave_syn")
+        assert list(s.stream(seed=1).iter_packets()) != list(
+            s.stream(seed=2).iter_packets()
+        )
+
+    def test_window_size_is_part_of_spec_identity(self):
+        """window_s re-seeds the per-window draws (a different but valid
+        sample of the same scenario); each window_s is itself stable."""
+        from dataclasses import replace
+
+        s = _short("amplification_campaign")
+        fine = replace(s, window_s=0.25)
+        assert list(fine.stream().iter_packets()) == list(
+            fine.stream().iter_packets()
+        )
+        # Both window sizes produce sorted, labelled streams of similar volume.
+        a = list(fine.stream().iter_packets())
+        b = list(replace(s, window_s=2.0).stream().iter_packets())
+        assert 0.5 < len(a) / len(b) < 2.0
+
+    def test_timestamps_sorted(self):
+        for name in ("steady_benign", "evasion_midstream", "botnet_rampup"):
+            ts = [p.timestamp for p in _short(name, 4.0).stream().iter_packets()]
+            assert ts == sorted(ts)
+
+    def test_unknown_family_fails_at_build_time(self):
+        s = parse_scenario("campaign:family=syn_flood,rate=5")
+        from dataclasses import replace
+
+        bad = replace(s, campaigns=(replace(s.campaigns[0], family="nope"),))
+        with pytest.raises(KeyError, match="unknown campaign family"):
+            ScenarioStream(bad)
+
+
+class TestChunkSizeInvariance:
+    @pytest.mark.parametrize("chunk_size", [1, 64, 4096])
+    def test_chunking_is_pure_buffering(self, chunk_size):
+        s = _short("pulse_wave_syn", 3.0)
+        base = list(s.stream().iter_packets())
+        chunks = list(s.stream().iter_chunks(chunk_size))
+        flat = [p for c in chunks for p in c.packets]
+        assert flat == base
+        assert all(len(c) == chunk_size for c in chunks[:-1])
+
+    def test_materialise_equals_stream(self):
+        s = _short("amplification_campaign", 3.0)
+        assert list(s.stream().materialise().packets) == list(
+            s.stream().iter_packets()
+        )
+
+    def test_materialise_guard_trips(self):
+        s = _short("steady_benign", 5.0)
+        with pytest.raises(MemoryError, match="max_packets"):
+            s.stream().materialise(max_packets=100)
+
+    def test_rejects_bad_chunk_size(self):
+        with pytest.raises(ValueError, match="chunk_size"):
+            next(_short("steady_benign").stream().iter_chunks(0))
+
+
+class TestGroundTruthLabels:
+    def test_benign_scenarios_all_benign(self):
+        for name in ("steady_benign", "diurnal_multitenant"):
+            assert not any(
+                p.malicious for p in _short(name, 4.0).stream().iter_packets()
+            )
+
+    def test_campaign_packets_labelled(self):
+        s = _short("pulse_wave_syn")
+        pkts = list(s.stream().iter_packets())
+        mal = sum(1 for p in pkts if p.malicious)
+        assert 0 < mal < len(pkts)
+
+    def test_label_conservation_across_chunking(self):
+        """Chunked label totals must equal the materialised totals."""
+        s = _short("evasion_midstream", 4.0)
+        whole = sum(p.malicious for p in s.stream().iter_packets())
+        chunked = sum(
+            sum(p.malicious for p in c.packets)
+            for c in s.stream().iter_chunks(512)
+        )
+        assert whole == chunked
+
+
+class TestGoldenFamilyStats:
+    """Distributional signatures each new family must keep."""
+
+    def test_amplification_scenario_fan_in(self):
+        """Reflection traffic: response bytes toward victims dominate
+        request bytes, and every exchange shares one canonical tuple."""
+        s = _short("amplification_campaign", 6.0)
+        pkts = [p for p in s.stream().iter_packets() if p.malicious]
+        req = [p for p in pkts if p.five_tuple.dst_port in (53, 123)]
+        resp = [p for p in pkts if p.five_tuple.src_port in (53, 123)]
+        assert req and resp
+        asymmetry = sum(p.size for p in resp) / sum(p.size for p in req)
+        assert asymmetry > 8.0
+        # More response packets than requests (packet amplification too).
+        assert len(resp) > len(req)
+
+    def test_fragmentation_size_distribution(self):
+        """Frag trains: dominated by max-size frames with a small tail."""
+        s = parse_scenario(
+            "duration=5;campaign:family=fragmentation,rate=4"
+        )
+        sizes = [p.size for p in s.stream().iter_packets()]
+        assert sizes
+        full = sum(1 for x in sizes if x == MAX_PACKET_SIZE)
+        assert full / len(sizes) > 0.5
+        assert min(sizes) < MAX_PACKET_SIZE
+
+    def test_ack_flood_small_constant_sizes(self):
+        s = parse_scenario("duration=5;campaign:family=ack_flood,rate=6")
+        sizes = np.array([p.size for p in s.stream().iter_packets()])
+        assert sizes.size > 100
+        assert np.median(sizes) < 100
+        assert np.std(sizes) < 20.0
+
+    def test_pulse_wave_starts_only_during_bursts(self):
+        """Thinning gates flow *starts*: with a square-wave intensity,
+        every malicious flow must begin inside an on-phase (its packets
+        may outlast the pulse — floods run for seconds)."""
+        s = _short("pulse_wave_syn", 12.0)
+        campaign = s.campaigns[0]
+        starts = {}
+        for p in s.stream().iter_packets():
+            if not p.malicious:
+                continue
+            key = p.five_tuple.canonical()
+            starts[key] = min(starts.get(key, p.timestamp), p.timestamp)
+        assert starts
+        for t in starts.values():
+            assert campaign.intensity_at(t) > 0
+
+    def test_ramp_grows_attack_rate(self):
+        s = _short("botnet_rampup", 20.0)
+        campaign = s.campaigns[0]
+        mid = (campaign.start_s + campaign.end_s) / 2
+        early = late = 0
+        for p in s.stream().iter_packets():
+            if not p.malicious:
+                continue
+            if campaign.start_s <= p.timestamp < mid:
+                early += 1
+            elif mid <= p.timestamp < campaign.end_s:
+                late += 1
+        assert late > early * 1.5
+
+
+class TestEvasion:
+    def test_low_rate_phase_stretches_flows(self):
+        """Malicious flows starting in the low-rate window last longer
+        than identical-family flows outside it."""
+        s = _short("evasion_midstream", 60.0)
+        low = s.evasions[0]
+        stream = s.stream()
+        plain_spans, slowed_spans = [], []
+        flows = {}
+        for p in stream.iter_packets():
+            if not p.malicious:
+                continue
+            flows.setdefault(p.five_tuple.canonical(), []).append(p.timestamp)
+        for times in flows.values():
+            span = times[-1] - times[0]
+            if len(times) < 10:
+                continue
+            if low.start_s <= times[0] < low.end_s:
+                slowed_spans.append(span / len(times))
+            elif times[0] < low.start_s:
+                plain_spans.append(span / len(times))
+        assert plain_spans and slowed_spans
+        assert np.median(slowed_spans) > 2.0 * np.median(plain_spans)
+
+
+class TestStreamConsumers:
+    def test_training_flows_benign_and_deterministic(self):
+        s = _short("diurnal_multitenant")
+        a = s.stream().training_flows(30)
+        b = s.stream().training_flows(30)
+        assert len(a) == 30
+        assert all(not p.malicious for f in a for p in f)
+        assert [p.timestamp for f in a for p in f] == [
+            p.timestamp for f in b for p in f
+        ]
+
+    def test_training_flows_need_benign_load(self):
+        s = parse_scenario("campaign:family=syn_flood,rate=5")
+        with pytest.raises(ValueError, match="benign"):
+            s.stream().training_flows(10)
+
+    def test_preview_accounts_for_every_packet(self):
+        s = _short("pulse_wave_syn", 4.0)
+        rows = list(s.stream().preview(every_s=2.0))
+        n = len(list(s.stream().iter_packets()))
+        assert sum(r.n_packets for r in rows) == n
+        assert all(r.t1 > r.t0 for r in rows)
+
+    def test_iter_chunks_publishes_telemetry(self):
+        s = _short("pulse_wave_syn", 3.0)
+        registry = MetricRegistry()
+        with use_registry(registry):
+            chunks = list(s.stream().iter_chunks(1024))
+        counters = registry.counters_dict()
+        n = sum(len(c) for c in chunks)
+        assert counters["scenario.packets"] == n
+        assert counters["scenario.attack_packets"] == sum(
+            p.malicious for c in chunks for p in c.packets
+        )
+        assert "scenario.attack_fraction" in registry.gauges_dict()

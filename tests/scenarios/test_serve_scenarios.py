@@ -1,0 +1,150 @@
+"""Scenario streams through the serving runtime: streaming-vs-
+materialised bit-identity, drift behaviour, and cluster transport
+contracts."""
+
+import numpy as np
+import pytest
+
+from repro.datasets import Trace
+from repro.runtime import as_chunk_iter
+from repro.runtime.service import OnlineDetectionService, RuntimeConfig
+from repro.scenarios import get_scenario
+from tests.scenarios.common import scenario_pipeline
+
+
+def _service(pipeline, **overrides):
+    defaults = dict(chunk_size=512, drift_threshold=0.0)
+    defaults.update(overrides)
+    return OnlineDetectionService(
+        pipeline, config=RuntimeConfig(**defaults), seed=5
+    )
+
+
+class TestAsChunkIter:
+    def test_trace_path_matches_iter_chunks(self):
+        s = get_scenario("steady_benign", duration_s=2.0)
+        trace = s.stream().materialise()
+        a = [c.packets for c in as_chunk_iter(trace, 300)]
+        b = [c.packets for c in as_chunk_iter(iter(trace.packets), 300)]
+        assert a == b
+
+    def test_skip_packets_aligns_with_slicing(self):
+        s = get_scenario("steady_benign", duration_s=2.0)
+        trace = s.stream().materialise()
+        skipped = [
+            p for c in as_chunk_iter(s.stream(), 300, skip_packets=600)
+            for p in c.packets
+        ]
+        assert skipped == trace.packets[600:]
+
+    def test_scenario_stream_source(self):
+        s = get_scenario("pulse_wave_syn", duration_s=2.0)
+        flat = [p for c in as_chunk_iter(s.stream(), 256) for p in c.packets]
+        assert flat == list(s.stream().iter_packets())
+
+    def test_validation(self):
+        with pytest.raises(ValueError, match="chunk_size"):
+            list(as_chunk_iter(Trace([]), 0))
+        with pytest.raises(ValueError, match="skip_packets"):
+            list(as_chunk_iter(Trace([]), 8, skip_packets=-1))
+
+
+class TestStreamingServeIdentity:
+    def test_streaming_equals_materialised(self):
+        """The acceptance contract: serving a live scenario stream is
+        bit-identical to serving the materialised trace."""
+        s = get_scenario("pulse_wave_syn", duration_s=5.0)
+        rep_stream = _service(scenario_pipeline(s)).serve(s.stream())
+        rep_mat = _service(scenario_pipeline(s)).serve(s.stream().materialise())
+        assert rep_stream.n_packets == rep_mat.n_packets
+        assert rep_stream.n_chunks == rep_mat.n_chunks
+        assert np.array_equal(rep_stream.y_pred, rep_mat.y_pred)
+        assert np.array_equal(rep_stream.y_true, rep_mat.y_true)
+        assert [s_.n_packets for s_ in rep_stream.chunk_stats] == [
+            s_.n_packets for s_ in rep_mat.chunk_stats
+        ]
+
+    def test_ground_truth_carried_through(self):
+        s = get_scenario("amplification_campaign", duration_s=4.0)
+        report = _service(scenario_pipeline(s)).serve(s.stream())
+        expected = sum(p.malicious for p in s.stream().iter_packets())
+        assert int(report.y_true.sum()) == expected
+
+
+class TestDriftOnScenarios:
+    """Drift behaviour on realistic-IPD scenario streams.
+
+    A cold flow store matures for roughly as long as benign flows take
+    to reach the packet-count decision threshold — seconds, on scenario
+    inter-packet gaps — so the monitor's baseline must form *after*
+    that transient (``drift_warmup_chunks``).  Once it does, a steady
+    benign stream stays quiet and a campaign onset fires.
+    """
+
+    CHUNK = 1024
+
+    def _warmup_chunks(self, stream, warmup_s):
+        """Chunks wholly inside the warm-up window, plus one straddler."""
+        n = sum(1 for p in stream.iter_packets() if p.timestamp < warmup_s)
+        return n // self.CHUNK + 1
+
+    def _serve(self, s, warmup_s):
+        service = _service(
+            scenario_pipeline(s),
+            chunk_size=self.CHUNK,
+            drift_threshold=0.25,
+            drift_window=2,
+            baseline_window=2,
+            min_drift_packets=64,
+            drift_warmup_chunks=self._warmup_chunks(s.stream(), warmup_s),
+            max_swaps=0,  # observe signals without paying for retrains
+        )
+        return service.serve(s.stream())
+
+    def test_pulse_wave_fires_drift(self):
+        """Baseline forms on mature benign-only traffic just before the
+        campaign window opens at t=15; the flood onset crosses the
+        drift threshold."""
+        s = get_scenario("pulse_wave_syn", duration_s=60.0)
+        assert s.campaigns[0].start_s == pytest.approx(15.0)
+        report = self._serve(s, warmup_s=12.0)
+        assert report.drift_signals >= 1
+
+    def test_steady_benign_control_stays_quiet(self):
+        """Same monitor shape, no campaign: once the store has matured
+        past the warm-up, constant-rate benign traffic never crosses
+        the threshold."""
+        s = get_scenario("steady_benign", duration_s=40.0)
+        report = self._serve(s, warmup_s=15.0)
+        assert report.drift_signals == 0
+
+
+class TestClusterScenarioServe:
+    def test_routed_transport_streams_identically(self):
+        from repro.cluster.service import ClusterService
+
+        s = get_scenario("amplification_campaign", duration_s=4.0)
+        with ClusterService(
+            scenario_pipeline(s), n_shards=3,
+            config=RuntimeConfig(chunk_size=512, drift_threshold=0.0),
+        ) as cluster:
+            rep_stream = cluster.serve(s.stream())
+        with ClusterService(
+            scenario_pipeline(s), n_shards=3,
+            config=RuntimeConfig(chunk_size=512, drift_threshold=0.0),
+        ) as cluster:
+            rep_mat = cluster.serve(s.stream().materialise())
+        assert rep_stream.n_packets == rep_mat.n_packets
+        assert np.array_equal(rep_stream.y_pred, rep_mat.y_pred)
+
+    def test_shm_transport_refuses_streams(self):
+        from repro.cluster.service import ClusterService
+
+        s = get_scenario("steady_benign", duration_s=2.0)
+        with ClusterService(
+            scenario_pipeline(s), n_shards=2,
+            config=RuntimeConfig(chunk_size=512, drift_threshold=0.0),
+            executor="shm",
+        ) as cluster:
+            with pytest.raises(ValueError, match="materialised Trace"):
+                cluster.serve(s.stream())

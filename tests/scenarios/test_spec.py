@@ -1,0 +1,173 @@
+"""Scenario spec dataclasses and the text DSL."""
+
+import math
+
+import pytest
+
+from repro.scenarios import (
+    BenignLoad,
+    Campaign,
+    EvasionPhase,
+    LoadCurve,
+    SCENARIO_PRESETS,
+    Scenario,
+    get_scenario,
+    parse_scenario,
+    scenario_names,
+)
+
+
+class TestLoadCurve:
+    def test_constant(self):
+        c = LoadCurve(kind="constant", rate=12.0)
+        assert c.rate_at(0.0) == c.rate_at(99.0) == 12.0
+        assert c.peak_rate == 12.0
+
+    def test_diurnal_oscillates_and_bounds(self):
+        c = LoadCurve(kind="diurnal", rate=10.0, amplitude=0.5, period_s=20.0)
+        samples = [c.rate_at(t) for t in range(0, 40)]
+        assert max(samples) > 12.0 and min(samples) < 8.0
+        assert all(0.0 <= s <= c.peak_rate for s in samples)
+        assert c.peak_rate == pytest.approx(15.0)
+
+    def test_step_piecewise(self):
+        c = LoadCurve(kind="step", rate=5.0, steps=((10.0, 20.0), (30.0, 2.0)))
+        assert c.rate_at(0.0) == 5.0
+        assert c.rate_at(10.0) == 20.0
+        assert c.rate_at(29.9) == 20.0
+        assert c.rate_at(31.0) == 2.0
+        assert c.peak_rate == 20.0
+
+    def test_validation(self):
+        with pytest.raises(ValueError, match="kind"):
+            LoadCurve(kind="sawtooth")
+        with pytest.raises(ValueError, match="sorted"):
+            LoadCurve(kind="step", steps=((30.0, 1.0), (10.0, 2.0)))
+
+
+class TestCampaign:
+    def test_window_gates_intensity(self):
+        c = Campaign(family="syn_flood", start_s=10.0, end_s=20.0)
+        assert c.intensity_at(5.0) == 0.0
+        assert c.intensity_at(15.0) == 1.0
+        assert c.intensity_at(20.0) == 0.0
+
+    def test_ramp_is_linear(self):
+        c = Campaign(family="syn_flood", start_s=0.0, end_s=10.0, shape="ramp")
+        assert c.intensity_at(5.0) == pytest.approx(0.5)
+        assert c.intensity_at(9.0) == pytest.approx(0.9)
+
+    def test_pulse_square_wave(self):
+        c = Campaign(
+            family="syn_flood", start_s=0.0, end_s=100.0, shape="pulse",
+            period_s=10.0, duty=0.4,
+        )
+        assert c.intensity_at(1.0) == 1.0
+        assert c.intensity_at(5.0) == 0.0
+        assert c.intensity_at(11.0) == 1.0
+
+    def test_validation(self):
+        with pytest.raises(ValueError, match="empty"):
+            Campaign(family="syn_flood", start_s=5.0, end_s=5.0)
+        with pytest.raises(ValueError, match="duty"):
+            Campaign(family="syn_flood", shape="pulse", duty=0.0)
+
+
+class TestEvasionPhase:
+    def test_covers_window_and_families(self):
+        e = EvasionPhase(kind="low_rate", factor=4.0, start_s=10.0, end_s=20.0,
+                         families=("udp_flood",))
+        assert e.covers("udp_flood", 15.0)
+        assert not e.covers("udp_flood", 25.0)
+        assert not e.covers("syn_flood", 15.0)
+        everyone = EvasionPhase(kind="padding", factor=2.0)
+        assert everyone.covers("anything", 1e6)
+
+    def test_low_rate_factor_must_slow(self):
+        with pytest.raises(ValueError, match="factor"):
+            EvasionPhase(kind="low_rate", factor=0.5)
+
+
+class TestScenario:
+    def test_needs_some_traffic(self):
+        with pytest.raises(ValueError, match="at least one"):
+            Scenario(name="empty")
+
+    def test_scaled_stretches_and_scales(self):
+        s = get_scenario("pulse_wave_syn")
+        t = s.scaled(duration_s=120.0, intensity=2.0)
+        assert t.duration_s == pytest.approx(120.0)
+        assert t.campaigns[0].start_s == pytest.approx(s.campaigns[0].start_s * 2)
+        assert t.campaigns[0].rate == pytest.approx(s.campaigns[0].rate * 2)
+        assert t.benign[0].curve.rate == pytest.approx(s.benign[0].curve.rate * 2)
+
+    def test_scaled_keeps_infinite_end(self):
+        s = Scenario(campaigns=(Campaign(family="syn_flood"),))
+        assert math.isinf(s.scaled(duration_s=10.0).campaigns[0].end_s)
+
+
+class TestDSL:
+    def test_round_trip_every_preset(self):
+        for name in scenario_names():
+            s = SCENARIO_PRESETS[name]
+            assert parse_scenario(s.to_spec()) == s
+
+    def test_full_spec_parses(self):
+        s = parse_scenario(
+            "name=demo;duration=30;seed=3;"
+            "benign:curve=diurnal,rate=40,amplitude=0.5,period=30,mix=chatty;"
+            "campaign:family=syn_flood,shape=pulse,start=5,end=25,rate=30,"
+            "period=6,duty=0.4;"
+            "evasion:kind=low_rate,factor=4,start=10,end=20,families=syn_flood"
+        )
+        assert s.name == "demo" and s.duration_s == 30.0 and s.seed == 3
+        assert s.benign[0].mix == "chatty"
+        assert s.campaigns[0].shape == "pulse"
+        assert s.evasions[0].families == ("syn_flood",)
+
+    def test_preset_with_overrides(self):
+        s = parse_scenario("pulse_wave_syn;seed=11;duration=120")
+        base = get_scenario("pulse_wave_syn")
+        assert s.seed == 11
+        assert s.duration_s == pytest.approx(120.0)
+        assert s.campaigns[0].start_s == pytest.approx(
+            base.campaigns[0].start_s * 2
+        )
+
+    def test_preset_extended_with_extra_campaign(self):
+        s = parse_scenario(
+            "steady_benign;campaign:family=dns_amplification,rate=5,start=10"
+        )
+        assert len(s.campaigns) == 1
+        assert s.campaigns[0].family == "dns_amplification"
+
+    def test_errors_are_loud(self):
+        with pytest.raises(ValueError, match="empty"):
+            parse_scenario("  ")
+        with pytest.raises(KeyError, match="unknown scenario"):
+            parse_scenario("no_such_preset")
+        with pytest.raises(ValueError, match="unknown campaign keys"):
+            parse_scenario("campaign:family=syn_flood,bogus=1")
+        with pytest.raises(ValueError, match="unknown scenario keys"):
+            parse_scenario("benign:rate=5;typo=1")
+        with pytest.raises(ValueError, match="family"):
+            parse_scenario("campaign:rate=5")
+
+
+class TestRegistry:
+    def test_six_presets(self):
+        assert len(scenario_names()) == 6
+        for expected in ("steady_benign", "diurnal_multitenant",
+                         "pulse_wave_syn", "amplification_campaign",
+                         "botnet_rampup", "evasion_midstream"):
+            assert expected in scenario_names()
+
+    def test_get_scenario_knobs(self):
+        s = get_scenario("steady_benign", seed=42, duration_s=10.0, intensity=0.5)
+        assert s.seed == 42
+        assert s.duration_s == pytest.approx(10.0)
+        assert s.benign[0].curve.rate == pytest.approx(20.0)
+
+    def test_unknown_name_lists_options(self):
+        with pytest.raises(KeyError, match="steady_benign"):
+            get_scenario("nope")
