@@ -48,7 +48,7 @@ if __package__ in (None, ""):  # standalone: put the repo root on sys.path
     sys.path.insert(0, str(Path(__file__).resolve().parents[1]))
 
 from benchmarks.bench_batch_replay import build_workload
-from benchmarks.common import bench_seed, host_info
+from benchmarks.common import bench_seed, host_info, multicore_gate, require_host_info
 from repro.cluster import ClusterService
 from repro.runtime import RuntimeConfig
 
@@ -158,6 +158,7 @@ def run(repeats=3):
         # rerunning.
         "verdicts_identical": True,
     }
+    require_host_info(report)
     OUT_PATH.write_text(json.dumps(report, indent=2) + "\n")
     return report
 
@@ -166,7 +167,7 @@ def test_cluster_scaling(benchmark):
     from benchmarks.common import single_round
 
     report = single_round(benchmark, run)
-    n_cores = report["host"]["n_cores"]
+    n_cores = require_host_info(report)["n_cores"]
     print()
     print(f"Cluster scale-out — {report['n_packets']} packets, "
           f"{report['executor']} executor, {n_cores} usable cores")
@@ -185,10 +186,12 @@ def test_cluster_scaling(benchmark):
     assert race["shm"]["pps"] > race["multiprocess"]["pps"]
     # The parallel-speedup claim needs the cores to exist; the host
     # block in BENCH_cluster.json records why it was (not) asserted.
-    if report["executor"] == "multiprocess" and n_cores >= 4 and "4" in report["shards"]:
+    if (
+        report["executor"] == "multiprocess"
+        and "4" in report["shards"]
+        and multicore_gate(report, 4, "scaling")
+    ):
         assert report["shards"]["4"]["speedup_vs_1"] >= 2.0
-    else:
-        print(f"  (scaling assertion skipped: {n_cores} cores)")
 
 
 if __name__ == "__main__":

@@ -94,6 +94,41 @@ def host_info() -> Dict:
     }
 
 
+def require_host_info(report: Dict) -> Dict:
+    """Assert *report* embeds the :func:`host_info` block and return it.
+
+    Every ``BENCH_*.json`` must carry the host block — throughput,
+    scaling, and efficacy numbers are meaningless to compare without
+    knowing the machine that produced them.  Benchmarks call this on
+    the report they are about to write (and in their pytest assertions)
+    so a refactor that drops the block fails loudly instead of shipping
+    an anonymous JSON.
+    """
+    host = report.get("host")
+    assert isinstance(host, dict) and "n_cores" in host, (
+        "benchmark report is missing the host_info() block; embed "
+        "common.host_info() under the 'host' key"
+    )
+    return host
+
+
+def multicore_gate(report: Dict, min_cores: int, claim: str = "multi-core") -> bool:
+    """Gate a parallel-speedup assertion on usable core count.
+
+    Returns True when the report's host block shows at least
+    *min_cores* usable cores (the claim is physical — assert it);
+    otherwise prints the standard skip line and returns False.  Shared
+    by every benchmark making a cores-dependent claim so the skip
+    criterion and its paper trail stay uniform.
+    """
+    host = require_host_info(report)
+    n_cores = int(host["n_cores"])
+    if n_cores >= min_cores:
+        return True
+    print(f"  ({claim} assertion skipped: {n_cores} usable cores < {min_cores})")
+    return False
+
+
 def bench_seed(name: str) -> int:
     """Per-benchmark seed derived from ``REPRO_BENCH_SEED`` and *name*.
 

@@ -144,6 +144,13 @@ def _build_parser() -> argparse.ArgumentParser:
     )
     p_serve.add_argument("--seed", type=int, default=7)
     p_serve.add_argument(
+        "--policy", metavar="SPEC", default=None,
+        help="attach a mitigation policy: a preset name ('drop_fast', "
+        "'graduated', 'monitor_only', 'rate_limit_then_drop') or a DSL "
+        "spec, e.g. 'graduated;idle_timeout=20;quota:max_blocks=64;"
+        "allow:prefix=10.0.0.0/8' (see repro.mitigation)",
+    )
+    p_serve.add_argument(
         "--faults", metavar="SPEC", default=None,
         help="deterministic fault schedule, e.g. "
         "'seed=7;digest_loss:p=0.2;store_pressure:at=3' (see repro.faults)",
@@ -506,6 +513,14 @@ def _cmd_serve(args) -> int:
         cadence=args.cadence,
         max_swaps=args.max_swaps,
     )
+    if args.policy:
+        # Attach before shard construction so cluster workers each get
+        # a fresh per-shard engine clone; resume needs no re-attach —
+        # the engine state rides the pipeline checkpoint.
+        from repro.mitigation import attach_policy
+
+        engine = attach_policy(pipeline, args.policy)
+        print(f"mitigation policy: {engine.policy.to_spec()}")
     # The meta block carries everything resume needs to rebuild the
     # identical trace and config.
     checkpoint_meta = {
@@ -519,6 +534,7 @@ def _cmd_serve(args) -> int:
         "max_swaps": args.max_swaps,
         "shift": args.shift,
         "seed": args.seed,
+        "policy": args.policy,
         "faults": args.faults,
         "checkpoint_every": args.checkpoint_every,
         "shards": args.shards,
@@ -542,8 +558,17 @@ def _cmd_serve(args) -> int:
         ) as cluster:
             with _ops_endpoint(cluster, args.ops_port, args.ops_token):
                 report = cluster.serve(source, checkpoint=checkpoint)
+            mitigation = cluster.mitigation_status() if args.policy else None
         _print_serve_summary(report, label, shift_label)
         _print_shard_summary(report)
+        if mitigation is not None:
+            totals = mitigation["totals"]
+            print(
+                f"mitigation: {totals['active_blocks']} blocks active, "
+                f"{totals['attack_dropped_packets']} attack pkts dropped, "
+                f"{totals['attack_leaked_packets']} leaked, "
+                f"{totals['benign_dropped_packets']} benign dropped"
+            )
         return 0
 
     faults = None
@@ -562,6 +587,18 @@ def _cmd_serve(args) -> int:
     with _ops_endpoint(service, args.ops_port, args.ops_token):
         report = service.serve(source, checkpoint=checkpoint)
     _print_serve_summary(report, label, shift_label)
+    status = service.mitigation_status()
+    if status is not None:
+        meter = status["meter"]
+        ttb = status["time_to_block_s"]
+        mean_ttb = "-" if ttb["mean"] is None else f"{ttb['mean']:.3f}s"
+        print(
+            f"mitigation: {status['active']['drop']} blocks active, "
+            f"{meter['attack_dropped_packets']} attack pkts dropped, "
+            f"{meter['attack_leaked_packets']} leaked, "
+            f"{meter['benign_dropped_packets']} benign dropped, "
+            f"mean time-to-block {mean_ttb}"
+        )
     return 0
 
 

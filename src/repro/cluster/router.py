@@ -100,7 +100,11 @@ class FlowShardRouter:
         if not 0 <= shard < self.n_shards:
             raise ValueError(f"shard must be in [0, {self.n_shards}), got {shard}")
         if len(self.drained | {shard}) >= self.n_shards:
-            raise ValueError("cannot drain the last active shard")
+            raise ValueError(
+                f"cannot drain shard {shard}: it is the last active shard "
+                "(the router must keep >= 1 shard in rotation); undrain "
+                "another shard first"
+            )
         self.drained.add(shard)
 
     def undrain(self, shard: int) -> None:

@@ -391,6 +391,7 @@ class ClusterService(OpsControlMixin):
         occupancy = 0.0
         fill = 0.0
         bl_size = 0.0
+        mitigation: Dict[str, float] = {}
         for out in outcomes:
             k = out.shard_id
             for name, delta in out.counter_deltas.items():
@@ -398,12 +399,24 @@ class ClusterService(OpsControlMixin):
                     registry.counter(f"cluster.shard.{k}.{name}").inc(delta)
             for name, value in out.gauges.items():
                 registry.gauge(f"cluster.shard.{k}.{name}").set(value)
+                # Mitigation levels are additive across shards (each
+                # engine owns a disjoint flow partition) — except the
+                # guard budget, where the tightest shard is the story.
+                if name.startswith("mitigation."):
+                    if name == "mitigation.guard_budget_remaining":
+                        mitigation[name] = min(
+                            mitigation.get(name, value), value
+                        )
+                    else:
+                        mitigation[name] = mitigation.get(name, 0.0) + value
             occupancy += out.gauges.get("switch.store.occupancy", 0.0)
             fill += out.gauges.get("switch.store.fill_fraction", 0.0)
             bl_size += out.gauges.get("switch.blacklist.size", 0.0)
         registry.gauge("switch.store.occupancy").set(occupancy)
         registry.gauge("switch.store.fill_fraction").set(fill / len(outcomes))
         registry.gauge("switch.blacklist.size").set(bl_size)
+        for name, value in mitigation.items():
+            registry.gauge(name).set(value)
 
     # -- chunk iteration (both transports) -----------------------------------
 
@@ -528,11 +541,11 @@ class ClusterService(OpsControlMixin):
             # unbounded stream into RAM.
             if not isinstance(source, Trace):
                 raise ValueError(
-                    "the shm transport requires a materialised Trace (it "
-                    "writes the full trace into the shared arena up front); "
-                    "use the packet-list transport (executor='serial' or "
-                    "'process') for streaming sources, or materialise() "
-                    "the scenario first"
+                    "streaming sources are unsupported on the shm transport: "
+                    "it writes the full trace into the shared arena up "
+                    "front; use executor='inprocess' or "
+                    "executor='multiprocess' for streaming sources, or "
+                    "materialise() the scenario first"
                 )
             trace = Trace(source.packets[skip_packets:]) if skip_packets else source
             return self._iter_shm_chunks(
@@ -728,8 +741,13 @@ class ClusterService(OpsControlMixin):
             if self.executor_kind == "shm":
                 # The shm transport routes the whole trace up front, so a
                 # mid-serve drain could not take effect; refuse loudly
-                # rather than pretend.
-                return "unsupported:shm_transport"
+                # rather than pretend — and name the way out.
+                return (
+                    "unsupported:drain_on_shm_transport "
+                    "(the arena is routed up front; use "
+                    "executor='inprocess' or 'multiprocess' to drain "
+                    "the last shard mid-serve)"
+                )
             try:
                 self.router.drain(int(shard))
             except ValueError as err:
@@ -740,14 +758,93 @@ class ClusterService(OpsControlMixin):
                     float(len(self.router.drained))
                 )
             return "drained"
+        if verb == "unblock":
+            flow = ticket.get("flow")
+            from repro.mitigation import parse_flow_key
+
+            try:
+                five_tuple = parse_flow_key(flow or "")
+            except ValueError:
+                return "rejected:bad_flow_key"
+            # The flow's ladder state lives on exactly one shard — the
+            # one the router assigns it to.
+            self.start()
+            shard = self.router.shard_of(five_tuple)
+            result = self._executor.call(shard, "unblock", flow)
+            return result["outcome"]
         return f"unsupported:{verb}"
+
+    def mitigation_status(self) -> Optional[Dict]:
+        """Cluster mitigation view: per-shard engine status plus summed
+        totals; ``None`` when no shard runs a policy engine.
+
+        While serving, the executor belongs to the serving thread, so
+        an HTTP-thread poll gets the coordinator-side summary (policy
+        plus the mitigation gauges published at the last chunk) instead
+        of querying shards.
+        """
+        engine = (
+            getattr(self.workers[0].pipeline.controller, "policy", None)
+            if self.workers and self.workers[0].pipeline.controller is not None
+            else None
+        )
+        if engine is None:
+            return None
+        if self._serving:
+            registry = get_registry()
+            gauges = registry.gauges_dict() if registry.enabled else {}
+            return {
+                "kind": "cluster",
+                "live": True,
+                "policy": engine.policy.to_spec(),
+                "gauges": {
+                    k: v for k, v in gauges.items() if k.startswith("mitigation.")
+                },
+            }
+        self.start()
+        shard_docs = self._executor.broadcast("mitigation_status")
+        if all(doc is None for doc in shard_docs):
+            return None
+        totals = {
+            "active_blocks": 0,
+            "active_rate_limits": 0,
+            "attack_leaked_packets": 0,
+            "benign_dropped_packets": 0,
+            "attack_dropped_packets": 0,
+        }
+        for doc in shard_docs:
+            if doc is None:
+                continue
+            totals["active_blocks"] += doc["active"]["drop"]
+            totals["active_rate_limits"] += doc["active"]["rate_limit"]
+            for key in (
+                "attack_leaked_packets",
+                "benign_dropped_packets",
+                "attack_dropped_packets",
+            ):
+                totals[key] += doc["meter"][key]
+        return {
+            "kind": "cluster",
+            "totals": totals,
+            "shards": shard_docs,
+        }
 
     def _ops_extra(self) -> Dict:
         report = self._live_report
+        # Coordinator-side template only — ops_status must never touch
+        # the executor (HTTP-thread reads cannot perturb the run).
+        engine = (
+            getattr(self.workers[0].pipeline.controller, "policy", None)
+            if self.workers and self.workers[0].pipeline.controller is not None
+            else None
+        )
         return {
             "kind": "cluster",
             "n_shards": self.n_shards,
             "executor": self.executor_kind,
+            "mitigation": (
+                None if engine is None else {"policy": engine.policy.name}
+            ),
             "drained_shards": sorted(self.router.drained),
             "shard_packets": (
                 list(report.shard_packets) if report is not None else []

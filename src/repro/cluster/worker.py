@@ -154,6 +154,11 @@ def clone_pipeline(pipeline: SwitchPipeline) -> SwitchPipeline:
     )
     if pipeline.controller is not None:
         Controller(clone, install_blacklist=pipeline.controller.install_blacklist)
+        engine = getattr(pipeline.controller, "policy", None)
+        if engine is not None:
+            # Each shard runs its own engine over its own flow
+            # partition: same policy, fresh ladder/quota/guard state.
+            engine.clone_fresh().attach(clone)
     return clone
 
 
@@ -203,6 +208,7 @@ class ShardWorker:
         # The worker never publishes: the coordinator owns telemetry.
         with use_registry(None):
             replay = replay_trace(Trace(packets), self.pipeline, mode=self.mode)
+            self._policy_tick(packets[-1].timestamp if packets else None)
         after = self._counters()
         deltas = {k: after[k] - before.get(k, 0) for k in after}
         if self.faults is not None:
@@ -249,6 +255,7 @@ class ShardWorker:
                 y_true, y_pred = replay.y_true, replay.y_pred
                 if self.keep_decisions:
                     decisions = replay.decisions
+            self._policy_tick(float(cols.timestamps[-1]) if len(cols) else None)
         after = self._counters()
         deltas = {k: after[k] - before.get(k, 0) for k in after}
         if self.faults is not None:
@@ -264,6 +271,40 @@ class ShardWorker:
             gauges=self.pipeline.telemetry_gauges(),
             decisions=decisions,
         )
+
+    def _policy_tick(self, now: Optional[float]) -> None:
+        """Mitigation TTL tick at this shard's chunk boundary.
+
+        Runs inside the replay's null-registry scope and *before* the
+        ``after`` counter snapshot, so expiry counter increments ride
+        the chunk's counter deltas back to the coordinator (the single
+        writer) instead of vanishing into a worker-process registry.
+        """
+        engine = getattr(self.pipeline.controller, "policy", None)
+        if engine is not None:
+            engine.tick(now)
+
+    # -- mitigation verbs ----------------------------------------------------
+
+    def unblock(self, flow: str) -> dict:
+        """Ops verb: pardon *flow* (a ``repro.mitigation.flow_key``
+        string) on this shard's policy engine."""
+        engine = getattr(self.pipeline.controller, "policy", None)
+        if engine is None:
+            return {"shard_id": self.shard_id, "outcome": "skipped:no_policy"}
+        from repro.mitigation import parse_flow_key
+
+        try:
+            five_tuple = parse_flow_key(flow or "")
+        except ValueError:
+            return {"shard_id": self.shard_id, "outcome": "rejected:bad_flow_key"}
+        return {"shard_id": self.shard_id, "outcome": engine.unblock(five_tuple)}
+
+    def mitigation_status(self) -> Optional[dict]:
+        """This shard's :meth:`~repro.mitigation.PolicyEngine.status`,
+        or ``None`` when no engine is attached."""
+        engine = getattr(self.pipeline.controller, "policy", None)
+        return None if engine is None else engine.status()
 
     def finish(self) -> Dict[str, int]:
         """End of stream: flush the fault channel, return fault counts."""

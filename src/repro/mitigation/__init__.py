@@ -1,0 +1,54 @@
+"""Closed-loop mitigation: declarative policies + a graduated response engine.
+
+iGuard's pipeline *detects* malicious flows; this package closes the
+loop.  A :class:`~repro.mitigation.policy.Policy` (dataclasses + a
+one-line text DSL mirroring :mod:`repro.scenarios`) declares an
+escalation ladder (MONITOR → RATE_LIMIT → DROP), idle-timeout TTLs,
+per-tenant quotas, protected prefixes, and a benign-collateral budget;
+a :class:`~repro.mitigation.engine.PolicyEngine` attached to the
+switch's controller turns detection verdicts into graduated data-plane
+responses and meters its own efficacy (time-to-block, attack leakage,
+benign collateral) against scenario ground truth.
+"""
+
+from repro.mitigation.policy import (
+    ACTION_DROP,
+    ACTION_MONITOR,
+    ACTION_RATE_LIMIT,
+    AllowPrefix,
+    GuardSpec,
+    LADDER_ACTIONS,
+    POLICY_PRESETS,
+    Policy,
+    QuotaSpec,
+    RateLimitSpec,
+    get_policy,
+    parse_policy,
+)
+from repro.mitigation.engine import (
+    MitigationMeter,
+    PolicyEngine,
+    attach_policy,
+    flow_key,
+    parse_flow_key,
+)
+
+__all__ = [
+    "ACTION_DROP",
+    "ACTION_MONITOR",
+    "ACTION_RATE_LIMIT",
+    "AllowPrefix",
+    "GuardSpec",
+    "LADDER_ACTIONS",
+    "MitigationMeter",
+    "POLICY_PRESETS",
+    "Policy",
+    "PolicyEngine",
+    "QuotaSpec",
+    "RateLimitSpec",
+    "attach_policy",
+    "flow_key",
+    "get_policy",
+    "parse_flow_key",
+    "parse_policy",
+]

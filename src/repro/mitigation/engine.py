@@ -1,0 +1,554 @@
+"""The policy engine: graduated responses between verdicts and tables.
+
+:class:`PolicyEngine` sits between detection verdicts (controller
+digests) and the data-plane tables.  On each malicious verdict it walks
+the policy's escalation ladder for that flow — MONITOR observes,
+RATE_LIMIT installs a keep-one-in-N entry in the pipeline's
+:class:`~repro.switch.tables.RateLimitTable`, DROP installs a blacklist
+entry (the red path) — subject to the allowlist guard and per-tenant
+quotas.  :meth:`tick`, called at chunk boundaries by the stream driver
+and shard workers, expires idle enforcement (IIDS-for-SDN-style idle
+TTL) while retaining re-offense memory, so a flow that comes back
+resumes the ladder where it left off.
+
+Efficacy is metered against scenario ground truth
+(``Packet.malicious``): attack packets forwarded before a block lands
+(*leakage*), benign packets dropped by mitigation (*collateral*, which
+feeds the guard budget), and per-flow time-to-block.  Ground-truth
+labels are a simulator measurement — a real deployment sees only the
+detector's verdicts; the meter exists to evaluate policies, not to
+drive them (only the guard budget closes that loop, deliberately).
+
+Transparency invariant (locked by the differential suite): a
+MONITOR-only policy performs no installs, no storage releases, emits no
+events, and leaves every published counter identical to a run with no
+policy engine attached — observation is free.
+"""
+
+from __future__ import annotations
+
+from typing import Dict, List, Optional, Tuple
+
+from repro.datasets.packet import FiveTuple
+from repro.mitigation.policy import (
+    ACTION_DROP,
+    ACTION_MONITOR,
+    ACTION_RATE_LIMIT,
+    Policy,
+    parse_policy,
+)
+from repro.telemetry import get_registry
+
+#: Rungs that install a data-plane artifact (and count against quotas).
+ENFORCED_ACTIONS = (ACTION_RATE_LIMIT, ACTION_DROP)
+
+#: Engine counter names (fixed set: the shm transport freezes the
+#: counter layout pre-fork, so every key must exist from construction).
+COUNTER_NAMES = (
+    "mitigation.escalations",
+    "mitigation.blocks_installed",
+    "mitigation.rate_limits_installed",
+    "mitigation.expiries",
+    "mitigation.unblocks",
+    "mitigation.quota_refusals",
+    "mitigation.allowlist_refusals",
+    "mitigation.guard_trips",
+    "mitigation.guard_demotions",
+)
+
+
+def flow_key(five_tuple: FiveTuple) -> str:
+    """Render a flow as the dash-separated key the ops surface uses
+    (``src-dst-sport-dport-proto``, canonical direction)."""
+    t = five_tuple.canonical().as_tuple()
+    return "-".join(str(v) for v in t)
+
+
+def parse_flow_key(key: str) -> FiveTuple:
+    parts = key.split("-")
+    if len(parts) != 5 or any(not p.isdigit() for p in parts):
+        raise ValueError(
+            f"bad flow key {key!r} (expected src-dst-sport-dport-proto ints)"
+        )
+    return FiveTuple(*(int(p) for p in parts)).canonical()
+
+
+class MitigationMeter:
+    """Cumulative efficacy tallies against scenario ground truth."""
+
+    __slots__ = ("attack_leaked", "benign_dropped", "attack_dropped")
+
+    def __init__(self) -> None:
+        self.attack_leaked = 0
+        self.benign_dropped = 0
+        self.attack_dropped = 0
+
+    def to_obj(self) -> List[int]:
+        return [self.attack_leaked, self.benign_dropped, self.attack_dropped]
+
+    def load(self, obj: List[int]) -> None:
+        self.attack_leaked, self.benign_dropped, self.attack_dropped = (
+            int(v) for v in obj
+        )
+
+
+class _FlowRecord:
+    """Per-flow ladder state.  ``action`` is the currently enforced rung
+    (None once expired — strikes persist as re-offense memory)."""
+
+    __slots__ = ("strikes", "action", "first_offense_ts", "last_active", "blocked_at")
+
+    def __init__(self, first_offense_ts: float) -> None:
+        self.strikes = 0
+        self.action: Optional[str] = None
+        self.first_offense_ts = first_offense_ts
+        self.last_active = first_offense_ts
+        self.blocked_at: Optional[float] = None
+
+
+class PolicyEngine:
+    """Stateful enforcement of one :class:`~repro.mitigation.policy.Policy`.
+
+    Attach to a pipeline with :func:`attach_policy` (sets
+    ``controller.policy`` and creates the pipeline's rate-limit table).
+    All state is per-engine: cluster shards each run their own engine
+    over their own flow partition.
+    """
+
+    def __init__(self, policy) -> None:
+        self.policy: Policy = parse_policy(policy) if isinstance(policy, str) else policy
+        self.pipeline = None  # set by attach()
+        self.flows: Dict[FiveTuple, _FlowRecord] = {}
+        self.tenant_blocks: Dict[int, int] = {}
+        self.counters: Dict[str, int] = {name: 0 for name in COUNTER_NAMES}
+        self.meter = MitigationMeter()
+        self.guard_tripped = False
+        self.block_latencies: List[float] = []
+
+    # -- wiring --------------------------------------------------------------
+
+    def attach(self, pipeline) -> "PolicyEngine":
+        from repro.switch.tables import RateLimitTable
+
+        if pipeline.controller is None:
+            raise ValueError(
+                "policy engine needs a controller attached to the pipeline "
+                "(digests are its verdict source); construct Controller(pipeline) first"
+            )
+        self.pipeline = pipeline
+        pipeline.controller.policy = self
+        if pipeline.rate_limiter is None:
+            pipeline.rate_limiter = RateLimitTable(
+                keep_one_in=self.policy.rate_limit.keep_one_in
+            )
+        pipeline.blacklist.track_hits = True
+        return self
+
+    def clone_fresh(self) -> "PolicyEngine":
+        """Same policy, empty state — one per cluster shard."""
+        return PolicyEngine(self.policy)
+
+    # -- helpers -------------------------------------------------------------
+
+    def _tenant(self, ft: FiveTuple) -> int:
+        bits = self.policy.quota.tenant_bits
+        if bits == 0:
+            return 0
+        return ft.src_ip >> (32 - bits)
+
+    def _allowlisted(self, ft: FiveTuple) -> bool:
+        for prefix in self.policy.allow:
+            if prefix.covers(ft.src_ip) or prefix.covers(ft.dst_ip):
+                return True
+        return False
+
+    def _quota_full(self, tenant: int) -> bool:
+        limit = self.policy.quota.max_blocks
+        return limit > 0 and self.tenant_blocks.get(tenant, 0) >= limit
+
+    def _remove_artifact(self, ft: FiveTuple, action: str) -> None:
+        if action == ACTION_DROP:
+            self.pipeline.blacklist.remove(ft)
+        elif action == ACTION_RATE_LIMIT:
+            self.pipeline.rate_limiter.remove(ft)
+
+    def _release_enforcement(self, ft: FiveTuple, rec: _FlowRecord) -> None:
+        """Drop the data-plane artifact and give back the quota slot."""
+        self._remove_artifact(ft, rec.action)
+        tenant = self._tenant(ft)
+        n = self.tenant_blocks.get(tenant, 0) - 1
+        if n > 0:
+            self.tenant_blocks[tenant] = n
+        else:
+            self.tenant_blocks.pop(tenant, None)
+
+    # -- the verdict path ----------------------------------------------------
+
+    def on_verdict(self, five_tuple: FiveTuple, ts: float) -> bool:
+        """One malicious verdict for *five_tuple* at time *ts*.
+
+        Returns True when enforcement was installed/refreshed and the
+        flow's stateful storage should be released (so the flow
+        re-tracks and repeat offenses climb the ladder); False for
+        MONITOR and refusals (bit-transparent to the data plane).
+        """
+        ft = five_tuple.canonical()
+        registry = get_registry()
+        if self._allowlisted(ft):
+            self.counters["mitigation.allowlist_refusals"] += 1
+            if registry.enabled:
+                registry.event(
+                    "mitigation.refuse", flow=flow_key(ft), reason="allowlist", ts=ts
+                )
+            return False
+
+        rec = self.flows.get(ft)
+        if rec is None:
+            rec = _FlowRecord(first_offense_ts=ts)
+            self.flows[ft] = rec
+        rec.strikes += 1
+        rec.last_active = ts
+
+        ladder = self.policy.ladder
+        target = ladder[min(rec.strikes - 1, len(ladder) - 1)]
+        if self.guard_tripped:
+            target = ACTION_MONITOR
+
+        if target == ACTION_MONITOR:
+            if rec.action is None:
+                rec.action = ACTION_MONITOR
+            return False
+
+        if rec.action == target:
+            # Re-offense at the current rung (e.g. the blacklist entry was
+            # capacity-evicted, or the limited flow re-classified): refresh
+            # the artifact without counting an escalation.
+            self._install_artifact(ft, rec, target, ts, registry, escalated=False)
+            return True
+
+        newly_enforced = rec.action not in ENFORCED_ACTIONS
+        if newly_enforced:
+            tenant = self._tenant(ft)
+            if self._quota_full(tenant):
+                self.counters["mitigation.quota_refusals"] += 1
+                if rec.action is None:
+                    rec.action = ACTION_MONITOR
+                if registry.enabled:
+                    registry.event(
+                        "mitigation.refuse",
+                        flow=flow_key(ft),
+                        reason="quota",
+                        tenant=tenant,
+                        ts=ts,
+                    )
+                return False
+            self.tenant_blocks[tenant] = self.tenant_blocks.get(tenant, 0) + 1
+        elif rec.action is not None:
+            # Upgrading rate_limit → drop: swap artifacts, keep the slot.
+            self._remove_artifact(ft, rec.action)
+
+        self._install_artifact(ft, rec, target, ts, registry, escalated=True)
+        return True
+
+    def _install_artifact(
+        self, ft: FiveTuple, rec: _FlowRecord, action: str, ts: float, registry, escalated: bool
+    ) -> None:
+        if action == ACTION_RATE_LIMIT:
+            self.pipeline.rate_limiter.install(ft, ts)
+            if escalated:
+                self.counters["mitigation.rate_limits_installed"] += 1
+        else:
+            self.pipeline.blacklist.install(ft)
+            if escalated:
+                self.counters["mitigation.blocks_installed"] += 1
+                if rec.blocked_at is None:
+                    rec.blocked_at = ts
+                    latency = ts - rec.first_offense_ts
+                    self.block_latencies.append(latency)
+                    if registry.enabled:
+                        registry.histogram("mitigation.time_to_block_s").observe(latency)
+                        registry.event(
+                            "mitigation.block",
+                            flow=flow_key(ft),
+                            ts=ts,
+                            time_to_block_s=latency,
+                        )
+        prev = rec.action
+        rec.action = action
+        if escalated:
+            self.counters["mitigation.escalations"] += 1
+            if registry.enabled:
+                registry.event(
+                    "mitigation.escalate",
+                    flow=flow_key(ft),
+                    action=action,
+                    previous=prev,
+                    strikes=rec.strikes,
+                    ts=ts,
+                )
+
+    # -- chunk-boundary maintenance ------------------------------------------
+
+    def tick(self, now: Optional[float]) -> int:
+        """Expire idle enforcement and prune stale memory at time *now*.
+
+        Called at chunk boundaries (stream driver / shard workers).
+        Enforced entries idle past ``idle_timeout_s`` are removed and
+        the flow re-admitted (strikes retained — re-offense memory);
+        records idle past ``memory_s`` are forgotten entirely.  Returns
+        the number of expired enforcement entries.
+        """
+        if now is None:
+            return 0
+        policy = self.policy
+        blacklist = self.pipeline.blacklist if self.pipeline is not None else None
+        limiter = self.pipeline.rate_limiter if self.pipeline is not None else None
+        expired = 0
+        registry = get_registry()
+        for ft, rec in list(self.flows.items()):
+            # Refresh activity from the data-plane hit trackers: an entry
+            # still absorbing traffic is not idle.
+            if rec.action == ACTION_DROP and blacklist is not None:
+                hit = blacklist.last_hit.get(ft)
+                if hit is not None and hit > rec.last_active:
+                    rec.last_active = hit
+            elif rec.action == ACTION_RATE_LIMIT and limiter is not None:
+                hit = limiter.last_seen(ft)
+                if hit is not None and hit > rec.last_active:
+                    rec.last_active = hit
+            idle = now - rec.last_active
+            if rec.action in ENFORCED_ACTIONS and idle > policy.idle_timeout_s:
+                action = rec.action
+                self._release_enforcement(ft, rec)
+                rec.action = None
+                expired += 1
+                self.counters["mitigation.expiries"] += 1
+                if registry.enabled:
+                    registry.counter("mitigation.expiries").inc()
+                    registry.event(
+                        "mitigation.expire",
+                        flow=flow_key(ft),
+                        action=action,
+                        idle_s=idle,
+                        ts=now,
+                    )
+                continue
+            if rec.action in (None, ACTION_MONITOR) and idle > policy.memory_s:
+                del self.flows[ft]
+        if registry.enabled:
+            self.publish_gauges(registry)
+        return expired
+
+    # -- operator surface ----------------------------------------------------
+
+    def unblock(self, five_tuple: FiveTuple, ts: Optional[float] = None) -> str:
+        """Operator pardon: lift enforcement and forget the flow.
+
+        Unlike TTL expiry, an unblock clears the strike memory too —
+        the flow starts the ladder from the bottom if it re-offends.
+        """
+        ft = five_tuple.canonical()
+        rec = self.flows.pop(ft, None)
+        if rec is None:
+            return "not_blocked"
+        if rec.action in ENFORCED_ACTIONS:
+            self._release_enforcement(ft, rec)
+        self.counters["mitigation.unblocks"] += 1
+        registry = get_registry()
+        if registry.enabled:
+            registry.counter("mitigation.unblocks").inc()
+            registry.event(
+                "mitigation.unblock", flow=flow_key(ft), action=rec.action, ts=ts
+            )
+        return "unblocked"
+
+    # -- efficacy metering ---------------------------------------------------
+
+    def account(
+        self, attack_leaked: int, benign_dropped: int, attack_dropped: int
+    ) -> None:
+        """Fold one replay's ground-truth tallies into the meter and
+        check the collateral guard (enforced at replay granularity)."""
+        self.meter.attack_leaked += int(attack_leaked)
+        self.meter.benign_dropped += int(benign_dropped)
+        self.meter.attack_dropped += int(attack_dropped)
+        budget = self.policy.guard.benign_drop_budget
+        if self.guard_tripped or budget <= 0:
+            return
+        if self.meter.benign_dropped > budget:
+            self._trip_guard()
+
+    def _trip_guard(self) -> None:
+        """Latch the guard: demote every enforced entry to MONITOR."""
+        self.guard_tripped = True
+        self.counters["mitigation.guard_trips"] += 1
+        demoted = 0
+        for ft, rec in self.flows.items():
+            if rec.action in ENFORCED_ACTIONS:
+                self._release_enforcement(ft, rec)
+                rec.action = ACTION_MONITOR
+                demoted += 1
+        self.counters["mitigation.guard_demotions"] += demoted
+        registry = get_registry()
+        if registry.enabled:
+            registry.event(
+                "mitigation.guard_trip",
+                benign_dropped=self.meter.benign_dropped,
+                budget=self.policy.guard.benign_drop_budget,
+                demoted=demoted,
+            )
+
+    # -- telemetry -----------------------------------------------------------
+
+    def telemetry_counters(self) -> Dict[str, int]:
+        """Monotonic engine counters (merged into the controller's)."""
+        return dict(self.counters)
+
+    def _active_counts(self) -> Tuple[int, int, int]:
+        drops = limits = monitors = 0
+        for rec in self.flows.values():
+            if rec.action == ACTION_DROP:
+                drops += 1
+            elif rec.action == ACTION_RATE_LIMIT:
+                limits += 1
+            elif rec.action == ACTION_MONITOR:
+                monitors += 1
+        return drops, limits, monitors
+
+    @property
+    def active_blocks(self) -> int:
+        return self._active_counts()[0]
+
+    @property
+    def active_rate_limits(self) -> int:
+        return self._active_counts()[1]
+
+    def telemetry_gauges(self) -> Dict[str, float]:
+        """Point-in-time levels (merged into the pipeline's gauges)."""
+        drops, limits, monitors = self._active_counts()
+        budget = self.policy.guard.benign_drop_budget
+        return {
+            "mitigation.active_blocks": float(drops),
+            "mitigation.active_rate_limits": float(limits),
+            "mitigation.monitored_flows": float(monitors),
+            "mitigation.attack_leaked_packets": float(self.meter.attack_leaked),
+            "mitigation.benign_dropped_packets": float(self.meter.benign_dropped),
+            "mitigation.attack_dropped_packets": float(self.meter.attack_dropped),
+            "mitigation.guard_budget_remaining": float(
+                max(0, budget - self.meter.benign_dropped)
+            ),
+        }
+
+    def publish_gauges(self, registry) -> None:
+        for name, value in self.telemetry_gauges().items():
+            registry.gauge(name).set(value)
+
+    def status(self, max_blocks: int = 50) -> Dict:
+        """The ``GET /mitigation`` document: policy, guard, meter, blocks."""
+        drops, limits, monitors = self._active_counts()
+        budget = self.policy.guard.benign_drop_budget
+        blocks = []
+        for ft, rec in self.flows.items():
+            if rec.action not in ENFORCED_ACTIONS:
+                continue
+            blocks.append(
+                {
+                    "flow": flow_key(ft),
+                    "action": rec.action,
+                    "strikes": rec.strikes,
+                    "last_active": rec.last_active,
+                    "blocked_at": rec.blocked_at,
+                }
+            )
+            if len(blocks) >= max_blocks:
+                break
+        latencies = self.block_latencies
+        return {
+            "policy": self.policy.to_spec(),
+            "guard": {
+                "tripped": self.guard_tripped,
+                "benign_dropped": self.meter.benign_dropped,
+                "budget": budget,
+                "remaining": max(0, budget - self.meter.benign_dropped),
+            },
+            "meter": {
+                "attack_leaked_packets": self.meter.attack_leaked,
+                "benign_dropped_packets": self.meter.benign_dropped,
+                "attack_dropped_packets": self.meter.attack_dropped,
+            },
+            "active": {
+                "drop": drops,
+                "rate_limit": limits,
+                "monitor": monitors,
+                "remembered": len(self.flows),
+            },
+            "tenants": {str(t): n for t, n in sorted(self.tenant_blocks.items())},
+            "counters": dict(self.counters),
+            "time_to_block_s": {
+                "count": len(latencies),
+                "mean": (sum(latencies) / len(latencies)) if latencies else None,
+                "max": max(latencies) if latencies else None,
+            },
+            "blocks": blocks,
+        }
+
+    # -- checkpointing -------------------------------------------------------
+
+    def state_dict(self) -> Dict:
+        """Serialise the engine (policy + every bit of mutable state).
+
+        Flow records are emitted in insertion order and restored in the
+        same order, so a round trip is bit-identical (the checkpoint
+        suite asserts ``state_dict() == restored.state_dict()``).
+        """
+        return {
+            "spec": self.policy.to_spec(),
+            "flows": [
+                [
+                    list(ft.as_tuple()),
+                    rec.strikes,
+                    rec.action,
+                    rec.first_offense_ts,
+                    rec.last_active,
+                    rec.blocked_at,
+                ]
+                for ft, rec in self.flows.items()
+            ],
+            "guard_tripped": self.guard_tripped,
+            "meter": self.meter.to_obj(),
+            "counters": dict(self.counters),
+            "block_latencies": list(self.block_latencies),
+        }
+
+    def load_state(self, obj: Dict) -> None:
+        self.flows.clear()
+        self.tenant_blocks.clear()
+        for key, strikes, action, first_ts, last_active, blocked_at in obj["flows"]:
+            ft = FiveTuple(*(int(v) for v in key))
+            rec = _FlowRecord(first_offense_ts=float(first_ts))
+            rec.strikes = int(strikes)
+            rec.action = action
+            rec.last_active = float(last_active)
+            rec.blocked_at = None if blocked_at is None else float(blocked_at)
+            self.flows[ft] = rec
+            if rec.action in ENFORCED_ACTIONS:
+                tenant = self._tenant(ft)
+                self.tenant_blocks[tenant] = self.tenant_blocks.get(tenant, 0) + 1
+        self.guard_tripped = bool(obj["guard_tripped"])
+        self.meter.load(obj["meter"])
+        self.counters = {name: int(obj["counters"].get(name, 0)) for name in COUNTER_NAMES}
+        self.block_latencies = [float(v) for v in obj["block_latencies"]]
+
+    @classmethod
+    def from_state(cls, obj: Dict) -> "PolicyEngine":
+        engine = cls(obj["spec"])
+        engine.load_state(obj)
+        return engine
+
+
+def attach_policy(pipeline, policy) -> PolicyEngine:
+    """Build a :class:`PolicyEngine` for *policy* (a
+    :class:`~repro.mitigation.policy.Policy`, preset name, or DSL
+    string) and attach it to *pipeline*'s controller."""
+    engine = policy if isinstance(policy, PolicyEngine) else PolicyEngine(policy)
+    return engine.attach(pipeline)

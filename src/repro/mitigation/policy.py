@@ -1,0 +1,354 @@
+"""Declarative mitigation policies: escalation ladder, TTL, quotas, guard.
+
+A :class:`Policy` is a pure description of how the control plane should
+respond to malicious verdicts — it carries no state.  Like scenario
+specs (:mod:`repro.scenarios.spec`), every policy has two equivalent
+forms: the dataclasses below and a parseable one-line text form::
+
+    name=strict;ladder=rate_limit/drop;idle_timeout=30;memory=120;
+    rate_limit:keep_one_in=8;
+    quota:tenant_bits=8,max_blocks=64;
+    allow:prefix=10.0.0.0/8;
+    guard:benign_drop_budget=500
+
+``parse_policy`` also accepts a preset name from
+:data:`POLICY_PRESETS` (optionally followed by ``;key=value``
+overrides), so ``repro serve --policy drop_fast`` and
+``--policy "drop_fast;idle_timeout=10"`` both work.
+``Policy.to_spec()`` round-trips a spec back to its text form.
+
+Semantics (enforced by :class:`repro.mitigation.engine.PolicyEngine`):
+
+``ladder``
+    The graduated response: a flow's *n*-th malicious verdict maps to
+    the *n*-th rung (clamped at the top).  ``monitor`` is pure
+    observation — bit-transparent to the data plane; ``rate_limit``
+    installs a keep-one-in-N pass filter; ``drop`` installs a
+    blacklist entry (the red path).
+``idle_timeout``
+    IIDS-for-SDN-style idle TTL: an enforced entry that sees no
+    traffic for this long is removed and the flow re-admitted.
+``memory``
+    How long re-offense memory (the strike count) outlives the last
+    activity.  A flow that re-offends within memory resumes the ladder
+    where it left off instead of starting over.
+``quota``
+    Per-tenant bound on *concurrent* enforced entries (tenants are the
+    top ``tenant_bits`` of the canonical source address); requests past
+    the bound are refused, not queued.
+``allow``
+    Protected prefixes: verdicts against flows touching them are
+    refused outright (never rate-limited or dropped).
+``guard``
+    Collateral-damage bound: once the engine has dropped more than
+    ``benign_drop_budget`` ground-truth-benign packets, it trips — all
+    enforcement is demoted to MONITOR and stays latched for the run.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field, replace
+from typing import Dict, List, Tuple
+
+ACTION_MONITOR = "monitor"
+ACTION_RATE_LIMIT = "rate_limit"
+ACTION_DROP = "drop"
+#: Escalation rungs understood by the engine, in increasing severity.
+LADDER_ACTIONS = (ACTION_MONITOR, ACTION_RATE_LIMIT, ACTION_DROP)
+
+
+@dataclass(frozen=True)
+class RateLimitSpec:
+    """Shape of the RATE_LIMIT rung: forward one packet in every
+    ``keep_one_in``, drop the rest (deterministic per-flow counter)."""
+
+    keep_one_in: int = 8
+
+    def __post_init__(self) -> None:
+        if self.keep_one_in < 2:
+            raise ValueError(
+                f"keep_one_in must be >= 2 (1 would forward everything), "
+                f"got {self.keep_one_in}"
+            )
+
+
+@dataclass(frozen=True)
+class QuotaSpec:
+    """Per-tenant bound on concurrent enforced (rate-limit/drop) entries.
+
+    A tenant is the top ``tenant_bits`` of the flow's canonical source
+    address; ``max_blocks=0`` disables the bound.
+    """
+
+    tenant_bits: int = 8
+    max_blocks: int = 256
+
+    def __post_init__(self) -> None:
+        if not 0 <= self.tenant_bits <= 32:
+            raise ValueError(f"tenant_bits must be in [0, 32], got {self.tenant_bits}")
+        if self.max_blocks < 0:
+            raise ValueError(f"max_blocks must be >= 0, got {self.max_blocks}")
+
+
+@dataclass(frozen=True)
+class AllowPrefix:
+    """One protected CIDR prefix (``network`` is the address as an int)."""
+
+    network: int
+    bits: int
+
+    def __post_init__(self) -> None:
+        if not 0 <= self.bits <= 32:
+            raise ValueError(f"prefix length must be in [0, 32], got {self.bits}")
+        if not 0 <= self.network < 2**32:
+            raise ValueError(f"network address out of range: {self.network}")
+
+    @property
+    def _mask(self) -> int:
+        return 0 if self.bits == 0 else (0xFFFFFFFF << (32 - self.bits)) & 0xFFFFFFFF
+
+    def covers(self, ip: int) -> bool:
+        return (ip & self._mask) == (self.network & self._mask)
+
+    @classmethod
+    def parse(cls, text: str) -> "AllowPrefix":
+        """Parse ``a.b.c.d/len`` or ``<int>/len`` (no ``/`` means /32)."""
+        addr, _, bits = text.partition("/")
+        if "." in addr:
+            parts = addr.split(".")
+            if len(parts) != 4 or any(not p.isdigit() or int(p) > 255 for p in parts):
+                raise ValueError(f"bad dotted-quad address {addr!r}")
+            network = 0
+            for p in parts:
+                network = (network << 8) | int(p)
+        else:
+            network = int(addr)
+        return cls(network=network, bits=int(bits) if bits else 32)
+
+    def to_text(self) -> str:
+        quads = ".".join(str((self.network >> s) & 0xFF) for s in (24, 16, 8, 0))
+        return f"{quads}/{self.bits}"
+
+
+@dataclass(frozen=True)
+class GuardSpec:
+    """Benign-collateral bound: trip (demote everything to MONITOR,
+    latched) once more than ``benign_drop_budget`` ground-truth-benign
+    packets have been dropped by mitigation.  ``0`` disables the guard.
+    """
+
+    benign_drop_budget: int = 1000
+
+    def __post_init__(self) -> None:
+        if self.benign_drop_budget < 0:
+            raise ValueError(
+                f"benign_drop_budget must be >= 0, got {self.benign_drop_budget}"
+            )
+
+
+@dataclass(frozen=True)
+class Policy:
+    """A complete mitigation policy (see module docstring for semantics)."""
+
+    name: str = "policy"
+    ladder: Tuple[str, ...] = (ACTION_RATE_LIMIT, ACTION_DROP)
+    idle_timeout_s: float = 30.0
+    memory_s: float = 120.0
+    rate_limit: RateLimitSpec = field(default_factory=RateLimitSpec)
+    quota: QuotaSpec = field(default_factory=QuotaSpec)
+    allow: Tuple[AllowPrefix, ...] = ()
+    guard: GuardSpec = field(default_factory=GuardSpec)
+
+    def __post_init__(self) -> None:
+        if not self.ladder:
+            raise ValueError("policy ladder needs at least one rung")
+        for rung in self.ladder:
+            if rung not in LADDER_ACTIONS:
+                raise ValueError(
+                    f"ladder rung must be one of {LADDER_ACTIONS}, got {rung!r}"
+                )
+        severity = [LADDER_ACTIONS.index(r) for r in self.ladder]
+        if severity != sorted(severity) or len(set(severity)) != len(severity):
+            raise ValueError(
+                f"ladder must be strictly increasing in severity, got {self.ladder}"
+            )
+        if self.idle_timeout_s <= 0:
+            raise ValueError(f"idle_timeout_s must be > 0, got {self.idle_timeout_s}")
+        if self.memory_s < self.idle_timeout_s:
+            raise ValueError(
+                f"memory_s ({self.memory_s}) must be >= idle_timeout_s "
+                f"({self.idle_timeout_s}) — memory outlives enforcement"
+            )
+
+    @property
+    def monitor_only(self) -> bool:
+        return self.ladder == (ACTION_MONITOR,)
+
+    # -- text form -----------------------------------------------------------
+
+    def to_spec(self) -> str:
+        """Render the policy as its one-line DSL text form."""
+        parts = [
+            f"name={self.name}",
+            "ladder=" + "/".join(self.ladder),
+            f"idle_timeout={_num(self.idle_timeout_s)}",
+            f"memory={_num(self.memory_s)}",
+        ]
+        if self.rate_limit != RateLimitSpec():
+            parts.append(f"rate_limit:keep_one_in={self.rate_limit.keep_one_in}")
+        if self.quota != QuotaSpec():
+            parts.append(
+                f"quota:tenant_bits={self.quota.tenant_bits}"
+                f",max_blocks={self.quota.max_blocks}"
+            )
+        for prefix in self.allow:
+            parts.append(f"allow:prefix={prefix.to_text()}")
+        if self.guard != GuardSpec():
+            parts.append(f"guard:benign_drop_budget={self.guard.benign_drop_budget}")
+        return ";".join(parts)
+
+
+def _num(x: float) -> str:
+    """Compact numeric rendering: drop a trailing ``.0``."""
+    return str(int(x)) if float(x) == int(x) else str(x)
+
+
+def _parse_kv(body: str, clause: str) -> Dict[str, str]:
+    kv: Dict[str, str] = {}
+    for item in body.split(","):
+        item = item.strip()
+        if not item:
+            continue
+        if "=" not in item:
+            raise ValueError(f"expected key=value in {clause!r}, got {item!r}")
+        key, value = item.split("=", 1)
+        kv[key.strip()] = value.strip()
+    return kv
+
+
+def _parse_rate_limit(body: str, clause: str) -> RateLimitSpec:
+    kv = _parse_kv(body, clause)
+    spec = RateLimitSpec(keep_one_in=int(kv.pop("keep_one_in", 8)))
+    if kv:
+        raise ValueError(f"unknown rate_limit keys {sorted(kv)} in {clause!r}")
+    return spec
+
+
+def _parse_quota(body: str, clause: str) -> QuotaSpec:
+    kv = _parse_kv(body, clause)
+    spec = QuotaSpec(
+        tenant_bits=int(kv.pop("tenant_bits", 8)),
+        max_blocks=int(kv.pop("max_blocks", 256)),
+    )
+    if kv:
+        raise ValueError(f"unknown quota keys {sorted(kv)} in {clause!r}")
+    return spec
+
+
+def _parse_allow(body: str, clause: str) -> AllowPrefix:
+    kv = _parse_kv(body, clause)
+    if "prefix" not in kv:
+        raise ValueError(f"allow clause needs prefix=...: {clause!r}")
+    prefix = AllowPrefix.parse(kv.pop("prefix"))
+    if kv:
+        raise ValueError(f"unknown allow keys {sorted(kv)} in {clause!r}")
+    return prefix
+
+
+def _parse_guard(body: str, clause: str) -> GuardSpec:
+    kv = _parse_kv(body, clause)
+    spec = GuardSpec(benign_drop_budget=int(kv.pop("benign_drop_budget", 1000)))
+    if kv:
+        raise ValueError(f"unknown guard keys {sorted(kv)} in {clause!r}")
+    return spec
+
+
+def parse_policy(spec: str) -> Policy:
+    """Parse a DSL string — or a preset name with optional overrides.
+
+    Grammar mirrors :func:`repro.scenarios.spec.parse_scenario`:
+    ``;``-separated clauses.  A clause is either a top-level
+    ``key=value`` (``name``, ``ladder``, ``idle_timeout``, ``memory``),
+    a ``rate_limit:…`` / ``quota:…`` / ``allow:…`` / ``guard:…`` block
+    of comma-separated pairs, or — only as the first clause — a preset
+    name from :data:`POLICY_PRESETS`, which seeds the policy that later
+    clauses then override or extend (``allow:`` clauses append).
+    """
+    text = spec.strip()
+    if not text:
+        raise ValueError("empty policy spec")
+
+    clauses = [c.strip() for c in text.split(";") if c.strip()]
+    base: Policy = Policy()
+    overrides: Dict[str, object] = {}
+    first = clauses[0]
+    if ":" not in first and "=" not in first:
+        base = get_policy(first)
+        clauses = clauses[1:]
+
+    top: Dict[str, str] = {}
+    allow: List[AllowPrefix] = []
+    for clause in clauses:
+        head, _, body = clause.partition(":")
+        if head == "rate_limit":
+            overrides["rate_limit"] = _parse_rate_limit(body, clause)
+        elif head == "quota":
+            overrides["quota"] = _parse_quota(body, clause)
+        elif head == "allow":
+            allow.append(_parse_allow(body, clause))
+        elif head == "guard":
+            overrides["guard"] = _parse_guard(body, clause)
+        elif "=" in clause and ":" not in clause:
+            key, value = clause.split("=", 1)
+            top[key.strip()] = value.strip()
+        else:
+            raise ValueError(
+                f"unknown clause {clause!r} "
+                f"(expected rate_limit:/quota:/allow:/guard:/key=value)"
+            )
+
+    known = {"name", "ladder", "idle_timeout", "memory"}
+    unknown = set(top) - known
+    if unknown:
+        raise ValueError(f"unknown policy keys {sorted(unknown)}")
+
+    if "name" in top:
+        overrides["name"] = top["name"]
+    if "ladder" in top:
+        overrides["ladder"] = tuple(r for r in top["ladder"].split("/") if r)
+    if "idle_timeout" in top:
+        overrides["idle_timeout_s"] = float(top["idle_timeout"])
+    if "memory" in top:
+        overrides["memory_s"] = float(top["memory"])
+    if allow:
+        overrides["allow"] = base.allow + tuple(allow)
+    return replace(base, **overrides)
+
+
+#: Named policies ``repro serve --policy NAME`` accepts out of the box.
+POLICY_PRESETS: Dict[str, Policy] = {
+    # Pure observation — bit-transparent to the data plane (the
+    # differential-lock baseline).
+    "monitor_only": Policy(name="monitor_only", ladder=(ACTION_MONITOR,)),
+    # Block on first verdict; the shortest time-to-block.
+    "drop_fast": Policy(name="drop_fast", ladder=(ACTION_DROP,)),
+    # Throttle first, block repeat offenders.
+    "rate_limit_then_drop": Policy(
+        name="rate_limit_then_drop", ladder=(ACTION_RATE_LIMIT, ACTION_DROP)
+    ),
+    # The full ladder: observe, throttle, then block.
+    "graduated": Policy(
+        name="graduated",
+        ladder=(ACTION_MONITOR, ACTION_RATE_LIMIT, ACTION_DROP),
+    ),
+}
+
+
+def get_policy(name: str) -> Policy:
+    try:
+        return POLICY_PRESETS[name]
+    except KeyError:
+        raise ValueError(
+            f"unknown policy preset {name!r} "
+            f"(known: {', '.join(sorted(POLICY_PRESETS))})"
+        ) from None

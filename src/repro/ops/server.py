@@ -15,6 +15,9 @@ Read surface — safe to poll at any rate, mutates nothing:
   ``cluster.shard.<k>.*`` registry metric regrouped by shard.
 - ``GET /events``   — bounded tail of the telemetry event log, with a
   ``since_seq`` cursor and ``?follow=1`` long-poll/SSE streaming.
+- ``GET /mitigation`` — the attached policy engine's live view (policy
+  spec, guard state, efficacy meter, active blocks); 404 when no
+  policy is attached.
 
 Control surface — token-guarded POSTs that *queue* a verb through
 :meth:`~repro.runtime.control.OpsControlMixin.request_control`; the
@@ -24,6 +27,9 @@ code paths the drift loop uses (hence ``202 Accepted``, never ``200``):
 - ``POST /control/retrain``
 - ``POST /control/rollback``
 - ``POST /control/drain/<shard>``
+- ``POST /control/unblock/<flow>`` — lift mitigation from a flow
+  (``src-dst-sport-dport-proto`` key, see
+  :func:`repro.mitigation.flow_key`).
 
 GET handlers never create registry instruments and never emit events,
 so a run scraped continuously produces decisions and telemetry
@@ -124,6 +130,12 @@ class OpsRequestHandler(BaseHTTPRequestHandler):
                     self._send_json(200, self.ops.metrics())
             elif path == "/shards":
                 self._send_json(200, self.ops.shards())
+            elif path == "/mitigation":
+                doc = self.ops.mitigation()
+                if doc is None:
+                    self._error(404, "no mitigation policy attached")
+                else:
+                    self._send_json(200, doc)
             elif path == "/events":
                 self._do_events(params)
             else:
@@ -173,19 +185,31 @@ class OpsRequestHandler(BaseHTTPRequestHandler):
         if not self._authorized():
             self._error(403, f"control requires the {TOKEN_HEADER} header")
             return
-        parts = path.split("/")[2:]  # ["retrain"] or ["drain", "3"]
+        parts = path.split("/")[2:]  # ["retrain"], ["drain", "3"], ["unblock", key]
         verb = parts[0] if parts else ""
         shard: Optional[int] = None
+        flow: Optional[str] = None
         if verb == "drain":
             if len(parts) != 2 or not parts[1].lstrip("-").isdigit():
                 self._error(400, "drain takes a shard index: /control/drain/<k>")
                 return
             shard = int(parts[1])
+        elif verb == "unblock":
+            if len(parts) != 2 or not parts[1]:
+                self._error(
+                    400,
+                    "unblock takes a flow key: "
+                    "/control/unblock/<src-dst-sport-dport-proto>",
+                )
+                return
+            flow = parts[1]
         elif len(parts) != 1:
             self._error(404, f"no such control verb path: {path}")
             return
         try:
-            ticket = self.ops.service.request_control(verb, shard=shard, source="http")
+            ticket = self.ops.service.request_control(
+                verb, shard=shard, source="http", flow=flow
+            )
         except ValueError as exc:
             self._error(400, str(exc))
             return
@@ -284,6 +308,12 @@ class OpsServer:
         doc = self.registry.snapshot()
         doc["ops"] = self.service.ops_status()
         return doc
+
+    def mitigation(self) -> Optional[Dict]:
+        """``GET /mitigation``: the service's policy-engine view, or
+        ``None`` (→ 404) when no policy is attached."""
+        status_fn = getattr(self.service, "mitigation_status", None)
+        return None if status_fn is None else status_fn()
 
     def shards(self) -> Dict:
         """Per-shard view, regrouped from the flat registry namespace.

@@ -195,9 +195,21 @@ def _pipeline_to_obj(pipeline: SwitchPipeline) -> dict:
     blacklist = pipeline.blacklist
     controller = None
     if pipeline.controller is not None:
+        engine = getattr(pipeline.controller, "policy", None)
         controller = {
             "install_blacklist": pipeline.controller.install_blacklist,
             "stats": asdict(pipeline.controller.stats),
+            "policy": None if engine is None else engine.state_dict(),
+        }
+    limiter = pipeline.rate_limiter
+    rate_limiter = None
+    if limiter is not None:
+        rate_limiter = {
+            "keep_one_in": limiter.keep_one_in,
+            "entries": limiter.state_obj(),
+            "installs": limiter.installs,
+            "forwarded": limiter.forwarded,
+            "dropped": limiter.dropped,
         }
     return {
         "config": asdict(pipeline.config),
@@ -225,7 +237,12 @@ def _pipeline_to_obj(pipeline: SwitchPipeline) -> dict:
             "installs": blacklist.installs,
             "evictions": blacklist.evictions,
             "version": blacklist.version,
+            "track_hits": blacklist.track_hits,
+            "last_hit": [
+                [list(ft.as_tuple()), ts] for ft, ts in blacklist.last_hit.items()
+            ],
         },
+        "rate_limiter": rate_limiter,
         "controller": controller,
     }
 
@@ -267,6 +284,21 @@ def _pipeline_from_obj(obj: dict) -> SwitchPipeline:
     pipeline.blacklist.installs = int(bl_doc["installs"])
     pipeline.blacklist.evictions = int(bl_doc["evictions"])
     pipeline.blacklist.version = int(bl_doc["version"])
+    # .get: checkpoints written before the mitigation engine existed.
+    pipeline.blacklist.track_hits = bool(bl_doc.get("track_hits", False))
+    for ft, ts in bl_doc.get("last_hit", []):
+        pipeline.blacklist.last_hit[FiveTuple(*(int(v) for v in ft))] = float(ts)
+
+    rl_doc = obj.get("rate_limiter")
+    if rl_doc is not None:
+        from repro.switch.tables import RateLimitTable
+
+        limiter = RateLimitTable(keep_one_in=int(rl_doc["keep_one_in"]))
+        limiter.load_state(rl_doc["entries"])
+        limiter.installs = int(rl_doc["installs"])
+        limiter.forwarded = int(rl_doc["forwarded"])
+        limiter.dropped = int(rl_doc["dropped"])
+        pipeline.rate_limiter = limiter
 
     if obj["controller"] is not None:
         controller = Controller(
@@ -275,6 +307,14 @@ def _pipeline_from_obj(obj: dict) -> SwitchPipeline:
         controller.stats = ControllerStats(
             **{k: int(v) for k, v in obj["controller"]["stats"].items()}
         )
+        policy_doc = obj["controller"].get("policy")
+        if policy_doc is not None:
+            from repro.mitigation import PolicyEngine
+
+            # Restore the engine state first, then attach: the restored
+            # rate limiter above is already in place, so attach() leaves
+            # it (and its counters) untouched.
+            PolicyEngine.from_state(policy_doc).attach(pipeline)
     return pipeline
 
 

@@ -26,7 +26,7 @@ from typing import Dict, List, Optional
 from repro.telemetry import get_registry
 
 #: Verbs the ops surface may enqueue.
-CONTROL_VERBS = ("retrain", "rollback", "drain")
+CONTROL_VERBS = ("retrain", "rollback", "drain", "unblock")
 
 
 class OpsControlMixin:
@@ -51,13 +51,19 @@ class OpsControlMixin:
     # -- enqueue (any thread) ------------------------------------------------
 
     def request_control(
-        self, verb: str, shard: Optional[int] = None, source: str = "api"
+        self,
+        verb: str,
+        shard: Optional[int] = None,
+        source: str = "api",
+        flow: Optional[str] = None,
     ) -> Dict:
         """Queue *verb* for the next chunk boundary; returns the ticket.
 
         The returned dict is a copy — the queued ticket itself is updated
         in place when applied (status/outcome/chunk), and surfaces in the
-        report's ``control_events``.
+        report's ``control_events``.  ``flow`` carries the operand of
+        flow-addressed verbs (``unblock``) as a
+        :func:`repro.mitigation.flow_key` string.
         """
         if verb not in CONTROL_VERBS:
             raise ValueError(f"unknown control verb {verb!r}; expected {CONTROL_VERBS}")
@@ -67,6 +73,7 @@ class OpsControlMixin:
                 "verb": verb,
                 "shard": shard,
                 "source": source,
+                "flow": flow,
                 "status": "queued",
             }
             self._control_seq += 1
@@ -92,6 +99,7 @@ class OpsControlMixin:
                     "ops.control",
                     verb=ticket["verb"],
                     shard=ticket["shard"],
+                    flow=ticket.get("flow"),
                     outcome=outcome,
                     chunk=chunk_index,
                     source=ticket["source"],

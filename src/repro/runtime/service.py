@@ -162,10 +162,20 @@ class OnlineDetectionService(OpsControlMixin):
         config: Optional[RuntimeConfig] = None,
         seed: SeedLike = None,
         faults=None,
+        policy=None,
     ) -> None:
         self.config = config or RuntimeConfig()
         self.pipeline = pipeline
         self.faults = faults
+        if policy is not None:
+            # A policy spec/Policy/PolicyEngine attaches the graduated
+            # mitigation engine (repro.mitigation) to the pipeline's
+            # controller; an engine already attached (e.g. by a
+            # checkpoint restore) is left alone.
+            from repro.mitigation import attach_policy
+
+            if getattr(pipeline.controller, "policy", None) is None:
+                attach_policy(pipeline, policy)
         self._init_control_plane()
         # ``is not None`` rather than ``or``: Retrainer defines __len__
         # (reservoir size), so a freshly-built one with an empty
@@ -331,9 +341,27 @@ class OnlineDetectionService(OpsControlMixin):
             return "rolled_back"
         if verb == "drain":
             return "unsupported:not_a_cluster"
+        if verb == "unblock":
+            engine = getattr(self.pipeline.controller, "policy", None)
+            if engine is None:
+                return "skipped:no_policy"
+            from repro.mitigation import parse_flow_key
+
+            try:
+                five_tuple = parse_flow_key(ticket.get("flow") or "")
+            except ValueError:
+                return "rejected:bad_flow_key"
+            return engine.unblock(five_tuple)
         return f"unsupported:{verb}"
 
+    def mitigation_status(self) -> Optional[Dict]:
+        """Live :meth:`~repro.mitigation.PolicyEngine.status` snapshot,
+        or ``None`` when no policy engine is attached."""
+        engine = getattr(self.pipeline.controller, "policy", None)
+        return None if engine is None else engine.status()
+
     def _ops_extra(self) -> Dict:
+        engine = getattr(self.pipeline.controller, "policy", None)
         return {
             "kind": "service",
             "generation": self.pipeline.table_swaps,
@@ -341,6 +369,16 @@ class OnlineDetectionService(OpsControlMixin):
             "reservoir_flows": len(self.retrainer),
             "drift_score": (
                 self.monitor.last_score if self.monitor is not None else None
+            ),
+            "mitigation": (
+                None
+                if engine is None
+                else {
+                    "policy": engine.policy.name,
+                    "active_blocks": engine.active_blocks,
+                    "active_rate_limits": engine.active_rate_limits,
+                    "guard_tripped": engine.guard_tripped,
+                }
             ),
         }
 

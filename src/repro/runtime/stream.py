@@ -206,6 +206,13 @@ class StreamDriver:
             deltas = {k: after[k] - before.get(k, 0) for k in after}
             if self.faults is not None:
                 self.faults.on_chunk_end(self.pipeline, index)
+            # Mitigation TTL tick: the chunk boundary is the control
+            # plane's window, so idle-timeout expiry (and re-admission)
+            # happens here, clocked by stream time — the last packet's
+            # timestamp — never wall time.
+            policy = getattr(self.pipeline.controller, "policy", None)
+            if policy is not None:
+                policy.tick(chunk.packets[-1].timestamp)
             n = len(chunk)
             stats = ChunkStats(
                 n_packets=n,

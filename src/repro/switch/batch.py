@@ -425,6 +425,7 @@ class BatchReplayOutcome:
     y_true: np.ndarray
     y_pred: np.ndarray
     digests: Dict[int, Digest]  #: packet index → emitted digest
+    rate_limited: np.ndarray = None  #: bool, packets shed by the RATE_LIMIT rung
 
     @property
     def n_packets(self) -> int:
@@ -490,6 +491,7 @@ def _empty_outcome() -> BatchReplayOutcome:
         y_true=np.empty(0, dtype=int),
         y_pred=np.empty(0, dtype=int),
         digests={},
+        rate_limited=np.empty(0, dtype=bool),
     )
 
 
@@ -517,10 +519,13 @@ def _replay_sequential(
     timeout = cfg.timeout
     overflow_fail_open = cfg.overflow_policy == "fail_open"
     overflow_fail_closed = cfg.overflow_policy == "fail_closed"
+    drop_on = cfg.drop_on_malicious
     degraded = 0
     blacklist = pipeline.blacklist
     bl_entries = blacklist._entries
     bl_lru = blacklist.eviction == "lru"
+    bl_track = blacklist.track_hits
+    bl_last_hit = blacklist.last_hit
     # Per-flow blacklist membership cache, valid while the table's
     # version is unchanged — skips a FiveTuple hash per packet.
     n_flows = len(flow_tuples)
@@ -538,6 +543,29 @@ def _replay_sequential(
     path_codes = [0] * n
     preds = [0] * n
     digests: Dict[int, Digest] = {}
+    rate_limited = [False] * n
+
+    # Rate-limit shed (the mitigation engine's RATE_LIMIT rung): mirrors
+    # the scalar wrapper in SwitchPipeline.process — consulted only for
+    # non-red packets the walk chose to forward.  Callers guard on
+    # `rl_entries` being non-empty, so the bare pipeline pays one dict
+    # truthiness check per packet.
+    limiter = pipeline.rate_limiter
+    rl_entries = limiter._entries if limiter is not None else None
+    rl_keep = limiter.keep_one_in if limiter is not None else 0
+
+    def _rl_shed(i, ft, t):
+        # Inline RateLimitTable.should_drop.
+        ent = rl_entries.get(ft)
+        if ent is None:
+            return
+        ent[0] += 1
+        ent[1] = t
+        if (ent[0] - 1) % rl_keep:
+            limiter.dropped += 1
+            rate_limited[i] = True
+        else:
+            limiter.forwarded += 1
 
     for i in range(n):
         fi = flow_idx[i]
@@ -554,6 +582,8 @@ def _replay_sequential(
         if bl_hit:
             if bl_lru:
                 bl_entries.move_to_end(ft)
+            if bl_track:
+                bl_last_hit[ft] = ts[i]
             path_counts[PATH_RED] += 1
             path_codes[i] = CODE_RED
             preds[i] = 1
@@ -603,7 +633,10 @@ def _replay_sequential(
                     label = pl_labels[i]
                     pl_table.lookup_count += 1
                 path_codes[i] = CODE_ORANGE
-                preds[i] = 1 if label == LABEL_MALICIOUS else 0
+                pred = 1 if label == LABEL_MALICIOUS else 0
+                preds[i] = pred
+                if rl_entries and not (drop_on and pred):
+                    _rl_shed(i, ft, ts[i])
                 continue
 
         # Purple: flow already classified.
@@ -611,7 +644,10 @@ def _replay_sequential(
         if label != LABEL_UNDECIDED:
             path_counts[PATH_PURPLE] += 1
             path_codes[i] = CODE_PURPLE
-            preds[i] = 1 if label == LABEL_MALICIOUS else 0
+            pred = 1 if label == LABEL_MALICIOUS else 0
+            preds[i] = pred
+            if rl_entries and not (drop_on and pred):
+                _rl_shed(i, ft, ts[i])
             continue
 
         stats = state.stats
@@ -634,7 +670,10 @@ def _replay_sequential(
             stats.update_raw(t, sizes[i])
             digests[i] = digest
             path_codes[i] = CODE_BLUE
-            preds[i] = 1 if label == LABEL_MALICIOUS else 0
+            pred = 1 if label == LABEL_MALICIOUS else 0
+            preds[i] = pred
+            if rl_entries and not (drop_on and pred):
+                _rl_shed(i, ft, t)
             continue
 
         stats.update_raw(t, sizes[i])
@@ -648,7 +687,10 @@ def _replay_sequential(
             mirror()
             digests[i] = digest
             path_codes[i] = CODE_BLUE
-            preds[i] = 1 if fl_label == LABEL_MALICIOUS else 0
+            pred = 1 if fl_label == LABEL_MALICIOUS else 0
+            preds[i] = pred
+            if rl_entries and not (drop_on and pred):
+                _rl_shed(i, ft, t)
             continue
 
         # Brown: early packet, PL verdict only.
@@ -659,17 +701,41 @@ def _replay_sequential(
             label = pl_labels[i]
             pl_table.lookup_count += 1
         path_codes[i] = CODE_BROWN
-        preds[i] = 1 if label == LABEL_MALICIOUS else 0
+        pred = 1 if label == LABEL_MALICIOUS else 0
+        preds[i] = pred
+        if rl_entries and not (drop_on and pred):
+            _rl_shed(i, ft, t)
 
     if degraded:
         pipeline.degraded_packets += degraded
 
-    return BatchReplayOutcome(
-        path_codes=np.array(path_codes, dtype=np.int8),
+    codes_arr = np.array(path_codes, dtype=np.int8)
+    preds_arr = np.array(preds, dtype=int)
+    rl_arr = np.array(rate_limited, dtype=bool)
+    outcome = BatchReplayOutcome(
+        path_codes=codes_arr,
         y_true=arrays.malicious.astype(int),
-        y_pred=np.array(preds, dtype=int),
+        y_pred=preds_arr,
         digests=digests,
+        rate_limited=rl_arr,
     )
+    # Efficacy metering against ground truth (mitigation engine only):
+    # leaked = attack packets that went out; collateral = benign packets
+    # shed by mitigation itself (red path + rate-limit), which feeds the
+    # engine's benign-drop guard.  The scalar path does the same sums in
+    # repro.switch.runner.
+    controller = pipeline.controller
+    engine = getattr(controller, "policy", None)
+    if engine is not None:
+        mitigated = (codes_arr == CODE_RED) | rl_arr
+        dropped = mitigated | (preds_arr != 0) if drop_on else mitigated
+        attack = arrays.malicious != 0
+        engine.account(
+            attack_leaked=int(np.count_nonzero(attack & ~dropped)),
+            benign_dropped=int(np.count_nonzero(~attack & mitigated)),
+            attack_dropped=int(np.count_nonzero(attack & mitigated)),
+        )
+    return outcome
 
 
 def replay_trace_batch(trace: Trace, pipeline: SwitchPipeline):
@@ -684,8 +750,9 @@ def replay_trace_batch(trace: Trace, pipeline: SwitchPipeline):
     # constructor — much cheaper than a per-packet comprehension.
     paths = list(map(PATH_CODE_NAMES.__getitem__, codes.tolist()))
     # Red always drops; any other malicious verdict drops only on the
-    # inline deployment.
-    drop_mask = codes == CODE_RED
+    # inline deployment; rate-limited packets were shed by the
+    # mitigation engine after a forward verdict.
+    drop_mask = (codes == CODE_RED) | outcome.rate_limited
     if pipeline.config.drop_on_malicious:
         drop_mask = drop_mask | (outcome.y_pred != 0)
     actions = list(
@@ -704,6 +771,7 @@ def replay_trace_batch(trace: Trace, pipeline: SwitchPipeline):
             outcome.y_pred.tolist(),
             digest_col,
             mirrored,
+            outcome.rate_limited.tolist(),
         )
     )
     result = ReplayResult(

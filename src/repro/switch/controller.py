@@ -49,13 +49,28 @@ class Controller:
         self.pipeline = pipeline
         self.install_blacklist = install_blacklist
         self.stats = ControllerStats()
+        # Optional mitigation policy engine (repro.mitigation). When
+        # attached it owns the response to malicious verdicts — the
+        # legacy always-blacklist path below is bypassed entirely.
+        self.policy = None
         pipeline.controller = self
 
     def handle_digest(self, digest: Digest) -> None:
         """Process one digest: blacklist install + storage cleanup."""
         self.stats.digests_received += 1
         self.stats.digest_bytes += Digest.WIRE_BYTES
-        if digest.label == LABEL_MALICIOUS and self.install_blacklist:
+        if digest.label != LABEL_MALICIOUS:
+            return
+        if self.policy is not None:
+            # Graduated response: the engine decides between MONITOR
+            # (nothing touches the data plane), RATE_LIMIT, and DROP.
+            # Enforced flows lose their stateful storage so repeat
+            # offenses re-classify and climb the ladder.
+            if self.policy.on_verdict(digest.five_tuple, digest.timestamp):
+                if self.pipeline.store.release(digest.five_tuple):
+                    self.stats.storage_releases += 1
+            return
+        if self.install_blacklist:
             self.pipeline.blacklist.install(digest.five_tuple)
             self.stats.blacklist_installs += 1
             # Malicious flows lose their stateful storage immediately: the
@@ -69,10 +84,13 @@ class Controller:
         Published per replay (as deltas) alongside the pipeline's
         counters by :func:`repro.switch.runner.replay_trace`.
         """
-        return {
+        counters = {
             "controller.digests_received": self.stats.digests_received,
             "controller.digest_bytes": self.stats.digest_bytes,
             "controller.blacklist_installs": self.stats.blacklist_installs,
             "controller.storage_releases": self.stats.storage_releases,
             "controller.horuseye_equivalent_bytes": self.stats.horuseye_equivalent_bytes(),
         }
+        if self.policy is not None:
+            counters.update(self.policy.telemetry_counters())
+        return counters

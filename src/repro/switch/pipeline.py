@@ -119,7 +119,12 @@ class Digest:
 
 @dataclass
 class PacketDecision:
-    """Per-packet outcome record used by the evaluation harness."""
+    """Per-packet outcome record used by the evaluation harness.
+
+    ``rate_limited`` marks packets shed by the mitigation engine's
+    RATE_LIMIT rung: the walk itself chose ``forward``, then the
+    rate-limit table overrode the action to ``drop``.
+    """
 
     packet: Packet
     path: str
@@ -127,6 +132,7 @@ class PacketDecision:
     predicted_malicious: int
     digest: Optional[Digest] = None
     mirrored: bool = False
+    rate_limited: bool = False
 
 
 @dataclass
@@ -208,6 +214,10 @@ class SwitchPipeline:
         )
         self.store = FlowStateStore(n_slots=self.config.n_slots)
         self.controller = None  # attached via Controller(pipeline)
+        # Keep-one-in-N throttle consulted after the walk; None until a
+        # mitigation policy engine attaches one (repro.mitigation) — the
+        # bare pipeline pays nothing for the feature.
+        self.rate_limiter = None
         # Optional fault-injectable digest transport (repro.faults); when
         # None digests go straight to the controller, as on the fault-free
         # simulator.
@@ -385,16 +395,30 @@ class SwitchPipeline:
         counters["switch.blacklist.churn"] = self.blacklist.version
         counters["switch.table.swaps"] = self.table_swaps
         counters["switch.table.rollbacks"] = self.table_rollbacks
+        if self.rate_limiter is not None:
+            counters["switch.rate_limiter.installs"] = self.rate_limiter.installs
+            counters["switch.rate_limiter.forwarded"] = self.rate_limiter.forwarded
+            counters["switch.rate_limiter.dropped"] = self.rate_limiter.dropped
         return counters
 
     def telemetry_gauges(self) -> Dict[str, float]:
-        """Point-in-time levels (non-monotonic): storage and table fill."""
-        return {
+        """Point-in-time levels (non-monotonic): storage and table fill.
+
+        When a mitigation policy engine is attached its gauges ride
+        along here — deliberately, because the shm transport freezes the
+        gauge layout from this method before forking workers."""
+        gauges = {
             "switch.store.occupancy": float(self.store.occupancy()),
             "switch.store.fill_fraction": self.store.occupancy()
             / float(2 * self.store.n_slots),
             "switch.blacklist.size": float(len(self.blacklist)),
         }
+        if self.rate_limiter is not None:
+            gauges["switch.rate_limiter.size"] = float(len(self.rate_limiter))
+        policy = getattr(self.controller, "policy", None)
+        if policy is not None:
+            gauges.update(policy.telemetry_gauges())
+        return gauges
 
     # -- scoring helpers ---------------------------------------------------
 
@@ -440,11 +464,29 @@ class SwitchPipeline:
     # -- the packet walk ----------------------------------------------------
 
     def process(self, pkt: Packet) -> PacketDecision:
-        """Run one packet through the six-path pipeline."""
+        """Run one packet through the six-path pipeline, then apply any
+        active rate-limit entry (the mitigation engine's RATE_LIMIT rung
+        sheds forwarded packets of limited flows, keeping one in N)."""
+        decision = self._walk(pkt)
+        limiter = self.rate_limiter
+        if (
+            limiter is not None
+            and len(limiter)
+            and decision.path != PATH_RED
+            and decision.action == ACTION_FORWARD
+            and limiter.should_drop(pkt.five_tuple.canonical(), pkt.timestamp)
+        ):
+            decision.action = ACTION_DROP
+            decision.rate_limited = True
+        return decision
+
+    def _walk(self, pkt: Packet) -> PacketDecision:
+        """The six-path walk proper (reference semantics for the batch
+        replay engine, which mirrors it branch for branch)."""
         cfg = self.config
 
         # Red: blacklist match.
-        if self.blacklist.matches(pkt.five_tuple):
+        if self.blacklist.matches(pkt.five_tuple, pkt.timestamp):
             self.path_counts[PATH_RED] += 1
             return PacketDecision(
                 packet=pkt, path=PATH_RED, action=ACTION_DROP, predicted_malicious=1

@@ -107,6 +107,33 @@ class ReplayResult:
 REPLAY_MODES = ("scalar", "batch")
 
 
+def _account_mitigation(
+    pipeline: SwitchPipeline, decisions: List[PacketDecision]
+) -> None:
+    """Scalar-path efficacy metering for an attached mitigation engine:
+    the same per-replay ground-truth sums the batch engine computes at
+    the end of :func:`repro.switch.batch._replay_sequential`."""
+    controller = pipeline.controller
+    engine = getattr(controller, "policy", None)
+    if engine is None:
+        return
+    attack_leaked = benign_dropped = attack_dropped = 0
+    for d in decisions:
+        mitigated = d.path == "red" or d.rate_limited
+        if d.packet.malicious:
+            if mitigated:
+                attack_dropped += 1
+            elif d.action != ACTION_DROP:
+                attack_leaked += 1
+        elif mitigated:
+            benign_dropped += 1
+    engine.account(
+        attack_leaked=attack_leaked,
+        benign_dropped=benign_dropped,
+        attack_dropped=attack_dropped,
+    )
+
+
 def _publish_replay_telemetry(
     registry,
     pipeline: SwitchPipeline,
@@ -167,6 +194,7 @@ def replay_trace(
             y_true = np.array([int(d.packet.malicious) for d in decisions], dtype=int)
             y_pred = np.array([d.predicted_malicious for d in decisions], dtype=int)
             result = ReplayResult(decisions=decisions, y_true=y_true, y_pred=y_pred)
+            _account_mitigation(pipeline, decisions)
     if registry.enabled:
         _publish_replay_telemetry(registry, pipeline, before)
         registry.counter("replay.packets").inc(len(trace))

@@ -1,0 +1,137 @@
+"""Refusals must teach: every "can't do that" the cluster emits has to
+name the offending feature *and* a supported way out, so an operator
+reading a log line knows what to change without opening the source.
+This suite pins the exact texts, plus the cluster routing of the
+``unblock`` ops verb (the flow's ladder state lives on one shard)."""
+
+from pathlib import Path
+
+import pytest
+
+from repro.cluster import ClusterService, FlowShardRouter
+from repro.mitigation import attach_policy
+from repro.runtime import RuntimeConfig
+from repro.telemetry import MetricRegistry, use_registry
+from tests.faults.common import compile_artifacts, fresh_pipeline, make_split
+
+N_CHUNKS = 4
+
+needs_dev_shm = pytest.mark.skipif(
+    not Path("/dev/shm").exists(), reason="no /dev/shm on this host"
+)
+
+
+@pytest.fixture(scope="module")
+def split():
+    return make_split(seed=23, n_benign_flows=50)
+
+
+@pytest.fixture(scope="module")
+def artifacts(split):
+    return compile_artifacts(split.train_flows)
+
+
+def make_cluster(split, artifacts, executor="inprocess", policy=None):
+    pipeline = fresh_pipeline(artifacts)
+    if policy is not None:
+        attach_policy(pipeline, policy)
+    n_packets = len(split.stream_trace.packets)
+    return ClusterService(
+        pipeline,
+        n_shards=2,
+        config=RuntimeConfig(
+            chunk_size=-(-n_packets // N_CHUNKS),
+            drift_threshold=0.0,
+            stage_backoff_s=0.0,
+        ),
+        executor=executor,
+        seed=5,
+    )
+
+
+def serve_with_controls(cluster, split, controls):
+    for verb, kwargs in controls:
+        cluster.request_control(verb, **kwargs)
+    with use_registry(MetricRegistry()):
+        report = cluster.serve(split.stream_trace)
+    return report.control_events
+
+
+class TestShmRefusals:
+    @needs_dev_shm
+    def test_drain_on_shm_names_the_way_out(self, split, artifacts):
+        with make_cluster(split, artifacts, executor="shm") as cluster:
+            (event,) = serve_with_controls(
+                cluster, split, [("drain", {"shard": 1})]
+            )
+        outcome = event["outcome"]
+        assert outcome.startswith("unsupported:drain_on_shm_transport")
+        # The message must say *why* (up-front arena routing) and *what
+        # to use instead* (a packet-list transport).
+        assert "routed up front" in outcome
+        assert "executor='inprocess'" in outcome
+        assert "multiprocess" in outcome
+        # The shard stayed in rotation — the refusal really refused.
+        assert cluster.router.drained == set()
+
+    @needs_dev_shm
+    def test_streaming_refusal_names_offender_and_alternatives(
+        self, split, artifacts
+    ):
+        def stream():
+            yield from split.stream_trace.packets
+
+        with make_cluster(split, artifacts, executor="shm") as cluster:
+            with pytest.raises(ValueError) as err:
+                with use_registry(MetricRegistry()):
+                    cluster.serve(stream())
+        message = str(err.value)
+        assert "streaming sources are unsupported on the shm transport" in message
+        assert "shared arena" in message
+        assert "executor='inprocess'" in message
+        assert "executor='multiprocess'" in message
+        assert "materialise()" in message
+
+
+class TestRouterRefusal:
+    def test_last_shard_refusal_names_the_way_out(self):
+        router = FlowShardRouter(n_shards=2, salt=3)
+        router.drain(0)
+        with pytest.raises(ValueError) as err:
+            router.drain(1)
+        message = str(err.value)
+        assert "last active shard" in message
+        assert "undrain another shard first" in message
+
+
+class TestClusterUnblockRouting:
+    """The ``unblock`` verb must reach the shard engine that owns the
+    flow — and refuse bad keys / policyless clusters legibly."""
+
+    POLICY = "drop_fast;idle_timeout=30;memory=120"
+
+    def test_unblock_reaches_a_shard_engine(self, split, artifacts):
+        # A well-formed key for a flow no engine has seen: the verb
+        # routes to the owning shard and comes back "not_blocked",
+        # proving the round trip went through a real policy engine.
+        with make_cluster(split, artifacts, policy=self.POLICY) as cluster:
+            (event,) = serve_with_controls(
+                cluster, split, [("unblock", {"flow": "1-2-3-4-5"})]
+            )
+        assert event["verb"] == "unblock"
+        assert event["flow"] == "1-2-3-4-5"
+        assert event["outcome"] == "not_blocked"
+
+    def test_bad_flow_key_rejected(self, split, artifacts):
+        with make_cluster(split, artifacts, policy=self.POLICY) as cluster:
+            (event,) = serve_with_controls(
+                cluster, split, [("unblock", {"flow": "not-a-key"})]
+            )
+        assert event["outcome"] == "rejected:bad_flow_key"
+
+    def test_no_policy_is_skipped(self, split, artifacts):
+        with make_cluster(split, artifacts) as cluster:
+            (event,) = serve_with_controls(
+                cluster, split, [("unblock", {"flow": "1-2-3-4-5"})]
+            )
+        assert event["outcome"] == "skipped:no_policy"

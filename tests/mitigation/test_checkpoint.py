@@ -1,0 +1,229 @@
+"""Mitigation state across crash/resume: a serve killed mid-escalation
+and resumed from its checkpoint must end with the *same policy state* —
+flow ladder positions, TTLs, quota occupancy, guard latch, meter — bit
+for bit, on top of the usual verdict bit-identity.  Covered for the
+single service and the sharded cluster."""
+
+import json
+
+import numpy as np
+import pytest
+
+from repro.cluster import ClusterCheckpointManager, ClusterService, restore_cluster
+from repro.faults import FaultPlan, SimulatedKill
+from repro.mitigation import attach_policy
+from repro.runtime import OnlineDetectionService, Retrainer, RuntimeConfig
+from repro.runtime.checkpoint import (
+    CheckpointManager,
+    restore_service,
+    service_to_dict,
+)
+from repro.telemetry import MetricRegistry, use_registry
+from tests.faults.common import (
+    PKT_COUNT_THRESHOLD,
+    TIMEOUT,
+    compile_artifacts,
+    fresh_pipeline,
+    make_split,
+)
+from tests.runtime.common import light_model_factory
+
+N_CHUNKS = 6
+N_SHARDS = 2
+#: Two-rung ladder with a short TTL and a tenant bound, so the state
+#: that must survive the crash includes every moving part: strikes,
+#: rate-limit and drop artifacts, expiries, and quota occupancy.
+POLICY = (
+    "name=ckpt;ladder=rate_limit/drop;idle_timeout=2;memory=60;"
+    "rate_limit:keep_one_in=4;quota:tenant_bits=4,max_blocks=8"
+)
+
+
+@pytest.fixture(scope="module")
+def split():
+    return make_split(seed=29, n_benign_flows=50)
+
+
+@pytest.fixture(scope="module")
+def artifacts(split):
+    return compile_artifacts(split.train_flows)
+
+
+def _config(split):
+    n_packets = len(split.stream_trace.packets)
+    return RuntimeConfig(
+        chunk_size=-(-n_packets // N_CHUNKS),
+        drift_threshold=0.0,
+        cadence=3,
+        min_retrain_flows=8,
+        stage_backoff_s=0.0,
+    )
+
+
+def _retrainer():
+    return Retrainer(
+        pkt_count_threshold=PKT_COUNT_THRESHOLD,
+        timeout=TIMEOUT,
+        model_factory=light_model_factory,
+        seed=17,
+    )
+
+
+def make_service(split, artifacts, faults=None):
+    pipeline = fresh_pipeline(artifacts)
+    attach_policy(pipeline, POLICY)
+    return OnlineDetectionService(
+        pipeline, retrainer=_retrainer(), config=_config(split), faults=faults
+    )
+
+
+def make_cluster(split, artifacts, shard_faults=None):
+    pipeline = fresh_pipeline(artifacts)
+    attach_policy(pipeline, POLICY)
+    return ClusterService(
+        pipeline,
+        n_shards=N_SHARDS,
+        retrainer=_retrainer(),
+        config=_config(split),
+        shard_faults=shard_faults,
+        executor="inprocess",
+    )
+
+
+def _engine_of(pipeline):
+    return pipeline.controller.policy
+
+
+def canon(doc):
+    return json.dumps(doc, sort_keys=True, allow_nan=True)
+
+
+class TestSingleService:
+    @pytest.fixture(scope="class")
+    def baseline(self, split, artifacts):
+        service = make_service(split, artifacts)
+        with use_registry(MetricRegistry()):
+            report = service.serve(split.stream_trace)
+        engine = _engine_of(service.pipeline)
+        # The run must actually exercise the ladder for the bit-identity
+        # claim below to mean anything.
+        assert engine.counters["mitigation.escalations"] > 0
+        assert engine.counters["mitigation.expiries"] > 0
+        return report, engine.state_dict()
+
+    def test_document_fixed_point_with_policy(self, split, artifacts, tmp_path):
+        """serialize → restore → serialize stays a fixed point when the
+        checkpoint carries engine + limiter + blacklist-hit state."""
+        service = make_service(split, artifacts)
+        with use_registry(MetricRegistry()):
+            service.serve(split.stream_trace, checkpoint=CheckpointManager(tmp_path))
+        doc = CheckpointManager.load(tmp_path)
+        assert doc.pop("status") == "complete"
+        assert doc["pipeline"]["controller"]["policy"] is not None
+        assert doc["pipeline"]["rate_limiter"] is not None
+        restored, report = restore_service(doc, model_factory=light_model_factory)
+        assert canon(service_to_dict(restored, report)) == canon(doc)
+
+    def test_killed_mid_escalation_resumes_bit_identical(
+        self, split, artifacts, tmp_path, baseline
+    ):
+        base_report, base_state = baseline
+        service = make_service(
+            split, artifacts, faults=FaultPlan.from_spec("kill:at=2")
+        )
+        with pytest.raises(SimulatedKill):
+            with use_registry(MetricRegistry()):
+                service.serve(
+                    split.stream_trace, checkpoint=CheckpointManager(tmp_path)
+                )
+
+        final_service = None
+        for _ in range(10):
+            doc = CheckpointManager.load(tmp_path)
+            final_service, report = restore_service(
+                doc, model_factory=light_model_factory
+            )
+            if doc["status"] == "complete":
+                break
+            try:
+                with use_registry(MetricRegistry()):
+                    report = final_service.serve(
+                        split.stream_trace,
+                        checkpoint=CheckpointManager(tmp_path),
+                        resume_report=report,
+                    )
+            except SimulatedKill:  # pragma: no cover — spec has one kill
+                continue
+            break
+        else:  # pragma: no cover
+            raise AssertionError("resume loop did not converge")
+
+        np.testing.assert_array_equal(report.y_pred, base_report.y_pred)
+        np.testing.assert_array_equal(report.y_true, base_report.y_true)
+        # The headline claim: the policy state — every strike, TTL
+        # stamp, quota slot, and meter tally — is bit-identical to the
+        # uninterrupted run's.
+        assert _engine_of(final_service.pipeline).state_dict() == base_state
+
+
+class TestCluster:
+    @pytest.fixture(scope="class")
+    def baseline(self, split, artifacts):
+        with make_cluster(split, artifacts) as cluster:
+            with use_registry(MetricRegistry()):
+                report = cluster.serve(split.stream_trace)
+            states = [
+                _engine_of(w.pipeline).state_dict() for w in cluster.workers
+            ]
+        assert sum(
+            s["counters"]["mitigation.escalations"] for s in states
+        ) > 0
+        return report, states
+
+    def test_killed_shard_resumes_bit_identical(
+        self, split, artifacts, tmp_path, baseline
+    ):
+        base_report, base_states = baseline
+        shard_faults = [FaultPlan.from_spec("kill:at=2"), None]
+        with pytest.raises(SimulatedKill):
+            with make_cluster(split, artifacts, shard_faults) as cluster:
+                with use_registry(MetricRegistry()):
+                    cluster.serve(
+                        split.stream_trace,
+                        checkpoint=ClusterCheckpointManager(tmp_path),
+                    )
+
+        final_states = None
+        for _ in range(10):
+            doc = ClusterCheckpointManager.load(tmp_path)
+            service, report = restore_cluster(
+                doc, model_factory=light_model_factory
+            )
+            if doc["status"] == "complete":
+                with service:
+                    final_states = [
+                        _engine_of(w.pipeline).state_dict()
+                        for w in service.workers
+                    ]
+                break
+            try:
+                with service, use_registry(MetricRegistry()):
+                    report = service.serve(
+                        split.stream_trace,
+                        checkpoint=ClusterCheckpointManager(tmp_path),
+                        resume_report=report,
+                    )
+            except SimulatedKill:
+                continue
+            final_states = [
+                _engine_of(w.pipeline).state_dict() for w in service.workers
+            ]
+            break
+        else:  # pragma: no cover
+            raise AssertionError("resume loop did not converge")
+
+        np.testing.assert_array_equal(report.y_pred, base_report.y_pred)
+        np.testing.assert_array_equal(report.y_true, base_report.y_true)
+        # Every shard's engine — including the one that died — must
+        # land on the uninterrupted run's exact state.
+        assert final_states == base_states

@@ -1,0 +1,381 @@
+"""PolicyEngine unit tests: the escalation ladder, TTL expiry and
+re-admission, tenant quotas, the allowlist guard, the collateral guard,
+operator unblock, and checkpoint state round-trips."""
+
+import numpy as np
+import pytest
+
+from repro.core.rules import BENIGN, QuantizedRule, QuantizedRuleSet
+from repro.datasets.packet import PROTO_UDP, FiveTuple, Packet
+from repro.features.flow_features import SWITCH_FEATURES
+from repro.features.scaling import IntegerQuantizer
+from repro.mitigation import PolicyEngine, attach_policy, flow_key, parse_flow_key
+from repro.switch.controller import Controller
+from repro.switch.pipeline import Digest, PipelineConfig, SwitchPipeline
+from repro.switch.storage import LABEL_MALICIOUS
+
+N = len(SWITCH_FEATURES)
+
+
+def _ft(i, src_ip=None):
+    # dst_ip is the all-ones address so canonicalisation never flips the
+    # direction — tenant identity (top src bits) stays where the test
+    # put it.
+    return FiveTuple(
+        src_ip if src_ip is not None else i, 0xFFFFFFFF, 5000 + i, 80, PROTO_UDP
+    )
+
+
+def _pipeline(**config_kwargs):
+    domain = np.vstack([np.zeros(N), np.full(N, 1e6)])
+    q = IntegerQuantizer(bits=16).fit(domain)
+    rules = QuantizedRuleSet(
+        [QuantizedRule(lows=(1,) * N, highs=(q.levels - 1,) * N, label=BENIGN)],
+        bits=16,
+    )
+    return SwitchPipeline(
+        fl_rules=rules, fl_quantizer=q, config=PipelineConfig(**config_kwargs)
+    )
+
+
+def _engine(spec, **config_kwargs):
+    pipe = _pipeline(**config_kwargs)
+    Controller(pipe, install_blacklist=False)
+    return attach_policy(pipe, spec), pipe
+
+
+class TestFlowKey:
+    def test_round_trip_canonical(self):
+        ft = FiveTuple(99, 1, 80, 5001, PROTO_UDP)
+        assert parse_flow_key(flow_key(ft)) == ft.canonical()
+
+    @pytest.mark.parametrize("bad", ("", "1-2-3-4", "1-2-3-4-x", "a-b-c-d-e"))
+    def test_rejects_malformed(self, bad):
+        with pytest.raises(ValueError, match="flow key"):
+            parse_flow_key(bad)
+
+
+class TestLadder:
+    def test_monitor_rung_touches_nothing(self):
+        engine, pipe = _engine("monitor_only")
+        assert engine.on_verdict(_ft(1), 0.0) is False
+        assert len(pipe.blacklist) == 0
+        assert len(pipe.rate_limiter) == 0
+        assert all(v == 0 for v in engine.counters.values())
+        # Strikes are still remembered (re-offense memory).
+        assert engine.flows[_ft(1).canonical()].strikes == 1
+
+    def test_graduated_escalation(self):
+        engine, pipe = _engine("graduated")
+        ft = _ft(1)
+        assert engine.on_verdict(ft, 0.0) is False  # monitor
+        assert engine.on_verdict(ft, 1.0) is True   # rate_limit
+        assert len(pipe.rate_limiter) == 1
+        assert not pipe.blacklist.matches(ft)
+        assert engine.on_verdict(ft, 2.0) is True   # drop
+        assert pipe.blacklist.matches(ft)
+        # Upgrading swapped the artifact — the limiter entry is gone.
+        assert len(pipe.rate_limiter) == 0
+        assert engine.counters["mitigation.escalations"] == 2
+        assert engine.counters["mitigation.rate_limits_installed"] == 1
+        assert engine.counters["mitigation.blocks_installed"] == 1
+        assert engine.active_blocks == 1
+        assert engine.active_rate_limits == 0
+
+    def test_ladder_clamps_at_top(self):
+        engine, pipe = _engine("drop_fast")
+        ft = _ft(1)
+        assert engine.on_verdict(ft, 0.0) is True
+        # Re-offense at the top rung refreshes without re-counting.
+        assert engine.on_verdict(ft, 1.0) is True
+        assert engine.counters["mitigation.blocks_installed"] == 1
+        assert engine.counters["mitigation.escalations"] == 1
+        assert pipe.blacklist.installs == 1
+
+    def test_time_to_block_recorded_once(self):
+        engine, _ = _engine("rate_limit_then_drop")
+        ft = _ft(1)
+        engine.on_verdict(ft, 10.0)
+        engine.on_verdict(ft, 14.0)
+        engine.on_verdict(ft, 19.0)
+        assert engine.block_latencies == [4.0]
+
+
+class TestAllowlist:
+    def test_allowlisted_src_refused(self):
+        engine, pipe = _engine("drop_fast;allow:prefix=10.0.0.0/8")
+        ft = _ft(1, src_ip=(10 << 24) | 5)
+        assert engine.on_verdict(ft, 0.0) is False
+        assert engine.counters["mitigation.allowlist_refusals"] == 1
+        assert len(pipe.blacklist) == 0
+        # Refused flows are not even tracked.
+        assert engine.flows == {}
+
+    def test_allowlist_covers_dst_too(self):
+        engine, _ = _engine("drop_fast;allow:prefix=10.0.0.0/8")
+        ft = FiveTuple(1, (10 << 24) | 9, 5001, 80, PROTO_UDP)
+        assert engine.on_verdict(ft, 0.0) is False
+        assert engine.counters["mitigation.allowlist_refusals"] == 1
+
+    def test_unlisted_flow_still_blocked(self):
+        engine, pipe = _engine("drop_fast;allow:prefix=10.0.0.0/8")
+        ft = _ft(1, src_ip=(11 << 24))
+        assert engine.on_verdict(ft, 0.0) is True
+        assert pipe.blacklist.matches(ft)
+
+
+class TestQuota:
+    def test_refusal_past_tenant_bound(self):
+        # tenant_bits=8: flows sharing the top src octet share a tenant.
+        engine, pipe = _engine("drop_fast;quota:tenant_bits=8,max_blocks=1")
+        a = _ft(1, src_ip=(42 << 24) | 1)
+        b = _ft(2, src_ip=(42 << 24) | 2)
+        assert engine.on_verdict(a, 0.0) is True
+        assert engine.on_verdict(b, 0.0) is False
+        assert engine.counters["mitigation.quota_refusals"] == 1
+        assert not pipe.blacklist.matches(b)
+        # The refused flow falls back to MONITOR, keeping its memory.
+        assert engine.flows[b.canonical()].action == "monitor"
+
+    def test_other_tenant_unaffected(self):
+        engine, pipe = _engine("drop_fast;quota:tenant_bits=8,max_blocks=1")
+        engine.on_verdict(_ft(1, src_ip=(42 << 24) | 1), 0.0)
+        other = _ft(3, src_ip=(43 << 24) | 1)
+        assert engine.on_verdict(other, 0.0) is True
+        assert pipe.blacklist.matches(other)
+
+    def test_expiry_frees_the_slot(self):
+        engine, _ = _engine(
+            "drop_fast;idle_timeout=10;memory=100;quota:tenant_bits=8,max_blocks=1"
+        )
+        a = _ft(1, src_ip=(42 << 24) | 1)
+        b = _ft(2, src_ip=(42 << 24) | 2)
+        engine.on_verdict(a, 0.0)
+        assert engine.on_verdict(b, 1.0) is False
+        assert engine.tick(20.0) == 1  # a's block expires
+        assert engine.on_verdict(b, 21.0) is True
+
+    def test_unblock_frees_the_slot(self):
+        engine, _ = _engine("drop_fast;quota:tenant_bits=8,max_blocks=1")
+        a = _ft(1, src_ip=(42 << 24) | 1)
+        b = _ft(2, src_ip=(42 << 24) | 2)
+        engine.on_verdict(a, 0.0)
+        assert engine.unblock(a) == "unblocked"
+        assert engine.on_verdict(b, 1.0) is True
+
+
+class TestTTL:
+    def test_idle_block_expires_and_flow_readmitted(self):
+        """Satellite regression: without TTL a blacklist entry outlived
+        the attack forever; the policy's idle timeout re-admits."""
+        engine, pipe = _engine("drop_fast;idle_timeout=10;memory=100")
+        ft = _ft(1)
+        engine.on_verdict(ft, 0.0)
+        assert pipe.blacklist.matches(ft, 0.5)
+        # Still absorbing traffic at t=8 — not idle at t=12.
+        pipe.blacklist.matches(ft, 8.0)
+        assert engine.tick(12.0) == 0
+        # Idle past the timeout: entry removed, flow re-admitted.
+        assert engine.tick(30.0) == 1
+        assert not pipe.blacklist.matches(ft)
+        assert engine.counters["mitigation.expiries"] == 1
+        # The re-admitted packet walks the pipeline again (no red path).
+        decision = pipe.process(Packet(ft, 31.0, 100))
+        assert decision.path != "red"
+
+    def test_strikes_survive_expiry(self):
+        engine, pipe = _engine(
+            "ladder=rate_limit/drop;idle_timeout=10;memory=1000"
+        )
+        ft = _ft(1)
+        engine.on_verdict(ft, 0.0)  # rate_limit
+        engine.tick(20.0)
+        assert engine.flows[ft.canonical()].action is None
+        # Re-offense within memory resumes the ladder: straight to drop.
+        engine.on_verdict(ft, 25.0)
+        assert pipe.blacklist.matches(ft)
+
+    def test_memory_prunes_cold_records(self):
+        engine, _ = _engine("drop_fast;idle_timeout=10;memory=50")
+        ft = _ft(1)
+        engine.on_verdict(ft, 0.0)
+        engine.tick(20.0)   # expire enforcement, keep memory
+        assert ft.canonical() in engine.flows
+        engine.tick(100.0)  # past memory: forgotten entirely
+        assert engine.flows == {}
+
+    def test_rate_limit_activity_tracked(self):
+        engine, pipe = _engine(
+            "ladder=rate_limit/drop;idle_timeout=10;memory=100"
+        )
+        ft = _ft(1)
+        engine.on_verdict(ft, 0.0)
+        # The limiter sees traffic at t=9; at t=15 the entry is not idle.
+        pipe.rate_limiter.should_drop(ft.canonical(), 9.0)
+        assert engine.tick(15.0) == 0
+        assert engine.tick(30.0) == 1
+
+    def test_tick_without_timestamp_is_noop(self):
+        engine, _ = _engine("drop_fast")
+        engine.on_verdict(_ft(1), 0.0)
+        assert engine.tick(None) == 0
+
+
+class TestUnblock:
+    def test_unblock_lifts_enforcement_and_forgets(self):
+        engine, pipe = _engine("drop_fast")
+        ft = _ft(1)
+        engine.on_verdict(ft, 0.0)
+        assert engine.unblock(ft) == "unblocked"
+        assert not pipe.blacklist.matches(ft)
+        assert engine.flows == {}
+        assert engine.counters["mitigation.unblocks"] == 1
+
+    def test_unblock_unknown_flow(self):
+        engine, _ = _engine("drop_fast")
+        assert engine.unblock(_ft(9)) == "not_blocked"
+        assert engine.counters["mitigation.unblocks"] == 0
+
+    def test_pardoned_flow_restarts_the_ladder(self):
+        engine, pipe = _engine("ladder=rate_limit/drop")
+        ft = _ft(1)
+        engine.on_verdict(ft, 0.0)
+        engine.on_verdict(ft, 1.0)  # escalated to drop
+        engine.unblock(ft)
+        # Unlike TTL expiry, the pardon cleared the strike memory.
+        engine.on_verdict(ft, 2.0)
+        assert not pipe.blacklist.matches(ft)
+        assert len(pipe.rate_limiter) == 1
+
+
+class TestGuard:
+    def test_trip_demotes_and_latches(self):
+        engine, pipe = _engine("drop_fast;guard:benign_drop_budget=10")
+        ft = _ft(1)
+        engine.on_verdict(ft, 0.0)
+        engine.account(attack_leaked=0, benign_dropped=11, attack_dropped=5)
+        assert engine.guard_tripped
+        assert engine.counters["mitigation.guard_trips"] == 1
+        assert engine.counters["mitigation.guard_demotions"] == 1
+        # Enforcement lifted, record demoted to observation.
+        assert not pipe.blacklist.matches(ft)
+        assert engine.flows[ft.canonical()].action == "monitor"
+        # Latched: new verdicts are forced to MONITOR.
+        assert engine.on_verdict(_ft(2), 1.0) is False
+        assert len(pipe.blacklist) == 0
+        # And a second account round does not re-trip.
+        engine.account(attack_leaked=0, benign_dropped=100, attack_dropped=0)
+        assert engine.counters["mitigation.guard_trips"] == 1
+
+    def test_zero_budget_disables_the_guard(self):
+        engine, _ = _engine("drop_fast;guard:benign_drop_budget=0")
+        engine.account(attack_leaked=0, benign_dropped=10**6, attack_dropped=0)
+        assert not engine.guard_tripped
+
+    def test_meter_accumulates(self):
+        engine, _ = _engine("drop_fast")
+        engine.account(attack_leaked=3, benign_dropped=1, attack_dropped=2)
+        engine.account(attack_leaked=1, benign_dropped=0, attack_dropped=4)
+        assert engine.meter.to_obj() == [4, 1, 6]
+
+
+class TestControllerIntegration:
+    def test_malicious_digest_routes_to_policy(self):
+        engine, pipe = _engine("drop_fast")
+        ctrl = pipe.controller
+        ft = _ft(1)
+        pipe.store.lookup_or_create(ft)
+        ctrl.handle_digest(Digest(five_tuple=ft, label=LABEL_MALICIOUS, timestamp=2.0))
+        assert pipe.blacklist.matches(ft)
+        # The legacy always-blacklist path was bypassed...
+        assert ctrl.stats.blacklist_installs == 0
+        # ...but enforcement still released the flow's storage.
+        assert ctrl.stats.storage_releases == 1
+        assert pipe.store.occupancy() == 0
+
+    def test_monitor_verdict_keeps_storage(self):
+        engine, pipe = _engine("monitor_only")
+        ft = _ft(1)
+        pipe.store.lookup_or_create(ft)
+        pipe.controller.handle_digest(
+            Digest(five_tuple=ft, label=LABEL_MALICIOUS, timestamp=2.0)
+        )
+        assert pipe.store.occupancy() == 1
+        assert pipe.controller.stats.storage_releases == 0
+
+    def test_engine_counters_merged_into_controller(self):
+        engine, pipe = _engine("drop_fast")
+        pipe.controller.handle_digest(
+            Digest(five_tuple=_ft(1), label=LABEL_MALICIOUS, timestamp=0.0)
+        )
+        counters = pipe.controller.telemetry_counters()
+        assert counters["mitigation.blocks_installed"] == 1
+
+    def test_attach_requires_controller(self):
+        pipe = _pipeline()
+        with pytest.raises(ValueError, match="controller"):
+            attach_policy(pipe, "drop_fast")
+
+
+class TestStateRoundTrip:
+    def _worked_engine(self):
+        engine, pipe = _engine(
+            "name=rt;ladder=rate_limit/drop;idle_timeout=10;memory=100;"
+            "quota:tenant_bits=8,max_blocks=4;guard:benign_drop_budget=50"
+        )
+        engine.on_verdict(_ft(1), 0.0)
+        engine.on_verdict(_ft(1), 1.0)
+        engine.on_verdict(_ft(2), 2.0)
+        engine.tick(30.0)
+        engine.on_verdict(_ft(3), 31.0)
+        engine.account(attack_leaked=7, benign_dropped=3, attack_dropped=9)
+        return engine
+
+    def test_state_dict_bit_identical(self):
+        engine = self._worked_engine()
+        state = engine.state_dict()
+        restored = PolicyEngine.from_state(state)
+        assert restored.state_dict() == state
+        assert restored.tenant_blocks == engine.tenant_blocks
+        assert restored.policy == engine.policy
+
+    def test_state_survives_json(self):
+        import json
+
+        engine = self._worked_engine()
+        state = json.loads(json.dumps(engine.state_dict()))
+        # JSON turns 5-tuple lists into lists (they already are) and
+        # ints stay ints — the round trip must still be exact.
+        assert PolicyEngine.from_state(state).state_dict() == engine.state_dict()
+
+    def test_clone_fresh_shares_policy_not_state(self):
+        engine = self._worked_engine()
+        clone = engine.clone_fresh()
+        assert clone.policy == engine.policy
+        assert clone.flows == {}
+        assert clone.meter.to_obj() == [0, 0, 0]
+
+
+class TestStatus:
+    def test_status_document(self):
+        engine, _ = _engine("drop_fast;guard:benign_drop_budget=100")
+        engine.on_verdict(_ft(1), 5.0)
+        engine.account(attack_leaked=2, benign_dropped=1, attack_dropped=3)
+        doc = engine.status()
+        assert doc["policy"].startswith("name=drop_fast")
+        assert doc["guard"] == {
+            "tripped": False,
+            "benign_dropped": 1,
+            "budget": 100,
+            "remaining": 99,
+        }
+        assert doc["active"]["drop"] == 1
+        assert doc["time_to_block_s"]["count"] == 1
+        assert doc["blocks"][0]["flow"] == flow_key(_ft(1))
+
+    def test_gauges(self):
+        engine, _ = _engine("drop_fast;guard:benign_drop_budget=100")
+        engine.on_verdict(_ft(1), 0.0)
+        gauges = engine.telemetry_gauges()
+        assert gauges["mitigation.active_blocks"] == 1.0
+        assert gauges["mitigation.guard_budget_remaining"] == 100.0

@@ -1,0 +1,117 @@
+"""Policy DSL: parse / render round-trips, presets, and rejection of
+malformed specs (the operator-facing half of repro.mitigation)."""
+
+import pytest
+
+from repro.mitigation import (
+    ACTION_DROP,
+    ACTION_MONITOR,
+    ACTION_RATE_LIMIT,
+    AllowPrefix,
+    GuardSpec,
+    POLICY_PRESETS,
+    Policy,
+    QuotaSpec,
+    RateLimitSpec,
+    get_policy,
+    parse_policy,
+)
+
+
+class TestRoundTrip:
+    @pytest.mark.parametrize("name", sorted(POLICY_PRESETS))
+    def test_presets_round_trip(self, name):
+        policy = get_policy(name)
+        assert parse_policy(policy.to_spec()) == policy
+
+    def test_kitchen_sink_round_trip(self):
+        policy = Policy(
+            name="strict",
+            ladder=(ACTION_MONITOR, ACTION_RATE_LIMIT, ACTION_DROP),
+            idle_timeout_s=12.5,
+            memory_s=60.0,
+            rate_limit=RateLimitSpec(keep_one_in=16),
+            quota=QuotaSpec(tenant_bits=12, max_blocks=32),
+            allow=(
+                AllowPrefix.parse("10.0.0.0/8"),
+                AllowPrefix.parse("192.168.1.7"),
+            ),
+            guard=GuardSpec(benign_drop_budget=250),
+        )
+        assert parse_policy(policy.to_spec()) == policy
+
+    def test_preset_with_overrides(self):
+        policy = parse_policy("drop_fast;idle_timeout=5;memory=30")
+        assert policy.ladder == (ACTION_DROP,)
+        assert policy.idle_timeout_s == 5.0
+        assert policy.memory_s == 30.0
+        # Untouched fields keep the preset's values.
+        assert policy.name == "drop_fast"
+
+    def test_allow_clauses_append_to_preset(self):
+        base = get_policy("graduated")
+        policy = parse_policy("graduated;allow:prefix=10.0.0.0/8;allow:prefix=1.2.3.4")
+        assert len(policy.allow) == len(base.allow) + 2
+
+    def test_monitor_only_property(self):
+        assert get_policy("monitor_only").monitor_only
+        assert not get_policy("drop_fast").monitor_only
+
+
+class TestAllowPrefix:
+    def test_parse_dotted_quad(self):
+        p = AllowPrefix.parse("10.0.0.0/8")
+        assert p.bits == 8
+        assert p.covers(10 << 24)
+        assert p.covers((10 << 24) | 0xFFFFFF)
+        assert not p.covers(11 << 24)
+
+    def test_no_slash_means_host(self):
+        p = AllowPrefix.parse("1.2.3.4")
+        assert p.bits == 32
+        assert p.covers((1 << 24) | (2 << 16) | (3 << 8) | 4)
+        assert not p.covers((1 << 24) | (2 << 16) | (3 << 8) | 5)
+
+    def test_zero_bits_covers_everything(self):
+        assert AllowPrefix.parse("0.0.0.0/0").covers(0xDEADBEEF)
+
+    def test_render_round_trip(self):
+        p = AllowPrefix.parse("172.16.0.0/12")
+        assert AllowPrefix.parse(p.to_text()) == p
+
+    @pytest.mark.parametrize("bad", ("1.2.3/8", "1.2.3.999/8", "10.0.0.0/33"))
+    def test_rejects_malformed(self, bad):
+        with pytest.raises(ValueError):
+            AllowPrefix.parse(bad)
+
+
+class TestRejection:
+    @pytest.mark.parametrize(
+        "spec,match",
+        (
+            ("", "empty"),
+            ("no_such_preset", "unknown policy preset"),
+            ("ladder=drop;bogus=1", "unknown policy keys"),
+            ("ladder=drop;frob:x=1", "unknown clause"),
+            ("ladder=teleport", "ladder rung"),
+            ("ladder=drop/rate_limit", "increasing in severity"),
+            ("ladder=drop/drop", "increasing in severity"),
+            ("idle_timeout=0", "idle_timeout_s"),
+            ("idle_timeout=60;memory=10", "memory"),
+            ("rate_limit:keep_one_in=1", "keep_one_in"),
+            ("rate_limit:keep_one_in=8,x=1", "unknown rate_limit keys"),
+            ("quota:tenant_bits=40", "tenant_bits"),
+            ("quota:max_blocks=-1", "max_blocks"),
+            ("quota:nope=1", "unknown quota keys"),
+            ("allow:network=10", "needs prefix"),
+            ("guard:benign_drop_budget=-5", "benign_drop_budget"),
+            ("guard:x=2", "unknown guard keys"),
+        ),
+    )
+    def test_bad_specs_rejected(self, spec, match):
+        with pytest.raises(ValueError, match=match):
+            parse_policy(spec)
+
+    def test_empty_ladder_rejected(self):
+        with pytest.raises(ValueError, match="at least one rung"):
+            Policy(ladder=())

@@ -1,0 +1,152 @@
+"""The two differential locks the mitigation engine must hold:
+
+* **MONITOR transparency** — a monitor-only policy is bit-transparent:
+  per-packet decisions, every published telemetry counter, and the
+  event stream are identical to a run with no policy engine attached
+  (controller blacklist installs disabled on both sides, since MONITOR
+  replaces that response).  Gauges are exempt by design: the engine
+  publishes extra ``mitigation.*`` levels, which is observation, not
+  interference.
+* **scalar ≡ batch under enforcement** — with a real escalating policy
+  attached, the batch replay engine must agree with the scalar walk on
+  every decision, counter, and engine-state bit, exactly as the plain
+  pipeline differential suite demands without a policy.
+"""
+
+import numpy as np
+import pytest
+
+from repro.datasets.trace import flows_to_trace
+from repro.mitigation import attach_policy
+from repro.switch.runner import replay_trace
+from repro.telemetry import MetricRegistry, use_registry
+
+from tests.switch.test_batch_differential import _build_pipeline, _make_flows
+
+PROFILES = ("Mirai", "UDP DDoS")
+
+
+def _replay(trace, make_pipeline, policy, mode):
+    pipe, ctrl = make_pipeline()
+    ctrl.install_blacklist = False
+    engine = None
+    if policy is not None:
+        engine = attach_policy(pipe, policy)
+    registry = MetricRegistry()
+    with use_registry(registry):
+        result = replay_trace(trace, pipe, mode=mode)
+    return result, pipe, ctrl, engine, registry
+
+
+def _assert_decisions_equal(r_a, r_b):
+    assert len(r_a.decisions) == len(r_b.decisions)
+    for i, (a, b) in enumerate(zip(r_a.decisions, r_b.decisions)):
+        assert a.path == b.path, f"packet {i}: path {a.path} != {b.path}"
+        assert a.action == b.action, f"packet {i}: action"
+        assert a.predicted_malicious == b.predicted_malicious, f"packet {i}"
+        assert a.digest == b.digest, f"packet {i}: digest"
+        assert a.rate_limited == b.rate_limited, f"packet {i}: rate_limited"
+    np.testing.assert_array_equal(r_a.y_pred, r_b.y_pred)
+    np.testing.assert_array_equal(r_a.y_true, r_b.y_true)
+
+
+class TestMonitorTransparency:
+    @pytest.mark.parametrize("profile", PROFILES)
+    @pytest.mark.parametrize("mode", ("scalar", "batch"))
+    def test_monitor_only_is_bit_transparent(self, profile, mode):
+        flows = _make_flows(profile)
+        trace = flows_to_trace(flows)
+        mk = lambda: _build_pipeline(flows)
+
+        r_none, p_none, c_none, _, reg_none = _replay(trace, mk, None, mode)
+        r_mon, p_mon, c_mon, engine, reg_mon = _replay(
+            trace, mk, "monitor_only", mode
+        )
+
+        _assert_decisions_equal(r_none, r_mon)
+        assert p_none.path_counts == p_mon.path_counts
+        assert p_none.store.occupancy() == p_mon.store.occupancy()
+        assert len(p_mon.blacklist) == 0
+        assert len(p_mon.rate_limiter) == 0
+        # MONITOR never releases storage (the controller without a
+        # policy and with installs disabled doesn't either).
+        assert c_none.stats == c_mon.stats
+
+        # Published counters identical: the engine's zero-valued
+        # counters never surface (deltas skip zeros), so even the key
+        # sets agree.
+        assert reg_none.counters_dict() == reg_mon.counters_dict()
+        # No mitigation events either.
+        assert reg_none.events == reg_mon.events
+        # The engine observed every malicious verdict without acting.
+        assert engine.counters["mitigation.escalations"] == 0
+        assert len(engine.flows) > 0
+
+    def test_monitor_tick_is_transparent(self):
+        """Ticking a monitor-only engine expires nothing and publishes
+        no counters (gauge levels are allowed)."""
+        flows = _make_flows("Mirai")
+        trace = flows_to_trace(flows)
+        _, _, _, engine, _ = _replay(
+            trace, lambda: _build_pipeline(flows), "monitor_only", "scalar"
+        )
+        registry = MetricRegistry()
+        with use_registry(registry):
+            expired = engine.tick(trace.packets[-1].timestamp + 10.0)
+        assert expired == 0
+        assert registry.counters_dict() == {}
+        assert registry.events == []
+
+
+class TestEnforcementDifferential:
+    @pytest.mark.parametrize("profile", PROFILES)
+    @pytest.mark.parametrize(
+        "policy,build_kwargs",
+        (
+            ("drop_fast;idle_timeout=5;memory=30", {}),
+            # The full ladder only climbs when flows re-classify, which
+            # takes storage evictions — force them with tiny tables.
+            (
+                "name=full;ladder=monitor/rate_limit/drop;idle_timeout=5;"
+                "memory=30;rate_limit:keep_one_in=4",
+                {"n_slots": 2, "blacklist_capacity": 4},
+            ),
+        ),
+    )
+    def test_scalar_batch_bit_identical(self, profile, policy, build_kwargs):
+        flows = _make_flows(profile)
+        trace = flows_to_trace(flows)
+        mk = lambda: _build_pipeline(flows, **build_kwargs)
+
+        r_s, p_s, c_s, e_s, reg_s = _replay(trace, mk, policy, "scalar")
+        r_b, p_b, c_b, e_b, reg_b = _replay(trace, mk, policy, "batch")
+
+        _assert_decisions_equal(r_s, r_b)
+        assert p_s.path_counts == p_b.path_counts
+        assert list(p_s.blacklist._entries) == list(p_b.blacklist._entries)
+        assert c_s.stats == c_b.stats
+        # Engine state — ladder positions, meter, counters — must agree
+        # bit for bit, and so must the published telemetry.
+        assert e_s.state_dict() == e_b.state_dict()
+        assert reg_s.counters_dict() == reg_b.counters_dict()
+        assert reg_s.gauges_dict() == reg_b.gauges_dict()
+        # The policy actually enforced something on these profiles.
+        assert e_s.counters["mitigation.escalations"] > 0
+
+    def test_enforcement_changes_the_replay(self):
+        """Sanity on the lock above: the enforcing policy really is on
+        the data path (red paths / shed packets appear)."""
+        flows = _make_flows("Mirai")
+        trace = flows_to_trace(flows)
+        mk = lambda: _build_pipeline(flows)
+        r_none, *_ = _replay(trace, mk, None, "batch")
+        r_drop, _, _, engine, _ = _replay(
+            trace, mk, "drop_fast;idle_timeout=5;memory=30", "batch"
+        )
+        mitigated = sum(
+            1 for d in r_drop.decisions if d.path == "red" or d.rate_limited
+        )
+        assert mitigated > 0
+        assert engine.meter.attack_dropped + engine.meter.benign_dropped == mitigated
+        none_dropped = sum(1 for d in r_none.decisions if d.path == "red")
+        assert none_dropped == 0  # installs were disabled on the bare run

@@ -60,14 +60,15 @@ class StubService:
     def ops_status(self):
         return dict(self.status)
 
-    def request_control(self, verb, shard=None, source="api"):
-        if verb not in ("retrain", "rollback", "drain"):
+    def request_control(self, verb, shard=None, source="api", flow=None):
+        if verb not in ("retrain", "rollback", "drain", "unblock"):
             raise ValueError(f"unknown control verb {verb!r}")
         ticket = {
             "id": len(self.requests),
             "verb": verb,
             "shard": shard,
             "source": source,
+            "flow": flow,
             "status": "queued",
         }
         self.requests.append(ticket)

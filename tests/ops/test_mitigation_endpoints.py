@@ -1,0 +1,84 @@
+"""The mitigation slice of the ops surface: ``GET /mitigation`` and
+``POST /control/unblock/<flow>`` against the stub service."""
+
+import json
+
+import pytest
+
+from repro.ops import TOKEN_HEADER, OpsServer
+from repro.telemetry import MetricRegistry
+from tests.ops.common import StubService, get_json, http_post
+
+AUTH = {TOKEN_HEADER: "hunter2"}
+
+
+class MitigationStub(StubService):
+    """Stub exposing the one extra method the endpoint reads."""
+
+    def __init__(self, mitigation=None, **overrides):
+        super().__init__(**overrides)
+        self._mitigation = mitigation
+
+    def mitigation_status(self):
+        return self._mitigation
+
+
+@pytest.fixture()
+def registry():
+    return MetricRegistry()
+
+
+def _serve(stub, registry):
+    return OpsServer(stub, registry=registry, token="hunter2")
+
+
+class TestMitigationEndpoint:
+    def test_live_policy_document_served(self, registry):
+        doc = {
+            "policy": "name=drop_fast;ladder=drop;idle_timeout=30;memory=120",
+            "guard": {"tripped": False, "remaining": 500},
+            "active": {"drop": 3, "rate_limit": 0, "monitor": 1},
+        }
+        with _serve(MitigationStub(mitigation=doc), registry) as srv:
+            status, body = get_json(srv.url + "/mitigation")
+        assert status == 200
+        assert body == doc
+
+    def test_404_when_no_policy_attached(self, registry):
+        with _serve(MitigationStub(mitigation=None), registry) as srv:
+            status, body = get_json(srv.url + "/mitigation")
+        assert status == 404
+        assert "no mitigation policy" in body["error"]
+
+    def test_404_when_service_predates_mitigation(self, registry):
+        # A service without the method at all (plain StubService) must
+        # behave like one with no policy, not crash the server.
+        with _serve(StubService(), registry) as srv:
+            status, _ = get_json(srv.url + "/mitigation")
+        assert status == 404
+
+
+class TestUnblockVerb:
+    def test_unblock_queues_ticket_with_flow(self, registry):
+        stub = MitigationStub()
+        with _serve(stub, registry) as srv:
+            status, body = http_post(
+                srv.url + "/control/unblock/167772161-167837698-5000-80-17",
+                headers=AUTH,
+            )
+        assert status == 202
+        ticket = json.loads(body)["ticket"]
+        assert ticket["verb"] == "unblock"
+        assert ticket["flow"] == "167772161-167837698-5000-80-17"
+        assert stub.requests[-1]["flow"] == "167772161-167837698-5000-80-17"
+
+    def test_unblock_without_flow_is_400(self, registry):
+        with _serve(MitigationStub(), registry) as srv:
+            status, body = http_post(srv.url + "/control/unblock", headers=AUTH)
+        assert status == 400
+        assert "flow key" in json.loads(body)["error"]
+
+    def test_unblock_requires_token(self, registry):
+        with _serve(MitigationStub(), registry) as srv:
+            status, _ = http_post(srv.url + "/control/unblock/1-2-3-4-5")
+        assert status == 403

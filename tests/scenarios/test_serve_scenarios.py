@@ -146,5 +146,10 @@ class TestClusterScenarioServe:
             config=RuntimeConfig(chunk_size=512, drift_threshold=0.0),
             executor="shm",
         ) as cluster:
-            with pytest.raises(ValueError, match="materialised Trace"):
+            with pytest.raises(ValueError) as err:
                 cluster.serve(s.stream())
+        # The refusal must name the offending feature and the way out.
+        message = str(err.value)
+        assert "streaming sources are unsupported on the shm transport" in message
+        assert "executor='inprocess'" in message
+        assert "materialise()" in message
